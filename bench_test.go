@@ -1,0 +1,325 @@
+// Bench harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index). Benchmarks run at
+// calibrated (reduced) size so the whole suite completes in minutes;
+// cmd/twexp -full regenerates the paper-faithful versions. Custom metrics
+// are attached via b.ReportMetric so the reproduced quantities appear next
+// to the timing.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exper"
+	"repro/internal/gen"
+	"repro/internal/place"
+	"repro/internal/route"
+)
+
+// benchCfg is the calibrated configuration: small inner loops, few router
+// alternatives, the smallest preset circuits.
+func benchCfg() exper.Config {
+	return exper.Config{Seed: 1988, Trials: 1, Ac: 20, M: 6, Circuits: []string{"i3", "p1"}}
+}
+
+// BenchmarkTable3EstimatorAccuracy reproduces Table 3: the TEIL and area
+// change from the end of Stage 1 to the end of Stage 2 (paper averages:
+// 4.4% and 4.1% reductions — i.e., small).
+func BenchmarkTable3EstimatorAccuracy(b *testing.B) {
+	cfg := benchCfg()
+	var teil, area float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exper.Table3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		teil, area = 0, 0
+		for _, r := range rows {
+			teil += r.TEILRedPct / float64(len(rows))
+			area += r.AreaRedPct / float64(len(rows))
+		}
+	}
+	b.ReportMetric(teil, "TEILred%")
+	b.ReportMetric(area, "areared%")
+}
+
+// BenchmarkTable4VsBaselines reproduces Table 4: TEIL and chip-area
+// reduction versus the mapped baseline method per circuit (paper averages:
+// 24.9% and 26.9%).
+func BenchmarkTable4VsBaselines(b *testing.B) {
+	cfg := benchCfg()
+	var teil, area float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exper.Table4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		teil, area = 0, 0
+		for _, r := range rows {
+			teil += r.TEILRedPct / float64(len(rows))
+			area += r.AreaRedPct / float64(len(rows))
+		}
+	}
+	b.ReportMetric(teil, "TEILred%")
+	b.ReportMetric(area, "areared%")
+}
+
+// BenchmarkFig3RatioSweep reproduces Figure 3: normalized final TEIL versus
+// the displacement:interchange ratio r; the optimum is flat over r ∈ [7,15].
+func BenchmarkFig3RatioSweep(b *testing.B) {
+	cfg := benchCfg()
+	var flat float64
+	for i := 0; i < b.N; i++ {
+		pts, err := exper.Figure3(cfg, []float64{1, 7, 10, 15, 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Spread of the normalized TEIL inside the paper's flat region.
+		lo, hi := 1e18, 0.0
+		for _, p := range pts {
+			if p.Param >= 7 && p.Param <= 15 {
+				if p.Normalized < lo {
+					lo = p.Normalized
+				}
+				if p.Normalized > hi {
+					hi = p.Normalized
+				}
+			}
+		}
+		flat = (hi - lo) * 100
+	}
+	b.ReportMetric(flat, "flatspread%")
+}
+
+// BenchmarkFig4RangeLimiter reproduces Figure 4: the window span shrinking
+// by ρ per decade of T.
+func BenchmarkFig4RangeLimiter(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		rows := exper.Figure4(4)
+		frac = rows[1].WxFrac // one decade below T_inf
+	}
+	b.ReportMetric(frac, "span@T/10")
+}
+
+// BenchmarkFig5InnerLoopTEIL reproduces Figure 5: final TEIL versus A_c;
+// small A_c costs quality (paper: ~13% at A_c=25 versus A_c=400).
+func BenchmarkFig5InnerLoopTEIL(b *testing.B) {
+	cfg := benchCfg()
+	var penalty float64
+	for i := 0; i < b.N; i++ {
+		pts, err := exper.Figure5(cfg, []int{25, 100, 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		penalty = (pts[0].Normalized - 1) * 100
+	}
+	b.ReportMetric(penalty, "Ac25penalty%")
+}
+
+// BenchmarkFig6InnerLoopArea reproduces Figure 6: relative final chip area
+// versus A_c after global routing and refinement.
+func BenchmarkFig6InnerLoopArea(b *testing.B) {
+	cfg := benchCfg()
+	var penalty float64
+	for i := 0; i < b.N; i++ {
+		pts, err := exper.Figure6(cfg, []int{25, 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		penalty = (pts[0].Normalized - 1) * 100
+	}
+	b.ReportMetric(penalty, "Ac25penalty%")
+}
+
+// BenchmarkFig10GlobalRouter reproduces the Figures 10–12 walkthrough: the
+// five-pin net with equivalent pins on the 24-node graph; the best of the M
+// alternatives should be the minimal Steiner route (length 9 here).
+func BenchmarkFig10GlobalRouter(b *testing.B) {
+	const w, h = 6, 4
+	id := func(x, y int) int { return y*w + x }
+	var edges []route.Edge
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				edges = append(edges, route.Edge{U: id(x, y), V: id(x+1, y), Length: 1, Capacity: 10})
+			}
+			if y+1 < h {
+				edges = append(edges, route.Edge{U: id(x, y), V: id(x, y+1), Length: 1, Capacity: 10})
+			}
+		}
+	}
+	g, err := route.NewGraph(w*h, edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := route.Net{Name: "fig10", Conns: [][]int{
+		{id(0, 0)}, {id(0, 3)}, {id(3, 0), id(3, 3)}, {id(5, 1)},
+	}}
+	var best int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trees := g.RouteNet(net, 20)
+		best = trees[0].Length
+	}
+	b.ReportMetric(float64(best), "steinerlen")
+}
+
+// BenchmarkAblationEta reproduces the §3.1.2 η study: performance is flat
+// for η ∈ [0.25, 1.0].
+func BenchmarkAblationEta(b *testing.B) {
+	cfg := benchCfg()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		pts, err := exper.AblationEta(cfg, []float64{0.25, 0.5, 1.0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi := 1e18, 0.0
+		for _, p := range pts {
+			if p.Normalized < lo {
+				lo = p.Normalized
+			}
+			if p.Normalized > hi {
+				hi = p.Normalized
+			}
+		}
+		spread = (hi - lo) * 100
+	}
+	b.ReportMetric(spread, "flatspread%")
+}
+
+// BenchmarkAblationRho reproduces the §3.2.2 ρ study: residual overlap
+// falls as ρ grows from 1 to 4 at near-equal TEIL.
+func BenchmarkAblationRho(b *testing.B) {
+	cfg := benchCfg()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		pts, err := exper.AblationRho(cfg, []float64{1, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pts[1].Extra > 0 {
+			ratio = pts[0].Extra / pts[1].Extra
+		}
+	}
+	b.ReportMetric(ratio, "overlap(rho1/rho4)")
+}
+
+// BenchmarkAblationDsVsDr reproduces the §3.2.3 comparison: D_s yields
+// lower residual overlap than D_r (paper: ~22%).
+func BenchmarkAblationDsVsDr(b *testing.B) {
+	cfg := benchCfg()
+	var redPct float64
+	for i := 0; i < b.N; i++ {
+		r, err := exper.AblationDsDr(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.OverlapDr > 0 {
+			redPct = (r.OverlapDr - r.OverlapDs) / r.OverlapDr * 100
+		}
+	}
+	b.ReportMetric(redPct, "overlapred%")
+}
+
+// BenchmarkRefinementConvergence reproduces the §4.3 claim that three
+// refinement executions converge TEIL and chip area.
+func BenchmarkRefinementConvergence(b *testing.B) {
+	cfg := benchCfg()
+	var drift float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exper.RefineConvergence(cfg, "i3")
+		if err != nil {
+			b.Fatal(err)
+		}
+		a2 := float64(rows[1].ChipArea)
+		a3 := float64(rows[2].ChipArea)
+		drift = (a3 - a2) / a2 * 100
+		if drift < 0 {
+			drift = -drift
+		}
+	}
+	b.ReportMetric(drift, "areadrift%")
+}
+
+// BenchmarkEqn22DetailedRouting validates the channel-width model beyond
+// the paper: a detailed channel router (left-edge with doglegs) routes every
+// channel of a placed chip; Eqn 22 presumes t ≤ d+1 holds routinely.
+func BenchmarkEqn22DetailedRouting(b *testing.B) {
+	cfg := benchCfg()
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		r, err := exper.Eqn22(cfg, "i3")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Routed > 0 {
+			frac = float64(r.WithinD1) / float64(r.Routed) * 100
+		}
+	}
+	b.ReportMetric(frac, "withinD1%")
+}
+
+// ------------------------------------------------------------------------
+// Micro-benchmarks of the hot paths.
+
+// BenchmarkStage1Move measures one generate-function move on a mid-size
+// circuit (the Stage 1 inner-loop unit of work).
+func BenchmarkStage1Move(b *testing.B) {
+	c, err := gen.Preset("i1", 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Amortize: one full Stage 1 run per b.N batch, metric = attempts/op.
+	b.ResetTimer()
+	var attempts int64
+	for i := 0; i < b.N; i++ {
+		_, res := place.RunStage1(c, place.Options{Seed: uint64(i), Ac: 10})
+		attempts += res.Attempts
+	}
+	b.StopTimer()
+	if attempts > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(attempts), "ns/attempt")
+	}
+}
+
+// BenchmarkScaling measures Stage 1 cost growth with circuit size, beyond
+// the paper's largest 62-cell case. The paper reports run time directly
+// proportional to A_c (§3.3); this shows the growth with N_c as well.
+func BenchmarkScaling(b *testing.B) {
+	for _, n := range []int{25, 50, 100} {
+		b.Run(fmt.Sprintf("cells=%d", n), func(b *testing.B) {
+			c, err := gen.Scalability(n, 17)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var teil float64
+			for i := 0; i < b.N; i++ {
+				_, res := place.RunStage1(c, place.Options{Seed: uint64(i + 1), Ac: 10})
+				teil = res.TEIL
+			}
+			b.ReportMetric(teil, "TEIL")
+		})
+	}
+}
+
+// BenchmarkFullFlowI3 measures the complete TimberWolfMC flow on the
+// smallest preset (the paper quotes 15 minutes on a MicroVAX II for its
+// smallest circuits).
+func BenchmarkFullFlowI3(b *testing.B) {
+	c, err := gen.Preset("i3", 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var teil float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Place(c, core.Options{Seed: uint64(i + 1), Ac: 20, M: 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		teil = res.TEIL
+	}
+	b.ReportMetric(teil, "TEIL")
+}

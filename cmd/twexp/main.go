@@ -1,0 +1,168 @@
+// Command twexp regenerates the paper's tables and figures (see DESIGN.md
+// §3 for the experiment index).
+//
+// Usage:
+//
+//	twexp -exp table3                 # quick settings
+//	twexp -exp table4 -full           # paper-faithful settings (slow)
+//	twexp -exp fig3 -trials 3
+//	twexp -exp all
+//
+// Experiments: table3, table4, fig3, fig4, fig5, fig6, eta, rho, ds,
+// refine, eqn22, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exper"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (table3,table4,fig3,fig4,fig5,fig6,eta,rho,ds,refine,eqn22,all)")
+		full     = flag.Bool("full", false, "paper-faithful settings (Ac=400, M=20; hours of CPU)")
+		seed     = flag.Uint64("seed", 1988, "base seed")
+		trials   = flag.Int("trials", 0, "trials per data point (0 = config default)")
+		ac       = flag.Int("ac", 0, "inner-loop criterion override")
+		m        = flag.Int("m", 0, "router alternatives override")
+		circuits = flag.String("circuits", "", "comma-separated preset subset")
+	)
+	flag.Parse()
+
+	cfg := exper.Quick()
+	if *full {
+		cfg = exper.Full()
+	}
+	cfg.Seed = *seed
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *ac > 0 {
+		cfg.Ac = *ac
+	}
+	if *m > 0 {
+		cfg.M = *m
+	}
+	if *circuits != "" {
+		cfg.Circuits = strings.Split(*circuits, ",")
+	}
+
+	run := func(id string) error {
+		switch id {
+		case "table3":
+			fmt.Println("== Table 3: dynamic interconnect-area estimator accuracy ==")
+			rows, err := exper.Table3(cfg)
+			if err != nil {
+				return err
+			}
+			exper.WriteTable3(os.Stdout, rows)
+		case "table4":
+			fmt.Println("== Table 4: TimberWolfMC vs. baseline placement methods ==")
+			rows, err := exper.Table4(cfg)
+			if err != nil {
+				return err
+			}
+			exper.WriteTable4(os.Stdout, rows)
+		case "fig3":
+			fmt.Println("== Figure 3: normalized final TEIL vs. ratio r ==")
+			pts, err := exper.Figure3(cfg, nil)
+			if err != nil {
+				return err
+			}
+			exper.WriteSweep(os.Stdout, "r", "avg TEIL", pts)
+		case "fig4":
+			fmt.Println("== Figure 4: range-limiter window vs. T (rho=4) ==")
+			for _, r := range exper.Figure4(4) {
+				fmt.Printf("T=%8.0f  window span = %.4f of full\n", r.T, r.WxFrac)
+			}
+		case "fig5":
+			fmt.Println("== Figure 5: normalized final TEIL vs. Ac ==")
+			pts, err := exper.Figure5(cfg, nil)
+			if err != nil {
+				return err
+			}
+			exper.WriteSweep(os.Stdout, "Ac", "avg TEIL", pts)
+		case "fig6":
+			fmt.Println("== Figure 6: relative final chip area vs. Ac ==")
+			pts, err := exper.Figure6(cfg, nil)
+			if err != nil {
+				return err
+			}
+			exper.WriteSweep(os.Stdout, "Ac", "avg area", pts)
+		case "eta":
+			fmt.Println("== Ablation: eta sweep (Eqn 9; flat in [0.25,1.0]) ==")
+			pts, err := exper.AblationEta(cfg, nil)
+			if err != nil {
+				return err
+			}
+			for _, p := range pts {
+				fmt.Printf("eta=%-5g TEIL=%8.0f (norm %.3f)  residual overlap=%8.0f\n",
+					p.Param, p.Value, p.Normalized, p.Extra)
+			}
+		case "rho":
+			fmt.Println("== Ablation: rho sweep (TEIL flat in [1,4]; overlap falls) ==")
+			pts, err := exper.AblationRho(cfg, nil)
+			if err != nil {
+				return err
+			}
+			for _, p := range pts {
+				fmt.Printf("rho=%-3g TEIL=%8.0f (norm %.3f)  residual overlap=%8.0f\n",
+					p.Param, p.Value, p.Normalized, p.Extra)
+			}
+		case "ds":
+			fmt.Println("== Ablation: D_s vs D_r (paper: ~22% lower residual overlap with D_s) ==")
+			r, err := exper.AblationDsDr(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("D_s: TEIL=%8.0f overlap=%8.0f\n", r.TEILDs, r.OverlapDs)
+			fmt.Printf("D_r: TEIL=%8.0f overlap=%8.0f\n", r.TEILDr, r.OverlapDr)
+			if r.OverlapDr > 0 {
+				fmt.Printf("overlap reduction with D_s: %.0f%%\n",
+					(r.OverlapDr-r.OverlapDs)/r.OverlapDr*100)
+			}
+		case "eqn22":
+			fmt.Println("== Eqn 22 validation: detailed routing of every channel (t <= d+1) ==")
+			for _, name := range cfg.Circuits[:min(3, len(cfg.Circuits))] {
+				r, err := exper.Eqn22(cfg, name)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%s: %d/%d channels routed within d+1 (avg t=%.2f, avg d=%.2f)\n",
+					r.Circuit, r.WithinD1, r.Routed, r.AvgT, r.AvgD)
+			}
+		case "refine":
+			fmt.Println("== Stage 2 convergence (3 refinement executions, §4.3) ==")
+			for _, name := range cfg.Circuits[:min(3, len(cfg.Circuits))] {
+				rows, err := exper.RefineConvergence(cfg, name)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("circuit %s:\n", name)
+				for _, r := range rows {
+					fmt.Printf("  iter %d: TEIL=%8.0f area=%10d excess=%d\n",
+						r.Iteration, r.TEIL, r.ChipArea, r.Excess)
+				}
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"table3", "table4", "fig3", "fig4", "fig5", "fig6", "eta", "rho", "ds", "refine", "eqn22"}
+	}
+	for _, id := range ids {
+		if err := run(id); err != nil {
+			fmt.Fprintln(os.Stderr, "twexp:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Command twgen synthesizes macro/custom-cell circuits in the twmc netlist
+// format, either from the nine built-in presets matching the paper's
+// industrial circuits or from explicit shape parameters.
+//
+// Usage:
+//
+//	twgen -preset i2 > i2.twc
+//	twgen -cells 40 -nets 160 -pins 640 -dimx 800 -dimy 800 > c40.twc
+//	twgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+func main() {
+	var (
+		preset = flag.String("preset", "", "preset circuit name")
+		list   = flag.Bool("list", false, "list preset circuits and exit")
+		seed   = flag.Uint64("seed", 17, "synthesis seed")
+		cells  = flag.Int("cells", 0, "number of cells")
+		nets   = flag.Int("nets", 0, "number of nets")
+		pins   = flag.Int("pins", 0, "number of pins")
+		dimx   = flag.Int("dimx", 500, "chip-area scale, x")
+		dimy   = flag.Int("dimy", 500, "chip-area scale, y")
+		custom = flag.Float64("custom", 0.2, "fraction of custom cells")
+		rect   = flag.Float64("rect", 0.2, "fraction of rectilinear macros")
+		equiv  = flag.Float64("equiv", 0.03, "fraction of connections with an equivalent pin")
+		name   = flag.String("name", "synthetic", "circuit name")
+		ts     = flag.Int("tracksep", 2, "track separation")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range gen.PresetNames() {
+			s, _ := gen.PresetSpec(n)
+			fmt.Printf("%-4s %3d cells %4d nets %5d pins  ~%d x %d\n",
+				s.Name, s.Cells, s.Nets, s.Pins, s.DimX, s.DimY)
+		}
+		return
+	}
+
+	var c *netlist.Circuit
+	var err error
+	if *preset != "" {
+		c, err = gen.Preset(*preset, *seed)
+	} else {
+		if *cells == 0 || *nets == 0 || *pins == 0 {
+			fmt.Fprintln(os.Stderr, "twgen: need -preset or all of -cells/-nets/-pins")
+			os.Exit(2)
+		}
+		c, err = gen.Generate(gen.Spec{
+			Name: *name, Cells: *cells, Nets: *nets, Pins: *pins,
+			DimX: *dimx, DimY: *dimy,
+			CustomFrac: *custom, RectFrac: *rect, EquivFrac: *equiv,
+			TrackSep: *ts,
+		}, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twgen:", err)
+		os.Exit(1)
+	}
+	if err := netlist.Write(os.Stdout, c); err != nil {
+		fmt.Fprintln(os.Stderr, "twgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,190 @@
+// Command twmc places and globally routes a macro/custom-cell circuit with
+// the TimberWolfMC flow: Stage 1 simulated-annealing placement with dynamic
+// interconnect-area estimation, then three executions of channel definition,
+// global routing, and placement refinement.
+//
+// Usage:
+//
+//	twmc [flags] netlist.twc     # or a .yal MCNC benchmark
+//	twmc -preset i3            # place a built-in synthetic circuit
+//
+// The input format is documented in internal/netlist (see also cmd/twgen,
+// which writes it).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/drc"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		seed    = flag.Uint64("seed", 1, "random seed (equal seeds reproduce runs)")
+		ac      = flag.Int("ac", 0, "attempts per cell per temperature (0 = paper default 400)")
+		r       = flag.Float64("r", 0, "displacement:interchange ratio (0 = default 10)")
+		rho     = flag.Float64("rho", 0, "range-limiter shrink rate (0 = default 4)")
+		eta     = flag.Float64("eta", 0, "overlap normalization target (0 = default 0.5)")
+		m       = flag.Int("m", 0, "alternative routes per net (0 = default 20)")
+		aspect  = flag.Float64("aspect", 1, "target core height/width ratio")
+		iters   = flag.Int("refine", 0, "refinement executions (0 = default 3)")
+		preset  = flag.String("preset", "", "place a built-in synthetic circuit (i1,p1,x1,i2,i3,l1,d2,d1,d3)")
+		genSeed = flag.Uint64("preset-seed", 17, "seed for -preset circuit synthesis")
+		stage1  = flag.Bool("stage1-only", false, "stop after Stage 1")
+		verbose = flag.Bool("v", false, "print per-iteration detail")
+		svgPath = flag.String("svg", "", "write an SVG rendering of the result to this file")
+		outPath = flag.String("out", "", "write the final placement to this file (reloadable)")
+		report  = flag.Bool("report", false, "print a post-run quality report")
+		runDRC  = flag.Bool("drc", false, "run design-rule checks on the result")
+		load    = flag.String("load", "", "load a saved placement (-out file) and run Stage 2 only")
+	)
+	flag.Parse()
+
+	var c *netlist.Circuit
+	var err error
+	switch {
+	case *preset != "":
+		c, err = gen.Preset(*preset, *genSeed)
+	case flag.NArg() == 1:
+		f, ferr := os.Open(flag.Arg(0))
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if strings.HasSuffix(flag.Arg(0), ".yal") {
+			c, err = netlist.ParseYAL(f)
+		} else {
+			c, err = netlist.Parse(f)
+		}
+		f.Close()
+	default:
+		fmt.Fprintln(os.Stderr, "usage: twmc [flags] netlist.twc | twmc -preset NAME")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("circuit %s: %d cells, %d nets, %d pins\n",
+		c.Name, len(c.Cells), len(c.Nets), c.NumPins())
+
+	opts := core.Options{
+		Seed:       *seed,
+		Ac:         *ac,
+		R:          *r,
+		Rho:        *rho,
+		Eta:        *eta,
+		M:          *m,
+		CoreAspect: *aspect,
+		Iterations: *iters,
+		SkipStage2: *stage1,
+	}
+	var res *core.Result
+	if *load != "" {
+		f, ferr := os.Open(*load)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		res, err = core.Resume(c, f, opts)
+		f.Close()
+	} else {
+		res, err = core.Place(c, opts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("stage 1: TEIL %.0f, chip area %d, residual overlap %d, %d temperature steps\n",
+		res.Stage1TEIL, res.Stage1Area, res.Stage1.Overlap, res.Stage1.Steps)
+	if res.Stage2 != nil {
+		for i, it := range res.Stage2.Iterations {
+			if *verbose {
+				fmt.Printf("refine %d: %d regions, %d graph edges, route length %d (excess %d), TEIL %.0f, area %d\n",
+					i+1, it.Regions, it.GraphEdges, it.RouteLength, it.Excess, it.TEIL, it.ChipArea)
+			}
+		}
+		fmt.Printf("final: TEIL %.0f (%+.1f%% vs stage 1), chip %d x %d (area %+.1f%% vs stage 1)\n",
+			res.TEIL, res.TEILChangePct(), res.Chip.W(), res.Chip.H(), res.AreaChangePct())
+		fmt.Printf("routing: total length %d, excess tracks %d\n",
+			res.Stage2.Routing.Length, res.Stage2.Routing.Excess)
+	} else {
+		fmt.Printf("final (stage 1 only): TEIL %.0f, chip %d x %d\n",
+			res.TEIL, res.Chip.W(), res.Chip.H())
+	}
+	for i := range c.Cells {
+		st := res.Placement.State(i)
+		if *verbose {
+			fmt.Printf("  cell %-8s at (%d,%d) %s instance %d\n",
+				c.Cells[i].Name, st.Pos.X, st.Pos.Y, st.Orient, st.Instance)
+		}
+	}
+
+	if *runDRC {
+		var g *channel.Graph
+		var routing *route.Result
+		if res.Stage2 != nil {
+			g, routing = res.Stage2.Graph, res.Stage2.Routing
+		}
+		dr := drc.Check(res.Placement, g, routing)
+		fmt.Printf("drc: %d errors, %d warnings\n", dr.Errors(), dr.Warnings())
+		for _, v := range dr.Violations {
+			fmt.Println(" ", v)
+		}
+	}
+
+	if *report {
+		fmt.Println()
+		if err := res.WriteReport(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := place.WritePlacement(f, res.Placement); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			fatal(err)
+		}
+		opt := viz.Options{ShowExpanded: true, ShowChannels: true, ShowRoutes: true, ShowPins: true}
+		var g *channel.Graph
+		var routing *route.Result
+		if res.Stage2 != nil {
+			g, routing = res.Stage2.Graph, res.Stage2.Routing
+		}
+		if err := viz.WriteSVG(f, res.Placement, g, routing, opt); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "twmc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of Carl Sechen's
+// TimberWolfMC system (DAC 1988): chip planning, placement, and global
+// routing of macro/custom cell integrated circuits using simulated
+// annealing.
+//
+// The library lives under internal/ (see DESIGN.md for the system
+// inventory); cmd/twmc, cmd/twgen, and cmd/twexp are the executables, and
+// bench_test.go in this directory regenerates every table and figure of the
+// paper's evaluation at calibrated size.
+package repro

@@ -1,0 +1,81 @@
+// Quickstart: build a small macro-cell circuit with the netlist builder,
+// run the full TimberWolfMC flow (Stage 1 annealing + Stage 2 channel
+// definition / global routing / refinement), and print the placement.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+func main() {
+	// Six macro cells: an ALU, two register files, a decoder, and two
+	// I/O blocks, with a handful of buses between them.
+	b := netlist.NewBuilder("quickstart", 2)
+
+	type cell struct {
+		name string
+		w, h int
+	}
+	cells := []cell{
+		{"alu", 60, 40},
+		{"regA", 40, 30},
+		{"regB", 40, 30},
+		{"dec", 30, 20},
+		{"ioN", 50, 14},
+		{"ioS", 50, 14},
+	}
+	for _, c := range cells {
+		b.BeginMacro(c.name)
+		b.MacroInstance("std", geom.R(0, 0, c.w, c.h))
+		// Four pins at the side midpoints.
+		b.FixedPin("l", geom.Point{X: -c.w / 2})
+		b.FixedPin("r", geom.Point{X: c.w - c.w/2})
+		b.FixedPin("b", geom.Point{Y: -c.h / 2})
+		b.FixedPin("t", geom.Point{Y: c.h - c.h/2})
+	}
+	net := func(name string, refs ...[2]string) {
+		n := b.Net(name, 1, 1)
+		for _, r := range refs {
+			b.ConnByName(n, r)
+		}
+	}
+	net("busA", [2]string{"alu", "l"}, [2]string{"regA", "r"})
+	net("busB", [2]string{"alu", "r"}, [2]string{"regB", "l"})
+	net("ctl", [2]string{"dec", "t"}, [2]string{"alu", "b"}, [2]string{"regA", "b"}, [2]string{"regB", "b"})
+	net("inN", [2]string{"ioN", "b"}, [2]string{"regA", "t"})
+	net("outS", [2]string{"ioS", "t"}, [2]string{"regB", "b"})
+	net("loop", [2]string{"ioN", "l"}, [2]string{"dec", "l"}, [2]string{"ioS", "l"})
+
+	c, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := core.Place(c, core.Options{Seed: 42, Ac: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("placed %q: TEIL %.0f, chip %d x %d\n",
+		c.Name, res.TEIL, res.Chip.W(), res.Chip.H())
+	fmt.Printf("stage 1 -> stage 2: TEIL %+.1f%%, area %+.1f%% (small change = accurate estimator)\n",
+		res.TEILChangePct(), res.AreaChangePct())
+	fmt.Printf("global routing: %d channel regions, total length %d, excess tracks %d\n\n",
+		len(res.Stage2.Graph.Regions), res.Stage2.Routing.Length, res.Stage2.Routing.Excess)
+
+	for i := range c.Cells {
+		st := res.Placement.State(i)
+		bb := res.Placement.RawTiles(i).Bounds()
+		fmt.Printf("  %-5s at (%4d,%4d) %-6s bbox %v\n",
+			c.Cells[i].Name, st.Pos.X, st.Pos.Y, st.Orient, bb)
+	}
+}

@@ -1,0 +1,106 @@
+// Standalone global routing in the style of the paper's §4.2 walkthrough
+// (Figures 10–12): a five-pin net with an electrically-equivalent pin pair
+// on a 24-node channel graph, followed by a congestion scenario that
+// exercises phase two's random interchange.
+//
+// The global router is independent of layout style: its only inputs are a
+// net list and a channel graph.
+//
+// Run with:
+//
+//	go run ./examples/router
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/route"
+)
+
+func main() {
+	// A 6x4 grid channel graph (24 nodes), unit lengths, capacity 2.
+	const w, h = 6, 4
+	id := func(x, y int) int { return y*w + x }
+	var edges []route.Edge
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				edges = append(edges, route.Edge{U: id(x, y), V: id(x+1, y), Length: 1, Capacity: 2})
+			}
+			if y+1 < h {
+				edges = append(edges, route.Edge{U: id(x, y), V: id(x, y+1), Length: 1, Capacity: 2})
+			}
+		}
+	}
+	g, err := route.NewGraph(w*h, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Figure 10 five-pin net: P2 (start), P1, the equivalent pair
+	// P3A/P3B, and P4.
+	fig10 := route.Net{
+		Name: "fig10",
+		Conns: [][]int{
+			{id(0, 0)},           // P2
+			{id(0, 3)},           // P1
+			{id(3, 0), id(3, 3)}, // P3A | P3B (electrically equivalent)
+			{id(5, 1)},           // P4
+		},
+	}
+	trees := g.RouteNet(fig10, 10)
+	fmt.Printf("phase one stored %d alternative routes for %s:\n", len(trees), fig10.Name)
+	for i, t := range trees {
+		usesA, usesB := hasNode(t, id(3, 0)), hasNode(t, id(3, 3))
+		fmt.Printf("  route %2d: length %2d, edges %2d, via %s\n",
+			i+1, t.Length, len(t.Edges), pick(usesA, usesB))
+	}
+
+	// Phase two: three nets compete for the capacity-2 bottom row.
+	nets := []route.Net{
+		fig10,
+		{Name: "a", Conns: [][]int{{id(0, 0)}, {id(5, 0)}}},
+		{Name: "b", Conns: [][]int{{id(0, 0)}, {id(5, 0)}}},
+		{Name: "c", Conns: [][]int{{id(0, 1)}, {id(5, 1)}}},
+	}
+	res, err := route.Route(g, nets, route.Options{M: 10, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nphase two: total length %d, excess tracks %d, %d interchange attempts\n",
+		res.Length, res.Excess, res.Attempts)
+	for i, n := range nets {
+		t := res.Chosen(i)
+		fmt.Printf("  net %-6s -> alternative %d (length %d)\n", n.Name, res.Choice[i]+1, t.Length)
+	}
+	over := 0
+	for ei, d := range res.EdgeDensity {
+		if d > g.Edges[ei].Capacity {
+			over++
+		}
+	}
+	fmt.Printf("edges over capacity: %d\n", over)
+}
+
+func hasNode(t route.Tree, u int) bool {
+	for _, n := range t.Nodes {
+		if n == u {
+			return true
+		}
+	}
+	return false
+}
+
+func pick(a, b bool) string {
+	switch {
+	case a && b:
+		return "P3A and P3B"
+	case a:
+		return "P3A (near equivalent)"
+	case b:
+		return "P3B (far equivalent)"
+	default:
+		return "neither (invalid)"
+	}
+}

@@ -1,0 +1,381 @@
+package anneal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestStage1ScheduleTable1(t *testing.T) {
+	s := Stage1Schedule()
+	st := 1.0
+	cases := []struct {
+		t    float64
+		want float64
+	}{
+		{1e5, 0.85},   // >= 7000·S_T
+		{7000, 0.85},  // boundary
+		{6999, 0.92},  // < 7000
+		{200, 0.92},   // boundary
+		{199.9, 0.85}, // < 200
+		{10, 0.85},
+		{9.9, 0.80},
+		{0.01, 0.80},
+	}
+	for _, c := range cases {
+		if got := s.Alpha(c.t, st); got != c.want {
+			t.Errorf("Alpha(%v) = %v want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestScheduleScalesWithST(t *testing.T) {
+	s := Stage1Schedule()
+	// With S_T = 10 the 7000 break moves to 70000.
+	if got := s.Alpha(69999, 10); got != 0.92 {
+		t.Fatalf("Alpha(69999, ST=10) = %v want 0.92", got)
+	}
+	if got := s.Alpha(70001, 10); got != 0.85 {
+		t.Fatalf("Alpha(70001, ST=10) = %v want 0.85", got)
+	}
+}
+
+func TestStage2ScheduleTable2(t *testing.T) {
+	s := Stage2Schedule()
+	if got := s.Alpha(11, 1); got != 0.82 {
+		t.Fatalf("Alpha(11) = %v want 0.82", got)
+	}
+	if got := s.Alpha(9, 1); got != 0.70 {
+		t.Fatalf("Alpha(9) = %v want 0.70", got)
+	}
+}
+
+func TestApproximately120TemperatureSteps(t *testing.T) {
+	// §3.3: "approximately 120 temperature values were to be considered in
+	// a typical execution." Count the steps of a default Stage 1 run.
+	cfg := Config{
+		ST:              1,
+		Schedule:        Stage1Schedule(),
+		Ac:              1,
+		NumCells:        1,
+		WxInf:           4000,
+		WyInf:           4000,
+		Rho:             4,
+		StopOnMinWindow: true,
+	}
+	ctl := NewController(cfg, rng.New(1))
+	steps := 0
+	for ctl.Next() {
+		steps++
+		ctl.EndStep(0)
+		if steps > 1000 {
+			t.Fatal("controller did not terminate")
+		}
+	}
+	// The exact count depends on the window/core scale; the paper's
+	// "approximately 120" corresponds to this same order of magnitude.
+	if steps < 70 || steps > 160 {
+		t.Fatalf("run used %d temperature steps, want ~86-120", steps)
+	}
+}
+
+func TestScaleFactorAndStartTemp(t *testing.T) {
+	if got := ScaleFactor(1e4); got != 1 {
+		t.Fatalf("ScaleFactor(1e4) = %v want 1", got)
+	}
+	if got := StartTemp(ScaleFactor(1e4)); got != 1e5 {
+		t.Fatalf("StartTemp = %v want 1e5", got)
+	}
+	// A circuit with 10x the average cell area anneals 10x hotter.
+	if got := StartTemp(ScaleFactor(1e5)); got != 1e6 {
+		t.Fatalf("StartTemp(big) = %v want 1e6", got)
+	}
+	if got := ScaleFactor(0); got != 1 {
+		t.Fatalf("ScaleFactor(0) = %v want fallback 1", got)
+	}
+}
+
+func TestStage2StartTemp(t *testing.T) {
+	// Eqn 28 with μ=0.03, ρ=4, T_∞=1e5: T′ = 0.03^(log_4 10)·1e5 ≈ 295.
+	got := Stage2StartTemp(0.03, 1e5, 4)
+	want := math.Pow(0.03, math.Log(10)/math.Log(4)) * 1e5
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Stage2StartTemp = %v want %v", got, want)
+	}
+	if got < 200 || got > 400 {
+		t.Fatalf("Stage2StartTemp = %v, expected a few hundred", got)
+	}
+	// The window at T′ must be the fraction μ of the full span.
+	rl := NewRangeLimiter(1000, 1000, 4, 1e5)
+	wx, _ := rl.Window(got)
+	if math.Abs(wx/1000-0.03) > 0.001 {
+		t.Fatalf("window fraction at T' = %v want 0.03", wx/1000)
+	}
+}
+
+func TestRangeLimiterLogLaw(t *testing.T) {
+	rl := NewRangeLimiter(4000, 2000, 4, 1e5)
+	// Full span at T_∞.
+	wx, wy := rl.Window(1e5)
+	if wx != 4000 || wy != 2000 {
+		t.Fatalf("window at T_inf = %v,%v", wx, wy)
+	}
+	// One decade of cooling shrinks the window by ρ.
+	wx2, wy2 := rl.Window(1e4)
+	if math.Abs(wx2-1000) > 1e-6 || math.Abs(wy2-500) > 1e-6 {
+		t.Fatalf("window at T_inf/10 = %v,%v want 1000,500", wx2, wy2)
+	}
+	// Never below the minimum span; AtMinimum triggers.
+	wx3, wy3 := rl.Window(1e-6)
+	if wx3 != MinSpan || wy3 != MinSpan {
+		t.Fatalf("window floor = %v,%v", wx3, wy3)
+	}
+	if !rl.AtMinimum(1e-6) || rl.AtMinimum(1e4) {
+		t.Fatal("AtMinimum wrong")
+	}
+	// Window never exceeds the T_∞ span even above T_∞.
+	wx4, _ := rl.Window(1e7)
+	if wx4 > 4000 {
+		t.Fatalf("window above T_inf = %v", wx4)
+	}
+}
+
+func TestRangeLimiterRhoOne(t *testing.T) {
+	// ρ=1 disables shrinking (the Eqn 12 exponent degenerates).
+	rl := NewRangeLimiter(1000, 1000, 1, 1e5)
+	wx, _ := rl.Window(1)
+	if wx != 1000 {
+		t.Fatalf("rho=1 window = %v want 1000", wx)
+	}
+}
+
+func TestPickDisplacementDs(t *testing.T) {
+	r := rng.New(3)
+	const wx, wy = 600.0, 600.0
+	seen := map[[2]int]bool{}
+	for i := 0; i < 20000; i++ {
+		dx, dy := PickDisplacementDs(r, wx, wy)
+		if dx == 0 && dy == 0 {
+			t.Fatal("D_s produced the null move")
+		}
+		if math.Abs(float64(dx)) > wx/2 || math.Abs(float64(dy)) > wy/2 {
+			t.Fatalf("D_s exceeded window: %d,%d", dx, dy)
+		}
+		// Steps are multiples of W/6 = 100.
+		if dx%100 != 0 || dy%100 != 0 {
+			t.Fatalf("D_s step not quantized: %d,%d", dx, dy)
+		}
+		seen[[2]int{dx, dy}] = true
+	}
+	// Exactly 48 displacement points (7×7 grid minus origin).
+	if len(seen) != 48 {
+		t.Fatalf("D_s produced %d distinct points, want 48", len(seen))
+	}
+}
+
+func TestPickDisplacementDsMinWindow(t *testing.T) {
+	// At the minimum window span of 6 the step size becomes one grid unit.
+	r := rng.New(4)
+	for i := 0; i < 1000; i++ {
+		dx, dy := PickDisplacementDs(r, MinSpan, MinSpan)
+		if dx < -3 || dx > 3 || dy < -3 || dy > 3 {
+			t.Fatalf("min-window step out of range: %d,%d", dx, dy)
+		}
+	}
+}
+
+func TestPickDisplacementDr(t *testing.T) {
+	r := rng.New(5)
+	const w = 100.0
+	seen := map[[2]int]bool{}
+	for i := 0; i < 50000; i++ {
+		dx, dy := PickDisplacementDr(r, w, w)
+		if dx == 0 && dy == 0 {
+			t.Fatal("D_r produced the null move")
+		}
+		if dx < -50 || dx > 50 || dy < -50 || dy > 50 {
+			t.Fatalf("D_r exceeded window: %d,%d", dx, dy)
+		}
+		seen[[2]int{dx, dy}] = true
+	}
+	// D_r samples a dense set — far more than D_s's 48 points.
+	if len(seen) < 1000 {
+		t.Fatalf("D_r produced only %d distinct points", len(seen))
+	}
+}
+
+func TestAcceptMetropolis(t *testing.T) {
+	cfg := Config{ST: 1, Schedule: Stage1Schedule(), Ac: 1, NumCells: 1,
+		WxInf: 100, WyInf: 100, StopOnMinWindow: true}
+	ctl := NewController(cfg, rng.New(7))
+	if !ctl.Next() {
+		t.Fatal("controller refused to start")
+	}
+	// Improvements always accepted.
+	for i := 0; i < 100; i++ {
+		if !ctl.Accept(-1) || !ctl.Accept(0) {
+			t.Fatal("non-positive delta rejected")
+		}
+	}
+	// At T = 1e5 a delta of 1e5 is accepted ~ e^-1 of the time.
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if ctl.Accept(1e5) {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if math.Abs(p-math.Exp(-1)) > 0.02 {
+		t.Fatalf("uphill acceptance = %v want ~%v", p, math.Exp(-1))
+	}
+	if ctl.AcceptRate() <= 0 {
+		t.Fatal("AcceptRate not tracked")
+	}
+}
+
+func TestControllerStableStop(t *testing.T) {
+	cfg := Config{
+		ST: 1, TInf: 100, Schedule: Stage2Schedule(), Ac: 1, NumCells: 1,
+		WxInf: 100, WyInf: 100, StableSteps: 3, MaxSteps: 100,
+	}
+	ctl := NewController(cfg, rng.New(8))
+	steps := 0
+	for ctl.Next() {
+		steps++
+		ctl.EndStep(42) // cost never changes
+	}
+	// Start step + 3 stable repeats.
+	if steps != 4 {
+		t.Fatalf("stable stop after %d steps want 4", steps)
+	}
+}
+
+func TestControllerMaxSteps(t *testing.T) {
+	cfg := Config{
+		ST: 1, TInf: 1e5, Schedule: Stage1Schedule(), Ac: 2, NumCells: 5,
+		WxInf: 1e9, WyInf: 1e9, MaxSteps: 7,
+	}
+	ctl := NewController(cfg, rng.New(9))
+	steps := 0
+	cost := 0.0
+	for ctl.Next() {
+		steps++
+		cost -= 1
+		ctl.EndStep(cost)
+	}
+	if steps != 7 {
+		t.Fatalf("MaxSteps: ran %d steps want 7", steps)
+	}
+	if got := ctl.InnerIterations(); got != 10 {
+		t.Fatalf("InnerIterations = %d want 10", got)
+	}
+}
+
+func TestWindowMonotonicQuick(t *testing.T) {
+	// Property: the window span never grows as T falls, for any ρ.
+	f := func(rhoB uint8, t1, t2 float64) bool {
+		rho := 1 + float64(rhoB%9)
+		rl := NewRangeLimiter(5000, 3000, rho, 1e5)
+		a, b := math.Abs(t1), math.Abs(t2)
+		if a == 0 || b == 0 {
+			return true
+		}
+		if a < b {
+			a, b = b, a
+		}
+		wxa, wya := rl.Window(a)
+		wxb, wyb := rl.Window(b)
+		return wxb <= wxa && wyb <= wya
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScheduleAlphaAlwaysCoolingQuick(t *testing.T) {
+	// Property: every α(T) value lies in (0,1) for both tables at any
+	// temperature and scale.
+	f := func(tv float64, stB uint8) bool {
+		tt := math.Abs(tv)
+		st := 0.1 + float64(stB)
+		for _, s := range []Schedule{Stage1Schedule(), Stage2Schedule()} {
+			a := s.Alpha(tt, st)
+			if a <= 0 || a >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestControllerAccessors(t *testing.T) {
+	cfg := Config{ST: 1, Schedule: Stage1Schedule(), Ac: 2, NumCells: 3,
+		WxInf: 1000, WyInf: 500, MaxSteps: 5}
+	ctl := NewController(cfg, rng.New(21))
+	if !ctl.Next() {
+		t.Fatal("no first step")
+	}
+	if ctl.Step() != 1 {
+		t.Fatalf("Step = %d want 1", ctl.Step())
+	}
+	wx, wy := ctl.Window()
+	if wx != 1000 || wy != 500 {
+		t.Fatalf("Window = %v,%v", wx, wy)
+	}
+	if ctl.AtMinWindow() {
+		t.Fatal("window at minimum at T_inf")
+	}
+	// Per-step acceptance rate tracked via EndStep.
+	ctl.Accept(-1)
+	ctl.Accept(1e18)
+	ctl.EndStep(1)
+	if got := ctl.StepAcceptRate(); got != 0.5 {
+		t.Fatalf("StepAcceptRate = %v want 0.5", got)
+	}
+	// Degenerate schedule: empty breaks fall back to a sane alpha.
+	if a := (Schedule{}).Alpha(10, 1); a <= 0 || a >= 1 {
+		t.Fatalf("empty schedule alpha = %v", a)
+	}
+	// Stage2StartTemp clamps out-of-range mu.
+	if got := Stage2StartTemp(0, 1e5, 4); got != 1e5 {
+		t.Fatalf("mu=0 start temp = %v", got)
+	}
+	if got := Stage2StartTemp(2, 1e5, 4); got != 1e5 {
+		t.Fatalf("mu=2 start temp = %v", got)
+	}
+	// NewRangeLimiter clamps rho < 1.
+	rl := NewRangeLimiter(100, 100, 0.2, 1e5)
+	if rl.Rho != 1 {
+		t.Fatalf("rho clamp = %v", rl.Rho)
+	}
+	// AcceptRate with no attempts.
+	ctl2 := NewController(cfg, rng.New(22))
+	if ctl2.AcceptRate() != 0 {
+		t.Fatal("AcceptRate without attempts should be 0")
+	}
+}
+
+func TestControllerCoolsMonotonically(t *testing.T) {
+	cfg := Config{ST: 1, Schedule: Stage1Schedule(), Ac: 1, NumCells: 1,
+		WxInf: 4000, WyInf: 4000, StopOnMinWindow: true}
+	ctl := NewController(cfg, rng.New(10))
+	prev := math.Inf(1)
+	for ctl.Next() {
+		if ctl.T() >= prev {
+			t.Fatalf("temperature did not decrease: %v -> %v", prev, ctl.T())
+		}
+		prev = ctl.T()
+		ctl.EndStep(0)
+	}
+	// About six decades of temperature were covered (§3.2.2).
+	decades := math.Log10(1e5 / prev)
+	if decades < 3.5 || decades > 7.5 {
+		t.Fatalf("covered %.1f decades of T, want ~5-6", decades)
+	}
+}

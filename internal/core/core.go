@@ -1,0 +1,177 @@
+// Package core orchestrates the complete TimberWolfMC flow: Stage 1
+// simulated-annealing placement with the dynamic interconnect-area estimator
+// (§3), followed by Stage 2's three executions of channel definition, global
+// routing, and low-temperature placement refinement (§4).
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/estimate"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/refine"
+)
+
+// Options configures a full TimberWolfMC run. Zero values select the
+// paper's defaults.
+type Options struct {
+	// Seed drives every stochastic component.
+	Seed uint64
+	// Ac is the attempts-per-cell inner-loop criterion (Figures 5–6;
+	// default 400). Smaller values trade quality for speed, as in the
+	// paper's early-design-phase recommendation.
+	Ac int
+	// R is the displacement:interchange ratio (Figure 3; default 10).
+	R float64
+	// Rho is the range-limiter shrink rate (default 4).
+	Rho float64
+	// Eta is the overlap-normalization target (Eqn 9; default 0.5).
+	Eta float64
+	// CoreAspect is the target core height/width ratio (default 1).
+	CoreAspect float64
+	// M is the number of alternative routes per net (default 20).
+	M int
+	// Iterations is the number of Stage 2 refinement executions
+	// (default 3).
+	Iterations int
+	// Mu is the Stage 2 initial window fraction (default 0.03).
+	Mu float64
+	// UseDr switches displacement-point selection to D_r (ablation).
+	UseDr bool
+	// SkipStage2 stops after Stage 1 (for estimator-accuracy studies).
+	SkipStage2 bool
+	// Params configures the interconnect-area estimator.
+	Params estimate.Params
+	// MaxSteps bounds each annealing run (tests only; 0 = paper
+	// criteria).
+	MaxSteps int
+}
+
+// Result is the outcome of a full run.
+type Result struct {
+	// Placement is the final cell placement.
+	Placement *place.Placement
+	// Stage1 reports the Stage 1 metrics; Stage1TEIL and Stage1Area are
+	// the Table 3 comparison points (end of Stage 1).
+	Stage1     place.Result
+	Stage1TEIL float64
+	Stage1Area int64
+	// Stage2 reports the refinement iterations and final routing; nil
+	// when SkipStage2 is set.
+	Stage2 *refine.Result
+	// TEIL is the final total estimated interconnect length.
+	TEIL float64
+	// Chip is the final chip extent; its dimensions are the
+	// "Area (x × y)" column of Table 4.
+	Chip geom.Rect
+}
+
+// ChipArea returns the final chip area.
+func (r *Result) ChipArea() int64 { return r.Chip.Area() }
+
+// TEILChangePct returns the percentage change in TEIL from the end of
+// Stage 1 to the end of Stage 2 (negative = reduction): the Table 3 metric.
+func (r *Result) TEILChangePct() float64 {
+	if r.Stage1TEIL == 0 {
+		return 0
+	}
+	return (r.TEIL - r.Stage1TEIL) / r.Stage1TEIL * 100
+}
+
+// AreaChangePct returns the percentage change in chip area from the end of
+// Stage 1 to the end of Stage 2: the Table 3 metric.
+func (r *Result) AreaChangePct() float64 {
+	if r.Stage1Area == 0 {
+		return 0
+	}
+	return float64(r.ChipArea()-r.Stage1Area) / float64(r.Stage1Area) * 100
+}
+
+// Resume loads a placement previously saved with place.WritePlacement and
+// runs Stage 2 only (channel definition, global routing, refinement) — the
+// incremental-rework path: adjust a netlist or a saved layout, then refine
+// without repeating the full Stage 1 anneal.
+func Resume(c *netlist.Circuit, saved io.Reader, opt Options) (*Result, error) {
+	if err := netlist.Validate(c); err != nil {
+		return nil, err
+	}
+	// The saved file carries the core; start from a unit placeholder.
+	p := place.New(c, geom.R(0, 0, 1, 1), nil)
+	if err := place.ReadPlacement(saved, p); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Placement:  p,
+		Stage1TEIL: p.TEIL(),
+		Stage1Area: p.ExpandedBounds().Area(),
+		TEIL:       p.TEIL(),
+		Chip:       p.ExpandedBounds(),
+	}
+	if opt.SkipStage2 {
+		return res, nil
+	}
+	s2, err := refine.Run(p, refine.Options{
+		Seed:       opt.Seed + 0x5eed,
+		Iterations: opt.Iterations,
+		Ac:         opt.Ac,
+		Mu:         opt.Mu,
+		Rho:        opt.Rho,
+		M:          opt.M,
+		MaxSteps:   opt.MaxSteps,
+	})
+	if err != nil {
+		return res, fmt.Errorf("core: stage 2: %w", err)
+	}
+	res.Stage2 = s2
+	res.TEIL = s2.TEIL
+	res.Chip = s2.Chip
+	return res, nil
+}
+
+// Place runs the complete TimberWolfMC flow on the circuit.
+func Place(c *netlist.Circuit, opt Options) (*Result, error) {
+	if err := netlist.Validate(c); err != nil {
+		return nil, err
+	}
+	p, s1 := place.RunStage1(c, place.Options{
+		Seed:       opt.Seed,
+		Ac:         opt.Ac,
+		R:          opt.R,
+		Rho:        opt.Rho,
+		Eta:        opt.Eta,
+		UseDr:      opt.UseDr,
+		CoreAspect: opt.CoreAspect,
+		Params:     opt.Params,
+		MaxSteps:   opt.MaxSteps,
+	})
+	res := &Result{
+		Placement:  p,
+		Stage1:     s1,
+		Stage1TEIL: s1.TEIL,
+		Stage1Area: p.ExpandedBounds().Area(),
+		TEIL:       s1.TEIL,
+		Chip:       p.ExpandedBounds(),
+	}
+	if opt.SkipStage2 {
+		return res, nil
+	}
+	s2, err := refine.Run(p, refine.Options{
+		Seed:       opt.Seed + 0x5eed,
+		Iterations: opt.Iterations,
+		Ac:         opt.Ac,
+		Mu:         opt.Mu,
+		Rho:        opt.Rho,
+		M:          opt.M,
+		MaxSteps:   opt.MaxSteps,
+	})
+	if err != nil {
+		return res, fmt.Errorf("core: stage 2: %w", err)
+	}
+	res.Stage2 = s2
+	res.TEIL = s2.TEIL
+	res.Chip = s2.Chip
+	return res, nil
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/place"
+)
+
+func testCircuit(t testing.TB) *netlist.Circuit {
+	t.Helper()
+	c, err := gen.Generate(gen.Spec{
+		Name: "coret", Cells: 12, Nets: 30, Pins: 100,
+		DimX: 300, DimY: 300, CustomFrac: 0.2, RectFrac: 0.2, EquivFrac: 0.03,
+	}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPlaceFullFlow(t *testing.T) {
+	c := testCircuit(t)
+	res, err := Place(c, Options{Seed: 1, Ac: 20, M: 6})
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	if res.Placement == nil || res.Stage2 == nil {
+		t.Fatal("missing result components")
+	}
+	if res.TEIL <= 0 || res.ChipArea() <= 0 {
+		t.Fatalf("degenerate result: TEIL=%v area=%v", res.TEIL, res.ChipArea())
+	}
+	if len(res.Stage2.Iterations) != 3 {
+		t.Fatalf("got %d refinement iterations", len(res.Stage2.Iterations))
+	}
+	// Table 3 metrics are consistent with the raw numbers.
+	wantPct := (res.TEIL - res.Stage1TEIL) / res.Stage1TEIL * 100
+	if math.Abs(res.TEILChangePct()-wantPct) > 1e-9 {
+		t.Fatal("TEILChangePct inconsistent")
+	}
+	if res.Stage2.Routing == nil || len(res.Stage2.Routing.Choice) != len(c.Nets) {
+		t.Fatal("routing incomplete")
+	}
+	if err := res.Placement.Validate(); err != nil {
+		t.Fatalf("final placement: %v", err)
+	}
+}
+
+func TestPlaceSkipStage2(t *testing.T) {
+	c := testCircuit(t)
+	res, err := Place(c, Options{Seed: 2, Ac: 15, SkipStage2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stage2 != nil {
+		t.Fatal("Stage2 ran despite SkipStage2")
+	}
+	if res.TEIL != res.Stage1TEIL {
+		t.Fatal("TEIL should equal stage-1 TEIL")
+	}
+	if res.TEILChangePct() != 0 || res.AreaChangePct() != 0 {
+		t.Fatal("change metrics should be zero")
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	c := testCircuit(t)
+	a, err := Place(c, Options{Seed: 5, Ac: 12, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Place(c, Options{Seed: 5, Ac: 12, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TEIL != b.TEIL || a.ChipArea() != b.ChipArea() {
+		t.Fatalf("nondeterministic: %v/%v vs %v/%v", a.TEIL, a.ChipArea(), b.TEIL, b.ChipArea())
+	}
+}
+
+func TestPlaceRejectsInvalidCircuit(t *testing.T) {
+	c := testCircuit(t)
+	c.TrackSep = 0 // invalidate
+	if _, err := Place(c, Options{Seed: 1, Ac: 5}); err == nil {
+		t.Fatal("invalid circuit accepted")
+	}
+}
+
+func TestQualityScalesWithAc(t *testing.T) {
+	// Figure 5's premise: more attempts per cell do not hurt, and usually
+	// help. Compare a tiny-Ac run against a moderate one (averaged over
+	// seeds to damp noise).
+	c := testCircuit(t)
+	var low, high float64
+	const k = 3
+	for s := uint64(0); s < k; s++ {
+		a, err := Place(c, Options{Seed: 10 + s, Ac: 5, SkipStage2: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Place(c, Options{Seed: 10 + s, Ac: 60, SkipStage2: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		low += a.TEIL
+		high += b.TEIL
+	}
+	if high >= low*1.05 {
+		t.Fatalf("Ac=60 TEIL %.0f much worse than Ac=5 TEIL %.0f", high/k, low/k)
+	}
+}
+
+func TestResume(t *testing.T) {
+	c := testCircuit(t)
+	res, err := Place(c, Options{Seed: 4, Ac: 15, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := place.WritePlacement(&sb, res.Placement); err != nil {
+		t.Fatal(err)
+	}
+	// Resume with Stage 2 skipped: state restored exactly.
+	r2, err := Resume(c, strings.NewReader(sb.String()), Options{SkipStage2: true})
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	// The reloaded placement has zero dynamic expansion (static mode), so
+	// compare raw geometry and TEIL rather than expanded bounds.
+	if r2.Placement.TEIL() != res.Placement.TEIL() {
+		t.Fatalf("resumed TEIL %v != saved %v", r2.Placement.TEIL(), res.Placement.TEIL())
+	}
+	for i := range c.Cells {
+		if r2.Placement.State(i).Pos != res.Placement.State(i).Pos {
+			t.Fatalf("cell %d position lost on resume", i)
+		}
+	}
+	// Resume with Stage 2: runs and routes.
+	r3, err := Resume(c, strings.NewReader(sb.String()), Options{Seed: 5, Ac: 10, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Stage2 == nil || len(r3.Stage2.Routing.Choice) != len(c.Nets) {
+		t.Fatal("resume did not route")
+	}
+	// Bad file rejected.
+	if _, err := Resume(c, strings.NewReader("placement other\n"), Options{}); err == nil {
+		t.Fatal("wrong-circuit placement accepted")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	c := testCircuit(t)
+	res, err := Place(c, Options{Seed: 3, Ac: 10, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"chip", "TEIL", "global routing", "worst nets", "channel occupancy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Stage-1-only report works too.
+	res1, err := Place(c, Options{Seed: 3, Ac: 5, SkipStage2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := res1.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "stage 1 only") {
+		t.Error("stage-1-only report missing marker")
+	}
+}

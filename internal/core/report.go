@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// WriteReport prints a human-readable summary of the run: headline metrics,
+// a wirelength breakdown of the worst nets (routed length versus the
+// bounding-box lower bound), and a channel-occupancy histogram.
+func (r *Result) WriteReport(w io.Writer) error {
+	c := r.Placement.Circuit
+	fmt.Fprintf(w, "circuit %s: %d cells, %d nets, %d pins\n",
+		c.Name, len(c.Cells), len(c.Nets), c.NumPins())
+	fmt.Fprintf(w, "chip %d x %d (area %d), TEIL %.0f\n",
+		r.Chip.W(), r.Chip.H(), r.ChipArea(), r.TEIL)
+	cellArea := c.TotalCellArea()
+	if a := r.ChipArea(); a > 0 {
+		fmt.Fprintf(w, "cell area %d, utilization %.1f%%\n",
+			cellArea, float64(cellArea)/float64(a)*100)
+	}
+	fmt.Fprintf(w, "stage 1 -> 2: TEIL %+.1f%%, area %+.1f%%\n",
+		r.TEILChangePct(), r.AreaChangePct())
+	if r.Stage2 == nil {
+		_, err := fmt.Fprintln(w, "(stage 1 only; no routing)")
+		return err
+	}
+	routing := r.Stage2.Routing
+	fmt.Fprintf(w, "global routing: length %d, excess tracks %d, %d channel regions\n",
+		routing.Length, routing.Excess, len(r.Stage2.Graph.Regions))
+
+	// Worst nets by detour factor (routed length / bbox half-perimeter).
+	type netRow struct {
+		name   string
+		routed int
+		bbox   float64
+		factor float64
+	}
+	var rows []netRow
+	for ni := range c.Nets {
+		tree := routing.Chosen(ni)
+		if tree.Length == 0 {
+			continue
+		}
+		var lo, hi, loY, hiY int
+		first := true
+		for _, conn := range c.Nets[ni].Conns {
+			pt := r.Placement.PinPos(conn.Primary())
+			if first {
+				lo, hi, loY, hiY = pt.X, pt.X, pt.Y, pt.Y
+				first = false
+				continue
+			}
+			lo, hi = min(lo, pt.X), max(hi, pt.X)
+			loY, hiY = min(loY, pt.Y), max(hiY, pt.Y)
+		}
+		bbox := float64(hi - lo + hiY - loY)
+		f := 0.0
+		if bbox > 0 {
+			f = float64(tree.Length) / bbox
+		}
+		rows = append(rows, netRow{c.Nets[ni].Name, tree.Length, bbox, f})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].factor > rows[j].factor })
+	fmt.Fprintln(w, "\nworst nets by routing detour (routed / bbox half-perimeter):")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "net\trouted\tbbox\tdetour")
+	show := rows
+	if len(show) > 10 {
+		show = show[:10]
+	}
+	for _, row := range show {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.2fx\n", row.name, row.routed, row.bbox, row.factor)
+	}
+	tw.Flush()
+
+	// Channel occupancy histogram: density / capacity buckets.
+	g := r.Stage2.Graph
+	ts := c.TrackSep
+	buckets := map[string]int{}
+	order := []string{"empty", "<50%", "50-90%", "90-100%", "over"}
+	for ri := range g.Regions {
+		d := 0
+		for _, ei := range g.Adj[ri] {
+			if ei < len(routing.EdgeDensity) && routing.EdgeDensity[ei] > d {
+				d = routing.EdgeDensity[ei]
+			}
+		}
+		cap := g.Regions[ri].Capacity(ts)
+		var b string
+		switch {
+		case d == 0:
+			b = "empty"
+		case cap == 0 || d > cap:
+			b = "over"
+		case float64(d) < 0.5*float64(cap):
+			b = "<50%"
+		case float64(d) < 0.9*float64(cap):
+			b = "50-90%"
+		default:
+			b = "90-100%"
+		}
+		buckets[b]++
+	}
+	fmt.Fprintln(w, "\nchannel occupancy (density vs. capacity):")
+	for _, k := range order {
+		if buckets[k] > 0 {
+			fmt.Fprintf(w, "  %-8s %d\n", k, buckets[k])
+		}
+	}
+	return nil
+}

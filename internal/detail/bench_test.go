@@ -1,0 +1,29 @@
+package detail
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// BenchmarkRouteChannel measures detailed routing of a dense random channel.
+func BenchmarkRouteChannel(b *testing.B) {
+	src := rng.New(5)
+	p := randomProblem(src, 60, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Route(p); err != nil {
+			b.Skip("cycle instance; skip")
+		}
+	}
+}
+
+// BenchmarkDensity measures the density sweep alone.
+func BenchmarkDensity(b *testing.B) {
+	src := rng.New(6)
+	p := randomProblem(src, 120, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Density()
+	}
+}

@@ -1,0 +1,580 @@
+// Package detail implements a classic two-layer channel router in the
+// tradition the paper's Eqn 22 relies on: "channel routers are currently
+// available which routinely route a channel in a number of tracks t such
+// that t ≤ (d+1)", where d is the channel density. TimberWolfMC itself stops
+// at global routing; this router is the downstream consumer that validates
+// the w = (d+2)·t_s channel-width model on the channels the placement
+// defines.
+//
+// The algorithm is constrained left-edge with restricted doglegs
+// (Hashimoto–Stevens / Deutsch): horizontal net segments on one layer,
+// vertical pin connections on the other, a vertical constraint graph (VCG)
+// ordering nets that share a column, and dogleg splitting at internal pin
+// columns to break long chains and cycles.
+package detail
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pin is a terminal on the top or bottom edge of the channel.
+type Pin struct {
+	// X is the column position.
+	X int
+	// Net identifies the net (>= 0). Net -1 marks an unused column.
+	Net int
+	// Top is true for pins on the top edge.
+	Top bool
+}
+
+// Exit marks a net leaving the channel through its left or right end
+// (needed when embedding channels in a chip-level routing).
+type Exit struct {
+	Net  int
+	Left bool // exits through the left end; otherwise the right end
+}
+
+// Problem is one channel-routing instance.
+type Problem struct {
+	Pins  []Pin
+	Exits []Exit
+}
+
+// Segment is a routed horizontal wire: net occupies track Track over
+// [XLo, XHi] inclusive.
+type Segment struct {
+	Net      int
+	Track    int
+	XLo, XHi int
+	// SubNet distinguishes the pieces of a doglegged net.
+	SubNet int
+}
+
+// Result is a routed channel.
+type Result struct {
+	Segments []Segment
+	// Tracks is the number of tracks used (t in the paper's inequality).
+	Tracks int
+	// Density is the channel density d (the lower bound).
+	Density int
+	// Doglegs counts the nets that were split.
+	Doglegs int
+}
+
+// Density computes the channel density: the maximum number of distinct nets
+// whose horizontal spans cover a common column.
+func (p *Problem) Density() int {
+	spans := p.spans()
+	type ev struct {
+		x     int
+		delta int
+	}
+	var evs []ev
+	for _, s := range spans {
+		evs = append(evs, ev{s[0], +1}, ev{s[1] + 1, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].x != evs[j].x {
+			return evs[i].x < evs[j].x
+		}
+		return evs[i].delta < evs[j].delta // process leaves before enters
+	})
+	d, cur := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > d {
+			d = cur
+		}
+	}
+	return d
+}
+
+// spans returns each net's horizontal interval [lo,hi] including exits.
+func (p *Problem) spans() map[int][2]int {
+	lo := map[int]int{}
+	hi := map[int]int{}
+	seen := map[int]bool{}
+	xmin, xmax := 1<<30, -(1 << 30)
+	for _, pin := range p.Pins {
+		if pin.Net < 0 {
+			continue
+		}
+		if pin.X < xmin {
+			xmin = pin.X
+		}
+		if pin.X > xmax {
+			xmax = pin.X
+		}
+		if !seen[pin.Net] || pin.X < lo[pin.Net] {
+			lo[pin.Net] = pin.X
+		}
+		if !seen[pin.Net] || pin.X > hi[pin.Net] {
+			hi[pin.Net] = pin.X
+		}
+		seen[pin.Net] = true
+	}
+	for _, e := range p.Exits {
+		if !seen[e.Net] {
+			// An exit-only net spans the whole channel.
+			lo[e.Net] = xmin
+			hi[e.Net] = xmax
+			seen[e.Net] = true
+			continue
+		}
+		if e.Left && xmin < lo[e.Net] {
+			lo[e.Net] = xmin
+		}
+		if !e.Left && xmax > hi[e.Net] {
+			hi[e.Net] = xmax
+		}
+	}
+	out := make(map[int][2]int, len(lo))
+	for n := range lo {
+		out[n] = [2]int{lo[n], hi[n]}
+	}
+	return out
+}
+
+// subnet is a routable unit: a net or a dogleg piece of one.
+type subnet struct {
+	net    int
+	idx    int // dogleg piece index
+	lo, hi int
+	// topAt and botAt record the columns where this piece must reach the
+	// top or bottom edge (for vertical-constraint computation).
+	topAt, botAt map[int]bool
+}
+
+// Route routes the channel and returns the track assignment.
+func Route(p *Problem) (*Result, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	density := p.Density()
+	subs := buildSubnets(p)
+	doglegs := 0
+	netPieces := map[int]int{}
+	for _, s := range subs {
+		netPieces[s.net]++
+	}
+	for _, k := range netPieces {
+		if k > 1 {
+			doglegs++
+		}
+	}
+
+	// Vertical constraints between subnets: at a column with a top pin of
+	// subnet a and a bottom pin of subnet b (a != b), a must lie strictly
+	// above b.
+	above := map[[2]int]bool{} // (a,b): a above b
+	for i := range subs {
+		for j := range subs {
+			if i == j {
+				continue
+			}
+			for x := range subs[i].topAt {
+				if subs[j].botAt[x] {
+					above[[2]int{i, j}] = true
+				}
+			}
+		}
+	}
+
+	// Left-edge with constraint-aware track filling, top track first.
+	// Tracks are numbered 0 (top) downward.
+	order := make([]int, len(subs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := subs[order[a]], subs[order[b]]
+		if sa.lo != sb.lo {
+			return sa.lo < sb.lo
+		}
+		return sa.hi < sb.hi
+	})
+
+	track := make([]int, len(subs))
+	for i := range track {
+		track[i] = -1
+	}
+	// ancestorsUnplaced reports whether any subnet that must lie above s
+	// is still unplaced (then s cannot take the current track yet).
+	ancestorsUnplaced := func(s int) bool {
+		for i := range subs {
+			if above[[2]int{i, s}] && track[i] == -1 {
+				return true
+			}
+		}
+		return false
+	}
+	placedAll := 0
+	tracks := 0
+	for placedAll < len(subs) {
+		t := tracks
+		tracks++
+		if tracks > len(subs)+2 {
+			return nil, fmt.Errorf("detail: track assignment did not converge (VCG cycle?)")
+		}
+		// Fill track t left to right.
+		lastHi := -1 << 30
+		progressed := false
+		for _, si := range order {
+			if track[si] != -1 {
+				continue
+			}
+			s := &subs[si]
+			if s.lo <= lastHi {
+				continue
+			}
+			if ancestorsUnplaced(si) {
+				continue
+			}
+			// All "above" subnets already on earlier (higher) tracks?
+			ok := true
+			for i := range subs {
+				if above[[2]int{i, si}] && track[i] >= t {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			track[si] = t
+			lastHi = s.hi + 0 // segments may abut but not overlap
+			placedAll++
+			progressed = true
+		}
+		if !progressed {
+			// A cycle among the remaining subnets: break it by splitting
+			// the longest remaining subnet at a pin column if possible.
+			if !breakCycle(p, &subs, track, above) {
+				return nil, fmt.Errorf("detail: unbreakable vertical constraint cycle")
+			}
+			// Rebuild ordering for the enlarged subnet list.
+			order = order[:0]
+			for i := range subs {
+				order = append(order, i)
+			}
+			sort.Slice(order, func(a, b int) bool {
+				sa, sb := subs[order[a]], subs[order[b]]
+				if sa.lo != sb.lo {
+					return sa.lo < sb.lo
+				}
+				return sa.hi < sb.hi
+			})
+			// Extend the track array for new subnets.
+			for len(track) < len(subs) {
+				track = append(track, -1)
+			}
+			tracks-- // retry the same track
+		}
+	}
+
+	res := &Result{Tracks: tracks, Density: density, Doglegs: doglegs}
+	for si, s := range subs {
+		res.Segments = append(res.Segments, Segment{
+			Net:    s.net,
+			SubNet: s.idx,
+			Track:  track[si],
+			XLo:    s.lo,
+			XHi:    s.hi,
+		})
+	}
+	sort.Slice(res.Segments, func(i, j int) bool {
+		a, b := res.Segments[i], res.Segments[j]
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		return a.XLo < b.XLo
+	})
+	return res, nil
+}
+
+func validate(p *Problem) error {
+	cols := map[int][2]int{} // x -> (topNet+1, botNet+1)
+	for _, pin := range p.Pins {
+		if pin.Net < 0 {
+			continue
+		}
+		c := cols[pin.X]
+		if pin.Top {
+			if c[0] != 0 {
+				return fmt.Errorf("detail: two top pins share column %d", pin.X)
+			}
+			c[0] = pin.Net + 1
+		} else {
+			if c[1] != 0 {
+				return fmt.Errorf("detail: two bottom pins share column %d", pin.X)
+			}
+			c[1] = pin.Net + 1
+		}
+		cols[pin.X] = c
+	}
+	return nil
+}
+
+// buildSubnets splits multi-pin nets at interior pin columns (restricted
+// doglegs), producing one subnet per adjacent pin pair; two-pin nets and
+// exit spans stay whole.
+func buildSubnets(p *Problem) []subnet {
+	spans := p.spans()
+	pinCols := map[int][]Pin{}
+	for _, pin := range p.Pins {
+		if pin.Net >= 0 {
+			pinCols[pin.Net] = append(pinCols[pin.Net], pin)
+		}
+	}
+	exitsL := map[int]bool{}
+	exitsR := map[int]bool{}
+	for _, e := range p.Exits {
+		if e.Left {
+			exitsL[e.Net] = true
+		} else {
+			exitsR[e.Net] = true
+		}
+	}
+	nets := make([]int, 0, len(spans))
+	for n := range spans {
+		nets = append(nets, n)
+	}
+	sort.Ints(nets)
+
+	var subs []subnet
+	for _, n := range nets {
+		pins := pinCols[n]
+		sort.Slice(pins, func(i, j int) bool { return pins[i].X < pins[j].X })
+		span := spans[n]
+		// Break points: interior pin columns (classic restricted dogleg).
+		type point struct {
+			x        int
+			top, bot bool
+		}
+		var pts []point
+		if exitsL[n] {
+			pts = append(pts, point{x: span[0]})
+		}
+		for _, pin := range pins {
+			if len(pts) > 0 && pts[len(pts)-1].x == pin.X {
+				if pin.Top {
+					pts[len(pts)-1].top = true
+				} else {
+					pts[len(pts)-1].bot = true
+				}
+				continue
+			}
+			pts = append(pts, point{x: pin.X, top: pin.Top, bot: !pin.Top})
+		}
+		if exitsR[n] {
+			if len(pts) == 0 || pts[len(pts)-1].x != span[1] {
+				pts = append(pts, point{x: span[1]})
+			}
+		}
+		if len(pts) < 2 {
+			// Single-column net (or exit-only): a degenerate segment.
+			s := subnet{net: n, idx: 0, lo: span[0], hi: span[1],
+				topAt: map[int]bool{}, botAt: map[int]bool{}}
+			for _, pt := range pts {
+				if pt.top {
+					s.topAt[pt.x] = true
+				}
+				if pt.bot {
+					s.botAt[pt.x] = true
+				}
+			}
+			subs = append(subs, s)
+			continue
+		}
+		for k := 0; k+1 < len(pts); k++ {
+			s := subnet{
+				net: n, idx: k,
+				lo: pts[k].x, hi: pts[k+1].x,
+				topAt: map[int]bool{},
+				botAt: map[int]bool{},
+			}
+			// Each piece owns its endpoints' vertical connections; the
+			// left endpoint belongs to the first piece touching it.
+			if k == 0 {
+				if pts[k].top {
+					s.topAt[pts[k].x] = true
+				}
+				if pts[k].bot {
+					s.botAt[pts[k].x] = true
+				}
+			}
+			if pts[k+1].top {
+				s.topAt[pts[k+1].x] = true
+			}
+			if pts[k+1].bot {
+				s.botAt[pts[k+1].x] = true
+			}
+			subs = append(subs, s)
+		}
+	}
+	return subs
+}
+
+// breakCycle attempts to split one of the still-unplaced subnets at an
+// interior column to break a VCG cycle; it reports whether it changed
+// anything. With restricted doglegs already applied, remaining cycles are
+// pairs of segments each having both a top and a bottom connection; we
+// split one of them mid-span (an unrestricted dogleg).
+func breakCycle(p *Problem, subs *[]subnet, track []int, above map[[2]int]bool) bool {
+	for si := range *subs {
+		if track[si] != -1 {
+			continue
+		}
+		s := (*subs)[si]
+		if s.hi-s.lo < 2 {
+			continue
+		}
+		// Does it participate in a constraint both ways?
+		inCycle := false
+		for j := range *subs {
+			if above[[2]int{si, j}] {
+				for k := range *subs {
+					if above[[2]int{k, si}] {
+						inCycle = true
+					}
+				}
+			}
+		}
+		if !inCycle {
+			continue
+		}
+		mid := (s.lo + s.hi) / 2
+		if mid == s.lo || mid == s.hi {
+			continue
+		}
+		left := subnet{net: s.net, idx: s.idx, lo: s.lo, hi: mid,
+			topAt: map[int]bool{}, botAt: map[int]bool{}}
+		right := subnet{net: s.net, idx: s.idx + 1000, lo: mid, hi: s.hi,
+			topAt: map[int]bool{}, botAt: map[int]bool{}}
+		for x := range s.topAt {
+			if x <= mid {
+				left.topAt[x] = true
+			} else {
+				right.topAt[x] = true
+			}
+		}
+		for x := range s.botAt {
+			if x <= mid {
+				left.botAt[x] = true
+			} else {
+				right.botAt[x] = true
+			}
+		}
+		(*subs)[si] = left
+		*subs = append(*subs, right)
+		// Recompute constraints involving the changed pieces.
+		rebuildConstraints(*subs, above)
+		return true
+	}
+	return false
+}
+
+// rebuildConstraints recomputes the whole VCG (cheap at channel scale).
+func rebuildConstraints(subs []subnet, above map[[2]int]bool) {
+	for k := range above {
+		delete(above, k)
+	}
+	for i := range subs {
+		for j := range subs {
+			if i == j {
+				continue
+			}
+			for x := range subs[i].topAt {
+				if subs[j].botAt[x] {
+					above[[2]int{i, j}] = true
+				}
+			}
+		}
+	}
+}
+
+// Verify checks a routing result for the two correctness conditions: no two
+// segments of different nets overlap on a track, and vertical constraints
+// are respected at every pin column.
+func Verify(p *Problem, r *Result) error {
+	// Horizontal overlaps.
+	byTrack := map[int][]Segment{}
+	for _, s := range r.Segments {
+		byTrack[s.Track] = append(byTrack[s.Track], s)
+	}
+	for t, segs := range byTrack {
+		sort.Slice(segs, func(i, j int) bool { return segs[i].XLo < segs[j].XLo })
+		for i := 1; i < len(segs); i++ {
+			if segs[i].XLo < segs[i-1].XHi ||
+				(segs[i].XLo == segs[i-1].XHi && segs[i].Net != segs[i-1].Net) {
+				if segs[i].Net != segs[i-1].Net {
+					return fmt.Errorf("detail: track %d overlap between nets %d and %d",
+						t, segs[i-1].Net, segs[i].Net)
+				}
+			}
+		}
+	}
+	// Vertical constraints: at a column with a top pin of net a and a
+	// bottom pin of net b, a's segment touching that column must be on a
+	// smaller (higher) track than b's.
+	trackAt := func(net, x int) (int, bool) {
+		best, found := 1<<30, false
+		for _, s := range r.Segments {
+			if s.Net == net && s.XLo <= x && x <= s.XHi {
+				if s.Track < best {
+					best, found = s.Track, true
+				}
+			}
+		}
+		return best, found
+	}
+	lowTrackAt := func(net, x int) (int, bool) {
+		best, found := -1, false
+		for _, s := range r.Segments {
+			if s.Net == net && s.XLo <= x && x <= s.XHi {
+				if s.Track > best {
+					best, found = s.Track, true
+				}
+			}
+		}
+		return best, found
+	}
+	cols := map[int][2]int{}
+	for _, pin := range p.Pins {
+		if pin.Net < 0 {
+			continue
+		}
+		c := cols[pin.X]
+		if pin.Top {
+			c[0] = pin.Net + 1
+		} else {
+			c[1] = pin.Net + 1
+		}
+		cols[pin.X] = c
+	}
+	for x, c := range cols {
+		if c[0] == 0 || c[1] == 0 || c[0] == c[1] {
+			continue
+		}
+		ta, oka := trackAt(c[0]-1, x)
+		tb, okb := lowTrackAt(c[1]-1, x)
+		if !oka || !okb {
+			return fmt.Errorf("detail: pin column %d has no covering segment", x)
+		}
+		if ta >= tb {
+			return fmt.Errorf("detail: vertical conflict at column %d: net %d (track %d) not above net %d (track %d)",
+				x, c[0]-1, ta, c[1]-1, tb)
+		}
+	}
+	// Every pin covered by a segment of its net.
+	for _, pin := range p.Pins {
+		if pin.Net < 0 {
+			continue
+		}
+		if _, ok := trackAt(pin.Net, pin.X); !ok {
+			return fmt.Errorf("detail: pin (%d, net %d) not covered", pin.X, pin.Net)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package detail
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// MazeGrid is a routing grid for the irregular regions a channel router
+// cannot handle (switchboxes at channel junctions, around rectilinear cell
+// notches). Cells are either free, blocked, or occupied by a routed net;
+// Lee-style wave expansion finds shortest paths around obstacles.
+type MazeGrid struct {
+	W, H int
+	// cell holds -2 for blocked, -1 for free, or the occupying net id.
+	cell []int
+}
+
+const (
+	mazeBlocked = -2
+	mazeFree    = -1
+)
+
+// NewMazeGrid creates a free grid of the given size.
+func NewMazeGrid(w, h int) *MazeGrid {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	g := &MazeGrid{W: w, H: h, cell: make([]int, w*h)}
+	for i := range g.cell {
+		g.cell[i] = mazeFree
+	}
+	return g
+}
+
+func (g *MazeGrid) idx(p geom.Point) int { return p.Y*g.W + p.X }
+
+func (g *MazeGrid) in(p geom.Point) bool {
+	return p.X >= 0 && p.X < g.W && p.Y >= 0 && p.Y < g.H
+}
+
+// Block marks every grid point covered by r as an obstacle.
+func (g *MazeGrid) Block(r geom.Rect) {
+	for y := max(0, r.YLo); y < min(g.H, r.YHi); y++ {
+		for x := max(0, r.XLo); x < min(g.W, r.XHi); x++ {
+			g.cell[y*g.W+x] = mazeBlocked
+		}
+	}
+}
+
+// At returns the occupancy of p: the net id, or -1 (free) / -2 (blocked).
+func (g *MazeGrid) At(p geom.Point) int {
+	if !g.in(p) {
+		return mazeBlocked
+	}
+	return g.cell[g.idx(p)]
+}
+
+// mazePQ orders wavefront points by path cost (A* with Manhattan bound
+// would also work; plain Dijkstra keeps bend costs simple).
+type mazeItem struct {
+	p    geom.Point
+	cost int
+}
+type mazePQ []mazeItem
+
+func (q mazePQ) Len() int           { return len(q) }
+func (q mazePQ) Less(i, j int) bool { return q[i].cost < q[j].cost }
+func (q mazePQ) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *mazePQ) Push(x any)        { *q = append(*q, x.(mazeItem)) }
+func (q *mazePQ) Pop() any          { o := *q; n := len(o); it := o[n-1]; *q = o[:n-1]; return it }
+
+// RouteNet connects all terminals of net id through free cells (and cells
+// already owned by the same net), marking the path cells as owned. Routing
+// is sequential Lee expansion from the connected component to the nearest
+// remaining terminal. It returns the total wire cells added, or an error if
+// some terminal is unreachable.
+func (g *MazeGrid) RouteNet(id int, terminals []geom.Point) (int, error) {
+	if id < 0 {
+		return 0, fmt.Errorf("detail: net id must be >= 0")
+	}
+	if len(terminals) == 0 {
+		return 0, nil
+	}
+	for _, t := range terminals {
+		if !g.in(t) {
+			return 0, fmt.Errorf("detail: terminal %v outside the grid", t)
+		}
+		if g.At(t) == mazeBlocked {
+			return 0, fmt.Errorf("detail: terminal %v is blocked", t)
+		}
+		if occ := g.At(t); occ >= 0 && occ != id {
+			return 0, fmt.Errorf("detail: terminal %v occupied by net %d", t, occ)
+		}
+	}
+	// Seed the connected component with the first terminal.
+	g.cell[g.idx(terminals[0])] = id
+	added := 0
+	remaining := append([]geom.Point(nil), terminals[1:]...)
+	for len(remaining) > 0 {
+		// Wave expansion from every cell already owned by the net.
+		dist := make([]int, len(g.cell))
+		prev := make([]int, len(g.cell))
+		for i := range dist {
+			dist[i] = 1 << 30
+			prev[i] = -1
+		}
+		var q mazePQ
+		for i, c := range g.cell {
+			if c == id {
+				dist[i] = 0
+				heap.Push(&q, mazeItem{geom.Point{X: i % g.W, Y: i / g.W}, 0})
+			}
+		}
+		isTarget := map[int]int{} // grid idx -> remaining index
+		for k, t := range remaining {
+			isTarget[g.idx(t)] = k
+		}
+		found := -1
+		var foundAt geom.Point
+		dirs := []geom.Point{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}}
+		for q.Len() > 0 {
+			it := heap.Pop(&q).(mazeItem)
+			i := g.idx(it.p)
+			if it.cost > dist[i] {
+				continue
+			}
+			if k, ok := isTarget[i]; ok {
+				found, foundAt = k, it.p
+				break
+			}
+			for _, d := range dirs {
+				np := it.p.Add(d)
+				if !g.in(np) {
+					continue
+				}
+				ni := g.idx(np)
+				occ := g.cell[ni]
+				if occ != mazeFree && occ != id {
+					continue
+				}
+				nd := it.cost + 1
+				if nd < dist[ni] {
+					dist[ni] = nd
+					prev[ni] = i
+					heap.Push(&q, mazeItem{np, nd})
+				}
+			}
+		}
+		if found < 0 {
+			return added, fmt.Errorf("detail: terminal %v unreachable for net %d",
+				remaining[0], id)
+		}
+		// Trace back, claiming cells.
+		for i := g.idx(foundAt); i != -1 && g.cell[i] != id; i = prev[i] {
+			if g.cell[i] == mazeFree {
+				g.cell[i] = id
+				added++
+			}
+		}
+		remaining = append(remaining[:found], remaining[found+1:]...)
+	}
+	return added, nil
+}
+
+// Usage returns the number of grid cells owned by nets and blocked.
+func (g *MazeGrid) Usage() (wired, blocked int) {
+	for _, c := range g.cell {
+		switch {
+		case c >= 0:
+			wired++
+		case c == mazeBlocked:
+			blocked++
+		}
+	}
+	return wired, blocked
+}

@@ -1,0 +1,129 @@
+package detail
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestMazeStraightLine(t *testing.T) {
+	g := NewMazeGrid(10, 5)
+	added, err := g.RouteNet(0, []geom.Point{{X: 0, Y: 2}, {X: 9, Y: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shortest path: 9 new cells beyond the seeded terminal.
+	if added != 9 {
+		t.Fatalf("added = %d want 9", added)
+	}
+	wired, _ := g.Usage()
+	if wired != 10 {
+		t.Fatalf("wired = %d want 10", wired)
+	}
+}
+
+func TestMazeDetoursAroundObstacle(t *testing.T) {
+	g := NewMazeGrid(11, 7)
+	// A wall with one gap at the top.
+	g.Block(geom.R(5, 0, 6, 6))
+	added, err := g.RouteNet(0, []geom.Point{{X: 0, Y: 3}, {X: 10, Y: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Straight would be 10; the detour through (5,6) costs extra.
+	if added <= 10 {
+		t.Fatalf("added = %d, expected a detour > 10", added)
+	}
+	// The path must pass through the gap column above the wall.
+	if g.At(geom.Point{X: 5, Y: 6}) != 0 {
+		t.Fatal("path did not use the gap")
+	}
+}
+
+func TestMazeMultiTerminalReusesWire(t *testing.T) {
+	g := NewMazeGrid(9, 9)
+	// A three-terminal net: the third terminal should tap the existing
+	// trunk rather than route all the way back to the first terminal.
+	added, err := g.RouteNet(0, []geom.Point{
+		{X: 0, Y: 4}, {X: 8, Y: 4}, {X: 4, Y: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trunk 8 + branch 4 = 12 (a full star would need 16).
+	if added != 12 {
+		t.Fatalf("added = %d want 12 (Steiner reuse)", added)
+	}
+}
+
+func TestMazeNetsAvoidEachOther(t *testing.T) {
+	g := NewMazeGrid(10, 10)
+	if _, err := g.RouteNet(0, []geom.Point{{X: 0, Y: 5}, {X: 9, Y: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	// Net 1 crosses net 0's row: must route around (grid has no vias).
+	if _, err := g.RouteNet(1, []geom.Point{{X: 5, Y: 0}, {X: 5, Y: 9}}); err == nil {
+		// Around means through x<0 or x>9 — impossible here, so the row
+		// is a full wall and net 1 must fail.
+		t.Fatal("net 1 crossed net 0")
+	}
+	// With a gap in net 0's wire the crossing finds it.
+	g2 := NewMazeGrid(10, 10)
+	if _, err := g2.RouteNet(0, []geom.Point{{X: 0, Y: 5}, {X: 3, Y: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g2.RouteNet(1, []geom.Point{{X: 5, Y: 0}, {X: 5, Y: 9}}); err != nil {
+		t.Fatalf("net 1 blocked despite free space: %v", err)
+	}
+}
+
+func TestMazeErrors(t *testing.T) {
+	g := NewMazeGrid(5, 5)
+	if _, err := g.RouteNet(-1, []geom.Point{{X: 0, Y: 0}}); err == nil {
+		t.Error("negative net id accepted")
+	}
+	if _, err := g.RouteNet(0, []geom.Point{{X: 99, Y: 0}}); err == nil {
+		t.Error("out-of-grid terminal accepted")
+	}
+	g.Block(geom.R(2, 2, 3, 3))
+	if _, err := g.RouteNet(0, []geom.Point{{X: 2, Y: 2}}); err == nil {
+		t.Error("blocked terminal accepted")
+	}
+	// Fully walled-off target.
+	g2 := NewMazeGrid(5, 5)
+	g2.Block(geom.R(3, 0, 4, 5))
+	if _, err := g2.RouteNet(0, []geom.Point{{X: 0, Y: 0}, {X: 4, Y: 4}}); err == nil {
+		t.Error("unreachable terminal accepted")
+	}
+}
+
+func TestMazeSwitchboxScenario(t *testing.T) {
+	// A switchbox: obstacles in two corners, six straight crossing nets
+	// on distinct rows. On a single layer, non-interleaving nets must all
+	// route (each finds its row or a jog around the corner blocks).
+	g := NewMazeGrid(20, 20)
+	g.Block(geom.R(0, 0, 4, 4))
+	g.Block(geom.R(16, 16, 20, 20))
+	routed := 0
+	for n := 0; n < 6; n++ {
+		y := 5 + n
+		a := geom.Point{X: 0, Y: y}
+		b := geom.Point{X: 19, Y: y}
+		if _, err := g.RouteNet(n, []geom.Point{a, b}); err != nil {
+			t.Fatalf("net %d (row %d): %v", n, y, err)
+		}
+		routed++
+	}
+	if routed != 6 {
+		t.Fatalf("only %d/6 switchbox nets routed", routed)
+	}
+	wired, blocked := g.Usage()
+	if wired < 6*20 || blocked != 32 {
+		t.Fatalf("usage wired=%d blocked=%d", wired, blocked)
+	}
+	// A seventh net that must cross all six walls is unroutable on one
+	// layer — and the router must say so rather than violate occupancy.
+	if _, err := g.RouteNet(7, []geom.Point{{X: 10, Y: 0}, {X: 10, Y: 19}}); err == nil {
+		t.Fatal("crossing net routed through occupied rows")
+	}
+}

@@ -1,0 +1,230 @@
+// Package drc verifies placement-and-routing results: the sign-off checks a
+// layout must pass before detailed routing. The checks mirror what the paper
+// promises its placements deliver — no cell overlaps, cells within the core,
+// interconnect spacing consistent with the routed channel densities, every
+// pin on its cell boundary, and a routing in which every net is a connected
+// tree within channel capacities.
+package drc
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/place"
+	"repro/internal/route"
+)
+
+// Severity grades a violation.
+type Severity int
+
+const (
+	// Warning marks quality concerns (tight spacing, capacity at limit).
+	Warning Severity = iota
+	// Error marks violations that break downstream detailed routing.
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Violation is one finding.
+type Violation struct {
+	Severity Severity
+	// Check names the rule (e.g. "cell-overlap").
+	Check string
+	// Message describes the specific finding.
+	Message string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s: %s", v.Severity, v.Check, v.Message)
+}
+
+// Result collects all findings of a run.
+type Result struct {
+	Violations []Violation
+}
+
+// Errors returns the number of Error-severity findings.
+func (r *Result) Errors() int {
+	n := 0
+	for _, v := range r.Violations {
+		if v.Severity == Error {
+			n++
+		}
+	}
+	return n
+}
+
+// Warnings returns the number of Warning-severity findings.
+func (r *Result) Warnings() int { return len(r.Violations) - r.Errors() }
+
+// Clean reports whether no errors were found.
+func (r *Result) Clean() bool { return r.Errors() == 0 }
+
+func (r *Result) add(sev Severity, check, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{
+		Severity: sev,
+		Check:    check,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// CheckPlacement runs the placement-only checks.
+func CheckPlacement(p *place.Placement) *Result {
+	r := &Result{}
+	c := p.Circuit
+	// Cell-cell overlaps (raw geometry).
+	for i := 0; i < len(c.Cells); i++ {
+		for j := i + 1; j < len(c.Cells); j++ {
+			if ov := p.RawTiles(i).Overlap(p.RawTiles(j)); ov > 0 {
+				r.add(Error, "cell-overlap", "cells %s and %s overlap by %d units²",
+					c.Cells[i].Name, c.Cells[j].Name, ov)
+			}
+		}
+	}
+	// Cells within the core.
+	for i := range c.Cells {
+		b := p.RawTiles(i).Bounds()
+		if !p.Core.ContainsRect(b) {
+			r.add(Error, "core-bounds", "cell %s at %v extends beyond the core %v",
+				c.Cells[i].Name, b, p.Core)
+		}
+	}
+	// Fixed cells at their committed positions.
+	for i := range c.Cells {
+		cl := &c.Cells[i]
+		if !cl.Fixed {
+			continue
+		}
+		st := p.State(i)
+		if st.Pos != cl.FixedPos || st.Orient != cl.FixedOrient {
+			r.add(Error, "fixed-cell", "cell %s moved from its fixed position %v %s to %v %s",
+				cl.Name, cl.FixedPos, cl.FixedOrient, st.Pos, st.Orient)
+		}
+	}
+	// Pins on (or within) their cell's bounding box.
+	for pi := range c.Pins {
+		ci := c.Pins[pi].Cell
+		b := p.RawTiles(ci).Bounds()
+		closed := b.Inflate(0, 0, 1, 1)
+		if !closed.Contains(p.PinPos(pi)) {
+			r.add(Error, "pin-bounds", "pin %s.%s at %v outside cell bbox %v",
+				c.Cells[ci].Name, c.Pins[pi].Name, p.PinPos(pi), b)
+		}
+	}
+	// Pin-site occupancy within capacity (the Stage 1 C3 target state).
+	if p.C3() > 0 {
+		r.add(Warning, "pin-sites", "pin-site penalty C3 = %.0f (over-capacity sites remain)", p.C3())
+	}
+	// Internal cost-bookkeeping consistency.
+	if err := p.Validate(); err != nil {
+		r.add(Error, "bookkeeping", "%v", err)
+	}
+	return r
+}
+
+// CheckRouting runs the routing checks against the channel graph.
+func CheckRouting(p *place.Placement, g *channel.Graph, rt *route.Result) *Result {
+	r := &Result{}
+	c := p.Circuit
+	if len(rt.Choice) != len(c.Nets) {
+		r.add(Error, "routing-complete", "routing covers %d of %d nets",
+			len(rt.Choice), len(c.Nets))
+		return r
+	}
+	// Capacity adherence.
+	for ei, d := range rt.EdgeDensity {
+		cap := g.Edges[ei].Capacity
+		switch {
+		case d > cap:
+			r.add(Error, "channel-capacity", "channel edge %d carries %d nets, capacity %d",
+				ei, d, cap)
+		case cap > 0 && d == cap:
+			r.add(Warning, "channel-capacity", "channel edge %d at full capacity (%d)", ei, cap)
+		}
+	}
+	// Every net's chosen tree is connected and reaches a region of every
+	// connection.
+	for ni := range c.Nets {
+		tree := rt.Chosen(ni)
+		if !treeConnected(g, tree) {
+			r.add(Error, "net-tree", "net %s: chosen route is not a connected tree",
+				c.Nets[ni].Name)
+			continue
+		}
+		for k, conn := range c.Nets[ni].Conns {
+			ok := false
+			for _, pi := range conn.Pins {
+				reg := g.Pins[pi].Region
+				if reg >= 0 && treeHasNode(tree, reg) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				r.add(Error, "net-conn", "net %s: connection %d not reached by the route",
+					c.Nets[ni].Name, k)
+			}
+		}
+	}
+	return r
+}
+
+func treeHasNode(t route.Tree, u int) bool {
+	for _, n := range t.Nodes {
+		if n == u {
+			return true
+		}
+	}
+	return false
+}
+
+func treeConnected(g *channel.Graph, t route.Tree) bool {
+	if len(t.Nodes) == 0 {
+		return false
+	}
+	if len(t.Edges) == 0 {
+		return len(t.Nodes) == 1
+	}
+	inTree := map[int]bool{}
+	for _, e := range t.Edges {
+		inTree[e] = true
+	}
+	visited := map[int]bool{t.Nodes[0]: true}
+	queue := []int{t.Nodes[0]}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, ei := range g.Adj[u] {
+			if !inTree[ei] {
+				continue
+			}
+			v := g.Other(ei, u)
+			if !visited[v] {
+				visited[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	for _, u := range t.Nodes {
+		if !visited[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// Check runs the full suite; g and rt may be nil for placement-only runs.
+func Check(p *place.Placement, g *channel.Graph, rt *route.Result) *Result {
+	r := CheckPlacement(p)
+	if g != nil && rt != nil {
+		r2 := CheckRouting(p, g, rt)
+		r.Violations = append(r.Violations, r2.Violations...)
+	}
+	return r
+}

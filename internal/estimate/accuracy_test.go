@@ -1,0 +1,42 @@
+// External test package: validates the N_L wire-length model against actual
+// placement results (estimate cannot import place internally — place builds
+// on estimate).
+package estimate_test
+
+import (
+	"testing"
+
+	"repro/internal/estimate"
+	"repro/internal/gen"
+	"repro/internal/place"
+)
+
+// TestWireLengthModelAccuracy checks that the N_L estimate the channel-width
+// derivation rests on (Eqn 1) lands within a small factor of the TEIL an
+// actual optimized placement achieves, across circuit shapes.
+func TestWireLengthModelAccuracy(t *testing.T) {
+	specs := []gen.Spec{
+		{Name: "small", Cells: 12, Nets: 30, Pins: 100, DimX: 300, DimY: 300},
+		{Name: "mid", Cells: 25, Nets: 80, Pins: 300, DimX: 400, DimY: 400, RectFrac: 0.2},
+		{Name: "dense", Cells: 15, Nets: 90, Pins: 280, DimX: 350, DimY: 350, CustomFrac: 0.2},
+	}
+	params := estimate.DefaultParams()
+	for _, spec := range specs {
+		c, err := gen.Generate(spec, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl := estimate.EstimateWireLength(c, params)
+		_, res := place.RunStage1(c, place.Options{Seed: 4, Ac: 40})
+		ratio := res.TEIL / nl
+		// The estimate should be the right order of magnitude: a factor
+		// of ~3 in either direction still yields usable channel widths
+		// (the Stage 2 refinement absorbs the residual error).
+		if ratio < 0.33 || ratio > 3.0 {
+			t.Errorf("%s: TEIL/N_L = %.2f (TEIL %.0f, N_L %.0f) out of range",
+				spec.Name, ratio, res.TEIL, nl)
+		} else {
+			t.Logf("%s: TEIL/N_L = %.2f", spec.Name, ratio)
+		}
+	}
+}

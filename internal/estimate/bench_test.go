@@ -1,0 +1,18 @@
+package estimate
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// BenchmarkExpansion measures the per-edge estimate: the quantity updated
+// "millions of times during the course of an execution" (§2.2).
+func BenchmarkExpansion(b *testing.B) {
+	e := NewWithChannelWidth(geom.R(0, 0, 2000, 1500), 40, DefaultParams())
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += e.Expansion(geom.Point{X: i % 2000, Y: (i * 7) % 1500}, 1.3)
+	}
+	_ = sink
+}

@@ -1,0 +1,261 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/rng"
+)
+
+func testCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	b := netlist.NewBuilder("est", 2)
+	b.BeginMacro("a")
+	b.MacroInstance("i", geom.R(0, 0, 40, 20))
+	b.FixedPin("p1", geom.Point{X: -20, Y: 0}) // left side
+	b.FixedPin("p2", geom.Point{X: -20, Y: 5}) // left side
+	b.FixedPin("p3", geom.Point{X: 0, Y: 10})  // top side
+	b.BeginMacro("b")
+	b.MacroInstance("i", geom.R(0, 0, 30, 30))
+	b.FixedPin("q1", geom.Point{X: 15, Y: 0})
+	b.BeginCustom("c")
+	b.CustomInstance("i", 900, 0.5, 2)
+	b.EdgePin("r1", netlist.EdgeLeft|netlist.EdgeRight)
+	b.EdgePin("r2", netlist.EdgeAny)
+	n := b.Net("n1", 1, 1)
+	b.ConnByName(n, [2]string{"a", "p1"})
+	b.ConnByName(n, [2]string{"b", "q1"})
+	n2 := b.Net("n2", 1, 1)
+	b.ConnByName(n2, [2]string{"a", "p3"})
+	b.ConnByName(n2, [2]string{"c", "r1"})
+	b.ConnByName(n2, [2]string{"b", "q1"})
+	return b.MustBuild()
+}
+
+func TestAlphaSymmetricClosedForm(t *testing.T) {
+	p := DefaultParams()
+	want := math.Pow((p.Mx+p.Bx)/2, 2) // Eqn 4 with M=Mx=My, B=Bx=By
+	if got := p.Alpha(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Alpha = %v want %v", got, want)
+	}
+}
+
+func TestAlphaMatchesNumericIntegral(t *testing.T) {
+	// α must equal the mean of f_x·f_y over the core (Eqn 3) for any
+	// parameter choice, not just the symmetric closed form.
+	p := Params{Mx: 3, My: 1.5, Bx: 0.5, By: 1, NetLengthCoeff: 1}
+	core := geom.R(0, 0, 1000, 600)
+	e := NewWithChannelWidth(core, 1, p)
+	const n = 400
+	var sum float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x := core.XLo + (2*i+1)*core.W()/(2*n)
+			y := core.YLo + (2*j+1)*core.H()/(2*n)
+			sum += e.FX(x) * e.FY(y)
+		}
+	}
+	mean := sum / (n * n)
+	if got := p.Alpha(); math.Abs(got-mean)/mean > 0.01 {
+		t.Fatalf("Alpha = %v but numeric mean of fx·fy = %v", got, mean)
+	}
+}
+
+func TestModulationShape(t *testing.T) {
+	p := DefaultParams()
+	core := geom.R(-500, -300, 500, 300)
+	e := NewWithChannelWidth(core, 10, p)
+	// Center: maximum.
+	if got := e.FX(0); math.Abs(got-p.Mx) > 1e-9 {
+		t.Fatalf("FX(center) = %v want %v", got, p.Mx)
+	}
+	if got := e.FY(0); math.Abs(got-p.My) > 1e-9 {
+		t.Fatalf("FY(center) = %v want %v", got, p.My)
+	}
+	// Boundary: minimum.
+	if got := e.FX(500); math.Abs(got-p.Bx) > 1e-9 {
+		t.Fatalf("FX(edge) = %v want %v", got, p.Bx)
+	}
+	if got := e.FY(-300); math.Abs(got-p.By) > 1e-9 {
+		t.Fatalf("FY(edge) = %v want %v", got, p.By)
+	}
+	// Beyond the core: saturates, does not extrapolate negative.
+	if got := e.FX(10000); got != p.Bx {
+		t.Fatalf("FX saturation = %v want %v", got, p.Bx)
+	}
+	// Linear in between: halfway point is the average.
+	mid := (p.Mx + p.Bx) / 2
+	if got := e.FX(250); math.Abs(got-mid) > 1e-9 {
+		t.Fatalf("FX(W/4) = %v want %v", got, mid)
+	}
+	// Symmetry.
+	if e.FX(123) != e.FX(-123) || e.FY(77) != e.FY(-77) {
+		t.Fatal("modulation not symmetric about center")
+	}
+}
+
+func TestFigure1EdgeWeights(t *testing.T) {
+	// Figure 1: a center edge weighs ≈ Mx·My; mid-side edges ≈ Mx·By or
+	// Bx·My; corner edges ≈ Bx·By. Check the ordering.
+	p := DefaultParams()
+	core := geom.R(0, 0, 1000, 1000)
+	e := NewWithChannelWidth(core, 10, p)
+	w := func(x, y int) float64 { return e.FX(x) * e.FY(y) }
+	center := w(500, 500)
+	midTop := w(500, 990)
+	corner := w(10, 10)
+	if !(center > midTop && midTop > corner) {
+		t.Fatalf("weight ordering violated: center %v midTop %v corner %v",
+			center, midTop, corner)
+	}
+	if math.Abs(center-p.Mx*p.My) > 1e-9 {
+		t.Fatalf("center weight = %v want %v", center, p.Mx*p.My)
+	}
+	// Center channels are about 4x corner channels for M=2, B=1.
+	if ratio := center / corner; math.Abs(ratio-4) > 0.2 {
+		t.Fatalf("center/corner ratio = %v want ~4", ratio)
+	}
+}
+
+func TestExpansionExpectationIsHalfCw(t *testing.T) {
+	// Under uniformly distributed edge positions and f_rp = 1, E[e_w]
+	// must come out to 0.5·C_w — that is the entire point of α (§2.2).
+	p := DefaultParams()
+	core := geom.R(0, 0, 2000, 1500)
+	const cw = 40.0
+	e := NewWithChannelWidth(core, cw, p)
+	r := rng.New(1)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		pt := geom.Point{
+			X: core.XLo + r.Intn(core.W()),
+			Y: core.YLo + r.Intn(core.H()),
+		}
+		sum += float64(e.Expansion(pt, 1))
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5*cw)/(0.5*cw) > 0.03 {
+		t.Fatalf("mean expansion = %v want ~%v", mean, 0.5*cw)
+	}
+}
+
+func TestExpansionPinDensityFactor(t *testing.T) {
+	p := DefaultParams()
+	core := geom.R(0, 0, 1000, 1000)
+	e := NewWithChannelWidth(core, 30, p)
+	c := core.Center()
+	base := e.Expansion(c, 1)
+	dense := e.Expansion(c, 3)
+	if dense < 3*base-2 || dense > 3*base+2 {
+		t.Fatalf("f_rp factor: base %d dense %d want ~3x", base, dense)
+	}
+	// Sub-average density clamps to 1: same as base.
+	if sparse := e.Expansion(c, 0.2); sparse != base {
+		t.Fatalf("f_rp clamp: got %d want %d", sparse, base)
+	}
+}
+
+func TestMaxExpansionDominates(t *testing.T) {
+	p := DefaultParams()
+	core := geom.R(0, 0, 800, 800)
+	e := NewWithChannelWidth(core, 25, p)
+	m := e.MaxExpansion()
+	r := rng.New(2)
+	for i := 0; i < 5000; i++ {
+		pt := geom.Point{X: r.Intn(800), Y: r.Intn(800)}
+		if got := e.Expansion(pt, 1); got > m {
+			t.Fatalf("Expansion(%v) = %d exceeds MaxExpansion %d", pt, got, m)
+		}
+	}
+}
+
+func TestEstimateWireLengthScaling(t *testing.T) {
+	c := testCircuit(t)
+	p := DefaultParams()
+	nl := EstimateWireLength(c, p)
+	if nl <= 0 {
+		t.Fatalf("N_L = %v", nl)
+	}
+	// A 3-conn net must contribute more than a 2-conn net.
+	per2 := math.Pow(2, 0.75)
+	per3 := math.Pow(3, 0.75)
+	avgArea := float64(c.TotalCellArea()) / 3
+	want := math.Sqrt(avgArea) * (per2 + per3)
+	if math.Abs(nl-want)/want > 1e-9 {
+		t.Fatalf("N_L = %v want %v", nl, want)
+	}
+}
+
+func TestCoreSize(t *testing.T) {
+	c := testCircuit(t)
+	p := DefaultParams()
+	core := CoreSize(c, p, 1.0)
+	if core.Empty() {
+		t.Fatal("empty core")
+	}
+	// Core must be at least the bare cell area and include padding.
+	if core.Area() <= c.TotalCellArea() {
+		t.Fatalf("core area %d not larger than cell area %d",
+			core.Area(), c.TotalCellArea())
+	}
+	// Requested aspect ratio respected within rounding.
+	ratio := float64(core.H()) / float64(core.W())
+	if math.Abs(ratio-1) > 0.05 {
+		t.Fatalf("core aspect = %v want ~1", ratio)
+	}
+	wide := CoreSize(c, p, 0.5)
+	if r := float64(wide.H()) / float64(wide.W()); math.Abs(r-0.5) > 0.05 {
+		t.Fatalf("core aspect = %v want ~0.5", r)
+	}
+	// Area is aspect-invariant.
+	if d := math.Abs(float64(wide.Area()-core.Area())) / float64(core.Area()); d > 0.02 {
+		t.Fatalf("core area changed with aspect: %d vs %d", wide.Area(), core.Area())
+	}
+}
+
+func TestPinDensity(t *testing.T) {
+	c := testCircuit(t)
+	d := PinDensity(c)
+	if len(d) != 3 {
+		t.Fatalf("got %d cells", len(d))
+	}
+	// Cell a (40×20): two pins on the left side, one on top, none right or
+	// bottom. Left density must exceed top density (2/20 vs 1/40).
+	a := d[0]
+	if !(a[0] > a[3] && a[3] > 0) {
+		t.Fatalf("cell a densities L=%v R=%v B=%v T=%v", a[0], a[1], a[2], a[3])
+	}
+	if a[1] != 0 || a[2] != 0 {
+		t.Fatalf("cell a empty sides nonzero: %v", a)
+	}
+	// Custom cell c: r1 on L|R (half each), r2 on ANY (quarter each).
+	cc := d[2]
+	if !(cc[0] > 0 && cc[1] > 0 && cc[2] > 0 && cc[3] > 0) {
+		t.Fatalf("cell c densities: %v", cc)
+	}
+	if !(cc[0] > cc[2]) { // L gets 1/2+1/4, B gets 1/4
+		t.Fatalf("cell c side weighting wrong: %v", cc)
+	}
+}
+
+func TestNearestSide(t *testing.T) {
+	// 40×20 instance: bbox center frame, so x∈[-20,20], y∈[-10,10].
+	cases := []struct {
+		off  geom.Point
+		want int
+	}{
+		{geom.Point{X: -20, Y: 0}, 0},
+		{geom.Point{X: 20, Y: 0}, 1},
+		{geom.Point{X: 0, Y: -10}, 2},
+		{geom.Point{X: 0, Y: 10}, 3},
+		{geom.Point{X: -19, Y: 2}, 0},
+	}
+	for _, tc := range cases {
+		if got := nearestSide(tc.off, 40, 20); got != tc.want {
+			t.Errorf("nearestSide(%v) = %d want %d", tc.off, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package exper regenerates every table and figure of the paper's
+// evaluation (§5 and the in-text studies): Table 3 (dynamic estimator
+// accuracy), Table 4 (TEIL/area versus other placement methods), Figure 3
+// (displacement:interchange ratio sweep), Figures 5–6 (inner-loop criterion
+// sweeps), and the η, ρ, and D_s/D_r ablations. The same entry points back
+// cmd/twexp (full size) and the root bench harness (calibrated size).
+package exper
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/refine"
+)
+
+// Config scales the experiments. Zero values select quick settings suitable
+// for iteration; cmd/twexp -full selects paper-faithful settings.
+type Config struct {
+	// Seed is the base seed; trial t of circuit c derives its own.
+	Seed uint64
+	// Trials is the number of runs averaged per data point.
+	Trials int
+	// Ac is the inner-loop criterion for full TimberWolfMC runs.
+	Ac int
+	// M is the global router's alternatives-per-net.
+	M int
+	// Circuits restricts the preset list (nil = all nine).
+	Circuits []string
+}
+
+func (c *Config) fill() {
+	if c.Trials <= 0 {
+		c.Trials = 2
+	}
+	if c.Ac <= 0 {
+		c.Ac = 50
+	}
+	if c.M <= 0 {
+		c.M = 8
+	}
+	if len(c.Circuits) == 0 {
+		c.Circuits = gen.PresetNames()
+	}
+}
+
+// Quick returns the fast configuration used by tests and benches.
+func Quick() Config { return Config{Trials: 1, Ac: 25, M: 6} }
+
+// Full returns the paper-faithful configuration (hours of CPU).
+func Full() Config { return Config{Trials: 2, Ac: 400, M: 20} }
+
+// --------------------------------------------------------------- Table 3
+
+// Table3Row is one circuit's estimator-accuracy result: the percentage
+// change in TEIL and core area from the end of Stage 1 to the end of
+// Stage 2. Small values mean the dynamic estimator allocated the right
+// interconnect space (paper averages: −4.4% TEIL, −4.1% area... reported as
+// reductions of 4.4 and 4.1).
+type Table3Row struct {
+	Circuit           string
+	Cells, Nets, Pins int
+	Trials            int
+	TEILRedPct        float64 // positive = Stage 2 reduced TEIL
+	AreaRedPct        float64 // positive = Stage 2 reduced area
+}
+
+// Table3 runs the estimator-accuracy experiment.
+func Table3(cfg Config) ([]Table3Row, error) {
+	cfg.fill()
+	var rows []Table3Row
+	for _, name := range cfg.Circuits {
+		c, err := gen.Preset(name, cfg.Seed+17)
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{
+			Circuit: name,
+			Cells:   len(c.Cells), Nets: len(c.Nets), Pins: c.NumPins(),
+			Trials: cfg.Trials,
+		}
+		for t := 0; t < cfg.Trials; t++ {
+			res, err := core.Place(c, core.Options{
+				Seed: cfg.Seed + uint64(t)*1009,
+				Ac:   cfg.Ac,
+				M:    cfg.M,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s trial %d: %w", name, t, err)
+			}
+			row.TEILRedPct += -res.TEILChangePct()
+			row.AreaRedPct += -res.AreaChangePct()
+		}
+		row.TEILRedPct /= float64(cfg.Trials)
+		row.AreaRedPct /= float64(cfg.Trials)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteTable3 renders rows in the paper's Table 3 format.
+func WriteTable3(w io.Writer, rows []Table3Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Circuit\tCells\tNets\tPins\tTrials\tTEIL Red(%)\tArea Red(%)")
+	var st, sa float64
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.1f\t%.1f\n",
+			r.Circuit, r.Cells, r.Nets, r.Pins, r.Trials, r.TEILRedPct, r.AreaRedPct)
+		st += r.TEILRedPct
+		sa += r.AreaRedPct
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(tw, "Avg.\t\t\t\t\t%.1f\t%.1f\n",
+			st/float64(len(rows)), sa/float64(len(rows)))
+	}
+	tw.Flush()
+}
+
+// --------------------------------------------------------------- Table 4
+
+// BaselineFor maps each preset circuit to the comparison-method family the
+// paper used: i1 was compared against resistive-network optimization
+// (Cheng–Kuh); i2/i3 against the CIPAR constructive package; p1, l1 and
+// d1–d3 against manual layouts; x1 (unstated in the paper) against the
+// university quadratic method.
+func BaselineFor(circuit string) string {
+	switch circuit {
+	case "i1", "x1":
+		return "quadratic"
+	case "i2", "i3":
+		return "greedy"
+	default:
+		return "slicing"
+	}
+}
+
+// Table4Row is one circuit's comparison result.
+type Table4Row struct {
+	Circuit           string
+	Cells, Nets, Pins int
+	Baseline          string
+	TEIL              float64 // TimberWolfMC final TEIL
+	Chip              geom.Rect
+	BaseTEIL          float64
+	BaseChip          geom.Rect
+	TEILRedPct        float64
+	AreaRedPct        float64
+}
+
+// Table4 runs the TimberWolfMC-vs-baseline comparison. Baseline placements
+// receive the same Stage 2 legalization (channel definition, routing, and
+// refinement spacing) so chip areas include identical interconnect
+// allowances.
+func Table4(cfg Config) ([]Table4Row, error) {
+	cfg.fill()
+	var rows []Table4Row
+	for _, name := range cfg.Circuits {
+		c, err := gen.Preset(name, cfg.Seed+17)
+		if err != nil {
+			return nil, err
+		}
+		row := Table4Row{
+			Circuit: name,
+			Cells:   len(c.Cells), Nets: len(c.Nets), Pins: c.NumPins(),
+			Baseline: BaselineFor(name),
+		}
+		// TimberWolfMC.
+		res, err := core.Place(c, core.Options{Seed: cfg.Seed + 31, Ac: cfg.Ac, M: cfg.M})
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s: %w", name, err)
+		}
+		row.TEIL = res.TEIL
+		row.Chip = res.Chip
+		// Baseline with identical post-processing.
+		pl, _ := baseline.ByName(row.Baseline)
+		bt, bc, err := EvaluateBaseline(pl, c, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s baseline: %w", name, err)
+		}
+		row.BaseTEIL = bt
+		row.BaseChip = bc
+		if row.BaseTEIL > 0 {
+			row.TEILRedPct = (row.BaseTEIL - row.TEIL) / row.BaseTEIL * 100
+		}
+		if a := row.BaseChip.Area(); a > 0 {
+			row.AreaRedPct = float64(a-row.Chip.Area()) / float64(a) * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// EvaluateBaseline places c with the baseline method and applies the same
+// Stage 2 spacing/measurement pipeline TimberWolfMC results get.
+func EvaluateBaseline(pl baseline.Placer, cc *netlist.Circuit, cfg Config) (teil float64, chip geom.Rect, err error) {
+	cfg.fill()
+	coreRect := estimate.CoreSize(cc, estimate.DefaultParams(), 1)
+	p := pl.Place(cc, coreRect, cfg.Seed+77)
+	s2, err := refine.Run(p, refine.Options{
+		Seed:       cfg.Seed + 99,
+		Iterations: 2,
+		Ac:         cfg.Ac,
+		M:          cfg.M,
+	})
+	if err != nil {
+		return 0, geom.Rect{}, err
+	}
+	return s2.TEIL, s2.Chip, nil
+}
+
+// WriteTable4 renders rows in the paper's Table 4 format.
+func WriteTable4(w io.Writer, rows []Table4Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Circuit\tCells\tNets\tPins\tVs\tTEIL\tArea (x × y)\tTEIL Red(%)\tArea Red(%)")
+	var st, sa float64
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%.0f\t%d × %d\t%.0f\t%.0f\n",
+			r.Circuit, r.Cells, r.Nets, r.Pins, r.Baseline,
+			r.TEIL, r.Chip.W(), r.Chip.H(), r.TEILRedPct, r.AreaRedPct)
+		st += r.TEILRedPct
+		sa += r.AreaRedPct
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(tw, "Avg.\t\t\t\t\t\t\t%.1f\t%.1f\n",
+			st/float64(len(rows)), sa/float64(len(rows)))
+	}
+	tw.Flush()
+}

@@ -1,0 +1,393 @@
+// Package gen synthesizes macro/custom-cell circuits. The nine proprietary
+// industrial circuits of the paper's evaluation (Tables 3–4) cannot be
+// redistributed; Presets reproduces their published shape statistics — cell,
+// net, and pin counts, and the chip-area scale — with Rent-style net
+// locality, mixed macro and custom cells, rectilinear shapes, and
+// electrically-equivalent pin pairs, so that the relative comparisons the
+// paper reports can be regenerated.
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/rng"
+)
+
+// Spec parameterizes a synthetic circuit.
+type Spec struct {
+	Name  string
+	Cells int
+	Nets  int
+	Pins  int
+	// DimX, DimY set the chip-area scale: total cell area is targeted at
+	// about 45% of DimX·DimY, matching the paper's final chip sizes.
+	DimX, DimY int
+	// CustomFrac is the fraction of cells that are custom (estimated area,
+	// aspect range, uncommitted pins).
+	CustomFrac float64
+	// RectFrac is the fraction of macro cells with rectilinear (L) shape.
+	RectFrac float64
+	// EquivFrac is the fraction of connections given an electrically-
+	// equivalent alternate pin.
+	EquivFrac float64
+	// TrackSep is the wiring pitch t_s.
+	TrackSep int
+}
+
+func (s *Spec) fill() error {
+	if s.Cells < 2 {
+		return fmt.Errorf("gen: need at least 2 cells, got %d", s.Cells)
+	}
+	if s.Nets < 1 {
+		return fmt.Errorf("gen: need at least 1 net")
+	}
+	if s.Pins < 2*s.Nets {
+		return fmt.Errorf("gen: %d pins cannot populate %d nets (need >= %d)",
+			s.Pins, s.Nets, 2*s.Nets)
+	}
+	if s.DimX <= 0 {
+		s.DimX = 500
+	}
+	if s.DimY <= 0 {
+		s.DimY = 500
+	}
+	if s.TrackSep <= 0 {
+		s.TrackSep = 2
+	}
+	if s.Name == "" {
+		s.Name = "synthetic"
+	}
+	return nil
+}
+
+// Specs for the paper's nine industrial circuits (Table 4 columns: cells,
+// nets, pins, final chip x×y). Custom/rectilinear mix is chosen per the
+// paper's description of each source (chip-planning cases get custom cells).
+var presets = []Spec{
+	{Name: "i1", Cells: 33, Nets: 121, Pins: 452, DimX: 236, DimY: 223, CustomFrac: 0.2, RectFrac: 0.2, EquivFrac: 0.03},
+	{Name: "p1", Cells: 11, Nets: 83, Pins: 309, DimX: 293, DimY: 294, CustomFrac: 0.3, RectFrac: 0.2, EquivFrac: 0.03},
+	{Name: "x1", Cells: 10, Nets: 267, Pins: 762, DimX: 875, DimY: 744, CustomFrac: 0.2, RectFrac: 0.3, EquivFrac: 0.05},
+	{Name: "i2", Cells: 23, Nets: 127, Pins: 577, DimX: 2873, DimY: 2751, CustomFrac: 0.2, RectFrac: 0.2, EquivFrac: 0.03},
+	{Name: "i3", Cells: 18, Nets: 38, Pins: 102, DimX: 644, DimY: 699, CustomFrac: 0.1, RectFrac: 0.2, EquivFrac: 0.0},
+	{Name: "l1", Cells: 62, Nets: 570, Pins: 4309, DimX: 1084, DimY: 1042, CustomFrac: 0.15, RectFrac: 0.25, EquivFrac: 0.04},
+	{Name: "d2", Cells: 20, Nets: 656, Pins: 1776, DimX: 1355, DimY: 1433, CustomFrac: 0.2, RectFrac: 0.2, EquivFrac: 0.04},
+	{Name: "d1", Cells: 17, Nets: 288, Pins: 837, DimX: 245, DimY: 305, CustomFrac: 0.2, RectFrac: 0.2, EquivFrac: 0.04},
+	{Name: "d3", Cells: 17, Nets: 136, Pins: 665, DimX: 3398, DimY: 3298, CustomFrac: 0.2, RectFrac: 0.2, EquivFrac: 0.04},
+}
+
+// PresetNames lists the nine circuit presets in the paper's Table 4 order.
+func PresetNames() []string {
+	out := make([]string, len(presets))
+	for i, s := range presets {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// PresetSpec returns the spec of a named preset.
+func PresetSpec(name string) (Spec, error) {
+	for _, s := range presets {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("gen: unknown preset %q (have %v)", name, PresetNames())
+}
+
+// Preset generates a named preset circuit.
+func Preset(name string, seed uint64) (*netlist.Circuit, error) {
+	s, err := PresetSpec(name)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(s, seed)
+}
+
+// Scalability returns a circuit of n cells with net and pin counts scaled
+// proportionally to the paper's circuit statistics (about 3 nets and 11
+// pins per cell), for studying behaviour beyond the paper's largest
+// 62-cell case.
+func Scalability(n int, seed uint64) (*netlist.Circuit, error) {
+	if n < 4 {
+		n = 4
+	}
+	dim := int(60 * math.Sqrt(float64(n)))
+	return Generate(Spec{
+		Name:  fmt.Sprintf("scale%d", n),
+		Cells: n, Nets: 3 * n, Pins: 11 * n,
+		DimX: dim, DimY: dim,
+		CustomFrac: 0.15, RectFrac: 0.2, EquivFrac: 0.03,
+	}, seed)
+}
+
+// Generate synthesizes a circuit matching the spec exactly in cell, net, and
+// pin counts, deterministically for a given seed.
+func Generate(spec Spec, seed uint64) (*netlist.Circuit, error) {
+	if err := spec.fill(); err != nil {
+		return nil, err
+	}
+	src := rng.New(seed ^ 0x74776d63) // "twmc"
+
+	// Cell areas: log-normal, normalized so the total is ~45% of the chip.
+	target := 0.45 * float64(spec.DimX) * float64(spec.DimY)
+	areas := make([]float64, spec.Cells)
+	var sum float64
+	for i := range areas {
+		areas[i] = src.LogNormal(0, 0.6)
+		sum += areas[i]
+	}
+	minSide := 4
+	type shape struct {
+		w, h   int
+		custom bool
+		rect   bool // L-shaped macro
+	}
+	shapes := make([]shape, spec.Cells)
+	numCustom := int(math.Round(spec.CustomFrac * float64(spec.Cells)))
+	for i := range shapes {
+		a := areas[i] / sum * target
+		if a < float64(minSide*minSide) {
+			a = float64(minSide * minSide)
+		}
+		aspect := math.Exp((src.Float64()*2 - 1) * math.Ln2) // 0.5..2
+		w := int(math.Round(math.Sqrt(a / aspect)))
+		if w < minSide {
+			w = minSide
+		}
+		h := int(math.Round(a / float64(w)))
+		if h < minSide {
+			h = minSide
+		}
+		shapes[i] = shape{w: w, h: h}
+	}
+	for i := 0; i < numCustom; i++ {
+		shapes[i].custom = true
+	}
+	for i := numCustom; i < spec.Cells; i++ {
+		if src.Float64() < spec.RectFrac {
+			shapes[i].rect = true
+		}
+	}
+	// Shuffle kinds across indices so custom cells are not all small/large.
+	src.Shuffle(spec.Cells, func(i, j int) { shapes[i], shapes[j] = shapes[j], shapes[i] })
+
+	// Net degrees: all nets start at 2 connections; remaining pins are
+	// spread preferentially to already-large nets (rich-get-richer yields
+	// the long-tailed degree distribution of real netlists). A fraction
+	// of connections carries an equivalent alternate pin; each such
+	// alternate consumes one extra pin from the budget.
+	equiv := int(spec.EquivFrac * float64(spec.Pins))
+	budget := spec.Pins - equiv
+	if budget < 2*spec.Nets {
+		equiv = spec.Pins - 2*spec.Nets
+		budget = 2 * spec.Nets
+	}
+	degrees := make([]int, spec.Nets)
+	for i := range degrees {
+		degrees[i] = 2
+	}
+	extra := budget - 2*spec.Nets
+	window := spec.Cells / 4
+	if window < 3 {
+		window = 3
+	}
+	// The locality window bounds how many distinct cells a net can reach,
+	// which in turn caps the net degree.
+	maxDeg := min(spec.Cells, min(24, 2*window+1))
+	if capTotal := spec.Nets * (maxDeg - 2); extra > capTotal {
+		return nil, fmt.Errorf("gen: %d pins exceed the %d-cell locality capacity (max %d)",
+			spec.Pins, spec.Cells, 2*spec.Nets+capTotal+equiv)
+	}
+	for extra > 0 {
+		// Weighted pick by current degree.
+		total := 0
+		for _, d := range degrees {
+			total += d
+		}
+		pick := src.Intn(total)
+		acc := 0
+		for i, d := range degrees {
+			acc += d
+			if pick < acc {
+				if degrees[i] < maxDeg {
+					degrees[i]++
+					extra--
+				} else {
+					// Saturated: give it to a random small net.
+					j := src.Intn(spec.Nets)
+					if degrees[j] < maxDeg {
+						degrees[j]++
+						extra--
+					}
+				}
+				break
+			}
+		}
+	}
+
+	// Assign connections to cells with ring locality: cells sit on a ring;
+	// each net picks a random center and draws its cells from a window.
+	ring := src.Perm(spec.Cells)
+	type conn struct {
+		cell  int
+		equiv bool
+	}
+	netConns := make([][]conn, spec.Nets)
+	pinCount := make([]int, spec.Cells)
+	for ni, d := range degrees {
+		center := src.Intn(spec.Cells)
+		used := map[int]bool{}
+		conns := make([]conn, 0, d)
+		for len(conns) < d {
+			off := src.IntRange(-window, window)
+			cell := ring[((center+off)%spec.Cells+spec.Cells)%spec.Cells]
+			if used[cell] && len(used) < min(d, spec.Cells) {
+				continue
+			}
+			used[cell] = true
+			conns = append(conns, conn{cell: cell})
+			pinCount[cell]++
+		}
+		netConns[ni] = conns
+	}
+	// Distribute the equivalent alternates over macro-cell connections.
+	for e := 0; e < equiv; {
+		ni := src.Intn(spec.Nets)
+		ci := src.Intn(len(netConns[ni]))
+		cn := &netConns[ni][ci]
+		if cn.equiv || shapes[cn.cell].custom {
+			// Find any eligible connection deterministically if random
+			// picks keep missing.
+			cn = nil
+			for a := range netConns {
+				for b := range netConns[a] {
+					x := &netConns[a][b]
+					if !x.equiv && !shapes[x.cell].custom {
+						cn = x
+						break
+					}
+				}
+				if cn != nil {
+					break
+				}
+			}
+			if cn == nil {
+				// No macro connections at all: attach to customs too.
+				for a := range netConns {
+					for b := range netConns[a] {
+						if !netConns[a][b].equiv {
+							cn = &netConns[a][b]
+							break
+						}
+					}
+					if cn != nil {
+						break
+					}
+				}
+			}
+			if cn == nil {
+				break
+			}
+		}
+		cn.equiv = true
+		pinCount[cn.cell]++
+		e++
+	}
+
+	// Build the netlist: each cell's instances, groups, and pins are
+	// defined together (the builder is cell-context scoped), then the
+	// nets reference the created pins.
+	b := netlist.NewBuilder(spec.Name, spec.TrackSep)
+	cellPins := make([][]int, spec.Cells)
+	for i, sh := range shapes {
+		name := fmt.Sprintf("c%02d", i)
+		n := pinCount[i]
+		if sh.custom {
+			b.BeginCustom(name)
+			area := int64(sh.w) * int64(sh.h)
+			b.CustomInstance("main", area, 0.5, 2.0)
+			if src.Bool(0.3) {
+				// A second candidate instance, slightly smaller with
+				// discrete aspect choices (§1 instance selection).
+				b.CustomInstance("alt", area*9/10, 0, 0, 0.5, 1.0, 2.0)
+			}
+			group := -1
+			if n >= 6 {
+				group = b.PinGroup("bus", netlist.EdgeAny, true)
+			}
+			for k := 0; k < n; k++ {
+				pname := fmt.Sprintf("p%d", k)
+				if group >= 0 && k%3 == 0 {
+					cellPins[i] = append(cellPins[i], b.GroupPin(pname, group))
+				} else {
+					cellPins[i] = append(cellPins[i], b.EdgePin(pname, netlist.EdgeAny))
+				}
+			}
+		} else {
+			b.BeginMacro(name)
+			isL := sh.rect && sh.w >= 2*minSide && sh.h >= 2*minSide
+			if isL {
+				b.MacroInstance("main",
+					geom.R(0, 0, sh.w, sh.h/2),
+					geom.R(0, sh.h/2, sh.w/2, sh.h))
+			} else {
+				b.MacroInstance("main", geom.R(0, 0, sh.w, sh.h))
+			}
+			for k := 0; k < n; k++ {
+				off := perimeterPoint(sh.w, sh.h, isL, k, n)
+				cellPins[i] = append(cellPins[i], b.FixedPin(fmt.Sprintf("p%d", k), off))
+			}
+		}
+	}
+	// Nets: consume each cell's pins in order; an equivalent connection
+	// consumes two pins of the same cell.
+	next := make([]int, spec.Cells)
+	takePin := func(cell int) int {
+		pi := cellPins[cell][next[cell]]
+		next[cell]++
+		return pi
+	}
+	for ni, conns := range netConns {
+		net := b.Net(fmt.Sprintf("n%03d", ni), 1, 1)
+		for _, cn := range conns {
+			if cn.equiv {
+				b.Conn(net, takePin(cn.cell), takePin(cn.cell))
+			} else {
+				b.Conn(net, takePin(cn.cell))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// perimeterPoint returns the k-th of n evenly spaced boundary positions of a
+// w×h cell (bbox-center-relative). For L-shaped macros the positions are
+// restricted to the bottom and left edges, which are always real edges of
+// the L tiling used by the generator.
+func perimeterPoint(w, h int, rect bool, k, n int) geom.Point {
+	hw, hh := w/2, h/2
+	if rect {
+		// Bottom then left edge.
+		total := w + h
+		t := (2*k + 1) * total / (2 * n)
+		if t < w {
+			return geom.Point{X: -hw + t, Y: -hh}
+		}
+		return geom.Point{X: -hw, Y: -hh + (t - w)}
+	}
+	perim := 2 * (w + h)
+	t := (2*k + 1) * perim / (2 * n)
+	switch {
+	case t < w: // bottom
+		return geom.Point{X: -hw + t, Y: -hh}
+	case t < w+h: // right
+		return geom.Point{X: w - hw, Y: -hh + (t - w)}
+	case t < 2*w+h: // top
+		return geom.Point{X: w - hw - (t - w - h), Y: h - hh}
+	default: // left
+		return geom.Point{X: -hw, Y: h - hh - (t - 2*w - h)}
+	}
+}

@@ -1,0 +1,199 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestPresetCountsMatchTable4(t *testing.T) {
+	// The generated circuits must match the paper's published cell, net,
+	// and pin counts exactly (Table 4 columns).
+	want := map[string][3]int{
+		"i1": {33, 121, 452},
+		"p1": {11, 83, 309},
+		"x1": {10, 267, 762},
+		"i2": {23, 127, 577},
+		"i3": {18, 38, 102},
+		"l1": {62, 570, 4309},
+		"d2": {20, 656, 1776},
+		"d1": {17, 288, 837},
+		"d3": {17, 136, 665},
+	}
+	for _, name := range PresetNames() {
+		c, err := Preset(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		w := want[name]
+		if len(c.Cells) != w[0] || len(c.Nets) != w[1] || c.NumPins() != w[2] {
+			t.Errorf("%s: got %d cells %d nets %d pins, want %v",
+				name, len(c.Cells), len(c.Nets), c.NumPins(), w)
+		}
+		if err := netlist.Validate(c); err != nil {
+			t.Errorf("%s: invalid circuit: %v", name, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Preset("p1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Preset("p1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Pins) != len(b.Pins) {
+		t.Fatal("pin counts differ")
+	}
+	for i := range a.Pins {
+		if a.Pins[i] != b.Pins[i] {
+			t.Fatalf("pin %d differs", i)
+		}
+	}
+	for i := range a.Cells {
+		if a.Cells[i].Kind != b.Cells[i].Kind {
+			t.Fatalf("cell %d kind differs", i)
+		}
+	}
+	// A different seed yields a different circuit.
+	c, _ := Preset("p1", 8)
+	same := true
+	for i := range a.Pins {
+		if a.Pins[i] != c.Pins[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical pins")
+	}
+}
+
+func TestGenerateAreaScale(t *testing.T) {
+	s, err := PresetSpec("i2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Generate(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := float64(s.DimX) * float64(s.DimY)
+	cells := float64(c.TotalCellArea())
+	frac := cells / chip
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("cell/chip area fraction = %v want ~0.45", frac)
+	}
+}
+
+func TestGenerateMix(t *testing.T) {
+	c, err := Preset("l1", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var custom, rect, equiv, groups int
+	for i := range c.Cells {
+		cl := &c.Cells[i]
+		if cl.Kind == netlist.Custom {
+			custom++
+			groups += len(cl.Groups)
+		} else if cl.Instances[0].Tiles.Len() > 1 {
+			rect++
+		}
+	}
+	for i := range c.Nets {
+		for _, conn := range c.Nets[i].Conns {
+			if len(conn.Pins) > 1 {
+				equiv++
+			}
+		}
+	}
+	if custom == 0 {
+		t.Error("no custom cells generated")
+	}
+	if rect == 0 {
+		t.Error("no rectilinear macro cells generated")
+	}
+	if equiv == 0 {
+		t.Error("no equivalent pin pairs generated")
+	}
+	if groups == 0 {
+		t.Error("no pin groups generated")
+	}
+}
+
+func TestGenerateNetDegrees(t *testing.T) {
+	c, err := Preset("d2", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	histo := map[int]int{}
+	for i := range c.Nets {
+		d := c.Nets[i].Degree()
+		if d < 2 {
+			t.Fatalf("net %d has degree %d", i, d)
+		}
+		histo[d]++
+	}
+	// Long-tailed: 2-pin nets dominate, but some larger nets exist.
+	if histo[2] < len(c.Nets)/4 {
+		t.Errorf("too few 2-pin nets: %v", histo)
+	}
+	big := 0
+	for d, n := range histo {
+		if d >= 5 {
+			big += n
+		}
+	}
+	if big == 0 {
+		t.Errorf("no high-degree nets: %v", histo)
+	}
+}
+
+func TestGenerateRejectsBadSpecs(t *testing.T) {
+	if _, err := Generate(Spec{Cells: 1, Nets: 1, Pins: 10}, 1); err == nil {
+		t.Error("1-cell spec accepted")
+	}
+	if _, err := Generate(Spec{Cells: 5, Nets: 10, Pins: 5}, 1); err == nil {
+		t.Error("pin-starved spec accepted")
+	}
+	if _, err := Preset("nope", 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestGenerateRoundTripsThroughFormat(t *testing.T) {
+	c, err := Preset("i3", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generated circuit must survive Write/Parse (exercised fully in
+	// netlist tests; here just validate the generator output is writable).
+	if err := netlist.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalability(t *testing.T) {
+	for _, n := range []int{10, 40, 100} {
+		c, err := Scalability(n, 3)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(c.Cells) != n || len(c.Nets) != 3*n || c.NumPins() != 11*n {
+			t.Fatalf("n=%d: got %d cells %d nets %d pins",
+				n, len(c.Cells), len(c.Nets), c.NumPins())
+		}
+		if err := netlist.Validate(c); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+	// Minimum clamp.
+	c, err := Scalability(1, 3)
+	if err != nil || len(c.Cells) != 4 {
+		t.Fatalf("clamp: %v, %d cells", err, len(c.Cells))
+	}
+}

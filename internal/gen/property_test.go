@@ -1,0 +1,76 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netlist"
+)
+
+// TestGenerateCountsQuick: for random valid specs the generator hits the
+// requested cell/net/pin counts exactly and produces a valid circuit.
+func TestGenerateCountsQuick(t *testing.T) {
+	f := func(seed uint64, cellsB, netsB, extraB uint8) bool {
+		cells := 4 + int(cellsB%30)
+		nets := 5 + int(netsB%60)
+		pins := 2*nets + int(extraB)
+		spec := Spec{
+			Name: "q", Cells: cells, Nets: nets, Pins: pins,
+			DimX: 300, DimY: 300, CustomFrac: 0.2, RectFrac: 0.2, EquivFrac: 0.02,
+		}
+		c, err := Generate(spec, seed)
+		if err != nil {
+			// Only the documented capacity limit may fail.
+			return strings.Contains(err.Error(), "locality capacity")
+		}
+		if len(c.Cells) != cells || len(c.Nets) != nets || c.NumPins() != pins {
+			return false
+		}
+		return netlist.Validate(c) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGenerateFormatRoundTripQuick: generated circuits survive the text
+// format round trip with identical structure.
+func TestGenerateFormatRoundTripQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		c, err := Generate(Spec{
+			Name: "rt", Cells: 10, Nets: 20, Pins: 70,
+			DimX: 200, DimY: 200, CustomFrac: 0.3, RectFrac: 0.3, EquivFrac: 0.05,
+		}, seed)
+		if err != nil {
+			return false
+		}
+		var sb strings.Builder
+		if err := netlist.Write(&sb, c); err != nil {
+			return false
+		}
+		got, err := netlist.Parse(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		if len(got.Cells) != len(c.Cells) || len(got.Nets) != len(c.Nets) ||
+			len(got.Pins) != len(c.Pins) {
+			return false
+		}
+		// Connections preserved including equivalents.
+		for i := range c.Nets {
+			if len(got.Nets[i].Conns) != len(c.Nets[i].Conns) {
+				return false
+			}
+			for j := range c.Nets[i].Conns {
+				if len(got.Nets[i].Conns[j].Pins) != len(c.Nets[i].Conns[j].Pins) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,51 @@
+package geom
+
+import "testing"
+
+func BenchmarkRectOverlap(b *testing.B) {
+	r1 := R(0, 0, 100, 80)
+	r2 := R(50, 40, 150, 120)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += r1.Overlap(r2)
+	}
+	_ = sink
+}
+
+func BenchmarkTileSetOverlap(b *testing.B) {
+	a := MustTileSet(R(0, 0, 100, 40), R(0, 40, 50, 100))
+	c := MustTileSet(R(30, 20, 130, 60), R(30, 60, 80, 120))
+	var sink int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += a.Overlap(c)
+	}
+	_ = sink
+}
+
+func BenchmarkTileSetTransform(b *testing.B) {
+	ts := MustTileSet(R(0, 0, 100, 40), R(0, 40, 50, 100))
+	for i := 0; i < b.N; i++ {
+		_ = ts.Transform(Orient(i%NumOrients), Point{X: i, Y: -i})
+	}
+}
+
+func BenchmarkBoundaryEdges(b *testing.B) {
+	ts := MustTileSet(
+		R(0, 0, 100, 20),
+		R(0, 20, 60, 40),
+		R(0, 40, 30, 60),
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ts.BoundaryEdges()
+	}
+}
+
+func BenchmarkOrientApply(b *testing.B) {
+	p := Point{X: 17, Y: -23}
+	for i := 0; i < b.N; i++ {
+		p = Orient(i % NumOrients).Apply(p)
+	}
+	_ = p
+}

@@ -1,0 +1,155 @@
+// Package geom provides the integer-grid geometry substrate used throughout
+// the TimberWolfMC reproduction: points, rectangles, rectilinear tile sets,
+// and the eight-element cell orientation group.
+//
+// All coordinates live on the integer grid inherent in the netlist
+// specification (paper §3.2.3); areas are accumulated in int64 so that the
+// quadratic overlap penalty C2 cannot overflow on realistic chips.
+package geom
+
+import "fmt"
+
+// Coord is a position on the netlist's integer grid.
+type Coord = int
+
+// Point is a location on the grid.
+type Point struct {
+	X, Y Coord
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p translated by -q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Manhattan returns the L1 distance between p and q.
+func (p Point) Manhattan(q Point) int {
+	return abs(p.X-q.X) + abs(p.Y-q.Y)
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Rect is an axis-aligned rectangle with inclusive low corner and exclusive
+// high corner semantics for area purposes: it covers [XLo,XHi) × [YLo,YHi).
+// A Rect with XHi <= XLo or YHi <= YLo is empty.
+type Rect struct {
+	XLo, YLo, XHi, YHi Coord
+}
+
+// R is shorthand for constructing a Rect.
+func R(xlo, ylo, xhi, yhi Coord) Rect { return Rect{xlo, ylo, xhi, yhi} }
+
+// Empty reports whether r covers no area.
+func (r Rect) Empty() bool { return r.XHi <= r.XLo || r.YHi <= r.YLo }
+
+// W returns the width of r (zero if empty).
+func (r Rect) W() int {
+	if r.XHi <= r.XLo {
+		return 0
+	}
+	return r.XHi - r.XLo
+}
+
+// H returns the height of r (zero if empty).
+func (r Rect) H() int {
+	if r.YHi <= r.YLo {
+		return 0
+	}
+	return r.YHi - r.YLo
+}
+
+// Area returns the area of r.
+func (r Rect) Area() int64 {
+	return int64(r.W()) * int64(r.H())
+}
+
+// Center returns the center of r, rounded toward the low corner.
+func (r Rect) Center() Point {
+	return Point{(r.XLo + r.XHi) / 2, (r.YLo + r.YHi) / 2}
+}
+
+// Translate returns r shifted by d.
+func (r Rect) Translate(d Point) Rect {
+	return Rect{r.XLo + d.X, r.YLo + d.Y, r.XHi + d.X, r.YHi + d.Y}
+}
+
+// Intersect returns the overlap of r and s (possibly empty).
+func (r Rect) Intersect(s Rect) Rect {
+	return Rect{
+		XLo: max(r.XLo, s.XLo),
+		YLo: max(r.YLo, s.YLo),
+		XHi: min(r.XHi, s.XHi),
+		YHi: min(r.YHi, s.YHi),
+	}
+}
+
+// Overlap returns the common area of r and s.
+func (r Rect) Overlap(s Rect) int64 {
+	w := min(r.XHi, s.XHi) - max(r.XLo, s.XLo)
+	if w <= 0 {
+		return 0
+	}
+	h := min(r.YHi, s.YHi) - max(r.YLo, s.YLo)
+	if h <= 0 {
+		return 0
+	}
+	return int64(w) * int64(h)
+}
+
+// Intersects reports whether r and s share positive area.
+func (r Rect) Intersects(s Rect) bool {
+	return min(r.XHi, s.XHi) > max(r.XLo, s.XLo) &&
+		min(r.YHi, s.YHi) > max(r.YLo, s.YLo)
+}
+
+// Contains reports whether p lies within r (half-open).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.XLo && p.X < r.XHi && p.Y >= r.YLo && p.Y < r.YHi
+}
+
+// ContainsRect reports whether s lies entirely within r.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	return s.XLo >= r.XLo && s.XHi <= r.XHi && s.YLo >= r.YLo && s.YHi <= r.YHi
+}
+
+// Union returns the smallest rectangle covering both r and s.
+// If either is empty the other is returned.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		XLo: min(r.XLo, s.XLo),
+		YLo: min(r.YLo, s.YLo),
+		XHi: max(r.XHi, s.XHi),
+		YHi: max(r.YHi, s.YHi),
+	}
+}
+
+// Inflate returns r grown outward by the given (possibly distinct) amounts
+// per side. Negative amounts shrink; the result may be empty.
+// This is the primitive behind the estimator's per-edge expansion (Eqn 2).
+func (r Rect) Inflate(left, bottom, right, top int) Rect {
+	return Rect{r.XLo - left, r.YLo - bottom, r.XHi + right, r.YHi + top}
+}
+
+// InflateUniform grows r by d on every side.
+func (r Rect) InflateUniform(d int) Rect { return r.Inflate(d, d, d, d) }
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d %d,%d]", r.XLo, r.YLo, r.XHi, r.YHi)
+}

@@ -1,0 +1,221 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := R(1, 2, 5, 7)
+	if r.W() != 4 || r.H() != 5 {
+		t.Fatalf("W,H = %d,%d want 4,5", r.W(), r.H())
+	}
+	if r.Area() != 20 {
+		t.Fatalf("Area = %d want 20", r.Area())
+	}
+	if r.Empty() {
+		t.Fatal("non-degenerate rect reported empty")
+	}
+	if got := r.Center(); got != (Point{3, 4}) {
+		t.Fatalf("Center = %v want (3,4)", got)
+	}
+}
+
+func TestRectEmpty(t *testing.T) {
+	cases := []Rect{
+		R(5, 0, 5, 10), // zero width
+		R(0, 5, 10, 5), // zero height
+		R(6, 0, 5, 10), // inverted
+	}
+	for _, r := range cases {
+		if !r.Empty() {
+			t.Errorf("%v should be empty", r)
+		}
+		if r.Area() != 0 {
+			t.Errorf("%v empty rect area = %d", r, r.Area())
+		}
+	}
+}
+
+func TestRectOverlap(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	cases := []struct {
+		b    Rect
+		want int64
+	}{
+		{R(5, 5, 15, 15), 25},
+		{R(10, 0, 20, 10), 0},  // abutting, no overlap
+		{R(-5, -5, 0, 0), 0},   // corner touch
+		{R(2, 2, 8, 8), 36},    // contained
+		{R(-5, 3, 25, 4), 10},  // strip across
+		{R(20, 20, 30, 30), 0}, // disjoint
+	}
+	for _, c := range cases {
+		if got := a.Overlap(c.b); got != c.want {
+			t.Errorf("Overlap(%v,%v) = %d want %d", a, c.b, got, c.want)
+		}
+		if got := c.b.Overlap(a); got != c.want {
+			t.Errorf("Overlap not symmetric for %v", c.b)
+		}
+		if (c.want > 0) != a.Intersects(c.b) {
+			t.Errorf("Intersects(%v,%v) inconsistent with Overlap", a, c.b)
+		}
+	}
+}
+
+func TestRectOverlapMatchesIntersectArea(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh int16) bool {
+		a := R(int(ax), int(ay), int(ax)+int(aw%64), int(ay)+int(ah%64))
+		b := R(int(bx), int(by), int(bx)+int(bw%64), int(by)+int(bh%64))
+		return a.Overlap(b) == a.Intersect(b).Area()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectInflate(t *testing.T) {
+	r := R(10, 10, 20, 20)
+	g := r.Inflate(1, 2, 3, 4)
+	want := R(9, 8, 23, 24)
+	if g != want {
+		t.Fatalf("Inflate = %v want %v", g, want)
+	}
+	if got := r.InflateUniform(-6); !got.Empty() {
+		t.Fatalf("over-shrunk rect should be empty, got %v", got)
+	}
+}
+
+func TestRectUnionContains(t *testing.T) {
+	a, b := R(0, 0, 5, 5), R(10, 10, 12, 12)
+	u := a.Union(b)
+	if !u.ContainsRect(a) || !u.ContainsRect(b) {
+		t.Fatalf("union %v does not contain inputs", u)
+	}
+	if got := (Rect{}).Union(a); got != a {
+		t.Fatalf("union with empty = %v want %v", got, a)
+	}
+	if !a.ContainsRect(Rect{}) {
+		t.Fatal("any rect should contain the empty rect")
+	}
+}
+
+func TestPointManhattan(t *testing.T) {
+	if d := (Point{1, 2}).Manhattan(Point{4, -2}); d != 7 {
+		t.Fatalf("Manhattan = %d want 7", d)
+	}
+}
+
+func TestOrientApplyKnown(t *testing.T) {
+	p := Point{2, 1}
+	want := map[Orient]Point{
+		R0:    {2, 1},
+		R90:   {-1, 2},
+		R180:  {-2, -1},
+		R270:  {1, -2},
+		MX:    {-2, 1},
+		MX90:  {-1, -2},
+		MX180: {2, -1},
+		MX270: {1, 2},
+	}
+	for o, w := range want {
+		if got := o.Apply(p); got != w {
+			t.Errorf("%v.Apply(%v) = %v want %v", o, p, got, w)
+		}
+	}
+}
+
+func TestOrientComposeMatchesApplication(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {0, 1}, {3, -2}, {-7, 5}}
+	for q := Orient(0); q < NumOrients; q++ {
+		for o := Orient(0); o < NumOrients; o++ {
+			c := Compose(q, o)
+			for _, p := range pts {
+				if got, want := c.Apply(p), q.Apply(o.Apply(p)); got != want {
+					t.Fatalf("Compose(%v,%v)=%v: apply %v got %v want %v",
+						q, o, c, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestOrientInverse(t *testing.T) {
+	for o := Orient(0); o < NumOrients; o++ {
+		inv := o.Inverse()
+		if Compose(inv, o) != R0 || Compose(o, inv) != R0 {
+			t.Errorf("%v inverse %v does not cancel", o, inv)
+		}
+	}
+}
+
+func TestOrientGroupClosure(t *testing.T) {
+	// The eight orientations form a group: composition stays in range and
+	// each row/column of the Cayley table is a permutation.
+	for a := Orient(0); a < NumOrients; a++ {
+		seen := map[Orient]bool{}
+		for b := Orient(0); b < NumOrients; b++ {
+			c := Compose(a, b)
+			if !c.Valid() {
+				t.Fatalf("Compose(%v,%v) = %v out of range", a, b, c)
+			}
+			if seen[c] {
+				t.Fatalf("row %v repeats %v", a, c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestOrientSwapsAxes(t *testing.T) {
+	r := R(0, 0, 4, 2) // wider than tall
+	for o := Orient(0); o < NumOrients; o++ {
+		g := o.ApplyRect(r)
+		swapped := g.W() == r.H() && g.H() == r.W()
+		if o.SwapsAxes() != swapped {
+			t.Errorf("%v SwapsAxes=%v but rect %v -> %v", o, o.SwapsAxes(), r, g)
+		}
+		if g.Area() != r.Area() {
+			t.Errorf("%v does not preserve area: %v -> %v", o, r, g)
+		}
+	}
+}
+
+func TestOrientAspectInversions(t *testing.T) {
+	for o := Orient(0); o < NumOrients; o++ {
+		for _, q := range o.AspectInversions() {
+			if q.SwapsAxes() == o.SwapsAxes() {
+				t.Errorf("AspectInversions(%v) returned %v with same parity", o, q)
+			}
+		}
+	}
+}
+
+func TestParseOrient(t *testing.T) {
+	for o := Orient(0); o < NumOrients; o++ {
+		got, err := ParseOrient(o.String())
+		if err != nil || got != o {
+			t.Errorf("ParseOrient(%q) = %v, %v", o.String(), got, err)
+		}
+	}
+	if _, err := ParseOrient("R45"); err == nil {
+		t.Error("ParseOrient accepted invalid name")
+	}
+}
+
+func TestOrientApplyRectQuick(t *testing.T) {
+	f := func(x, y int16, w, h uint8, ob uint8) bool {
+		o := Orient(ob % NumOrients)
+		r := R(int(x), int(y), int(x)+int(w)+1, int(y)+int(h)+1)
+		g := o.ApplyRect(r)
+		if g.Area() != r.Area() {
+			return false
+		}
+		// The transformed corners must be the corners of g.
+		c := o.Apply(Point{r.XLo, r.YLo})
+		return g.Contains(Point{min(max(c.X, g.XLo), g.XHi-1), min(max(c.Y, g.YLo), g.YHi-1)})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package geom
+
+import "fmt"
+
+// Orient is one of the eight placement orientations of a cell (the symmetry
+// group of the square: four rotations, each optionally mirrored). The paper
+// considers all eight orientations for every cell because the TEIC is based
+// on exact pin locations (§1).
+//
+// The encoding is rotation index (0–3, counter-clockwise quarter turns)
+// plus 4 if the cell is first mirrored about the Y axis.
+type Orient uint8
+
+// The eight orientations.
+const (
+	R0    Orient = iota // identity
+	R90                 // rotate 90° CCW
+	R180                // rotate 180°
+	R270                // rotate 270° CCW
+	MX                  // mirror about Y axis (x -> -x)
+	MX90                // mirror, then rotate 90° CCW
+	MX180               // mirror, then rotate 180° (== mirror about X axis)
+	MX270               // mirror, then rotate 270° CCW
+)
+
+// NumOrients is the size of the orientation group.
+const NumOrients = 8
+
+var orientNames = [NumOrients]string{
+	"R0", "R90", "R180", "R270", "MX", "MX90", "MX180", "MX270",
+}
+
+func (o Orient) String() string {
+	if o < NumOrients {
+		return orientNames[o]
+	}
+	return fmt.Sprintf("Orient(%d)", uint8(o))
+}
+
+// Valid reports whether o names one of the eight orientations.
+func (o Orient) Valid() bool { return o < NumOrients }
+
+// Mirrored reports whether o includes the mirror operation.
+func (o Orient) Mirrored() bool { return o >= MX }
+
+// SwapsAxes reports whether o exchanges the X and Y extents of a shape —
+// i.e. whether it inverts the aspect ratio. The generate function's retry
+// move (§3.2.1, Figure 2) needs an orientation with the opposite parity.
+func (o Orient) SwapsAxes() bool { return o&1 == 1 }
+
+// ParseOrient converts a name such as "R90" or "MX180" to an Orient.
+func ParseOrient(s string) (Orient, error) {
+	for i, n := range orientNames {
+		if n == s {
+			return Orient(i), nil
+		}
+	}
+	return 0, fmt.Errorf("geom: unknown orientation %q", s)
+}
+
+// Apply transforms a point given in the cell's canonical (R0) frame,
+// relative to the cell origin, into the oriented frame.
+func (o Orient) Apply(p Point) Point {
+	x, y := p.X, p.Y
+	if o.Mirrored() {
+		x = -x
+	}
+	switch o & 3 {
+	case 0:
+		return Point{x, y}
+	case 1:
+		return Point{-y, x}
+	case 2:
+		return Point{-x, -y}
+	default:
+		return Point{y, -x}
+	}
+}
+
+// ApplyRect transforms a canonical-frame rectangle into the oriented frame.
+func (o Orient) ApplyRect(r Rect) Rect {
+	a := o.Apply(Point{r.XLo, r.YLo})
+	b := o.Apply(Point{r.XHi, r.YHi})
+	return Rect{
+		XLo: min(a.X, b.X),
+		YLo: min(a.Y, b.Y),
+		XHi: max(a.X, b.X),
+		YHi: max(a.Y, b.Y),
+	}
+}
+
+// Compose returns the orientation equivalent to applying o first and then q:
+// Compose(q, o).Apply(p) == q.Apply(o.Apply(p)).
+//
+// Each element acts as v -> Rot(r)·M^m·v with M the Y-axis mirror.
+// Since M·Rot(t) = Rot(-t)·M, the product Rot(qr)·M^qm·Rot(or)·M^om
+// normalizes to Rot(qr ± or)·M^(qm⊕om).
+func Compose(q, o Orient) Orient {
+	qr, qm := int(q&3), q.Mirrored()
+	or, om := int(o&3), o.Mirrored()
+	sor := or
+	if qm {
+		sor = (4 - or) % 4
+	}
+	res := Orient((qr + sor) % 4)
+	if qm != om {
+		res += 4
+	}
+	return res
+}
+
+// Inverse returns the orientation that undoes o.
+func (o Orient) Inverse() Orient {
+	// Brute force over the small group: correct by construction and the
+	// group is tiny.
+	for inv := Orient(0); inv < NumOrients; inv++ {
+		if Compose(inv, o) == R0 {
+			return inv
+		}
+	}
+	panic("geom: orientation has no inverse") // unreachable
+}
+
+// AspectInversions lists, for each orientation, the orientations that swap
+// the axes relative to it — the candidates for the paper's "aspect ratio
+// inversion" retry in the generate function.
+func (o Orient) AspectInversions() [4]Orient {
+	var out [4]Orient
+	i := 0
+	for q := Orient(0); q < NumOrients; q++ {
+		if q.SwapsAxes() != o.SwapsAxes() {
+			out[i] = q
+			i++
+		}
+	}
+	return out
+}

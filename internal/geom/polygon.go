@@ -1,0 +1,102 @@
+package geom
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PolygonTiles decomposes a simple rectilinear polygon, given as its vertex
+// list in order (each edge axis-parallel, first and last vertex joined),
+// into a TileSet of horizontal slabs. Benchmark formats such as MCNC YAL
+// describe cell outlines this way.
+func PolygonTiles(pts []Point) (*TileSet, error) {
+	if len(pts) < 4 {
+		return nil, fmt.Errorf("geom: polygon needs at least 4 vertices, got %d", len(pts))
+	}
+	// Collect the vertical edges and validate rectilinearity.
+	type vedge struct {
+		x, ylo, yhi Coord
+	}
+	var vedges []vedge
+	ys := map[Coord]bool{}
+	for i := range pts {
+		a := pts[i]
+		b := pts[(i+1)%len(pts)]
+		switch {
+		case a.X == b.X && a.Y != b.Y:
+			lo, hi := a.Y, b.Y
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			vedges = append(vedges, vedge{a.X, lo, hi})
+			ys[lo] = true
+			ys[hi] = true
+		case a.Y == b.Y && a.X != b.X:
+			ys[a.Y] = true
+		case a == b:
+			// Repeated vertex: tolerate.
+		default:
+			return nil, fmt.Errorf("geom: polygon edge %v-%v is not axis-parallel", a, b)
+		}
+	}
+	if len(vedges) == 0 {
+		return nil, fmt.Errorf("geom: polygon has no vertical extent")
+	}
+	// Horizontal slab decomposition: between consecutive y levels, the
+	// interior is the union of [x1,x2] spans between pairs of crossing
+	// vertical edges (even-odd rule).
+	levels := make([]Coord, 0, len(ys))
+	for y := range ys {
+		levels = append(levels, y)
+	}
+	sort.Ints(levels)
+	var tiles []Rect
+	for li := 0; li+1 < len(levels); li++ {
+		ylo, yhi := levels[li], levels[li+1]
+		if yhi <= ylo {
+			continue
+		}
+		var xs []Coord
+		for _, e := range vedges {
+			if e.ylo <= ylo && e.yhi >= yhi {
+				xs = append(xs, e.x)
+			}
+		}
+		if len(xs)%2 != 0 {
+			return nil, fmt.Errorf("geom: polygon is not simple (odd crossings in slab y=[%d,%d])", ylo, yhi)
+		}
+		sort.Ints(xs)
+		for k := 0; k+1 < len(xs); k += 2 {
+			if xs[k+1] > xs[k] {
+				tiles = append(tiles, Rect{xs[k], ylo, xs[k+1], yhi})
+			}
+		}
+	}
+	if len(tiles) == 0 {
+		return nil, fmt.Errorf("geom: polygon encloses no area")
+	}
+	// Merge vertically adjacent tiles with identical x-extents to keep the
+	// tiling compact.
+	merged := mergeSlabs(tiles)
+	return NewTileSet(merged...)
+}
+
+// mergeSlabs joins tiles that stack exactly (same x range, touching in y).
+func mergeSlabs(tiles []Rect) []Rect {
+	out := make([]Rect, 0, len(tiles))
+	for _, t := range tiles {
+		joined := false
+		for i := range out {
+			o := &out[i]
+			if o.XLo == t.XLo && o.XHi == t.XHi && o.YHi == t.YLo {
+				o.YHi = t.YHi
+				joined = true
+				break
+			}
+		}
+		if !joined {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package geom
+
+import "testing"
+
+func TestPolygonTilesRect(t *testing.T) {
+	ts, err := PolygonTiles([]Point{{0, 0}, {0, 30}, {50, 30}, {50, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Len() != 1 || ts.Area() != 1500 {
+		t.Fatalf("rect decomposition: %d tiles, area %d", ts.Len(), ts.Area())
+	}
+}
+
+func TestPolygonTilesL(t *testing.T) {
+	// L-shape: 20 wide up to y=50 on the left, extending to x=40 below
+	// y=25.
+	ts, err := PolygonTiles([]Point{
+		{0, 0}, {0, 50}, {20, 50}, {20, 25}, {40, 25}, {40, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(20*50 + 20*25)
+	if ts.Area() != want {
+		t.Fatalf("L area = %d want %d", ts.Area(), want)
+	}
+	if !ts.Contains(Point{10, 40}) || !ts.Contains(Point{30, 10}) {
+		t.Fatal("interior points missing")
+	}
+	if ts.Contains(Point{30, 40}) {
+		t.Fatal("notch covered")
+	}
+}
+
+func TestPolygonTilesT(t *testing.T) {
+	// T-shape (vertical stem, horizontal top): needs two slabs.
+	ts, err := PolygonTiles([]Point{
+		{20, 0}, {20, 30}, {0, 30}, {0, 40}, {60, 40}, {60, 30}, {40, 30}, {40, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(20*30 + 60*10)
+	if ts.Area() != want {
+		t.Fatalf("T area = %d want %d", ts.Area(), want)
+	}
+}
+
+func TestPolygonTilesVertexOrderInsensitive(t *testing.T) {
+	cw := []Point{{0, 0}, {0, 30}, {50, 30}, {50, 0}}
+	ccw := []Point{{0, 0}, {50, 0}, {50, 30}, {0, 30}}
+	a, err1 := PolygonTiles(cw)
+	b, err2 := PolygonTiles(ccw)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !a.Equal(b) {
+		t.Fatal("winding order changed the decomposition")
+	}
+}
+
+func TestPolygonTilesRejects(t *testing.T) {
+	if _, err := PolygonTiles([]Point{{0, 0}, {10, 10}, {20, 0}, {0, 0}}); err == nil {
+		t.Error("diagonal edge accepted")
+	}
+	if _, err := PolygonTiles([]Point{{0, 0}, {1, 0}}); err == nil {
+		t.Error("degenerate vertex list accepted")
+	}
+	if _, err := PolygonTiles([]Point{{0, 0}, {10, 0}, {20, 0}, {30, 0}}); err == nil {
+		t.Error("zero-height polygon accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestBoundaryEdgesBalancedQuick: for any valid two-tile stack, the total
+// up-facing boundary length equals the down-facing length and likewise for
+// left/right (closed rectilinear contours are balanced).
+func TestBoundaryEdgesBalancedQuick(t *testing.T) {
+	f := func(w1, h1, w2, h2, dx uint8) bool {
+		a := R(0, 0, int(w1)+1, int(h1)+1)
+		b := R(int(dx), int(h1)+1, int(dx)+int(w2)+1, int(h1)+1+int(h2)+1)
+		ts := MustTileSet(a, b)
+		var lens [4]int
+		for _, e := range ts.BoundaryEdges() {
+			lens[e.Dir] += e.Length()
+		}
+		return lens[DirUp] == lens[DirDown] && lens[DirLeft] == lens[DirRight]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBoundaryEdgesAreaQuick: Green's-theorem check — the signed area swept
+// by the boundary equals the tile-set area.
+func TestBoundaryEdgesAreaQuick(t *testing.T) {
+	f := func(w1, h1, w2, h2, dx uint8) bool {
+		a := R(0, 0, int(w1)+1, int(h1)+1)
+		b := R(int(dx), int(h1)+1, int(dx)+int(w2)+1, int(h1)+1+int(h2)+1)
+		ts := MustTileSet(a, b)
+		// Sum over horizontal edges of (outward-up edges contribute
+		// +y·len at their y, outward-down contribute −y·len) gives the
+		// area.
+		var area int64
+		for _, e := range ts.BoundaryEdges() {
+			if !e.Dir.Horizontal() {
+				continue
+			}
+			contrib := int64(e.Coordinate()) * int64(e.Length())
+			if e.Dir == DirUp {
+				area += contrib
+			} else {
+				area -= contrib
+			}
+		}
+		return area == ts.Area()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransformPreservesOverlapQuick: rigid transforms preserve pairwise
+// overlap between tile sets.
+func TestTransformPreservesOverlapQuick(t *testing.T) {
+	f := func(ob uint8, dxv, dyv int16, w1, h1, w2, h2, off uint8) bool {
+		o := Orient(ob % NumOrients)
+		d := Point{int(dxv), int(dyv)}
+		a := MustTileSet(R(0, 0, int(w1)+1, int(h1)+1))
+		b := MustTileSet(R(int(off), 0, int(off)+int(w2)+1, int(h2)+1))
+		before := a.Overlap(b)
+		after := a.Transform(o, d).Overlap(b.Transform(o, d))
+		return before == after
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

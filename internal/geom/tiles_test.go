@@ -1,0 +1,202 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// lShape is the canonical rectilinear test fixture: an L made of two tiles.
+//
+//	┌──┐
+//	│  │
+//	│  └───┐
+//	└──────┘
+func lShape() *TileSet {
+	return MustTileSet(
+		R(0, 0, 10, 4),
+		R(0, 4, 4, 10),
+	)
+}
+
+func TestNewTileSetRejectsOverlap(t *testing.T) {
+	if _, err := NewTileSet(R(0, 0, 5, 5), R(4, 4, 8, 8)); err == nil {
+		t.Fatal("overlapping tiles accepted")
+	}
+	if _, err := NewTileSet(R(0, 0, 0, 5)); err == nil {
+		t.Fatal("empty tile accepted")
+	}
+}
+
+func TestTileSetAreaBounds(t *testing.T) {
+	l := lShape()
+	if got := l.Area(); got != 10*4+4*6 {
+		t.Fatalf("Area = %d want %d", got, 10*4+4*6)
+	}
+	if got, want := l.Bounds(), R(0, 0, 10, 10); got != want {
+		t.Fatalf("Bounds = %v want %v", got, want)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d want 2", l.Len())
+	}
+}
+
+func TestTileSetContains(t *testing.T) {
+	l := lShape()
+	in := []Point{{0, 0}, {9, 3}, {3, 9}, {1, 5}}
+	out := []Point{{9, 5}, {5, 5}, {10, 0}, {-1, -1}, {4, 4}}
+	for _, p := range in {
+		if !l.Contains(p) {
+			t.Errorf("Contains(%v) = false want true", p)
+		}
+	}
+	for _, p := range out {
+		if l.Contains(p) {
+			t.Errorf("Contains(%v) = true want false", p)
+		}
+	}
+}
+
+func TestTileSetTransformPreservesArea(t *testing.T) {
+	l := lShape()
+	for o := Orient(0); o < NumOrients; o++ {
+		g := l.Transform(o, Point{100, -50})
+		if g.Area() != l.Area() {
+			t.Errorf("%v transform changed area %d -> %d", o, l.Area(), g.Area())
+		}
+		if g.Len() != l.Len() {
+			t.Errorf("%v transform changed tile count", o)
+		}
+	}
+}
+
+func TestTileSetTransformRoundTrip(t *testing.T) {
+	l := lShape()
+	for o := Orient(0); o < NumOrients; o++ {
+		g := l.Transform(o, Point{}).Transform(o.Inverse(), Point{})
+		if !g.Equal(l) {
+			t.Errorf("%v round trip: got %v want %v", o, g.Tiles(), l.Tiles())
+		}
+	}
+}
+
+func TestTileSetOverlap(t *testing.T) {
+	l := lShape()
+	// A rect over the notch only touches the vertical arm.
+	probe := MustTileSet(R(4, 4, 12, 12))
+	if got := l.Overlap(probe); got != 0 {
+		t.Fatalf("notch overlap = %d want 0", got)
+	}
+	probe2 := MustTileSet(R(2, 2, 6, 6))
+	// Overlaps bottom tile on [2,2]-[6,4) = 4*2=8 and top tile on
+	// [2,4]-[4,6) = 2*2=4.
+	if got := l.Overlap(probe2); got != 12 {
+		t.Fatalf("overlap = %d want 12", got)
+	}
+	if got := probe2.Overlap(l); got != 12 {
+		t.Fatal("Overlap not symmetric")
+	}
+	if got := l.OverlapRect(R(2, 2, 6, 6)); got != 12 {
+		t.Fatalf("OverlapRect = %d want 12", got)
+	}
+}
+
+func TestTileSetSelfOverlapEqualsArea(t *testing.T) {
+	f := func(w1, h1, w2, h2 uint8) bool {
+		// Build a two-tile vertical stack (never self-overlapping).
+		a := R(0, 0, int(w1)+1, int(h1)+1)
+		b := R(0, int(h1)+1, int(w2)+1, int(h1)+1+int(h2)+1)
+		ts := MustTileSet(a, b)
+		return ts.Overlap(ts) == ts.Area()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundaryEdgesRect(t *testing.T) {
+	ts := MustTileSet(R(0, 0, 10, 6))
+	edges := ts.BoundaryEdges()
+	if len(edges) != 4 {
+		t.Fatalf("rect has %d boundary edges want 4: %v", len(edges), edges)
+	}
+	var perim int
+	for _, e := range edges {
+		perim += e.Length()
+	}
+	if perim != 2*(10+6) {
+		t.Fatalf("perimeter = %d want 32", perim)
+	}
+}
+
+func TestBoundaryEdgesLShape(t *testing.T) {
+	l := lShape()
+	edges := l.BoundaryEdges()
+	if len(edges) != 6 {
+		t.Fatalf("L has %d boundary edges want 6: %v", len(edges), edges)
+	}
+	var perim int
+	dirLen := map[Direction]int{}
+	for _, e := range edges {
+		perim += e.Length()
+		dirLen[e.Dir] += e.Length()
+	}
+	// L perimeter: widths 10 (bottom) + 4 (top) + 6 (step) = 20 horizontal
+	// down/up; heights 10 (left) + 4 (right) + 6 (inner) = 20 vertical.
+	if perim != 40 {
+		t.Fatalf("perimeter = %d want 40", perim)
+	}
+	// Up-facing and down-facing total lengths must match (closed contour).
+	if dirLen[DirUp] != dirLen[DirDown] || dirLen[DirLeft] != dirLen[DirRight] {
+		t.Fatalf("unbalanced boundary: %v", dirLen)
+	}
+	// The abutment between the two tiles at y=4 over x in [0,4) must not
+	// appear as a boundary edge.
+	for _, e := range edges {
+		if e.Dir.Horizontal() && e.Coordinate() == 4 && e.A.X < 4 {
+			t.Fatalf("interior abutment leaked into boundary: %v", e)
+		}
+	}
+}
+
+func TestBoundaryEdgesMergesCollinear(t *testing.T) {
+	// Two tiles side by side form a single rectangle; the shared top must
+	// merge into one edge.
+	ts := MustTileSet(R(0, 0, 5, 10), R(5, 0, 12, 10))
+	edges := ts.BoundaryEdges()
+	if len(edges) != 4 {
+		t.Fatalf("merged rect has %d edges want 4: %v", len(edges), edges)
+	}
+}
+
+func TestEdgeAccessors(t *testing.T) {
+	e := Edge{A: Point{3, 1}, B: Point{3, 9}, Dir: DirRight}
+	if e.Length() != 8 {
+		t.Fatalf("Length = %d want 8", e.Length())
+	}
+	if e.Coordinate() != 3 {
+		t.Fatalf("Coordinate = %d want 3", e.Coordinate())
+	}
+	if e.Midpoint() != (Point{3, 5}) {
+		t.Fatalf("Midpoint = %v", e.Midpoint())
+	}
+	if !e.Dir.Vertical() || e.Dir.Horizontal() {
+		t.Fatal("DirRight should be a vertical edge normal")
+	}
+	for d := Direction(0); d < 4; d++ {
+		if d.Opposite().Opposite() != d {
+			t.Errorf("Opposite not involutive for %v", d)
+		}
+	}
+}
+
+func TestTileSetCloneIndependent(t *testing.T) {
+	l := lShape()
+	c := l.Clone()
+	if !c.Equal(l) {
+		t.Fatal("clone not equal")
+	}
+	c.tiles[0].XHi = 999
+	if l.tiles[0].XHi == 999 {
+		t.Fatal("clone shares backing storage")
+	}
+}

@@ -1,0 +1,315 @@
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Builder assembles a Circuit incrementally with name-based references and
+// defers index wiring and validation to Build. The generators, the parser,
+// and the examples all construct circuits through it.
+type Builder struct {
+	c       Circuit
+	curCell int // index of the cell being defined, or -1
+	errs    []error
+}
+
+// NewBuilder starts a circuit with the given name and track separation.
+func NewBuilder(name string, trackSep int) *Builder {
+	return &Builder{
+		c:       Circuit{Name: name, TrackSep: trackSep},
+		curCell: -1,
+	}
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("netlist: "+format, args...))
+}
+
+// BeginMacro starts a macro cell definition and returns its index.
+func (b *Builder) BeginMacro(name string) int {
+	b.c.Cells = append(b.c.Cells, Cell{Name: name, Kind: Macro})
+	b.curCell = len(b.c.Cells) - 1
+	return b.curCell
+}
+
+// BeginCustom starts a custom cell definition and returns its index.
+func (b *Builder) BeginCustom(name string) int {
+	b.c.Cells = append(b.c.Cells, Cell{Name: name, Kind: Custom})
+	b.curCell = len(b.c.Cells) - 1
+	return b.curCell
+}
+
+func (b *Builder) cell() *Cell {
+	if b.curCell < 0 {
+		b.errf("cell attribute outside a cell definition")
+		b.c.Cells = append(b.c.Cells, Cell{Name: "?"})
+		b.curCell = len(b.c.Cells) - 1
+	}
+	return &b.c.Cells[b.curCell]
+}
+
+// MacroInstance adds a fixed-geometry instance to the current cell. Tiles
+// are normalized so the bounding-box low corner sits at the origin.
+func (b *Builder) MacroInstance(name string, tiles ...geom.Rect) {
+	ts, err := geom.NewTileSet(tiles...)
+	if err != nil {
+		b.errf("cell %s instance %s: %v", b.cell().Name, name, err)
+		return
+	}
+	bb := ts.Bounds()
+	ts = ts.Transform(geom.R0, geom.Point{X: -bb.XLo, Y: -bb.YLo})
+	c := b.cell()
+	c.Instances = append(c.Instances, Instance{Name: name, Tiles: ts})
+}
+
+// CustomInstance adds an area/aspect instance to the current cell.
+func (b *Builder) CustomInstance(name string, area int64, aspectMin, aspectMax float64, choices ...float64) {
+	if area <= 0 {
+		b.errf("cell %s instance %s: non-positive area %d", b.cell().Name, name, area)
+		return
+	}
+	c := b.cell()
+	c.Instances = append(c.Instances, Instance{
+		Name:          name,
+		Area:          area,
+		AspectMin:     aspectMin,
+		AspectMax:     aspectMax,
+		AspectChoices: append([]float64(nil), choices...),
+	})
+}
+
+// FixedPin adds a pin at a fixed canonical-frame offset (relative to the
+// instance bounding-box center) to the current cell. Returns the pin index.
+func (b *Builder) FixedPin(name string, offset geom.Point) int {
+	return b.addPin(Pin{
+		Name:      name,
+		Placement: PinFixed,
+		Offset:    offset,
+		Group:     -1,
+	})
+}
+
+// EdgePin adds an uncommitted pin restricted to the given edges.
+func (b *Builder) EdgePin(name string, edges EdgeMask) int {
+	return b.addPin(Pin{
+		Name:      name,
+		Placement: PinEdge,
+		Edges:     edges,
+		Group:     -1,
+	})
+}
+
+// PinGroup declares an uncommitted pin group on the current cell and returns
+// its index within the cell.
+func (b *Builder) PinGroup(name string, edges EdgeMask, sequenced bool) int {
+	c := b.cell()
+	c.Groups = append(c.Groups, PinGroup{Name: name, Edges: edges, Sequenced: sequenced})
+	return len(c.Groups) - 1
+}
+
+// GroupPin adds a pin belonging to the given group of the current cell.
+func (b *Builder) GroupPin(name string, group int) int {
+	c := b.cell()
+	if group < 0 || group >= len(c.Groups) {
+		b.errf("cell %s pin %s: no such group %d", c.Name, name, group)
+		return -1
+	}
+	g := &c.Groups[group]
+	placement := PinGrouped
+	if g.Sequenced {
+		placement = PinSequenced
+	}
+	pi := b.addPin(Pin{
+		Name:      name,
+		Placement: placement,
+		Edges:     g.Edges,
+		Group:     group,
+		Seq:       len(g.Pins),
+	})
+	g.Pins = append(g.Pins, pi)
+	return pi
+}
+
+func (b *Builder) addPin(p Pin) int {
+	c := b.cell()
+	p.Cell = b.curCell
+	b.c.Pins = append(b.c.Pins, p)
+	pi := len(b.c.Pins) - 1
+	c.Pins = append(c.Pins, pi)
+	return pi
+}
+
+// SitesPerEdge overrides the pin-site count for the current (custom) cell.
+func (b *Builder) SitesPerEdge(n int) { b.cell().SitesPerEdge = n }
+
+// FixAt pre-places the current cell: its bounding-box center is pinned at
+// pos with the given orientation and the annealer never moves it.
+func (b *Builder) FixAt(pos geom.Point, o geom.Orient) {
+	c := b.cell()
+	c.Fixed = true
+	c.FixedPos = pos
+	c.FixedOrient = o
+}
+
+// Net starts a net and returns its index. Connections are added with Conn.
+func (b *Builder) Net(name string, hweight, vweight float64) int {
+	if hweight <= 0 {
+		hweight = 1
+	}
+	if vweight <= 0 {
+		vweight = 1
+	}
+	b.c.Nets = append(b.c.Nets, Net{Name: name, HWeight: hweight, VWeight: vweight})
+	return len(b.c.Nets) - 1
+}
+
+// Conn adds a connection to net n. Each argument is a pin index; passing
+// more than one marks them electrically equivalent alternatives.
+func (b *Builder) Conn(n int, pins ...int) {
+	if n < 0 || n >= len(b.c.Nets) {
+		b.errf("Conn: no such net %d", n)
+		return
+	}
+	if len(pins) == 0 {
+		b.errf("Conn on net %s: no pins", b.c.Nets[n].Name)
+		return
+	}
+	for _, p := range pins {
+		if p < 0 || p >= len(b.c.Pins) {
+			b.errf("Conn on net %s: bad pin index %d", b.c.Nets[n].Name, p)
+			return
+		}
+	}
+	b.c.Nets[n].Conns = append(b.c.Nets[n].Conns, Conn{Pins: append([]int(nil), pins...)})
+}
+
+// ConnByName adds a connection using "cell.pin" references; alternatives
+// beyond the first are electrically equivalent.
+func (b *Builder) ConnByName(n int, refs ...[2]string) {
+	pins := make([]int, 0, len(refs))
+	for _, r := range refs {
+		ci := b.c.CellByName(r[0])
+		if ci < 0 {
+			b.errf("ConnByName: no cell %q", r[0])
+			return
+		}
+		pi := b.c.PinByName(ci, r[1])
+		if pi < 0 {
+			b.errf("ConnByName: no pin %q on cell %q", r[1], r[0])
+			return
+		}
+		pins = append(pins, pi)
+	}
+	b.Conn(n, pins...)
+}
+
+// Build validates and returns the circuit.
+func (b *Builder) Build() (*Circuit, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if err := Validate(&b.c); err != nil {
+		return nil, err
+	}
+	return &b.c, nil
+}
+
+// MustBuild is Build that panics on error; for tests and generators.
+func (b *Builder) MustBuild() *Circuit {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Validate checks structural invariants of a circuit.
+func Validate(c *Circuit) error {
+	if c.TrackSep <= 0 {
+		return fmt.Errorf("netlist: circuit %s: track separation %d must be positive", c.Name, c.TrackSep)
+	}
+	names := map[string]bool{}
+	for i := range c.Cells {
+		cl := &c.Cells[i]
+		if cl.Name == "" {
+			return fmt.Errorf("netlist: cell %d has no name", i)
+		}
+		if names[cl.Name] {
+			return fmt.Errorf("netlist: duplicate cell name %q", cl.Name)
+		}
+		names[cl.Name] = true
+		if len(cl.Instances) == 0 {
+			return fmt.Errorf("netlist: cell %q has no instances", cl.Name)
+		}
+		for j := range cl.Instances {
+			in := &cl.Instances[j]
+			switch cl.Kind {
+			case Macro:
+				if in.Tiles == nil {
+					return fmt.Errorf("netlist: macro cell %q instance %d has no tiles", cl.Name, j)
+				}
+			case Custom:
+				if in.Tiles == nil && in.Area <= 0 {
+					return fmt.Errorf("netlist: custom cell %q instance %d has no area", cl.Name, j)
+				}
+			}
+		}
+		pinNames := map[string]bool{}
+		for _, pi := range cl.Pins {
+			if pi < 0 || pi >= len(c.Pins) {
+				return fmt.Errorf("netlist: cell %q references bad pin index %d", cl.Name, pi)
+			}
+			p := &c.Pins[pi]
+			if p.Cell != i {
+				return fmt.Errorf("netlist: pin %q owner mismatch (cell %q)", p.Name, cl.Name)
+			}
+			if pinNames[p.Name] {
+				return fmt.Errorf("netlist: cell %q has duplicate pin %q", cl.Name, p.Name)
+			}
+			pinNames[p.Name] = true
+			if p.Placement != PinFixed && cl.Kind == Macro {
+				return fmt.Errorf("netlist: macro cell %q has uncommitted pin %q", cl.Name, p.Name)
+			}
+			if (p.Placement == PinGrouped || p.Placement == PinSequenced) &&
+				(p.Group < 0 || p.Group >= len(cl.Groups)) {
+				return fmt.Errorf("netlist: pin %q on %q references bad group %d", p.Name, cl.Name, p.Group)
+			}
+			if p.Placement == PinEdge && p.Edges == 0 {
+				return fmt.Errorf("netlist: pin %q on %q has empty edge mask", p.Name, cl.Name)
+			}
+		}
+	}
+	netNames := map[string]bool{}
+	for i := range c.Nets {
+		n := &c.Nets[i]
+		if n.Name == "" {
+			return fmt.Errorf("netlist: net %d has no name", i)
+		}
+		if netNames[n.Name] {
+			return fmt.Errorf("netlist: duplicate net name %q", n.Name)
+		}
+		netNames[n.Name] = true
+		if len(n.Conns) < 2 {
+			return fmt.Errorf("netlist: net %q has %d connections, need >= 2", n.Name, len(n.Conns))
+		}
+		for _, conn := range n.Conns {
+			if len(conn.Pins) == 0 {
+				return fmt.Errorf("netlist: net %q has an empty connection", n.Name)
+			}
+			cell := -1
+			for _, pi := range conn.Pins {
+				if pi < 0 || pi >= len(c.Pins) {
+					return fmt.Errorf("netlist: net %q references bad pin %d", n.Name, pi)
+				}
+				if cell == -1 {
+					cell = c.Pins[pi].Cell
+				} else if c.Pins[pi].Cell != cell {
+					return fmt.Errorf("netlist: net %q equivalent pins span cells", n.Name)
+				}
+			}
+		}
+	}
+	return nil
+}

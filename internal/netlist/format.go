@@ -1,0 +1,441 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// The text interchange format.
+//
+// A circuit file is a sequence of lines; '#' starts a comment; blank lines
+// are ignored. Structure:
+//
+//	circuit NAME
+//	tracksep N
+//
+//	macro CELL
+//	  instance NAME
+//	    tile XLO YLO XHI YHI        # one or more per instance
+//	  pin NAME fixed X Y            # offset from instance bbox center
+//	end
+//
+//	custom CELL
+//	  instance NAME area A aspect MIN MAX
+//	  instance NAME area A choices R1 R2 ...
+//	  sites N                       # pin sites per edge (optional)
+//	  pin NAME fixed X Y
+//	  pin NAME edge MASK            # MASK: subset of LRBT or ANY
+//	  group NAME edges MASK [seq]
+//	  pin NAME group GROUPNAME
+//	end
+//
+//	net NAME [hw H] [vw V]
+//	  conn CELL.PIN [CELL.PIN ...]  # extra refs = electrically equivalent
+//	end
+
+// Write serializes the circuit in the text format.
+func Write(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %d cells, %d nets, %d pins\n", len(c.Cells), len(c.Nets), len(c.Pins))
+	fmt.Fprintf(bw, "circuit %s\n", c.Name)
+	fmt.Fprintf(bw, "tracksep %d\n", c.TrackSep)
+	for i := range c.Cells {
+		cl := &c.Cells[i]
+		fmt.Fprintf(bw, "\n%s %s\n", cl.Kind, cl.Name)
+		for j := range cl.Instances {
+			in := &cl.Instances[j]
+			if !in.IsCustomShape() {
+				fmt.Fprintf(bw, "  instance %s\n", in.Name)
+				for _, t := range in.Tiles.Tiles() {
+					fmt.Fprintf(bw, "    tile %d %d %d %d\n", t.XLo, t.YLo, t.XHi, t.YHi)
+				}
+			} else if len(in.AspectChoices) > 0 {
+				fmt.Fprintf(bw, "  instance %s area %d choices", in.Name, in.Area)
+				for _, r := range in.AspectChoices {
+					fmt.Fprintf(bw, " %g", r)
+				}
+				fmt.Fprintln(bw)
+			} else {
+				fmt.Fprintf(bw, "  instance %s area %d aspect %g %g\n",
+					in.Name, in.Area, in.AspectMin, in.AspectMax)
+			}
+		}
+		if cl.SitesPerEdge > 0 {
+			fmt.Fprintf(bw, "  sites %d\n", cl.SitesPerEdge)
+		}
+		if cl.Fixed {
+			fmt.Fprintf(bw, "  fixed %d %d %s\n", cl.FixedPos.X, cl.FixedPos.Y, cl.FixedOrient)
+		}
+		for gi := range cl.Groups {
+			g := &cl.Groups[gi]
+			seq := ""
+			if g.Sequenced {
+				seq = " seq"
+			}
+			fmt.Fprintf(bw, "  group %s edges %s%s\n", g.Name, g.Edges, seq)
+		}
+		for _, pi := range cl.Pins {
+			p := &c.Pins[pi]
+			switch p.Placement {
+			case PinFixed:
+				fmt.Fprintf(bw, "  pin %s fixed %d %d\n", p.Name, p.Offset.X, p.Offset.Y)
+			case PinEdge:
+				fmt.Fprintf(bw, "  pin %s edge %s\n", p.Name, p.Edges)
+			default:
+				fmt.Fprintf(bw, "  pin %s group %s\n", p.Name, cl.Groups[p.Group].Name)
+			}
+		}
+		fmt.Fprintln(bw, "end")
+	}
+	for i := range c.Nets {
+		n := &c.Nets[i]
+		fmt.Fprintf(bw, "\nnet %s", n.Name)
+		if n.HWeight != 1 {
+			fmt.Fprintf(bw, " hw %g", n.HWeight)
+		}
+		if n.VWeight != 1 {
+			fmt.Fprintf(bw, " vw %g", n.VWeight)
+		}
+		fmt.Fprintln(bw)
+		for _, conn := range n.Conns {
+			fmt.Fprint(bw, "  conn")
+			for _, pi := range conn.Pins {
+				p := &c.Pins[pi]
+				fmt.Fprintf(bw, " %s.%s", c.Cells[p.Cell].Name, p.Name)
+			}
+			fmt.Fprintln(bw)
+		}
+		fmt.Fprintln(bw, "end")
+	}
+	return bw.Flush()
+}
+
+type rect4 [4]int
+
+type parser struct {
+	b       *Builder
+	scanner *bufio.Scanner
+	line    int
+	// current context
+	inCell   bool
+	inNet    int
+	groups   map[string]int // group name -> index within current cell
+	tiles    []rect4
+	instName string
+}
+
+// Parse reads a circuit in the text format.
+func Parse(r io.Reader) (*Circuit, error) {
+	p := &parser{
+		scanner: bufio.NewScanner(r),
+		inNet:   -1,
+	}
+	p.scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for p.scanner.Scan() {
+		p.line++
+		line := p.scanner.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := p.handle(fields); err != nil {
+			return nil, fmt.Errorf("netlist: line %d: %w", p.line, err)
+		}
+	}
+	if err := p.scanner.Err(); err != nil {
+		return nil, err
+	}
+	if p.b == nil {
+		return nil, fmt.Errorf("netlist: no circuit declaration")
+	}
+	if err := p.flushInstance(); err != nil {
+		return nil, err
+	}
+	return p.b.Build()
+}
+
+func (p *parser) handle(f []string) error {
+	op := f[0]
+	if p.b == nil {
+		if op != "circuit" {
+			return fmt.Errorf("expected 'circuit', got %q", op)
+		}
+		if len(f) != 2 {
+			return fmt.Errorf("circuit takes one argument")
+		}
+		p.b = NewBuilder(f[1], 1)
+		return nil
+	}
+	switch op {
+	case "circuit":
+		return fmt.Errorf("duplicate circuit declaration")
+	case "tracksep":
+		v, err := atoi1(f, 1)
+		if err != nil {
+			return err
+		}
+		p.b.c.TrackSep = v
+		return nil
+	case "macro", "custom":
+		if err := p.endContext(); err != nil {
+			return err
+		}
+		if len(f) != 2 {
+			return fmt.Errorf("%s takes one argument", op)
+		}
+		if op == "macro" {
+			p.b.BeginMacro(f[1])
+		} else {
+			p.b.BeginCustom(f[1])
+		}
+		p.inCell = true
+		p.groups = map[string]int{}
+		return nil
+	case "net":
+		if err := p.endContext(); err != nil {
+			return err
+		}
+		if len(f) < 2 {
+			return fmt.Errorf("net takes a name")
+		}
+		hw, vw := 1.0, 1.0
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i+1], 64)
+			if err != nil {
+				return fmt.Errorf("bad weight %q", f[i+1])
+			}
+			switch f[i] {
+			case "hw":
+				hw = v
+			case "vw":
+				vw = v
+			default:
+				return fmt.Errorf("unknown net attribute %q", f[i])
+			}
+		}
+		p.inNet = p.b.Net(f[1], hw, vw)
+		return nil
+	case "end":
+		return p.endContext()
+	}
+	switch {
+	case p.inCell:
+		return p.handleCell(f)
+	case p.inNet >= 0:
+		return p.handleNet(f)
+	}
+	return fmt.Errorf("unexpected %q outside cell or net", op)
+}
+
+func (p *parser) endContext() error {
+	if err := p.flushInstance(); err != nil {
+		return err
+	}
+	p.inCell = false
+	p.inNet = -1
+	p.groups = nil
+	return nil
+}
+
+func (p *parser) flushInstance() error {
+	if p.instName == "" {
+		return nil
+	}
+	if len(p.tiles) == 0 {
+		return fmt.Errorf("instance %q has no tiles", p.instName)
+	}
+	rects := make([]geom.Rect, len(p.tiles))
+	for i, t := range p.tiles {
+		rects[i] = geom.R(t[0], t[1], t[2], t[3])
+	}
+	p.b.MacroInstance(p.instName, rects...)
+	p.instName = ""
+	p.tiles = nil
+	return nil
+}
+
+func (p *parser) handleCell(f []string) error {
+	switch f[0] {
+	case "instance":
+		if err := p.flushInstance(); err != nil {
+			return err
+		}
+		if len(f) < 2 {
+			return fmt.Errorf("instance takes a name")
+		}
+		if len(f) == 2 {
+			// Tile-based instance: tiles follow.
+			p.instName = f[1]
+			return nil
+		}
+		// Custom-shape instance.
+		if f[2] != "area" || len(f) < 4 {
+			return fmt.Errorf("expected 'area' in instance declaration")
+		}
+		area, err := strconv.ParseInt(f[3], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad area %q", f[3])
+		}
+		if len(f) >= 5 && f[4] == "aspect" {
+			if len(f) != 7 {
+				return fmt.Errorf("aspect takes MIN MAX")
+			}
+			lo, err1 := strconv.ParseFloat(f[5], 64)
+			hi, err2 := strconv.ParseFloat(f[6], 64)
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("bad aspect range")
+			}
+			p.b.CustomInstance(f[1], area, lo, hi)
+			return nil
+		}
+		if len(f) >= 5 && f[4] == "choices" {
+			var ch []float64
+			for _, s := range f[5:] {
+				v, err := strconv.ParseFloat(s, 64)
+				if err != nil {
+					return fmt.Errorf("bad aspect choice %q", s)
+				}
+				ch = append(ch, v)
+			}
+			if len(ch) == 0 {
+				return fmt.Errorf("choices needs at least one ratio")
+			}
+			p.b.CustomInstance(f[1], area, 0, 0, ch...)
+			return nil
+		}
+		p.b.CustomInstance(f[1], area, 1, 1)
+		return nil
+	case "tile":
+		if p.instName == "" {
+			return fmt.Errorf("tile outside a tile instance")
+		}
+		if len(f) != 5 {
+			return fmt.Errorf("tile takes XLO YLO XHI YHI")
+		}
+		var t rect4
+		for i := 0; i < 4; i++ {
+			v, err := strconv.Atoi(f[i+1])
+			if err != nil {
+				return fmt.Errorf("bad tile coordinate %q", f[i+1])
+			}
+			t[i] = v
+		}
+		p.tiles = append(p.tiles, t)
+		return nil
+	case "sites":
+		v, err := atoi1(f, 1)
+		if err != nil {
+			return err
+		}
+		p.b.SitesPerEdge(v)
+		return nil
+	case "fixed":
+		if err := p.flushInstance(); err != nil {
+			return err
+		}
+		if len(f) != 4 {
+			return fmt.Errorf("fixed takes X Y ORIENT")
+		}
+		x, err1 := strconv.Atoi(f[1])
+		y, err2 := strconv.Atoi(f[2])
+		o, err3 := geom.ParseOrient(f[3])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad fixed position")
+		}
+		if err3 != nil {
+			return err3
+		}
+		p.b.FixAt(geom.Point{X: x, Y: y}, o)
+		return nil
+	case "group":
+		if len(f) < 4 || f[2] != "edges" {
+			return fmt.Errorf("group syntax: group NAME edges MASK [seq]")
+		}
+		mask, err := ParseEdgeMask(f[3])
+		if err != nil {
+			return err
+		}
+		seq := len(f) == 5 && f[4] == "seq"
+		p.groups[f[1]] = p.b.PinGroup(f[1], mask, seq)
+		return nil
+	case "pin":
+		if err := p.flushInstance(); err != nil {
+			return err
+		}
+		if len(f) < 3 {
+			return fmt.Errorf("pin syntax: pin NAME fixed|edge|group ...")
+		}
+		switch f[2] {
+		case "fixed":
+			if len(f) != 5 {
+				return fmt.Errorf("fixed pin takes X Y")
+			}
+			x, err1 := strconv.Atoi(f[3])
+			y, err2 := strconv.Atoi(f[4])
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("bad pin offset")
+			}
+			p.b.FixedPin(f[1], geom.Point{X: x, Y: y})
+		case "edge":
+			if len(f) != 4 {
+				return fmt.Errorf("edge pin takes MASK")
+			}
+			mask, err := ParseEdgeMask(f[3])
+			if err != nil {
+				return err
+			}
+			p.b.EdgePin(f[1], mask)
+		case "group":
+			if len(f) != 4 {
+				return fmt.Errorf("group pin takes GROUPNAME")
+			}
+			gi, ok := p.groups[f[3]]
+			if !ok {
+				return fmt.Errorf("no such group %q", f[3])
+			}
+			p.b.GroupPin(f[1], gi)
+		default:
+			return fmt.Errorf("unknown pin placement %q", f[2])
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown cell attribute %q", f[0])
+}
+
+func (p *parser) handleNet(f []string) error {
+	if f[0] != "conn" {
+		return fmt.Errorf("unknown net attribute %q", f[0])
+	}
+	if len(f) < 2 {
+		return fmt.Errorf("conn takes at least one CELL.PIN")
+	}
+	refs := make([][2]string, 0, len(f)-1)
+	for _, s := range f[1:] {
+		i := strings.LastIndexByte(s, '.')
+		if i <= 0 || i == len(s)-1 {
+			return fmt.Errorf("bad pin reference %q (want CELL.PIN)", s)
+		}
+		refs = append(refs, [2]string{s[:i], s[i+1:]})
+	}
+	p.b.ConnByName(p.inNet, refs...)
+	return nil
+}
+
+func atoi1(f []string, i int) (int, error) {
+	if len(f) != i+1 {
+		return 0, fmt.Errorf("%s takes one argument", f[0])
+	}
+	v, err := strconv.Atoi(f[i])
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", f[i])
+	}
+	return v, nil
+}

@@ -1,0 +1,371 @@
+// Package netlist defines the circuit model for the TimberWolfMC
+// reproduction: macro cells with fixed rectilinear geometry and fixed pins,
+// custom cells with estimated area, aspect-ratio ranges and uncommitted pins,
+// multiple candidate instances per cell, nets with per-direction weights, and
+// electrically-equivalent pin alternatives (paper §1, §2.4).
+//
+// The netlist is purely structural; placement state (positions, orientations,
+// chosen instances and aspect ratios, pin-site assignments) lives in
+// package place.
+package netlist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// CellKind distinguishes the two cell classes the paper handles on the same
+// chip (§1).
+type CellKind uint8
+
+const (
+	// Macro cells have fixed geometry including pin locations.
+	Macro CellKind = iota
+	// Custom cells have an estimated area with a specified aspect-ratio
+	// range and pins that need to be placed.
+	Custom
+)
+
+func (k CellKind) String() string {
+	if k == Macro {
+		return "macro"
+	}
+	return "custom"
+}
+
+// EdgeMask selects which canonical cell edges a pin (or pin group) may be
+// assigned to (§2.4: "restricted to either one cell edge, two cell edges, or
+// any of the edges").
+type EdgeMask uint8
+
+// Edge selectors, in the canonical (R0) frame.
+const (
+	EdgeLeft EdgeMask = 1 << iota
+	EdgeRight
+	EdgeBottom
+	EdgeTop
+
+	EdgeAny = EdgeLeft | EdgeRight | EdgeBottom | EdgeTop
+)
+
+// Has reports whether m includes e.
+func (m EdgeMask) Has(e EdgeMask) bool { return m&e != 0 }
+
+// Count returns the number of edges selected.
+func (m EdgeMask) Count() int {
+	n := 0
+	for e := EdgeLeft; e <= EdgeTop; e <<= 1 {
+		if m.Has(e) {
+			n++
+		}
+	}
+	return n
+}
+
+func (m EdgeMask) String() string {
+	if m == EdgeAny {
+		return "ANY"
+	}
+	s := ""
+	if m.Has(EdgeLeft) {
+		s += "L"
+	}
+	if m.Has(EdgeRight) {
+		s += "R"
+	}
+	if m.Has(EdgeBottom) {
+		s += "B"
+	}
+	if m.Has(EdgeTop) {
+		s += "T"
+	}
+	if s == "" {
+		return "NONE"
+	}
+	return s
+}
+
+// ParseEdgeMask parses strings like "L", "LR", "ANY".
+func ParseEdgeMask(s string) (EdgeMask, error) {
+	if s == "ANY" || s == "any" {
+		return EdgeAny, nil
+	}
+	var m EdgeMask
+	for _, c := range s {
+		switch c {
+		case 'L', 'l':
+			m |= EdgeLeft
+		case 'R', 'r':
+			m |= EdgeRight
+		case 'B', 'b':
+			m |= EdgeBottom
+		case 'T', 't':
+			m |= EdgeTop
+		default:
+			return 0, fmt.Errorf("netlist: bad edge mask %q", s)
+		}
+	}
+	if m == 0 {
+		return 0, fmt.Errorf("netlist: empty edge mask %q", s)
+	}
+	return m, nil
+}
+
+// PinPlacement says how a pin's location is determined (§2.4 cases 1–4).
+type PinPlacement uint8
+
+const (
+	// PinFixed pins have a particular fixed location in the canonical
+	// frame of the instance (all macro-cell pins; optionally custom).
+	PinFixed PinPlacement = iota
+	// PinEdge pins may be assigned anywhere on a set of edges.
+	PinEdge
+	// PinGrouped pins belong to a named group assigned to a set of edges.
+	PinGrouped
+	// PinSequenced pins belong to a group with a fixed internal ordering.
+	PinSequenced
+)
+
+func (p PinPlacement) String() string {
+	switch p {
+	case PinFixed:
+		return "fixed"
+	case PinEdge:
+		return "edge"
+	case PinGrouped:
+		return "group"
+	default:
+		return "sequence"
+	}
+}
+
+// Pin is a terminal on a cell.
+type Pin struct {
+	Name string
+	// Cell is the index of the owning cell in Circuit.Cells.
+	Cell int
+	// Placement selects how the location is determined.
+	Placement PinPlacement
+	// Offset is the canonical-frame location relative to the instance
+	// bounding-box center. Meaningful for PinFixed; for uncommitted pins
+	// it records the initial/default location (may be zero).
+	Offset geom.Point
+	// Edges is the allowed edge set for uncommitted pins.
+	Edges EdgeMask
+	// Group is the pin-group index in Cell.Groups for PinGrouped and
+	// PinSequenced pins, and -1 otherwise.
+	Group int
+	// Seq is the position of the pin within its sequence (PinSequenced).
+	Seq int
+}
+
+// PinGroup is a named group of uncommitted pins that moves as a unit
+// (§2.4 cases 3 and 4).
+type PinGroup struct {
+	Name string
+	// Edges the group may occupy.
+	Edges EdgeMask
+	// Sequenced groups preserve the pins' relative order along the edge.
+	Sequenced bool
+	// Pins are indices into Circuit.Pins, in sequence order.
+	Pins []int
+}
+
+// Instance is one candidate implementation of a cell. The paper allows a
+// cell to have "several possible instances, whereby TimberWolfMC is to
+// select the one which is most suitable" (§1).
+type Instance struct {
+	Name string
+	// Tiles is the fixed canonical geometry for macro instances, stored
+	// with the bounding-box low corner at the origin.
+	Tiles *geom.TileSet
+	// Area is the estimated area for custom instances.
+	Area int64
+	// AspectMin and AspectMax bound the height/width ratio for custom
+	// instances with a continuous range. If AspectChoices is non-empty it
+	// takes precedence (a discrete range, §1).
+	AspectMin, AspectMax float64
+	AspectChoices        []float64
+}
+
+// IsCustomShape reports whether this instance is realized from an area and
+// aspect ratio rather than fixed tiles.
+func (in *Instance) IsCustomShape() bool { return in.Tiles == nil }
+
+// Dims returns integer width and height realizing the instance at the given
+// aspect ratio (height/width), preserving area as closely as the grid
+// allows. For tile-based instances the aspect argument is ignored.
+func (in *Instance) Dims(aspect float64) (w, h int) {
+	if !in.IsCustomShape() {
+		b := in.Tiles.Bounds()
+		return b.W(), b.H()
+	}
+	if aspect <= 0 {
+		aspect = 1
+	}
+	fw := math.Sqrt(float64(in.Area) / aspect)
+	w = int(math.Round(fw))
+	if w < 1 {
+		w = 1
+	}
+	h = int(math.Round(float64(in.Area) / float64(w)))
+	if h < 1 {
+		h = 1
+	}
+	return w, h
+}
+
+// ClampAspect restricts a requested aspect ratio to the instance's range,
+// or snaps it to the nearest discrete choice.
+func (in *Instance) ClampAspect(aspect float64) float64 {
+	if len(in.AspectChoices) > 0 {
+		best := in.AspectChoices[0]
+		for _, c := range in.AspectChoices[1:] {
+			if math.Abs(c-aspect) < math.Abs(best-aspect) {
+				best = c
+			}
+		}
+		return best
+	}
+	lo, hi := in.AspectMin, in.AspectMax
+	if lo <= 0 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return math.Min(math.Max(aspect, lo), hi)
+}
+
+// Cell is a macro or custom cell.
+type Cell struct {
+	Name string
+	Kind CellKind
+	// Instances are the candidate implementations; macro cells commonly
+	// have one, but may have more.
+	Instances []Instance
+	// Pins are indices into Circuit.Pins.
+	Pins []int
+	// Groups are the uncommitted pin groups of this (custom) cell.
+	Groups []PinGroup
+	// SitesPerEdge is the number of pin sites defined along each edge of a
+	// custom cell (§2.4); zero selects the package default.
+	SitesPerEdge int
+	// Fixed pins the cell at FixedPos with FixedOrient: pre-placed macros
+	// (pad frames, hardened blocks). The annealer never moves fixed cells.
+	Fixed       bool
+	FixedPos    geom.Point
+	FixedOrient geom.Orient
+}
+
+// Area returns the area of the cell's first instance (the canonical size
+// used by estimators before instance selection).
+func (c *Cell) Area() int64 {
+	if len(c.Instances) == 0 {
+		return 0
+	}
+	in := &c.Instances[0]
+	if in.IsCustomShape() {
+		return in.Area
+	}
+	return in.Tiles.Area()
+}
+
+// Conn is one logical connection of a net: a set of one or more
+// electrically-equivalent pins (indices into Circuit.Pins), any one of which
+// satisfies the connection (§4.2: "The global router makes full use of
+// equivalent pins"). The first entry is the primary pin used for TEIC
+// bounding boxes during placement.
+type Conn struct {
+	Pins []int
+}
+
+// Primary returns the primary pin of the connection.
+func (c Conn) Primary() int { return c.Pins[0] }
+
+// Net is a signal net.
+type Net struct {
+	Name string
+	// HWeight and VWeight are the per-direction weighting factors h(n) and
+	// v(n) in the TEIC (Eqn 6). Both default to 1, making the TEIC equal
+	// to the total estimated interconnect length (TEIL).
+	HWeight, VWeight float64
+	// Conns are the logical connections.
+	Conns []Conn
+}
+
+// Degree returns the number of logical connections on the net.
+func (n *Net) Degree() int { return len(n.Conns) }
+
+// Circuit is a complete design.
+type Circuit struct {
+	Name string
+	// TrackSep is the center-to-center wiring track separation t_s
+	// (Eqn 1 and Eqn 22).
+	TrackSep int
+	Cells    []Cell
+	Nets     []Net
+	Pins     []Pin
+}
+
+// NumPins returns the total pin count (the "No. Pins" column of Tables 3–4).
+func (c *Circuit) NumPins() int { return len(c.Pins) }
+
+// TotalCellArea sums the canonical areas of all cells.
+func (c *Circuit) TotalCellArea() int64 {
+	var a int64
+	for i := range c.Cells {
+		a += c.Cells[i].Area()
+	}
+	return a
+}
+
+// TotalPerimeter sums the canonical bounding perimeters of all cells; the
+// estimator's average pin density D_p divides total pins by this (§2.2).
+func (c *Circuit) TotalPerimeter() int64 {
+	var p int64
+	for i := range c.Cells {
+		cl := &c.Cells[i]
+		if len(cl.Instances) == 0 {
+			continue
+		}
+		w, h := cl.Instances[0].Dims(1)
+		p += 2 * int64(w+h)
+	}
+	return p
+}
+
+// CellByName returns the index of the named cell, or -1.
+func (c *Circuit) CellByName(name string) int {
+	for i := range c.Cells {
+		if c.Cells[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// PinByName returns the index of the named pin on the given cell, or -1.
+func (c *Circuit) PinByName(cell int, name string) int {
+	if cell < 0 || cell >= len(c.Cells) {
+		return -1
+	}
+	for _, pi := range c.Cells[cell].Pins {
+		if c.Pins[pi].Name == name {
+			return pi
+		}
+	}
+	return -1
+}
+
+// NetByName returns the index of the named net, or -1.
+func (c *Circuit) NetByName(name string) int {
+	for i := range c.Nets {
+		if c.Nets[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}

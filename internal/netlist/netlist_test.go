@@ -1,0 +1,480 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// buildSample constructs a small mixed macro/custom circuit exercising every
+// model feature: rectilinear macro, custom with aspect range, pin groups,
+// sequences, equivalent pins, and net weights.
+func buildSample(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("sample", 2)
+
+	b.BeginMacro("m1")
+	b.MacroInstance("std", geom.R(0, 0, 40, 20))
+	b.FixedPin("a", geom.Point{X: -20, Y: 0})
+	b.FixedPin("b", geom.Point{X: 20, Y: 5})
+	b.FixedPin("b2", geom.Point{X: 20, Y: -5}) // equivalent alternative for b
+
+	b.BeginMacro("m2")
+	b.MacroInstance("std",
+		geom.R(0, 0, 30, 10),
+		geom.R(0, 10, 10, 30))
+	b.FixedPin("in", geom.Point{X: 0, Y: -15})
+	b.FixedPin("out", geom.Point{X: 15, Y: -10})
+
+	b.BeginCustom("c1")
+	b.CustomInstance("big", 1200, 0.5, 2.0)
+	b.CustomInstance("small", 900, 0, 0, 0.5, 1.0, 2.0)
+	b.SitesPerEdge(6)
+	b.EdgePin("p", EdgeLeft|EdgeRight)
+	g := b.PinGroup("bus", EdgeAny, true)
+	b.GroupPin("d0", g)
+	b.GroupPin("d1", g)
+	b.GroupPin("d2", g)
+
+	n1 := b.Net("n1", 1, 1)
+	b.ConnByName(n1, [2]string{"m1", "a"})
+	b.ConnByName(n1, [2]string{"m2", "in"})
+	n2 := b.Net("n2", 2, 1)
+	// m1.b and m1.b2 are electrically equivalent on this net.
+	b.Conn(n2, 1, 2) // pins b,b2 (indices: a=0,b=1,b2=2)
+	b.ConnByName(n2, [2]string{"c1", "p"})
+	n3 := b.Net("n3", 1, 1)
+	b.ConnByName(n3, [2]string{"c1", "d0"})
+	b.ConnByName(n3, [2]string{"m2", "out"})
+	b.ConnByName(n3, [2]string{"m1", "a"})
+
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return c
+}
+
+func TestBuilderSample(t *testing.T) {
+	c := buildSample(t)
+	if len(c.Cells) != 3 || len(c.Nets) != 3 {
+		t.Fatalf("got %d cells %d nets", len(c.Cells), len(c.Nets))
+	}
+	if c.NumPins() != 9 {
+		t.Fatalf("NumPins = %d want 9", c.NumPins())
+	}
+	if c.Cells[0].Kind != Macro || c.Cells[2].Kind != Custom {
+		t.Fatal("cell kinds wrong")
+	}
+	// m2's L-shape area: 30*10 + 10*20 = 500.
+	if a := c.Cells[1].Area(); a != 500 {
+		t.Fatalf("m2 area = %d want 500", a)
+	}
+	if a := c.Cells[2].Area(); a != 1200 {
+		t.Fatalf("c1 area = %d want 1200", a)
+	}
+	// Equivalent pins recorded on n2.
+	n2 := &c.Nets[c.NetByName("n2")]
+	if len(n2.Conns[0].Pins) != 2 {
+		t.Fatalf("n2 conn 0 has %d pins want 2", len(n2.Conns[0].Pins))
+	}
+	if n2.HWeight != 2 {
+		t.Fatalf("n2 hweight = %v", n2.HWeight)
+	}
+	// Sequence ordering preserved.
+	cc := &c.Cells[2]
+	if len(cc.Groups) != 1 || !cc.Groups[0].Sequenced {
+		t.Fatal("bus group missing or unsequenced")
+	}
+	for i, pi := range cc.Groups[0].Pins {
+		if c.Pins[pi].Seq != i {
+			t.Fatalf("sequence order broken at %d", i)
+		}
+	}
+}
+
+func TestInstanceDims(t *testing.T) {
+	in := Instance{Area: 1200, AspectMin: 0.5, AspectMax: 2}
+	for _, aspect := range []float64{0.5, 1, 2} {
+		w, h := in.Dims(aspect)
+		if w <= 0 || h <= 0 {
+			t.Fatalf("Dims(%v) = %d,%d", aspect, w, h)
+		}
+		area := float64(w) * float64(h)
+		if math.Abs(area-1200)/1200 > 0.10 {
+			t.Errorf("Dims(%v): area %v deviates >10%% from 1200", aspect, area)
+		}
+		ratio := float64(h) / float64(w)
+		if math.Abs(ratio-aspect)/aspect > 0.15 {
+			t.Errorf("Dims(%v): ratio %v", aspect, ratio)
+		}
+	}
+	// Tile instances ignore aspect.
+	m := Instance{Tiles: geom.MustTileSet(geom.R(0, 0, 7, 3))}
+	if w, h := m.Dims(9); w != 7 || h != 3 {
+		t.Fatalf("macro Dims = %d,%d", w, h)
+	}
+}
+
+func TestClampAspect(t *testing.T) {
+	in := Instance{Area: 100, AspectMin: 0.5, AspectMax: 2}
+	cases := []struct{ in, want float64 }{
+		{0.1, 0.5}, {1, 1}, {5, 2},
+	}
+	for _, c := range cases {
+		if got := in.ClampAspect(c.in); got != c.want {
+			t.Errorf("ClampAspect(%v) = %v want %v", c.in, got, c.want)
+		}
+	}
+	d := Instance{Area: 100, AspectChoices: []float64{0.5, 1, 2}}
+	if got := d.ClampAspect(0.8); got != 1 {
+		t.Errorf("discrete ClampAspect(0.8) = %v want 1", got)
+	}
+	if got := d.ClampAspect(10); got != 2 {
+		t.Errorf("discrete ClampAspect(10) = %v want 2", got)
+	}
+}
+
+func TestEdgeMask(t *testing.T) {
+	m, err := ParseEdgeMask("LR")
+	if err != nil || m != EdgeLeft|EdgeRight {
+		t.Fatalf("ParseEdgeMask(LR) = %v, %v", m, err)
+	}
+	if m.Count() != 2 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+	if m.String() != "LR" {
+		t.Fatalf("String = %q", m.String())
+	}
+	any, _ := ParseEdgeMask("ANY")
+	if any != EdgeAny || any.String() != "ANY" {
+		t.Fatal("ANY roundtrip failed")
+	}
+	if _, err := ParseEdgeMask("LQ"); err == nil {
+		t.Fatal("bad mask accepted")
+	}
+	if _, err := ParseEdgeMask(""); err == nil {
+		t.Fatal("empty mask accepted")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	// Net with a single connection.
+	b := NewBuilder("bad", 2)
+	b.BeginMacro("m")
+	b.MacroInstance("i", geom.R(0, 0, 10, 10))
+	p := b.FixedPin("a", geom.Point{})
+	n := b.Net("n", 1, 1)
+	b.Conn(n, p)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("single-conn net accepted")
+	}
+
+	// Duplicate cell names.
+	b2 := NewBuilder("bad2", 2)
+	b2.BeginMacro("m")
+	b2.MacroInstance("i", geom.R(0, 0, 10, 10))
+	b2.BeginMacro("m")
+	b2.MacroInstance("i", geom.R(0, 0, 10, 10))
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("duplicate cell names accepted")
+	}
+
+	// Equivalent pins spanning cells.
+	b3 := NewBuilder("bad3", 2)
+	b3.BeginMacro("m1")
+	b3.MacroInstance("i", geom.R(0, 0, 10, 10))
+	pa := b3.FixedPin("a", geom.Point{})
+	b3.BeginMacro("m2")
+	b3.MacroInstance("i", geom.R(0, 0, 10, 10))
+	pb := b3.FixedPin("b", geom.Point{})
+	n3 := b3.Net("n", 1, 1)
+	b3.Conn(n3, pa, pb) // cross-cell equivalence: invalid
+	b3.Conn(n3, pb)
+	if _, err := b3.Build(); err == nil {
+		t.Fatal("cross-cell equivalent pins accepted")
+	}
+
+	// Zero track separation.
+	b4 := NewBuilder("bad4", 0)
+	b4.BeginMacro("m")
+	b4.MacroInstance("i", geom.R(0, 0, 10, 10))
+	if _, err := b4.Build(); err == nil {
+		t.Fatal("zero tracksep accepted")
+	}
+}
+
+func TestTotals(t *testing.T) {
+	c := buildSample(t)
+	wantArea := int64(40*20 + 500 + 1200)
+	if got := c.TotalCellArea(); got != wantArea {
+		t.Fatalf("TotalCellArea = %d want %d", got, wantArea)
+	}
+	if got := c.TotalPerimeter(); got <= 0 {
+		t.Fatalf("TotalPerimeter = %d", got)
+	}
+}
+
+func TestLookupHelpers(t *testing.T) {
+	c := buildSample(t)
+	if c.CellByName("m2") != 1 || c.CellByName("zz") != -1 {
+		t.Fatal("CellByName wrong")
+	}
+	mi := c.CellByName("m1")
+	if c.PinByName(mi, "b2") < 0 || c.PinByName(mi, "nope") != -1 {
+		t.Fatal("PinByName wrong")
+	}
+	if c.PinByName(-1, "a") != -1 {
+		t.Fatal("PinByName with bad cell should be -1")
+	}
+	if c.NetByName("n3") != 2 || c.NetByName("zz") != -1 {
+		t.Fatal("NetByName wrong")
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	c := buildSample(t)
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("Parse: %v\ninput:\n%s", err, sb.String())
+	}
+	if got.Name != c.Name || got.TrackSep != c.TrackSep {
+		t.Fatal("header mismatch")
+	}
+	if len(got.Cells) != len(c.Cells) || len(got.Nets) != len(c.Nets) || len(got.Pins) != len(c.Pins) {
+		t.Fatalf("shape mismatch: %d/%d cells %d/%d nets %d/%d pins",
+			len(got.Cells), len(c.Cells), len(got.Nets), len(c.Nets), len(got.Pins), len(c.Pins))
+	}
+	// Second round trip must be byte-identical (canonical form).
+	var sb2 strings.Builder
+	if err := Write(&sb2, got); err != nil {
+		t.Fatalf("Write2: %v", err)
+	}
+	if sb.String() != sb2.String() {
+		t.Fatalf("round trip not canonical:\n--- first\n%s\n--- second\n%s", sb.String(), sb2.String())
+	}
+	// Spot checks on parsed content.
+	ci := got.CellByName("c1")
+	if ci < 0 || got.Cells[ci].SitesPerEdge != 6 {
+		t.Fatal("custom cell attributes lost")
+	}
+	if len(got.Cells[ci].Instances) != 2 {
+		t.Fatal("instances lost")
+	}
+	if got.Cells[ci].Instances[1].AspectChoices == nil {
+		t.Fatal("aspect choices lost")
+	}
+	n2 := got.NetByName("n2")
+	if n2 < 0 || got.Nets[n2].HWeight != 2 {
+		t.Fatal("net weight lost")
+	}
+	if len(got.Nets[n2].Conns[0].Pins) != 2 {
+		t.Fatal("equivalent pins lost")
+	}
+}
+
+func TestBuilderErrorPaths(t *testing.T) {
+	// Pin outside any cell definition.
+	b := NewBuilder("e1", 2)
+	b.FixedPin("p", geom.Point{})
+	if _, err := b.Build(); err == nil {
+		t.Error("pin outside cell accepted")
+	}
+	// Invalid macro tiles.
+	b2 := NewBuilder("e2", 2)
+	b2.BeginMacro("m")
+	b2.MacroInstance("i", geom.R(0, 0, 5, 5), geom.R(3, 3, 8, 8))
+	if _, err := b2.Build(); err == nil {
+		t.Error("overlapping macro tiles accepted")
+	}
+	// Non-positive custom area.
+	b3 := NewBuilder("e3", 2)
+	b3.BeginCustom("c")
+	b3.CustomInstance("i", 0, 1, 1)
+	if _, err := b3.Build(); err == nil {
+		t.Error("zero-area custom instance accepted")
+	}
+	// Group pin with bad group index.
+	b4 := NewBuilder("e4", 2)
+	b4.BeginCustom("c")
+	b4.CustomInstance("i", 100, 1, 1)
+	b4.GroupPin("p", 3)
+	if _, err := b4.Build(); err == nil {
+		t.Error("bad group index accepted")
+	}
+	// Conn to a bad net / bad pin / empty pins.
+	b5 := NewBuilder("e5", 2)
+	b5.BeginMacro("m")
+	b5.MacroInstance("i", geom.R(0, 0, 5, 5))
+	p := b5.FixedPin("a", geom.Point{})
+	b5.Conn(99, p)
+	if _, err := b5.Build(); err == nil {
+		t.Error("conn to unknown net accepted")
+	}
+	b6 := NewBuilder("e6", 2)
+	b6.BeginMacro("m")
+	b6.MacroInstance("i", geom.R(0, 0, 5, 5))
+	n := b6.Net("n", 0, 0) // zero weights default to 1
+	b6.Conn(n, 999)
+	if _, err := b6.Build(); err == nil {
+		t.Error("conn to unknown pin accepted")
+	}
+	b7 := NewBuilder("e7", 2)
+	b7.BeginMacro("m")
+	b7.MacroInstance("i", geom.R(0, 0, 5, 5))
+	n7 := b7.Net("n", 1, 1)
+	b7.Conn(n7)
+	if _, err := b7.Build(); err == nil {
+		t.Error("empty conn accepted")
+	}
+	// ConnByName with unknown references.
+	b8 := NewBuilder("e8", 2)
+	b8.BeginMacro("m")
+	b8.MacroInstance("i", geom.R(0, 0, 5, 5))
+	b8.FixedPin("a", geom.Point{})
+	n8 := b8.Net("n", 1, 1)
+	b8.ConnByName(n8, [2]string{"zz", "a"})
+	if _, err := b8.Build(); err == nil {
+		t.Error("unknown cell ref accepted")
+	}
+	b9 := NewBuilder("e9", 2)
+	b9.BeginMacro("m")
+	b9.MacroInstance("i", geom.R(0, 0, 5, 5))
+	b9.FixedPin("a", geom.Point{})
+	n9 := b9.Net("n", 1, 1)
+	b9.ConnByName(n9, [2]string{"m", "zz"})
+	if _, err := b9.Build(); err == nil {
+		t.Error("unknown pin ref accepted")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic on invalid circuit")
+		}
+	}()
+	b := NewBuilder("bad", 0)
+	b.BeginMacro("m")
+	b.MacroInstance("i", geom.R(0, 0, 5, 5))
+	b.MustBuild()
+}
+
+func TestStringers(t *testing.T) {
+	if Macro.String() != "macro" || Custom.String() != "custom" {
+		t.Error("CellKind strings wrong")
+	}
+	for p, want := range map[PinPlacement]string{
+		PinFixed: "fixed", PinEdge: "edge", PinGrouped: "group", PinSequenced: "sequence",
+	} {
+		if p.String() != want {
+			t.Errorf("PinPlacement %d = %q want %q", p, p.String(), want)
+		}
+	}
+	if (EdgeMask(0)).String() != "NONE" {
+		t.Error("empty mask string")
+	}
+}
+
+func TestNetAccessors(t *testing.T) {
+	c := buildSample(t)
+	n := &c.Nets[0]
+	if n.Degree() != len(n.Conns) {
+		t.Error("Degree wrong")
+	}
+	if got := n.Conns[0].Primary(); got != n.Conns[0].Pins[0] {
+		t.Error("Primary wrong")
+	}
+}
+
+func TestFixedCellRoundTrip(t *testing.T) {
+	b := NewBuilder("fx", 2)
+	b.BeginMacro("pad")
+	b.MacroInstance("i", geom.R(0, 0, 30, 10))
+	b.FixedPin("p", geom.Point{Y: 5})
+	b.FixAt(geom.Point{X: 50, Y: 5}, geom.MX90)
+	b.BeginMacro("m")
+	b.MacroInstance("i", geom.R(0, 0, 20, 20))
+	b.FixedPin("p", geom.Point{X: 10})
+	n := b.Net("n", 1, 1)
+	b.ConnByName(n, [2]string{"pad", "p"})
+	b.ConnByName(n, [2]string{"m", "p"})
+	c := b.MustBuild()
+
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fixed 50 5 MX90") {
+		t.Fatalf("fixed attribute not written:\n%s", sb.String())
+	}
+	got, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	pad := &got.Cells[got.CellByName("pad")]
+	if !pad.Fixed || pad.FixedPos != (geom.Point{X: 50, Y: 5}) || pad.FixedOrient != geom.MX90 {
+		t.Fatalf("fixed attributes lost: %+v", pad)
+	}
+	if got.Cells[got.CellByName("m")].Fixed {
+		t.Fatal("movable cell marked fixed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"no circuit", "tracksep 2\n"},
+		{"bad tile", "circuit c\nmacro m\n instance i\n tile 0 0 x 5\nend\n"},
+		{"tile outside instance", "circuit c\nmacro m\n tile 0 0 5 5\nend\n"},
+		{"unknown attr", "circuit c\nmacro m\n bogus 1\nend\n"},
+		{"bad pin ref", "circuit c\nmacro m\n instance i\n tile 0 0 5 5\n pin a fixed 0 0\nend\nnet n\n conn m\nend\n"},
+		{"unknown group", "circuit c\ncustom m\n instance i area 10\n pin a group gg\nend\n"},
+		{"dup circuit", "circuit a\ncircuit b\n"},
+		{"instance no tiles", "circuit c\nmacro m\n instance i\nend\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: parse accepted invalid input", tc.name)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	in := `
+# leading comment
+circuit demo   # trailing
+tracksep 3
+macro a
+  instance i
+    tile 0 0 10 10
+  pin p fixed 0 0
+end
+macro b
+  instance i
+    tile 0 0 10 10
+  pin p fixed 0 0
+end
+net n
+  conn a.p
+  conn b.p
+end
+`
+	c, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if c.Name != "demo" || c.TrackSep != 3 {
+		t.Fatal("comment handling broke parsing")
+	}
+	if len(c.Nets) != 1 || len(c.Nets[0].Conns) != 2 {
+		t.Fatal("net connections miscounted")
+	}
+}

@@ -1,0 +1,312 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// ParseYAL reads a circuit in a tolerant subset of the MCNC YAL benchmark
+// format — the interchange format of the macro-cell placement benchmarks
+// contemporaneous with the paper (ami33, ami49, apte, hp, xerox).
+//
+// Supported constructs:
+//
+//	MODULE name; TYPE GENERAL|STANDARD|PAD|PARENT;
+//	DIMENSIONS x1 y1 x2 y2 ...;          rectilinear outline vertex list
+//	IOLIST; name dir x y [width layer]; ... ENDIOLIST;
+//	NETWORK; inst module net1 net2 ...; ... ENDNETWORK;
+//	ENDMODULE;
+//
+// Each NETWORK instance of a GENERAL/STANDARD module becomes a macro cell
+// with the module's outline and fixed pins (module coordinates are converted
+// to bounding-box-center offsets); the parent's own IOLIST entries become
+// 1×1 pad cells carrying their net. Net names bind pins in IOLIST order.
+// Unsupported attributes (CURRENT, VOLTAGE, PROFILE, placement hints) are
+// skipped.
+func ParseYAL(r io.Reader) (*Circuit, error) {
+	toks, err := yalTokens(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &yalParser{toks: toks, modules: map[string]*yalModule{}}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	return p.build()
+}
+
+type yalPin struct {
+	name string
+	x, y int
+}
+
+type yalModule struct {
+	name  string
+	typ   string
+	verts []geom.Point
+	pins  []yalPin
+	// instances of the parent network: name, module, nets in pin order
+	insts []yalInst
+}
+
+type yalInst struct {
+	name, module string
+	nets         []string
+}
+
+type yalParser struct {
+	toks    [][]string
+	pos     int
+	modules map[string]*yalModule
+	parent  *yalModule
+}
+
+// yalTokens splits the input into ';'-terminated statements of fields.
+func yalTokens(r io.Reader) ([][]string, error) {
+	var out [][]string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var cur []string
+	for sc.Scan() {
+		line := sc.Text()
+		// Strip comments: YAL uses /* ... */ on a line and $ to EOL in
+		// some dialects; handle both conservatively.
+		if i := strings.Index(line, "/*"); i >= 0 {
+			if j := strings.Index(line, "*/"); j > i {
+				line = line[:i] + line[j+2:]
+			} else {
+				line = line[:i]
+			}
+		}
+		if i := strings.IndexByte(line, '$'); i >= 0 {
+			line = line[:i]
+		}
+		for {
+			semi := strings.IndexByte(line, ';')
+			if semi < 0 {
+				cur = append(cur, strings.Fields(line)...)
+				break
+			}
+			cur = append(cur, strings.Fields(line[:semi])...)
+			out = append(out, cur)
+			cur = nil
+			line = line[semi+1:]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out, nil
+}
+
+func (p *yalParser) next() ([]string, bool) {
+	for p.pos < len(p.toks) {
+		t := p.toks[p.pos]
+		p.pos++
+		if len(t) > 0 {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (p *yalParser) parse() error {
+	for {
+		t, ok := p.next()
+		if !ok {
+			break
+		}
+		if !strings.EqualFold(t[0], "MODULE") || len(t) < 2 {
+			return fmt.Errorf("netlist: yal: expected MODULE, got %q", strings.Join(t, " "))
+		}
+		if err := p.parseModule(t[1]); err != nil {
+			return err
+		}
+	}
+	if p.parent == nil {
+		return fmt.Errorf("netlist: yal: no PARENT module found")
+	}
+	return nil
+}
+
+func (p *yalParser) parseModule(name string) error {
+	m := &yalModule{name: name}
+	for {
+		t, ok := p.next()
+		if !ok {
+			return fmt.Errorf("netlist: yal: module %s not terminated", name)
+		}
+		switch strings.ToUpper(t[0]) {
+		case "ENDMODULE":
+			p.modules[m.name] = m
+			if strings.EqualFold(m.typ, "PARENT") {
+				p.parent = m
+			}
+			return nil
+		case "TYPE":
+			if len(t) >= 2 {
+				m.typ = strings.ToUpper(t[1])
+			}
+		case "DIMENSIONS":
+			coords := t[1:]
+			if len(coords)%2 != 0 {
+				return fmt.Errorf("netlist: yal: module %s: odd DIMENSIONS coordinate count", name)
+			}
+			for i := 0; i+1 < len(coords); i += 2 {
+				x, err1 := parseYalNum(coords[i])
+				y, err2 := parseYalNum(coords[i+1])
+				if err1 != nil || err2 != nil {
+					return fmt.Errorf("netlist: yal: module %s: bad DIMENSIONS", name)
+				}
+				m.verts = append(m.verts, geom.Point{X: x, Y: y})
+			}
+		case "IOLIST":
+			if err := p.parseIOList(m); err != nil {
+				return err
+			}
+		case "NETWORK":
+			if err := p.parseNetwork(m); err != nil {
+				return err
+			}
+		default:
+			// CURRENT, VOLTAGE, PROFILE, etc.: skip.
+		}
+	}
+}
+
+func (p *yalParser) parseIOList(m *yalModule) error {
+	for {
+		t, ok := p.next()
+		if !ok {
+			return fmt.Errorf("netlist: yal: module %s: IOLIST not terminated", m.name)
+		}
+		if strings.EqualFold(t[0], "ENDIOLIST") {
+			return nil
+		}
+		// name dir [x y [width layer]] — pad modules may omit positions.
+		pin := yalPin{name: t[0]}
+		if len(t) >= 4 {
+			if x, err := parseYalNum(t[2]); err == nil {
+				if y, err := parseYalNum(t[3]); err == nil {
+					pin.x, pin.y = x, y
+				}
+			}
+		}
+		m.pins = append(m.pins, pin)
+	}
+}
+
+func (p *yalParser) parseNetwork(m *yalModule) error {
+	for {
+		t, ok := p.next()
+		if !ok {
+			return fmt.Errorf("netlist: yal: module %s: NETWORK not terminated", m.name)
+		}
+		if strings.EqualFold(t[0], "ENDNETWORK") {
+			return nil
+		}
+		if len(t) < 2 {
+			return fmt.Errorf("netlist: yal: bad NETWORK entry %q", strings.Join(t, " "))
+		}
+		m.insts = append(m.insts, yalInst{name: t[0], module: t[1], nets: t[2:]})
+	}
+}
+
+func parseYalNum(s string) (int, error) {
+	// Some YAL files carry decimal coordinates; round them to the grid.
+	if v, err := strconv.Atoi(s); err == nil {
+		return v, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f >= 0 {
+		return int(f + 0.5), nil
+	}
+	return int(f - 0.5), nil
+}
+
+// build converts the parsed modules into a Circuit.
+func (p *yalParser) build() (*Circuit, error) {
+	b := NewBuilder(p.parent.name, 2)
+	netPins := map[string][]int{} // net name -> pin ids
+
+	for _, inst := range p.parent.insts {
+		m, ok := p.modules[inst.module]
+		if !ok {
+			return nil, fmt.Errorf("netlist: yal: instance %s references unknown module %s",
+				inst.name, inst.module)
+		}
+		if len(inst.nets) != len(m.pins) {
+			return nil, fmt.Errorf("netlist: yal: instance %s has %d nets for %d pins of %s",
+				inst.name, len(inst.nets), len(m.pins), inst.module)
+		}
+		if len(m.verts) < 4 {
+			return nil, fmt.Errorf("netlist: yal: module %s has no DIMENSIONS", inst.module)
+		}
+		ts, err := geom.PolygonTiles(m.verts)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: yal: module %s: %w", inst.module, err)
+		}
+		bb := ts.Bounds()
+		c := bb.Center()
+		b.BeginMacro(inst.name)
+		tiles := ts.Tiles()
+		shift := make([]geom.Rect, len(tiles))
+		for i, t := range tiles {
+			shift[i] = t.Translate(geom.Point{X: -bb.XLo, Y: -bb.YLo})
+		}
+		b.MacroInstance(m.name, shift...)
+		for k, pin := range m.pins {
+			off := geom.Point{X: pin.x - c.X, Y: pin.y - c.Y}
+			pi := b.FixedPin(pinNameYal(pin.name, k), off)
+			net := inst.nets[k]
+			if net != "" && !strings.EqualFold(net, "NC") {
+				netPins[net] = append(netPins[net], pi)
+			}
+		}
+	}
+	// Parent IO pads: 1x1 cells carrying their net.
+	for k, pin := range p.parent.pins {
+		name := fmt.Sprintf("pad_%s", pin.name)
+		if b.c.CellByName(name) >= 0 {
+			name = fmt.Sprintf("pad_%s_%d", pin.name, k)
+		}
+		b.BeginMacro(name)
+		b.MacroInstance("pad", geom.R(0, 0, 1, 1))
+		pi := b.FixedPin("p", geom.Point{})
+		netPins[pin.name] = append(netPins[pin.name], pi)
+	}
+	// Nets: one connection per pin, in encounter order; single-pin nets
+	// are dropped (dangling).
+	names := make([]string, 0, len(netPins))
+	for n := range netPins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pins := netPins[n]
+		if len(pins) < 2 {
+			continue
+		}
+		ni := b.Net(n, 1, 1)
+		for _, pi := range pins {
+			b.Conn(ni, pi)
+		}
+	}
+	return b.Build()
+}
+
+func pinNameYal(name string, k int) string {
+	return fmt.Sprintf("%s_%d", name, k)
+}

@@ -1,0 +1,151 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleYAL = `
+/* A miniature MCNC-style benchmark. */
+MODULE cpu;
+TYPE GENERAL;
+DIMENSIONS 0 0 0 40 60 40 60 0;
+IOLIST;
+  a I 0 10 METAL1;
+  b O 60 20 METAL1;
+  ck I 30 40 METAL2;
+ENDIOLIST;
+ENDMODULE;
+
+MODULE ram;
+TYPE GENERAL;
+/* L-shaped outline. */
+DIMENSIONS 0 0 0 50 20 50 20 25 40 25 40 0;
+IOLIST;
+  d B 40 10 METAL1;
+  q O 0 30 METAL1;
+ENDIOLIST;
+ENDMODULE;
+
+MODULE chip;
+TYPE PARENT;
+IOLIST;
+  IN I;
+  OUT O;
+ENDIOLIST;
+NETWORK;
+  u1 cpu IN n1 CLK;
+  u2 cpu n1 n2 CLK;
+  m1 ram n2 OUT;
+ENDNETWORK;
+ENDMODULE;
+`
+
+func TestParseYAL(t *testing.T) {
+	c, err := ParseYAL(strings.NewReader(sampleYAL))
+	if err != nil {
+		t.Fatalf("ParseYAL: %v", err)
+	}
+	// 3 instances + 2 parent pads.
+	if len(c.Cells) != 5 {
+		t.Fatalf("got %d cells want 5", len(c.Cells))
+	}
+	// Nets: IN(u1.a + pad), n1(u1.b + u2.a), CLK(u1.ck + u2.ck),
+	// n2(u2.b + m1.d), OUT(m1.q + pad) = 5 nets.
+	if len(c.Nets) != 5 {
+		names := make([]string, len(c.Nets))
+		for i := range c.Nets {
+			names[i] = c.Nets[i].Name
+		}
+		t.Fatalf("got %d nets (%v) want 5", len(c.Nets), names)
+	}
+	// CLK has exactly two connections (the two cpu instances).
+	clk := c.NetByName("CLK")
+	if clk < 0 || c.Nets[clk].Degree() != 2 {
+		t.Fatalf("CLK net wrong: %d", clk)
+	}
+	// The ram instance is rectilinear (two tiles from the L outline).
+	mi := c.CellByName("m1")
+	if mi < 0 {
+		t.Fatal("no m1")
+	}
+	if got := c.Cells[mi].Instances[0].Tiles.Len(); got != 2 {
+		t.Fatalf("ram tiles = %d want 2", got)
+	}
+	if a := c.Cells[mi].Area(); a != 20*50+20*25 {
+		t.Fatalf("ram area = %d want %d", a, 20*50+20*25)
+	}
+	// The cpu instance is a plain 60x40 rectangle with pins at the edges.
+	ui := c.CellByName("u1")
+	w, h := c.Cells[ui].Instances[0].Dims(1)
+	if w != 60 || h != 40 {
+		t.Fatalf("cpu dims %dx%d", w, h)
+	}
+	if err := Validate(c); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestParseYALRoundTripsToPlacement(t *testing.T) {
+	c, err := ParseYAL(strings.NewReader(sampleYAL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The imported circuit survives the native format round trip.
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("native reparse: %v", err)
+	}
+	if len(got.Cells) != len(c.Cells) || len(got.Nets) != len(c.Nets) {
+		t.Fatal("round trip lost structure")
+	}
+}
+
+func TestParseYALErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"no parent", "MODULE a; TYPE GENERAL; DIMENSIONS 0 0 0 1 1 1 1 0; ENDMODULE;"},
+		{"unknown module", `
+MODULE chip; TYPE PARENT;
+NETWORK; u1 nosuch n1 n2; ENDNETWORK;
+ENDMODULE;`},
+		{"pin/net mismatch", `
+MODULE a; TYPE GENERAL; DIMENSIONS 0 0 0 10 10 10 10 0;
+IOLIST; p I 0 5; ENDIOLIST; ENDMODULE;
+MODULE chip; TYPE PARENT;
+NETWORK; u1 a n1 n2; ENDNETWORK;
+ENDMODULE;`},
+		{"no dimensions", `
+MODULE a; TYPE GENERAL;
+IOLIST; p I 0 5; ENDIOLIST; ENDMODULE;
+MODULE chip; TYPE PARENT;
+NETWORK; u1 a n1; u2 a n1; ENDNETWORK;
+ENDMODULE;`},
+		{"garbage", "HELLO WORLD;"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseYAL(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestParseYALDecimalCoords(t *testing.T) {
+	in := `
+MODULE a; TYPE GENERAL; DIMENSIONS 0.0 0.0 0.0 10.4 10.6 10.4 10.6 0.0;
+IOLIST; p I 0.0 5.2; q O 10.6 5.2; ENDIOLIST; ENDMODULE;
+MODULE chip; TYPE PARENT;
+NETWORK; u1 a n1 n2; u2 a n2 n1; ENDNETWORK;
+ENDMODULE;`
+	c, err := ParseYAL(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("decimal coords: %v", err)
+	}
+	w, h := c.Cells[0].Instances[0].Dims(1)
+	if w != 11 || h != 10 {
+		t.Fatalf("rounded dims %dx%d want 11x10", w, h)
+	}
+}

@@ -1,0 +1,55 @@
+package place
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// BenchmarkSetState measures the incremental cost update for a single-cell
+// move: the unit of work the Stage 1 inner loop performs millions of times.
+func BenchmarkSetState(b *testing.B) {
+	p := newTestPlacement(b, 25, true)
+	src := rng.New(1)
+	Randomize(p, src)
+	states := make([]CellState, 64)
+	cells := make([]int, len(states))
+	for k := range states {
+		i := src.Intn(len(p.Circuit.Cells))
+		st := p.State(i)
+		st.Pos = geom.Point{
+			X: src.IntRange(p.Core.XLo, p.Core.XHi),
+			Y: src.IntRange(p.Core.YLo, p.Core.YHi),
+		}
+		st.Orient = geom.Orient(src.Intn(geom.NumOrients))
+		cells[k], states[k] = i, st
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % len(states)
+		p.SetState(cells[k], states[k])
+	}
+}
+
+// BenchmarkCostRecompute measures the full (non-incremental) recomputation
+// used by validation.
+func BenchmarkCostRecompute(b *testing.B) {
+	p := newTestPlacement(b, 25, true)
+	Randomize(p, rng.New(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RecomputeAll()
+	}
+}
+
+// BenchmarkCalibrateP2 measures the Eqn 9 normalization sampling.
+func BenchmarkCalibrateP2(b *testing.B) {
+	p := newTestPlacement(b, 25, true)
+	src := rng.New(3)
+	Randomize(p, src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CalibrateP2(p, 0.5, src, 5)
+	}
+}

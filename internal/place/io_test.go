@@ -1,0 +1,84 @@
+package place
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestPlacementRoundTrip(t *testing.T) {
+	p := newTestPlacement(t, 8, true)
+	Randomize(p, rng.New(5))
+	teil, c2 := p.TEIL(), p.C2Raw()
+
+	var sb strings.Builder
+	if err := WritePlacement(&sb, p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load into a fresh placement of the same circuit.
+	q := newTestPlacement(t, 8, true)
+	if err := ReadPlacement(strings.NewReader(sb.String()), q); err != nil {
+		t.Fatalf("ReadPlacement: %v\n%s", err, sb.String())
+	}
+	for i := range p.Circuit.Cells {
+		a, b := p.State(i), q.State(i)
+		if a.Pos != b.Pos || a.Orient != b.Orient || a.Instance != b.Instance {
+			t.Fatalf("cell %d state mismatch: %+v vs %+v", i, a, b)
+		}
+		if math.Abs(a.Aspect-b.Aspect) > 1e-9 {
+			t.Fatalf("cell %d aspect mismatch", i)
+		}
+		for u := range a.Units {
+			if a.Units[u] != b.Units[u] {
+				t.Fatalf("cell %d unit %d mismatch", i, u)
+			}
+		}
+	}
+	if q.TEIL() != teil || q.C2Raw() != c2 {
+		t.Fatalf("cost mismatch after reload: TEIL %v/%v C2 %d/%d",
+			teil, q.TEIL(), c2, q.C2Raw())
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadPlacementErrors(t *testing.T) {
+	p := newTestPlacement(t, 3, false)
+	cases := []struct{ name, in string }{
+		{"wrong circuit", "placement other\n"},
+		{"unknown cell", "placement grid\ncell nosuch 0 0 R0 0 1\n"},
+		{"bad orient", "placement grid\ncell ma0 0 0 R45 0 1\n"},
+		{"bad instance", "placement grid\ncell ma0 0 0 R0 9 1\n"},
+		{"unit outside cell", "placement grid\nunit 0 0\n"},
+		{"unknown directive", "placement grid\nbogus\n"},
+		{"bad core", "placement grid\ncore 1 2 3\n"},
+	}
+	for _, tc := range cases {
+		if err := ReadPlacement(strings.NewReader(tc.in), p); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestReadPlacementPartial(t *testing.T) {
+	// A file naming only one cell updates just that cell.
+	p := newTestPlacement(t, 3, false)
+	Randomize(p, rng.New(9))
+	before1 := p.State(1)
+	in := "placement grid\ncell ma0 7 9 R180 0 1\n"
+	if err := ReadPlacement(strings.NewReader(in), p); err != nil {
+		t.Fatal(err)
+	}
+	st := p.State(0)
+	if st.Pos.X != 7 || st.Pos.Y != 9 || st.Orient.String() != "R180" {
+		t.Fatalf("cell 0 not updated: %+v", st)
+	}
+	after1 := p.State(1)
+	if before1.Pos != after1.Pos {
+		t.Fatal("unrelated cell changed")
+	}
+}

@@ -1,0 +1,637 @@
+// Package place implements Stage 1 of TimberWolfMC (§3): simulated-annealing
+// placement of macro/custom cells with the dynamic interconnect-area
+// estimator, the three-term cost function C1 + p2·C2 + C3, the paper's
+// generate function (single-cell displacement with aspect-ratio-inversion
+// retry and orientation fallback, pin moves, aspect/instance changes, and
+// pairwise interchange), the ρ-controlled range limiter and the D_s
+// displacement-point selector.
+//
+// The same Placement state also serves Stage 2 (package refine) in static
+// expansion mode, where channel widths from global routing replace the
+// dynamic estimator.
+package place
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/estimate"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// DefaultSitesPerEdge is the pin-site count per custom-cell edge when the
+// netlist does not specify one (§2.4: a limited number of sites keeps the
+// per-orientation storage modest).
+const DefaultSitesPerEdge = 8
+
+// Kappa is the constant κ of Eqn 10, driving over-capacity pin sites to zero
+// before the end of Stage 1; the paper's implementation uses κ = 5.
+const Kappa = 5
+
+// CellState is the complete placement state of one cell.
+type CellState struct {
+	// Pos is the world position of the cell's bounding-box center.
+	Pos geom.Point
+	// Orient is one of the eight orientations.
+	Orient geom.Orient
+	// Instance selects among the cell's candidate implementations.
+	Instance int
+	// Aspect is the realized height/width ratio for custom shapes.
+	Aspect float64
+	// Units holds the pin-site assignment of each uncommitted pin unit.
+	Units []UnitAssign
+}
+
+// UnitAssign places an uncommitted pin unit (a lone edge pin, or a whole
+// group/sequence) at consecutive sites starting at Site on the canonical
+// edge Edge (0=L 1=R 2=B 3=T).
+type UnitAssign struct {
+	Edge int
+	Site int
+}
+
+// unit is a movable pin unit of a custom cell.
+type unit struct {
+	pins  []int // pin indices (sequence order for sequenced groups)
+	edges netlist.EdgeMask
+}
+
+// sideOfMask converts a canonical side index to its EdgeMask bit.
+func sideOfMask(side int) netlist.EdgeMask { return netlist.EdgeMask(1) << side }
+
+// Placement holds the complete, incrementally-maintained placement state
+// and cost terms for a circuit.
+type Placement struct {
+	Circuit *netlist.Circuit
+	Core    geom.Rect
+
+	// Est is the dynamic interconnect-area estimator; nil in static mode.
+	Est *estimate.Estimator
+	// static per-cell, per-world-side expansions (grid units), used by
+	// Stage 2; indexed [cell][world side L,R,B,T].
+	static [][4]int
+
+	// P2 is the overlap normalization constant p2 (Eqn 9).
+	P2 float64
+
+	pinDensity [][4]float64 // canonical per-side relative pin density
+	cellNets   [][]int      // nets touching each cell (unique)
+	netPrimary [][]int      // primary pin per connection, flattened per net
+	units      [][]unit     // uncommitted pin units per cell
+	sitesPer   []int        // pin sites per edge, per cell
+
+	states   []CellState
+	tiles    []*geom.TileSet // expanded world tiles per cell
+	rawTiles []*geom.TileSet // unexpanded world tiles per cell
+	pinPos   []geom.Point    // world position per pin
+	netBox   []geom.Rect     // bounding box of primary pins per net
+	siteCnt  [][]int16       // occupancy per cell: [4*S] flattened
+
+	c1   float64 // TEIC (Eqn 6)
+	teil float64 // unweighted total span (TEIL)
+	c2   int64   // total overlap area, unscaled (Eqn 7 without p2)
+	c3   float64 // pin-site penalty (Eqn 11)
+}
+
+// New builds a placement with every cell at the core center in R0; call
+// Randomize or set states explicitly before annealing. est may be nil for
+// static mode (then SetStaticExpansion must be called).
+func New(c *netlist.Circuit, core geom.Rect, est *estimate.Estimator) *Placement {
+	p := &Placement{
+		Circuit:    c,
+		Core:       core,
+		Est:        est,
+		P2:         1,
+		pinDensity: estimate.PinDensity(c),
+		cellNets:   buildCellNets(c),
+		netPrimary: buildNetPrimary(c),
+		states:     make([]CellState, len(c.Cells)),
+		tiles:      make([]*geom.TileSet, len(c.Cells)),
+		rawTiles:   make([]*geom.TileSet, len(c.Cells)),
+		pinPos:     make([]geom.Point, len(c.Pins)),
+		netBox:     make([]geom.Rect, len(c.Nets)),
+		static:     make([][4]int, len(c.Cells)),
+		units:      make([][]unit, len(c.Cells)),
+		sitesPer:   make([]int, len(c.Cells)),
+		siteCnt:    make([][]int16, len(c.Cells)),
+	}
+	center := core.Center()
+	for i := range c.Cells {
+		cl := &c.Cells[i]
+		p.sitesPer[i] = cl.SitesPerEdge
+		if p.sitesPer[i] <= 0 {
+			p.sitesPer[i] = DefaultSitesPerEdge
+		}
+		p.units[i] = buildUnits(c, cl)
+		p.siteCnt[i] = make([]int16, 4*p.sitesPer[i])
+		st := CellState{
+			Pos:      center,
+			Orient:   geom.R0,
+			Instance: 0,
+			Aspect:   1,
+			Units:    make([]UnitAssign, len(p.units[i])),
+		}
+		if cl.Fixed {
+			st.Pos = cl.FixedPos
+			st.Orient = cl.FixedOrient
+		}
+		if in := &cl.Instances[0]; in.IsCustomShape() {
+			st.Aspect = in.ClampAspect(1)
+		}
+		// Default unit assignment: first allowed edge, consecutive sites.
+		for u := range p.units[i] {
+			st.Units[u] = UnitAssign{Edge: firstAllowedEdge(p.units[i][u].edges), Site: 0}
+		}
+		p.states[i] = st
+	}
+	for i := range c.Cells {
+		p.realizeCell(i)
+	}
+	p.RecomputeAll()
+	return p
+}
+
+func buildNetPrimary(c *netlist.Circuit) [][]int {
+	out := make([][]int, len(c.Nets))
+	for ni := range c.Nets {
+		conns := c.Nets[ni].Conns
+		pins := make([]int, len(conns))
+		for k, conn := range conns {
+			pins[k] = conn.Primary()
+		}
+		out[ni] = pins
+	}
+	return out
+}
+
+func buildCellNets(c *netlist.Circuit) [][]int {
+	out := make([][]int, len(c.Cells))
+	seen := make([]int, len(c.Cells))
+	for i := range seen {
+		seen[i] = -1
+	}
+	for ni := range c.Nets {
+		for _, conn := range c.Nets[ni].Conns {
+			ci := c.Pins[conn.Primary()].Cell
+			if seen[ci] != ni {
+				seen[ci] = ni
+				out[ci] = append(out[ci], ni)
+			}
+		}
+	}
+	return out
+}
+
+func buildUnits(c *netlist.Circuit, cl *netlist.Cell) []unit {
+	var out []unit
+	for gi := range cl.Groups {
+		g := &cl.Groups[gi]
+		out = append(out, unit{pins: g.Pins, edges: g.Edges})
+	}
+	for _, pi := range cl.Pins {
+		p := &c.Pins[pi]
+		if p.Placement == netlist.PinEdge {
+			out = append(out, unit{pins: []int{pi}, edges: p.Edges})
+		}
+	}
+	return out
+}
+
+func firstAllowedEdge(m netlist.EdgeMask) int {
+	for s := 0; s < 4; s++ {
+		if m.Has(sideOfMask(s)) {
+			return s
+		}
+	}
+	return 0
+}
+
+// State returns a copy of cell i's placement state.
+func (p *Placement) State(i int) CellState {
+	st := p.states[i]
+	st.Units = append([]UnitAssign(nil), st.Units...)
+	return st
+}
+
+// Tiles returns the expanded world tiles of cell i.
+func (p *Placement) Tiles(i int) *geom.TileSet { return p.tiles[i] }
+
+// RawTiles returns the unexpanded world tiles of cell i.
+func (p *Placement) RawTiles(i int) *geom.TileSet { return p.rawTiles[i] }
+
+// PinPos returns the world position of pin pi.
+func (p *Placement) PinPos(pi int) geom.Point { return p.pinPos[pi] }
+
+// Units returns the number of uncommitted pin units on cell i.
+func (p *Placement) Units(i int) int { return len(p.units[i]) }
+
+// Movable reports whether the annealers may move cell i (pre-placed cells
+// are fixed; their uncommitted pins, if any, may still be re-sited).
+func (p *Placement) Movable(i int) bool { return !p.Circuit.Cells[i].Fixed }
+
+// MovableCells returns the indices of all movable cells.
+func (p *Placement) MovableCells() []int {
+	var out []int
+	for i := range p.Circuit.Cells {
+		if p.Movable(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SitesPerEdge returns the pin-site count per edge for cell i.
+func (p *Placement) SitesPerEdge(i int) int { return p.sitesPer[i] }
+
+// SetStaticExpansion switches cell i to static mode with the given
+// per-world-side expansions (Stage 2: half the required channel width on
+// each bordering edge, §4.3). Passing a placement-wide estimator of nil and
+// calling this for every cell puts the whole placement in static mode.
+func (p *Placement) SetStaticExpansion(i int, sides [4]int) {
+	p.static[i] = sides
+	p.updateCell(i, p.states[i])
+}
+
+// StaticExpansion returns cell i's static per-side expansions.
+func (p *Placement) StaticExpansion(i int) [4]int { return p.static[i] }
+
+// instanceDims returns the canonical width/height of the chosen instance.
+func (p *Placement) instanceDims(i int) (w, h int) {
+	cl := &p.Circuit.Cells[i]
+	st := &p.states[i]
+	in := &cl.Instances[st.Instance]
+	return in.Dims(st.Aspect)
+}
+
+// worldSideToCanonical maps, for orientation o, each world side (L,R,B,T)
+// to the canonical side currently facing it.
+var worldSideToCanonical [geom.NumOrients][4]int
+
+func init() {
+	// Canonical outward normals per side L,R,B,T.
+	normals := [4]geom.Point{{X: -1}, {X: 1}, {Y: -1}, {Y: 1}}
+	for o := geom.Orient(0); o < geom.NumOrients; o++ {
+		for s := 0; s < 4; s++ {
+			n := o.Apply(normals[s])
+			var world int
+			switch {
+			case n.X == -1:
+				world = 0
+			case n.X == 1:
+				world = 1
+			case n.Y == -1:
+				world = 2
+			default:
+				world = 3
+			}
+			worldSideToCanonical[o][world] = s
+		}
+	}
+}
+
+// realizeCell recomputes the world geometry and pin positions of cell i
+// from its state. It does not touch cost accounting.
+func (p *Placement) realizeCell(i int) {
+	cl := &p.Circuit.Cells[i]
+	st := &p.states[i]
+	in := &cl.Instances[st.Instance]
+
+	// Raw world tiles.
+	var raw *geom.TileSet
+	if in.IsCustomShape() {
+		w, h := in.Dims(st.Aspect)
+		raw = geom.MustTileSet(geom.R(-w/2, -h/2, -w/2+w, -h/2+h)).
+			Transform(st.Orient, st.Pos)
+	} else {
+		b := in.Tiles.Bounds()
+		c := b.Center()
+		raw = in.Tiles.Transform(geom.R0, geom.Point{X: -c.X, Y: -c.Y}).
+			Transform(st.Orient, st.Pos)
+	}
+	p.rawTiles[i] = raw
+
+	// Expanded tiles: each tile side expanded outward by the estimator
+	// (dynamic mode) or the static per-side amounts (Stage 2). The pin
+	// density of the cell side facing each world direction modulates the
+	// dynamic estimate (§2.2 factor 3).
+	exp := make([]geom.Rect, 0, raw.Len())
+	var side [4]int
+	if p.Est != nil {
+		bb := raw.Bounds()
+		canon := worldSideToCanonical[st.Orient]
+		mid := [4]geom.Point{
+			{X: bb.XLo, Y: (bb.YLo + bb.YHi) / 2},
+			{X: bb.XHi, Y: (bb.YLo + bb.YHi) / 2},
+			{X: (bb.XLo + bb.XHi) / 2, Y: bb.YLo},
+			{X: (bb.XLo + bb.XHi) / 2, Y: bb.YHi},
+		}
+		for s := 0; s < 4; s++ {
+			drp := p.pinDensity[i][canon[s]]
+			side[s] = p.Est.Expansion(mid[s], drp)
+		}
+	} else {
+		side = p.static[i]
+	}
+	for _, t := range raw.Tiles() {
+		exp = append(exp, t.Inflate(side[0], side[2], side[1], side[3]))
+	}
+	p.tiles[i] = geom.TileSetFromRects(exp)
+
+	// Pin positions.
+	w, h := p.instanceDims(i)
+	for _, pi := range cl.Pins {
+		pin := &p.Circuit.Pins[pi]
+		if pin.Placement == netlist.PinFixed {
+			off := clampOffset(pin.Offset, w, h)
+			p.pinPos[pi] = st.Pos.Add(st.Orient.Apply(off))
+		}
+	}
+	// Uncommitted pins from unit assignments.
+	p.placeUnits(i)
+	// Site occupancy.
+	p.recountSites(i)
+}
+
+// clampOffset restricts a canonical pin offset into the instance bounds;
+// pin offsets are defined for the first instance and are clamped when a
+// differently-sized instance is selected.
+func clampOffset(off geom.Point, w, h int) geom.Point {
+	hw, hh := w/2, h/2
+	if off.X < -hw {
+		off.X = -hw
+	}
+	if off.X > w-hw {
+		off.X = w - hw
+	}
+	if off.Y < -hh {
+		off.Y = -hh
+	}
+	if off.Y > h-hh {
+		off.Y = h - hh
+	}
+	return off
+}
+
+// sitePos returns the canonical-frame position of site k on canonical side s
+// of a w×h shape.
+func sitePos(s, k, nSites, w, h int) geom.Point {
+	hw, hh := w/2, h/2
+	frac := func(length int) int { return (2*k + 1) * length / (2 * nSites) }
+	switch s {
+	case 0:
+		return geom.Point{X: -hw, Y: -hh + frac(h)}
+	case 1:
+		return geom.Point{X: w - hw, Y: -hh + frac(h)}
+	case 2:
+		return geom.Point{X: -hw + frac(w), Y: -hh}
+	default:
+		return geom.Point{X: -hw + frac(w), Y: h - hh}
+	}
+}
+
+// SiteCapacity returns C_p for each site of cell i: the number of pin
+// locations encompassed by one site, at a pin pitch of one routing track.
+func (p *Placement) SiteCapacity(i, edge int) int {
+	w, h := p.instanceDims(i)
+	length := h
+	if edge >= 2 {
+		length = w
+	}
+	cap := length / (p.sitesPer[i] * p.Circuit.TrackSep)
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// placeUnits assigns world positions to all uncommitted pins of cell i from
+// the unit assignments.
+func (p *Placement) placeUnits(i int) {
+	st := &p.states[i]
+	w, h := p.instanceDims(i)
+	n := p.sitesPer[i]
+	for u, un := range p.units[i] {
+		a := st.Units[u]
+		for k, pi := range un.pins {
+			site := (a.Site + k) % n
+			pos := sitePos(a.Edge, site, n, w, h)
+			p.pinPos[pi] = st.Pos.Add(st.Orient.Apply(pos))
+		}
+	}
+}
+
+// recountSites recomputes site occupancy for cell i.
+func (p *Placement) recountSites(i int) {
+	cnt := p.siteCnt[i]
+	for k := range cnt {
+		cnt[k] = 0
+	}
+	st := &p.states[i]
+	n := p.sitesPer[i]
+	for u, un := range p.units[i] {
+		a := st.Units[u]
+		for k := range un.pins {
+			cnt[a.Edge*n+(a.Site+k)%n]++
+		}
+	}
+}
+
+// siteContrib computes cell i's contribution to C3 (Eqn 10–11).
+func (p *Placement) siteContrib(i int) float64 {
+	var sum float64
+	n := p.sitesPer[i]
+	for e := 0; e < 4; e++ {
+		capE := float64(p.SiteCapacity(i, e))
+		for s := 0; s < n; s++ {
+			ct := float64(p.siteCnt[i][e*n+s])
+			if ct > capE {
+				pen := ct - capE + Kappa
+				sum += pen * pen
+			}
+		}
+	}
+	return sum
+}
+
+// overlapContrib computes Σ_j O(i,j) over j ≠ i plus the core-border
+// overlap (the dummy cells of footnote 16).
+func (p *Placement) overlapContrib(i int) int64 {
+	var sum int64
+	ti := p.tiles[i]
+	for j := range p.tiles {
+		if j == i {
+			continue
+		}
+		sum += ti.Overlap(p.tiles[j])
+	}
+	sum += p.borderOverlap(i)
+	return sum
+}
+
+// borderOverlap returns the area of cell i's raw tiles lying outside the
+// core: the overlap with the four dummy border cells of footnote 16, which
+// fire when "a macro/custom cell edge extends beyond a core boundary". Raw
+// tiles are used because the target core area budget (Eqn 5) equals the sum
+// of padded cell areas exactly; expanded tiles may legitimately protrude.
+func (p *Placement) borderOverlap(i int) int64 {
+	var sum int64
+	for _, t := range p.rawTiles[i].Tiles() {
+		sum += t.Area() - t.Intersect(p.Core).Area()
+	}
+	return sum
+}
+
+// RawOverlap returns the total pairwise overlap of unexpanded cell tiles:
+// actual cell-on-cell overlap, excluding interconnect-space conflicts.
+func (p *Placement) RawOverlap() int64 {
+	var sum int64
+	for i := range p.rawTiles {
+		for j := i + 1; j < len(p.rawTiles); j++ {
+			sum += p.rawTiles[i].Overlap(p.rawTiles[j])
+		}
+	}
+	return sum
+}
+
+// netCostFromBox returns the weighted cost and raw span of net n given its
+// primary-pin bounding box (Eqn 6 terms).
+func (p *Placement) netCostFromBox(n int, b geom.Rect) (weighted, span float64) {
+	net := &p.Circuit.Nets[n]
+	x, y := float64(b.XHi-b.XLo), float64(b.YHi-b.YLo)
+	return x*net.HWeight + y*net.VWeight, x + y
+}
+
+// netBoxFor recomputes the primary-pin bounding box of net n. The box is
+// degenerate (zero span) for single-point nets; the Rect here uses closed
+// corner semantics (XHi = max pin x), unlike area rects.
+func (p *Placement) netBoxFor(n int) geom.Rect {
+	pins := p.netPrimary[n]
+	first := p.pinPos[pins[0]]
+	b := geom.Rect{XLo: first.X, YLo: first.Y, XHi: first.X, YHi: first.Y}
+	for _, pi := range pins[1:] {
+		pt := p.pinPos[pi]
+		if pt.X < b.XLo {
+			b.XLo = pt.X
+		}
+		if pt.X > b.XHi {
+			b.XHi = pt.X
+		}
+		if pt.Y < b.YLo {
+			b.YLo = pt.Y
+		}
+		if pt.Y > b.YHi {
+			b.YHi = pt.Y
+		}
+	}
+	return b
+}
+
+// RecomputeAll rebuilds every cost term from scratch. Used at construction,
+// after bulk state changes, and by tests to validate incremental updates.
+func (p *Placement) RecomputeAll() {
+	p.c1, p.teil, p.c3 = 0, 0, 0
+	p.c2 = 0
+	for n := range p.Circuit.Nets {
+		p.netBox[n] = p.netBoxFor(n)
+		w, s := p.netCostFromBox(n, p.netBox[n])
+		p.c1 += w
+		p.teil += s
+	}
+	for i := range p.tiles {
+		for j := i + 1; j < len(p.tiles); j++ {
+			p.c2 += p.tiles[i].Overlap(p.tiles[j])
+		}
+		p.c2 += p.borderOverlap(i)
+		p.c3 += p.siteContrib(i)
+	}
+}
+
+// updateCell replaces cell i's state, incrementally maintaining all cost
+// terms, and returns nothing; use Try* wrappers for delta evaluation.
+func (p *Placement) updateCell(i int, st CellState) {
+	// Remove old contributions; the cached per-net boxes are current, so
+	// no recomputation is needed on the subtract side.
+	p.c2 -= p.overlapContrib(i)
+	p.c3 -= p.siteContrib(i)
+	for _, n := range p.cellNets[i] {
+		w, s := p.netCostFromBox(n, p.netBox[n])
+		p.c1 -= w
+		p.teil -= s
+	}
+	// Swap state and re-realize.
+	p.states[i] = st
+	p.realizeCell(i)
+	// Add new contributions.
+	p.c2 += p.overlapContrib(i)
+	p.c3 += p.siteContrib(i)
+	for _, n := range p.cellNets[i] {
+		b := p.netBoxFor(n)
+		p.netBox[n] = b
+		w, s := p.netCostFromBox(n, b)
+		p.c1 += w
+		p.teil += s
+	}
+}
+
+// SetState places cell i in the given state (incremental cost update).
+func (p *Placement) SetState(i int, st CellState) { p.updateCell(i, st) }
+
+// C1 returns the TEIC (Eqn 6).
+func (p *Placement) C1() float64 { return p.c1 }
+
+// TEIL returns the total estimated interconnect length: the TEIC with all
+// net weights forced to 1 (§3).
+func (p *Placement) TEIL() float64 { return p.teil }
+
+// C2Raw returns the total overlap area before p2 scaling.
+func (p *Placement) C2Raw() int64 { return p.c2 }
+
+// C3 returns the pin-site penalty (Eqn 11).
+func (p *Placement) C3() float64 { return p.c3 }
+
+// Cost returns the full Stage 1 objective C1 + p2·C2 + C3.
+func (p *Placement) Cost() float64 {
+	return p.c1 + p.P2*float64(p.c2) + p.c3
+}
+
+// CellBounds returns the bounding box of all raw (unexpanded) cell tiles.
+func (p *Placement) CellBounds() geom.Rect {
+	var b geom.Rect
+	for _, ts := range p.rawTiles {
+		b = b.Union(ts.Bounds())
+	}
+	return b
+}
+
+// ExpandedBounds returns the bounding box including interconnect expansion:
+// the effective chip extent.
+func (p *Placement) ExpandedBounds() geom.Rect {
+	var b geom.Rect
+	for _, ts := range p.tiles {
+		b = b.Union(ts.Bounds())
+	}
+	return b
+}
+
+// Validate cross-checks the incremental cost terms against a full
+// recomputation; it returns an error describing the first mismatch.
+func (p *Placement) Validate() error {
+	saved := struct {
+		c1, teil, c3 float64
+		c2           int64
+	}{p.c1, p.teil, p.c3, p.c2}
+	p.RecomputeAll()
+	const eps = 1e-6
+	switch {
+	case math.Abs(saved.c1-p.c1) > eps:
+		return fmt.Errorf("place: C1 drift: incremental %v full %v", saved.c1, p.c1)
+	case math.Abs(saved.teil-p.teil) > eps:
+		return fmt.Errorf("place: TEIL drift: incremental %v full %v", saved.teil, p.teil)
+	case saved.c2 != p.c2:
+		return fmt.Errorf("place: C2 drift: incremental %d full %d", saved.c2, p.c2)
+	case math.Abs(saved.c3-p.c3) > eps:
+		return fmt.Errorf("place: C3 drift: incremental %v full %v", saved.c3, p.c3)
+	}
+	return nil
+}

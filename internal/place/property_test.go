@@ -1,0 +1,118 @@
+package place
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// TestPinOnBoundaryQuick: for random placement states, every fixed pin of a
+// rectangular macro lies on (or within) the cell's world bounding box, and
+// every uncommitted pin of a custom cell lies exactly on its world boundary.
+func TestPinOnBoundaryQuick(t *testing.T) {
+	p := newTestPlacement(t, 6, true)
+	ci := p.Circuit.CellByName("cst")
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		Randomize(p, src)
+		// Fixed macro pins inside bounds.
+		for i := range p.Circuit.Cells {
+			bb := p.RawTiles(i).Bounds()
+			closed := bb.Inflate(0, 0, 1, 1) // pins may sit on the high edge
+			for _, pi := range p.Circuit.Cells[i].Pins {
+				if !closed.Contains(p.PinPos(pi)) {
+					return false
+				}
+			}
+		}
+		// Custom-cell uncommitted pins on the boundary.
+		bb := p.RawTiles(ci).Bounds()
+		for _, pi := range p.Circuit.Cells[ci].Pins {
+			pt := p.PinPos(pi)
+			onX := pt.X == bb.XLo || pt.X == bb.XHi
+			onY := pt.Y == bb.YLo || pt.Y == bb.YHi
+			if !onX && !onY {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCostNonNegativeQuick: all cost components stay non-negative under
+// arbitrary state churn (C2 is an area sum; C3 a sum of squares).
+func TestCostNonNegativeQuick(t *testing.T) {
+	p := newTestPlacement(t, 5, true)
+	f := func(seed uint64, moves uint8) bool {
+		src := rng.New(seed)
+		Randomize(p, src)
+		for k := 0; k < int(moves%32); k++ {
+			i := src.Intn(len(p.Circuit.Cells))
+			st := p.State(i)
+			st.Pos = geom.Point{
+				X: src.IntRange(p.Core.XLo-50, p.Core.XHi+50),
+				Y: src.IntRange(p.Core.YLo-50, p.Core.YHi+50),
+			}
+			st.Orient = geom.Orient(src.Intn(geom.NumOrients))
+			p.SetState(i, st)
+		}
+		return p.C1() >= 0 && p.C2Raw() >= 0 && p.C3() >= 0 && p.TEIL() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSetStateIdempotentQuick: re-applying a cell's current state leaves
+// every cost term bit-identical (the revert path of rejected moves relies
+// on this).
+func TestSetStateIdempotentQuick(t *testing.T) {
+	p := newTestPlacement(t, 6, true)
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		Randomize(p, src)
+		c1, teil, c2, c3 := p.C1(), p.TEIL(), p.C2Raw(), p.C3()
+		for i := range p.Circuit.Cells {
+			p.SetState(i, p.State(i))
+		}
+		return p.C1() == c1 && p.TEIL() == teil && p.C2Raw() == c2 && p.C3() == c3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMoveRevertRestoresCostQuick: applying any random state and then the
+// saved old state restores all cost terms exactly — the integrity of the
+// Metropolis reject path.
+func TestMoveRevertRestoresCostQuick(t *testing.T) {
+	p := newTestPlacement(t, 7, true)
+	src := rng.New(99)
+	Randomize(p, src)
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		i := s.Intn(len(p.Circuit.Cells))
+		c1, teil, c2, c3 := p.C1(), p.TEIL(), p.C2Raw(), p.C3()
+		old := p.State(i)
+		st := p.State(i)
+		st.Pos = geom.Point{
+			X: s.IntRange(p.Core.XLo, p.Core.XHi),
+			Y: s.IntRange(p.Core.YLo, p.Core.YHi),
+		}
+		st.Orient = geom.Orient(s.Intn(geom.NumOrients))
+		if len(st.Units) > 0 {
+			st.Units[0] = randomUnitAssign(p, i, 0, s)
+		}
+		p.SetState(i, st)
+		p.SetState(i, old)
+		return p.C1() == c1 && p.TEIL() == teil && p.C2Raw() == c2 && p.C3() == c3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

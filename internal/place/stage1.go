@@ -1,0 +1,409 @@
+package place
+
+import (
+	"math"
+
+	"repro/internal/anneal"
+	"repro/internal/estimate"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/rng"
+)
+
+// Options configures a Stage 1 run.
+type Options struct {
+	// Seed drives all stochastic choices; equal seeds reproduce runs.
+	Seed uint64
+	// Ac is the number of attempted new states per cell per temperature
+	// (Eqn 17, Figures 5–6); defaults to anneal.DefaultAc.
+	Ac int
+	// R is the ratio of single-cell displacements to pairwise interchanges
+	// (Figure 3); defaults to anneal.DefaultR.
+	R float64
+	// Rho controls the range-limiter shrink rate (§3.2.2); defaults to 4.
+	Rho float64
+	// Eta sets the overlap normalization p2·C2 = η·C1 at T_∞ (Eqn 9);
+	// defaults to 0.5.
+	Eta float64
+	// UseDr selects the uniform displacement-point function D_r instead of
+	// the quantized D_s (§3.2.3 ablation).
+	UseDr bool
+	// CoreAspect is the target core height/width ratio; defaults to 1.
+	CoreAspect float64
+	// Params configures the interconnect-area estimator.
+	Params estimate.Params
+	// MaxSteps caps the temperature count (0 = paper stopping criterion).
+	MaxSteps int
+	// Core, if non-empty, overrides the computed target core region.
+	Core geom.Rect
+}
+
+func (o *Options) fill() {
+	if o.Ac <= 0 {
+		o.Ac = anneal.DefaultAc
+	}
+	if o.R <= 0 {
+		o.R = anneal.DefaultR
+	}
+	if o.Rho <= 0 {
+		o.Rho = 4
+	}
+	if o.Eta <= 0 {
+		o.Eta = 0.5
+	}
+	if o.CoreAspect <= 0 {
+		o.CoreAspect = 1
+	}
+	if o.Params == (estimate.Params{}) {
+		o.Params = estimate.DefaultParams()
+	}
+}
+
+// StepStat records one temperature step for the experiment harness.
+type StepStat struct {
+	T       float64
+	Cost    float64
+	TEIL    float64
+	Overlap int64
+}
+
+// Result summarizes a Stage 1 run.
+type Result struct {
+	TEIL float64
+	C1   float64
+	// Overlap is the residual value of the C2 penalty (expanded tiles plus
+	// border term) at T → T_0 (§3.2.2).
+	Overlap int64
+	// RawOverlap is actual cell-on-cell overlap of unexpanded tiles.
+	RawOverlap int64
+	C3         float64
+	Steps      int
+	Attempts   int64
+	AcceptRate float64
+	FinalT     float64
+	P2         float64
+	History    []StepStat
+}
+
+// Randomize scatters the cells uniformly over the core with random
+// orientations and pin-site assignments: the random initial configuration
+// of §3.2.1 (the initial state has no influence on the final TEIC).
+func Randomize(p *Placement, src *rng.Source) {
+	core := p.Core
+	for i := range p.Circuit.Cells {
+		st := p.State(i)
+		if p.Movable(i) {
+			st.Pos = geom.Point{
+				X: src.IntRange(core.XLo, core.XHi),
+				Y: src.IntRange(core.YLo, core.YHi),
+			}
+			st.Orient = geom.Orient(src.Intn(geom.NumOrients))
+		}
+		for u := range st.Units {
+			st.Units[u] = randomUnitAssign(p, i, u, src)
+		}
+		p.SetState(i, st)
+	}
+}
+
+func randomUnitAssign(p *Placement, cell, u int, src *rng.Source) UnitAssign {
+	mask := p.units[cell][u].edges
+	var edges []int
+	for s := 0; s < 4; s++ {
+		if mask.Has(sideOfMask(s)) {
+			edges = append(edges, s)
+		}
+	}
+	if len(edges) == 0 {
+		edges = []int{0}
+	}
+	return UnitAssign{
+		Edge: edges[src.Intn(len(edges))],
+		Site: src.Intn(p.sitesPer[cell]),
+	}
+}
+
+// CalibrateP2 estimates p2 so that p2·E[C2] = η·E[C1] over random states at
+// T_∞ (Eqn 9). It samples full random placements and restores the original
+// state afterwards.
+func CalibrateP2(p *Placement, eta float64, src *rng.Source, samples int) float64 {
+	if samples <= 0 {
+		samples = 20
+	}
+	saved := make([]CellState, len(p.Circuit.Cells))
+	for i := range saved {
+		saved[i] = p.State(i)
+	}
+	var sumC1, sumC2 float64
+	for s := 0; s < samples; s++ {
+		Randomize(p, src)
+		sumC1 += p.C1()
+		sumC2 += float64(p.C2Raw())
+	}
+	for i := range saved {
+		p.SetState(i, saved[i])
+	}
+	if sumC2 <= 0 {
+		return 1
+	}
+	return eta * sumC1 / sumC2
+}
+
+// stage1 bundles the per-run state of the generate function.
+type stage1 struct {
+	p       *Placement
+	ctl     *anneal.Controller
+	src     *rng.Source
+	opt     Options
+	movable []int
+}
+
+// RunStage1 executes the complete Stage 1 algorithm on the circuit and
+// returns the final placement and run metrics.
+func RunStage1(c *netlist.Circuit, opt Options) (*Placement, Result) {
+	opt.fill()
+	core := opt.Core
+	if core.Empty() {
+		core = estimate.CoreSize(c, opt.Params, opt.CoreAspect)
+	}
+	// Pre-placed cells must lie inside the core: grow it to cover them.
+	for i := range c.Cells {
+		cl := &c.Cells[i]
+		if !cl.Fixed {
+			continue
+		}
+		w, h := cl.Instances[0].Dims(1)
+		bb := cl.FixedOrient.ApplyRect(geom.R(-w/2, -h/2, w-w/2, h-h/2)).
+			Translate(cl.FixedPos)
+		core = core.Union(bb.InflateUniform(2))
+	}
+	est := estimate.New(c, core, opt.Params)
+	p := New(c, core, est)
+	src := rng.New(opt.Seed)
+	Randomize(p, src)
+	p.P2 = CalibrateP2(p, opt.Eta, src, 20)
+
+	// Temperature scale: average cell area including estimated
+	// interconnect (§3.3).
+	var expArea int64
+	for i := range c.Cells {
+		expArea += p.Tiles(i).Area()
+	}
+	st := anneal.ScaleFactor(float64(expArea) / float64(max(1, len(c.Cells))))
+
+	ctl := anneal.NewController(anneal.Config{
+		ST:              st,
+		Schedule:        anneal.Stage1Schedule(),
+		Ac:              opt.Ac,
+		NumCells:        len(c.Cells),
+		WxInf:           2 * float64(core.W()),
+		WyInf:           2 * float64(core.H()),
+		Rho:             opt.Rho,
+		StopOnMinWindow: true,
+		MaxSteps:        opt.MaxSteps,
+	}, src.Split())
+
+	s := &stage1{p: p, ctl: ctl, src: src, opt: opt, movable: p.MovableCells()}
+	res := s.run()
+	return p, res
+}
+
+func (s *stage1) run() Result {
+	if len(s.movable) == 0 {
+		// Everything pre-placed: nothing to anneal.
+		return Result{
+			TEIL: s.p.TEIL(), C1: s.p.C1(),
+			Overlap: s.p.C2Raw(), RawOverlap: s.p.RawOverlap(), C3: s.p.C3(),
+			P2: s.p.P2,
+		}
+	}
+	pDisp := s.opt.R / (s.opt.R + 1)
+	var attempts int64
+	var res Result
+	for s.ctl.Next() {
+		inner := s.ctl.InnerIterations()
+		for it := 0; it < inner; it++ {
+			attempts++
+			if s.src.Bool(pDisp) {
+				s.generateDisplacement()
+			} else {
+				s.generateInterchange()
+			}
+		}
+		s.ctl.EndStep(s.p.Cost())
+		res.History = append(res.History, StepStat{
+			T:       s.ctl.T(),
+			Cost:    s.p.Cost(),
+			TEIL:    s.p.TEIL(),
+			Overlap: s.p.C2Raw(),
+		})
+	}
+	res.TEIL = s.p.TEIL()
+	res.C1 = s.p.C1()
+	res.Overlap = s.p.C2Raw()
+	res.RawOverlap = s.p.RawOverlap()
+	res.C3 = s.p.C3()
+	res.Steps = s.ctl.Step()
+	res.Attempts = attempts
+	res.AcceptRate = s.ctl.AcceptRate()
+	res.FinalT = s.ctl.T()
+	res.P2 = s.p.P2
+	return res
+}
+
+// tryState applies st to cell i and keeps it if the Metropolis criterion
+// accepts the cost change.
+func (s *stage1) tryState(i int, st CellState) bool {
+	before := s.p.Cost()
+	old := s.p.State(i)
+	s.p.SetState(i, st)
+	if s.ctl.Accept(s.p.Cost() - before) {
+		return true
+	}
+	s.p.SetState(i, old)
+	return false
+}
+
+// generateDisplacement implements the move_type == 1 branch of the paper's
+// generate function (§3.2.1).
+func (s *stage1) generateDisplacement() {
+	p := s.p
+	i := s.movable[s.src.Intn(len(s.movable))]
+	wx, wy := s.ctl.Window()
+	var dx, dy int
+	if s.opt.UseDr {
+		dx, dy = anneal.PickDisplacementDr(s.src, wx, wy)
+	} else {
+		dx, dy = anneal.PickDisplacementDs(s.src, wx, wy)
+	}
+	cur := p.State(i)
+	target := geom.Point{
+		X: clamp(cur.Pos.X+dx, p.Core.XLo, p.Core.XHi),
+		Y: clamp(cur.Pos.Y+dy, p.Core.YLo, p.Core.YHi),
+	}
+
+	// A1: displace cell i to the target location.
+	st := cur
+	st.Pos = target
+	if !s.tryState(i, st) {
+		// A1': retry with an aspect-ratio-inverting orientation
+		// (Figure 2: cell C2 fits the target slot once inverted).
+		st.Orient = s.randomInversion(cur.Orient)
+		if !s.tryState(i, st) {
+			// Ao: random orientation change in place.
+			st = cur
+			st.Orient = geom.Orient(s.src.Intn(geom.NumOrients))
+			if st.Orient != cur.Orient {
+				s.tryState(i, st)
+			}
+		}
+	}
+
+	if p.Circuit.Cells[i].Kind == netlist.Custom {
+		// Ap: one site-displacement attempt per uncommitted pin unit.
+		for k := 0; k < p.Units(i); k++ {
+			s.tryPinMove(i)
+		}
+		// At: aspect-ratio (or instance) change within bounds.
+		s.tryShapeChange(i)
+	}
+}
+
+// generateInterchange implements the move_type == 2 branch: a pairwise
+// interchange, retried with aspect inversions on rejection.
+func (s *stage1) generateInterchange() {
+	n := len(s.movable)
+	if n < 2 {
+		return
+	}
+	a := s.src.Intn(n)
+	b := s.src.Intn(n - 1)
+	if b >= a {
+		b++
+	}
+	i, j := s.movable[a], s.movable[b]
+	if !s.trySwap(i, j, false) {
+		s.trySwap(i, j, true)
+	}
+}
+
+func (s *stage1) trySwap(i, j int, invert bool) bool {
+	p := s.p
+	before := p.Cost()
+	oi, oj := p.State(i), p.State(j)
+	ni, nj := p.State(i), p.State(j)
+	ni.Pos, nj.Pos = oj.Pos, oi.Pos
+	if invert {
+		ni.Orient = s.randomInversion(ni.Orient)
+		nj.Orient = s.randomInversion(nj.Orient)
+	}
+	p.SetState(i, ni)
+	p.SetState(j, nj)
+	if s.ctl.Accept(p.Cost() - before) {
+		return true
+	}
+	p.SetState(i, oi)
+	p.SetState(j, oj)
+	return false
+}
+
+// tryPinMove displaces one random uncommitted pin unit of cell i to a new
+// edge/site assignment.
+func (s *stage1) tryPinMove(i int) bool {
+	p := s.p
+	if p.Units(i) == 0 {
+		return false
+	}
+	u := s.src.Intn(p.Units(i))
+	st := p.State(i)
+	st.Units[u] = randomUnitAssign(p, i, u, s.src)
+	return s.tryState(i, st)
+}
+
+// tryShapeChange attempts an aspect-ratio change within the instance's
+// bounds, or an instance switch when the cell has alternatives.
+func (s *stage1) tryShapeChange(i int) bool {
+	p := s.p
+	cl := &p.Circuit.Cells[i]
+	st := p.State(i)
+	if len(cl.Instances) > 1 && s.src.Bool(0.3) {
+		next := s.src.Intn(len(cl.Instances) - 1)
+		if next >= st.Instance {
+			next++
+		}
+		st.Instance = next
+		in := &cl.Instances[next]
+		if in.IsCustomShape() {
+			st.Aspect = in.ClampAspect(st.Aspect)
+		}
+		return s.tryState(i, st)
+	}
+	in := &cl.Instances[st.Instance]
+	if !in.IsCustomShape() {
+		return false
+	}
+	if len(in.AspectChoices) > 0 {
+		st.Aspect = in.AspectChoices[s.src.Intn(len(in.AspectChoices))]
+	} else {
+		factor := math.Exp((s.src.Float64()*2 - 1) * 0.4)
+		st.Aspect = in.ClampAspect(st.Aspect * factor)
+	}
+	return s.tryState(i, st)
+}
+
+// randomInversion returns a random orientation with the opposite axis-swap
+// parity: the "aspect ratio inversion" of §3.2.1.
+func (s *stage1) randomInversion(o geom.Orient) geom.Orient {
+	inv := o.AspectInversions()
+	return inv[s.src.Intn(len(inv))]
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

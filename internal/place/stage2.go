@@ -1,0 +1,144 @@
+package place
+
+import (
+	"repro/internal/anneal"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/rng"
+)
+
+// RefineOptions configures one placement-refinement pass (§4.3).
+type RefineOptions struct {
+	Seed uint64
+	// Ac is the number of attempts per cell per temperature.
+	Ac int
+	// Mu is the initial range-limiter window as a fraction of the core
+	// span (Eqn 25); the paper uses 0.03.
+	Mu float64
+	// Rho is the range-limiter shrink rate.
+	Rho float64
+	// StableStop selects the third-iteration stopping criterion: the run
+	// ends when the cost is unchanged for 3 consecutive inner loops
+	// instead of at minimum window span.
+	StableStop bool
+	// MaxSteps bounds the temperature count (0 = no bound).
+	MaxSteps int
+}
+
+func (o *RefineOptions) fill() {
+	if o.Ac <= 0 {
+		o.Ac = anneal.DefaultAc
+	}
+	if o.Mu <= 0 {
+		o.Mu = anneal.DefaultMu
+	}
+	if o.Rho <= 0 {
+		o.Rho = 4
+	}
+}
+
+// RefineResult summarizes one refinement pass.
+type RefineResult struct {
+	TEIL       float64
+	Overlap    int64
+	Steps      int
+	AcceptRate float64
+}
+
+// RunRefine performs one low-temperature placement-refinement pass on p,
+// using the given static per-cell, per-world-side expansions (half the
+// required channel width per bordering edge, from channel definition and
+// global routing). New states are generated only by single-cell
+// displacements and pin-placement alterations; orientations and aspect
+// ratios stay fixed (§4.3).
+func RunRefine(p *Placement, widths [][4]int, opt RefineOptions) RefineResult {
+	opt.fill()
+	// Switch to static expansion mode.
+	p.Est = nil
+	for i := range p.Circuit.Cells {
+		var w [4]int
+		if i < len(widths) {
+			w = widths[i]
+		}
+		p.SetStaticExpansion(i, w)
+	}
+
+	var expArea int64
+	for i := range p.Circuit.Cells {
+		expArea += p.Tiles(i).Area()
+	}
+	st := anneal.ScaleFactor(float64(expArea) / float64(max(1, len(p.Circuit.Cells))))
+	tInf := anneal.StartTemp(st)
+
+	cfg := anneal.Config{
+		ST:       st,
+		TInf:     anneal.Stage2StartTemp(opt.Mu, tInf, opt.Rho),
+		Schedule: anneal.Stage2Schedule(),
+		Ac:       opt.Ac,
+		NumCells: len(p.Circuit.Cells),
+		WxInf:    2 * float64(p.Core.W()),
+		WyInf:    2 * float64(p.Core.H()),
+		Rho:      opt.Rho,
+		MaxSteps: opt.MaxSteps,
+	}
+	if opt.StableStop {
+		cfg.StableSteps = 3
+	} else {
+		cfg.StopOnMinWindow = true
+	}
+	src := rng.New(opt.Seed)
+	ctl := anneal.NewController(cfg, src.Split())
+
+	movable := p.MovableCells()
+	for ctl.Next() {
+		if len(movable) == 0 {
+			ctl.EndStep(p.Cost())
+			break
+		}
+		inner := ctl.InnerIterations()
+		for it := 0; it < inner; it++ {
+			i := movable[src.Intn(len(movable))]
+			if p.Circuit.Cells[i].Kind == netlist.Custom && p.Units(i) > 0 && src.Bool(0.25) {
+				refineTryPinMove(p, ctl, src, i)
+				continue
+			}
+			refineTryDisplace(p, ctl, src, i)
+		}
+		ctl.EndStep(p.Cost())
+	}
+	return RefineResult{
+		TEIL:       p.TEIL(),
+		Overlap:    p.C2Raw(),
+		Steps:      ctl.Step(),
+		AcceptRate: ctl.AcceptRate(),
+	}
+}
+
+func refineTryDisplace(p *Placement, ctl *anneal.Controller, src *rng.Source, i int) bool {
+	wx, wy := ctl.Window()
+	dx, dy := anneal.PickDisplacementDs(src, wx, wy)
+	st := p.State(i)
+	st.Pos = geom.Point{
+		X: clamp(st.Pos.X+dx, p.Core.XLo, p.Core.XHi),
+		Y: clamp(st.Pos.Y+dy, p.Core.YLo, p.Core.YHi),
+	}
+	return refineTry(p, ctl, i, st)
+}
+
+func refineTryPinMove(p *Placement, ctl *anneal.Controller, src *rng.Source, i int) bool {
+	u := src.Intn(p.Units(i))
+	st := p.State(i)
+	st.Units[u] = randomUnitAssign(p, i, u, src)
+	return refineTry(p, ctl, i, st)
+}
+
+func refineTry(p *Placement, ctl *anneal.Controller, i int, st CellState) bool {
+	before := p.Cost()
+	old := p.State(i)
+	p.SetState(i, st)
+	if ctl.Accept(p.Cost() - before) {
+		return true
+	}
+	p.SetState(i, old)
+	return false
+}

@@ -1,0 +1,179 @@
+package refine
+
+import (
+	"sort"
+
+	"repro/internal/channel"
+	"repro/internal/detail"
+	"repro/internal/place"
+	"repro/internal/route"
+)
+
+// ChannelInstance pairs a critical region with the detailed-routing problem
+// its pins and passing nets induce.
+type ChannelInstance struct {
+	Region  int
+	Problem detail.Problem
+}
+
+// ExtractChannelProblems converts each critical region of a placed, globally
+// routed chip into a detailed channel-routing problem: pins on the two
+// bordering cell edges become top/bottom terminals at their projected
+// coordinates, and nets whose route trees pass through the region become
+// through-traffic spanning the channel. Together with detail.Route this
+// validates the paper's Eqn 22 width model (t ≤ d+1) on real channels.
+func ExtractChannelProblems(p *place.Placement, g *channel.Graph, r *route.Result) []ChannelInstance {
+	// Nets touching each region, via their chosen trees.
+	netsAt := make([][]int, len(g.Regions))
+	for ni := range r.Choice {
+		tree := r.Chosen(ni)
+		seen := map[int]bool{}
+		for _, u := range tree.Nodes {
+			if !seen[u] {
+				seen[u] = true
+				netsAt[u] = append(netsAt[u], ni)
+			}
+		}
+	}
+	// Region and side per pin, restricted to the bordering owners.
+	type pinAt struct {
+		x   int  // coordinate along the channel
+		top bool // on the high-side border (OwnerB)
+		net int
+	}
+	pinsAt := make([][]pinAt, len(g.Regions))
+	pinNet := make(map[int]int, len(p.Circuit.Pins))
+	for ni := range p.Circuit.Nets {
+		for _, conn := range p.Circuit.Nets[ni].Conns {
+			for _, pi := range conn.Pins {
+				pinNet[pi] = ni
+			}
+		}
+	}
+	for pi, at := range g.Pins {
+		ri := at.Region
+		if ri < 0 {
+			continue
+		}
+		reg := &g.Regions[ri]
+		cell := p.Circuit.Pins[pi].Cell
+		if cell != reg.OwnerA && cell != reg.OwnerB {
+			continue // fallback attachment, not a channel terminal
+		}
+		ni, ok := pinNet[pi]
+		if !ok {
+			continue // unconnected pin
+		}
+		var x int
+		if reg.Vertical {
+			x = at.Pos.Y
+		} else {
+			x = at.Pos.X
+		}
+		pinsAt[ri] = append(pinsAt[ri], pinAt{
+			x:   x,
+			top: cell == reg.OwnerB,
+			net: ni,
+		})
+	}
+
+	var out []ChannelInstance
+	for ri := range g.Regions {
+		if len(netsAt[ri]) == 0 {
+			continue
+		}
+		// Net ids are renumbered densely per channel.
+		local := map[int]int{}
+		id := func(n int) int {
+			v, ok := local[n]
+			if !ok {
+				v = len(local)
+				local[n] = v
+			}
+			return v
+		}
+		var prob detail.Problem
+		usedTop := map[int]bool{}
+		usedBot := map[int]bool{}
+		hasPin := map[int]bool{}
+		pins := pinsAt[ri]
+		sort.Slice(pins, func(a, b int) bool { return pins[a].x < pins[b].x })
+		for _, pa := range pins {
+			x := pa.x
+			// Columns must hold at most one pin per side; nudge right.
+			if pa.top {
+				for usedTop[x] {
+					x++
+				}
+				usedTop[x] = true
+			} else {
+				for usedBot[x] {
+					x++
+				}
+				usedBot[x] = true
+			}
+			prob.Pins = append(prob.Pins, detail.Pin{X: x, Net: id(pa.net), Top: pa.top})
+			hasPin[pa.net] = true
+		}
+		for _, ni := range netsAt[ri] {
+			tree := r.Chosen(ni)
+			// A net that also touches other regions passes through (or
+			// leaves) this channel: give it both exits. Pin-only nets
+			// stay internal.
+			leaves := false
+			for _, u := range tree.Nodes {
+				if u != ri {
+					leaves = true
+					break
+				}
+			}
+			if !leaves && !hasPin[ni] {
+				continue
+			}
+			if leaves {
+				n := id(ni)
+				prob.Exits = append(prob.Exits,
+					detail.Exit{Net: n, Left: true},
+					detail.Exit{Net: n, Left: false})
+			}
+		}
+		if len(prob.Pins) == 0 && len(prob.Exits) == 0 {
+			continue
+		}
+		out = append(out, ChannelInstance{Region: ri, Problem: prob})
+	}
+	return out
+}
+
+// Eqn22Stats summarizes detailed routing over all channels of a chip.
+type Eqn22Stats struct {
+	Channels   int
+	Routed     int
+	WithinD1   int // channels with t <= d+1
+	MaxOverage int // max of t-(d+1) over routed channels
+	SumTracks  int
+	SumDensity int
+}
+
+// ValidateEqn22 runs the detailed channel router over every channel of the
+// placed, routed chip and reports how often t ≤ d+1 holds — the premise of
+// the paper's channel-width model.
+func ValidateEqn22(p *place.Placement, g *channel.Graph, r *route.Result) Eqn22Stats {
+	var st Eqn22Stats
+	for _, ci := range ExtractChannelProblems(p, g, r) {
+		st.Channels++
+		res, err := detail.Route(&ci.Problem)
+		if err != nil {
+			continue
+		}
+		st.Routed++
+		st.SumTracks += res.Tracks
+		st.SumDensity += res.Density
+		if res.Tracks <= res.Density+1 {
+			st.WithinD1++
+		} else if over := res.Tracks - (res.Density + 1); over > st.MaxOverage {
+			st.MaxOverage = over
+		}
+	}
+	return st
+}

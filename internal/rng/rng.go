@@ -1,0 +1,143 @@
+// Package rng provides the deterministic pseudo-random source used by every
+// stochastic algorithm in the reproduction (Stage 1 annealing, Stage 2
+// refinement, the global router's random interchange, circuit generation).
+//
+// A dedicated generator — xoshiro256++ seeded via splitmix64 — keeps results
+// bit-for-bit reproducible across Go releases, which math/rand's unexported
+// algorithm does not guarantee. Every experiment in EXPERIMENTS.md records
+// its seed.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a xoshiro256++ pseudo-random generator. It is not safe for
+// concurrent use; give each goroutine its own Source (see Split).
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from the given seed via splitmix64, so that
+// similar seeds still produce uncorrelated streams.
+func New(seed uint64) *Source {
+	var src Source
+	src.Seed(seed)
+	return &src
+}
+
+// Seed resets the generator state from seed.
+func (r *Source) Seed(seed uint64) {
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro requires a nonzero state; splitmix64 only yields all-zero
+	// state with negligible probability, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[0]+s[3], 23) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Split returns a new Source whose stream is independent of r's future
+// output, for handing to a worker goroutine.
+func (r *Source) Split() *Source {
+	return New(r.Uint64() ^ 0xa5a5a5a5a5a5a5a5)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := bits.Mul64(v, un)
+	if lo < un {
+		thresh := (-un) % un
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = bits.Mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// IntRange returns a uniform integer in [lo, hi] inclusive. The paper's
+// R(k,l) primitive (§3.2.1). It panics if hi < lo.
+func (r *Source) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p. The paper's Ri(1,2,p) primitive
+// reduces to this.
+func (r *Source) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher–Yates style.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// NormFloat64 returns a standard normal deviate (Marsaglia polar method).
+func (r *Source) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// LogNormal returns exp(mu + sigma*N(0,1)); used by the circuit generator
+// for cell-area distributions.
+func (r *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}

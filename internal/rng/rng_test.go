@@ -1,0 +1,181 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between differently-seeded streams", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 2000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(99)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d appeared %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(3)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(-2, 2)
+		if v < -2 || v > 2 {
+			t.Fatalf("IntRange(-2,2) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("IntRange missed values: %v", seen)
+	}
+	if got := r.IntRange(7, 7); got != 7 {
+		t.Fatalf("degenerate range = %d want 7", got)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	var sum float64
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / trials; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(11)
+	const trials = 100000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / trials; math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %v", p)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(13)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(17)
+	s := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	orig := append([]int(nil), s...)
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 28 {
+		t.Fatalf("Shuffle lost elements: %v (orig %v)", s, orig)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(23)
+	const trials = 200000
+	var sum, sum2 float64
+	for i := 0; i < trials; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / trials
+	variance := sum2/trials - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v want ~1", variance)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(29)
+	for i := 0; i < 1000; i++ {
+		if v := r.LogNormal(2, 0.5); v <= 0 {
+			t.Fatalf("LogNormal produced %v", v)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(31)
+	child := r.Split()
+	// Parent and child streams should not be identical.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if r.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split stream collided %d times", same)
+	}
+}

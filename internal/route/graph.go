@@ -1,0 +1,343 @@
+// Package route implements the paper's new general-purpose global router
+// (§4.2). The router is independent of the layout style: its only inputs are
+// a net list and a channel graph. Phase one generates and stores M
+// alternative routes per net — k-shortest loopless paths (Lawler) for
+// two-pin nets, and a Prim-ordered recursive generalization for multi-pin
+// nets, with full use of electrically-equivalent pins. Phase two selects one
+// alternative per net by random interchange, minimizing total routing length
+// subject to the channel-edge capacity constraints, which avoids the
+// classical net-routing-order dependence problem.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Edge is a weighted, capacitated channel-graph edge.
+type Edge struct {
+	U, V     int
+	Length   int
+	Capacity int
+}
+
+// Graph is the routing graph.
+type Graph struct {
+	NumNodes int
+	Edges    []Edge
+	adj      [][]int // incident edge ids per node
+}
+
+// NewGraph builds a routing graph with the given node count and edges.
+func NewGraph(numNodes int, edges []Edge) (*Graph, error) {
+	g := &Graph{NumNodes: numNodes, Edges: append([]Edge(nil), edges...)}
+	g.adj = make([][]int, numNodes)
+	for i, e := range g.Edges {
+		if e.U < 0 || e.U >= numNodes || e.V < 0 || e.V >= numNodes {
+			return nil, fmt.Errorf("route: edge %d endpoints out of range", i)
+		}
+		if e.Length < 0 {
+			return nil, fmt.Errorf("route: edge %d has negative length", i)
+		}
+		g.adj[e.U] = append(g.adj[e.U], i)
+		g.adj[e.V] = append(g.adj[e.V], i)
+	}
+	return g, nil
+}
+
+// Adj returns the incident edge ids of node u.
+func (g *Graph) Adj(u int) []int { return g.adj[u] }
+
+// Other returns the endpoint of edge e opposite u.
+func (g *Graph) Other(e, u int) int {
+	if g.Edges[e].U == u {
+		return g.Edges[e].V
+	}
+	return g.Edges[e].U
+}
+
+// Path is a simple path: the visited nodes and the edges between them
+// (len(Edges) == len(Nodes)-1).
+type Path struct {
+	Nodes  []int
+	Edges  []int
+	Length int
+}
+
+type pqItem struct {
+	node int
+	dist int
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+const inf = int(^uint(0) >> 2)
+
+// shortestPath finds a shortest path from any node in srcs (entered at cost
+// 0) to any node satisfying isDst, avoiding banned nodes and edges. It
+// returns ok=false if no path exists.
+func (g *Graph) shortestPath(srcs []int, isDst func(int) bool,
+	bannedNode []bool, bannedEdge map[int]bool) (Path, bool) {
+
+	dist := make([]int, g.NumNodes)
+	prevEdge := make([]int, g.NumNodes)
+	for i := range dist {
+		dist[i] = inf
+		prevEdge[i] = -1
+	}
+	var q pq
+	for _, s := range srcs {
+		if bannedNode != nil && bannedNode[s] {
+			continue
+		}
+		if dist[s] == 0 {
+			continue
+		}
+		dist[s] = 0
+		heap.Push(&q, pqItem{s, 0})
+	}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		u := it.node
+		if it.dist > dist[u] {
+			continue
+		}
+		if isDst(u) {
+			return g.tracePath(u, prevEdge, dist), true
+		}
+		for _, ei := range g.adj[u] {
+			if bannedEdge != nil && bannedEdge[ei] {
+				continue
+			}
+			v := g.Other(ei, u)
+			if bannedNode != nil && bannedNode[v] {
+				continue
+			}
+			nd := dist[u] + g.Edges[ei].Length
+			if nd < dist[v] {
+				dist[v] = nd
+				prevEdge[v] = ei
+				heap.Push(&q, pqItem{v, nd})
+			}
+		}
+	}
+	return Path{}, false
+}
+
+// tracePath reconstructs the path ending at node u.
+func (g *Graph) tracePath(u int, prevEdge, dist []int) Path {
+	var nodes, edges []int
+	nodes = append(nodes, u)
+	for prevEdge[u] != -1 {
+		e := prevEdge[u]
+		u = g.Other(e, u)
+		edges = append(edges, e)
+		nodes = append(nodes, u)
+	}
+	reverse(nodes)
+	reverse(edges)
+	return Path{Nodes: nodes, Edges: edges, Length: dist[nodes[len(nodes)-1]]}
+}
+
+func reverse(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Distances runs Dijkstra from the source set and returns the distance to
+// every node (inf-like large value when unreachable).
+func (g *Graph) Distances(srcs []int) []int {
+	dist := make([]int, g.NumNodes)
+	for i := range dist {
+		dist[i] = inf
+	}
+	var q pq
+	for _, s := range srcs {
+		dist[s] = 0
+		heap.Push(&q, pqItem{s, 0})
+	}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		u := it.node
+		if it.dist > dist[u] {
+			continue
+		}
+		for _, ei := range g.adj[u] {
+			v := g.Other(ei, u)
+			nd := dist[u] + g.Edges[ei].Length
+			if nd < dist[v] {
+				dist[v] = nd
+				heap.Push(&q, pqItem{v, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// Unreachable is the sentinel distance returned by Distances for nodes that
+// cannot be reached.
+const Unreachable = inf
+
+// KShortestPaths returns up to k shortest loopless paths from the source set
+// to the target set, in nondecreasing length order, using Yen's deviation
+// scheme with Lawler's restriction of spur computation to the deviation
+// suffix. Multi-source/multi-target handles electrically-equivalent pins and
+// route-tree growth; a multi-node source set routes through a virtual
+// super-source so that deviations can switch the starting node (plain Yen
+// can only deviate within the first path's source).
+func (g *Graph) KShortestPaths(srcs, dsts []int, k int) []Path {
+	uniq := uniqueInts(srcs)
+	if len(uniq) > 1 {
+		return g.kShortestMultiSource(uniq, dsts, k)
+	}
+	return g.kShortestYen(uniq, dsts, k)
+}
+
+func uniqueInts(s []int) []int {
+	seen := make(map[int]bool, len(s))
+	out := make([]int, 0, len(s))
+	for _, v := range s {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// kShortestMultiSource augments the graph with a zero-length super-source
+// fanned out to every source node, runs Yen from it, and strips the virtual
+// hop from the results.
+func (g *Graph) kShortestMultiSource(srcs, dsts []int, k int) []Path {
+	super := g.NumNodes
+	edges := make([]Edge, len(g.Edges), len(g.Edges)+len(srcs))
+	copy(edges, g.Edges)
+	for _, s := range srcs {
+		edges = append(edges, Edge{U: super, V: s, Length: 0})
+	}
+	ag, err := NewGraph(g.NumNodes+1, edges)
+	if err != nil {
+		return nil
+	}
+	paths := ag.kShortestYen([]int{super}, dsts, k)
+	out := make([]Path, 0, len(paths))
+	seen := map[string]bool{}
+	for _, p := range paths {
+		if len(p.Nodes) < 2 {
+			continue
+		}
+		sp := Path{Nodes: p.Nodes[1:], Edges: p.Edges[1:], Length: p.Length}
+		// Distinct augmented paths can collapse to the same real path
+		// only if they differ in the virtual hop, which is impossible;
+		// still, dedup defensively.
+		key := pathKey(sp)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// kShortestYen is Yen's algorithm from a single source node (or set that has
+// been reduced to one).
+func (g *Graph) kShortestYen(srcs, dsts []int, k int) []Path {
+	if k <= 0 {
+		return nil
+	}
+	dstSet := make(map[int]bool, len(dsts))
+	for _, d := range dsts {
+		dstSet[d] = true
+	}
+	isDst := func(u int) bool { return dstSet[u] }
+
+	first, ok := g.shortestPath(srcs, isDst, nil, nil)
+	if !ok {
+		return nil
+	}
+	paths := []Path{first}
+	seen := map[string]bool{pathKey(first): true}
+	var candidates []Path
+
+	for len(paths) < k {
+		last := paths[len(paths)-1]
+		// Deviate at each node of the last path (Lawler: deviations
+		// before the previous deviation point are already covered, but
+		// recomputing is correct; we keep the dedup set authoritative).
+		for spur := 0; spur < len(last.Nodes)-1; spur++ {
+			spurNode := last.Nodes[spur]
+			rootNodes := last.Nodes[:spur+1]
+			rootEdges := last.Edges[:spur]
+			rootLen := 0
+			for _, ei := range rootEdges {
+				rootLen += g.Edges[ei].Length
+			}
+			// Ban edges used by any accepted path sharing this root.
+			bannedEdge := map[int]bool{}
+			for _, p := range paths {
+				if sharesRoot(p, rootNodes) && spur < len(p.Edges) {
+					bannedEdge[p.Edges[spur]] = true
+				}
+			}
+			// Ban root nodes (except the spur node) for looplessness.
+			bannedNode := make([]bool, g.NumNodes)
+			for _, u := range rootNodes[:len(rootNodes)-1] {
+				bannedNode[u] = true
+			}
+			// A root that already passed through a source other than
+			// its own start would not be simple w.r.t. multi-source;
+			// handled implicitly by node bans.
+			tail, ok := g.shortestPath([]int{spurNode}, isDst, bannedNode, bannedEdge)
+			if !ok {
+				continue
+			}
+			full := Path{
+				Nodes:  append(append([]int(nil), rootNodes...), tail.Nodes[1:]...),
+				Edges:  append(append([]int(nil), rootEdges...), tail.Edges...),
+				Length: rootLen + tail.Length,
+			}
+			key := pathKey(full)
+			if !seen[key] {
+				seen[key] = true
+				candidates = append(candidates, full)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			return candidates[i].Length < candidates[j].Length
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+func sharesRoot(p Path, rootNodes []int) bool {
+	if len(p.Nodes) < len(rootNodes) {
+		return false
+	}
+	for i, u := range rootNodes {
+		if p.Nodes[i] != u {
+			return false
+		}
+	}
+	return true
+}
+
+func pathKey(p Path) string {
+	b := make([]byte, 0, 4*len(p.Nodes))
+	for _, u := range p.Nodes {
+		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+	}
+	return string(b)
+}

@@ -1,0 +1,210 @@
+package route
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Options configures the router.
+type Options struct {
+	// M is the number of alternative routes stored per net (§4.2.1:
+	// "typically on the order of 20 or more").
+	M int
+	// Seed drives the phase-two random interchange.
+	Seed uint64
+	// StallFactor scales the phase-two stopping criterion: the algorithm
+	// stops after M·N·StallFactor attempts without a change in L or X
+	// (criterion 2 of §4.2.2). Defaults to 1.
+	StallFactor float64
+}
+
+func (o *Options) fill() {
+	if o.M <= 0 {
+		o.M = 20
+	}
+	if o.StallFactor <= 0 {
+		o.StallFactor = 1
+	}
+}
+
+// Result is the outcome of global routing.
+type Result struct {
+	// Alternatives holds the stored routes per net, shortest first.
+	Alternatives [][]Tree
+	// Choice is the selected alternative index per net.
+	Choice []int
+	// Length is the total routing length L (Eqn 23).
+	Length int64
+	// Excess is the total number of excess tracks X (Eqn 24).
+	Excess int
+	// EdgeDensity is the number of nets using each graph edge.
+	EdgeDensity []int
+	// NodeDensity is the number of nets touching each graph node; the
+	// refinement step derives required channel widths from it.
+	NodeDensity []int
+	// Attempts counts phase-two new-state attempts.
+	Attempts int
+	// Unrouted lists nets for which phase one found no route.
+	Unrouted []int
+}
+
+// Chosen returns the selected tree for net i.
+func (r *Result) Chosen(i int) Tree {
+	return r.Alternatives[i][r.Choice[i]]
+}
+
+// Route runs both phases of the global router.
+func Route(g *Graph, nets []Net, opt Options) (*Result, error) {
+	opt.fill()
+	res := &Result{
+		Alternatives: make([][]Tree, len(nets)),
+		Choice:       make([]int, len(nets)),
+	}
+	// Phase one: generate and store up to M alternatives per net.
+	for i, net := range nets {
+		alts := g.RouteNet(net, opt.M)
+		if len(alts) == 0 {
+			if len(net.Conns) > 0 {
+				res.Unrouted = append(res.Unrouted, i)
+			}
+			alts = []Tree{{}} // degenerate empty route
+		}
+		res.Alternatives[i] = alts
+	}
+	if len(res.Unrouted) > 0 {
+		return res, fmt.Errorf("route: %d nets unroutable on the channel graph", len(res.Unrouted))
+	}
+
+	// Phase two: random interchange (§4.2.2).
+	density := make([]int, len(g.Edges))
+	apply := func(i, k, sign int) {
+		for _, e := range res.Alternatives[i][k].Edges {
+			density[e] += sign
+		}
+	}
+	var length int64
+	for i := range nets {
+		res.Choice[i] = 0
+		apply(i, 0, +1)
+		length += int64(res.Alternatives[i][0].Length)
+	}
+	excess := 0
+	for ei, d := range density {
+		if over := d - g.Edges[ei].Capacity; over > 0 {
+			excess += over
+		}
+	}
+
+	src := rng.New(opt.Seed)
+	stall := 0
+	limit := int(float64(opt.M*len(nets))*opt.StallFactor) + 1
+	// Nets using each edge, maintained lazily: recomputed per pick from
+	// the density structures (N is small enough to scan).
+	netsOnEdge := func(e int) []int {
+		var out []int
+		for i := range nets {
+			for _, te := range res.Chosen(i).Edges {
+				if te == e {
+					out = append(out, i)
+					break
+				}
+			}
+		}
+		return out
+	}
+	deltaX := func(i, k int) int {
+		// Change in total excess if net i switches to alternative k.
+		cur := res.Chosen(i).Edges
+		next := res.Alternatives[i][k].Edges
+		d := 0
+		// Remove current, add next, over the union of affected edges.
+		affected := map[int]int{}
+		for _, e := range cur {
+			affected[e]--
+		}
+		for _, e := range next {
+			affected[e]++
+		}
+		for e, dd := range affected {
+			if dd == 0 {
+				continue
+			}
+			before := density[e]
+			after := before + dd
+			c := g.Edges[e].Capacity
+			d += excessOf(after, c) - excessOf(before, c)
+		}
+		return d
+	}
+
+	for excess > 0 && stall < limit {
+		res.Attempts++
+		stall++
+		// Random over-capacity edge.
+		var overfull []int
+		for ei, d := range density {
+			if d > g.Edges[ei].Capacity {
+				overfull = append(overfull, ei)
+			}
+		}
+		if len(overfull) == 0 {
+			break
+		}
+		e := overfull[src.Intn(len(overfull))]
+		users := netsOnEdge(e)
+		if len(users) == 0 {
+			break
+		}
+		i := users[src.Intn(len(users))]
+		// Alternatives with ΔX <= 0.
+		var cand []int
+		for k := range res.Alternatives[i] {
+			if k == res.Choice[i] {
+				continue
+			}
+			if deltaX(i, k) <= 0 {
+				cand = append(cand, k)
+			}
+		}
+		if len(cand) == 0 {
+			continue
+		}
+		k := cand[src.Intn(len(cand))]
+		dx := deltaX(i, k)
+		dl := res.Alternatives[i][k].Length - res.Chosen(i).Length
+		// Accept if ΔX<0, or ΔX=0 and ΔL<=0.
+		if dx < 0 || (dx == 0 && dl <= 0) {
+			if dx < 0 || dl < 0 {
+				stall = 0 // L or X changed
+			}
+			apply(i, res.Choice[i], -1)
+			res.Choice[i] = k
+			apply(i, k, +1)
+			length += int64(dl)
+			excess += dx
+		}
+	}
+
+	res.Length = length
+	res.Excess = excess
+	res.EdgeDensity = density
+	res.NodeDensity = make([]int, g.NumNodes)
+	for i := range nets {
+		touched := map[int]bool{}
+		for _, u := range res.Chosen(i).Nodes {
+			touched[u] = true
+		}
+		for u := range touched {
+			res.NodeDensity[u]++
+		}
+	}
+	return res, nil
+}
+
+func excessOf(d, c int) int {
+	if d > c {
+		return d - c
+	}
+	return 0
+}

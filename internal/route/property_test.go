@@ -1,0 +1,180 @@
+package route
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// randomConnectedGraph builds a random connected graph: a spanning chain
+// plus random chords.
+func randomConnectedGraph(src *rng.Source, n int) *Graph {
+	var edges []Edge
+	for u := 1; u < n; u++ {
+		edges = append(edges, Edge{U: src.Intn(u), V: u, Length: 1 + src.Intn(9), Capacity: 4})
+	}
+	extra := src.Intn(2 * n)
+	for k := 0; k < extra; k++ {
+		u, v := src.Intn(n), src.Intn(n)
+		if u != v {
+			edges = append(edges, Edge{U: u, V: v, Length: 1 + src.Intn(9), Capacity: 4})
+		}
+	}
+	g, err := NewGraph(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// treeConnectsAllConns verifies a route tree's structural invariants: its
+// edge set forms a connected subgraph touching at least one candidate of
+// every connection, and its length is the sum of its edge lengths.
+func treeConnectsAllConns(g *Graph, net Net, tr Tree) bool {
+	// Length consistency.
+	sum := 0
+	inTree := map[int]bool{}
+	for _, e := range tr.Edges {
+		sum += g.Edges[e].Length
+		inTree[e] = true
+	}
+	if sum != tr.Length {
+		return false
+	}
+	// Connectivity over tree edges from any tree node.
+	if len(tr.Nodes) == 0 {
+		return false
+	}
+	visited := map[int]bool{tr.Nodes[0]: true}
+	queue := []int{tr.Nodes[0]}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, ei := range g.Adj(u) {
+			if !inTree[ei] {
+				continue
+			}
+			v := g.Other(ei, u)
+			if !visited[v] {
+				visited[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	for _, u := range tr.Nodes {
+		if !visited[u] {
+			return false
+		}
+	}
+	// Every connection satisfied.
+	for _, conn := range net.Conns {
+		ok := false
+		for _, u := range conn {
+			if visited[u] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRouteNetTreeInvariantsQuick(t *testing.T) {
+	f := func(seed uint64, nn, conns uint8) bool {
+		src := rng.New(seed)
+		n := 6 + int(nn%20)
+		g := randomConnectedGraph(src, n)
+		k := 2 + int(conns%4)
+		net := Net{Name: "q"}
+		for c := 0; c < k; c++ {
+			// 1–2 equivalent candidates per connection.
+			cands := []int{src.Intn(n)}
+			if src.Bool(0.3) {
+				cands = append(cands, src.Intn(n))
+			}
+			net.Conns = append(net.Conns, cands)
+		}
+		trees := g.RouteNet(net, 6)
+		if len(trees) == 0 {
+			return false // connected graph: always routable
+		}
+		prev := -1
+		for _, tr := range trees {
+			if !treeConnectsAllConns(g, net, tr) {
+				return false
+			}
+			if tr.Length < prev {
+				return false // sorted
+			}
+			prev = tr.Length
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKShortestFirstIsDijkstraQuick(t *testing.T) {
+	// Property: the first of the k shortest paths always matches plain
+	// Dijkstra's distance.
+	f := func(seed uint64, nn uint8) bool {
+		src := rng.New(seed)
+		n := 5 + int(nn%20)
+		g := randomConnectedGraph(src, n)
+		s, d := src.Intn(n), src.Intn(n)
+		paths := g.KShortestPaths([]int{s}, []int{d}, 3)
+		if len(paths) == 0 {
+			return false
+		}
+		dist := g.Distances([]int{s})
+		return paths[0].Length == dist[d]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhase2NeverWorsensExcessQuick(t *testing.T) {
+	// Property: phase two's final excess X never exceeds the initial
+	// all-shortest assignment's excess (every accepted move has ΔX ≤ 0).
+	f := func(seed uint64, nn, kk uint8) bool {
+		src := rng.New(seed)
+		n := 6 + int(nn%12)
+		g := randomConnectedGraph(src, n)
+		numNets := 2 + int(kk%6)
+		var nets []Net
+		for i := 0; i < numNets; i++ {
+			a, b := src.Intn(n), src.Intn(n)
+			if a == b {
+				b = (b + 1) % n
+			}
+			nets = append(nets, Net{Name: "n", Conns: [][]int{{a}, {b}}})
+		}
+		res, err := Route(g, nets, Options{M: 4, Seed: seed})
+		if err != nil {
+			return false
+		}
+		// Recompute the all-shortest excess.
+		density := make([]int, len(g.Edges))
+		for i := range nets {
+			for _, e := range res.Alternatives[i][0].Edges {
+				density[e]++
+			}
+		}
+		initX := 0
+		for ei, d := range density {
+			if over := d - g.Edges[ei].Capacity; over > 0 {
+				initX += over
+			}
+		}
+		return res.Excess <= initX
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

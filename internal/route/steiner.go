@@ -1,0 +1,176 @@
+package route
+
+import (
+	"sort"
+)
+
+// Net is one net to route: each connection is a set of electrically-
+// equivalent candidate nodes, any one of which satisfies the connection
+// (Figure 10: pins P3A and P3B form one group).
+type Net struct {
+	Name  string
+	Conns [][]int
+}
+
+// Tree is one alternative route for a net: a set of graph edges connecting
+// at least one candidate node of every connection.
+type Tree struct {
+	Edges  []int // sorted, unique
+	Nodes  []int // sorted, unique: all nodes touched
+	Length int
+}
+
+func (t Tree) hasNode(u int) bool {
+	i := sort.SearchInts(t.Nodes, u)
+	return i < len(t.Nodes) && t.Nodes[i] == u
+}
+
+func treeKey(edges []int) string {
+	b := make([]byte, 0, 4*len(edges))
+	for _, e := range edges {
+		b = append(b, byte(e), byte(e>>8), byte(e>>16), byte(e>>24))
+	}
+	return string(b)
+}
+
+// extend returns the tree grown by a path; duplicate edges contribute no
+// extra length.
+func (g *Graph) extend(t Tree, p Path) Tree {
+	edgeSet := map[int]bool{}
+	for _, e := range t.Edges {
+		edgeSet[e] = true
+	}
+	nodeSet := map[int]bool{}
+	for _, u := range t.Nodes {
+		nodeSet[u] = true
+	}
+	for _, e := range p.Edges {
+		edgeSet[e] = true
+	}
+	for _, u := range p.Nodes {
+		nodeSet[u] = true
+	}
+	out := Tree{
+		Edges: make([]int, 0, len(edgeSet)),
+		Nodes: make([]int, 0, len(nodeSet)),
+	}
+	for e := range edgeSet {
+		out.Edges = append(out.Edges, e)
+		out.Length += g.Edges[e].Length
+	}
+	for u := range nodeSet {
+		out.Nodes = append(out.Nodes, u)
+	}
+	sort.Ints(out.Edges)
+	sort.Ints(out.Nodes)
+	return out
+}
+
+// RouteNet generates up to m alternative route trees for the net, shortest
+// first (phase one, §4.2.1). The connection order follows Prim's algorithm
+// on shortest-path distances from the already-interconnected pins; at every
+// step the M-shortest paths from the partial tree's nodes to the next
+// connection's candidate set are generated, and the best m partial trees are
+// retained (the paper's recursive enumeration, beam-limited).
+//
+// The paper's footnote 27 mentions a further generalization that also
+// branches over the next-pin choice (the k nearest unconnected pins instead
+// of only the nearest); route diversity here comes from the path beam alone,
+// which the paper reports already finds the minimal Steiner route for nearly
+// all nets under 20 pins.
+func (g *Graph) RouteNet(net Net, m int) []Tree {
+	if m <= 0 {
+		m = 1
+	}
+	if len(net.Conns) == 0 {
+		return nil
+	}
+	// Start from the first connection (the paper selects the starting pin
+	// arbitrarily). Seed trees: one single-node tree per candidate.
+	start := net.Conns[0]
+	beam := make([]Tree, 0, len(start))
+	seedSeen := map[int]bool{}
+	for _, u := range start {
+		if !seedSeen[u] {
+			seedSeen[u] = true
+			beam = append(beam, Tree{Nodes: []int{u}})
+		}
+	}
+	if len(beam) == 0 {
+		return nil
+	}
+
+	remaining := make([]int, 0, len(net.Conns)-1)
+	for ci := 1; ci < len(net.Conns); ci++ {
+		remaining = append(remaining, ci)
+	}
+
+	for len(remaining) > 0 {
+		// Prim step: pick the remaining connection nearest to the best
+		// partial tree.
+		best := beam[0]
+		dist := g.Distances(best.Nodes)
+		nearest, nearestIdx, nd := -1, -1, inf+1
+		for idx, ci := range remaining {
+			d := inf
+			for _, u := range net.Conns[ci] {
+				if dist[u] < d {
+					d = dist[u]
+				}
+			}
+			if d < nd {
+				nearest, nearestIdx, nd = ci, idx, d
+			}
+		}
+		if nearest < 0 {
+			return nil // disconnected graph
+		}
+		remaining = append(remaining[:nearestIdx], remaining[nearestIdx+1:]...)
+
+		// Grow every tree in the beam toward the chosen connection with
+		// its M-shortest attachments.
+		targets := net.Conns[nearest]
+		var next []Tree
+		seen := map[string]bool{}
+		for _, t := range beam {
+			// Already connected through an equivalent pin?
+			connected := false
+			for _, u := range targets {
+				if t.hasNode(u) {
+					connected = true
+					break
+				}
+			}
+			if connected {
+				k := treeKey(t.Edges)
+				if !seen[k] {
+					seen[k] = true
+					next = append(next, t)
+				}
+				continue
+			}
+			for _, p := range g.KShortestPaths(t.Nodes, targets, m) {
+				nt := g.extend(t, p)
+				k := treeKey(nt.Edges)
+				if !seen[k] {
+					seen[k] = true
+					next = append(next, nt)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil // unroutable
+		}
+		sort.Slice(next, func(i, j int) bool {
+			if next[i].Length != next[j].Length {
+				return next[i].Length < next[j].Length
+			}
+			return treeKey(next[i].Edges) < treeKey(next[j].Edges)
+		})
+		if len(next) > m {
+			next = next[:m]
+		}
+		beam = next
+	}
+	return beam
+}
