@@ -30,6 +30,7 @@ func main() {
 		ac       = flag.Int("ac", 0, "inner-loop criterion override")
 		m        = flag.Int("m", 0, "router alternatives override")
 		circuits = flag.String("circuits", "", "comma-separated preset subset")
+		workers  = flag.Int("workers", 0, "parallel trial workers (0 = all CPUs, 1 = serial; output is identical either way)")
 	)
 	flag.Parse()
 
@@ -50,6 +51,7 @@ func main() {
 	if *circuits != "" {
 		cfg.Circuits = strings.Split(*circuits, ",")
 	}
+	cfg.Workers = *workers
 
 	run := func(id string) error {
 		switch id {

@@ -38,6 +38,8 @@ func main() {
 		m       = flag.Int("m", 0, "alternative routes per net (0 = default 20)")
 		aspect  = flag.Float64("aspect", 1, "target core height/width ratio")
 		iters   = flag.Int("refine", 0, "refinement executions (0 = default 3)")
+		nstarts = flag.Int("nstarts", 1, "independent Stage 1 anneals; best final cost wins")
+		workers = flag.Int("workers", 0, "goroutines for -nstarts > 1 (0 = all CPUs; winner is scheduling-independent)")
 		preset  = flag.String("preset", "", "place a built-in synthetic circuit (i1,p1,x1,i2,i3,l1,d2,d1,d3)")
 		genSeed = flag.Uint64("preset-seed", 17, "seed for -preset circuit synthesis")
 		stage1  = flag.Bool("stage1-only", false, "stop after Stage 1")
@@ -87,7 +89,12 @@ func main() {
 		M:          *m,
 		CoreAspect: *aspect,
 		Iterations: *iters,
+		Starts:     *nstarts,
+		Workers:    *workers,
 		SkipStage2: *stage1,
+	}
+	if *nstarts > 1 {
+		fmt.Printf("stage 1: best of %d independent anneals\n", *nstarts)
 	}
 	var res *core.Result
 	if *load != "" {

@@ -41,6 +41,12 @@ type Options struct {
 	Mu float64
 	// UseDr switches displacement-point selection to D_r (ablation).
 	UseDr bool
+	// Starts is the number of independent Stage 1 anneals; the trial with
+	// the lowest final cost wins (deterministically, independent of worker
+	// scheduling). Values <= 1 run the single classic anneal.
+	Starts int
+	// Workers bounds the goroutines used when Starts > 1 (0 = GOMAXPROCS).
+	Workers int
 	// SkipStage2 stops after Stage 1 (for estimator-accuracy studies).
 	SkipStage2 bool
 	// Params configures the interconnect-area estimator.
@@ -136,7 +142,7 @@ func Place(c *netlist.Circuit, opt Options) (*Result, error) {
 	if err := netlist.Validate(c); err != nil {
 		return nil, err
 	}
-	p, s1 := place.RunStage1(c, place.Options{
+	s1opt := place.Options{
 		Seed:       opt.Seed,
 		Ac:         opt.Ac,
 		R:          opt.R,
@@ -146,7 +152,14 @@ func Place(c *netlist.Circuit, opt Options) (*Result, error) {
 		CoreAspect: opt.CoreAspect,
 		Params:     opt.Params,
 		MaxSteps:   opt.MaxSteps,
-	})
+	}
+	var p *place.Placement
+	var s1 place.Result
+	if opt.Starts > 1 {
+		p, s1, _ = place.RunStage1N(c, s1opt, opt.Starts, opt.Workers)
+	} else {
+		p, s1 = place.RunStage1(c, s1opt)
+	}
 	res := &Result{
 		Placement:  p,
 		Stage1:     s1,

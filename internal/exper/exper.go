@@ -17,6 +17,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/refine"
 )
 
@@ -33,6 +34,11 @@ type Config struct {
 	M int
 	// Circuits restricts the preset list (nil = all nine).
 	Circuits []string
+	// Workers bounds the goroutines running independent trials
+	// (0 = GOMAXPROCS, 1 = serial). Every trial derives its seed from its
+	// (circuit, trial) index and results are aggregated in index order, so
+	// table output is byte-identical for any worker count.
+	Workers int
 }
 
 func (c *Config) fill() {
@@ -71,31 +77,46 @@ type Table3Row struct {
 	AreaRedPct        float64 // positive = Stage 2 reduced area
 }
 
-// Table3 runs the estimator-accuracy experiment.
+// Table3 runs the estimator-accuracy experiment. The (circuit, trial) grid
+// fans out over the worker pool; every trial generates its own circuit (the
+// synthesis is seed-deterministic) so tasks share no mutable state.
 func Table3(cfg Config) ([]Table3Row, error) {
 	cfg.fill()
-	var rows []Table3Row
-	for _, name := range cfg.Circuits {
+	type trialOut struct {
+		cells, nets, pins int
+		teilRed, areaRed  float64
+	}
+	n := len(cfg.Circuits) * cfg.Trials
+	outs, err := par.MapErr(cfg.Workers, n, func(k int) (trialOut, error) {
+		name, t := cfg.Circuits[k/cfg.Trials], k%cfg.Trials
 		c, err := gen.Preset(name, cfg.Seed+17)
 		if err != nil {
-			return nil, err
+			return trialOut{}, err
 		}
-		row := Table3Row{
-			Circuit: name,
-			Cells:   len(c.Cells), Nets: len(c.Nets), Pins: c.NumPins(),
-			Trials: cfg.Trials,
+		res, err := core.Place(c, core.Options{
+			Seed: cfg.Seed + uint64(t)*1009,
+			Ac:   cfg.Ac,
+			M:    cfg.M,
+		})
+		if err != nil {
+			return trialOut{}, fmt.Errorf("table3 %s trial %d: %w", name, t, err)
 		}
+		return trialOut{
+			cells: len(c.Cells), nets: len(c.Nets), pins: c.NumPins(),
+			teilRed: -res.TEILChangePct(), areaRed: -res.AreaChangePct(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table3Row, 0, len(cfg.Circuits))
+	for ci, name := range cfg.Circuits {
+		row := Table3Row{Circuit: name, Trials: cfg.Trials}
 		for t := 0; t < cfg.Trials; t++ {
-			res, err := core.Place(c, core.Options{
-				Seed: cfg.Seed + uint64(t)*1009,
-				Ac:   cfg.Ac,
-				M:    cfg.M,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("table3 %s trial %d: %w", name, t, err)
-			}
-			row.TEILRedPct += -res.TEILChangePct()
-			row.AreaRedPct += -res.AreaChangePct()
+			o := outs[ci*cfg.Trials+t]
+			row.Cells, row.Nets, row.Pins = o.cells, o.nets, o.pins
+			row.TEILRedPct += o.teilRed
+			row.AreaRedPct += o.areaRed
 		}
 		row.TEILRedPct /= float64(cfg.Trials)
 		row.AreaRedPct /= float64(cfg.Trials)
@@ -159,11 +180,13 @@ type Table4Row struct {
 // allowances.
 func Table4(cfg Config) ([]Table4Row, error) {
 	cfg.fill()
-	var rows []Table4Row
-	for _, name := range cfg.Circuits {
+	// One task per circuit (each runs TimberWolfMC plus its baseline);
+	// rows land in preset order regardless of completion order.
+	return par.MapErr(cfg.Workers, len(cfg.Circuits), func(ci int) (Table4Row, error) {
+		name := cfg.Circuits[ci]
 		c, err := gen.Preset(name, cfg.Seed+17)
 		if err != nil {
-			return nil, err
+			return Table4Row{}, err
 		}
 		row := Table4Row{
 			Circuit: name,
@@ -173,7 +196,7 @@ func Table4(cfg Config) ([]Table4Row, error) {
 		// TimberWolfMC.
 		res, err := core.Place(c, core.Options{Seed: cfg.Seed + 31, Ac: cfg.Ac, M: cfg.M})
 		if err != nil {
-			return nil, fmt.Errorf("table4 %s: %w", name, err)
+			return Table4Row{}, fmt.Errorf("table4 %s: %w", name, err)
 		}
 		row.TEIL = res.TEIL
 		row.Chip = res.Chip
@@ -181,7 +204,7 @@ func Table4(cfg Config) ([]Table4Row, error) {
 		pl, _ := baseline.ByName(row.Baseline)
 		bt, bc, err := EvaluateBaseline(pl, c, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("table4 %s baseline: %w", name, err)
+			return Table4Row{}, fmt.Errorf("table4 %s baseline: %w", name, err)
 		}
 		row.BaseTEIL = bt
 		row.BaseChip = bc
@@ -191,9 +214,8 @@ func Table4(cfg Config) ([]Table4Row, error) {
 		if a := row.BaseChip.Area(); a > 0 {
 			row.AreaRedPct = float64(a-row.Chip.Area()) / float64(a) * 100
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // EvaluateBaseline places c with the baseline method and applies the same

@@ -48,6 +48,37 @@ func TestTable4Runs(t *testing.T) {
 	}
 }
 
+// TestTablesDeterministicAcrossWorkers pins the parallel harness contract:
+// the rendered table output is byte-identical whether trials run serially or
+// fanned across eight workers, because every trial derives its seed from its
+// grid index and rows aggregate in index order.
+func TestTablesDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		cfg := tiny()
+		cfg.Trials = 2
+		cfg.Circuits = []string{"i3", "i2"}
+		cfg.Workers = workers
+		var sb strings.Builder
+		rows3, err := Table3(cfg)
+		if err != nil {
+			t.Fatalf("Table3(workers=%d): %v", workers, err)
+		}
+		WriteTable3(&sb, rows3)
+		rows4, err := Table4(cfg)
+		if err != nil {
+			t.Fatalf("Table4(workers=%d): %v", workers, err)
+		}
+		WriteTable4(&sb, rows4)
+		return sb.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("table output depends on worker count:\n-- workers=1 --\n%s\n-- workers=8 --\n%s",
+			serial, parallel)
+	}
+}
+
 func TestBaselineForMapping(t *testing.T) {
 	cases := map[string]string{
 		"i1": "quadratic", "x1": "quadratic",

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/place"
 	"repro/internal/refine"
 )
@@ -23,6 +24,33 @@ type SweepPoint struct {
 	// Extra carries a second metric where a figure needs one (residual
 	// overlap for the ρ and D_s studies).
 	Extra float64
+}
+
+// runGrid evaluates fn over the nparams × cfg.Trials grid on the worker
+// pool and returns the per-param trial averages of both metrics. Trials
+// fan out in parallel (the circuits under test are shared read-only); the
+// averages accumulate serially in grid order, so results are bytewise
+// identical for every worker count.
+func runGrid(cfg Config, nparams int, fn func(pi, trial int) (value, extra float64, err error)) (vals, extras []float64, err error) {
+	type out struct{ value, extra float64 }
+	outs, err := par.MapErr(cfg.Workers, nparams*cfg.Trials, func(k int) (out, error) {
+		v, e, err := fn(k/cfg.Trials, k%cfg.Trials)
+		return out{v, e}, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	vals = make([]float64, nparams)
+	extras = make([]float64, nparams)
+	for pi := 0; pi < nparams; pi++ {
+		for t := 0; t < cfg.Trials; t++ {
+			vals[pi] += outs[pi*cfg.Trials+t].value
+			extras[pi] += outs[pi*cfg.Trials+t].extra
+		}
+		vals[pi] /= float64(cfg.Trials)
+		extras[pi] /= float64(cfg.Trials)
+	}
+	return vals, extras, nil
 }
 
 func normalize(points []SweepPoint) {
@@ -71,18 +99,20 @@ func Figure3(cfg Config, ratios []float64) ([]SweepPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	points := make([]SweepPoint, 0, len(ratios))
-	for _, r := range ratios {
-		var sum float64
-		for t := 0; t < cfg.Trials; t++ {
-			_, res := place.RunStage1(c, place.Options{
-				Seed: cfg.Seed + uint64(t)*733,
-				Ac:   cfg.Ac,
-				R:    r,
-			})
-			sum += res.TEIL
-		}
-		points = append(points, SweepPoint{Param: r, Value: sum / float64(cfg.Trials)})
+	vals, _, err := runGrid(cfg, len(ratios), func(pi, t int) (float64, float64, error) {
+		_, res := place.RunStage1(c, place.Options{
+			Seed: cfg.Seed + uint64(t)*733,
+			Ac:   cfg.Ac,
+			R:    ratios[pi],
+		})
+		return res.TEIL, 0, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SweepPoint, len(ratios))
+	for pi, r := range ratios {
+		points[pi] = SweepPoint{Param: r, Value: vals[pi]}
 	}
 	normalize(points)
 	return points, nil
@@ -108,17 +138,19 @@ func Figure5(cfg Config, acs []int) ([]SweepPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	points := make([]SweepPoint, 0, len(acs))
-	for _, ac := range acs {
-		var sum float64
-		for t := 0; t < cfg.Trials; t++ {
-			_, res := place.RunStage1(c, place.Options{
-				Seed: cfg.Seed + uint64(t)*733,
-				Ac:   ac,
-			})
-			sum += res.TEIL
-		}
-		points = append(points, SweepPoint{Param: float64(ac), Value: sum / float64(cfg.Trials)})
+	vals, _, err := runGrid(cfg, len(acs), func(pi, t int) (float64, float64, error) {
+		_, res := place.RunStage1(c, place.Options{
+			Seed: cfg.Seed + uint64(t)*733,
+			Ac:   acs[pi],
+		})
+		return res.TEIL, 0, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SweepPoint, len(acs))
+	for pi, ac := range acs {
+		points[pi] = SweepPoint{Param: float64(ac), Value: vals[pi]}
 	}
 	normalize(points)
 	return points, nil
@@ -135,21 +167,23 @@ func Figure6(cfg Config, acs []int) ([]SweepPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	points := make([]SweepPoint, 0, len(acs))
-	for _, ac := range acs {
-		var sum float64
-		for t := 0; t < cfg.Trials; t++ {
-			res, err := core.Place(c, core.Options{
-				Seed: cfg.Seed + uint64(t)*733,
-				Ac:   ac,
-				M:    cfg.M,
-			})
-			if err != nil {
-				return nil, err
-			}
-			sum += float64(res.ChipArea())
+	vals, _, err := runGrid(cfg, len(acs), func(pi, t int) (float64, float64, error) {
+		res, err := core.Place(c, core.Options{
+			Seed: cfg.Seed + uint64(t)*733,
+			Ac:   acs[pi],
+			M:    cfg.M,
+		})
+		if err != nil {
+			return 0, 0, err
 		}
-		points = append(points, SweepPoint{Param: float64(ac), Value: sum / float64(cfg.Trials)})
+		return float64(res.ChipArea()), 0, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SweepPoint, len(acs))
+	for pi, ac := range acs {
+		points[pi] = SweepPoint{Param: float64(ac), Value: vals[pi]}
 	}
 	normalize(points)
 	return points, nil
@@ -166,23 +200,20 @@ func AblationEta(cfg Config, etas []float64) ([]SweepPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	points := make([]SweepPoint, 0, len(etas))
-	for _, eta := range etas {
-		var sum, over float64
-		for t := 0; t < cfg.Trials; t++ {
-			_, res := place.RunStage1(c, place.Options{
-				Seed: cfg.Seed + uint64(t)*733,
-				Ac:   cfg.Ac,
-				Eta:  eta,
-			})
-			sum += res.TEIL
-			over += float64(res.Overlap)
-		}
-		points = append(points, SweepPoint{
-			Param: eta,
-			Value: sum / float64(cfg.Trials),
-			Extra: over / float64(cfg.Trials),
+	vals, extras, err := runGrid(cfg, len(etas), func(pi, t int) (float64, float64, error) {
+		_, res := place.RunStage1(c, place.Options{
+			Seed: cfg.Seed + uint64(t)*733,
+			Ac:   cfg.Ac,
+			Eta:  etas[pi],
 		})
+		return res.TEIL, float64(res.Overlap), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SweepPoint, len(etas))
+	for pi, eta := range etas {
+		points[pi] = SweepPoint{Param: eta, Value: vals[pi], Extra: extras[pi]}
 	}
 	normalize(points)
 	return points, nil
@@ -200,23 +231,20 @@ func AblationRho(cfg Config, rhos []float64) ([]SweepPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	points := make([]SweepPoint, 0, len(rhos))
-	for _, rho := range rhos {
-		var sum, over float64
-		for t := 0; t < cfg.Trials; t++ {
-			_, res := place.RunStage1(c, place.Options{
-				Seed: cfg.Seed + uint64(t)*733,
-				Ac:   cfg.Ac,
-				Rho:  rho,
-			})
-			sum += res.TEIL
-			over += float64(res.Overlap)
-		}
-		points = append(points, SweepPoint{
-			Param: rho,
-			Value: sum / float64(cfg.Trials),
-			Extra: over / float64(cfg.Trials),
+	vals, extras, err := runGrid(cfg, len(rhos), func(pi, t int) (float64, float64, error) {
+		_, res := place.RunStage1(c, place.Options{
+			Seed: cfg.Seed + uint64(t)*733,
+			Ac:   cfg.Ac,
+			Rho:  rhos[pi],
 		})
+		return res.TEIL, float64(res.Overlap), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SweepPoint, len(rhos))
+	for pi, rho := range rhos {
+		points[pi] = SweepPoint{Param: rho, Value: vals[pi], Extra: extras[pi]}
 	}
 	normalize(points)
 	return points, nil
@@ -236,25 +264,20 @@ func AblationDsDr(cfg Config) (DsDrResult, error) {
 	if err != nil {
 		return DsDrResult{}, err
 	}
-	var out DsDrResult
-	for t := 0; t < cfg.Trials; t++ {
-		_, rs := place.RunStage1(c, place.Options{
-			Seed: cfg.Seed + uint64(t)*733, Ac: cfg.Ac,
+	// Param 0 is D_s, param 1 is D_r; trials of both fan out together.
+	vals, extras, err := runGrid(cfg, 2, func(pi, t int) (float64, float64, error) {
+		_, res := place.RunStage1(c, place.Options{
+			Seed: cfg.Seed + uint64(t)*733, Ac: cfg.Ac, UseDr: pi == 1,
 		})
-		_, rr := place.RunStage1(c, place.Options{
-			Seed: cfg.Seed + uint64(t)*733, Ac: cfg.Ac, UseDr: true,
-		})
-		out.TEILDs += rs.TEIL
-		out.TEILDr += rr.TEIL
-		out.OverlapDs += float64(rs.Overlap)
-		out.OverlapDr += float64(rr.Overlap)
+		return res.TEIL, float64(res.Overlap), nil
+	})
+	if err != nil {
+		return DsDrResult{}, err
 	}
-	n := float64(cfg.Trials)
-	out.TEILDs /= n
-	out.TEILDr /= n
-	out.OverlapDs /= n
-	out.OverlapDr /= n
-	return out, nil
+	return DsDrResult{
+		TEILDs: vals[0], OverlapDs: extras[0],
+		TEILDr: vals[1], OverlapDr: extras[1],
+	}, nil
 }
 
 // RefineRow traces Stage 2 convergence for one circuit (§4.3: three

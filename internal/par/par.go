@@ -1,0 +1,100 @@
+// Package par provides the bounded worker pool behind every parallel path
+// in the reproduction: the multi-start Stage 1 harness (place.RunStage1N)
+// and the experiment drivers (internal/exper Tables 3–4 and the figure
+// sweeps).
+//
+// Determinism contract: ForEach only distributes index-addressed work. Each
+// task must derive its own seed from its index and write only to its own
+// result slot; aggregation then happens serially in index order, so outputs
+// are byte-identical for any worker count — including workers == 1, the
+// fully serial reference path.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// GOMAXPROCS, everything else passes through.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach invokes fn(i) for every i in [0, n), distributing indices over at
+// most Workers(workers) goroutines. It returns when all calls complete. A
+// panic in any task is re-raised in the caller after the pool drains, so
+// failures surface exactly as in the serial loop.
+//
+// fn must be safe to call concurrently with itself and must confine writes
+// to per-index state (see the package determinism contract).
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		panMu sync.Mutex
+		pan   any
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panMu.Lock()
+							if pan == nil {
+								pan = r
+							}
+							panMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if pan != nil {
+		panic(pan)
+	}
+}
+
+// MapErr runs fn(i) for every i in [0, n) on the pool, storing results in
+// index order and returning the lowest-index error (deterministic
+// regardless of completion order), or nil if every task succeeded.
+func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) {
+		out[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -1,9 +1,13 @@
 package place
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/internal/estimate"
+	"repro/internal/gen"
 	"repro/internal/geom"
+	"repro/internal/netlist"
 	"repro/internal/rng"
 )
 
@@ -29,6 +33,125 @@ func BenchmarkSetState(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		k := i % len(states)
 		p.SetState(cells[k], states[k])
+	}
+}
+
+// benchPlacementFor builds a randomized placement for an overlap-kernel
+// benchmark circuit: either a named preset or a synthetic grid of n cells.
+func benchPlacementFor(b *testing.B, c *netlist.Circuit) *Placement {
+	b.Helper()
+	params := estimate.DefaultParams()
+	core := estimate.CoreSize(c, params, 1)
+	p := New(c, core, estimate.New(c, core, params))
+	Randomize(p, rng.New(7))
+	return p
+}
+
+// benchOverlapKernel measures the per-move overlap evaluation (the C2
+// kernel of Eqn 7) over a fixed pool of random move targets, reporting the
+// average number of cells tested per evaluation.
+func benchOverlapKernel(b *testing.B, c *netlist.Circuit, indexed bool) {
+	p := benchPlacementFor(b, c)
+	p.EnableIndex(indexed)
+	src := rng.New(11)
+	// A pool of pre-applied random positions: each iteration moves one
+	// cell (maintaining the index) and evaluates its overlap contribution.
+	cells := make([]int, 64)
+	states := make([]CellState, len(cells))
+	for k := range cells {
+		i := src.Intn(len(p.Circuit.Cells))
+		st := p.State(i)
+		st.Pos = geom.Point{
+			X: src.IntRange(p.Core.XLo, p.Core.XHi),
+			Y: src.IntRange(p.Core.YLo, p.Core.YHi),
+		}
+		st.Orient = geom.Orient(src.Intn(geom.NumOrients))
+		cells[k], states[k] = i, st
+	}
+	var sink int64
+	p.ResetOverlapStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % len(states)
+		sink += p.overlapContrib(cells[k])
+	}
+	b.StopTimer()
+	if evals, tested := p.OverlapStats(); evals > 0 {
+		b.ReportMetric(float64(tested)/float64(evals), "cells/eval")
+	}
+	_ = sink
+}
+
+// BenchmarkOverlapKernel compares the old full-scan overlap evaluation with
+// the spatial-index path across circuit sizes, including the paper's
+// largest preset (l1, 62 cells) and synthetic circuits beyond it.
+func BenchmarkOverlapKernel(b *testing.B) {
+	presets := []string{"i3", "l1"}
+	for _, name := range presets {
+		c, err := gen.Preset(name, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, indexed := range []bool{false, true} {
+			mode := "scan"
+			if indexed {
+				mode = "indexed"
+			}
+			b.Run(fmt.Sprintf("preset=%s/%s", name, mode), func(b *testing.B) {
+				benchOverlapKernel(b, c, indexed)
+			})
+		}
+	}
+	for _, n := range []int{100, 400} {
+		c, err := gen.Scalability(n, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, indexed := range []bool{false, true} {
+			mode := "scan"
+			if indexed {
+				mode = "indexed"
+			}
+			b.Run(fmt.Sprintf("cells=%d/%s", n, mode), func(b *testing.B) {
+				benchOverlapKernel(b, c, indexed)
+			})
+		}
+	}
+}
+
+// BenchmarkSetStateIndexed measures the full incremental move update (the
+// Stage 1 inner-loop unit of work) with and without the spatial index.
+func BenchmarkSetStateIndexed(b *testing.B) {
+	for _, indexed := range []bool{false, true} {
+		mode := "scan"
+		if indexed {
+			mode = "indexed"
+		}
+		b.Run(mode, func(b *testing.B) {
+			c, err := gen.Scalability(200, 17)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := benchPlacementFor(b, c)
+			p.EnableIndex(indexed)
+			src := rng.New(5)
+			states := make([]CellState, 64)
+			cells := make([]int, len(states))
+			for k := range states {
+				i := src.Intn(len(p.Circuit.Cells))
+				st := p.State(i)
+				st.Pos = geom.Point{
+					X: src.IntRange(p.Core.XLo, p.Core.XHi),
+					Y: src.IntRange(p.Core.YLo, p.Core.YHi),
+				}
+				cells[k], states[k] = i, st
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % len(states)
+				p.SetState(cells[k], states[k])
+			}
+		})
 	}
 }
 

@@ -1,0 +1,225 @@
+package place
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// cellIndex is a uniform-grid spatial index over cell bounding boxes. The
+// Stage 1 inner loop evaluates the overlap penalty C2 (Eqn 7) on every
+// proposed move; without an index each evaluation scans all N cells even
+// though a moved cell can only overlap its spatial neighbors. The index
+// hashes each cell's bounding box (raw ∪ expanded tiles) into the grid bins
+// it covers, so overlap queries visit only cells whose bins intersect the
+// query box — O(neighbors) per move instead of O(N).
+//
+// The index is purely a candidate filter: a query returns a superset of the
+// cells whose tiles can overlap the query box (bin membership is computed
+// from conservative bounding boxes, and tile pairs with disjoint boxes
+// contribute zero area). Because C2 is an integer area sum, filtering
+// non-overlapping pairs leaves every cost value bit-identical to the full
+// O(N) scan.
+//
+// Cells whose boxes span more than largeCellBins bins — degenerate
+// huge-cell cases whose bin lists would be expensive to maintain — fall back
+// to an exact side list that every query also scans.
+type cellIndex struct {
+	grid   geom.Rect // world region covered by the bins
+	binW   int       // bin width in grid units (>= 1)
+	binH   int       // bin height in grid units (>= 1)
+	nx, ny int       // bin counts per axis
+
+	bins  [][]int32   // cell ids per bin, row-major [by*nx+bx]
+	large []int32     // huge-cell fallback: always tested, never binned
+	spans []cellSpan  // current bin span per cell
+	boxes []geom.Rect // currently indexed bounding box per cell
+
+	stamp []uint32 // per-cell visit stamp deduplicating multi-bin cells
+	cur   uint32
+}
+
+// cellSpan records where a cell currently lives in the index.
+type cellSpan struct {
+	x0, y0, x1, y1 int32 // inclusive bin range
+	large          bool  // on the large list instead of in bins
+	present        bool  // inserted at all
+}
+
+// largeCellBins is the bin-count threshold beyond which a cell is kept on
+// the exact fallback list rather than replicated into every covered bin.
+const largeCellBins = 64
+
+// newCellIndex sizes a grid for n cells over the core region. Cell centers
+// are clamped to the core but boxes (half the cell plus its interconnect
+// expansion) protrude, so the grid covers an inflated core; boxes outside
+// the grid clamp to the edge bins, which preserves correctness (clamping is
+// monotone, so intersecting boxes always share a bin) at a perfectly
+// degraded cost.
+func newCellIndex(core geom.Rect, n int) *cellIndex {
+	if n < 1 {
+		n = 1
+	}
+	// ~1–2 cells per bin on average: an nx×ny grid with nx = ny ≈ √n.
+	side := int(math.Sqrt(float64(n))) + 1
+	grid := core.Inflate(core.W()/4, core.H()/4, core.W()/4, core.H()/4)
+	ix := &cellIndex{
+		grid:  grid,
+		nx:    side,
+		ny:    side,
+		binW:  max(1, grid.W()/side),
+		binH:  max(1, grid.H()/side),
+		bins:  make([][]int32, side*side),
+		spans: make([]cellSpan, n),
+		boxes: make([]geom.Rect, n),
+		stamp: make([]uint32, n),
+	}
+	return ix
+}
+
+// binX maps a world x coordinate to a clamped bin column.
+func (ix *cellIndex) binX(x geom.Coord) int32 {
+	b := (x - ix.grid.XLo) / ix.binW
+	if b < 0 {
+		return 0
+	}
+	if b >= ix.nx {
+		return int32(ix.nx - 1)
+	}
+	return int32(b)
+}
+
+// binY maps a world y coordinate to a clamped bin row.
+func (ix *cellIndex) binY(y geom.Coord) int32 {
+	b := (y - ix.grid.YLo) / ix.binH
+	if b < 0 {
+		return 0
+	}
+	if b >= ix.ny {
+		return int32(ix.ny - 1)
+	}
+	return int32(b)
+}
+
+// spanFor computes the clamped bin span of a box. The high corner is
+// exclusive in area terms, but the span uses the inclusive bin of XHi/YHi so
+// that boxes meeting exactly at a bin boundary still share it; the extra
+// candidates cost nothing (zero overlap area).
+func (ix *cellIndex) spanFor(b geom.Rect) cellSpan {
+	sp := cellSpan{
+		x0: ix.binX(b.XLo), y0: ix.binY(b.YLo),
+		x1: ix.binX(b.XHi), y1: ix.binY(b.YHi),
+		present: true,
+	}
+	if int(sp.x1-sp.x0+1)*int(sp.y1-sp.y0+1) > largeCellBins {
+		sp.large = true
+	}
+	return sp
+}
+
+// update (re)indexes cell i at box b, moving it between bins as needed.
+func (ix *cellIndex) update(i int, b geom.Rect) {
+	old := ix.spans[i]
+	sp := ix.spanFor(b)
+	ix.boxes[i] = b
+	if old.present && old.large == sp.large &&
+		(old.large || old == sp) {
+		// Same bins (or still on the large list): box refresh only.
+		ix.spans[i] = sp
+		return
+	}
+	if old.present {
+		ix.removeSpan(i, old)
+	}
+	ix.insertSpan(i, sp)
+	ix.spans[i] = sp
+}
+
+func (ix *cellIndex) insertSpan(i int, sp cellSpan) {
+	if sp.large {
+		ix.large = append(ix.large, int32(i))
+		return
+	}
+	for by := sp.y0; by <= sp.y1; by++ {
+		row := int(by) * ix.nx
+		for bx := sp.x0; bx <= sp.x1; bx++ {
+			ix.bins[row+int(bx)] = append(ix.bins[row+int(bx)], int32(i))
+		}
+	}
+}
+
+func (ix *cellIndex) removeSpan(i int, sp cellSpan) {
+	if sp.large {
+		ix.large = removeID(ix.large, int32(i))
+		return
+	}
+	for by := sp.y0; by <= sp.y1; by++ {
+		row := int(by) * ix.nx
+		for bx := sp.x0; bx <= sp.x1; bx++ {
+			ix.bins[row+int(bx)] = removeID(ix.bins[row+int(bx)], int32(i))
+		}
+	}
+}
+
+// removeID deletes one occurrence of id by swap-with-last; bins are small
+// and unordered, so this is O(len) scan + O(1) delete.
+func removeID(s []int32, id int32) []int32 {
+	for k, v := range s {
+		if v == id {
+			s[k] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// query appends to out every indexed cell except `exclude` whose stored box
+// intersects b — a superset of the cells whose tiles overlap b — and
+// returns the extended slice. Cells spanning several bins are deduplicated
+// with a generation stamp, so the result has no repeats.
+func (ix *cellIndex) query(b geom.Rect, exclude int, out []int32) []int32 {
+	ix.cur++
+	if ix.cur == 0 { // stamp wrapped: invalidate all marks
+		for k := range ix.stamp {
+			ix.stamp[k] = 0
+		}
+		ix.cur = 1
+	}
+	if exclude >= 0 {
+		ix.stamp[exclude] = ix.cur
+	}
+	sp := ix.spanFor(b)
+	if !sp.large {
+		for by := sp.y0; by <= sp.y1; by++ {
+			row := int(by) * ix.nx
+			for bx := sp.x0; bx <= sp.x1; bx++ {
+				for _, id := range ix.bins[row+int(bx)] {
+					if ix.stamp[id] == ix.cur {
+						continue
+					}
+					ix.stamp[id] = ix.cur
+					if ix.boxes[id].Intersects(b) {
+						out = append(out, id)
+					}
+				}
+			}
+		}
+	} else {
+		// A huge query box may cover most bins; scanning them all would
+		// revisit every cell repeatedly, so scan the cell list once.
+		for id := range ix.spans {
+			if ix.spans[id].present && !ix.spans[id].large &&
+				ix.stamp[id] != ix.cur && ix.boxes[id].Intersects(b) {
+				ix.stamp[id] = ix.cur
+				out = append(out, int32(id))
+			}
+		}
+	}
+	for _, id := range ix.large {
+		if ix.stamp[id] != ix.cur && ix.boxes[id].Intersects(b) {
+			ix.stamp[id] = ix.cur
+			out = append(out, id)
+		}
+	}
+	return out
+}

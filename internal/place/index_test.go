@@ -1,0 +1,111 @@
+package place
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// queryIDs returns the candidate set as a map for assertion convenience.
+func queryIDs(ix *cellIndex, b geom.Rect, exclude int) map[int]bool {
+	out := ix.query(b, exclude, nil)
+	m := make(map[int]bool, len(out))
+	for _, id := range out {
+		if m[int(id)] {
+			panic("duplicate id in query result")
+		}
+		m[int(id)] = true
+	}
+	return m
+}
+
+// TestCellIndexQuerySuperset: for random boxes (including boxes far outside
+// the grid, which clamp to edge bins), every intersecting cell is returned
+// and no cell is returned twice.
+func TestCellIndexQuerySuperset(t *testing.T) {
+	src := rng.New(1)
+	core := geom.R(0, 0, 1000, 800)
+	const n = 60
+	ix := newCellIndex(core, n)
+	boxes := make([]geom.Rect, n)
+	randBox := func() geom.Rect {
+		x := src.IntRange(-400, 1300)
+		y := src.IntRange(-300, 1100)
+		w := src.IntRange(1, 300)
+		h := src.IntRange(1, 300)
+		return geom.R(x, y, x+w, y+h)
+	}
+	for i := 0; i < n; i++ {
+		boxes[i] = randBox()
+		ix.update(i, boxes[i])
+	}
+	for trial := 0; trial < 300; trial++ {
+		// Move a random cell, then query with a random box.
+		i := src.Intn(n)
+		boxes[i] = randBox()
+		ix.update(i, boxes[i])
+		q := randBox()
+		got := queryIDs(ix, q, i)
+		for j := 0; j < n; j++ {
+			if j == i {
+				if got[j] {
+					t.Fatalf("trial %d: excluded cell %d returned", trial, j)
+				}
+				continue
+			}
+			if boxes[j].Intersects(q) && !got[j] {
+				t.Fatalf("trial %d: cell %d box %v intersects query %v but was not returned",
+					trial, j, boxes[j], q)
+			}
+		}
+	}
+}
+
+// TestCellIndexLargeCellFallback: a cell spanning (nearly) the whole grid
+// goes to the exact fallback list, keeps being returned for any
+// intersecting query, and moves back to the bins when it shrinks.
+func TestCellIndexLargeCellFallback(t *testing.T) {
+	core := geom.R(0, 0, 1000, 1000)
+	ix := newCellIndex(core, 100) // 11x11 grid: 121 bins > largeCellBins
+	huge := geom.R(-500, -500, 1500, 1500)
+	ix.update(0, huge)
+	if !ix.spans[0].large {
+		t.Fatalf("cell spanning the whole grid not on the large list (span %+v)", ix.spans[0])
+	}
+	if got := queryIDs(ix, geom.R(10, 10, 20, 20), -1); !got[0] {
+		t.Fatal("large cell not returned for an intersecting query")
+	}
+	if got := queryIDs(ix, geom.R(2000, 2000, 2100, 2100), -1); got[0] {
+		t.Fatal("large cell returned for a disjoint query")
+	}
+	// Shrink: back into the bins.
+	small := geom.R(100, 100, 150, 150)
+	ix.update(0, small)
+	if ix.spans[0].large {
+		t.Fatal("shrunk cell still on the large list")
+	}
+	if len(ix.large) != 0 {
+		t.Fatalf("large list not emptied: %v", ix.large)
+	}
+	if got := queryIDs(ix, geom.R(120, 120, 130, 130), -1); !got[0] {
+		t.Fatal("re-binned cell not returned")
+	}
+}
+
+// TestCellIndexHugeQueryScan: a query box spanning more bins than
+// largeCellBins takes the whole-list scan path and still returns exactly
+// the intersecting cells.
+func TestCellIndexHugeQueryScan(t *testing.T) {
+	core := geom.R(0, 0, 1000, 1000)
+	ix := newCellIndex(core, 100)
+	ix.update(0, geom.R(50, 50, 80, 80))
+	ix.update(1, geom.R(5000, 5000, 5100, 5100)) // clamped to edge bins, disjoint
+	got := queryIDs(ix, geom.R(-200, -200, 1200, 1200), -1)
+	if !got[0] {
+		t.Fatal("huge query missed an indexed cell")
+	}
+	if got[1] {
+		t.Fatal("huge query returned a disjoint cell")
+	}
+}

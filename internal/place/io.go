@@ -86,6 +86,9 @@ func ReadPlacement(r io.Reader, p *Placement) error {
 			if p.Est != nil {
 				p.Est.SetCore(p.Core)
 			}
+			// The index grid was sized for the old core; re-bin so
+			// neighbor queries stay cheap over the loaded region.
+			p.RebuildIndex()
 		case "cell":
 			if len(f) != 7 {
 				return fmt.Errorf("place: line %d: cell takes NAME X Y ORIENT INSTANCE ASPECT", line)

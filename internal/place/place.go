@@ -88,6 +88,17 @@ type Placement struct {
 	netBox   []geom.Rect     // bounding box of primary pins per net
 	siteCnt  [][]int16       // occupancy per cell: [4*S] flattened
 
+	// index accelerates the overlap terms by restricting each evaluation
+	// to spatial neighbors; nil forces the exact full scan (identical
+	// values either way — see cellIndex).
+	index    *cellIndex
+	queryBuf []int32
+
+	// overlap-kernel statistics: evaluations of overlapContrib and cells
+	// actually tested, for the BenchmarkOverlapKernel cells/eval metric.
+	statEvals  int64
+	statTested int64
+
 	c1   float64 // TEIC (Eqn 6)
 	teil float64 // unweighted total span (TEIL)
 	c2   int64   // total overlap area, unscaled (Eqn 7 without p2)
@@ -148,9 +159,53 @@ func New(c *netlist.Circuit, core geom.Rect, est *estimate.Estimator) *Placement
 	for i := range c.Cells {
 		p.realizeCell(i)
 	}
+	p.RebuildIndex()
 	p.RecomputeAll()
 	return p
 }
+
+// indexBox returns the box cell i is indexed under: the union of its raw
+// and expanded tile bounds, so that both expanded-tile (C2) and raw-tile
+// (RawOverlap) queries see a conservative candidate set.
+func (p *Placement) indexBox(i int) geom.Rect {
+	return p.rawTiles[i].Bounds().Union(p.tiles[i].Bounds())
+}
+
+// RebuildIndex reconstructs the spatial overlap index from the current
+// geometry. Callers that bulk-replace state outside SetState (or change
+// Core) use this to restore O(neighbors) overlap evaluation; it is also how
+// EnableIndex(true) re-activates an index after benchmarking the full scan.
+func (p *Placement) RebuildIndex() {
+	p.index = newCellIndex(p.Core, len(p.Circuit.Cells))
+	for i := range p.Circuit.Cells {
+		p.index.update(i, p.indexBox(i))
+	}
+}
+
+// EnableIndex toggles the spatial overlap index. Disabling reverts every
+// overlap evaluation to the exact O(n) scan; both modes produce
+// bit-identical cost values (the index only filters pairs whose overlap is
+// provably zero). Used by benchmarks and equivalence tests.
+func (p *Placement) EnableIndex(on bool) {
+	if !on {
+		p.index = nil
+		return
+	}
+	if p.index == nil {
+		p.RebuildIndex()
+	}
+}
+
+// OverlapStats returns the number of overlap-kernel evaluations and the
+// total cells tested since the last ResetOverlapStats: tested/evals is the
+// average per-move candidate count (N-1 for the full scan, the neighbor
+// count for the indexed path).
+func (p *Placement) OverlapStats() (evals, tested int64) {
+	return p.statEvals, p.statTested
+}
+
+// ResetOverlapStats zeroes the overlap-kernel counters.
+func (p *Placement) ResetOverlapStats() { p.statEvals, p.statTested = 0, 0 }
 
 func buildNetPrimary(c *netlist.Circuit) [][]int {
 	out := make([][]int, len(c.Nets))
@@ -455,14 +510,28 @@ func (p *Placement) siteContrib(i int) float64 {
 }
 
 // overlapContrib computes Σ_j O(i,j) over j ≠ i plus the core-border
-// overlap (the dummy cells of footnote 16).
+// overlap (the dummy cells of footnote 16). With the spatial index only
+// cells whose bins intersect cell i's box are tested; the sum is
+// bit-identical to the full scan because skipped pairs have disjoint
+// bounding boxes and hence zero overlap area.
 func (p *Placement) overlapContrib(i int) int64 {
 	var sum int64
 	ti := p.tiles[i]
-	for j := range p.tiles {
-		if j == i {
-			continue
+	p.statEvals++
+	if p.index == nil {
+		p.statTested += int64(len(p.tiles) - 1)
+		for j := range p.tiles {
+			if j == i {
+				continue
+			}
+			sum += ti.Overlap(p.tiles[j])
 		}
+		sum += p.borderOverlap(i)
+		return sum
+	}
+	p.queryBuf = p.index.query(ti.Bounds(), i, p.queryBuf[:0])
+	p.statTested += int64(len(p.queryBuf))
+	for _, j := range p.queryBuf {
 		sum += ti.Overlap(p.tiles[j])
 	}
 	sum += p.borderOverlap(i)
@@ -475,6 +544,9 @@ func (p *Placement) overlapContrib(i int) int64 {
 // tiles are used because the target core area budget (Eqn 5) equals the sum
 // of padded cell areas exactly; expanded tiles may legitimately protrude.
 func (p *Placement) borderOverlap(i int) int64 {
+	if p.Core.ContainsRect(p.rawTiles[i].Bounds()) {
+		return 0
+	}
 	var sum int64
 	for _, t := range p.rawTiles[i].Tiles() {
 		sum += t.Area() - t.Intersect(p.Core).Area()
@@ -486,6 +558,17 @@ func (p *Placement) borderOverlap(i int) int64 {
 // actual cell-on-cell overlap, excluding interconnect-space conflicts.
 func (p *Placement) RawOverlap() int64 {
 	var sum int64
+	if p.index != nil {
+		for i := range p.rawTiles {
+			p.queryBuf = p.index.query(p.rawTiles[i].Bounds(), i, p.queryBuf[:0])
+			for _, j := range p.queryBuf {
+				if int(j) > i { // count each pair once
+					sum += p.rawTiles[i].Overlap(p.rawTiles[j])
+				}
+			}
+		}
+		return sum
+	}
 	for i := range p.rawTiles {
 		for j := i + 1; j < len(p.rawTiles); j++ {
 			sum += p.rawTiles[i].Overlap(p.rawTiles[j])
@@ -562,6 +645,9 @@ func (p *Placement) updateCell(i int, st CellState) {
 	// Swap state and re-realize.
 	p.states[i] = st
 	p.realizeCell(i)
+	if p.index != nil {
+		p.index.update(i, p.indexBox(i))
+	}
 	// Add new contributions.
 	p.c2 += p.overlapContrib(i)
 	p.c3 += p.siteContrib(i)

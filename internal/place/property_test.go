@@ -4,9 +4,104 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/estimate"
 	"repro/internal/geom"
 	"repro/internal/rng"
 )
+
+// randomState draws a random full cell state (position, orientation, pin
+// sites, aspect) for cell i, shared by the equivalence tests so the indexed
+// and full-scan placements see identical move sequences.
+func randomState(p *Placement, i int, src *rng.Source) CellState {
+	st := p.State(i)
+	st.Pos = geom.Point{
+		X: src.IntRange(p.Core.XLo-60, p.Core.XHi+60),
+		Y: src.IntRange(p.Core.YLo-60, p.Core.YHi+60),
+	}
+	st.Orient = geom.Orient(src.Intn(geom.NumOrients))
+	if len(st.Units) > 0 {
+		u := src.Intn(len(st.Units))
+		st.Units[u] = randomUnitAssign(p, i, u, src)
+	}
+	in := &p.Circuit.Cells[i].Instances[st.Instance]
+	if in.IsCustomShape() {
+		st.Aspect = in.ClampAspect(st.Aspect * (0.7 + src.Float64()))
+	}
+	return st
+}
+
+// TestIndexedCostsMatchFullScanQuick: after any random move sequence, the
+// spatially-indexed cost terms are bit-identical to the full-scan baseline,
+// and the incrementally maintained C1/TEIL/C2Raw/C3 agree with RecomputeAll
+// on a fresh Placement fed the same states (C2 exactly; the float terms to
+// summation-order tolerance via Validate).
+func TestIndexedCostsMatchFullScanQuick(t *testing.T) {
+	pi := newTestPlacement(t, 14, true) // indexed (default)
+	c := pi.Circuit
+	params := estimate.DefaultParams()
+	pf := New(c, pi.Core, estimate.New(c, pi.Core, params)) // full scan
+	pf.EnableIndex(false)
+	f := func(seed uint64, moves uint8) bool {
+		src, src2 := rng.New(seed), rng.New(seed)
+		Randomize(pi, src)
+		Randomize(pf, src2)
+		for k := 0; k < int(moves%48)+1; k++ {
+			i := src.Intn(len(c.Cells))
+			st := randomState(pi, i, src)
+			pi.SetState(i, st)
+			pf.SetState(i, st)
+		}
+		if pi.C1() != pf.C1() || pi.TEIL() != pf.TEIL() ||
+			pi.C2Raw() != pf.C2Raw() || pi.C3() != pf.C3() {
+			t.Logf("indexed (C1 %v TEIL %v C2 %d C3 %v) != full scan (C1 %v TEIL %v C2 %d C3 %v)",
+				pi.C1(), pi.TEIL(), pi.C2Raw(), pi.C3(),
+				pf.C1(), pf.TEIL(), pf.C2Raw(), pf.C3())
+			return false
+		}
+		if pi.RawOverlap() != pf.RawOverlap() {
+			return false
+		}
+		// Fresh placement, same states, full recomputation.
+		fresh := New(c, pi.Core, estimate.New(c, pi.Core, params))
+		for i := range c.Cells {
+			fresh.SetState(i, pi.State(i))
+		}
+		fresh.RecomputeAll()
+		if fresh.C2Raw() != pi.C2Raw() {
+			t.Logf("fresh recompute C2 %d != incremental %d", fresh.C2Raw(), pi.C2Raw())
+			return false
+		}
+		// Incremental float terms match a recomputation of the same
+		// placement (order-of-summation tolerance).
+		return pi.Validate() == nil && pf.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIndexSurvivesCoreRebuildQuick: RebuildIndex at any point of a move
+// sequence leaves all cost terms unchanged (the index is a pure filter).
+func TestIndexSurvivesCoreRebuildQuick(t *testing.T) {
+	p := newTestPlacement(t, 10, true)
+	f := func(seed uint64, moves uint8) bool {
+		src := rng.New(seed)
+		Randomize(p, src)
+		for k := 0; k < int(moves%16); k++ {
+			i := src.Intn(len(p.Circuit.Cells))
+			p.SetState(i, randomState(p, i, src))
+		}
+		c1, teil, c2, c3 := p.C1(), p.TEIL(), p.C2Raw(), p.C3()
+		p.RebuildIndex()
+		if p.C1() != c1 || p.TEIL() != teil || p.C2Raw() != c2 || p.C3() != c3 {
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
 
 // TestPinOnBoundaryQuick: for random placement states, every fixed pin of a
 // rectangular macro lies on (or within) the cell's world bounding box, and

@@ -7,6 +7,7 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -206,6 +207,61 @@ func RunStage1(c *netlist.Circuit, opt Options) (*Placement, Result) {
 	s := &stage1{p: p, ctl: ctl, src: src, opt: opt, movable: p.MovableCells()}
 	res := s.run()
 	return p, res
+}
+
+// StartResult is one trial of a multi-start Stage 1 run.
+type StartResult struct {
+	// Trial is the trial index; Seed the derived seed the trial ran with.
+	Trial int
+	Seed  uint64
+	// Cost is the trial's final Stage 1 objective C1 + p2·C2 + C3, the
+	// winner-selection key.
+	Cost   float64
+	Result Result
+}
+
+// RunStage1N runs nstarts independent Stage 1 anneals of the circuit on a
+// bounded worker pool and returns the best placement: PARSAC-style parallel
+// trials exploiting SA's run-to-run variance. Trial 0 uses opt.Seed itself
+// (so nstarts = 1 reproduces RunStage1 exactly); later trials use seeds
+// fanned out from opt.Seed via rng.SplitSeeds. The winner is the trial with
+// the lowest final cost, ties broken by the lowest trial index — a pure
+// function of the trial results, so the outcome is independent of goroutine
+// scheduling and worker count. workers <= 0 selects GOMAXPROCS.
+//
+// The circuit is shared read-only across trials; each trial builds its own
+// Placement and estimator.
+func RunStage1N(c *netlist.Circuit, opt Options, nstarts, workers int) (*Placement, Result, []StartResult) {
+	if nstarts < 1 {
+		nstarts = 1
+	}
+	seeds := rng.New(opt.Seed).SplitSeeds(nstarts)
+	seeds[0] = opt.Seed
+	type trial struct {
+		p   *Placement
+		res Result
+	}
+	trials := make([]trial, nstarts)
+	par.ForEach(workers, nstarts, func(k int) {
+		o := opt
+		o.Seed = seeds[k]
+		p, res := RunStage1(c, o)
+		trials[k] = trial{p: p, res: res}
+	})
+	starts := make([]StartResult, nstarts)
+	best := 0
+	for k := range trials {
+		starts[k] = StartResult{
+			Trial:  k,
+			Seed:   seeds[k],
+			Cost:   trials[k].p.Cost(),
+			Result: trials[k].res,
+		}
+		if starts[k].Cost < starts[best].Cost {
+			best = k
+		}
+	}
+	return trials[best].p, trials[best].res, starts
 }
 
 func (s *stage1) run() Result {

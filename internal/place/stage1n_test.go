@@ -1,0 +1,75 @@
+package place
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// multiStartOpts keeps the multi-start tests fast: a handful of temperature
+// steps is enough to differentiate seeds.
+func multiStartOpts(seed uint64) Options {
+	return Options{Seed: seed, Ac: 8, MaxSteps: 6}
+}
+
+// TestRunStage1NSingleStartMatchesRunStage1 pins the nstarts=1 contract:
+// trial 0 runs with opt.Seed itself, so a one-start multi-start run is the
+// classic single anneal, state for state.
+func TestRunStage1NSingleStartMatchesRunStage1(t *testing.T) {
+	c, err := gen.Preset("i3", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := multiStartOpts(42)
+	pRef, resRef := RunStage1(c, opt)
+	pN, resN, starts := RunStage1N(c, opt, 1, 4)
+	if len(starts) != 1 || starts[0].Seed != opt.Seed {
+		t.Fatalf("starts = %+v", starts)
+	}
+	if pN.Cost() != pRef.Cost() || resN.TEIL != resRef.TEIL || resN.Overlap != resRef.Overlap {
+		t.Fatalf("nstarts=1 diverged: cost %v vs %v, TEIL %v vs %v",
+			pN.Cost(), pRef.Cost(), resN.TEIL, resRef.TEIL)
+	}
+	for i := range c.Cells {
+		a, b := pN.State(i), pRef.State(i)
+		if a.Pos != b.Pos || a.Orient != b.Orient {
+			t.Fatalf("cell %d state differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestRunStage1NWinnerSchedulingIndependent pins the determinism contract:
+// the winner and every trial's cost are identical for any worker count.
+func TestRunStage1NWinnerSchedulingIndependent(t *testing.T) {
+	c, err := gen.Preset("i3", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := multiStartOpts(7)
+	const nstarts = 5
+	pSerial, resSerial, startsSerial := RunStage1N(c, opt, nstarts, 1)
+	pPar, resPar, startsPar := RunStage1N(c, opt, nstarts, 8)
+	if len(startsSerial) != nstarts || len(startsPar) != nstarts {
+		t.Fatalf("trial counts %d, %d", len(startsSerial), len(startsPar))
+	}
+	for k := range startsSerial {
+		s, q := startsSerial[k], startsPar[k]
+		if s.Trial != q.Trial || s.Seed != q.Seed || s.Cost != q.Cost ||
+			s.Result.TEIL != q.Result.TEIL || s.Result.Overlap != q.Result.Overlap {
+			t.Fatalf("trial %d differs across worker counts:\n serial %+v\n parallel %+v", k, s, q)
+		}
+	}
+	if pSerial.Cost() != pPar.Cost() || resSerial.TEIL != resPar.TEIL {
+		t.Fatalf("winner differs: cost %v vs %v", pSerial.Cost(), pPar.Cost())
+	}
+	// The winner really is the minimum cost, ties to the lowest index.
+	best := 0
+	for k := range startsSerial {
+		if startsSerial[k].Cost < startsSerial[best].Cost {
+			best = k
+		}
+	}
+	if pSerial.Cost() != startsSerial[best].Cost {
+		t.Fatalf("winner cost %v != min trial cost %v", pSerial.Cost(), startsSerial[best].Cost)
+	}
+}

@@ -66,6 +66,18 @@ func (r *Source) Split() *Source {
 	return New(r.Uint64() ^ 0xa5a5a5a5a5a5a5a5)
 }
 
+// SplitSeeds draws n seeds from r's stream, one per parallel trial; each
+// seeds an independent Source via New (the same derivation Split uses).
+// Fanning seeds instead of Sources keeps worker assignment deterministic:
+// the seed depends only on the trial index, never on goroutine scheduling.
+func (r *Source) SplitSeeds(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uint64() ^ 0xa5a5a5a5a5a5a5a5
+	}
+	return out
+}
+
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (r *Source) Intn(n int) int {
 	if n <= 0 {

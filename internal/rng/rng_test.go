@@ -179,3 +179,26 @@ func TestSplitIndependence(t *testing.T) {
 		t.Fatalf("split stream collided %d times", same)
 	}
 }
+
+func TestSplitSeedsDeterministicAndDistinct(t *testing.T) {
+	a := New(42).SplitSeeds(16)
+	b := New(42).SplitSeeds(16)
+	seen := map[uint64]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed %d differs across identical sources", i)
+		}
+		if seen[a[i]] {
+			t.Fatalf("duplicate seed %#x at %d", a[i], i)
+		}
+		seen[a[i]] = true
+	}
+	// Matches Split's derivation: seeding New with each value reproduces
+	// the stream a sequence of Split calls would have produced.
+	src := New(42)
+	for i := 0; i < 4; i++ {
+		if got, want := src.Split().Uint64(), New(a[i]).Uint64(); got != want {
+			t.Fatalf("seed %d: Split stream %#x != SplitSeeds stream %#x", i, got, want)
+		}
+	}
+}
