@@ -1,0 +1,29 @@
+# Standard checks for the TimberWolfMC reproduction.
+#
+#   make verify      tier-1 checks + race detector + short fuzz smokes
+#   make test        unit tests only
+#   make fuzz-smoke  10-second runs of each fuzz target
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: verify tier1 test race fuzz-smoke
+
+verify: tier1 race fuzz-smoke
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) vet ./...
+	@test -z "$$(gofmt -l .)" || { echo "gofmt needed:"; gofmt -l .; exit 1; }
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParse$$ -fuzztime=$(FUZZTIME) ./internal/netlist
+	$(GO) test -fuzz=FuzzParseYAL -fuzztime=$(FUZZTIME) ./internal/netlist
+	$(GO) test -fuzz=FuzzDecodeCheckpoint -fuzztime=$(FUZZTIME) ./internal/place

@@ -10,16 +10,29 @@
 //
 // Experiments: table3, table4, fig3, fig4, fig5, fig6, eta, rho, ds,
 // refine, eqn22, all.
+//
+// A failing (circuit, trial) task is retried once with its original seed,
+// then reported individually; the surviving tasks still aggregate, so one
+// bad task costs one data point, not the whole experiment. Partial results
+// exit with code 3. SIGINT/SIGTERM stops in-flight trials promptly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/exper"
+	"repro/internal/gen"
+	"repro/internal/par"
 )
+
+var knownExps = []string{"table3", "table4", "fig3", "fig4", "fig5", "fig6", "eta", "rho", "ds", "refine", "eqn22"}
 
 func main() {
 	var (
@@ -31,8 +44,17 @@ func main() {
 		m        = flag.Int("m", 0, "router alternatives override")
 		circuits = flag.String("circuits", "", "comma-separated preset subset")
 		workers  = flag.Int("workers", 0, "parallel trial workers (0 = all CPUs, 1 = serial; output is identical either way)")
+		retries  = flag.Int("retries", 0, "per-task retry budget (0 = default 1, -1 = no retries)")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*exp, *trials, *ac, *m, *workers, *retries, *circuits); err != nil {
+		fmt.Fprintln(os.Stderr, "twexp:", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := exper.Quick()
 	if *full {
@@ -52,30 +74,32 @@ func main() {
 		cfg.Circuits = strings.Split(*circuits, ",")
 	}
 	cfg.Workers = *workers
+	cfg.Retries = *retries
+	cfg.Ctx = ctx
 
 	run := func(id string) error {
 		switch id {
 		case "table3":
 			fmt.Println("== Table 3: dynamic interconnect-area estimator accuracy ==")
 			rows, err := exper.Table3(cfg)
+			exper.WriteTable3(os.Stdout, rows)
 			if err != nil {
 				return err
 			}
-			exper.WriteTable3(os.Stdout, rows)
 		case "table4":
 			fmt.Println("== Table 4: TimberWolfMC vs. baseline placement methods ==")
 			rows, err := exper.Table4(cfg)
+			exper.WriteTable4(os.Stdout, rows)
 			if err != nil {
 				return err
 			}
-			exper.WriteTable4(os.Stdout, rows)
 		case "fig3":
 			fmt.Println("== Figure 3: normalized final TEIL vs. ratio r ==")
 			pts, err := exper.Figure3(cfg, nil)
+			exper.WriteSweep(os.Stdout, "r", "avg TEIL", pts)
 			if err != nil {
 				return err
 			}
-			exper.WriteSweep(os.Stdout, "r", "avg TEIL", pts)
 		case "fig4":
 			fmt.Println("== Figure 4: range-limiter window vs. T (rho=4) ==")
 			for _, r := range exper.Figure4(4) {
@@ -84,36 +108,36 @@ func main() {
 		case "fig5":
 			fmt.Println("== Figure 5: normalized final TEIL vs. Ac ==")
 			pts, err := exper.Figure5(cfg, nil)
+			exper.WriteSweep(os.Stdout, "Ac", "avg TEIL", pts)
 			if err != nil {
 				return err
 			}
-			exper.WriteSweep(os.Stdout, "Ac", "avg TEIL", pts)
 		case "fig6":
 			fmt.Println("== Figure 6: relative final chip area vs. Ac ==")
 			pts, err := exper.Figure6(cfg, nil)
+			exper.WriteSweep(os.Stdout, "Ac", "avg area", pts)
 			if err != nil {
 				return err
 			}
-			exper.WriteSweep(os.Stdout, "Ac", "avg area", pts)
 		case "eta":
 			fmt.Println("== Ablation: eta sweep (Eqn 9; flat in [0.25,1.0]) ==")
 			pts, err := exper.AblationEta(cfg, nil)
-			if err != nil {
-				return err
-			}
 			for _, p := range pts {
 				fmt.Printf("eta=%-5g TEIL=%8.0f (norm %.3f)  residual overlap=%8.0f\n",
 					p.Param, p.Value, p.Normalized, p.Extra)
 			}
-		case "rho":
-			fmt.Println("== Ablation: rho sweep (TEIL flat in [1,4]; overlap falls) ==")
-			pts, err := exper.AblationRho(cfg, nil)
 			if err != nil {
 				return err
 			}
+		case "rho":
+			fmt.Println("== Ablation: rho sweep (TEIL flat in [1,4]; overlap falls) ==")
+			pts, err := exper.AblationRho(cfg, nil)
 			for _, p := range pts {
 				fmt.Printf("rho=%-3g TEIL=%8.0f (norm %.3f)  residual overlap=%8.0f\n",
 					p.Param, p.Value, p.Normalized, p.Extra)
+			}
+			if err != nil {
+				return err
 			}
 		case "ds":
 			fmt.Println("== Ablation: D_s vs D_r (paper: ~22% lower residual overlap with D_s) ==")
@@ -159,12 +183,78 @@ func main() {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"table3", "table4", "fig3", "fig4", "fig5", "fig6", "eta", "rho", "ds", "refine", "eqn22"}
+		ids = knownExps
 	}
+	exit := 0
 	for _, id := range ids {
 		if err := run(id); err != nil {
-			fmt.Fprintln(os.Stderr, "twexp:", err)
-			os.Exit(1)
+			reportFailure(id, err)
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// Cancelled: later experiments would fail the same way.
+				os.Exit(exitPartial)
+			}
+			exit = exitPartial
 		}
 	}
+	os.Exit(exit)
+}
+
+// exitPartial signals that some tasks failed or were cancelled but the
+// printed tables aggregate the survivors.
+const exitPartial = 3
+
+// reportFailure prints the failure of one experiment, expanding per-task
+// errors individually so a single bad (circuit, trial) is attributable.
+func reportFailure(id string, err error) {
+	var te *par.TaskError
+	if errors.As(err, &te) {
+		fmt.Fprintf(os.Stderr, "twexp: %s completed partially; failed tasks:\n", id)
+		// errors.Join concatenates with newlines; indent for readability.
+		for _, line := range strings.Split(err.Error(), "\n") {
+			fmt.Fprintf(os.Stderr, "  %s\n", line)
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "twexp: %s: %v\n", id, err)
+}
+
+// validateFlags rejects out-of-range flag values with a usage error.
+func validateFlags(exp string, trials, ac, m, workers, retries int, circuits string) error {
+	if exp != "all" {
+		known := false
+		for _, id := range knownExps {
+			if id == exp {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("-exp must be one of all,%s (got %q)", strings.Join(knownExps, ","), exp)
+		}
+	}
+	switch {
+	case trials < 0:
+		return fmt.Errorf("-trials must be >= 0 (got %d; 0 selects the config default)", trials)
+	case ac < 0:
+		return fmt.Errorf("-ac must be >= 0 (got %d; 0 selects the config default)", ac)
+	case m < 0:
+		return fmt.Errorf("-m must be >= 0 (got %d; 0 selects the config default)", m)
+	case workers < 0:
+		return fmt.Errorf("-workers must be >= 0 (got %d; 0 selects all CPUs)", workers)
+	case retries < -1:
+		return fmt.Errorf("-retries must be >= -1 (got %d)", retries)
+	}
+	if circuits != "" {
+		valid := map[string]bool{}
+		for _, n := range gen.PresetNames() {
+			valid[n] = true
+		}
+		for _, n := range strings.Split(circuits, ",") {
+			if !valid[n] {
+				return fmt.Errorf("-circuits: unknown preset %q (known: %s)",
+					n, strings.Join(gen.PresetNames(), ","))
+			}
+		}
+	}
+	return nil
 }

@@ -36,6 +36,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateFlags(*cells, *nets, *pins, *dimx, *dimy, *ts, *custom, *rect, *equiv); err != nil {
+		fmt.Fprintln(os.Stderr, "twgen:", err)
+		os.Exit(2)
+	}
+
 	if *list {
 		for _, n := range gen.PresetNames() {
 			s, _ := gen.PresetSpec(n)
@@ -69,4 +74,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "twgen:", err)
 		os.Exit(1)
 	}
+}
+
+// validateFlags rejects out-of-range shape parameters with a usage error
+// instead of handing the generator impossible specs.
+func validateFlags(cells, nets, pins, dimx, dimy, ts int, custom, rect, equiv float64) error {
+	switch {
+	case cells < 0 || nets < 0 || pins < 0:
+		return fmt.Errorf("-cells/-nets/-pins must be >= 0")
+	case dimx <= 0 || dimy <= 0:
+		return fmt.Errorf("-dimx and -dimy must be > 0 (got %d x %d)", dimx, dimy)
+	case ts <= 0:
+		return fmt.Errorf("-tracksep must be > 0 (got %d)", ts)
+	case custom < 0 || custom > 1:
+		return fmt.Errorf("-custom must be in [0,1] (got %g)", custom)
+	case rect < 0 || rect > 1:
+		return fmt.Errorf("-rect must be in [0,1] (got %g)", rect)
+	case equiv < 0 || equiv > 1:
+		return fmt.Errorf("-equiv must be in [0,1] (got %g)", equiv)
+	}
+	return nil
 }

@@ -8,15 +8,26 @@
 //	twmc [flags] netlist.twc     # or a .yal MCNC benchmark
 //	twmc -preset i3            # place a built-in synthetic circuit
 //
+// Long runs are interruptible: with -checkpoint set, SIGINT/SIGTERM (or an
+// elapsed -deadline) stops the anneal at the next stride boundary, writes a
+// resumable snapshot, and reports the best placement so far. Rerunning with
+// -resume continues the run and produces the layout the uninterrupted run
+// would have — bit for bit.
+//
 // The input format is documented in internal/netlist (see also cmd/twgen,
 // which writes it).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/channel"
 	"repro/internal/core"
@@ -28,29 +39,55 @@ import (
 	"repro/internal/viz"
 )
 
+// exitInterrupted is the exit code for a run stopped by signal or deadline:
+// distinct from 1 (hard failure) and 2 (usage) so wrappers can requeue.
+const exitInterrupted = 3
+
 func main() {
 	var (
-		seed    = flag.Uint64("seed", 1, "random seed (equal seeds reproduce runs)")
-		ac      = flag.Int("ac", 0, "attempts per cell per temperature (0 = paper default 400)")
-		r       = flag.Float64("r", 0, "displacement:interchange ratio (0 = default 10)")
-		rho     = flag.Float64("rho", 0, "range-limiter shrink rate (0 = default 4)")
-		eta     = flag.Float64("eta", 0, "overlap normalization target (0 = default 0.5)")
-		m       = flag.Int("m", 0, "alternative routes per net (0 = default 20)")
-		aspect  = flag.Float64("aspect", 1, "target core height/width ratio")
-		iters   = flag.Int("refine", 0, "refinement executions (0 = default 3)")
-		nstarts = flag.Int("nstarts", 1, "independent Stage 1 anneals; best final cost wins")
-		workers = flag.Int("workers", 0, "goroutines for -nstarts > 1 (0 = all CPUs; winner is scheduling-independent)")
-		preset  = flag.String("preset", "", "place a built-in synthetic circuit (i1,p1,x1,i2,i3,l1,d2,d1,d3)")
-		genSeed = flag.Uint64("preset-seed", 17, "seed for -preset circuit synthesis")
-		stage1  = flag.Bool("stage1-only", false, "stop after Stage 1")
-		verbose = flag.Bool("v", false, "print per-iteration detail")
-		svgPath = flag.String("svg", "", "write an SVG rendering of the result to this file")
-		outPath = flag.String("out", "", "write the final placement to this file (reloadable)")
-		report  = flag.Bool("report", false, "print a post-run quality report")
-		runDRC  = flag.Bool("drc", false, "run design-rule checks on the result")
-		load    = flag.String("load", "", "load a saved placement (-out file) and run Stage 2 only")
+		seed     = flag.Uint64("seed", 1, "random seed (equal seeds reproduce runs)")
+		ac       = flag.Int("ac", 0, "attempts per cell per temperature (0 = paper default 400)")
+		r        = flag.Float64("r", 0, "displacement:interchange ratio (0 = default 10)")
+		rho      = flag.Float64("rho", 0, "range-limiter shrink rate (0 = default 4)")
+		eta      = flag.Float64("eta", 0, "overlap normalization target (0 = default 0.5)")
+		m        = flag.Int("m", 0, "alternative routes per net (0 = default 20)")
+		aspect   = flag.Float64("aspect", 1, "target core height/width ratio")
+		iters    = flag.Int("refine", 0, "refinement executions (0 = default 3)")
+		nstarts  = flag.Int("nstarts", 1, "independent Stage 1 anneals; best final cost wins")
+		workers  = flag.Int("workers", 0, "goroutines for -nstarts > 1 (0 = all CPUs; winner is scheduling-independent)")
+		preset   = flag.String("preset", "", "place a built-in synthetic circuit (i1,p1,x1,i2,i3,l1,d2,d1,d3)")
+		genSeed  = flag.Uint64("preset-seed", 17, "seed for -preset circuit synthesis")
+		stage1   = flag.Bool("stage1-only", false, "stop after Stage 1")
+		verbose  = flag.Bool("v", false, "print per-iteration detail")
+		svgPath  = flag.String("svg", "", "write an SVG rendering of the result to this file")
+		outPath  = flag.String("out", "", "write the final placement to this file (reloadable)")
+		report   = flag.Bool("report", false, "print a post-run quality report")
+		runDRC   = flag.Bool("drc", false, "run design-rule checks on the result")
+		load     = flag.String("load", "", "load a saved placement (-out file) and run Stage 2 only")
+		ckPath   = flag.String("checkpoint", "", "write resumable Stage 1 checkpoints to this file (periodically and on interrupt)")
+		ckEvery  = flag.Int("checkpoint-every", 0, "temperature steps between periodic checkpoints (0 = default 5)")
+		resume   = flag.String("resume", "", "resume an interrupted run from this checkpoint file (continued checkpoints default to the same file)")
+		deadline = flag.Duration("deadline", 0, "stop the run after this duration, checkpointing if -checkpoint is set (0 = none)")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*nstarts, *workers, *ac, *m, *iters, *ckEvery,
+		*r, *rho, *eta, *aspect, *deadline, *ckPath, *resume, *load); err != nil {
+		fmt.Fprintln(os.Stderr, "twmc:", err)
+		os.Exit(2)
+	}
+	// An interrupted -resume run should stay resumable without extra flags.
+	if *resume != "" && *ckPath == "" {
+		*ckPath = *resume
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 
 	var c *netlist.Circuit
 	var err error
@@ -69,6 +106,13 @@ func main() {
 		}
 		f.Close()
 	default:
+		if *resume != "" {
+			// The checkpoint stores the run state, not the circuit; the
+			// same netlist or preset must accompany -resume.
+			fmt.Fprintln(os.Stderr,
+				"twmc: -resume needs the circuit the checkpoint came from (repeat the original netlist file or -preset)")
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "usage: twmc [flags] netlist.twc | twmc -preset NAME")
 		flag.PrintDefaults()
 		os.Exit(2)
@@ -81,34 +125,50 @@ func main() {
 		c.Name, len(c.Cells), len(c.Nets), c.NumPins())
 
 	opts := core.Options{
-		Seed:       *seed,
-		Ac:         *ac,
-		R:          *r,
-		Rho:        *rho,
-		Eta:        *eta,
-		M:          *m,
-		CoreAspect: *aspect,
-		Iterations: *iters,
-		Starts:     *nstarts,
-		Workers:    *workers,
-		SkipStage2: *stage1,
+		Seed:            *seed,
+		Ac:              *ac,
+		R:               *r,
+		Rho:             *rho,
+		Eta:             *eta,
+		M:               *m,
+		CoreAspect:      *aspect,
+		Iterations:      *iters,
+		Starts:          *nstarts,
+		Workers:         *workers,
+		SkipStage2:      *stage1,
+		CheckpointPath:  *ckPath,
+		CheckpointEvery: *ckEvery,
 	}
 	if *nstarts > 1 {
 		fmt.Printf("stage 1: best of %d independent anneals\n", *nstarts)
 	}
 	var res *core.Result
-	if *load != "" {
+	switch {
+	case *resume != "":
+		ck, cerr := place.LoadCheckpoint(*resume)
+		if cerr != nil {
+			fatal(cerr)
+		}
+		fmt.Printf("resuming %s from step %d of checkpoint %s\n", ck.Circuit, ck.Ctl.Step, *resume)
+		opts.Starts = 1
+		res, err = core.PlaceFromCheckpoint(ctx, c, ck, opts)
+	case *load != "":
 		f, ferr := os.Open(*load)
 		if ferr != nil {
 			fatal(ferr)
 		}
-		res, err = core.Resume(c, f, opts)
+		res, err = core.ResumeCtx(ctx, c, f, opts)
 		f.Close()
-	} else {
-		res, err = core.Place(c, opts)
+	default:
+		res, err = core.PlaceCtx(ctx, c, opts)
 	}
-	if err != nil {
+	interrupted := err != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	if err != nil && !(interrupted && res != nil) {
 		fatal(err)
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "twmc: interrupted:", err)
 	}
 
 	fmt.Printf("stage 1: TEIL %.0f, chip area %d, residual overlap %d, %d temperature steps\n",
@@ -122,8 +182,10 @@ func main() {
 		}
 		fmt.Printf("final: TEIL %.0f (%+.1f%% vs stage 1), chip %d x %d (area %+.1f%% vs stage 1)\n",
 			res.TEIL, res.TEILChangePct(), res.Chip.W(), res.Chip.H(), res.AreaChangePct())
-		fmt.Printf("routing: total length %d, excess tracks %d\n",
-			res.Stage2.Routing.Length, res.Stage2.Routing.Excess)
+		if res.Stage2.Routing != nil {
+			fmt.Printf("routing: total length %d, excess tracks %d\n",
+				res.Stage2.Routing.Length, res.Stage2.Routing.Excess)
+		}
 	} else {
 		fmt.Printf("final (stage 1 only): TEIL %.0f, chip %d x %d\n",
 			res.TEIL, res.Chip.W(), res.Chip.H())
@@ -189,6 +251,47 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *svgPath)
 	}
+
+	if interrupted {
+		if *ckPath != "" {
+			fmt.Fprintf(os.Stderr, "twmc: results above are the best so far; continue with -resume %s\n", *ckPath)
+		} else {
+			fmt.Fprintln(os.Stderr, "twmc: results above are the best so far; set -checkpoint to make interrupted runs resumable")
+		}
+		os.Exit(exitInterrupted)
+	}
+}
+
+// validateFlags rejects out-of-range or contradictory flag values up front
+// with a usage error, instead of letting them surface as a panic or a silent
+// misconfiguration deep in the run.
+func validateFlags(nstarts, workers, ac, m, iters, ckEvery int,
+	r, rho, eta, aspect float64, deadline time.Duration, ckPath, resume, load string) error {
+	switch {
+	case nstarts < 1:
+		return fmt.Errorf("-nstarts must be >= 1 (got %d)", nstarts)
+	case workers < 0:
+		return fmt.Errorf("-workers must be >= 0 (got %d; 0 selects all CPUs)", workers)
+	case ac < 0:
+		return fmt.Errorf("-ac must be >= 0 (got %d; 0 selects the default)", ac)
+	case m < 0:
+		return fmt.Errorf("-m must be >= 0 (got %d; 0 selects the default)", m)
+	case iters < 0:
+		return fmt.Errorf("-refine must be >= 0 (got %d; 0 selects the default)", iters)
+	case ckEvery < 0:
+		return fmt.Errorf("-checkpoint-every must be >= 0 (got %d; 0 selects the default)", ckEvery)
+	case r < 0 || rho < 0 || eta < 0:
+		return fmt.Errorf("-r, -rho, and -eta must be >= 0 (0 selects the default)")
+	case aspect <= 0:
+		return fmt.Errorf("-aspect must be > 0 (got %g)", aspect)
+	case deadline < 0:
+		return fmt.Errorf("-deadline must be >= 0 (got %v)", deadline)
+	case nstarts > 1 && (ckPath != "" || resume != ""):
+		return fmt.Errorf("-checkpoint/-resume require a single start (got -nstarts %d): checkpointing snapshots one annealing trajectory", nstarts)
+	case resume != "" && load != "":
+		return fmt.Errorf("-resume (annealing checkpoint) and -load (saved placement) are mutually exclusive")
+	}
+	return nil
 }
 
 func fatal(err error) {

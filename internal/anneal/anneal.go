@@ -260,6 +260,64 @@ func NewController(cfg Config, src *rng.Source) *Controller {
 	return &Controller{cfg: cfg, rl: rl, rng: src, t: cfg.TInf}
 }
 
+// ControllerState is the complete resumable snapshot of a Controller: every
+// mutable field plus the state of its acceptance-draw generator. Restoring
+// it into a Controller built from the identical Config replays the exact
+// sequence of Next/Accept/EndStep decisions, which is what makes a
+// checkpointed annealing run bit-identical to an uninterrupted one (see
+// DESIGN.md §8). All fields are exported so the snapshot serializes.
+type ControllerState struct {
+	T            float64
+	Step         int
+	Started      bool
+	Done         bool
+	LastCost     float64
+	Stable       int
+	Accepted     int64
+	Tried        int64
+	StepAccepted int64
+	StepTried    int64
+	LastStepRate float64
+	RNG          rng.State
+}
+
+// State captures the controller's mutable state for a checkpoint.
+func (c *Controller) State() ControllerState {
+	return ControllerState{
+		T:            c.t,
+		Step:         c.step,
+		Started:      c.started,
+		Done:         c.done,
+		LastCost:     c.lastCost,
+		Stable:       c.stable,
+		Accepted:     c.accepted,
+		Tried:        c.tried,
+		StepAccepted: c.stepAccepted,
+		StepTried:    c.stepTried,
+		LastStepRate: c.lastStepRate,
+		RNG:          c.rng.State(),
+	}
+}
+
+// Restore overwrites the controller's mutable state from a snapshot. The
+// controller must have been constructed with the same Config as the one the
+// snapshot was taken from; the Config itself (schedule, scale factor, range
+// limiter) is deterministic from its inputs and is not part of the snapshot.
+func (c *Controller) Restore(st ControllerState) {
+	c.t = st.T
+	c.step = st.Step
+	c.started = st.Started
+	c.done = st.Done
+	c.lastCost = st.LastCost
+	c.stable = st.Stable
+	c.accepted = st.Accepted
+	c.tried = st.Tried
+	c.stepAccepted = st.StepAccepted
+	c.stepTried = st.StepTried
+	c.lastStepRate = st.LastStepRate
+	c.rng.Restore(st.RNG)
+}
+
 // Next advances to the next temperature step; it returns false once a
 // stopping criterion has been met. The first call starts at T_∞ without
 // cooling.

@@ -1,0 +1,94 @@
+package anneal
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// driveController runs a deterministic pseudo-workload against the
+// controller: per step, InnerIterations() Accept calls with a synthetic
+// cost delta, then EndStep. It records every Accept decision.
+func driveController(c *Controller, steps int, costs *rng.Source) []bool {
+	var decisions []bool
+	for s := 0; s < steps && c.Next(); s++ {
+		inner := c.InnerIterations()
+		for i := 0; i < inner; i++ {
+			delta := (costs.Float64() - 0.45) * 50
+			decisions = append(decisions, c.Accept(delta))
+		}
+		c.EndStep(100 + costs.Float64())
+	}
+	return decisions
+}
+
+// TestControllerStateRestoreBitIdentical pins the checkpoint contract for
+// the annealing controller: snapshotting mid-run and restoring into a
+// freshly constructed controller with the same Config replays the exact
+// remaining accept/reject and cooling trajectory.
+func TestControllerStateRestoreBitIdentical(t *testing.T) {
+	cfg := Config{ST: 50, Ac: 7, NumCells: 5, WxInf: 300, WyInf: 200, Rho: 4, MaxSteps: 40}
+	mk := func() *Controller { return NewController(cfg, rng.New(11)) }
+
+	// Reference: run 40 steps straight through.
+	ref := mk()
+	refDecisions := driveController(ref, 40, rng.New(5))
+
+	// Interrupted: run 15 steps, snapshot, restore into a new controller,
+	// continue 25 more with a cost stream advanced identically.
+	first := mk()
+	costs := rng.New(5)
+	head := driveController(first, 15, costs)
+	st := first.State()
+
+	second := NewController(cfg, rng.New(0)) // different RNG, overwritten by Restore
+	second.Restore(st)
+	tail := driveController(second, 25, costs)
+
+	got := append(head, tail...)
+	if len(got) != len(refDecisions) {
+		t.Fatalf("decision counts differ: %d vs %d", len(got), len(refDecisions))
+	}
+	for i := range got {
+		if got[i] != refDecisions[i] {
+			t.Fatalf("decision %d diverged after restore", i)
+		}
+	}
+	if ref.T() != second.T() || ref.Step() != second.Step() {
+		t.Fatalf("controller state diverged: T %v vs %v, step %d vs %d",
+			ref.T(), second.T(), ref.Step(), second.Step())
+	}
+	rwx, rwy := ref.Window()
+	swx, swy := second.Window()
+	if rwx != swx || rwy != swy {
+		t.Fatalf("range-limiter window diverged: (%v,%v) vs (%v,%v)", rwx, rwy, swx, swy)
+	}
+	if ref.AcceptRate() != second.AcceptRate() {
+		t.Fatalf("accept-rate accounting diverged: %v vs %v", ref.AcceptRate(), second.AcceptRate())
+	}
+}
+
+// TestControllerStateRoundTrip checks State/Restore is lossless even
+// mid-step (between Accept calls, before EndStep).
+func TestControllerStateRoundTrip(t *testing.T) {
+	cfg := Config{ST: 10, Ac: 3, NumCells: 4, WxInf: 100, WyInf: 100, Rho: 4, MaxSteps: 10}
+	c := NewController(cfg, rng.New(3))
+	if !c.Next() {
+		t.Fatal("controller refused to start")
+	}
+	c.Accept(1.5)
+	c.Accept(-0.5)
+	st := c.State()
+	d := NewController(cfg, rng.New(99))
+	d.Restore(st)
+	if d.State() != st {
+		t.Fatalf("round trip lost state: %+v vs %+v", d.State(), st)
+	}
+	// Both controllers must agree on every subsequent draw-driven decision.
+	for i := 0; i < 200; i++ {
+		delta := float64(i%7) - 3
+		if c.Accept(delta) != d.Accept(delta) {
+			t.Fatalf("decision %d diverged after round trip", i)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -54,6 +55,13 @@ type Options struct {
 	// MaxSteps bounds each annealing run (tests only; 0 = paper
 	// criteria).
 	MaxSteps int
+	// CheckpointPath enables resumable Stage 1 checkpoints at this path
+	// (see place.Options.CheckpointPath). Incompatible with Starts > 1:
+	// checkpointing is a single-run facility.
+	CheckpointPath string
+	// CheckpointEvery is the outer-step interval between periodic
+	// checkpoints (default place.DefaultCheckpointEvery).
+	CheckpointEvery int
 }
 
 // Result is the outcome of a full run.
@@ -101,6 +109,12 @@ func (r *Result) AreaChangePct() float64 {
 // incremental-rework path: adjust a netlist or a saved layout, then refine
 // without repeating the full Stage 1 anneal.
 func Resume(c *netlist.Circuit, saved io.Reader, opt Options) (*Result, error) {
+	return ResumeCtx(context.Background(), c, saved, opt)
+}
+
+// ResumeCtx is Resume with cancellation (see PlaceCtx for the semantics of
+// a cancelled Stage 2).
+func ResumeCtx(ctx context.Context, c *netlist.Circuit, saved io.Reader, opt Options) (*Result, error) {
 	if err := netlist.Validate(c); err != nil {
 		return nil, err
 	}
@@ -119,46 +133,52 @@ func Resume(c *netlist.Circuit, saved io.Reader, opt Options) (*Result, error) {
 	if opt.SkipStage2 {
 		return res, nil
 	}
-	s2, err := refine.Run(p, refine.Options{
-		Seed:       opt.Seed + 0x5eed,
-		Iterations: opt.Iterations,
-		Ac:         opt.Ac,
-		Mu:         opt.Mu,
-		Rho:        opt.Rho,
-		M:          opt.M,
-		MaxSteps:   opt.MaxSteps,
-	})
-	if err != nil {
-		return res, fmt.Errorf("core: stage 2: %w", err)
-	}
-	res.Stage2 = s2
-	res.TEIL = s2.TEIL
-	res.Chip = s2.Chip
-	return res, nil
+	return res, runStage2(ctx, res, opt, opt.Seed)
 }
 
 // Place runs the complete TimberWolfMC flow on the circuit.
 func Place(c *netlist.Circuit, opt Options) (*Result, error) {
+	return PlaceCtx(context.Background(), c, opt)
+}
+
+// PlaceCtx is Place with cancellation and checkpointing. On cancellation it
+// returns the best placement reached so far together with an error wrapping
+// ctx.Err(); when Options.CheckpointPath is set a Stage 1 interruption also
+// leaves a resumable checkpoint there (feed it to PlaceFromCheckpoint). A
+// cancelled multi-start run (Starts > 1) still selects the winner among the
+// trials that completed, reporting the cancelled trials in the error.
+func PlaceCtx(ctx context.Context, c *netlist.Circuit, opt Options) (*Result, error) {
 	if err := netlist.Validate(c); err != nil {
 		return nil, err
 	}
-	s1opt := place.Options{
-		Seed:       opt.Seed,
-		Ac:         opt.Ac,
-		R:          opt.R,
-		Rho:        opt.Rho,
-		Eta:        opt.Eta,
-		UseDr:      opt.UseDr,
-		CoreAspect: opt.CoreAspect,
-		Params:     opt.Params,
-		MaxSteps:   opt.MaxSteps,
+	if opt.CheckpointPath != "" && opt.Starts > 1 {
+		return nil, fmt.Errorf("core: checkpointing is incompatible with %d parallel starts (run a single start, or drop the checkpoint)", opt.Starts)
 	}
-	var p *place.Placement
-	var s1 place.Result
+	s1opt := place.Options{
+		Seed:            opt.Seed,
+		Ac:              opt.Ac,
+		R:               opt.R,
+		Rho:             opt.Rho,
+		Eta:             opt.Eta,
+		UseDr:           opt.UseDr,
+		CoreAspect:      opt.CoreAspect,
+		Params:          opt.Params,
+		MaxSteps:        opt.MaxSteps,
+		CheckpointPath:  opt.CheckpointPath,
+		CheckpointEvery: opt.CheckpointEvery,
+	}
+	var (
+		p   *place.Placement
+		s1  place.Result
+		err error
+	)
 	if opt.Starts > 1 {
-		p, s1, _ = place.RunStage1N(c, s1opt, opt.Starts, opt.Workers)
+		p, s1, _, err = place.RunStage1N(ctx, c, s1opt, opt.Starts, opt.Workers)
+		if p == nil {
+			return nil, fmt.Errorf("core: stage 1: %w", err)
+		}
 	} else {
-		p, s1 = place.RunStage1(c, s1opt)
+		p, s1, err = place.RunStage1Ctx(ctx, c, s1opt)
 	}
 	res := &Result{
 		Placement:  p,
@@ -168,11 +188,66 @@ func Place(c *netlist.Circuit, opt Options) (*Result, error) {
 		TEIL:       s1.TEIL,
 		Chip:       p.ExpandedBounds(),
 	}
+	if err != nil {
+		// Interrupted (or partially failed) Stage 1: hand back what we
+		// have; a checkpoint, if configured, has already been written.
+		return res, err
+	}
 	if opt.SkipStage2 {
 		return res, nil
 	}
-	s2, err := refine.Run(p, refine.Options{
-		Seed:       opt.Seed + 0x5eed,
+	return res, runStage2(ctx, res, opt, opt.Seed)
+}
+
+// PlaceFromCheckpoint resumes an interrupted Stage 1 run from a checkpoint
+// and carries it through Stage 2. Annealing parameters are replayed from
+// the checkpoint itself (including the Stage 2 seed derivation, which uses
+// the checkpointed Seed/Ac/Rho/MaxSteps), so the final layout is
+// bit-identical to the uninterrupted run; opt supplies only the
+// Stage 2 shape (Iterations, M, Mu, SkipStage2) and the checkpoint-control
+// fields for the continued run.
+func PlaceFromCheckpoint(ctx context.Context, c *netlist.Circuit, ck *place.Checkpoint, opt Options) (*Result, error) {
+	if err := netlist.Validate(c); err != nil {
+		return nil, err
+	}
+	p, s1, err := place.ResumeStage1(ctx, c, ck, place.Options{
+		CheckpointPath:  opt.CheckpointPath,
+		CheckpointEvery: opt.CheckpointEvery,
+	})
+	if err != nil && p == nil {
+		return nil, err
+	}
+	res := &Result{
+		Placement:  p,
+		Stage1:     s1,
+		Stage1TEIL: s1.TEIL,
+		Stage1Area: p.ExpandedBounds().Area(),
+		TEIL:       s1.TEIL,
+		Chip:       p.ExpandedBounds(),
+	}
+	if err != nil {
+		return res, err
+	}
+	if opt.SkipStage2 {
+		return res, nil
+	}
+	// Replay Stage 2 with the checkpointed parameters so the resumed flow
+	// matches the uninterrupted one exactly.
+	s2opt := opt
+	s2opt.Ac = ck.Opt.Ac
+	s2opt.Rho = ck.Opt.Rho
+	s2opt.MaxSteps = ck.Opt.MaxSteps
+	return res, runStage2(ctx, res, s2opt, ck.Opt.Seed)
+}
+
+// runStage2 performs the Stage 2 refinement loop on res.Placement and folds
+// the outcome into res. seed is the Stage 1 seed; the Stage 2 seed is
+// derived from it identically on every path (fresh run, -load resume,
+// checkpoint resume) so the downstream trajectory never depends on how
+// Stage 1 was executed.
+func runStage2(ctx context.Context, res *Result, opt Options, seed uint64) error {
+	s2, err := refine.RunCtx(ctx, res.Placement, refine.Options{
+		Seed:       seed + 0x5eed,
 		Iterations: opt.Iterations,
 		Ac:         opt.Ac,
 		Mu:         opt.Mu,
@@ -180,11 +255,11 @@ func Place(c *netlist.Circuit, opt Options) (*Result, error) {
 		M:          opt.M,
 		MaxSteps:   opt.MaxSteps,
 	})
-	if err != nil {
-		return res, fmt.Errorf("core: stage 2: %w", err)
-	}
 	res.Stage2 = s2
 	res.TEIL = s2.TEIL
 	res.Chip = s2.Chip
-	return res, nil
+	if err != nil {
+		return fmt.Errorf("core: stage 2: %w", err)
+	}
+	return nil
 }

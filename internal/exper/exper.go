@@ -7,6 +7,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -39,6 +40,19 @@ type Config struct {
 	// (circuit, trial) index and results are aggregated in index order, so
 	// table output is byte-identical for any worker count.
 	Workers int
+	// Ctx, when non-nil, cancels the experiment: in-flight trials stop at
+	// their next cancellation check and undispatched trials are skipped;
+	// completed trials still aggregate.
+	Ctx context.Context
+	// Retries is the per-task retry budget for fault isolation: a trial
+	// that panics or fails is rerun with the same index-derived seed this
+	// many times before being reported as failed (0 selects
+	// par.DefaultRetries; negative disables retries).
+	Retries int
+	// TaskHook, when non-nil, runs at the start of every task attempt with
+	// a descriptive task id ("table3 i1 trial 0"). Tests inject faults
+	// here: a hook panic is confined to its task like any other failure.
+	TaskHook func(id string)
 }
 
 func (c *Config) fill() {
@@ -54,6 +68,46 @@ func (c *Config) fill() {
 	if len(c.Circuits) == 0 {
 		c.Circuits = gen.PresetNames()
 	}
+}
+
+// ctx returns the experiment context, defaulting to Background.
+func (c *Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// retries resolves the retry budget (see Config.Retries).
+func (c *Config) retries() int {
+	switch {
+	case c.Retries < 0:
+		return 0
+	case c.Retries == 0:
+		return par.DefaultRetries
+	default:
+		return c.Retries
+	}
+}
+
+// hook invokes the TaskHook, if any, with the task id.
+func (c *Config) hook(id string) {
+	if c.TaskHook != nil {
+		c.TaskHook(id)
+	}
+}
+
+// failedSet maps task index -> error for quick has-this-task-failed checks.
+func failedSet(tes []par.TaskError) map[int]error {
+	if len(tes) == 0 {
+		return nil
+	}
+	m := make(map[int]error, len(tes))
+	for i := range tes {
+		te := tes[i]
+		m[te.Index] = &te
+	}
+	return m
 }
 
 // Quick returns the fast configuration used by tests and benches.
@@ -80,6 +134,12 @@ type Table3Row struct {
 // Table3 runs the estimator-accuracy experiment. The (circuit, trial) grid
 // fans out over the worker pool; every trial generates its own circuit (the
 // synthesis is seed-deterministic) so tasks share no mutable state.
+//
+// Fault isolation: a panicking or failing trial is retried, then excluded
+// from its circuit's average (the row reports how many trials contributed);
+// a circuit with no surviving trial is dropped. The returned rows are valid
+// whenever at least one trial succeeded; the error (built with par.Join)
+// reports every per-task failure.
 func Table3(cfg Config) ([]Table3Row, error) {
 	cfg.fill()
 	type trialOut struct {
@@ -87,13 +147,14 @@ func Table3(cfg Config) ([]Table3Row, error) {
 		teilRed, areaRed  float64
 	}
 	n := len(cfg.Circuits) * cfg.Trials
-	outs, err := par.MapErr(cfg.Workers, n, func(k int) (trialOut, error) {
+	outs, tes := par.MapRetry(cfg.ctx(), cfg.Workers, n, cfg.retries(), func(k int) (trialOut, error) {
 		name, t := cfg.Circuits[k/cfg.Trials], k%cfg.Trials
+		cfg.hook(fmt.Sprintf("table3 %s trial %d", name, t))
 		c, err := gen.Preset(name, cfg.Seed+17)
 		if err != nil {
 			return trialOut{}, err
 		}
-		res, err := core.Place(c, core.Options{
+		res, err := core.PlaceCtx(cfg.ctx(), c, core.Options{
 			Seed: cfg.Seed + uint64(t)*1009,
 			Ac:   cfg.Ac,
 			M:    cfg.M,
@@ -106,23 +167,29 @@ func Table3(cfg Config) ([]Table3Row, error) {
 			teilRed: -res.TEILChangePct(), areaRed: -res.AreaChangePct(),
 		}, nil
 	})
-	if err != nil {
-		return nil, err
-	}
+	failed := failedSet(tes)
 	rows := make([]Table3Row, 0, len(cfg.Circuits))
 	for ci, name := range cfg.Circuits {
-		row := Table3Row{Circuit: name, Trials: cfg.Trials}
+		row := Table3Row{Circuit: name}
 		for t := 0; t < cfg.Trials; t++ {
-			o := outs[ci*cfg.Trials+t]
+			k := ci*cfg.Trials + t
+			if failed[k] != nil {
+				continue
+			}
+			o := outs[k]
 			row.Cells, row.Nets, row.Pins = o.cells, o.nets, o.pins
 			row.TEILRedPct += o.teilRed
 			row.AreaRedPct += o.areaRed
+			row.Trials++
 		}
-		row.TEILRedPct /= float64(cfg.Trials)
-		row.AreaRedPct /= float64(cfg.Trials)
+		if row.Trials == 0 {
+			continue
+		}
+		row.TEILRedPct /= float64(row.Trials)
+		row.AreaRedPct /= float64(row.Trials)
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, par.Join(tes)
 }
 
 // WriteTable3 renders rows in the paper's Table 3 format.
@@ -178,12 +245,17 @@ type Table4Row struct {
 // receive the same Stage 2 legalization (channel definition, routing, and
 // refinement spacing) so chip areas include identical interconnect
 // allowances.
+//
+// Fault isolation: a failing circuit is retried, then omitted from the
+// returned rows while its siblings complete; the error aggregates the
+// per-circuit failures (see Table3).
 func Table4(cfg Config) ([]Table4Row, error) {
 	cfg.fill()
 	// One task per circuit (each runs TimberWolfMC plus its baseline);
 	// rows land in preset order regardless of completion order.
-	return par.MapErr(cfg.Workers, len(cfg.Circuits), func(ci int) (Table4Row, error) {
+	rows, tes := par.MapRetry(cfg.ctx(), cfg.Workers, len(cfg.Circuits), cfg.retries(), func(ci int) (Table4Row, error) {
 		name := cfg.Circuits[ci]
+		cfg.hook("table4 " + name)
 		c, err := gen.Preset(name, cfg.Seed+17)
 		if err != nil {
 			return Table4Row{}, err
@@ -194,7 +266,7 @@ func Table4(cfg Config) ([]Table4Row, error) {
 			Baseline: BaselineFor(name),
 		}
 		// TimberWolfMC.
-		res, err := core.Place(c, core.Options{Seed: cfg.Seed + 31, Ac: cfg.Ac, M: cfg.M})
+		res, err := core.PlaceCtx(cfg.ctx(), c, core.Options{Seed: cfg.Seed + 31, Ac: cfg.Ac, M: cfg.M})
 		if err != nil {
 			return Table4Row{}, fmt.Errorf("table4 %s: %w", name, err)
 		}
@@ -216,6 +288,14 @@ func Table4(cfg Config) ([]Table4Row, error) {
 		}
 		return row, nil
 	})
+	failed := failedSet(tes)
+	out := rows[:0]
+	for ci := range rows {
+		if failed[ci] == nil {
+			out = append(out, rows[ci])
+		}
+	}
+	return out, par.Join(tes)
 }
 
 // EvaluateBaseline places c with the baseline method and applies the same
@@ -224,7 +304,7 @@ func EvaluateBaseline(pl baseline.Placer, cc *netlist.Circuit, cfg Config) (teil
 	cfg.fill()
 	coreRect := estimate.CoreSize(cc, estimate.DefaultParams(), 1)
 	p := pl.Place(cc, coreRect, cfg.Seed+77)
-	s2, err := refine.Run(p, refine.Options{
+	s2, err := refine.RunCtx(cfg.ctx(), p, refine.Options{
 		Seed:       cfg.Seed + 99,
 		Iterations: 2,
 		Ac:         cfg.Ac,

@@ -31,26 +31,39 @@ type SweepPoint struct {
 // fan out in parallel (the circuits under test are shared read-only); the
 // averages accumulate serially in grid order, so results are bytewise
 // identical for every worker count.
-func runGrid(cfg Config, nparams int, fn func(pi, trial int) (value, extra float64, err error)) (vals, extras []float64, err error) {
+//
+// A failing trial is retried, then excluded from its parameter's average
+// (the divisor is the surviving-trial count); a parameter with no surviving
+// trial keeps a zero value. The values are usable whenever some trials
+// succeeded; the error aggregates the per-task failures.
+func runGrid(cfg Config, name string, nparams int, fn func(pi, trial int) (value, extra float64, err error)) (vals, extras []float64, err error) {
 	type out struct{ value, extra float64 }
-	outs, err := par.MapErr(cfg.Workers, nparams*cfg.Trials, func(k int) (out, error) {
-		v, e, err := fn(k/cfg.Trials, k%cfg.Trials)
+	outs, tes := par.MapRetry(cfg.ctx(), cfg.Workers, nparams*cfg.Trials, cfg.retries(), func(k int) (out, error) {
+		pi, t := k/cfg.Trials, k%cfg.Trials
+		cfg.hook(fmt.Sprintf("%s param %d trial %d", name, pi, t))
+		v, e, err := fn(pi, t)
 		return out{v, e}, err
 	})
-	if err != nil {
-		return nil, nil, err
-	}
+	failed := failedSet(tes)
 	vals = make([]float64, nparams)
 	extras = make([]float64, nparams)
 	for pi := 0; pi < nparams; pi++ {
+		ok := 0
 		for t := 0; t < cfg.Trials; t++ {
-			vals[pi] += outs[pi*cfg.Trials+t].value
-			extras[pi] += outs[pi*cfg.Trials+t].extra
+			k := pi*cfg.Trials + t
+			if failed[k] != nil {
+				continue
+			}
+			vals[pi] += outs[k].value
+			extras[pi] += outs[k].extra
+			ok++
 		}
-		vals[pi] /= float64(cfg.Trials)
-		extras[pi] /= float64(cfg.Trials)
+		if ok > 0 {
+			vals[pi] /= float64(ok)
+			extras[pi] /= float64(ok)
+		}
 	}
-	return vals, extras, nil
+	return vals, extras, par.Join(tes)
 }
 
 func normalize(points []SweepPoint) {
@@ -99,23 +112,20 @@ func Figure3(cfg Config, ratios []float64) ([]SweepPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	vals, _, err := runGrid(cfg, len(ratios), func(pi, t int) (float64, float64, error) {
-		_, res := place.RunStage1(c, place.Options{
+	vals, _, gerr := runGrid(cfg, "figure3", len(ratios), func(pi, t int) (float64, float64, error) {
+		_, res, err := place.RunStage1Ctx(cfg.ctx(), c, place.Options{
 			Seed: cfg.Seed + uint64(t)*733,
 			Ac:   cfg.Ac,
 			R:    ratios[pi],
 		})
-		return res.TEIL, 0, nil
+		return res.TEIL, 0, err
 	})
-	if err != nil {
-		return nil, err
-	}
 	points := make([]SweepPoint, len(ratios))
 	for pi, r := range ratios {
 		points[pi] = SweepPoint{Param: r, Value: vals[pi]}
 	}
 	normalize(points)
-	return points, nil
+	return points, gerr
 }
 
 // fig5Circuit builds the 30–60-cell circuit class of Figures 5–6.
@@ -138,22 +148,19 @@ func Figure5(cfg Config, acs []int) ([]SweepPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	vals, _, err := runGrid(cfg, len(acs), func(pi, t int) (float64, float64, error) {
-		_, res := place.RunStage1(c, place.Options{
+	vals, _, gerr := runGrid(cfg, "figure5", len(acs), func(pi, t int) (float64, float64, error) {
+		_, res, err := place.RunStage1Ctx(cfg.ctx(), c, place.Options{
 			Seed: cfg.Seed + uint64(t)*733,
 			Ac:   acs[pi],
 		})
-		return res.TEIL, 0, nil
+		return res.TEIL, 0, err
 	})
-	if err != nil {
-		return nil, err
-	}
 	points := make([]SweepPoint, len(acs))
 	for pi, ac := range acs {
 		points[pi] = SweepPoint{Param: float64(ac), Value: vals[pi]}
 	}
 	normalize(points)
-	return points, nil
+	return points, gerr
 }
 
 // Figure6 sweeps A_c and reports the relative final chip area after global
@@ -167,8 +174,8 @@ func Figure6(cfg Config, acs []int) ([]SweepPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	vals, _, err := runGrid(cfg, len(acs), func(pi, t int) (float64, float64, error) {
-		res, err := core.Place(c, core.Options{
+	vals, _, gerr := runGrid(cfg, "figure6", len(acs), func(pi, t int) (float64, float64, error) {
+		res, err := core.PlaceCtx(cfg.ctx(), c, core.Options{
 			Seed: cfg.Seed + uint64(t)*733,
 			Ac:   acs[pi],
 			M:    cfg.M,
@@ -178,15 +185,12 @@ func Figure6(cfg Config, acs []int) ([]SweepPoint, error) {
 		}
 		return float64(res.ChipArea()), 0, nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	points := make([]SweepPoint, len(acs))
 	for pi, ac := range acs {
 		points[pi] = SweepPoint{Param: float64(ac), Value: vals[pi]}
 	}
 	normalize(points)
-	return points, nil
+	return points, gerr
 }
 
 // AblationEta sweeps the overlap-normalization target η (Eqn 9). The paper
@@ -200,23 +204,20 @@ func AblationEta(cfg Config, etas []float64) ([]SweepPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	vals, extras, err := runGrid(cfg, len(etas), func(pi, t int) (float64, float64, error) {
-		_, res := place.RunStage1(c, place.Options{
+	vals, extras, gerr := runGrid(cfg, "eta", len(etas), func(pi, t int) (float64, float64, error) {
+		_, res, err := place.RunStage1Ctx(cfg.ctx(), c, place.Options{
 			Seed: cfg.Seed + uint64(t)*733,
 			Ac:   cfg.Ac,
 			Eta:  etas[pi],
 		})
-		return res.TEIL, float64(res.Overlap), nil
+		return res.TEIL, float64(res.Overlap), err
 	})
-	if err != nil {
-		return nil, err
-	}
 	points := make([]SweepPoint, len(etas))
 	for pi, eta := range etas {
 		points[pi] = SweepPoint{Param: eta, Value: vals[pi], Extra: extras[pi]}
 	}
 	normalize(points)
-	return points, nil
+	return points, gerr
 }
 
 // AblationRho sweeps the range-limiter shrink rate ρ (§3.2.2): final TEIL is
@@ -231,23 +232,20 @@ func AblationRho(cfg Config, rhos []float64) ([]SweepPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	vals, extras, err := runGrid(cfg, len(rhos), func(pi, t int) (float64, float64, error) {
-		_, res := place.RunStage1(c, place.Options{
+	vals, extras, gerr := runGrid(cfg, "rho", len(rhos), func(pi, t int) (float64, float64, error) {
+		_, res, err := place.RunStage1Ctx(cfg.ctx(), c, place.Options{
 			Seed: cfg.Seed + uint64(t)*733,
 			Ac:   cfg.Ac,
 			Rho:  rhos[pi],
 		})
-		return res.TEIL, float64(res.Overlap), nil
+		return res.TEIL, float64(res.Overlap), err
 	})
-	if err != nil {
-		return nil, err
-	}
 	points := make([]SweepPoint, len(rhos))
 	for pi, rho := range rhos {
 		points[pi] = SweepPoint{Param: rho, Value: vals[pi], Extra: extras[pi]}
 	}
 	normalize(points)
-	return points, nil
+	return points, gerr
 }
 
 // DsDrResult compares the displacement-point selectors (§3.2.3): the paper
@@ -265,19 +263,16 @@ func AblationDsDr(cfg Config) (DsDrResult, error) {
 		return DsDrResult{}, err
 	}
 	// Param 0 is D_s, param 1 is D_r; trials of both fan out together.
-	vals, extras, err := runGrid(cfg, 2, func(pi, t int) (float64, float64, error) {
-		_, res := place.RunStage1(c, place.Options{
+	vals, extras, gerr := runGrid(cfg, "dsdr", 2, func(pi, t int) (float64, float64, error) {
+		_, res, err := place.RunStage1Ctx(cfg.ctx(), c, place.Options{
 			Seed: cfg.Seed + uint64(t)*733, Ac: cfg.Ac, UseDr: pi == 1,
 		})
-		return res.TEIL, float64(res.Overlap), nil
+		return res.TEIL, float64(res.Overlap), err
 	})
-	if err != nil {
-		return DsDrResult{}, err
-	}
 	return DsDrResult{
 		TEILDs: vals[0], OverlapDs: extras[0],
 		TEILDr: vals[1], OverlapDr: extras[1],
-	}, nil
+	}, gerr
 }
 
 // RefineRow traces Stage 2 convergence for one circuit (§4.3: three
@@ -297,7 +292,7 @@ func RefineConvergence(cfg Config, circuit string) ([]RefineRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Place(c, core.Options{Seed: cfg.Seed, Ac: cfg.Ac, M: cfg.M})
+	res, err := core.PlaceCtx(cfg.ctx(), c, core.Options{Seed: cfg.Seed, Ac: cfg.Ac, M: cfg.M})
 	if err != nil {
 		return nil, err
 	}
@@ -332,7 +327,7 @@ func Eqn22(cfg Config, circuit string) (Eqn22Result, error) {
 	if err != nil {
 		return Eqn22Result{}, err
 	}
-	res, err := core.Place(c, core.Options{Seed: cfg.Seed, Ac: cfg.Ac, M: cfg.M})
+	res, err := core.PlaceCtx(cfg.ctx(), c, core.Options{Seed: cfg.Seed, Ac: cfg.Ac, M: cfg.M})
 	if err != nil {
 		return Eqn22Result{}, err
 	}

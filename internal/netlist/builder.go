@@ -2,6 +2,7 @@ package netlist
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/geom"
 )
@@ -64,11 +65,25 @@ func (b *Builder) MacroInstance(name string, tiles ...geom.Rect) {
 	c.Instances = append(c.Instances, Instance{Name: name, Tiles: ts})
 }
 
-// CustomInstance adds an area/aspect instance to the current cell.
+// CustomInstance adds an area/aspect instance to the current cell. Aspect
+// bounds (or choices) must be positive and finite: a NaN or infinite ratio
+// would silently poison every downstream shape computation.
 func (b *Builder) CustomInstance(name string, area int64, aspectMin, aspectMax float64, choices ...float64) {
 	if area <= 0 {
 		b.errf("cell %s instance %s: non-positive area %d", b.cell().Name, name, area)
 		return
+	}
+	if len(choices) == 0 {
+		if !(aspectMin > 0) || !(aspectMax >= aspectMin) || math.IsInf(aspectMax, 1) {
+			b.errf("cell %s instance %s: bad aspect range [%v, %v]", b.cell().Name, name, aspectMin, aspectMax)
+			return
+		}
+	}
+	for _, r := range choices {
+		if !(r > 0) || math.IsInf(r, 1) {
+			b.errf("cell %s instance %s: bad aspect choice %v", b.cell().Name, name, r)
+			return
+		}
 	}
 	c := b.cell()
 	c.Instances = append(c.Instances, Instance{
@@ -142,7 +157,13 @@ func (b *Builder) addPin(p Pin) int {
 }
 
 // SitesPerEdge overrides the pin-site count for the current (custom) cell.
-func (b *Builder) SitesPerEdge(n int) { b.cell().SitesPerEdge = n }
+func (b *Builder) SitesPerEdge(n int) {
+	if n <= 0 {
+		b.errf("cell %s: site count %d must be positive", b.cell().Name, n)
+		return
+	}
+	b.cell().SitesPerEdge = n
+}
 
 // FixAt pre-places the current cell: its bounding-box center is pinned at
 // pos with the given orientation and the annealer never moves it.
@@ -154,11 +175,13 @@ func (b *Builder) FixAt(pos geom.Point, o geom.Orient) {
 }
 
 // Net starts a net and returns its index. Connections are added with Conn.
+// Non-positive and non-finite weights are normalized to 1 (NaN compares
+// false against everything, so the explicit guard matters).
 func (b *Builder) Net(name string, hweight, vweight float64) int {
-	if hweight <= 0 {
+	if !(hweight > 0) || math.IsInf(hweight, 1) {
 		hweight = 1
 	}
-	if vweight <= 0 {
+	if !(vweight > 0) || math.IsInf(vweight, 1) {
 		vweight = 1
 	}
 	b.c.Nets = append(b.c.Nets, Net{Name: name, HWeight: hweight, VWeight: vweight})

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -209,8 +210,8 @@ func (p *parser) handle(f []string) error {
 		hw, vw := 1.0, 1.0
 		for i := 2; i+1 < len(f); i += 2 {
 			v, err := strconv.ParseFloat(f[i+1], 64)
-			if err != nil {
-				return fmt.Errorf("bad weight %q", f[i+1])
+			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				return fmt.Errorf("bad weight %q (want a positive finite number)", f[i+1])
 			}
 			switch f[i] {
 			case "hw":

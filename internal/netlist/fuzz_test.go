@@ -1,0 +1,112 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzSeedText exercises every construct of the text format: tiled macro
+// instances, custom area/aspect and choices instances, pin groups, edge
+// pins, fixed cells, and weighted nets.
+const fuzzSeedText = `circuit fuzz
+tracksep 2
+
+macro ram
+  instance big
+    tile 0 0 10 8
+    tile 10 0 14 4
+  pin a fixed -5 -4
+  pin b fixed 5 4
+end
+
+custom alu
+  instance flexible area 64 aspect 0.5 2
+  instance alt area 64 choices 0.5 1 2
+  sites 6
+  group bus edges LR seq
+  pin c edge T
+  pin d group bus
+  pin e group bus
+end
+
+net n1 hw 2 vw 0.5
+  conn ram.a
+  conn alu.c
+end
+
+net n2
+  conn ram.b
+  conn alu.d alu.e
+end
+`
+
+const fuzzSeedYAL = `MODULE m1;
+TYPE GENERAL;
+DIMENSIONS 0 0 0 10 6 10 6 4 10 4 10 0;
+IOLIST;
+p1 B 0 5 1 METAL1;
+p2 B 10 2 1 METAL1;
+ENDIOLIST;
+ENDMODULE;
+MODULE bound;
+TYPE PARENT;
+IOLIST;
+in1 B;
+ENDIOLIST;
+NETWORK;
+u1 m1 net1 net2;
+u2 m1 net2 in1;
+u3 m1 net1 in1;
+ENDNETWORK;
+ENDMODULE;
+`
+
+// FuzzParse feeds arbitrary text to the interchange parser. Any input must
+// produce either a descriptive error or a circuit that passes Validate and
+// survives a Write/Parse round trip — never a panic.
+func FuzzParse(f *testing.F) {
+	f.Add(fuzzSeedText)
+	f.Add("circuit x\n")
+	f.Add("circuit x\nmacro m\ninstance i\ntile 0 0 1 1\npin p fixed 0 0\nend\n")
+	f.Add("circuit x\ncustom c\ninstance i area 9 aspect 1 1\nend\n")
+	f.Add("net before circuit\n")
+	f.Add("circuit x\nnet n hw nan\nend\n")
+	f.Add("circuit x # comment\ntracksep 99999999999999999999\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := Parse(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if verr := Validate(c); verr != nil {
+			t.Fatalf("Parse accepted a circuit that fails Validate: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := Write(&buf, c); werr != nil {
+			t.Fatalf("Write failed on a parsed circuit: %v", werr)
+		}
+		if _, rerr := Parse(bytes.NewReader(buf.Bytes())); rerr != nil {
+			t.Fatalf("round trip failed: %v\n%s", rerr, buf.String())
+		}
+	})
+}
+
+// FuzzParseYAL feeds arbitrary text to the YAL benchmark reader. Accepted
+// inputs must yield circuits that pass Validate; everything else must be a
+// descriptive error, never a panic.
+func FuzzParseYAL(f *testing.F) {
+	f.Add(fuzzSeedYAL)
+	f.Add("MODULE a; TYPE PARENT; ENDMODULE;")
+	f.Add("MODULE a; DIMENSIONS 0 0 1e999 2; ENDMODULE;")
+	f.Add("MODULE a; IOLIST; x B 1 2; ENDIOLIST; ENDMODULE;")
+	f.Add("/* comment */ MODULE a; $ trailing\nENDMODULE;")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseYAL(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if verr := Validate(c); verr != nil {
+			t.Fatalf("ParseYAL accepted a circuit that fails Validate: %v", verr)
+		}
+	})
+}

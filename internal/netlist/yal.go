@@ -221,14 +221,27 @@ func (p *yalParser) parseNetwork(m *yalModule) error {
 	}
 }
 
+// maxYalCoord bounds accepted coordinates: large enough for any benchmark,
+// small enough that areas and spans stay far from integer overflow.
+const maxYalCoord = 1 << 30
+
 func parseYalNum(s string) (int, error) {
 	// Some YAL files carry decimal coordinates; round them to the grid.
 	if v, err := strconv.Atoi(s); err == nil {
+		if v < -maxYalCoord || v > maxYalCoord {
+			return 0, fmt.Errorf("coordinate %d out of range", v)
+		}
 		return v, nil
 	}
 	f, err := strconv.ParseFloat(s, 64)
 	if err != nil {
 		return 0, err
+	}
+	// The range check also rejects NaN (all comparisons false) and ±Inf
+	// before the float-to-int conversion, whose behavior is unspecified for
+	// out-of-range values.
+	if !(f >= -maxYalCoord && f <= maxYalCoord) {
+		return 0, fmt.Errorf("coordinate %q out of range", s)
 	}
 	if f >= 0 {
 		return int(f + 0.5), nil

@@ -1,0 +1,160 @@
+package place
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// makeCheckpoint runs a short anneal with checkpointing enabled and returns
+// the written checkpoint plus the circuit it belongs to.
+func makeCheckpoint(t *testing.T) (*netlist.Circuit, *Checkpoint, string) {
+	t.Helper()
+	c, err := gen.Preset("i3", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	opt := Options{Seed: 42, Ac: 8, MaxSteps: 6, CheckpointPath: path, CheckpointEvery: 2}
+	if _, _, err := RunStage1Ctx(context.Background(), c, opt); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ck, path
+}
+
+func TestCheckpointEncodeDecodeRoundTrip(t *testing.T) {
+	c, ck, _ := makeCheckpoint(t)
+	var buf bytes.Buffer
+	if err := EncodeCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ck) {
+		t.Fatal("decoded checkpoint differs from encoded one")
+	}
+	if err := got.Validate(c); err != nil {
+		t.Fatalf("round-tripped checkpoint fails validation: %v", err)
+	}
+}
+
+func TestCheckpointDecodeRejectsCorruption(t *testing.T) {
+	_, ck, _ := makeCheckpoint(t)
+	var buf bytes.Buffer
+	if err := EncodeCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	headerEnd := bytes.IndexByte(good, '\n') + 1
+
+	corrupt := func(name string, mutate func([]byte) []byte, wantSub string) {
+		data := mutate(append([]byte(nil), good...))
+		_, err := DecodeCheckpoint(bytes.NewReader(data))
+		if err == nil {
+			t.Fatalf("%s: decode accepted corrupted input", name)
+		}
+		if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("%s: error %q lacks %q", name, err, wantSub)
+		}
+	}
+
+	corrupt("bit flip in payload", func(b []byte) []byte {
+		b[headerEnd+len(b[headerEnd:])/2] ^= 0x40
+		return b
+	}, "checksum")
+	corrupt("truncated payload", func(b []byte) []byte {
+		return b[:len(b)-10]
+	}, "truncated")
+	corrupt("empty input", func(b []byte) []byte { return nil }, "header")
+	corrupt("garbage header", func(b []byte) []byte {
+		return append([]byte("not a header line at all\n"), b[headerEnd:]...)
+	}, "")
+	corrupt("wrong magic", func(b []byte) []byte {
+		return append([]byte("other-format 1 00000000 5\nhello"), nil...)
+	}, "magic")
+	corrupt("future version", func(b []byte) []byte {
+		return bytes.Replace(b, []byte("twmc-checkpoint 1 "), []byte("twmc-checkpoint 999 "), 1)
+	}, "version")
+	corrupt("absurd payload size", func(b []byte) []byte {
+		return []byte("twmc-checkpoint 1 00000000 99999999999\n")
+	}, "size")
+}
+
+func TestCheckpointValidateRejectsMismatches(t *testing.T) {
+	c, ck, _ := makeCheckpoint(t)
+
+	check := func(name string, mutate func(ck *Checkpoint), wantSub string) {
+		bad := *ck
+		bad.States = cloneStates(ck.States)
+		bad.Best = cloneStates(ck.Best)
+		mutate(&bad)
+		err := bad.Validate(c)
+		if err == nil {
+			t.Fatalf("%s: Validate accepted a bad checkpoint", name)
+		}
+		if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("%s: error %q lacks %q", name, err, wantSub)
+		}
+	}
+
+	check("wrong version", func(ck *Checkpoint) { ck.Version = 99 }, "version")
+	check("wrong circuit", func(ck *Checkpoint) { ck.Circuit = "other" }, "circuit")
+	check("state count", func(ck *Checkpoint) { ck.States = ck.States[:1] }, "cell states")
+	check("best count", func(ck *Checkpoint) { ck.Best = ck.Best[:1] }, "best placement")
+	check("negative site", func(ck *Checkpoint) {
+		for i := range ck.States {
+			if len(ck.States[i].Units) > 0 {
+				ck.States[i].Units[0].Site = -3
+				return
+			}
+		}
+		t.Skip("no cell with uncommitted units in this preset")
+	}, "bad assignment")
+	check("bad orientation", func(ck *Checkpoint) { ck.States[0].Orient = 17 }, "orientation")
+	check("bad instance", func(ck *Checkpoint) { ck.States[0].Instance = 99 }, "instance")
+	check("NaN scale factor", func(ck *Checkpoint) { ck.ST = math.NaN() }, "scale factor")
+	check("infinite cost", func(ck *Checkpoint) { ck.Cost.C1 = math.Inf(1) }, "non-finite")
+	check("bad inner index", func(ck *Checkpoint) { ck.InnerDone = -2 }, "inner-iteration")
+	check("empty core", func(ck *Checkpoint) { ck.Core = geom.Rect{} }, "core")
+}
+
+func TestSaveCheckpointAtomicNoTempLeftovers(t *testing.T) {
+	_, ck, path := makeCheckpoint(t)
+	// Overwrite the existing checkpoint in place a few times.
+	for i := 0; i < 3; i++ {
+		if err := SaveCheckpoint(path, ck); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temporary file %s left behind", e.Name())
+		}
+	}
+	if _, err := LoadCheckpoint(path); err != nil {
+		t.Fatalf("checkpoint unreadable after repeated saves: %v", err)
+	}
+	// Saving into a nonexistent directory must fail cleanly, not panic.
+	if err := SaveCheckpoint(filepath.Join(path, "no", "such", "dir", "x.ckpt"), ck); err == nil {
+		t.Fatal("save into a nonexistent directory succeeded")
+	}
+}

@@ -1,6 +1,8 @@
 package place
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"repro/internal/anneal"
@@ -10,6 +12,17 @@ import (
 	"repro/internal/par"
 	"repro/internal/rng"
 )
+
+// DefaultCheckpointEvery is the outer-step interval between periodic
+// checkpoints when Options.CheckpointPath is set but CheckpointEvery is not.
+const DefaultCheckpointEvery = 5
+
+// ctxCheckStride bounds how many inner-loop move attempts run between
+// cancellation checks: small enough for prompt interruption, large enough
+// to keep ctx.Err() off the per-move hot path. Cancellation observed at any
+// stride point is resumable bit-identically because every mutable datum
+// (placement, RNG streams, controller counters) is checkpointed.
+const ctxCheckStride = 64
 
 // Options configures a Stage 1 run.
 type Options struct {
@@ -37,6 +50,13 @@ type Options struct {
 	MaxSteps int
 	// Core, if non-empty, overrides the computed target core region.
 	Core geom.Rect
+	// CheckpointPath, if non-empty, enables resumable checkpoints: a
+	// snapshot is written atomically to this path every CheckpointEvery
+	// outer steps and on context cancellation (see DESIGN.md §8).
+	CheckpointPath string
+	// CheckpointEvery is the outer-step interval between periodic
+	// checkpoints; defaults to DefaultCheckpointEvery.
+	CheckpointEvery int
 }
 
 func (o *Options) fill() {
@@ -57,6 +77,9 @@ func (o *Options) fill() {
 	}
 	if o.Params == (estimate.Params{}) {
 		o.Params = estimate.DefaultParams()
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = DefaultCheckpointEvery
 	}
 }
 
@@ -157,11 +180,56 @@ type stage1 struct {
 	src     *rng.Source
 	opt     Options
 	movable []int
+	// st is the temperature scale factor S_T computed at run start; it is
+	// carried in checkpoints because it depends on the initial random
+	// placement and cannot be recomputed from a resumed state.
+	st float64
+
+	attempts int64
+	history  []StepStat
+	// best-so-far placement by full cost, sampled at step boundaries; the
+	// usable result when a run is interrupted.
+	best      []CellState
+	bestCost  float64
+	bestValid bool
+	// resumeInner >= 0 resumes mid-step with that many inner iterations of
+	// the current temperature step already executed; -1 starts (or resumes)
+	// at an outer-step boundary.
+	resumeInner int
+}
+
+// stage1Config builds the annealing controller configuration; RunStage1Ctx
+// and ResumeStage1 share it so a resumed controller is parameterized
+// identically to the original.
+func stage1Config(opt Options, st float64, core geom.Rect, numCells int) anneal.Config {
+	return anneal.Config{
+		ST:              st,
+		Schedule:        anneal.Stage1Schedule(),
+		Ac:              opt.Ac,
+		NumCells:        numCells,
+		WxInf:           2 * float64(core.W()),
+		WyInf:           2 * float64(core.H()),
+		Rho:             opt.Rho,
+		StopOnMinWindow: true,
+		MaxSteps:        opt.MaxSteps,
+	}
 }
 
 // RunStage1 executes the complete Stage 1 algorithm on the circuit and
-// returns the final placement and run metrics.
+// returns the final placement and run metrics. Use RunStage1Ctx to observe
+// cancellation or checkpoint-write errors.
 func RunStage1(c *netlist.Circuit, opt Options) (*Placement, Result) {
+	p, res, _ := RunStage1Ctx(context.Background(), c, opt)
+	return p, res
+}
+
+// RunStage1Ctx is RunStage1 with cancellation and checkpointing. On context
+// cancellation the run stops at the next stride boundary, writes a
+// resumable checkpoint (when Options.CheckpointPath is set), applies the
+// best-so-far placement to the returned Placement, and returns an error
+// wrapping ctx.Err(). Feed the checkpoint to ResumeStage1 to continue the
+// run: the resumed trajectory is bit-identical to the uninterrupted one.
+func RunStage1Ctx(ctx context.Context, c *netlist.Circuit, opt Options) (*Placement, Result, error) {
 	opt.fill()
 	core := opt.Core
 	if core.Empty() {
@@ -192,21 +260,87 @@ func RunStage1(c *netlist.Circuit, opt Options) (*Placement, Result) {
 	}
 	st := anneal.ScaleFactor(float64(expArea) / float64(max(1, len(c.Cells))))
 
-	ctl := anneal.NewController(anneal.Config{
-		ST:              st,
-		Schedule:        anneal.Stage1Schedule(),
-		Ac:              opt.Ac,
-		NumCells:        len(c.Cells),
-		WxInf:           2 * float64(core.W()),
-		WyInf:           2 * float64(core.H()),
-		Rho:             opt.Rho,
-		StopOnMinWindow: true,
-		MaxSteps:        opt.MaxSteps,
-	}, src.Split())
+	ctl := anneal.NewController(stage1Config(opt, st, core, len(c.Cells)), src.Split())
 
-	s := &stage1{p: p, ctl: ctl, src: src, opt: opt, movable: p.MovableCells()}
-	res := s.run()
-	return p, res
+	s := &stage1{
+		p: p, ctl: ctl, src: src, opt: opt, st: st,
+		movable: p.MovableCells(), resumeInner: -1,
+	}
+	res, err := s.run(ctx)
+	return p, res, err
+}
+
+// ResumeStage1 continues a checkpointed Stage 1 run on the same circuit.
+// All annealing parameters come from the checkpoint, so the resumed run
+// replays the original configuration exactly; opt supplies only the
+// checkpoint-control fields (CheckpointPath, CheckpointEvery) for the
+// continued run. The final placement, cost, and Result are bit-identical to
+// the run the checkpoint was taken from had it never been interrupted —
+// across any number of interrupt/resume cycles.
+func ResumeStage1(ctx context.Context, c *netlist.Circuit, ck *Checkpoint, opt Options) (*Placement, Result, error) {
+	if ck == nil {
+		return nil, Result{}, fmt.Errorf("place: resume: nil checkpoint")
+	}
+	if err := ck.Validate(c); err != nil {
+		return nil, Result{}, err
+	}
+	o := ck.Opt.options()
+	o.CheckpointPath = opt.CheckpointPath
+	o.CheckpointEvery = opt.CheckpointEvery
+	o.fill()
+
+	core := ck.Core
+	est := estimate.New(c, core, o.Params)
+	p := New(c, core, est)
+	if err := unitCountsMatch(p, ck.States); err != nil {
+		return nil, Result{}, err
+	}
+	if ck.BestValid {
+		if err := unitCountsMatch(p, ck.Best); err != nil {
+			return nil, Result{}, err
+		}
+	}
+	for i := range ck.States {
+		p.SetState(i, cloneState(ck.States[i]))
+	}
+	// Restore the exact cost accumulators: the incremental float sums
+	// depend on the whole move history, and the per-move deltas that drive
+	// Metropolis acceptance are computed from them.
+	p.c1, p.teil, p.c2, p.c3 = ck.Cost.C1, ck.Cost.TEIL, ck.Cost.C2, ck.Cost.C3
+	p.P2 = ck.P2
+
+	src := rng.New(0)
+	src.Restore(ck.Src)
+	ctl := anneal.NewController(stage1Config(o, ck.ST, core, len(c.Cells)), rng.New(0))
+	ctl.Restore(ck.Ctl)
+
+	s := &stage1{
+		p: p, ctl: ctl, src: src, opt: o, st: ck.ST,
+		movable:     p.MovableCells(),
+		attempts:    ck.Attempts,
+		history:     append([]StepStat(nil), ck.History...),
+		bestCost:    ck.BestCost,
+		bestValid:   ck.BestValid,
+		resumeInner: ck.InnerDone,
+	}
+	if ck.BestValid {
+		s.best = cloneStates(ck.Best)
+	}
+	res, err := s.run(ctx)
+	return p, res, err
+}
+
+func cloneState(st CellState) CellState {
+	st.Units = append([]UnitAssign(nil), st.Units...)
+	return st
+}
+
+func cloneStates(states []CellState) []CellState {
+	out := make([]CellState, len(states))
+	for i := range states {
+		out[i] = cloneState(states[i])
+	}
+	return out
 }
 
 // StartResult is one trial of a multi-start Stage 1 run.
@@ -218,6 +352,9 @@ type StartResult struct {
 	// winner-selection key.
 	Cost   float64
 	Result Result
+	// Err is non-nil when the trial failed after retries or was cancelled;
+	// failed trials do not participate in winner selection.
+	Err error
 }
 
 // RunStage1N runs nstarts independent Stage 1 anneals of the circuit on a
@@ -229,9 +366,16 @@ type StartResult struct {
 // function of the trial results, so the outcome is independent of goroutine
 // scheduling and worker count. workers <= 0 selects GOMAXPROCS.
 //
+// Fault isolation: a panicking or failing trial is retried once with its
+// original index-derived seed, then reported in its StartResult.Err while
+// the sibling trials complete; the returned error (non-nil when any trial
+// failed) aggregates the per-trial failures. Cancelling ctx stops the
+// trials; completed trials still compete for the winner. Checkpointing is a
+// single-run facility: opt.CheckpointPath is ignored for nstarts > 1.
+//
 // The circuit is shared read-only across trials; each trial builds its own
 // Placement and estimator.
-func RunStage1N(c *netlist.Circuit, opt Options, nstarts, workers int) (*Placement, Result, []StartResult) {
+func RunStage1N(ctx context.Context, c *netlist.Circuit, opt Options, nstarts, workers int) (*Placement, Result, []StartResult, error) {
 	if nstarts < 1 {
 		nstarts = 1
 	}
@@ -241,70 +385,188 @@ func RunStage1N(c *netlist.Circuit, opt Options, nstarts, workers int) (*Placeme
 		p   *Placement
 		res Result
 	}
-	trials := make([]trial, nstarts)
-	par.ForEach(workers, nstarts, func(k int) {
+	trials, tes := par.MapRetry(ctx, workers, nstarts, par.DefaultRetries, func(k int) (trial, error) {
 		o := opt
 		o.Seed = seeds[k]
-		p, res := RunStage1(c, o)
-		trials[k] = trial{p: p, res: res}
-	})
-	starts := make([]StartResult, nstarts)
-	best := 0
-	for k := range trials {
-		starts[k] = StartResult{
-			Trial:  k,
-			Seed:   seeds[k],
-			Cost:   trials[k].p.Cost(),
-			Result: trials[k].res,
+		o.CheckpointPath = "" // per-trial checkpoints are not supported
+		p, res, err := RunStage1Ctx(ctx, c, o)
+		if err != nil {
+			return trial{}, err
 		}
-		if starts[k].Cost < starts[best].Cost {
+		return trial{p: p, res: res}, nil
+	})
+	failed := make(map[int]error, len(tes))
+	for _, te := range tes {
+		te := te
+		failed[te.Index] = &te
+	}
+	starts := make([]StartResult, nstarts)
+	best := -1
+	for k := range trials {
+		starts[k] = StartResult{Trial: k, Seed: seeds[k]}
+		if err, ok := failed[k]; ok {
+			starts[k].Cost = math.Inf(1)
+			starts[k].Err = err
+			continue
+		}
+		starts[k].Cost = trials[k].p.Cost()
+		starts[k].Result = trials[k].res
+		if best < 0 || starts[k].Cost < starts[best].Cost {
 			best = k
 		}
 	}
-	return trials[best].p, trials[best].res, starts
+	if best < 0 {
+		return nil, Result{}, starts, fmt.Errorf("place: all %d stage 1 trials failed: %w", nstarts, par.Join(tes))
+	}
+	return trials[best].p, trials[best].res, starts, par.Join(tes)
 }
 
-func (s *stage1) run() Result {
+func (s *stage1) run(ctx context.Context) (Result, error) {
 	if len(s.movable) == 0 {
 		// Everything pre-placed: nothing to anneal.
 		return Result{
 			TEIL: s.p.TEIL(), C1: s.p.C1(),
 			Overlap: s.p.C2Raw(), RawOverlap: s.p.RawOverlap(), C3: s.p.C3(),
 			P2: s.p.P2,
+		}, nil
+	}
+	if s.resumeInner >= 0 {
+		// Finish the temperature step the checkpoint interrupted.
+		if err := s.innerLoop(ctx, s.resumeInner); err != nil {
+			return s.finish(err)
+		}
+		s.resumeInner = -1
+		s.endStep()
+		if err := s.maybeCheckpoint(); err != nil {
+			return s.finish(err)
 		}
 	}
-	pDisp := s.opt.R / (s.opt.R + 1)
-	var attempts int64
-	var res Result
 	for s.ctl.Next() {
-		inner := s.ctl.InnerIterations()
-		for it := 0; it < inner; it++ {
-			attempts++
-			if s.src.Bool(pDisp) {
-				s.generateDisplacement()
-			} else {
-				s.generateInterchange()
-			}
+		if err := s.innerLoop(ctx, 0); err != nil {
+			return s.finish(err)
 		}
-		s.ctl.EndStep(s.p.Cost())
-		res.History = append(res.History, StepStat{
-			T:       s.ctl.T(),
-			Cost:    s.p.Cost(),
-			TEIL:    s.p.TEIL(),
-			Overlap: s.p.C2Raw(),
-		})
+		s.endStep()
+		if err := s.maybeCheckpoint(); err != nil {
+			return s.finish(err)
+		}
 	}
-	res.TEIL = s.p.TEIL()
-	res.C1 = s.p.C1()
-	res.Overlap = s.p.C2Raw()
-	res.RawOverlap = s.p.RawOverlap()
-	res.C3 = s.p.C3()
-	res.Steps = s.ctl.Step()
-	res.Attempts = attempts
-	res.AcceptRate = s.ctl.AcceptRate()
-	res.FinalT = s.ctl.T()
-	res.P2 = s.p.P2
-	return res
+	return s.finish(nil)
+}
+
+// innerLoop executes the current temperature step's move attempts starting
+// at iteration from (nonzero when resuming mid-step). On cancellation it
+// writes a checkpoint recording exactly how far the step progressed and
+// returns an error wrapping ctx.Err().
+func (s *stage1) innerLoop(ctx context.Context, from int) error {
+	pDisp := s.opt.R / (s.opt.R + 1)
+	inner := s.ctl.InnerIterations()
+	for it := from; it < inner; it++ {
+		if it%ctxCheckStride == 0 && ctx.Err() != nil {
+			cause := ctx.Err()
+			if s.opt.CheckpointPath != "" {
+				if werr := s.saveCheckpoint(it); werr != nil {
+					return fmt.Errorf("place: stage 1 interrupted at step %d and checkpoint write failed: %v: %w",
+						s.ctl.Step(), werr, cause)
+				}
+			}
+			return fmt.Errorf("place: stage 1 interrupted at step %d: %w", s.ctl.Step(), cause)
+		}
+		s.attempts++
+		if s.src.Bool(pDisp) {
+			s.generateDisplacement()
+		} else {
+			s.generateInterchange()
+		}
+	}
+	return nil
+}
+
+// endStep closes the current temperature step: stopping-criterion
+// accounting, history, and best-so-far tracking.
+func (s *stage1) endStep() {
+	cost := s.p.Cost()
+	s.ctl.EndStep(cost)
+	s.history = append(s.history, StepStat{
+		T:       s.ctl.T(),
+		Cost:    cost,
+		TEIL:    s.p.TEIL(),
+		Overlap: s.p.C2Raw(),
+	})
+	if !s.bestValid || cost < s.bestCost {
+		s.bestValid = true
+		s.bestCost = cost
+		s.best = s.snapshotStates()
+	}
+}
+
+// maybeCheckpoint writes a boundary checkpoint when one is due.
+func (s *stage1) maybeCheckpoint() error {
+	if s.opt.CheckpointPath == "" || s.ctl.Step()%s.opt.CheckpointEvery != 0 {
+		return nil
+	}
+	return s.saveCheckpoint(-1)
+}
+
+func (s *stage1) snapshotStates() []CellState {
+	out := make([]CellState, len(s.p.Circuit.Cells))
+	for i := range out {
+		out[i] = s.p.State(i)
+	}
+	return out
+}
+
+// buildCheckpoint assembles a resumable snapshot; innerDone is the number
+// of inner iterations completed in the current step, or -1 at a boundary.
+func (s *stage1) buildCheckpoint(innerDone int) *Checkpoint {
+	return &Checkpoint{
+		Version:   CheckpointVersion,
+		Circuit:   s.p.Circuit.Name,
+		Opt:       snapshotOptions(s.opt),
+		Core:      s.p.Core,
+		ST:        s.st,
+		P2:        s.p.P2,
+		Ctl:       s.ctl.State(),
+		Src:       s.src.State(),
+		InnerDone: innerDone,
+		Attempts:  s.attempts,
+		Cost:      CostAccum{C1: s.p.c1, TEIL: s.p.teil, C2: s.p.c2, C3: s.p.c3},
+		States:    s.snapshotStates(),
+		Best:      s.best,
+		BestCost:  s.bestCost,
+		BestValid: s.bestValid,
+		History:   s.history,
+	}
+}
+
+func (s *stage1) saveCheckpoint(innerDone int) error {
+	return SaveCheckpoint(s.opt.CheckpointPath, s.buildCheckpoint(innerDone))
+}
+
+// finish assembles the Result. When the run was interrupted (err != nil)
+// and a better-than-current placement was seen earlier, the best-so-far
+// states are applied so the caller gets the strongest usable placement; the
+// checkpoint written at the interruption point already captured the exact
+// in-flight state, so resumability is unaffected.
+func (s *stage1) finish(err error) (Result, error) {
+	if err != nil && s.bestValid && s.bestCost < s.p.Cost() {
+		for i, st := range s.best {
+			s.p.SetState(i, cloneState(st))
+		}
+	}
+	res := Result{
+		TEIL:       s.p.TEIL(),
+		C1:         s.p.C1(),
+		Overlap:    s.p.C2Raw(),
+		RawOverlap: s.p.RawOverlap(),
+		C3:         s.p.C3(),
+		Steps:      s.ctl.Step(),
+		Attempts:   s.attempts,
+		AcceptRate: s.ctl.AcceptRate(),
+		FinalT:     s.ctl.T(),
+		P2:         s.p.P2,
+		History:    s.history,
+	}
+	return res, err
 }
 
 // tryState applies st to cell i and keeps it if the Metropolis criterion

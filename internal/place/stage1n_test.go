@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gen"
@@ -22,7 +23,10 @@ func TestRunStage1NSingleStartMatchesRunStage1(t *testing.T) {
 	}
 	opt := multiStartOpts(42)
 	pRef, resRef := RunStage1(c, opt)
-	pN, resN, starts := RunStage1N(c, opt, 1, 4)
+	pN, resN, starts, err := RunStage1N(context.Background(), c, opt, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(starts) != 1 || starts[0].Seed != opt.Seed {
 		t.Fatalf("starts = %+v", starts)
 	}
@@ -47,8 +51,11 @@ func TestRunStage1NWinnerSchedulingIndependent(t *testing.T) {
 	}
 	opt := multiStartOpts(7)
 	const nstarts = 5
-	pSerial, resSerial, startsSerial := RunStage1N(c, opt, nstarts, 1)
-	pPar, resPar, startsPar := RunStage1N(c, opt, nstarts, 8)
+	pSerial, resSerial, startsSerial, errSerial := RunStage1N(context.Background(), c, opt, nstarts, 1)
+	pPar, resPar, startsPar, errPar := RunStage1N(context.Background(), c, opt, nstarts, 8)
+	if errSerial != nil || errPar != nil {
+		t.Fatalf("errors: %v, %v", errSerial, errPar)
+	}
 	if len(startsSerial) != nstarts || len(startsPar) != nstarts {
 		t.Fatalf("trial counts %d, %d", len(startsSerial), len(startsPar))
 	}

@@ -1,6 +1,9 @@
 package place
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/anneal"
 	"repro/internal/geom"
 	"repro/internal/netlist"
@@ -52,6 +55,17 @@ type RefineResult struct {
 // displacements and pin-placement alterations; orientations and aspect
 // ratios stay fixed (§4.3).
 func RunRefine(p *Placement, widths [][4]int, opt RefineOptions) RefineResult {
+	res, _ := RunRefineCtx(context.Background(), p, widths, opt)
+	return res
+}
+
+// RunRefineCtx is RunRefine with cancellation: the pass stops at the next
+// inner-loop stride or step boundary after ctx is cancelled and returns the
+// placement as refined so far together with an error wrapping ctx.Err().
+// Refinement is a monotone improvement pass over an already-valid placement,
+// so a cancelled pass still leaves p in a usable (merely less-refined)
+// state; there is no checkpoint to write.
+func RunRefineCtx(ctx context.Context, p *Placement, widths [][4]int, opt RefineOptions) (RefineResult, error) {
 	opt.fill()
 	// Switch to static expansion mode.
 	p.Est = nil
@@ -90,6 +104,8 @@ func RunRefine(p *Placement, widths [][4]int, opt RefineOptions) RefineResult {
 	ctl := anneal.NewController(cfg, src.Split())
 
 	movable := p.MovableCells()
+	var cancelled error
+loop:
 	for ctl.Next() {
 		if len(movable) == 0 {
 			ctl.EndStep(p.Cost())
@@ -97,6 +113,11 @@ func RunRefine(p *Placement, widths [][4]int, opt RefineOptions) RefineResult {
 		}
 		inner := ctl.InnerIterations()
 		for it := 0; it < inner; it++ {
+			if it%ctxCheckStride == 0 && ctx.Err() != nil {
+				cancelled = fmt.Errorf("place: refinement interrupted at step %d: %w",
+					ctl.Step(), ctx.Err())
+				break loop
+			}
 			i := movable[src.Intn(len(movable))]
 			if p.Circuit.Cells[i].Kind == netlist.Custom && p.Units(i) > 0 && src.Bool(0.25) {
 				refineTryPinMove(p, ctl, src, i)
@@ -111,7 +132,7 @@ func RunRefine(p *Placement, widths [][4]int, opt RefineOptions) RefineResult {
 		Overlap:    p.C2Raw(),
 		Steps:      ctl.Step(),
 		AcceptRate: ctl.AcceptRate(),
-	}
+	}, cancelled
 }
 
 func refineTryDisplace(p *Placement, ctl *anneal.Controller, src *rng.Source, i int) bool {

@@ -7,6 +7,7 @@
 package refine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/channel"
@@ -130,21 +131,39 @@ func RegionDensity(g *channel.Graph, r *route.Result) []int {
 
 // Run executes the Stage 2 loop on a placement produced by Stage 1.
 func Run(p *place.Placement, opt Options) (*Result, error) {
+	return RunCtx(context.Background(), p, opt)
+}
+
+// RunCtx is Run with cancellation: the context is checked between
+// executions and threaded through the router and the refinement annealer,
+// so a long Stage 2 stops within one inner-loop stride of cancellation. The
+// returned Result reflects the completed executions; the placement keeps
+// whatever refinement had been applied (every intermediate state of Stage 2
+// is a valid placement, so there is no checkpoint — rerunning Stage 2 on
+// the saved Stage 1 placement is cheap and deterministic).
+func RunCtx(ctx context.Context, p *place.Placement, opt Options) (*Result, error) {
 	opt.fill()
 	res := &Result{}
+	// The current placement always yields a meaningful TEIL/chip extent,
+	// even when the loop stops early.
+	defer func() {
+		res.TEIL = p.TEIL()
+		res.Chip = p.ExpandedBounds()
+	}()
 	for iter := 0; iter < opt.Iterations; iter++ {
-		stat, err := runOnce(p, opt, iter, res)
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("refine: interrupted before iteration %d: %w", iter+1, err)
+		}
+		stat, err := runOnce(ctx, p, opt, iter, res)
 		if err != nil {
 			return res, fmt.Errorf("refine: iteration %d: %w", iter+1, err)
 		}
 		res.Iterations = append(res.Iterations, stat)
 	}
-	res.TEIL = p.TEIL()
-	res.Chip = p.ExpandedBounds()
 	return res, nil
 }
 
-func runOnce(p *place.Placement, opt Options, iter int, res *Result) (IterationStat, error) {
+func runOnce(ctx context.Context, p *place.Placement, opt Options, iter int, res *Result) (IterationStat, error) {
 	var stat IterationStat
 
 	// Step 1: channel definition.
@@ -161,7 +180,7 @@ func runOnce(p *place.Placement, opt Options, iter int, res *Result) (IterationS
 		return stat, err
 	}
 	nets := RouterNets(p, g)
-	routing, err := route.Route(rg, nets, route.Options{
+	routing, err := route.RouteCtx(ctx, rg, nets, route.Options{
 		M:    opt.M,
 		Seed: opt.Seed + uint64(iter)*7919,
 	})
@@ -179,7 +198,7 @@ func runOnce(p *place.Placement, opt Options, iter int, res *Result) (IterationS
 	// incident channel-graph edge — not the count of nets merely touching
 	// the region, which overstates long busy channels.
 	widths := g.DensityWidths(p, RegionDensity(g, routing), opt.PowerTracks)
-	rr := place.RunRefine(p, widths, place.RefineOptions{
+	rr, err := place.RunRefineCtx(ctx, p, widths, place.RefineOptions{
 		Seed:       opt.Seed + uint64(iter)*104729,
 		Ac:         opt.Ac,
 		Mu:         opt.Mu,
@@ -190,5 +209,5 @@ func runOnce(p *place.Placement, opt Options, iter int, res *Result) (IterationS
 	stat.TEIL = rr.TEIL
 	stat.Overlap = rr.Overlap
 	stat.ChipArea = p.ExpandedBounds().Area()
-	return stat, nil
+	return stat, err
 }

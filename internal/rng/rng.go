@@ -44,6 +44,27 @@ func (r *Source) Seed(seed uint64) {
 	}
 }
 
+// State is the complete serializable internal state of a Source: the four
+// xoshiro256++ words. Capturing it with Source.State and later feeding it to
+// Source.Restore replays the exact output stream from the capture point —
+// the primitive behind resumable annealing runs (checkpoint/resume must
+// reproduce every subsequent random draw bit-for-bit).
+type State [4]uint64
+
+// State returns a snapshot of the generator's internal state.
+func (r *Source) State() State { return State(r.s) }
+
+// Restore overwrites the generator's internal state with a snapshot taken by
+// State. An all-zero snapshot (invalid for xoshiro) is replaced by the guard
+// constant, mirroring Seed, so a corrupted checkpoint cannot wedge the
+// generator in the all-zero fixed point.
+func (r *Source) Restore(st State) {
+	r.s = [4]uint64(st)
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

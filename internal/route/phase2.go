@@ -1,10 +1,15 @@
 package route
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/rng"
 )
+
+// routeCtxStride bounds how many phase-two attempts (or phase-one nets) run
+// between cancellation checks.
+const routeCtxStride = 256
 
 // Options configures the router.
 type Options struct {
@@ -56,6 +61,14 @@ func (r *Result) Chosen(i int) Tree {
 
 // Route runs both phases of the global router.
 func Route(g *Graph, nets []Net, opt Options) (*Result, error) {
+	return RouteCtx(context.Background(), g, nets, opt)
+}
+
+// RouteCtx is Route with cancellation: phase one checks the context between
+// nets and phase two every routeCtxStride interchange attempts. On
+// cancellation it returns the routing as improved so far (valid Choice,
+// Length, Excess, densities) together with an error wrapping ctx.Err().
+func RouteCtx(ctx context.Context, g *Graph, nets []Net, opt Options) (*Result, error) {
 	opt.fill()
 	res := &Result{
 		Alternatives: make([][]Tree, len(nets)),
@@ -63,6 +76,10 @@ func Route(g *Graph, nets []Net, opt Options) (*Result, error) {
 	}
 	// Phase one: generate and store up to M alternatives per net.
 	for i, net := range nets {
+		if i%routeCtxStride == 0 && ctx.Err() != nil {
+			return res, fmt.Errorf("route: phase one interrupted at net %d of %d: %w",
+				i, len(nets), ctx.Err())
+		}
 		alts := g.RouteNet(net, opt.M)
 		if len(alts) == 0 {
 			if len(net.Conns) > 0 {
@@ -138,7 +155,13 @@ func Route(g *Graph, nets []Net, opt Options) (*Result, error) {
 		return d
 	}
 
+	var cancelled error
 	for excess > 0 && stall < limit {
+		if res.Attempts%routeCtxStride == 0 && ctx.Err() != nil {
+			cancelled = fmt.Errorf("route: phase two interrupted after %d attempts: %w",
+				res.Attempts, ctx.Err())
+			break
+		}
 		res.Attempts++
 		stall++
 		// Random over-capacity edge.
@@ -199,7 +222,7 @@ func Route(g *Graph, nets []Net, opt Options) (*Result, error) {
 			res.NodeDensity[u]++
 		}
 	}
-	return res, nil
+	return res, cancelled
 }
 
 func excessOf(d, c int) int {
