@@ -1,15 +1,19 @@
 # Standard checks for the TimberWolfMC reproduction.
 #
-#   make verify      tier-1 checks + race detector + short fuzz smokes
+#   make verify      tier-1 checks + race detector + short fuzz smokes + bench smoke
 #   make test        unit tests only
 #   make fuzz-smoke  10-second runs of each fuzz target
+#   make bench       place benchmarks with -benchmem -> BENCH_PR3.json
+#   make bench-smoke 1-iteration benchmark pass (catches bitrot, no timing)
 
 GO ?= go
 FUZZTIME ?= 10s
+BENCHTIME ?= 1x
+BENCHOUT ?= BENCH_PR3.json
 
-.PHONY: verify tier1 test race fuzz-smoke
+.PHONY: verify tier1 test race fuzz-smoke bench bench-smoke
 
-verify: tier1 race fuzz-smoke
+verify: tier1 race fuzz-smoke bench-smoke
 
 tier1:
 	$(GO) build ./...
@@ -27,3 +31,17 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse$$ -fuzztime=$(FUZZTIME) ./internal/netlist
 	$(GO) test -fuzz=FuzzParseYAL -fuzztime=$(FUZZTIME) ./internal/netlist
 	$(GO) test -fuzz=FuzzDecodeCheckpoint -fuzztime=$(FUZZTIME) ./internal/place
+	$(GO) test -fuzz=FuzzDecodeLines -fuzztime=$(FUZZTIME) ./internal/telemetry
+
+# bench records the placement hot-path benchmarks (incl. the telemetry
+# on/off pair) as committed JSON. BENCHTIME=1x gives stable-ish numbers
+# quickly; raise it (e.g. BENCHTIME=2s) for publication-grade figures.
+bench:
+	$(GO) test -bench . -benchmem -benchtime=$(BENCHTIME) -run '^$$' ./internal/place \
+		| $(GO) run ./cmd/benchjson -o $(BENCHOUT)
+
+# bench-smoke proves every benchmark still runs and its output still
+# parses, without writing BENCH_PR3.json or caring about timing.
+bench-smoke:
+	$(GO) test -bench . -benchmem -benchtime=1x -run '^$$' ./internal/place \
+		| $(GO) run ./cmd/benchjson > /dev/null

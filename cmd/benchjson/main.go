@@ -1,0 +1,59 @@
+// Command benchjson converts `go test -bench` text output into JSON records
+// of {name, iterations, ns_per_op, bytes_per_op, allocs_per_op}, sorted by
+// benchmark name. It reads stdin and writes stdout (or -o FILE), so it slots
+// into a pipe:
+//
+//	go test -bench . -benchmem -run '^$' ./internal/place | benchjson -o BENCH_PR3.json
+//
+// Non-benchmark lines (headers, PASS/ok, log output) are ignored. With no
+// benchmark lines at all it exits 1 rather than writing an empty file, so a
+// silently-failing bench run doesn't overwrite committed results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: go test -bench . | benchjson [-o FILE]")
+		os.Exit(2)
+	}
+
+	results, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found on stdin"))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		w = f
+	}
+	if err := benchfmt.WriteJSON(w, results); err != nil {
+		fatal(err)
+	}
+	if w != os.Stdout {
+		if err := w.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(results))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

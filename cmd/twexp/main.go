@@ -30,6 +30,7 @@ import (
 	"repro/internal/exper"
 	"repro/internal/gen"
 	"repro/internal/par"
+	"repro/internal/telcli"
 )
 
 var knownExps = []string{"table3", "table4", "fig3", "fig4", "fig5", "fig6", "eta", "rho", "ds", "refine", "eqn22"}
@@ -46,6 +47,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel trial workers (0 = all CPUs, 1 = serial; output is identical either way)")
 		retries  = flag.Int("retries", 0, "per-task retry budget (0 = default 1, -1 = no retries)")
 	)
+	tf := telcli.Register(flag.CommandLine)
 	flag.Parse()
 
 	if err := validateFlags(*exp, *trials, *ac, *m, *workers, *retries, *circuits); err != nil {
@@ -55,6 +57,19 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	rt, rerr := tf.Start("twexp", false)
+	if rerr != nil {
+		fmt.Fprintln(os.Stderr, "twexp:", rerr)
+		os.Exit(1)
+	}
+	// Closed explicitly: every exit below goes through os.Exit, which skips
+	// deferred functions (and with them the trace flush).
+	closeTelemetry := func() {
+		if cerr := rt.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "twexp: telemetry:", cerr)
+		}
+	}
 
 	cfg := exper.Quick()
 	if *full {
@@ -76,6 +91,7 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Retries = *retries
 	cfg.Ctx = ctx
+	cfg.Tel = rt.Tracer
 
 	run := func(id string) error {
 		switch id {
@@ -191,11 +207,13 @@ func main() {
 			reportFailure(id, err)
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				// Cancelled: later experiments would fail the same way.
+				closeTelemetry()
 				os.Exit(exitPartial)
 			}
 			exit = exitPartial
 		}
 	}
+	closeTelemetry()
 	os.Exit(exit)
 }
 

@@ -16,6 +16,8 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/netlist"
+	"repro/internal/telcli"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -34,6 +36,7 @@ func main() {
 		name   = flag.String("name", "synthetic", "circuit name")
 		ts     = flag.Int("tracksep", 2, "track separation")
 	)
+	tf := telcli.Register(flag.CommandLine)
 	flag.Parse()
 
 	if err := validateFlags(*cells, *nets, *pins, *dimx, *dimy, *ts, *custom, *rect, *equiv); err != nil {
@@ -70,8 +73,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "twgen:", err)
 		os.Exit(1)
 	}
+	rt, rerr := tf.Start("twgen", false)
+	if rerr != nil {
+		fmt.Fprintln(os.Stderr, "twgen:", rerr)
+		os.Exit(1)
+	}
+	rt.Tracer.Emit(telemetry.Event{
+		Type: telemetry.TypeNote, Run: "twgen", Label: c.Name,
+		Cells: len(c.Cells), Seed: *seed,
+	})
+	rt.Tracer.Progressf("synthesized %s: %d cells, %d nets, %d pins",
+		c.Name, len(c.Cells), len(c.Nets), c.NumPins())
 	if err := netlist.Write(os.Stdout, c); err != nil {
 		fmt.Fprintln(os.Stderr, "twgen:", err)
+		os.Exit(1)
+	}
+	if cerr := rt.Close(); cerr != nil {
+		fmt.Fprintln(os.Stderr, "twgen: telemetry:", cerr)
 		os.Exit(1)
 	}
 }

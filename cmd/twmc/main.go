@@ -36,6 +36,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/place"
 	"repro/internal/route"
+	"repro/internal/telcli"
 	"repro/internal/viz"
 )
 
@@ -69,6 +70,7 @@ func main() {
 		resume   = flag.String("resume", "", "resume an interrupted run from this checkpoint file (continued checkpoints default to the same file)")
 		deadline = flag.Duration("deadline", 0, "stop the run after this duration, checkpointing if -checkpoint is set (0 = none)")
 	)
+	tf := telcli.Register(flag.CommandLine)
 	flag.Parse()
 
 	if err := validateFlags(*nstarts, *workers, *ac, *m, *iters, *ckEvery,
@@ -124,6 +126,26 @@ func main() {
 	fmt.Printf("circuit %s: %d cells, %d nets, %d pins\n",
 		c.Name, len(c.Cells), len(c.Nets), c.NumPins())
 
+	// -v routes per-iteration and per-cell detail through the telemetry
+	// progress sink: one formatting path, on stderr, so piped stdout stays
+	// machine-readable.
+	rt, err := tf.Start("twmc", *verbose)
+	if err != nil {
+		fatal(err)
+	}
+	// Closed explicitly (not deferred): the interrupted path below leaves
+	// via os.Exit, which would skip a deferred flush of the trace.
+	closeTelemetry := func() {
+		if cerr := rt.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "twmc: telemetry:", cerr)
+		}
+	}
+	tel := rt.Tracer
+	die := func(err error) {
+		closeTelemetry()
+		fatal(err)
+	}
+
 	opts := core.Options{
 		Seed:            *seed,
 		Ac:              *ac,
@@ -138,6 +160,7 @@ func main() {
 		SkipStage2:      *stage1,
 		CheckpointPath:  *ckPath,
 		CheckpointEvery: *ckEvery,
+		Tel:             tel,
 	}
 	if *nstarts > 1 {
 		fmt.Printf("stage 1: best of %d independent anneals\n", *nstarts)
@@ -147,7 +170,7 @@ func main() {
 	case *resume != "":
 		ck, cerr := place.LoadCheckpoint(*resume)
 		if cerr != nil {
-			fatal(cerr)
+			die(cerr)
 		}
 		fmt.Printf("resuming %s from step %d of checkpoint %s\n", ck.Circuit, ck.Ctl.Step, *resume)
 		opts.Starts = 1
@@ -155,7 +178,7 @@ func main() {
 	case *load != "":
 		f, ferr := os.Open(*load)
 		if ferr != nil {
-			fatal(ferr)
+			die(ferr)
 		}
 		res, err = core.ResumeCtx(ctx, c, f, opts)
 		f.Close()
@@ -165,7 +188,7 @@ func main() {
 	interrupted := err != nil &&
 		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 	if err != nil && !(interrupted && res != nil) {
-		fatal(err)
+		die(err)
 	}
 	if interrupted {
 		fmt.Fprintln(os.Stderr, "twmc: interrupted:", err)
@@ -174,9 +197,9 @@ func main() {
 	fmt.Printf("stage 1: TEIL %.0f, chip area %d, residual overlap %d, %d temperature steps\n",
 		res.Stage1TEIL, res.Stage1Area, res.Stage1.Overlap, res.Stage1.Steps)
 	if res.Stage2 != nil {
-		for i, it := range res.Stage2.Iterations {
-			if *verbose {
-				fmt.Printf("refine %d: %d regions, %d graph edges, route length %d (excess %d), TEIL %.0f, area %d\n",
+		if *verbose {
+			for i, it := range res.Stage2.Iterations {
+				tel.Progressf("refine %d: %d regions, %d graph edges, route length %d (excess %d), TEIL %.0f, area %d",
 					i+1, it.Regions, it.GraphEdges, it.RouteLength, it.Excess, it.TEIL, it.ChipArea)
 			}
 		}
@@ -190,10 +213,10 @@ func main() {
 		fmt.Printf("final (stage 1 only): TEIL %.0f, chip %d x %d\n",
 			res.TEIL, res.Chip.W(), res.Chip.H())
 	}
-	for i := range c.Cells {
-		st := res.Placement.State(i)
-		if *verbose {
-			fmt.Printf("  cell %-8s at (%d,%d) %s instance %d\n",
+	if *verbose {
+		for i := range c.Cells {
+			st := res.Placement.State(i)
+			tel.Progressf("cell %-8s at (%d,%d) %s instance %d",
 				c.Cells[i].Name, st.Pos.X, st.Pos.Y, st.Orient, st.Instance)
 		}
 	}
@@ -214,20 +237,20 @@ func main() {
 	if *report {
 		fmt.Println()
 		if err := res.WriteReport(os.Stdout); err != nil {
-			fatal(err)
+			die(err)
 		}
 	}
 
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fatal(err)
+			die(err)
 		}
 		if err := place.WritePlacement(f, res.Placement); err != nil {
-			fatal(err)
+			die(err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			die(err)
 		}
 		fmt.Printf("wrote %s\n", *outPath)
 	}
@@ -244,14 +267,15 @@ func main() {
 			g, routing = res.Stage2.Graph, res.Stage2.Routing
 		}
 		if err := viz.WriteSVG(f, res.Placement, g, routing, opt); err != nil {
-			fatal(err)
+			die(err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			die(err)
 		}
 		fmt.Printf("wrote %s\n", *svgPath)
 	}
 
+	closeTelemetry()
 	if interrupted {
 		if *ckPath != "" {
 			fmt.Fprintf(os.Stderr, "twmc: results above are the best so far; continue with -resume %s\n", *ckPath)

@@ -1,0 +1,183 @@
+// Command twtrace renders an annealing trace recorded with -trace into
+// human-readable cooling-curve and acceptance-rate tables, grouped by run.
+//
+// Usage:
+//
+//	twtrace trace.jsonl
+//	twmc -preset i1 -trace /dev/stdout | twtrace
+//	twtrace -run stage1 -wall trace.jsonl
+//
+// The default report contains no wall-clock fields, so equal runs produce
+// byte-identical reports (diff-friendly); -wall adds elapsed milliseconds.
+// Malformed or unknown-version lines are skipped and counted, never fatal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		runFilter = flag.String("run", "", "report only this run label")
+		wall      = flag.Bool("wall", false, "include wall-clock columns (non-deterministic)")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	default:
+		fmt.Fprintln(os.Stderr, "usage: twtrace [-run LABEL] [-wall] [trace.jsonl]")
+		os.Exit(2)
+	}
+
+	events, stats, err := telemetry.DecodeLines(in)
+	if err != nil {
+		fatal(err)
+	}
+	if err := writeReport(os.Stdout, events, stats, *runFilter, *wall); err != nil {
+		fatal(err)
+	}
+}
+
+// runGroup collects one run's events in arrival order.
+type runGroup struct {
+	name   string
+	events []telemetry.Event
+}
+
+// groupByRun splits events into per-run groups, ordered by each run's first
+// appearance in the trace. Events with an empty Run field group under "".
+func groupByRun(events []telemetry.Event) []*runGroup {
+	index := map[string]*runGroup{}
+	var order []*runGroup
+	for _, ev := range events {
+		g, ok := index[ev.Run]
+		if !ok {
+			g = &runGroup{name: ev.Run}
+			index[ev.Run] = g
+			order = append(order, g)
+		}
+		g.events = append(g.events, ev)
+	}
+	return order
+}
+
+// writeReport renders the trace. Without wall, the output is a pure function
+// of the decoded events' deterministic fields — the golden test relies on
+// that.
+func writeReport(w io.Writer, events []telemetry.Event, stats telemetry.DecodeStats, runFilter string, wall bool) error {
+	fmt.Fprintf(w, "trace: %d events", stats.Events)
+	if stats.Skipped > 0 {
+		fmt.Fprintf(w, " (%d malformed or unsupported lines skipped)", stats.Skipped)
+	}
+	fmt.Fprintln(w)
+	for _, g := range groupByRun(events) {
+		if runFilter != "" && g.name != runFilter {
+			continue
+		}
+		fmt.Fprintln(w)
+		if err := writeRun(w, g, wall); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeRun(w io.Writer, g *runGroup, wall bool) error {
+	name := g.name
+	if name == "" {
+		name = "(unlabeled)"
+	}
+	fmt.Fprintf(w, "run %s", name)
+	for _, ev := range g.events {
+		if ev.Type == telemetry.TypeRunStart {
+			fmt.Fprintf(w, " (circuit %s, %d cells, seed %d)", ev.Label, ev.Cells, ev.Seed)
+			break
+		}
+	}
+	fmt.Fprintln(w)
+
+	var steps []telemetry.Event
+	var ckWrites, resumes, tasks int
+	var ckBytes int64
+	for _, ev := range g.events {
+		switch ev.Type {
+		case telemetry.TypeStep:
+			steps = append(steps, ev)
+		case telemetry.TypeCheckpoint:
+			ckWrites++
+			ckBytes += ev.Bytes
+		case telemetry.TypeResume:
+			resumes++
+		case telemetry.TypeTask:
+			tasks++
+		case telemetry.TypeRoute:
+			fmt.Fprintf(w, "  route: %d nets, length %d, excess %d, %d attempts\n",
+				ev.Cells, ev.Length, ev.Excess, ev.Attempts)
+		}
+	}
+	if len(steps) > 0 {
+		tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprint(tw, "  step\tT\talpha\tacc\tcost\tteil\tattempts\t")
+		if wall {
+			fmt.Fprint(tw, "ms\t")
+		}
+		fmt.Fprintln(tw)
+		prevT := 0.0
+		for i, ev := range steps {
+			alpha := "-"
+			if i > 0 && prevT > 0 {
+				alpha = fmt.Sprintf("%.3f", ev.T/prevT)
+			}
+			prevT = ev.T
+			fmt.Fprintf(tw, "  %d\t%.4g\t%s\t%.3f\t%.1f\t%.0f\t%d\t",
+				ev.Step, ev.T, alpha, ev.Acc, ev.Cost, ev.TEIL, ev.Attempts)
+			if wall {
+				fmt.Fprintf(tw, "%.0f\t", ev.ElapsedMS)
+			}
+			fmt.Fprintln(tw)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	if ckWrites > 0 {
+		fmt.Fprintf(w, "  checkpoints: %d written, %d bytes\n", ckWrites, ckBytes)
+	}
+	if resumes > 0 {
+		fmt.Fprintf(w, "  resumes: %d\n", resumes)
+	}
+	if tasks > 0 {
+		fmt.Fprintf(w, "  tasks: %d\n", tasks)
+	}
+	for _, ev := range g.events {
+		if ev.Type == telemetry.TypeRunEnd {
+			fmt.Fprintf(w, "  end: %d steps, %d attempts, final cost %.1f, accept rate %.3f",
+				ev.Step, ev.Attempts, ev.Cost, ev.Acc)
+			if wall {
+				fmt.Fprintf(w, ", %.0f ms", ev.ElapsedMS)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "twtrace:", err)
+	os.Exit(1)
+}

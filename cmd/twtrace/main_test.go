@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestReportGolden records a real (small, deterministic) flow trace and
+// checks the default twtrace report against testdata/report.golden. The
+// default report excludes every wall-clock field, so the bytes are stable
+// run to run; regenerate with go test ./cmd/twtrace -run Golden -update.
+func TestReportGolden(t *testing.T) {
+	c, err := gen.Preset("i1", 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink := telemetry.NewJSONLSink(&buf)
+	tel := telemetry.New(sink, nil, nil)
+	_, err = core.PlaceCtx(context.Background(), c, core.Options{
+		Seed: 7, Ac: 4, MaxSteps: 6, Iterations: 1, M: 4, Tel: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, stats, err := telemetry.DecodeLines(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped != 0 || stats.Events == 0 {
+		t.Fatalf("trace decode: %+v", stats)
+	}
+	var report bytes.Buffer
+	if err := writeReport(&report, events, stats, "", false); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "report.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, report.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(report.Bytes(), want) {
+		t.Errorf("report differs from %s (regenerate with -update if the change is intended)\n--- got ---\n%s",
+			golden, report.String())
+	}
+}
+
+// TestReportSkipsMalformed checks the report surfaces the skipped-line count.
+func TestReportSkipsMalformed(t *testing.T) {
+	trace := `{"v":1,"type":"run-start","run":"x","cells":3,"seed":9}` + "\n" +
+		"garbage\n" +
+		`{"v":1,"type":"run-end","run":"x","step":2,"attempts":10,"cost":5,"acc":0.5}` + "\n"
+	events, stats, err := telemetry.DecodeString(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report bytes.Buffer
+	if err := writeReport(&report, events, stats, "", false); err != nil {
+		t.Fatal(err)
+	}
+	out := report.String()
+	for _, want := range []string{"2 events", "1 malformed", "run x", "end: 2 steps"} {
+		if !bytes.Contains(report.Bytes(), []byte(want)) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestReportRunFilter checks -run narrows the report to one run.
+func TestReportRunFilter(t *testing.T) {
+	trace := `{"v":1,"type":"step","run":"a","step":1,"T":10,"acc":0.9,"cost":1}` + "\n" +
+		`{"v":1,"type":"step","run":"b","step":1,"T":10,"acc":0.9,"cost":1}` + "\n"
+	events, stats, err := telemetry.DecodeString(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report bytes.Buffer
+	if err := writeReport(&report, events, stats, "b", false); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(report.Bytes(), []byte("run a")) || !bytes.Contains(report.Bytes(), []byte("run b")) {
+		t.Errorf("filter failed:\n%s", report.String())
+	}
+}

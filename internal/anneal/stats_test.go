@@ -1,0 +1,144 @@
+package anneal
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// statsConfig is a controller configuration with generous bounds so the
+// statistics tests control exactly when the run ends.
+func statsConfig() Config {
+	return Config{
+		ST: 1, Schedule: Stage1Schedule(), Ac: 1, NumCells: 4,
+		WxInf: 100, WyInf: 100, Rho: 4, MaxSteps: 50,
+	}
+}
+
+// TestControllerStepAcceptRate checks the per-step acceptance accounting:
+// EndStep computes the rate of the inner loop just finished and resets the
+// per-step counters, while the cumulative rate keeps aggregating.
+func TestControllerStepAcceptRate(t *testing.T) {
+	ctl := NewController(statsConfig(), rng.New(1))
+	if ctl.StepAcceptRate() != 0 || ctl.AcceptRate() != 0 {
+		t.Fatal("rates must start at zero")
+	}
+	if !ctl.Next() {
+		t.Fatal("controller refused to start")
+	}
+
+	// Step 1: 3 accepts (delta <= 0 is always accepted), 1 sure reject
+	// (huge uphill at T > 0 with astronomically small Boltzmann factor).
+	for i := 0; i < 3; i++ {
+		if !ctl.Accept(-1) {
+			t.Fatal("downhill move rejected")
+		}
+	}
+	if ctl.Accept(1e18) {
+		t.Fatal("astronomically uphill move accepted")
+	}
+	ctl.EndStep(100)
+	if got := ctl.StepAcceptRate(); got != 0.75 {
+		t.Fatalf("step 1 accept rate = %v, want 0.75", got)
+	}
+	if got := ctl.AcceptRate(); got != 0.75 {
+		t.Fatalf("cumulative accept rate = %v, want 0.75", got)
+	}
+
+	// Step 2: all accepts. The step rate reflects only this step; the
+	// cumulative rate averages both.
+	if !ctl.Next() {
+		t.Fatal("controller stopped early")
+	}
+	for i := 0; i < 4; i++ {
+		ctl.Accept(0)
+	}
+	ctl.EndStep(90)
+	if got := ctl.StepAcceptRate(); got != 1 {
+		t.Fatalf("step 2 accept rate = %v, want 1", got)
+	}
+	if got := ctl.AcceptRate(); got != 7.0/8.0 {
+		t.Fatalf("cumulative accept rate = %v, want 7/8", got)
+	}
+}
+
+// TestControllerEndStepStability checks the StableSteps stopping criterion
+// bookkeeping: consecutive equal costs accumulate, a change resets.
+func TestControllerEndStepStability(t *testing.T) {
+	cfg := statsConfig()
+	cfg.StableSteps = 3
+	cfg.MaxSteps = 0
+	ctl := NewController(cfg, rng.New(2))
+	costs := []float64{10, 10, 12, 12, 12, 12}
+	steps := 0
+	for ctl.Next() {
+		if steps >= len(costs) {
+			t.Fatalf("run did not stop after %d stable steps", cfg.StableSteps)
+		}
+		ctl.EndStep(costs[steps])
+		steps++
+	}
+	// 12,12,12,12: the 3rd repeat (4th report of 12) reaches stable == 3,
+	// so exactly all six costs are consumed before Next refuses.
+	if steps != len(costs) {
+		t.Fatalf("run consumed %d steps, want %d", steps, len(costs))
+	}
+}
+
+// TestControllerEndStepZeroTries checks EndStep with an empty inner loop:
+// the step rate drops to zero instead of carrying the previous step's value.
+func TestControllerEndStepZeroTries(t *testing.T) {
+	ctl := NewController(statsConfig(), rng.New(3))
+	ctl.Next()
+	ctl.Accept(-1)
+	ctl.EndStep(5)
+	if ctl.StepAcceptRate() != 1 {
+		t.Fatal("first step rate wrong")
+	}
+	ctl.Next()
+	ctl.EndStep(5) // no Accept calls this step
+	if got := ctl.StepAcceptRate(); got != 0 {
+		t.Fatalf("empty step rate = %v, want 0", got)
+	}
+}
+
+// TestControllerStatsSurviveRestore checks the statistics path through a
+// State/Restore cycle: a controller restored mid-run reports the same
+// StepAcceptRate and AcceptRate, and continues accumulating identically to
+// the uninterrupted original.
+func TestControllerStatsSurviveRestore(t *testing.T) {
+	run := func(interrupt bool) (float64, float64, int) {
+		ctl := NewController(statsConfig(), rng.New(7))
+		src := rng.New(8) // deterministic deltas driving accept/reject draws
+		for step := 0; ctl.Next(); step++ {
+			for i := 0; i < ctl.InnerIterations(); i++ {
+				ctl.Accept(src.Float64()*200 - 100)
+			}
+			ctl.EndStep(float64(100 - step))
+			if interrupt && step == 5 {
+				// Snapshot mid-run, restore into a fresh controller (and a
+				// fresh delta stream restored the same way), continue there.
+				snap := ctl.State()
+				srcSnap := src.State()
+				ctl = NewController(statsConfig(), rng.New(0))
+				ctl.Restore(snap)
+				src = rng.New(0)
+				src.Restore(srcSnap)
+				if ctl.StepAcceptRate() != snap.LastStepRate {
+					t.Fatal("StepAcceptRate lost in restore")
+				}
+				interrupt = false
+			}
+		}
+		return ctl.StepAcceptRate(), ctl.AcceptRate(), ctl.Step()
+	}
+	sr1, ar1, steps1 := run(false)
+	sr2, ar2, steps2 := run(true)
+	if sr1 != sr2 || ar1 != ar2 || steps1 != steps2 {
+		t.Fatalf("restored run diverged: (%v,%v,%d) vs (%v,%v,%d)",
+			sr1, ar1, steps1, sr2, ar2, steps2)
+	}
+	if ar1 <= 0 || ar1 >= 1 {
+		t.Fatalf("degenerate cumulative accept rate %v", ar1)
+	}
+}

@@ -1,0 +1,93 @@
+// Package benchfmt parses the standard `go test -bench` text output into
+// structured records, so benchmark results can be committed and diffed as
+// JSON (see `make bench` and BENCH_PR3.json).
+//
+// Only benchmark result lines are parsed; everything else (goos/goarch
+// headers, PASS/ok trailers, test log output) is ignored. A line is a
+// result when it starts with "Benchmark", has an iteration count, and at
+// least one value/unit metric pair:
+//
+//	BenchmarkStage1Inner/telemetry=off-8   633482   1874 ns/op   443 B/op   14 allocs/op
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line. NsPerOp, BytesPerOp and AllocsPerOp
+// are zero when the corresponding metric is absent (-benchmem not set).
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// ParseLine parses a single benchmark output line. ok is false for
+// non-benchmark lines (headers, PASS, log output, malformed results).
+func ParseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || iters < 0 {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		default:
+			continue // unit we don't track (MB/s, custom metrics)
+		}
+		seen = true
+	}
+	if !seen {
+		return Result{}, false
+	}
+	return r, true
+}
+
+// Parse reads `go test -bench` output and returns every benchmark result in
+// input order. Non-benchmark lines are skipped silently; only a read error
+// is fatal.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if res, ok := ParseLine(sc.Text()); ok {
+			out = append(out, res)
+		}
+	}
+	return out, sc.Err()
+}
+
+// WriteJSON writes results as indented JSON, sorted by name for stable
+// committed output (`go test` ordering already matches, but sorting makes
+// the file diffable across -cpu and shuffle settings).
+func WriteJSON(w io.Writer, results []Result) error {
+	sorted := make([]Result, len(results))
+	copy(sorted, results)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sorted)
+}

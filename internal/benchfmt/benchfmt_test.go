@@ -1,0 +1,76 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/place
+cpu: some CPU @ 3.00GHz
+BenchmarkStage1Inner/telemetry=off-8         	  633482	      1874 ns/op	     443 B/op	      14 allocs/op
+BenchmarkStage1Inner/telemetry=on-8          	  611034	      1961 ns/op	     443 B/op	      14 allocs/op
+BenchmarkThroughput-8	100	12.5 ns/op	800.00 MB/s
+--- BENCH: BenchmarkNoise
+    some log line with numbers 123 456
+PASS
+ok  	repro/internal/place	4.521s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(results), results)
+	}
+	off := results[0]
+	if off.Name != "BenchmarkStage1Inner/telemetry=off-8" ||
+		off.Iterations != 633482 || off.NsPerOp != 1874 ||
+		off.BytesPerOp != 443 || off.AllocsPerOp != 14 {
+		t.Errorf("bad first result: %+v", off)
+	}
+	// MB/s is an untracked unit; ns/op on the same line still parses.
+	if tp := results[2]; tp.NsPerOp != 12.5 || tp.AllocsPerOp != 0 {
+		t.Errorf("bad throughput result: %+v", tp)
+	}
+}
+
+func TestParseLineRejects(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  \trepro/internal/place\t4.521s",
+		"goos: linux",
+		"BenchmarkBroken notanumber 5 ns/op",
+		"BenchmarkNoMetrics-8 100",
+		"BenchmarkOnlyUnknown-8 100 5 widgets/op",
+	} {
+		if r, ok := ParseLine(line); ok {
+			t.Errorf("ParseLine(%q) accepted: %+v", line, r)
+		}
+	}
+}
+
+func TestWriteJSONSorted(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteJSON(&buf, []Result{
+		{Name: "BenchmarkB", Iterations: 1, NsPerOp: 2},
+		{Name: "BenchmarkA", Iterations: 1, NsPerOp: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Index(out, "BenchmarkA") > strings.Index(out, "BenchmarkB") {
+		t.Errorf("output not sorted by name:\n%s", out)
+	}
+	for _, field := range []string{`"name"`, `"ns_per_op"`, `"allocs_per_op"`} {
+		if !strings.Contains(out, field) {
+			t.Errorf("output missing %s:\n%s", field, out)
+		}
+	}
+}

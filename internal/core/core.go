@@ -14,6 +14,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/place"
 	"repro/internal/refine"
+	"repro/internal/telemetry"
 )
 
 // Options configures a full TimberWolfMC run. Zero values select the
@@ -62,6 +63,10 @@ type Options struct {
 	// CheckpointEvery is the outer-step interval between periodic
 	// checkpoints (default place.DefaultCheckpointEvery).
 	CheckpointEvery int
+	// Tel, when non-nil, receives trace events, metrics, and progress lines
+	// from every stage of the flow. Telemetry is observe-only, so results
+	// are bit-identical with or without it (TestTelemetryBitIdentity).
+	Tel *telemetry.Tracer
 }
 
 // Result is the outcome of a full run.
@@ -166,6 +171,7 @@ func PlaceCtx(ctx context.Context, c *netlist.Circuit, opt Options) (*Result, er
 		MaxSteps:        opt.MaxSteps,
 		CheckpointPath:  opt.CheckpointPath,
 		CheckpointEvery: opt.CheckpointEvery,
+		Tel:             opt.Tel,
 	}
 	var (
 		p   *place.Placement
@@ -213,6 +219,7 @@ func PlaceFromCheckpoint(ctx context.Context, c *netlist.Circuit, ck *place.Chec
 	p, s1, err := place.ResumeStage1(ctx, c, ck, place.Options{
 		CheckpointPath:  opt.CheckpointPath,
 		CheckpointEvery: opt.CheckpointEvery,
+		Tel:             opt.Tel,
 	})
 	if err != nil && p == nil {
 		return nil, err
@@ -254,6 +261,7 @@ func runStage2(ctx context.Context, res *Result, opt Options, seed uint64) error
 		Rho:        opt.Rho,
 		M:          opt.M,
 		MaxSteps:   opt.MaxSteps,
+		Tel:        opt.Tel,
 	})
 	res.Stage2 = s2
 	res.TEIL = s2.TEIL

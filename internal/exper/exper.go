@@ -20,6 +20,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/par"
 	"repro/internal/refine"
+	"repro/internal/telemetry"
 )
 
 // Config scales the experiments. Zero values select quick settings suitable
@@ -53,6 +54,10 @@ type Config struct {
 	// a descriptive task id ("table3 i1 trial 0"). Tests inject faults
 	// here: a hook panic is confined to its task like any other failure.
 	TaskHook func(id string)
+	// Tel, when non-nil, receives a task trace event and a progress line at
+	// the start of every task attempt, and a counter of attempts in the
+	// metrics registry. Observe-only: table output is unaffected.
+	Tel *telemetry.Tracer
 }
 
 func (c *Config) fill() {
@@ -90,10 +95,16 @@ func (c *Config) retries() int {
 	}
 }
 
-// hook invokes the TaskHook, if any, with the task id.
+// hook invokes the TaskHook, if any, with the task id, and reports the task
+// attempt to the telemetry layer.
 func (c *Config) hook(id string) {
 	if c.TaskHook != nil {
 		c.TaskHook(id)
+	}
+	if c.Tel != nil {
+		c.Tel.Registry().Counter("exper.tasks").Inc()
+		c.Tel.Emit(telemetry.Event{Type: telemetry.TypeTask, Run: "exper", Label: id})
+		c.Tel.Progressf("task: %s", id)
 	}
 }
 

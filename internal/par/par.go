@@ -33,6 +33,56 @@ import (
 // choose their own: one retry, i.e. at most two attempts per task.
 const DefaultRetries = 1
 
+// poolStats counts pool activity process-wide, for the telemetry layer.
+// The counters are observe-only (nothing in the pool reads them back), so
+// they cannot perturb the determinism contract; each is a single atomic add
+// per task, negligible against task granularity (whole annealing trials).
+var poolStats struct {
+	started, done, retries, panics atomic.Int64
+	active, maxActive              atomic.Int64
+}
+
+// PoolStats is a snapshot of process-wide worker-pool activity: utilization
+// raw material for the telemetry metrics registry.
+type PoolStats struct {
+	// TasksStarted and TasksDone count task attempts begun and finished.
+	TasksStarted, TasksDone int64
+	// Retries counts re-attempts after a failed or panicking attempt.
+	Retries int64
+	// Panics counts attempts that ended in a recovered panic.
+	Panics int64
+	// MaxConcurrent is the high-water mark of simultaneously running tasks.
+	MaxConcurrent int64
+}
+
+// Stats returns a snapshot of the process-wide pool counters.
+func Stats() PoolStats {
+	return PoolStats{
+		TasksStarted:  poolStats.started.Load(),
+		TasksDone:     poolStats.done.Load(),
+		Retries:       poolStats.retries.Load(),
+		Panics:        poolStats.panics.Load(),
+		MaxConcurrent: poolStats.maxActive.Load(),
+	}
+}
+
+// countTask brackets one task execution in the pool counters.
+func countTask(task func()) {
+	poolStats.started.Add(1)
+	a := poolStats.active.Add(1)
+	for {
+		m := poolStats.maxActive.Load()
+		if a <= m || poolStats.maxActive.CompareAndSwap(m, a) {
+			break
+		}
+	}
+	defer func() {
+		poolStats.active.Add(-1)
+		poolStats.done.Add(1)
+	}()
+	task()
+}
+
 // Workers resolves a requested worker count: values <= 0 select
 // GOMAXPROCS, everything else passes through.
 func Workers(n int) int {
@@ -126,7 +176,7 @@ func pool(workers, n int, task func(i int)) {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			task(i)
+			countTask(func() { task(i) })
 		}
 		return
 	}
@@ -143,7 +193,7 @@ func pool(workers, n int, task func(i int)) {
 				if i >= n {
 					return
 				}
-				task(i)
+				countTask(func() { task(i) })
 			}
 		}()
 	}
@@ -176,6 +226,7 @@ func ForEachErr(ctx context.Context, workers, n, retries int, fn func(i int) err
 	attempt := func(i int) (err error) {
 		defer func() {
 			if r := recover(); r != nil {
+				poolStats.panics.Add(1)
 				err = &PanicError{Value: r, Stack: debug.Stack()}
 			}
 		}()
@@ -187,6 +238,9 @@ func ForEachErr(ctx context.Context, workers, n, retries int, fn func(i int) err
 			return
 		}
 		for a := 0; a <= retries; a++ {
+			if a > 0 {
+				poolStats.retries.Add(1)
+			}
 			attempts[i] = a + 1
 			errs[i] = attempt(i)
 			if errs[i] == nil {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"os"
+	"time"
 
 	"repro/internal/anneal"
 	"repro/internal/estimate"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/par"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 // DefaultCheckpointEvery is the outer-step interval between periodic
@@ -57,6 +60,14 @@ type Options struct {
 	// CheckpointEvery is the outer-step interval between periodic
 	// checkpoints; defaults to DefaultCheckpointEvery.
 	CheckpointEvery int
+	// Tel, when non-nil, receives trace events, metrics, and progress lines
+	// for the run. Telemetry is observe-only — it never draws from the run's
+	// RNG streams or alters decisions — so results are bit-identical with or
+	// without it. Not persisted in checkpoints; supply it again on resume.
+	Tel *telemetry.Tracer
+	// Label names the run in trace events and metric names; defaults to
+	// "stage1". Multi-start trials get a ".t<k>" suffix.
+	Label string
 }
 
 func (o *Options) fill() {
@@ -173,6 +184,26 @@ func CalibrateP2(p *Placement, eta float64, src *rng.Source, samples int) float6
 	return eta * sumC1 / sumC2
 }
 
+// moveClass labels the paper's move kinds for per-class metrics: the A1
+// displacement, its A1' inversion retry, the Ao orientation fallback, the
+// Ap pin move, the At shape change, and the two interchange variants.
+type moveClass uint8
+
+const (
+	mcDisplace moveClass = iota
+	mcInvert
+	mcOrient
+	mcPin
+	mcShape
+	mcSwap
+	mcSwapInvert
+	numMoveClasses
+)
+
+var moveClassNames = [numMoveClasses]string{
+	"displace", "invert", "orient", "pin", "shape", "swap", "swap-invert",
+}
+
 // stage1 bundles the per-run state of the generate function.
 type stage1 struct {
 	p       *Placement
@@ -187,6 +218,16 @@ type stage1 struct {
 
 	attempts int64
 	history  []StepStat
+
+	// Telemetry (observe-only; see internal/telemetry). tel == nil disables
+	// everything: the hot path pays one pointer comparison and nothing else.
+	// Instruments are resolved once at run start so recording a move is two
+	// atomic adds and a histogram observe, with zero allocation.
+	tel        *telemetry.Tracer
+	runLabel   string
+	mcAttempts [numMoveClasses]*telemetry.Counter
+	mcAccepts  [numMoveClasses]*telemetry.Counter
+	deltaHist  *telemetry.Histogram
 	// best-so-far placement by full cost, sampled at step boundaries; the
 	// usable result when a run is interrupted.
 	best      []CellState
@@ -213,6 +254,37 @@ func stage1Config(opt Options, st float64, core geom.Rect, numCells int) anneal.
 		StopOnMinWindow: true,
 		MaxSteps:        opt.MaxSteps,
 	}
+}
+
+// initTelemetry resolves the run's trace label and metric instruments. With
+// no tracer every instrument stays nil (all nil-safe), so the disabled run
+// does no lookups and no allocation.
+func (s *stage1) initTelemetry() {
+	s.tel = s.opt.Tel
+	s.runLabel = s.opt.Label
+	if s.runLabel == "" {
+		s.runLabel = "stage1"
+	}
+	if s.tel == nil {
+		return
+	}
+	reg := s.tel.Registry()
+	for c := moveClass(0); c < numMoveClasses; c++ {
+		base := s.runLabel + ".move." + moveClassNames[c]
+		s.mcAttempts[c] = reg.Counter(base + ".attempts")
+		s.mcAccepts[c] = reg.Counter(base + ".accepts")
+	}
+	s.deltaHist = reg.Histogram(s.runLabel+".delta_cost", telemetry.DeltaCostBounds())
+}
+
+// record books one move attempt into the per-class metrics. Callers guard
+// with s.tel != nil so the disabled hot path skips the call entirely.
+func (s *stage1) record(class moveClass, delta float64, accepted bool) {
+	s.mcAttempts[class].Inc()
+	if accepted {
+		s.mcAccepts[class].Inc()
+	}
+	s.deltaHist.Observe(delta)
 }
 
 // RunStage1 executes the complete Stage 1 algorithm on the circuit and
@@ -266,6 +338,11 @@ func RunStage1Ctx(ctx context.Context, c *netlist.Circuit, opt Options) (*Placem
 		p: p, ctl: ctl, src: src, opt: opt, st: st,
 		movable: p.MovableCells(), resumeInner: -1,
 	}
+	s.initTelemetry()
+	s.tel.Emit(telemetry.Event{
+		Type: telemetry.TypeRunStart, Run: s.runLabel, Label: c.Name,
+		Cells: len(c.Cells), Seed: opt.Seed, Cost: p.Cost(),
+	})
 	res, err := s.run(ctx)
 	return p, res, err
 }
@@ -287,6 +364,8 @@ func ResumeStage1(ctx context.Context, c *netlist.Circuit, ck *Checkpoint, opt O
 	o := ck.Opt.options()
 	o.CheckpointPath = opt.CheckpointPath
 	o.CheckpointEvery = opt.CheckpointEvery
+	o.Tel = opt.Tel
+	o.Label = opt.Label
 	o.fill()
 
 	core := ck.Core
@@ -325,6 +404,17 @@ func ResumeStage1(ctx context.Context, c *netlist.Circuit, ck *Checkpoint, opt O
 	}
 	if ck.BestValid {
 		s.best = cloneStates(ck.Best)
+	}
+	s.initTelemetry()
+	if s.tel != nil {
+		s.tel.Registry().Counter(s.runLabel + ".checkpoint.resumes").Inc()
+		s.tel.Emit(telemetry.Event{
+			Type: telemetry.TypeResume, Run: s.runLabel, Label: c.Name,
+			Step: ctl.Step(), Inner: ck.InnerDone, Attempts: ck.Attempts,
+			Cost: p.Cost(), T: ctl.T(),
+		})
+		s.tel.Progressf("%s: resumed at step %d (inner %d, %d attempts)",
+			s.runLabel, ctl.Step(), ck.InnerDone, ck.Attempts)
 	}
 	res, err := s.run(ctx)
 	return p, res, err
@@ -385,10 +475,20 @@ func RunStage1N(ctx context.Context, c *netlist.Circuit, opt Options, nstarts, w
 		p   *Placement
 		res Result
 	}
+	baseLabel := opt.Label
+	if baseLabel == "" {
+		baseLabel = "stage1"
+	}
 	trials, tes := par.MapRetry(ctx, workers, nstarts, par.DefaultRetries, func(k int) (trial, error) {
 		o := opt
 		o.Seed = seeds[k]
 		o.CheckpointPath = "" // per-trial checkpoints are not supported
+		if nstarts > 1 {
+			// Distinct labels keep concurrently-emitted trial events and
+			// metric names apart (trace line order across trials is
+			// scheduling-dependent; grouping by run label is not).
+			o.Label = fmt.Sprintf("%s.t%d", baseLabel, k)
+		}
 		p, res, err := RunStage1Ctx(ctx, c, o)
 		if err != nil {
 			return trial{}, err
@@ -482,7 +582,7 @@ func (s *stage1) innerLoop(ctx context.Context, from int) error {
 }
 
 // endStep closes the current temperature step: stopping-criterion
-// accounting, history, and best-so-far tracking.
+// accounting, history, best-so-far tracking, and the per-step trace event.
 func (s *stage1) endStep() {
 	cost := s.p.Cost()
 	s.ctl.EndStep(cost)
@@ -496,6 +596,24 @@ func (s *stage1) endStep() {
 		s.bestValid = true
 		s.bestCost = cost
 		s.best = s.snapshotStates()
+	}
+	if s.tel != nil {
+		wx, wy := s.ctl.Window()
+		s.tel.Emit(telemetry.Event{
+			Type: telemetry.TypeStep, Run: s.runLabel,
+			Step: s.ctl.Step(), T: s.ctl.T(), Acc: s.ctl.StepAcceptRate(),
+			Wx: wx, Wy: wy,
+			Cost: cost, C1: s.p.C1(), C2: s.p.C2Raw(), C3: s.p.C3(),
+			TEIL: s.p.TEIL(), Attempts: s.attempts,
+		})
+		reg := s.tel.Registry()
+		reg.Gauge(s.runLabel + ".cost").Set(cost)
+		reg.Gauge(s.runLabel + ".c1").Set(s.p.C1())
+		reg.Gauge(s.runLabel + ".teil").Set(s.p.TEIL())
+		reg.Gauge(s.runLabel + ".overlap").Set(float64(s.p.C2Raw()))
+		reg.Gauge(s.runLabel + ".c3").Set(s.p.C3())
+		s.tel.Progressf("%s: step %d T=%.4g cost=%.6g acc=%.2f",
+			s.runLabel, s.ctl.Step(), s.ctl.T(), cost, s.ctl.StepAcceptRate())
 	}
 }
 
@@ -539,7 +657,25 @@ func (s *stage1) buildCheckpoint(innerDone int) *Checkpoint {
 }
 
 func (s *stage1) saveCheckpoint(innerDone int) error {
-	return SaveCheckpoint(s.opt.CheckpointPath, s.buildCheckpoint(innerDone))
+	start := time.Now()
+	err := SaveCheckpoint(s.opt.CheckpointPath, s.buildCheckpoint(innerDone))
+	if err != nil || s.tel == nil {
+		return err
+	}
+	durMS := float64(time.Since(start)) / float64(time.Millisecond)
+	var size int64
+	if fi, serr := os.Stat(s.opt.CheckpointPath); serr == nil {
+		size = fi.Size()
+	}
+	reg := s.tel.Registry()
+	reg.Counter(s.runLabel + ".checkpoint.writes").Inc()
+	reg.Counter(s.runLabel + ".checkpoint.bytes").Add(size)
+	reg.Gauge(s.runLabel + ".checkpoint.last_ms").Set(durMS)
+	s.tel.Emit(telemetry.Event{
+		Type: telemetry.TypeCheckpoint, Run: s.runLabel,
+		Step: s.ctl.Step(), Inner: innerDone, Bytes: size, DurMS: durMS,
+	})
+	return nil
 }
 
 // finish assembles the Result. When the run was interrupted (err != nil)
@@ -566,16 +702,27 @@ func (s *stage1) finish(err error) (Result, error) {
 		P2:         s.p.P2,
 		History:    s.history,
 	}
+	s.tel.Emit(telemetry.Event{
+		Type: telemetry.TypeRunEnd, Run: s.runLabel,
+		Step: res.Steps, T: res.FinalT, Acc: res.AcceptRate,
+		Cost: s.p.Cost(), TEIL: res.TEIL, Attempts: res.Attempts,
+	})
 	return res, err
 }
 
 // tryState applies st to cell i and keeps it if the Metropolis criterion
-// accepts the cost change.
-func (s *stage1) tryState(i int, st CellState) bool {
+// accepts the cost change. class labels the attempt for per-class metrics;
+// recording happens after the accept decision, so it cannot perturb it.
+func (s *stage1) tryState(i int, st CellState, class moveClass) bool {
 	before := s.p.Cost()
 	old := s.p.State(i)
 	s.p.SetState(i, st)
-	if s.ctl.Accept(s.p.Cost() - before) {
+	delta := s.p.Cost() - before
+	ok := s.ctl.Accept(delta)
+	if s.tel != nil {
+		s.record(class, delta, ok)
+	}
+	if ok {
 		return true
 	}
 	s.p.SetState(i, old)
@@ -603,16 +750,16 @@ func (s *stage1) generateDisplacement() {
 	// A1: displace cell i to the target location.
 	st := cur
 	st.Pos = target
-	if !s.tryState(i, st) {
+	if !s.tryState(i, st, mcDisplace) {
 		// A1': retry with an aspect-ratio-inverting orientation
 		// (Figure 2: cell C2 fits the target slot once inverted).
 		st.Orient = s.randomInversion(cur.Orient)
-		if !s.tryState(i, st) {
+		if !s.tryState(i, st, mcInvert) {
 			// Ao: random orientation change in place.
 			st = cur
 			st.Orient = geom.Orient(s.src.Intn(geom.NumOrients))
 			if st.Orient != cur.Orient {
-				s.tryState(i, st)
+				s.tryState(i, st, mcOrient)
 			}
 		}
 	}
@@ -651,13 +798,20 @@ func (s *stage1) trySwap(i, j int, invert bool) bool {
 	oi, oj := p.State(i), p.State(j)
 	ni, nj := p.State(i), p.State(j)
 	ni.Pos, nj.Pos = oj.Pos, oi.Pos
+	class := mcSwap
 	if invert {
 		ni.Orient = s.randomInversion(ni.Orient)
 		nj.Orient = s.randomInversion(nj.Orient)
+		class = mcSwapInvert
 	}
 	p.SetState(i, ni)
 	p.SetState(j, nj)
-	if s.ctl.Accept(p.Cost() - before) {
+	delta := p.Cost() - before
+	ok := s.ctl.Accept(delta)
+	if s.tel != nil {
+		s.record(class, delta, ok)
+	}
+	if ok {
 		return true
 	}
 	p.SetState(i, oi)
@@ -675,7 +829,7 @@ func (s *stage1) tryPinMove(i int) bool {
 	u := s.src.Intn(p.Units(i))
 	st := p.State(i)
 	st.Units[u] = randomUnitAssign(p, i, u, s.src)
-	return s.tryState(i, st)
+	return s.tryState(i, st, mcPin)
 }
 
 // tryShapeChange attempts an aspect-ratio change within the instance's
@@ -694,7 +848,7 @@ func (s *stage1) tryShapeChange(i int) bool {
 		if in.IsCustomShape() {
 			st.Aspect = in.ClampAspect(st.Aspect)
 		}
-		return s.tryState(i, st)
+		return s.tryState(i, st, mcShape)
 	}
 	in := &cl.Instances[st.Instance]
 	if !in.IsCustomShape() {
@@ -706,7 +860,7 @@ func (s *stage1) tryShapeChange(i int) bool {
 		factor := math.Exp((s.src.Float64()*2 - 1) * 0.4)
 		st.Aspect = in.ClampAspect(st.Aspect * factor)
 	}
-	return s.tryState(i, st)
+	return s.tryState(i, st, mcShape)
 }
 
 // randomInversion returns a random orientation with the opposite axis-swap

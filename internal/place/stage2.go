@@ -8,6 +8,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/netlist"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 // RefineOptions configures one placement-refinement pass (§4.3).
@@ -26,6 +27,12 @@ type RefineOptions struct {
 	StableStop bool
 	// MaxSteps bounds the temperature count (0 = no bound).
 	MaxSteps int
+	// Tel, when non-nil, receives trace events, metrics, and progress lines.
+	// Observe-only: results are bit-identical with or without it.
+	Tel *telemetry.Tracer
+	// Label names the pass in trace events and metric names; defaults to
+	// "refine".
+	Label string
 }
 
 func (o *RefineOptions) fill() {
@@ -46,6 +53,48 @@ type RefineResult struct {
 	Overlap    int64
 	Steps      int
 	AcceptRate float64
+}
+
+// refinePass bundles the per-pass state of the refinement generate function,
+// mirroring stage1: a nil tel disables telemetry at the cost of one pointer
+// comparison per move, with instruments pre-resolved so the enabled path
+// does not allocate.
+type refinePass struct {
+	p   *Placement
+	ctl *anneal.Controller
+	src *rng.Source
+
+	tel        *telemetry.Tracer
+	runLabel   string
+	mcAttempts [numMoveClasses]*telemetry.Counter
+	mcAccepts  [numMoveClasses]*telemetry.Counter
+	deltaHist  *telemetry.Histogram
+}
+
+func (r *refinePass) initTelemetry(opt RefineOptions) {
+	r.tel = opt.Tel
+	r.runLabel = opt.Label
+	if r.runLabel == "" {
+		r.runLabel = "refine"
+	}
+	if r.tel == nil {
+		return
+	}
+	reg := r.tel.Registry()
+	for _, c := range []moveClass{mcDisplace, mcPin} {
+		base := r.runLabel + ".move." + moveClassNames[c]
+		r.mcAttempts[c] = reg.Counter(base + ".attempts")
+		r.mcAccepts[c] = reg.Counter(base + ".accepts")
+	}
+	r.deltaHist = reg.Histogram(r.runLabel+".delta_cost", telemetry.DeltaCostBounds())
+}
+
+func (r *refinePass) record(class moveClass, delta float64, accepted bool) {
+	r.mcAttempts[class].Inc()
+	if accepted {
+		r.mcAccepts[class].Inc()
+	}
+	r.deltaHist.Observe(delta)
 }
 
 // RunRefine performs one low-temperature placement-refinement pass on p,
@@ -103,12 +152,20 @@ func RunRefineCtx(ctx context.Context, p *Placement, widths [][4]int, opt Refine
 	src := rng.New(opt.Seed)
 	ctl := anneal.NewController(cfg, src.Split())
 
+	r := &refinePass{p: p, ctl: ctl, src: src}
+	r.initTelemetry(opt)
+	r.tel.Emit(telemetry.Event{
+		Type: telemetry.TypeRunStart, Run: r.runLabel, Label: p.Circuit.Name,
+		Cells: len(p.Circuit.Cells), Seed: opt.Seed, Cost: p.Cost(),
+	})
+
 	movable := p.MovableCells()
 	var cancelled error
 loop:
 	for ctl.Next() {
 		if len(movable) == 0 {
 			ctl.EndStep(p.Cost())
+			r.endStepTelemetry()
 			break
 		}
 		inner := ctl.InnerIterations()
@@ -120,44 +177,77 @@ loop:
 			}
 			i := movable[src.Intn(len(movable))]
 			if p.Circuit.Cells[i].Kind == netlist.Custom && p.Units(i) > 0 && src.Bool(0.25) {
-				refineTryPinMove(p, ctl, src, i)
+				r.tryPinMove(i)
 				continue
 			}
-			refineTryDisplace(p, ctl, src, i)
+			r.tryDisplace(i)
 		}
 		ctl.EndStep(p.Cost())
+		r.endStepTelemetry()
 	}
-	return RefineResult{
+	res := RefineResult{
 		TEIL:       p.TEIL(),
 		Overlap:    p.C2Raw(),
 		Steps:      ctl.Step(),
 		AcceptRate: ctl.AcceptRate(),
-	}, cancelled
+	}
+	r.tel.Emit(telemetry.Event{
+		Type: telemetry.TypeRunEnd, Run: r.runLabel,
+		Step: res.Steps, T: ctl.T(), Acc: res.AcceptRate,
+		Cost: p.Cost(), TEIL: res.TEIL,
+	})
+	return res, cancelled
 }
 
-func refineTryDisplace(p *Placement, ctl *anneal.Controller, src *rng.Source, i int) bool {
-	wx, wy := ctl.Window()
-	dx, dy := anneal.PickDisplacementDs(src, wx, wy)
+// endStepTelemetry emits the per-step trace event and progress line after
+// ctl.EndStep has closed the step.
+func (r *refinePass) endStepTelemetry() {
+	if r.tel == nil {
+		return
+	}
+	wx, wy := r.ctl.Window()
+	r.tel.Emit(telemetry.Event{
+		Type: telemetry.TypeStep, Run: r.runLabel,
+		Step: r.ctl.Step(), T: r.ctl.T(), Acc: r.ctl.StepAcceptRate(),
+		Wx: wx, Wy: wy,
+		Cost: r.p.Cost(), C1: r.p.C1(), C2: r.p.C2Raw(), C3: r.p.C3(),
+		TEIL: r.p.TEIL(),
+	})
+	r.tel.Progressf("%s: step %d T=%.4g cost=%.6g acc=%.2f",
+		r.runLabel, r.ctl.Step(), r.ctl.T(), r.p.Cost(), r.ctl.StepAcceptRate())
+}
+
+func (r *refinePass) tryDisplace(i int) bool {
+	p := r.p
+	wx, wy := r.ctl.Window()
+	dx, dy := anneal.PickDisplacementDs(r.src, wx, wy)
 	st := p.State(i)
 	st.Pos = geom.Point{
 		X: clamp(st.Pos.X+dx, p.Core.XLo, p.Core.XHi),
 		Y: clamp(st.Pos.Y+dy, p.Core.YLo, p.Core.YHi),
 	}
-	return refineTry(p, ctl, i, st)
+	return r.try(i, st, mcDisplace)
 }
 
-func refineTryPinMove(p *Placement, ctl *anneal.Controller, src *rng.Source, i int) bool {
-	u := src.Intn(p.Units(i))
+func (r *refinePass) tryPinMove(i int) bool {
+	p := r.p
+	u := r.src.Intn(p.Units(i))
 	st := p.State(i)
-	st.Units[u] = randomUnitAssign(p, i, u, src)
-	return refineTry(p, ctl, i, st)
+	st.Units[u] = randomUnitAssign(p, i, u, r.src)
+	return r.try(i, st, mcPin)
 }
 
-func refineTry(p *Placement, ctl *anneal.Controller, i int, st CellState) bool {
+func (r *refinePass) try(i int, st CellState, class moveClass) bool {
+	p := r.p
 	before := p.Cost()
 	old := p.State(i)
 	p.SetState(i, st)
-	if ctl.Accept(p.Cost() - before) {
+	delta := p.Cost() - before
+	ok := r.ctl.Accept(delta)
+	if r.tel != nil {
+		r.record(class, delta, ok)
+	}
+	if ok {
 		return true
 	}
 	p.SetState(i, old)

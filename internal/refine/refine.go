@@ -14,6 +14,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/place"
 	"repro/internal/route"
+	"repro/internal/telemetry"
 )
 
 // Options configures the Stage 2 loop.
@@ -36,6 +37,11 @@ type Options struct {
 	PowerTracks int
 	// MaxSteps bounds each refinement pass (0 = paper criterion).
 	MaxSteps int
+	// Tel, when non-nil, receives trace events, metrics, and progress lines
+	// from every step of the loop: the router emits per-iteration route
+	// summaries and the refinement annealer per-temperature step events,
+	// labeled "refine1".."refineN". Observe-only.
+	Tel *telemetry.Tracer
 }
 
 func (o *Options) fill() {
@@ -165,6 +171,7 @@ func RunCtx(ctx context.Context, p *place.Placement, opt Options) (*Result, erro
 
 func runOnce(ctx context.Context, p *place.Placement, opt Options, iter int, res *Result) (IterationStat, error) {
 	var stat IterationStat
+	label := fmt.Sprintf("refine%d", iter+1)
 
 	// Step 1: channel definition.
 	g, err := channel.Build(p)
@@ -173,6 +180,8 @@ func runOnce(ctx context.Context, p *place.Placement, opt Options, iter int, res
 	}
 	stat.Regions = len(g.Regions)
 	stat.GraphEdges = len(g.Edges)
+	opt.Tel.Progressf("%s: channel graph: %d regions, %d edges",
+		label, stat.Regions, stat.GraphEdges)
 
 	// Step 2: global routing.
 	rg, err := RouterGraph(g)
@@ -181,8 +190,10 @@ func runOnce(ctx context.Context, p *place.Placement, opt Options, iter int, res
 	}
 	nets := RouterNets(p, g)
 	routing, err := route.RouteCtx(ctx, rg, nets, route.Options{
-		M:    opt.M,
-		Seed: opt.Seed + uint64(iter)*7919,
+		M:     opt.M,
+		Seed:  opt.Seed + uint64(iter)*7919,
+		Tel:   opt.Tel,
+		Label: label + ".route",
 	})
 	if err != nil {
 		return stat, err
@@ -205,6 +216,8 @@ func runOnce(ctx context.Context, p *place.Placement, opt Options, iter int, res
 		Rho:        opt.Rho,
 		StableStop: iter == opt.Iterations-1,
 		MaxSteps:   opt.MaxSteps,
+		Tel:        opt.Tel,
+		Label:      label,
 	})
 	stat.TEIL = rr.TEIL
 	stat.Overlap = rr.Overlap

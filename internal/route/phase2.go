@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 // routeCtxStride bounds how many phase-two attempts (or phase-one nets) run
@@ -22,6 +23,12 @@ type Options struct {
 	// stops after M·N·StallFactor attempts without a change in L or X
 	// (criterion 2 of §4.2.2). Defaults to 1.
 	StallFactor float64
+	// Tel, when non-nil, receives a routing summary event and metrics.
+	// Observe-only: routing results are identical with or without it.
+	Tel *telemetry.Tracer
+	// Label names the pass in trace events and metric names; defaults to
+	// "route".
+	Label string
 }
 
 func (o *Options) fill() {
@@ -221,6 +228,23 @@ func RouteCtx(ctx context.Context, g *Graph, nets []Net, opt Options) (*Result, 
 		for u := range touched {
 			res.NodeDensity[u]++
 		}
+	}
+	if opt.Tel != nil {
+		label := opt.Label
+		if label == "" {
+			label = "route"
+		}
+		reg := opt.Tel.Registry()
+		reg.Counter(label + ".attempts").Add(int64(res.Attempts))
+		reg.Gauge(label + ".length").Set(float64(res.Length))
+		reg.Gauge(label + ".excess").Set(float64(res.Excess))
+		opt.Tel.Emit(telemetry.Event{
+			Type: telemetry.TypeRoute, Run: label,
+			Length: res.Length, Excess: res.Excess,
+			Attempts: int64(res.Attempts), Cells: len(nets),
+		})
+		opt.Tel.Progressf("%s: %d nets L=%d X=%d after %d attempts",
+			label, len(nets), res.Length, res.Excess, res.Attempts)
 	}
 	return res, cancelled
 }

@@ -1,0 +1,138 @@
+// Package telcli wires the standard telemetry flags — -trace, -metrics,
+// -pprof, -progress — into a telemetry.Tracer, so the three CLIs (twmc,
+// twexp, twgen) expose one observability surface with a single formatting
+// path. A binary that passes none of the flags gets a nil tracer and the
+// zero-overhead disabled path everywhere.
+package telcli
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/par"
+	"repro/internal/telemetry"
+)
+
+// Flags holds the registered telemetry flag values.
+type Flags struct {
+	Trace         *string
+	Metrics       *string
+	Pprof         *string
+	Progress      *bool
+	ProgressEvery *time.Duration
+}
+
+// Register adds the telemetry flags to fs (use flag.CommandLine for the
+// default set).
+func Register(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		Trace:   fs.String("trace", "", "write a JSONL annealing trace to this file (inspect with twtrace)"),
+		Metrics: fs.String("metrics", "", "write a JSON metrics snapshot to this file at exit"),
+		Pprof:   fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)"),
+		Progress: fs.Bool("progress", false,
+			"print per-temperature-step progress lines to stderr"),
+		ProgressEvery: fs.Duration("progress-every", 0,
+			"throttle progress lines to one per interval (0 = every line)"),
+	}
+}
+
+// Runtime is the live telemetry plumbing behind a CLI run. Close tears it
+// down: flushes the trace, writes the metrics snapshot (including worker-pool
+// stats), and stops the pprof server.
+type Runtime struct {
+	// Tracer is nil when no telemetry flag was set — producers then take
+	// their disabled fast path.
+	Tracer *telemetry.Tracer
+
+	reg         *telemetry.Registry
+	sink        *telemetry.JSONLSink
+	traceFile   *os.File
+	metricsPath string
+	pprofSrv    *http.Server
+}
+
+// Start builds the telemetry runtime the flags ask for. prefix labels
+// progress lines and pprof notices ("twmc"). forceProgress additionally
+// enables the stderr progress sink even without -progress (the CLIs' -v).
+func (f *Flags) Start(prefix string, forceProgress bool) (*Runtime, error) {
+	rt := &Runtime{}
+	var sink telemetry.Sink
+	var prog telemetry.ProgressFunc
+	enabled := false
+	if *f.Trace != "" {
+		file, err := os.Create(*f.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("-trace: %w", err)
+		}
+		rt.traceFile = file
+		rt.sink = telemetry.NewJSONLSink(file)
+		sink = rt.sink
+		enabled = true
+	}
+	if *f.Metrics != "" {
+		rt.reg = telemetry.NewRegistry()
+		rt.metricsPath = *f.Metrics
+		enabled = true
+	}
+	if *f.Progress || forceProgress {
+		prog = telemetry.StderrProgress(prefix)
+		if *f.ProgressEvery > 0 {
+			prog = telemetry.Throttled(*f.ProgressEvery, prog)
+		}
+		enabled = true
+	}
+	if *f.Pprof != "" {
+		srv, addr, err := telemetry.StartPprof(*f.Pprof)
+		if err != nil {
+			rt.Close()
+			return nil, fmt.Errorf("-pprof: %w", err)
+		}
+		rt.pprofSrv = srv
+		fmt.Fprintf(os.Stderr, "%s: pprof listening on http://%s/debug/pprof/\n", prefix, addr)
+	}
+	if enabled {
+		rt.Tracer = telemetry.New(sink, rt.reg, prog)
+	}
+	return rt, nil
+}
+
+// Close finishes the run's telemetry: worker-pool stats are folded into the
+// registry, the metrics snapshot is written, the trace is flushed, and the
+// pprof server is stopped. Returns the first error; the run's results are
+// already out, so callers typically just report it.
+func (rt *Runtime) Close() error {
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	if rt.reg != nil {
+		ps := par.Stats()
+		rt.reg.Gauge("pool.tasks_started").Set(float64(ps.TasksStarted))
+		rt.reg.Gauge("pool.tasks_done").Set(float64(ps.TasksDone))
+		rt.reg.Gauge("pool.retries").Set(float64(ps.Retries))
+		rt.reg.Gauge("pool.panics").Set(float64(ps.Panics))
+		rt.reg.Gauge("pool.max_concurrent").Set(float64(ps.MaxConcurrent))
+		f, err := os.Create(rt.metricsPath)
+		if err != nil {
+			keep(fmt.Errorf("-metrics: %w", err))
+		} else {
+			keep(rt.reg.WriteJSON(f))
+			keep(f.Close())
+		}
+	}
+	if rt.sink != nil {
+		keep(rt.sink.Close())
+	}
+	if rt.traceFile != nil {
+		keep(rt.traceFile.Close())
+	}
+	if rt.pprofSrv != nil {
+		keep(rt.pprofSrv.Close())
+	}
+	return first
+}

@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// maxTraceLine bounds one JSONL line a decoder will buffer: far above any
+// event the encoder produces, small enough that a corrupt or hostile file
+// cannot demand unbounded memory.
+const maxTraceLine = 1 << 20
+
+// encodeEvent renders ev as one JSONL line (object + newline).
+func encodeEvent(ev Event) ([]byte, error) {
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: encode event: %w", err)
+	}
+	return append(line, '\n'), nil
+}
+
+// DecodeStats reports what DecodeLines saw.
+type DecodeStats struct {
+	// Events is the number of well-formed events returned.
+	Events int
+	// Skipped counts malformed lines (bad JSON, not an object, unsupported
+	// schema version): they are dropped, never fatal.
+	Skipped int
+}
+
+// DecodeLines reads a JSONL trace stream, returning every well-formed event
+// in order. Malformed lines — truncated writes, corruption, foreign
+// content, unsupported schema versions — are skipped and counted in
+// stats.Skipped; blank lines are ignored silently. The decoder never
+// panics; the only error cases are reader failures and an over-long line
+// (beyond maxTraceLine), and even then the events decoded so far are
+// returned.
+func DecodeLines(r io.Reader) ([]Event, DecodeStats, error) {
+	var (
+		events []Event
+		stats  DecodeStats
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxTraceLine)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		dec := json.NewDecoder(bytes.NewReader(line))
+		if err := dec.Decode(&ev); err != nil || ev.V != SchemaVersion || ev.Type == "" {
+			stats.Skipped++
+			continue
+		}
+		// Trailing garbage after the object is malformed too.
+		if dec.More() {
+			stats.Skipped++
+			continue
+		}
+		events = append(events, ev)
+		stats.Events++
+	}
+	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			err = fmt.Errorf("telemetry: trace line exceeds %d bytes", maxTraceLine)
+		}
+		return events, stats, err
+	}
+	return events, stats, nil
+}
+
+// DecodeString is DecodeLines over an in-memory trace (tests, fuzzing).
+func DecodeString(s string) ([]Event, DecodeStats, error) {
+	return DecodeLines(strings.NewReader(s))
+}

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeLines drives the trace decoder with arbitrary byte streams: it
+// must never panic, must account for every non-blank line as either decoded
+// or skipped, and must round-trip whatever it decodes.
+func FuzzDecodeLines(f *testing.F) {
+	f.Add(`{"v":1,"type":"step","run":"stage1","step":3,"T":70000,"acc":0.91}`)
+	f.Add(`{"v":1,"type":"run-start","run":"stage1","cells":25,"seed":7}` + "\n" +
+		`{"v":1,"type":"checkpoint","step":5,"inner":-1,"bytes":8192,"dur_ms":1.5}`)
+	f.Add("not json\n{\"v\":1,\"type\":\"note\"}\n")
+	f.Add(`{"v":99,"type":"step"}`)
+	f.Add(`{"v":1}`)
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add(`{"v":1,"type":"step","T":1e308}`)
+	f.Add(`{"v":1,"type":"step","T":null,"step":"three"}`)
+	f.Add(`{"v":1,"type":"step"}{"v":1,"type":"step"}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		events, stats, err := DecodeString(input)
+		if len(events) != stats.Events {
+			t.Fatalf("returned %d events but stats claim %d", len(events), stats.Events)
+		}
+		if err != nil {
+			return // reader/line-length errors are allowed, panics are not
+		}
+		nonBlank := 0
+		for _, line := range strings.Split(input, "\n") {
+			if strings.TrimSpace(line) != "" {
+				nonBlank++
+			}
+		}
+		if stats.Events+stats.Skipped != nonBlank {
+			t.Fatalf("%d events + %d skipped != %d non-blank lines",
+				stats.Events, stats.Skipped, nonBlank)
+		}
+		for _, ev := range events {
+			if ev.V != SchemaVersion || ev.Type == "" {
+				t.Fatalf("decoder passed through an invalid event: %+v", ev)
+			}
+			line, encErr := encodeEvent(ev)
+			if encErr != nil {
+				t.Fatalf("decoded event does not re-encode: %v", encErr)
+			}
+			again, st2, decErr := DecodeString(string(line))
+			if decErr != nil || len(again) != 1 || st2.Skipped != 0 {
+				t.Fatalf("decoded event does not round-trip: %v %+v", decErr, st2)
+			}
+		}
+	})
+}

@@ -1,0 +1,30 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StartPprof serves the standard net/http/pprof endpoints on addr (for
+// example "localhost:6060") from a dedicated mux — the global
+// http.DefaultServeMux stays untouched. The listener is opened
+// synchronously so bind errors surface immediately; serving then proceeds
+// in the background. The returned server's Close tears the endpoint down;
+// the returned string is the bound address (useful with ":0").
+func StartPprof(addr string) (*http.Server, string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,228 @@
+// Package telemetry is the observability layer of the reproduction: a
+// structured trace-event stream, a metrics registry, a progress sink, and a
+// pprof hook, shared by the annealing kernels (internal/place), the Stage 2
+// loop (internal/refine), the global router (internal/route), the flow
+// orchestrator (internal/core), and the experiment harness (internal/exper).
+//
+// The central contract is zero overhead when disabled: every producer holds
+// a possibly-nil *Tracer and every method of Tracer, Counter, Gauge, and
+// Histogram is safe to call on a nil receiver, returning immediately. A run
+// with no tracer attached executes the exact instruction stream it did
+// before instrumentation, modulo one pointer comparison per guarded block,
+// and allocates nothing. The second contract is observe-only: telemetry
+// reads run state but never feeds back into it — no RNG draws, no decision
+// changes — so enabling every sink leaves placement results byte-identical
+// (enforced by TestTelemetryBitIdentity in internal/core).
+//
+// See DESIGN.md §9 for the architecture and the versioned trace schema.
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// SchemaVersion is the trace-event schema version emitted in every event's
+// "v" field. Decoders skip events carrying a version they do not understand
+// (see DecodeLines) instead of misreading them.
+const SchemaVersion = 1
+
+// Event is one trace record. The struct is flat — one schema for every
+// event type, with unused fields omitted from the JSONL encoding — so
+// decoding needs no per-type dispatch. Producers set Type to one of the
+// EventType constants and fill the fields that type defines (DESIGN.md §9
+// tabulates them).
+type Event struct {
+	// V is the schema version (SchemaVersion at encode time).
+	V int `json:"v"`
+	// Type discriminates the event (see the Type* constants).
+	Type string `json:"type"`
+	// Run labels the annealing run the event belongs to: "stage1",
+	// "stage1.t3" (multi-start trial), "refine1"…"refine3".
+	Run string `json:"run,omitempty"`
+	// Label carries free-form context: a task id, a circuit name.
+	Label string `json:"label,omitempty"`
+	// Step is the 1-based temperature-step index.
+	Step int `json:"step,omitempty"`
+	// T is the annealing temperature.
+	T float64 `json:"T,omitempty"`
+	// Acc is the per-step acceptance rate in [0,1].
+	Acc float64 `json:"acc,omitempty"`
+	// Wx, Wy are the range-limiter window spans.
+	Wx float64 `json:"wx,omitempty"`
+	Wy float64 `json:"wy,omitempty"`
+	// Cost and its decomposition C1 + p2·C2 + C3; TEIL is the unweighted
+	// interconnect length.
+	Cost float64 `json:"cost,omitempty"`
+	C1   float64 `json:"c1,omitempty"`
+	C2   int64   `json:"c2,omitempty"`
+	C3   float64 `json:"c3,omitempty"`
+	TEIL float64 `json:"teil,omitempty"`
+	// Attempts is the cumulative move-attempt count.
+	Attempts int64 `json:"attempts,omitempty"`
+	// Cells is the entity count the event covers: cells on run-start
+	// events, nets on route events.
+	Cells int `json:"cells,omitempty"`
+	// Seed is the run seed (run-start events).
+	Seed uint64 `json:"seed,omitempty"`
+	// Inner is the inner-loop iteration index (checkpoint/resume events;
+	// -1 means an outer-step boundary).
+	Inner int `json:"inner,omitempty"`
+	// Bytes is a payload size (checkpoint events).
+	Bytes int64 `json:"bytes,omitempty"`
+	// Length and Excess are the global router's L and X.
+	Length int64 `json:"len,omitempty"`
+	Excess int   `json:"excess,omitempty"`
+	// ElapsedMS is wall time since the tracer was created; DurMS the
+	// duration of the operation the event describes. Both are
+	// non-deterministic and excluded from deterministic reports.
+	ElapsedMS float64 `json:"ms,omitempty"`
+	DurMS     float64 `json:"dur_ms,omitempty"`
+}
+
+// Event types. The flat Event schema means new types can be added without a
+// version bump as long as existing fields keep their meaning.
+const (
+	TypeRunStart   = "run-start"  // an annealing run begins
+	TypeStep       = "step"       // one temperature step completed
+	TypeRunEnd     = "run-end"    // an annealing run finished
+	TypeCheckpoint = "checkpoint" // a resumable checkpoint was written
+	TypeResume     = "resume"     // a run was restored from a checkpoint
+	TypeRoute      = "route"      // a global-routing pass finished
+	TypeTask       = "task"       // an experiment-harness task attempt began
+	TypeNote       = "note"       // free-form annotation
+)
+
+// Sink consumes trace events. Implementations must be safe for concurrent
+// use: multi-start trials and experiment fan-outs emit from worker
+// goroutines.
+type Sink interface {
+	Emit(Event)
+}
+
+// ProgressFunc receives human-readable progress lines (printf-style). The
+// CLIs wire it to stderr so piped stdout results stay clean.
+type ProgressFunc func(format string, args ...any)
+
+// Tracer fans run instrumentation out to a trace sink, a metrics registry,
+// and a progress sink, any of which may be absent. A nil *Tracer disables
+// everything; producers guard hot-path work with a single nil check.
+type Tracer struct {
+	sink  Sink
+	reg   *Registry
+	prog  ProgressFunc
+	start time.Time
+}
+
+// New builds a tracer over the given sinks; each may be nil. A tracer with
+// every sink nil is still valid (and still observe-only); callers that want
+// true zero overhead pass a nil *Tracer instead.
+func New(sink Sink, reg *Registry, prog ProgressFunc) *Tracer {
+	return &Tracer{sink: sink, reg: reg, prog: prog, start: time.Now()}
+}
+
+// Emit stamps ev with the schema version and elapsed wall time and forwards
+// it to the trace sink, if any.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil || t.sink == nil {
+		return
+	}
+	ev.V = SchemaVersion
+	ev.ElapsedMS = float64(time.Since(t.start)) / float64(time.Millisecond)
+	t.sink.Emit(ev)
+}
+
+// Registry returns the metrics registry, or nil when metrics are disabled.
+// All registry lookups are nil-safe, so producers can resolve instruments
+// unconditionally and pay nothing when disabled.
+func (t *Tracer) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Progressf forwards a progress line to the progress sink, if any.
+func (t *Tracer) Progressf(format string, args ...any) {
+	if t == nil || t.prog == nil {
+		return
+	}
+	t.prog(format, args...)
+}
+
+// JSONLSink writes one JSON object per event to an io.Writer, buffered and
+// mutex-protected (safe for concurrent Emit). Close flushes; events after
+// Close are dropped.
+type JSONLSink struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	closed bool
+	// encode errors are sticky: telemetry must never fail the run, so the
+	// first write error silences the sink and is reported by Close.
+	err error
+}
+
+// NewJSONLSink wraps w in a JSONL event sink. The caller retains ownership
+// of w (Close flushes the sink but does not close w).
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{bw: bufio.NewWriter(w)}
+}
+
+// Emit appends ev as one JSONL line. Errors are sticky and surfaced by
+// Close; a failing sink never interrupts the run it observes.
+func (s *JSONLSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.err != nil {
+		return
+	}
+	line, err := encodeEvent(ev)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.bw.Write(line); err != nil {
+		s.err = err
+	}
+}
+
+// Close flushes buffered events, marks the sink closed, and returns the
+// first write error, if any.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if ferr := s.bw.Flush(); s.err == nil {
+		s.err = ferr
+	}
+	return s.err
+}
+
+// StderrProgress returns a ProgressFunc printing "prefix: line" to stderr.
+func StderrProgress(prefix string) ProgressFunc {
+	return func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, prefix+": "+format+"\n", args...)
+	}
+}
+
+// Throttled wraps f so at most one line per min interval gets through —
+// the periodic progress line of long runs. Thread-safe.
+func Throttled(min time.Duration, f ProgressFunc) ProgressFunc {
+	var mu sync.Mutex
+	var last time.Time
+	return func(format string, args ...any) {
+		mu.Lock()
+		now := time.Now()
+		if !last.IsZero() && now.Sub(last) < min {
+			mu.Unlock()
+			return
+		}
+		last = now
+		mu.Unlock()
+		f(format, args...)
+	}
+}

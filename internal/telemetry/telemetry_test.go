@@ -1,0 +1,298 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Type: TypeStep})
+	tr.Progressf("ignored %d", 1)
+	if tr.Registry() != nil {
+		t.Fatal("nil tracer must hand out a nil registry")
+	}
+	var reg *Registry
+	c := reg.Counter("x")
+	g := reg.Gauge("y")
+	h := reg.Histogram("z", DeltaCostBounds())
+	c.Inc()
+	c.Add(5)
+	g.Set(3.5)
+	h.Observe(-2)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must stay zero")
+	}
+}
+
+// TestDisabledTelemetryAllocatesNothing is half of the zero-overhead
+// contract: the disabled hot path — nil tracer, nil instruments — performs
+// zero allocations. (The other half, ≤2% ns/op on the Stage 1 inner loop,
+// is BenchmarkStage1Inner in internal/place.)
+func TestDisabledTelemetryAllocatesNothing(t *testing.T) {
+	var tr *Tracer
+	var reg *Registry
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h", DeltaCostBounds())
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1)
+		h.Observe(-3)
+		tr.Emit(Event{Type: TypeStep, Step: 1})
+		if tr.Registry() != nil {
+			t.Fatal("unreachable")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry allocated %v times per op, want 0", allocs)
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := New(sink, nil, nil)
+	tr.Emit(Event{Type: TypeRunStart, Run: "stage1", Cells: 25, Seed: 7})
+	tr.Emit(Event{Type: TypeStep, Run: "stage1", Step: 1, T: 1e5, Acc: 0.97,
+		Wx: 800, Wy: 600, Cost: 1234.5, C1: 1000, C2: 200, C3: 34.5, TEIL: 999})
+	tr.Emit(Event{Type: TypeRunEnd, Run: "stage1", Step: 1, Attempts: 4000})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, stats, err := DecodeString(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped != 0 || stats.Events != 3 || len(events) != 3 {
+		t.Fatalf("decode stats %+v, events %d", stats, len(events))
+	}
+	if events[0].Type != TypeRunStart || events[0].Cells != 25 || events[0].Seed != 7 {
+		t.Fatalf("run-start mangled: %+v", events[0])
+	}
+	st := events[1]
+	if st.Step != 1 || st.T != 1e5 || st.Acc != 0.97 || st.C2 != 200 || st.Cost != 1234.5 {
+		t.Fatalf("step mangled: %+v", st)
+	}
+	if events[2].Attempts != 4000 {
+		t.Fatalf("run-end mangled: %+v", events[2])
+	}
+	for _, ev := range events {
+		if ev.V != SchemaVersion {
+			t.Fatalf("event missing schema version: %+v", ev)
+		}
+	}
+}
+
+func TestJSONLSinkConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := New(sink, nil, nil)
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 50
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Emit(Event{Type: TypeNote, Run: fmt.Sprintf("g%d", g), Step: i + 1})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, stats, err := DecodeString(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped != 0 || len(events) != goroutines*each {
+		t.Fatalf("lost or mangled events: %d decoded, %d skipped", len(events), stats.Skipped)
+	}
+}
+
+func TestDecodeLinesSkipsMalformed(t *testing.T) {
+	good, err := encodeEvent(Event{V: SchemaVersion, Type: TypeStep, Step: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := strings.Join([]string{
+		"not json at all",
+		strings.TrimSuffix(string(good), "\n"),
+		`{"v":99,"type":"step"}`,         // unsupported version
+		`{"v":1}`,                        // missing type
+		`{"v":1,"type":"step"} trailing`, // trailing garbage
+		"",                               // blank: ignored silently
+		`[1,2,3]`,                        // not an object
+		strings.TrimSuffix(string(good), "\n"),
+	}, "\n")
+	events, stats, err := DecodeString(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || stats.Events != 2 {
+		t.Fatalf("got %d events, want 2 (stats %+v)", len(events), stats)
+	}
+	if stats.Skipped != 5 {
+		t.Fatalf("got %d skipped, want 5", stats.Skipped)
+	}
+}
+
+func TestDecodeLinesOverlongLine(t *testing.T) {
+	long := `{"v":1,"type":"note","label":"` + strings.Repeat("x", maxTraceLine) + `"}`
+	events, _, err := DecodeString(long)
+	if err == nil {
+		t.Fatal("want an error for an overlong line")
+	}
+	if len(events) != 0 {
+		t.Fatalf("got %d events from a single overlong line", len(events))
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("moves.attempts")
+	if reg.Counter("moves.attempts") != c {
+		t.Fatal("counter lookup must be stable")
+	}
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Fatalf("counter = %d, want 4", c.Value())
+	}
+	g := reg.Gauge("pool.workers")
+	g.Set(8)
+	if g.Value() != 8 {
+		t.Fatalf("gauge = %v, want 8", g.Value())
+	}
+	h := reg.Histogram("delta", []float64{-1, 0, 1})
+	for _, v := range []float64{-5, -1, 0, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	bounds, counts := h.Snapshot()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("snapshot shape %d/%d", len(bounds), len(counts))
+	}
+	// -5,-1 <= -1; 0 <= 0; 0.5 <= 1; 2,100 overflow.
+	want := []int64{2, 1, 1, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, counts[i], want[i], counts)
+		}
+	}
+	if h.Count() != 6 || h.Sum() != -5-1+0+0.5+2+100 {
+		t.Fatalf("count %d sum %v", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistryWriteJSONDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b").Add(2)
+	reg.Counter("a").Add(1)
+	reg.Gauge("g").Set(1.5)
+	reg.Histogram("h", []float64{0}).Observe(-1)
+	var b1, b2 bytes.Buffer
+	if err := reg.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("registry JSON must be deterministic")
+	}
+	var decoded struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(b1.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Counters["a"] != 1 || decoded.Counters["b"] != 2 {
+		t.Fatalf("counters mangled: %v", decoded.Counters)
+	}
+	counters, gauges, hists := reg.Names()
+	if len(counters) != 2 || len(gauges) != 1 || len(hists) != 1 {
+		t.Fatalf("names: %v %v %v", counters, gauges, hists)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				reg.Counter("shared").Inc()
+				reg.Histogram("h", DeltaCostBounds()).Observe(float64(i - 100))
+				reg.Gauge("g").Set(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("shared").Value(); got != 1600 {
+		t.Fatalf("shared counter = %d, want 1600", got)
+	}
+	if got := reg.Histogram("h", nil).Count(); got != 1600 {
+		t.Fatalf("histogram count = %d, want 1600", got)
+	}
+}
+
+func TestThrottled(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	f := Throttled(time.Hour, func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	})
+	f("first %d", 1)
+	f("suppressed")
+	f("suppressed too")
+	if len(lines) != 1 || lines[0] != "first 1" {
+		t.Fatalf("throttle let through %v", lines)
+	}
+}
+
+func TestStartPprof(t *testing.T) {
+	srv, addr, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+}
+
+func TestTracerStampsVersionAndElapsed(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := New(sink, nil, nil)
+	tr.Emit(Event{Type: TypeNote})
+	sink.Close()
+	events, _, err := DecodeString(buf.String())
+	if err != nil || len(events) != 1 {
+		t.Fatalf("decode: %v, %d events", err, len(events))
+	}
+	if events[0].V != SchemaVersion {
+		t.Fatalf("V = %d", events[0].V)
+	}
+	if events[0].ElapsedMS < 0 {
+		t.Fatalf("elapsed = %v", events[0].ElapsedMS)
+	}
+}
