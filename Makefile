@@ -1,6 +1,6 @@
 # Standard checks for the TimberWolfMC reproduction.
 #
-#   make verify      tier-1 checks + race detector + short fuzz smokes + bench smoke
+#   make verify      tier-1 checks + race detector + short fuzz smokes + bench smoke + twserve smoke
 #   make test        unit tests only
 #   make fuzz-smoke  10-second runs of each fuzz target
 #   make bench       place benchmarks with -benchmem -> BENCH_PR3.json
@@ -11,9 +11,9 @@ FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 BENCHOUT ?= BENCH_PR3.json
 
-.PHONY: verify tier1 test race fuzz-smoke bench bench-smoke
+.PHONY: verify tier1 test race fuzz-smoke bench bench-smoke serve-smoke
 
-verify: tier1 race fuzz-smoke bench-smoke
+verify: tier1 race fuzz-smoke bench-smoke serve-smoke
 
 tier1:
 	$(GO) build ./...
@@ -32,6 +32,13 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseYAL -fuzztime=$(FUZZTIME) ./internal/netlist
 	$(GO) test -fuzz=FuzzDecodeCheckpoint -fuzztime=$(FUZZTIME) ./internal/place
 	$(GO) test -fuzz=FuzzDecodeLines -fuzztime=$(FUZZTIME) ./internal/telemetry
+	$(GO) test -fuzz=FuzzDecodeJournal -fuzztime=$(FUZZTIME) ./internal/jobs
+
+# serve-smoke drives a real twserve process end to end: start on an
+# ephemeral port, submit a job, SIGTERM mid-run, and require a clean exit
+# that leaves the job durably resumable.
+serve-smoke:
+	$(GO) test -run 'TestServeDrainSmoke|TestServeKillRecovery' -count=1 -v ./cmd/twserve
 
 # bench records the placement hot-path benchmarks (incl. the telemetry
 # on/off pair) as committed JSON. BENCHTIME=1x gives stable-ish numbers

@@ -31,7 +31,6 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/core"
-	"repro/internal/drc"
 	"repro/internal/gen"
 	"repro/internal/netlist"
 	"repro/internal/place"
@@ -43,6 +42,10 @@ import (
 // exitInterrupted is the exit code for a run stopped by signal or deadline:
 // distinct from 1 (hard failure) and 2 (usage) so wrappers can requeue.
 const exitInterrupted = 3
+
+// exitDRC is the exit code for a completed run whose result failed the
+// design-rule checks (-drc): the layout exists but is not legal.
+const exitDRC = 4
 
 func main() {
 	var (
@@ -63,7 +66,7 @@ func main() {
 		svgPath  = flag.String("svg", "", "write an SVG rendering of the result to this file")
 		outPath  = flag.String("out", "", "write the final placement to this file (reloadable)")
 		report   = flag.Bool("report", false, "print a post-run quality report")
-		runDRC   = flag.Bool("drc", false, "run design-rule checks on the result")
+		runDRC   = flag.Bool("drc", false, "run design-rule checks on the result (exit 4 when errors are found)")
 		load     = flag.String("load", "", "load a saved placement (-out file) and run Stage 2 only")
 		ckPath   = flag.String("checkpoint", "", "write resumable Stage 1 checkpoints to this file (periodically and on interrupt)")
 		ckEvery  = flag.Int("checkpoint-every", 0, "temperature steps between periodic checkpoints (0 = default 5)")
@@ -221,17 +224,14 @@ func main() {
 		}
 	}
 
+	drcFailed := false
 	if *runDRC {
-		var g *channel.Graph
-		var routing *route.Result
-		if res.Stage2 != nil {
-			g, routing = res.Stage2.Graph, res.Stage2.Routing
-		}
-		dr := drc.Check(res.Placement, g, routing)
+		dr := res.DRC()
 		fmt.Printf("drc: %d errors, %d warnings\n", dr.Errors(), dr.Warnings())
 		for _, v := range dr.Violations {
 			fmt.Println(" ", v)
 		}
+		drcFailed = dr.Errors() > 0
 	}
 
 	if *report {
@@ -283,6 +283,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "twmc: results above are the best so far; set -checkpoint to make interrupted runs resumable")
 		}
 		os.Exit(exitInterrupted)
+	}
+	if drcFailed {
+		fmt.Fprintln(os.Stderr, "twmc: placement failed design-rule checks (see drc lines above)")
+		os.Exit(exitDRC)
 	}
 }
 

@@ -1,0 +1,338 @@
+// Command twserve runs the crash-safe placement job service: an HTTP front
+// end over the durable job store and worker pool of internal/jobs. Jobs are
+// twmc placement runs described by a JSON spec; every state transition is
+// journaled durably, long anneals checkpoint periodically, and a killed or
+// drained server resumes interrupted jobs on the next start — producing
+// placements byte-identical to uninterrupted runs (DESIGN.md §10).
+//
+// Usage:
+//
+//	twserve -store jobs.d [-addr localhost:8077] [flags]
+//
+// API (see README "Running as a service" for curl examples):
+//
+//	POST /jobs              submit a job spec      → 202 {"id":"j000001",...}
+//	                        queue full             → 429 + Retry-After
+//	                        draining               → 503
+//	GET  /jobs              list jobs
+//	GET  /jobs/{id}         spec + full status journal
+//	GET  /jobs/{id}/result  final metrics + DRC outcome
+//	GET  /jobs/{id}/placement  final placement (plain text, reloadable)
+//	POST /jobs/{id}/cancel  cancel a queued or running job
+//	GET  /healthz           process liveness
+//	GET  /readyz            accepting jobs? (503 while draining)
+//	GET  /metrics           live metrics snapshot (JSON)
+//
+// SIGTERM or SIGINT starts a graceful drain: /readyz flips to 503, new
+// submissions are rejected, running jobs checkpoint and journal themselves
+// back to queued, and the process exits 0 within the -drain budget.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/telcli"
+)
+
+// maxSpecBytes bounds a submitted spec (inline netlists included).
+const maxSpecBytes = 8 << 20
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "localhost:8077", "HTTP listen address")
+		storeDir = flag.String("store", "", "job store directory (created if missing; required)")
+		workers  = flag.Int("workers", 0, "concurrent job executors (0 = default 2)")
+		queue    = flag.Int("queue", 0, "queued-job bound before submissions get 429 (0 = default 64)")
+		retries  = flag.Int("retries", 0, "default retry budget for transient job failures (0 = default 1)")
+		ckEvery  = flag.Int("checkpoint-every", 0, "temperature steps between job checkpoints (0 = default 5)")
+		drainT   = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget after SIGTERM/SIGINT")
+	)
+	tf := telcli.Register(flag.CommandLine)
+	flag.Parse()
+	if *storeDir == "" || flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "usage: twserve -store DIR [flags]")
+		flag.PrintDefaults()
+		return 2
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "twserve: "+format+"\n", args...)
+	}
+
+	rt, err := tf.Start("twserve", false)
+	if err != nil {
+		logf("%v", err)
+		return 1
+	}
+	// A server always carries a live registry so /metrics works without
+	// telemetry flags; -metrics additionally snapshots it to a file at exit.
+	rt.EnsureRegistry()
+
+	st, err := jobs.Open(*storeDir, logf)
+	if err != nil {
+		logf("%v", err)
+		return 1
+	}
+	if n := st.Quarantined(); n > 0 {
+		logf("store: quarantined %d damaged file(s)/dir(s); see %s", n, *storeDir)
+	}
+	mgr := jobs.NewManager(st, jobs.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		Retries:         *retries,
+		CheckpointEvery: *ckEvery,
+		Tel:             rt.Tracer,
+		Logf:            logf,
+	})
+	if n := mgr.Start(); n > 0 {
+		logf("recovered %d interrupted job(s)", n)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logf("%v", err)
+		return 1
+	}
+	// The one stdout line, so wrappers (and the smoke test) can find the
+	// bound port when -addr asked for :0.
+	fmt.Printf("twserve: listening on http://%s (store %s)\n", ln.Addr(), *storeDir)
+
+	srv := &server{store: st, mgr: mgr, rt: rt, logf: logf}
+	srv.ready.Store(true)
+	httpSrv := &http.Server{Handler: srv.mux()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		logf("serve: %v", err)
+		return 1
+	case s := <-sig:
+		logf("%v: draining (budget %v)", s, *drainT)
+	}
+	srv.ready.Store(false)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	code := 0
+	if err := mgr.Drain(ctx); err != nil {
+		logf("drain: %v", err)
+		code = 1
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		logf("shutdown: %v", err)
+		code = 1
+	}
+	if err := rt.Close(); err != nil {
+		logf("telemetry: %v", err)
+		code = 1
+	}
+	logf("drained; exiting")
+	return code
+}
+
+// server holds the HTTP side of the service.
+type server struct {
+	store *jobs.Store
+	mgr   *jobs.Manager
+	rt    *telcli.Runtime
+	ready atomic.Bool
+	logf  func(string, ...any)
+}
+
+// mux routes the API (Go 1.22 method+pattern routing).
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/placement", s.handlePlacement)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !s.ready.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// jobView is the status summary returned by list/submit/get.
+type jobView struct {
+	ID      string     `json:"id"`
+	Name    string     `json:"name,omitempty"`
+	State   jobs.State `json:"state"`
+	Detail  string     `json:"detail,omitempty"`
+	Attempt int        `json:"attempt,omitempty"`
+	Updated time.Time  `json:"updated"`
+}
+
+func view(j *jobs.Job) jobView {
+	rec := j.Last()
+	return jobView{
+		ID:      j.ID,
+		Name:    j.Spec.Name,
+		State:   rec.State,
+		Detail:  rec.Detail,
+		Attempt: rec.Attempt,
+		Updated: rec.Time,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	var spec jobs.Spec
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
+		return
+	}
+	j, err := s.mgr.Submit(spec)
+	var full *jobs.ErrQueueFull
+	switch {
+	case errors.As(err, &full):
+		w.Header().Set("Retry-After", strconv.Itoa(int(full.RetryAfter.Seconds())))
+		httpError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, jobs.ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err)
+	default:
+		s.logf("accepted %s (%s)", j.ID, circuitLabel(&j.Spec))
+		writeJSON(w, http.StatusAccepted, view(j))
+	}
+}
+
+func circuitLabel(spec *jobs.Spec) string {
+	if spec.Preset != "" {
+		return "preset " + spec.Preset
+	}
+	return "inline netlist"
+}
+
+func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
+	list := s.store.List()
+	views := make([]jobView, len(list))
+	for i, j := range list {
+		views[i] = view(j)
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *server) job(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
+	j, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %s", r.PathValue("id")))
+	}
+	return j, ok
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		jobView
+		Spec    jobs.Spec     `json:"spec"`
+		History []jobs.Record `json:"history"`
+	}{view(j), j.Spec, j.History()})
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	info, err := j.ReadResult()
+	if err != nil {
+		if os.IsNotExist(err) {
+			httpError(w, http.StatusNotFound,
+				fmt.Errorf("job %s has no result yet (state %s)", j.ID, j.Last().State))
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *server) handlePlacement(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	f, err := os.Open(j.PlacementPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			httpError(w, http.StatusNotFound,
+				fmt.Errorf("job %s has no placement (state %s)", j.ID, j.Last().State))
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.Copy(w, f)
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	canceled, err := s.mgr.Cancel(j.ID)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"canceled": canceled,
+		"state":    j.Last().State,
+	})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.rt.FoldPoolStats()
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.rt.Registry().WriteJSON(w); err != nil {
+		s.logf("metrics: %v", err)
+	}
+}

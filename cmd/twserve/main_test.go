@@ -1,0 +1,414 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/par"
+	"repro/internal/telcli"
+)
+
+// TestMain doubles as the twserve entry point: the subprocess tests re-exec
+// this binary with TWSERVE_CHILD=1 to get a real server process they can
+// SIGTERM and SIGKILL.
+func TestMain(m *testing.M) {
+	if os.Getenv("TWSERVE_CHILD") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// fastSpecJSON completes in tens of milliseconds (truncated anneal, DRC
+// skipped); slowSpecJSON runs ~1s with frequent checkpoints so tests can
+// interrupt it mid-run.
+const (
+	fastSpecJSON = `{"preset":"i1","seed":1,"ac":8,"max_steps":8,"skip_stage2":true,"skip_drc":true}`
+	slowSpecJSON = `{"preset":"i3","seed":1,"ac":40,"max_steps":400,"skip_stage2":true,"skip_drc":true}`
+)
+
+// newTestServer wires a server over a fresh manager, in process.
+func newTestServer(t *testing.T, root string, cfg jobs.Config) (*server, *httptest.Server) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	tf := telcli.Register(fs)
+	rt, err := tf.Start("twserve-test", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.EnsureRegistry()
+	st, err := jobs.Open(root, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tel = rt.Tracer
+	cfg.Logf = t.Logf
+	if cfg.Backoff == (par.Backoff{}) {
+		cfg.Backoff = par.Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond}
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 1
+	}
+	srv := &server{store: st, mgr: jobs.NewManager(st, cfg), rt: rt, logf: t.Logf}
+	srv.ready.Store(true)
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// pollState polls GET /jobs/{id} until the reported state matches want.
+func pollState(t *testing.T, base, id string, want ...string) string {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	last := ""
+	for time.Now().Before(deadline) {
+		resp, data := get(t, base+"/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /jobs/%s: %d %s", id, resp.StatusCode, data)
+		}
+		var v struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatal(err)
+		}
+		last = v.State
+		for _, w := range want {
+			if last == w {
+				return last
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s stuck in %q, want one of %v", id, last, want)
+	return ""
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir(), jobs.Config{Workers: 1})
+	srv.mgr.Start()
+	defer srv.mgr.Drain(t.Context())
+
+	resp, data := postJSON(t, ts.URL+"/jobs", fastSpecJSON)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &v); err != nil || v.ID == "" {
+		t.Fatalf("submit response %q: %v", data, err)
+	}
+	pollState(t, ts.URL, v.ID, "succeeded")
+
+	resp, data = get(t, ts.URL+"/jobs/"+v.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d %s", resp.StatusCode, data)
+	}
+	var info jobs.ResultInfo
+	if err := json.Unmarshal(data, &info); err != nil || !info.Succeeded {
+		t.Fatalf("result %q: %v", data, err)
+	}
+	resp, data = get(t, ts.URL+"/jobs/"+v.ID+"/placement")
+	if resp.StatusCode != http.StatusOK || len(data) == 0 {
+		t.Fatalf("placement: %d (%d bytes)", resp.StatusCode, len(data))
+	}
+	resp, data = get(t, ts.URL+"/jobs")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(data, []byte(v.ID)) {
+		t.Fatalf("list: %d %s", resp.StatusCode, data)
+	}
+	for _, path := range []string{"/healthz", "/readyz"} {
+		if resp, _ := get(t, ts.URL+path); resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d", path, resp.StatusCode)
+		}
+	}
+	resp, data = get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(data, []byte("jobs.submitted")) {
+		t.Fatalf("metrics: %d %s", resp.StatusCode, data)
+	}
+}
+
+func TestHTTPSubmitErrors(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), jobs.Config{Workers: 1})
+	for _, body := range []string{
+		"{not json",
+		`{"nope":1}`,                  // unknown field
+		`{}`,                          // no circuit
+		`{"preset":"no-such"}`,        // unknown preset
+		`{"netlist":"not a netlist"}`, // syntax error
+	} {
+		resp, data := postJSON(t, ts.URL+"/jobs", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %q: %d %s, want 400", body, resp.StatusCode, data)
+		}
+	}
+	if resp, _ := get(t, ts.URL+"/jobs/j424242"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHTTPBackpressure(t *testing.T) {
+	// No Start(): the queue fills and stays full.
+	_, ts := newTestServer(t, t.TempDir(), jobs.Config{Workers: 1, QueueDepth: 2})
+	for i := 0; i < 2; i++ {
+		if resp, data := postJSON(t, ts.URL+"/jobs", fastSpecJSON); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, data)
+		}
+	}
+	resp, data := postJSON(t, ts.URL+"/jobs", fastSpecJSON)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit: %d %s, want 429", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After hint")
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir(), jobs.Config{Workers: 1})
+	srv.mgr.Start()
+	defer srv.mgr.Drain(t.Context())
+	_, data := postJSON(t, ts.URL+"/jobs", slowSpecJSON)
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatal(err)
+	}
+	pollState(t, ts.URL, v.ID, "running")
+	resp, data := postJSON(t, ts.URL+"/jobs/"+v.ID+"/cancel", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d %s", resp.StatusCode, data)
+	}
+	pollState(t, ts.URL, v.ID, "canceled")
+}
+
+func TestHTTPDrainingResponses(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir(), jobs.Config{Workers: 1})
+	srv.mgr.Start()
+	srv.ready.Store(false)
+	if err := srv.mgr.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := get(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining: %d, want 200", resp.StatusCode)
+	}
+	resp, data := postJSON(t, ts.URL+"/jobs", fastSpecJSON)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d %s, want 503", resp.StatusCode, data)
+	}
+}
+
+// child is a real twserve process started from the test binary.
+type child struct {
+	cmd    *exec.Cmd
+	url    string
+	stderr *bytes.Buffer
+}
+
+// startChild launches twserve on an ephemeral port over the given store and
+// waits for its listening line.
+func startChild(t *testing.T, store string, extra ...string) *child {
+	t.Helper()
+	args := append([]string{
+		"-store", store, "-addr", "127.0.0.1:0",
+		"-checkpoint-every", "1", "-drain", "60s",
+	}, extra...)
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "TWSERVE_CHILD=1")
+	c := &child{cmd: cmd, stderr: &bytes.Buffer{}}
+	cmd.Stderr = c.stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			c.url = strings.Fields(line[i+len("listening on "):])[0]
+			// Keep draining stdout so the child never blocks on a full pipe.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return c
+		}
+	}
+	t.Fatalf("child exited before listening; stderr:\n%s", c.stderr.String())
+	return nil
+}
+
+// wait returns the child's exit code.
+func (c *child) wait(t *testing.T) int {
+	t.Helper()
+	err := c.cmd.Wait()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if ok := asExitError(err, &ee); ok {
+		return ee.ExitCode()
+	}
+	t.Fatalf("child wait: %v", err)
+	return -1
+}
+
+func asExitError(err error, ee **exec.ExitError) bool {
+	e, ok := err.(*exec.ExitError)
+	if ok {
+		*ee = e
+	}
+	return ok
+}
+
+func waitForFile(t *testing.T, path string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := os.Stat(path); err == nil {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("file %s never appeared", path)
+}
+
+// TestServeDrainSmoke is the end-to-end drain test `make verify` runs: start
+// a real server, submit a job, SIGTERM mid-run, and require a clean exit
+// that leaves the job durably queued with a checkpoint.
+func TestServeDrainSmoke(t *testing.T) {
+	store := t.TempDir()
+	c := startChild(t, store)
+	resp, data := postJSON(t, c.url+"/jobs", slowSpecJSON)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	ck := filepath.Join(store, "j000001", "checkpoint.ck")
+	waitForFile(t, ck)
+	if err := c.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := c.wait(t); code != 0 {
+		t.Fatalf("drained server exited %d; stderr:\n%s", code, c.stderr.String())
+	}
+	st, err := jobs.Open(store, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := st.Get("j000001")
+	if !ok {
+		t.Fatal("job lost after drain")
+	}
+	switch last := j.Last(); last.State {
+	case jobs.StateQueued:
+		if _, err := os.Stat(ck); err != nil {
+			t.Fatalf("queued job has no checkpoint: %v", err)
+		}
+	case jobs.StateSucceeded:
+		// The job beat the SIGTERM; nothing to assert beyond the clean exit.
+	default:
+		t.Fatalf("after drain job is %q (%s)", last.State, last.Detail)
+	}
+}
+
+// TestServeKillRecovery is the acceptance crash test: SIGKILL a server
+// mid-anneal, restart it over the same store, and require the recovered
+// job's placement to be byte-identical to an uninterrupted run's.
+func TestServeKillRecovery(t *testing.T) {
+	// Reference: the same spec, uninterrupted, in a separate store.
+	refStore := t.TempDir()
+	ref := startChild(t, refStore)
+	if resp, data := postJSON(t, ref.url+"/jobs", slowSpecJSON); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("reference submit: %d %s", resp.StatusCode, data)
+	}
+	pollState(t, ref.url, "j000001", "succeeded")
+	_, want := get(t, ref.url+"/jobs/j000001/placement")
+	ref.cmd.Process.Signal(syscall.SIGTERM)
+	ref.wait(t)
+
+	// Victim: same spec, killed without warning mid-run.
+	store := t.TempDir()
+	c := startChild(t, store)
+	if resp, data := postJSON(t, c.url+"/jobs", slowSpecJSON); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	waitForFile(t, filepath.Join(store, "j000001", "checkpoint.ck"))
+	if err := c.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	c.wait(t) // SIGKILL: nonzero by definition, nothing to assert
+
+	// Restart over the same store: the job must recover and finish.
+	c2 := startChild(t, store)
+	state := pollState(t, c2.url, "j000001", "succeeded", "failed", "canceled")
+	if state != "succeeded" {
+		_, data := get(t, c2.url+"/jobs/j000001")
+		t.Fatalf("recovered job ended %q: %s\nstderr:\n%s", state, data, c2.stderr.String())
+	}
+	resp, got := get(t, c2.url+"/jobs/j000001/placement")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("placement after recovery: %d", resp.StatusCode)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("placement after SIGKILL+restart differs from uninterrupted run (%d vs %d bytes)",
+			len(got), len(want))
+	}
+	c2.cmd.Process.Signal(syscall.SIGTERM)
+	if code := c2.wait(t); code != 0 {
+		t.Fatalf("recovered server exited %d; stderr:\n%s", code, c2.stderr.String())
+	}
+}

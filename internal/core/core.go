@@ -9,11 +9,14 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/channel"
+	"repro/internal/drc"
 	"repro/internal/estimate"
 	"repro/internal/geom"
 	"repro/internal/netlist"
 	"repro/internal/place"
 	"repro/internal/refine"
+	"repro/internal/route"
 	"repro/internal/telemetry"
 )
 
@@ -90,6 +93,19 @@ type Result struct {
 
 // ChipArea returns the final chip area.
 func (r *Result) ChipArea() int64 { return r.Chip.Area() }
+
+// DRC runs the sign-off legality checks on the result: the placement checks
+// always, plus the routing checks when Stage 2 produced a routing. This is
+// the validation gate the job service applies before marking a job
+// succeeded, and what twmc -drc reports.
+func (r *Result) DRC() *drc.Result {
+	var g *channel.Graph
+	var rt *route.Result
+	if r.Stage2 != nil {
+		g, rt = r.Stage2.Graph, r.Stage2.Routing
+	}
+	return drc.Check(r.Placement, g, rt)
+}
 
 // TEILChangePct returns the percentage change in TEIL from the end of
 // Stage 1 to the end of Stage 2 (negative = reduction): the Table 3 metric.

@@ -1,10 +1,11 @@
-package drc
+package drc_test
 
 import (
 	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/drc"
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/netlist"
@@ -30,22 +31,22 @@ func placedCircuit(t *testing.T) *core.Result {
 
 func TestFullFlowPassesDRC(t *testing.T) {
 	res := placedCircuit(t)
-	r := Check(res.Placement, res.Stage2.Graph, res.Stage2.Routing)
+	r := drc.Check(res.Placement, res.Stage2.Graph, res.Stage2.Routing)
 	// A completed flow may carry warnings (full channels) but must not
 	// have placement errors; routing capacity errors are possible when
 	// the router could not fully resolve congestion, so count them
 	// separately.
 	for _, v := range r.Violations {
-		if v.Severity == Error &&
+		if v.Severity == drc.Error &&
 			(v.Check == "cell-overlap" && strings.Contains(v.Message, "overlap by")) {
 			// Small residual overlaps can survive the refinement on
 			// tiny circuits; anything big is a real failure.
 			continue
 		}
-		if v.Severity == Error && v.Check == "channel-capacity" {
+		if v.Severity == drc.Error && v.Check == "channel-capacity" {
 			continue // congestion excess is reported by the router itself
 		}
-		if v.Severity == Error {
+		if v.Severity == drc.Error {
 			t.Errorf("unexpected DRC error: %v", v)
 		}
 	}
@@ -73,10 +74,10 @@ func TestDRCCatchesOverlap(t *testing.T) {
 	st.Pos = geom.Point{X: 55, Y: 55} // overlaps cell a
 	p.SetState(1, st)
 
-	r := CheckPlacement(p)
+	r := drc.CheckPlacement(p)
 	found := false
 	for _, v := range r.Violations {
-		if v.Check == "cell-overlap" && v.Severity == Error {
+		if v.Check == "cell-overlap" && v.Severity == drc.Error {
 			found = true
 			if !strings.Contains(v.String(), "overlap") {
 				t.Errorf("violation string malformed: %v", v)
@@ -111,7 +112,7 @@ func TestDRCCatchesCoreEscape(t *testing.T) {
 	st.Pos = geom.Point{X: 30, Y: 50}
 	p.SetState(1, st)
 
-	r := CheckPlacement(p)
+	r := drc.CheckPlacement(p)
 	found := false
 	for _, v := range r.Violations {
 		if v.Check == "core-bounds" {
@@ -145,7 +146,7 @@ func TestDRCCatchesMovedFixedCell(t *testing.T) {
 	st.Pos = geom.Point{X: 70, Y: 70}
 	p.SetState(1, st)
 
-	r := CheckPlacement(p)
+	r := drc.CheckPlacement(p)
 	found := false
 	for _, v := range r.Violations {
 		if v.Check == "fixed-cell" {
@@ -176,7 +177,7 @@ func TestDRCRoutingChecks(t *testing.T) {
 		bad.Alternatives = append([][]route.Tree{}, rt.Alternatives...)
 		bad.Alternatives[0] = []route.Tree{brokenTree}
 		bad.Choice[0] = 0
-		r := CheckRouting(res.Placement, g, bad)
+		r := drc.CheckRouting(res.Placement, g, bad)
 		found := false
 		for _, v := range r.Violations {
 			if v.Check == "net-tree" || v.Check == "net-conn" {
@@ -190,7 +191,7 @@ func TestDRCRoutingChecks(t *testing.T) {
 
 	// Incomplete routing.
 	short := &route.Result{Choice: rt.Choice[:1], Alternatives: rt.Alternatives[:1]}
-	r := CheckRouting(res.Placement, g, short)
+	r := drc.CheckRouting(res.Placement, g, short)
 	if r.Clean() {
 		t.Fatal("incomplete routing passed")
 	}

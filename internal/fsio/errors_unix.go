@@ -1,0 +1,14 @@
+//go:build !windows
+
+package fsio
+
+import (
+	"errors"
+	"syscall"
+)
+
+// isSyncUnsupported reports whether err means the filesystem cannot fsync a
+// directory handle (not that the sync failed).
+func isSyncUnsupported(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)
+}

@@ -1,0 +1,11 @@
+//go:build windows
+
+package fsio
+
+// isSyncUnsupported reports whether err means the filesystem cannot fsync a
+// directory handle. Windows has no directory fsync at all; FlushFileBuffers
+// on a directory handle fails with an access error, which we treat the same
+// way.
+func isSyncUnsupported(err error) bool {
+	return err != nil
+}

@@ -1,0 +1,70 @@
+// Package fsio provides the crash-durability file primitives shared by the
+// checkpoint writer (internal/place) and the job store (internal/jobs): an
+// atomic write-file and a directory fsync.
+//
+// The durability contract is the standard one: a file replaced with
+// WriteFileAtomic is, after a crash at any instant, either the complete old
+// content or the complete new content — never a torn mix, and never missing.
+// The last property is the subtle one: os.Rename alone makes the *data*
+// durable (the temp file was fsynced) but not the *name* — the rename lives
+// in the directory, and until the directory is fsynced a power cut can roll
+// it back, leaving no file at all. SyncDir closes that window.
+package fsio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SyncDir fsyncs the directory at dir, making previously performed renames
+// and creates within it durable. Filesystems that do not support fsync on
+// directories (some network and FUSE mounts return EINVAL/ENOTSUP) are
+// treated as best-effort: the error is suppressed, matching what databases
+// and archivers do on such mounts.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsio: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		if isSyncUnsupported(err) {
+			return nil
+		}
+		return fmt.Errorf("fsio: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// WriteFileAtomic replaces path with data durably: the bytes land in a
+// temporary file in the same directory, are fsynced, take the target name
+// with a rename, and the directory entry is fsynced. A crash at any point
+// leaves either the old file or the new one, complete.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("fsio: write %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fsio: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fsio: write %s: %w", path, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fsio: write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("fsio: write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("fsio: write %s: %w", path, err)
+	}
+	return SyncDir(dir)
+}

@@ -1,0 +1,64 @@
+package jobs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzDecodeJournal throws arbitrary bytes at the journal decoder: it must
+// never panic, and whatever records it does accept must re-encode and
+// re-decode to the same prefix (the quarantine path rewrites exactly that
+// prefix back to disk).
+func FuzzDecodeJournal(f *testing.F) {
+	// Seed corpus: a healthy journal, each corruption class the unit tests
+	// exercise, and some shape-adjacent garbage.
+	good, err := EncodeJournal([]Record{
+		{Seq: 1, Time: time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC), State: StateQueued, Detail: "submitted"},
+		{Seq: 2, Time: time.Date(2026, 8, 6, 0, 1, 0, 0, time.UTC), State: StateRunning, Attempt: 1},
+		{Seq: 3, Time: time.Date(2026, 8, 6, 0, 2, 0, 0, time.UTC), State: StateSucceeded, Attempt: 1},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)-7])
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("twjob 1 00000000 2 {}\n"))
+	f.Add([]byte("twjob 1 deadbeef 99999999 {}\n"))
+	f.Add([]byte("twjob 2 00000000 2 {}\n"))
+	f.Add([]byte("notmagic 1 00000000 2 {}\n"))
+	f.Add([]byte(`twjob 1 ffffffff 64 {"seq":1,"time":"2026-08-06T00:00:00Z","state":"queued"}` + "\n"))
+	f.Add(bytes.Repeat([]byte("twjob "), 100))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, _ := DecodeJournal(bytes.NewReader(data))
+		// The accepted prefix must be internally consistent...
+		for i, r := range recs {
+			if r.Seq != i+1 {
+				t.Fatalf("record %d has seq %d", i, r.Seq)
+			}
+			if i < len(recs)-1 && r.State.Terminal() {
+				t.Fatalf("record %d is terminal mid-journal", i)
+			}
+		}
+		// ...and must round-trip: re-encode, re-decode, compare.
+		enc, err := EncodeJournal(recs)
+		if err != nil {
+			t.Fatalf("accepted records fail to re-encode: %v", err)
+		}
+		again, err := DecodeJournal(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("re-encoded journal fails to decode: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip lost records: %d != %d", len(again), len(recs))
+		}
+		for i := range recs {
+			if again[i] != recs[i] {
+				t.Fatalf("round trip changed record %d: %+v != %+v", i, again[i], recs[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,175 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+)
+
+// State is a job lifecycle state. Transitions:
+//
+//	queued ──▶ running ──▶ succeeded
+//	  ▲           │  │
+//	  │ (interrupt│  └────▶ failed
+//	  └───────────┘
+//	queued/running ──▶ canceled
+//
+// An interrupted running job (drain, crash, shutdown) returns to queued —
+// either explicitly journaled by a draining worker, or implicitly: a
+// journal whose last record says running means the process died mid-run,
+// and recovery treats the job as queued, resuming from its checkpoint.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateSucceeded State = "succeeded"
+	StateFailed    State = "failed"
+	StateCanceled  State = "canceled"
+)
+
+// Terminal reports whether no further transitions can follow s.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+}
+
+// knownState rejects anything a decoder should not trust.
+func knownState(s State) bool {
+	switch s {
+	case StateQueued, StateRunning, StateSucceeded, StateFailed, StateCanceled:
+		return true
+	}
+	return false
+}
+
+// Record is one journal entry: a state transition with its sequence number
+// (1-based, strictly consecutive), wall time, execution attempt, and a
+// human-readable detail.
+type Record struct {
+	Seq     int       `json:"seq"`
+	Time    time.Time `json:"time"`
+	State   State     `json:"state"`
+	Attempt int       `json:"attempt,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+}
+
+// journalMagic leads every journal line; the version is bumped on any
+// incompatible format change.
+const (
+	journalMagic   = "twjob"
+	JournalVersion = 1
+	// maxJournalLine bounds one record's JSON payload, so a corrupted
+	// length field cannot make the decoder allocate without limit.
+	maxJournalLine = 1 << 20
+)
+
+// AppendRecord writes one journal line for rec to w:
+//
+//	twjob VERSION CRC32C PAYLOADLEN PAYLOADJSON\n
+//
+// The CRC (CRC-32/Castagnoli over the payload bytes) and explicit length
+// let the decoder reject torn or bit-rotted lines individually.
+func AppendRecord(w io.Writer, rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: encode journal record: %w", err)
+	}
+	sum := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli))
+	_, err = fmt.Fprintf(w, "%s %d %08x %d %s\n", journalMagic, JournalVersion, sum, len(payload), payload)
+	return err
+}
+
+// EncodeJournal writes the complete journal for recs.
+func EncodeJournal(recs []Record) ([]byte, error) {
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		if err := AppendRecord(&buf, rec); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeJournal reads journal records from r, validating each line's
+// header, length, checksum, JSON payload, state, and sequence continuity.
+// It never panics on malformed input. On a defect it returns the valid
+// prefix together with a descriptive error, so a caller can quarantine the
+// file yet keep the job's last known good state.
+func DecodeJournal(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), maxJournalLine+256)
+	var recs []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(bytes.TrimSpace(text)) == 0 {
+			continue
+		}
+		rec, err := decodeLine(text)
+		if err != nil {
+			return recs, fmt.Errorf("jobs: journal line %d: %w", line, err)
+		}
+		if want := len(recs) + 1; rec.Seq != want {
+			return recs, fmt.Errorf("jobs: journal line %d: sequence %d, want %d", line, rec.Seq, want)
+		}
+		if len(recs) > 0 && recs[len(recs)-1].State.Terminal() {
+			return recs, fmt.Errorf("jobs: journal line %d: record after terminal state %q",
+				line, recs[len(recs)-1].State)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return recs, fmt.Errorf("jobs: journal: %w", err)
+	}
+	return recs, nil
+}
+
+// decodeLine parses and verifies one journal line (without its newline).
+func decodeLine(text []byte) (Record, error) {
+	var rec Record
+	fields := bytes.SplitN(text, []byte(" "), 5)
+	if len(fields) != 5 {
+		return rec, fmt.Errorf("malformed record %.40q", text)
+	}
+	if string(fields[0]) != journalMagic {
+		return rec, fmt.Errorf("bad magic %.20q", fields[0])
+	}
+	var version, size int
+	var sum uint32
+	if _, err := fmt.Sscanf(string(fields[1]), "%d", &version); err != nil || version != JournalVersion {
+		return rec, fmt.Errorf("unsupported version %.20q", fields[1])
+	}
+	if _, err := fmt.Sscanf(string(fields[2]), "%08x", &sum); err != nil {
+		return rec, fmt.Errorf("bad checksum field %.20q", fields[2])
+	}
+	if _, err := fmt.Sscanf(string(fields[3]), "%d", &size); err != nil || size < 0 || size > maxJournalLine {
+		return rec, fmt.Errorf("bad length field %.20q", fields[3])
+	}
+	payload := fields[4]
+	if len(payload) != size {
+		return rec, fmt.Errorf("payload is %d bytes, header says %d", len(payload), size)
+	}
+	if got := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)); got != sum {
+		return rec, fmt.Errorf("checksum mismatch: header %08x, payload %08x", sum, got)
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return rec, fmt.Errorf("payload: %v", err)
+	}
+	if !knownState(rec.State) {
+		return rec, fmt.Errorf("unknown state %q", rec.State)
+	}
+	if rec.Seq <= 0 {
+		return rec, fmt.Errorf("sequence %d out of range", rec.Seq)
+	}
+	if rec.Attempt < 0 {
+		return rec, fmt.Errorf("attempt %d out of range", rec.Attempt)
+	}
+	return rec, nil
+}

@@ -1,0 +1,583 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fsio"
+	"repro/internal/netlist"
+	"repro/internal/par"
+	"repro/internal/place"
+	"repro/internal/telemetry"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultWorkers    = 2
+	DefaultQueueDepth = 64
+	DefaultRetries    = 1
+)
+
+// Cancellation causes, distinguished via context.Cause so the worker can
+// journal the right terminal state.
+var (
+	errCanceled = errors.New("jobs: canceled by request")
+	errDraining = errors.New("jobs: draining")
+	errDeadline = errors.New("jobs: deadline exceeded")
+)
+
+// ErrQueueFull is returned by Submit when the queue is at capacity; it
+// carries a retry-after hint sized to the backlog so clients can back off
+// instead of hammering.
+type ErrQueueFull struct {
+	Depth      int
+	RetryAfter time.Duration
+}
+
+func (e *ErrQueueFull) Error() string {
+	return fmt.Sprintf("jobs: queue full (%d pending); retry after %v", e.Depth, e.RetryAfter)
+}
+
+// ErrDraining is returned by Submit once a drain has begun.
+var ErrDraining = errors.New("jobs: not accepting jobs (draining)")
+
+// Config shapes a Manager.
+type Config struct {
+	// Workers is the number of concurrent job executors (default 2).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs before
+	// Submit applies backpressure (default 64).
+	QueueDepth int
+	// Retries is the default per-job retry budget for transient failures
+	// (default 1); a spec may override it (-1 disables).
+	Retries int
+	// Backoff is the delay schedule between retry attempts (default
+	// par.DefaultBackoff).
+	Backoff par.Backoff
+	// CheckpointEvery is the outer-step interval between periodic job
+	// checkpoints (default place.DefaultCheckpointEvery).
+	CheckpointEvery int
+	// Tel receives trace events, metrics, and progress lines from job
+	// runs; its registry also carries the manager's own jobs.* metrics.
+	Tel *telemetry.Tracer
+	// Logf receives operational log lines (nil = silent).
+	Logf func(string, ...any)
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = DefaultWorkers
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.Retries == 0 {
+		c.Retries = DefaultRetries
+	}
+	if c.Backoff == (par.Backoff{}) {
+		c.Backoff = par.DefaultBackoff
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Manager executes stored jobs on a bounded worker pool. Lifecycle:
+//
+//	m := jobs.NewManager(store, cfg)
+//	recovered := m.Start()   // re-enqueues interrupted jobs, starts workers
+//	...Submit / Cancel...
+//	m.Drain(ctx)             // stop accepting, checkpoint in-flight, stop
+//
+// Everything the manager knows is reconstructable from the store, so a
+// crashed process loses nothing: the next Start resumes interrupted jobs
+// from their latest valid checkpoint, and the resumed run's final placement
+// is byte-identical to an uninterrupted one (DESIGN.md §8, §10).
+type Manager struct {
+	store *Store
+	cfg   Config
+
+	ctx    context.Context // root; cancelled (cause errDraining) by Drain
+	cancel context.CancelCauseFunc
+
+	qmu      sync.Mutex
+	qcond    *sync.Cond
+	pending  []*Job
+	stopping bool
+
+	rmu     sync.Mutex
+	running map[string]context.CancelCauseFunc
+
+	wg sync.WaitGroup
+
+	// jobs.* instruments (nil-safe no-ops when telemetry is off).
+	mQueueDepth  *telemetry.Gauge
+	mRunning     *telemetry.Gauge
+	mSubmitted   *telemetry.Counter
+	mRejected    *telemetry.Counter
+	mRetries     *telemetry.Counter
+	mRecovered   *telemetry.Counter
+	mQuarantined *telemetry.Gauge
+	mCkBytes     *telemetry.Gauge
+	mStates      map[State]*telemetry.Gauge
+}
+
+// NewManager builds a manager over store. Call Start to begin executing.
+func NewManager(store *Store, cfg Config) *Manager {
+	cfg.fill()
+	m := &Manager{store: store, cfg: cfg, running: map[string]context.CancelCauseFunc{}}
+	m.ctx, m.cancel = context.WithCancelCause(context.Background())
+	m.qcond = sync.NewCond(&m.qmu)
+	reg := cfg.Tel.Registry()
+	m.mQueueDepth = reg.Gauge("jobs.queue_depth")
+	m.mRunning = reg.Gauge("jobs.running")
+	m.mSubmitted = reg.Counter("jobs.submitted")
+	m.mRejected = reg.Counter("jobs.rejected")
+	m.mRetries = reg.Counter("jobs.retries")
+	m.mRecovered = reg.Counter("jobs.recovered")
+	m.mQuarantined = reg.Gauge("jobs.quarantined")
+	m.mCkBytes = reg.Gauge("jobs.checkpoint_bytes")
+	m.mStates = map[State]*telemetry.Gauge{}
+	for _, st := range []State{StateQueued, StateRunning, StateSucceeded, StateFailed, StateCanceled} {
+		m.mStates[st] = reg.Gauge("jobs.state." + string(st))
+	}
+	return m
+}
+
+// Start re-enqueues every resumable job (crash/drain recovery) and launches
+// the worker pool. It returns the number of recovered jobs.
+func (m *Manager) Start() int {
+	resumable := m.store.Resumable()
+	for _, j := range resumable {
+		last := j.Last()
+		detail := "recovered after restart"
+		if _, err := os.Stat(j.CheckpointPath()); err == nil {
+			detail = "recovered after restart (checkpoint present)"
+		}
+		if last.State == StateRunning {
+			// The previous process died mid-run; journal the gap.
+			if _, err := j.Append(StateQueued, last.Attempt, detail); err != nil {
+				m.cfg.Logf("jobs: %s: %v", j.ID, err)
+			}
+		}
+		m.mRecovered.Inc()
+		m.cfg.Logf("jobs: recovered %s (%s)", j.ID, detail)
+	}
+	m.qmu.Lock()
+	m.pending = append(m.pending, resumable...)
+	m.qmu.Unlock()
+	m.updateMetrics()
+	for w := 0; w < m.cfg.Workers; w++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.work()
+		}()
+	}
+	return len(resumable)
+}
+
+// Submit validates, persists, and enqueues a new job. When the queue is at
+// capacity it returns *ErrQueueFull (with a retry-after hint) without
+// persisting anything; once draining it returns ErrDraining.
+func (m *Manager) Submit(spec Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m.qmu.Lock()
+	if m.stopping {
+		m.qmu.Unlock()
+		return nil, ErrDraining
+	}
+	if len(m.pending) >= m.cfg.QueueDepth {
+		depth := len(m.pending)
+		m.qmu.Unlock()
+		m.mRejected.Inc()
+		return nil, &ErrQueueFull{Depth: depth, RetryAfter: m.retryAfter(depth)}
+	}
+	m.qmu.Unlock()
+
+	// Persist outside the queue lock (disk I/O), then enqueue. Concurrent
+	// submits can overshoot QueueDepth by the number of in-flight Creates;
+	// the bound is backpressure, not a hard invariant.
+	job, err := m.store.Create(spec)
+	if err != nil {
+		return nil, err
+	}
+	m.qmu.Lock()
+	if m.stopping {
+		// Drain began while persisting: leave the job durably queued; the
+		// next Start picks it up.
+		m.qmu.Unlock()
+		m.updateMetrics()
+		return job, nil
+	}
+	m.pending = append(m.pending, job)
+	m.qcond.Signal()
+	m.qmu.Unlock()
+	m.mSubmitted.Inc()
+	m.updateMetrics()
+	return job, nil
+}
+
+// retryAfter sizes a backpressure hint to the backlog: roughly one second
+// of queue per worker, clamped to [1s, 60s].
+func (m *Manager) retryAfter(depth int) time.Duration {
+	d := time.Duration(depth/m.cfg.Workers) * time.Second
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// QueueDepth returns the number of jobs waiting to run.
+func (m *Manager) QueueDepth() int {
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	return len(m.pending)
+}
+
+// Cancel cancels the job: a running job's context is cancelled (it
+// checkpoints and stops at the next stride boundary), a queued job is
+// journaled canceled and skipped at dispatch. Cancelling an already
+// terminal job reports false.
+func (m *Manager) Cancel(id string) (bool, error) {
+	j, ok := m.store.Get(id)
+	if !ok {
+		return false, fmt.Errorf("jobs: no job %s", id)
+	}
+	m.rmu.Lock()
+	cancel, isRunning := m.running[id]
+	m.rmu.Unlock()
+	if isRunning {
+		cancel(errCanceled)
+		return true, nil
+	}
+	if j.Last().State != StateQueued {
+		return false, nil
+	}
+	// Append enforces the terminal-state invariant atomically, so this
+	// cannot corrupt the journal even if the job finishes concurrently.
+	if _, err := j.Append(StateCanceled, 0, "canceled while queued"); err != nil {
+		if errors.Is(err, ErrTerminal) {
+			return false, nil
+		}
+		return false, err
+	}
+	m.updateMetrics()
+	return true, nil
+}
+
+// Drain performs a graceful shutdown: stop accepting submissions, leave
+// queued jobs durably queued, cancel in-flight jobs so they checkpoint and
+// journal themselves back to queued, and wait for the workers to stop. The
+// ctx bounds the wait; on expiry the remaining work is abandoned — still
+// resumable, which is the point of the store.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.qmu.Lock()
+	m.stopping = true
+	m.qcond.Broadcast()
+	m.qmu.Unlock()
+	m.cancel(errDraining)
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("jobs: drain: %w", ctx.Err())
+	}
+}
+
+// work is one worker's dispatch loop.
+func (m *Manager) work() {
+	for {
+		m.qmu.Lock()
+		for len(m.pending) == 0 && !m.stopping {
+			m.qcond.Wait()
+		}
+		if m.stopping {
+			m.qmu.Unlock()
+			return
+		}
+		j := m.pending[0]
+		m.pending = m.pending[1:]
+		m.qmu.Unlock()
+		if j.Last().State == StateQueued {
+			m.runJob(j)
+		}
+		m.updateMetrics()
+	}
+}
+
+// outcome carries what happened inside an execution attempt out to the
+// retry loop's final bookkeeping.
+type outcome struct {
+	attempt  int
+	terminal State // set when the attempt already journaled the job's fate
+}
+
+// runJob executes one job with bounded retries and backoff, journaling
+// every transition. Panics are confined to the attempt and retried
+// (par.Retry's recovery semantics).
+func (m *Manager) runJob(j *Job) {
+	retries := m.cfg.Retries
+	switch {
+	case j.Spec.Retries > 0:
+		retries = j.Spec.Retries
+	case j.Spec.Retries < 0:
+		retries = 0
+	}
+	var out outcome
+	attempts, err := par.Retry(m.ctx, 0, retries, m.cfg.Backoff, func() error {
+		out = outcome{}
+		err := m.attempt(j, &out)
+		if err != nil && m.ctx.Err() == nil && !isCtxErr(err) {
+			// A transient failure the retry loop may rerun: journal it so
+			// the history shows every attempt.
+			m.mRetries.Inc()
+			if _, jerr := j.Append(StateQueued, out.attempt,
+				fmt.Sprintf("attempt failed: %s", truncate(err.Error(), 300))); jerr != nil {
+				m.cfg.Logf("jobs: %s: %v", j.ID, jerr)
+			}
+		}
+		return err
+	})
+	switch {
+	case out.terminal != "":
+		// The attempt journaled its own fate (succeeded, failed DRC or
+		// deadline, canceled, or interrupted-by-drain → queued).
+	case err == nil:
+		// Defensive: a nil error always sets a terminal outcome above.
+	case m.ctx.Err() != nil:
+		// Drain between attempts: the transient-failure record already
+		// left the job queued for the next process.
+	default:
+		detail := fmt.Sprintf("failed after %d attempt(s): %s", attempts, truncate(err.Error(), 300))
+		if _, jerr := j.Append(StateFailed, out.attempt, detail); jerr != nil {
+			m.cfg.Logf("jobs: %s: %v", j.ID, jerr)
+		}
+		m.cfg.Logf("jobs: %s %s", j.ID, detail)
+	}
+}
+
+// attempt executes the job once under its own context. Terminal outcomes
+// are journaled here and signalled through out; the returned error drives
+// the retry loop (nil = done, context errors = stop, else = retry).
+func (m *Manager) attempt(j *Job, out *outcome) error {
+	ctx, cancel := context.WithCancelCause(m.ctx)
+	defer cancel(nil)
+	if d := time.Duration(j.Spec.Deadline); d > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithDeadlineCause(ctx, time.Now().Add(d), errDeadline)
+		defer cancelT()
+	}
+	m.rmu.Lock()
+	m.running[j.ID] = cancel
+	m.rmu.Unlock()
+	defer func() {
+		m.rmu.Lock()
+		delete(m.running, j.ID)
+		m.rmu.Unlock()
+	}()
+
+	out.attempt = j.Last().Attempt + 1
+	if _, err := j.Append(StateRunning, out.attempt, "executing"); err != nil {
+		if errors.Is(err, ErrTerminal) {
+			// Canceled between dispatch and execution.
+			out.terminal = j.Last().State
+			return nil
+		}
+		return err
+	}
+	m.updateMetrics()
+
+	c, err := j.Spec.Circuit()
+	if err != nil {
+		// Validated at submit time; only a store from a newer/older
+		// version can get here. Deterministic, so don't retry.
+		return m.fail(j, out, err.Error())
+	}
+
+	opts := j.Spec.coreOptions(j.CheckpointPath(), m.cfg.CheckpointEvery)
+	opts.Tel = m.cfg.Tel
+
+	var res *core.Result
+	if ck := m.loadCheckpoint(j, c); ck != nil {
+		m.cfg.Logf("jobs: %s resuming from checkpoint step %d", j.ID, ck.Ctl.Step)
+		res, err = core.PlaceFromCheckpoint(ctx, c, ck, opts)
+	} else {
+		res, err = core.PlaceCtx(ctx, c, opts)
+	}
+	if fi, serr := os.Stat(j.CheckpointPath()); serr == nil {
+		m.mCkBytes.Set(float64(fi.Size()))
+	}
+	if err != nil {
+		switch cause := context.Cause(ctx); {
+		case errors.Is(cause, errDraining):
+			out.terminal = StateQueued
+			m.journal(j, StateQueued, out.attempt, "interrupted by drain; resumable")
+			return err
+		case errors.Is(cause, errCanceled):
+			out.terminal = StateCanceled
+			m.journal(j, StateCanceled, out.attempt, "canceled")
+			return err
+		case errors.Is(cause, errDeadline):
+			out.terminal = StateFailed
+			m.journal(j, StateFailed, out.attempt,
+				fmt.Sprintf("deadline %v exceeded", time.Duration(j.Spec.Deadline)))
+			return err
+		}
+		// Transient failure: the retry loop decides. A checkpoint, if one
+		// was written, lets the retry resume instead of recomputing.
+		return err
+	}
+	return m.finish(j, c, res, out)
+}
+
+// journal appends best-effort, logging instead of failing (used on paths
+// already carrying an error).
+func (m *Manager) journal(j *Job, st State, attempt int, detail string) {
+	if _, err := j.Append(st, attempt, detail); err != nil {
+		m.cfg.Logf("jobs: %s: %v", j.ID, err)
+	}
+}
+
+// fail journals a deterministic failure and stops the retry loop.
+func (m *Manager) fail(j *Job, out *outcome, detail string) error {
+	out.terminal = StateFailed
+	if _, err := j.Append(StateFailed, out.attempt, truncate(detail, 300)); err != nil {
+		return err
+	}
+	m.cfg.Logf("jobs: %s failed: %s", j.ID, detail)
+	return nil
+}
+
+// finish runs the legality gate and persists the job's result. A DRC error
+// fails the job with diagnostics instead of silently returning a bad
+// placement; DRC failures are deterministic, so they are not retried.
+func (m *Manager) finish(j *Job, c *netlist.Circuit, res *core.Result, out *outcome) error {
+	info := &ResultInfo{
+		ID:         j.ID,
+		Circuit:    c.Name,
+		Attempts:   out.attempt,
+		TEIL:       res.TEIL,
+		Stage1TEIL: res.Stage1TEIL,
+		ChipW:      res.Chip.W(),
+		ChipH:      res.Chip.H(),
+		Area:       res.ChipArea(),
+	}
+	if !j.Spec.SkipDRC {
+		dr := res.DRC()
+		info.DRCErrors = dr.Errors()
+		info.DRCWarnings = dr.Warnings()
+		if !dr.Clean() {
+			for _, v := range dr.Violations {
+				info.DRCViolations = append(info.DRCViolations, v.String())
+			}
+			if err := j.WriteResult(info); err != nil {
+				return err
+			}
+			return m.fail(j, out, fmt.Sprintf("placement failed DRC: %d error(s), %d warning(s)",
+				dr.Errors(), dr.Warnings()))
+		}
+	}
+	if err := m.writePlacement(j, res); err != nil {
+		return err
+	}
+	info.Succeeded = true
+	if err := j.WriteResult(info); err != nil {
+		return err
+	}
+	out.terminal = StateSucceeded
+	detail := fmt.Sprintf("TEIL %.0f, chip %dx%d", res.TEIL, res.Chip.W(), res.Chip.H())
+	if _, err := j.Append(StateSucceeded, out.attempt, detail); err != nil {
+		return err
+	}
+	m.cfg.Logf("jobs: %s succeeded (%s)", j.ID, detail)
+	return nil
+}
+
+// writePlacement persists the final placement atomically and durably.
+func (m *Manager) writePlacement(j *Job, res *core.Result) error {
+	pf, err := os.CreateTemp(j.Dir(), placementFile+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(pf.Name()) // no-op after rename
+	if err := place.WritePlacement(pf, res.Placement); err != nil {
+		pf.Close()
+		return err
+	}
+	if err := pf.Sync(); err != nil {
+		pf.Close()
+		return err
+	}
+	if err := pf.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(pf.Name(), j.PlacementPath()); err != nil {
+		return err
+	}
+	return fsio.SyncDir(j.Dir())
+}
+
+// loadCheckpoint returns the job's checkpoint if present and valid for c.
+// A corrupt or mismatched checkpoint is quarantined and logged, never
+// fatal: the job simply restarts from scratch.
+func (m *Manager) loadCheckpoint(j *Job, c *netlist.Circuit) *place.Checkpoint {
+	path := j.CheckpointPath()
+	if _, err := os.Stat(path); err != nil {
+		return nil
+	}
+	ck, err := place.LoadCheckpoint(path)
+	if err == nil {
+		err = ck.Validate(c)
+	}
+	if err != nil {
+		m.cfg.Logf("jobs: %s: quarantining bad checkpoint: %v", j.ID, err)
+		m.store.QuarantineFile(path)
+		return nil
+	}
+	return ck
+}
+
+// isCtxErr reports whether err is (or wraps) a context error.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// truncate bounds s for journal details.
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
+// updateMetrics refreshes the jobs.* gauges from the store and queue.
+func (m *Manager) updateMetrics() {
+	if m.cfg.Tel.Registry() == nil {
+		return
+	}
+	m.mQueueDepth.Set(float64(m.QueueDepth()))
+	m.rmu.Lock()
+	m.mRunning.Set(float64(len(m.running)))
+	m.rmu.Unlock()
+	counts := m.store.StateCounts()
+	for st, g := range m.mStates {
+		g.Set(float64(counts[st]))
+	}
+	m.mQuarantined.Set(float64(m.store.Quarantined()))
+}

@@ -1,0 +1,286 @@
+package jobs
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// runToCompletion executes spec in a fresh store and returns the final
+// placement bytes: the uninterrupted reference for bit-identity checks.
+func runToCompletion(t *testing.T, spec Spec) []byte {
+	t.Helper()
+	_, m := newTestManager(t, t.TempDir(), Config{Workers: 1})
+	m.Start()
+	defer drain(t, m)
+	j, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := waitTerminal(t, j); rec.State != StateSucceeded {
+		t.Fatalf("reference run ended %q (%s)", rec.State, rec.Detail)
+	}
+	data, err := os.ReadFile(j.PlacementPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestRecoveryBitIdentity is the crash-recovery property test: a job
+// interrupted at randomized checkpoint boundaries — repeatedly, each time
+// reopening the store from disk as a restarted process would — produces a
+// placement byte-identical to the uninterrupted run.
+func TestRecoveryBitIdentity(t *testing.T) {
+	spec := slowSpec()
+	want := runToCompletion(t, spec)
+
+	root := t.TempDir()
+	_, m := newTestManager(t, root, Config{Workers: 1})
+	m.Start()
+	j, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := j.ID
+
+	// Interrupt, restart, repeat (up to three times), then let the job run
+	// out. The jitter before each drain moves the interruption point around
+	// the anneal; the seed keeps runs repeatable.
+	rng := rand.New(rand.NewSource(42))
+	interruptions := 0
+	for i := 0; i < 3 && !j.Last().State.Terminal(); i++ {
+		waitForFile(t, j.CheckpointPath())
+		time.Sleep(time.Duration(rng.Intn(20)) * time.Millisecond)
+		drain(t, m)
+		if j.Last().State.Terminal() {
+			break
+		}
+		interruptions++
+		// "Restart": a brand-new store scanned from disk, as after a crash.
+		var st *Store
+		st, m = newTestManager(t, root, Config{Workers: 1})
+		if got := m.Start(); got != 1 {
+			t.Fatalf("restart recovered %d jobs, want 1", got)
+		}
+		var ok bool
+		j, ok = st.Get(id)
+		if !ok {
+			t.Fatalf("job %s lost across restart", id)
+		}
+	}
+	if interruptions == 0 {
+		t.Fatal("test never interrupted the job; slowSpec is too fast")
+	}
+	rec := waitTerminal(t, j)
+	drain(t, m)
+	if rec.State != StateSucceeded {
+		t.Fatalf("job ended %q (%s)", rec.State, rec.Detail)
+	}
+	got, err := os.ReadFile(j.PlacementPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("placement after %d interruptions differs from uninterrupted run (%d vs %d bytes)",
+			interruptions, len(got), len(want))
+	}
+	t.Logf("bit-identical after %d interruptions", interruptions)
+}
+
+// TestRecoveryFromRunningState covers the crash case where the process died
+// without journaling anything: the last record says running. Start must
+// journal the gap and re-execute.
+func TestRecoveryFromRunningState(t *testing.T) {
+	root := t.TempDir()
+	st, err := Open(root, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := st.Create(fastSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(StateRunning, 1, "executing"); err != nil {
+		t.Fatal(err)
+	}
+	id := j.ID
+
+	st2, m := newTestManager(t, root, Config{Workers: 1})
+	if got := m.Start(); got != 1 {
+		t.Fatalf("recovered %d jobs, want 1", got)
+	}
+	defer drain(t, m)
+	j2, ok := st2.Get(id)
+	if !ok {
+		t.Fatalf("job %s not found after restart", id)
+	}
+	if rec := waitTerminal(t, j2); rec.State != StateSucceeded {
+		t.Fatalf("recovered job ended %q (%s)", rec.State, rec.Detail)
+	}
+	// The journal records the interruption: running → queued(recovered) → …
+	states := j2.History()
+	if states[2].State != StateQueued || !strings.Contains(states[2].Detail, "recovered") {
+		t.Fatalf("no recovery record in journal: %+v", states)
+	}
+}
+
+// TestRecoveryQuarantinesCorruptJournal: a damaged journal is set aside, its
+// valid prefix survives, and the store still opens.
+func TestRecoveryQuarantinesCorruptJournal(t *testing.T) {
+	root := t.TempDir()
+	_, m := newTestManager(t, root, Config{Workers: 1})
+	m.Start()
+	j, err := m.Submit(fastSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	drain(t, m)
+
+	jpath := filepath.Join(j.Dir(), journalFile)
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit inside the last line's payload.
+	data[len(data)-3] ^= 0x20
+	if err := os.WriteFile(jpath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Open(root, t.Logf)
+	if err != nil {
+		t.Fatalf("corrupt journal blocked store open: %v", err)
+	}
+	if st.Quarantined() != 1 {
+		t.Fatalf("quarantined = %d, want 1", st.Quarantined())
+	}
+	j2, ok := st.Get(j.ID)
+	if !ok {
+		t.Fatal("job lost to journal corruption")
+	}
+	if n := len(j2.History()); n == 0 {
+		t.Fatal("valid journal prefix was discarded")
+	}
+	if _, err := os.Stat(jpath + ".quarantined.0"); err != nil {
+		t.Fatalf("damaged journal not set aside: %v", err)
+	}
+	// The rewritten journal decodes cleanly on the next open.
+	st2, err := Open(root, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Quarantined() != 0 {
+		t.Fatalf("second open quarantined %d, want 0", st2.Quarantined())
+	}
+}
+
+// TestRecoveryQuarantinesCorruptSpec: an unreadable spec quarantines the
+// whole job directory without blocking startup or the neighbours.
+func TestRecoveryQuarantinesCorruptSpec(t *testing.T) {
+	root := t.TempDir()
+	st, err := Open(root, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := st.Create(fastSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := st.Create(fastSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(bad.Dir(), specFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(root, t.Logf)
+	if err != nil {
+		t.Fatalf("corrupt spec blocked store open: %v", err)
+	}
+	if _, ok := st2.Get(bad.ID); ok {
+		t.Fatal("corrupt job still listed")
+	}
+	if _, ok := st2.Get(good.ID); !ok {
+		t.Fatal("healthy neighbour lost")
+	}
+	if st2.Quarantined() != 1 {
+		t.Fatalf("quarantined = %d, want 1", st2.Quarantined())
+	}
+	if _, err := os.Stat(bad.Dir() + ".quarantined.0"); err != nil {
+		t.Fatalf("bad job dir not set aside: %v", err)
+	}
+}
+
+// TestRecoveryQuarantinesCorruptCheckpoint: a scribbled checkpoint is set
+// aside at resume time and the job restarts from scratch — which, with the
+// same seed, still converges to the bit-identical placement.
+func TestRecoveryQuarantinesCorruptCheckpoint(t *testing.T) {
+	spec := slowSpec()
+	want := runToCompletion(t, spec)
+
+	root := t.TempDir()
+	_, m := newTestManager(t, root, Config{Workers: 1})
+	m.Start()
+	j, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForFile(t, j.CheckpointPath())
+	drain(t, m)
+	if j.Last().State.Terminal() {
+		t.Skip("job finished before the drain; nothing to corrupt")
+	}
+	if err := os.WriteFile(j.CheckpointPath(), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, m2 := newTestManager(t, root, Config{Workers: 1})
+	m2.Start()
+	defer drain(t, m2)
+	j2, ok := st.Get(j.ID)
+	if !ok {
+		t.Fatal("job lost across restart")
+	}
+	if rec := waitTerminal(t, j2); rec.State != StateSucceeded {
+		t.Fatalf("job ended %q (%s)", rec.State, rec.Detail)
+	}
+	if st.Quarantined() != 1 {
+		t.Fatalf("quarantined = %d, want 1 (the bad checkpoint)", st.Quarantined())
+	}
+	got, err := os.ReadFile(j2.PlacementPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("restart-from-scratch placement differs from reference")
+	}
+}
+
+// TestStoreIgnoresForeignEntries: non-job files and directories under the
+// store root are left alone.
+func TestStoreIgnoresForeignEntries(t *testing.T) {
+	root := t.TempDir()
+	if err := os.Mkdir(filepath.Join(root, "notes"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "README"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(root, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(st.List()); n != 0 {
+		t.Fatalf("store invented %d jobs", n)
+	}
+	if st.Quarantined() != 0 {
+		t.Fatalf("store quarantined foreign entries: %d", st.Quarantined())
+	}
+}

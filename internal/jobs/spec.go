@@ -1,0 +1,176 @@
+// Package jobs turns twmc placement runs into supervised, crash-safe jobs:
+// a durable on-disk job store, a worker pool with a bounded queue and
+// backpressure, per-job deadlines and cancellation, panic isolation, bounded
+// retry with backoff, and restart recovery that resumes interrupted jobs
+// from their latest valid checkpoint.
+//
+// On-disk layout (one directory per job under the store root):
+//
+//	<root>/j000042/
+//	    spec.json       the submitted job spec (atomic write)
+//	    journal.twj     append-only status journal, rewritten atomically
+//	    checkpoint.ck   periodic Stage 1 checkpoint (place.SaveCheckpoint)
+//	    result.json     final metrics + DRC outcome (atomic write)
+//	    placement.tw    final placement (place.WritePlacement)
+//
+// Every durable write goes through temp+fsync+rename+dir-sync
+// (internal/fsio), so a crash at any instant leaves each file either whole
+// or absent. Corrupt files discovered on startup are quarantined (renamed
+// aside) and logged, never fatal; the job restarts from its last good state.
+// Because checkpoints capture the exact annealing state (DESIGN.md §8), a
+// job interrupted by SIGKILL and resumed after restart produces a placement
+// byte-identical to an uninterrupted run.
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("30s", "2h"), so job specs submitted with curl stay writable by hand.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts a duration string or a bare number of seconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, perr := time.ParseDuration(s)
+		if perr != nil {
+			return fmt.Errorf("jobs: bad duration %q: %w", s, perr)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var secs float64
+	if err := json.Unmarshal(b, &secs); err != nil {
+		return fmt.Errorf("jobs: bad duration %s", b)
+	}
+	*d = Duration(time.Duration(secs * float64(time.Second)))
+	return nil
+}
+
+// Spec describes one placement job: the circuit (a built-in preset or an
+// inline netlist) and the run parameters. Zero values select the paper's
+// defaults, exactly as on the twmc command line.
+type Spec struct {
+	// Name is an optional human label reported in listings.
+	Name string `json:"name,omitempty"`
+
+	// Preset names a built-in synthetic circuit (gen.PresetNames);
+	// mutually exclusive with Netlist.
+	Preset string `json:"preset,omitempty"`
+	// PresetSeed seeds the preset synthesis (default 17, as twmc).
+	PresetSeed uint64 `json:"preset_seed,omitempty"`
+	// Netlist is an inline circuit in the text format of internal/netlist.
+	Netlist string `json:"netlist,omitempty"`
+
+	// Seed drives every stochastic component of the run.
+	Seed uint64 `json:"seed,omitempty"`
+	// Ac, R, Rho, Eta, M, Iterations, CoreAspect, MaxSteps mirror the
+	// corresponding core.Options fields (0 = default).
+	Ac         int     `json:"ac,omitempty"`
+	R          float64 `json:"r,omitempty"`
+	Rho        float64 `json:"rho,omitempty"`
+	Eta        float64 `json:"eta,omitempty"`
+	M          int     `json:"m,omitempty"`
+	Iterations int     `json:"iterations,omitempty"`
+	CoreAspect float64 `json:"core_aspect,omitempty"`
+	MaxSteps   int     `json:"max_steps,omitempty"`
+	// SkipStage2 stops after Stage 1 placement.
+	SkipStage2 bool `json:"skip_stage2,omitempty"`
+
+	// Deadline bounds each execution attempt; an expired deadline fails
+	// the job (0 = none).
+	Deadline Duration `json:"deadline,omitempty"`
+	// Retries is the per-job budget of re-executions after transient
+	// failures (panics, I/O errors); 0 uses the manager's default, -1
+	// disables retries.
+	Retries int `json:"retries,omitempty"`
+	// SkipDRC skips the post-run legality gate. By default a job's final
+	// placement must pass the internal/drc error checks to be marked
+	// succeeded; truncated smoke runs (small MaxSteps) stop mid-anneal
+	// with residual overlaps and set this.
+	SkipDRC bool `json:"skip_drc,omitempty"`
+}
+
+// Validate rejects malformed specs with a descriptive error, before
+// anything lands on disk.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Preset == "" && s.Netlist == "":
+		return fmt.Errorf("jobs: spec needs a preset or an inline netlist")
+	case s.Preset != "" && s.Netlist != "":
+		return fmt.Errorf("jobs: preset and netlist are mutually exclusive")
+	case s.Ac < 0 || s.M < 0 || s.Iterations < 0 || s.MaxSteps < 0:
+		return fmt.Errorf("jobs: ac, m, iterations, and max_steps must be >= 0")
+	case s.R < 0 || s.Rho < 0 || s.Eta < 0 || s.CoreAspect < 0:
+		return fmt.Errorf("jobs: r, rho, eta, and core_aspect must be >= 0")
+	case s.Deadline < 0:
+		return fmt.Errorf("jobs: deadline must be >= 0")
+	case s.Retries < -1:
+		return fmt.Errorf("jobs: retries must be >= -1")
+	}
+	if s.Preset != "" {
+		if _, err := gen.PresetSpec(s.Preset); err != nil {
+			return fmt.Errorf("jobs: %w", err)
+		}
+	}
+	// Parse the inline netlist now so a syntax error is a 4xx at submit
+	// time, not a failed job later.
+	if s.Netlist != "" {
+		if _, err := s.Circuit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Circuit builds the job's circuit from the spec.
+func (s *Spec) Circuit() (*netlist.Circuit, error) {
+	if s.Preset != "" {
+		seed := s.PresetSeed
+		if seed == 0 {
+			seed = 17
+		}
+		c, err := gen.Preset(s.Preset, seed)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: %w", err)
+		}
+		return c, nil
+	}
+	c, err := netlist.Parse(strings.NewReader(s.Netlist))
+	if err != nil {
+		return nil, fmt.Errorf("jobs: inline netlist: %w", err)
+	}
+	return c, nil
+}
+
+// coreOptions maps the spec onto a core run writing checkpoints to ckPath.
+func (s *Spec) coreOptions(ckPath string, ckEvery int) core.Options {
+	return core.Options{
+		Seed:            s.Seed,
+		Ac:              s.Ac,
+		R:               s.R,
+		Rho:             s.Rho,
+		Eta:             s.Eta,
+		M:               s.M,
+		Iterations:      s.Iterations,
+		CoreAspect:      s.CoreAspect,
+		MaxSteps:        s.MaxSteps,
+		SkipStage2:      s.SkipStage2,
+		CheckpointPath:  ckPath,
+		CheckpointEvery: ckEvery,
+	}
+}

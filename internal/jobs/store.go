@@ -1,0 +1,353 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/fsio"
+)
+
+// File names inside a job directory.
+const (
+	specFile       = "spec.json"
+	journalFile    = "journal.twj"
+	checkpointFile = "checkpoint.ck"
+	resultFile     = "result.json"
+	placementFile  = "placement.tw"
+)
+
+// jobDirRe matches job directory names ("j" + six or more digits).
+var jobDirRe = regexp.MustCompile(`^j(\d{6,})$`)
+
+// Job is one stored job: its immutable spec plus the mutable status
+// journal. All journal access goes through the job's mutex; the journal
+// file is rewritten atomically (temp+fsync+rename+dir-sync) on every
+// transition, so the on-disk journal is always a valid prefix of the
+// in-memory one.
+type Job struct {
+	ID   string
+	Spec Spec
+	dir  string
+
+	mu      sync.Mutex
+	records []Record
+}
+
+// Dir returns the job's directory.
+func (j *Job) Dir() string { return j.dir }
+
+// CheckpointPath returns the job's Stage 1 checkpoint file path.
+func (j *Job) CheckpointPath() string { return filepath.Join(j.dir, checkpointFile) }
+
+// ResultPath returns the job's result metadata path.
+func (j *Job) ResultPath() string { return filepath.Join(j.dir, resultFile) }
+
+// PlacementPath returns the job's final placement file path.
+func (j *Job) PlacementPath() string { return filepath.Join(j.dir, placementFile) }
+
+// ErrTerminal is returned by Append after a job has reached a terminal
+// state: the check-and-append is atomic under the job's lock, so racing
+// transitions (e.g. cancel vs. completion) cannot corrupt the journal.
+var ErrTerminal = errors.New("jobs: job already in a terminal state")
+
+// Append journals a state transition durably and returns the record.
+func (j *Job) Append(state State, attempt int, detail string) (Record, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n := len(j.records); n > 0 && j.records[n-1].State.Terminal() {
+		return Record{}, fmt.Errorf("%w: %s is %s", ErrTerminal, j.ID, j.records[n-1].State)
+	}
+	rec := Record{
+		Seq:     len(j.records) + 1,
+		Time:    time.Now().UTC(),
+		State:   state,
+		Attempt: attempt,
+		Detail:  detail,
+	}
+	data, err := EncodeJournal(append(j.records, rec))
+	if err != nil {
+		return rec, err
+	}
+	if err := fsio.WriteFileAtomic(filepath.Join(j.dir, journalFile), data, 0o644); err != nil {
+		return rec, fmt.Errorf("jobs: journal %s: %w", j.ID, err)
+	}
+	j.records = append(j.records, rec)
+	return rec, nil
+}
+
+// Last returns the most recent journal record (a synthetic queued record if
+// the journal is somehow empty).
+func (j *Job) Last() Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.records) == 0 {
+		return Record{Seq: 0, State: StateQueued}
+	}
+	return j.records[len(j.records)-1]
+}
+
+// History returns a copy of the journal.
+func (j *Job) History() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Record(nil), j.records...)
+}
+
+// Store is the durable job store: one directory per job under root.
+// A store is owned by a single process at a time.
+type Store struct {
+	root string
+	logf func(string, ...any)
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+	seq  int
+	// quarantined counts files or directories set aside during Open.
+	quarantined int
+}
+
+// Open scans root (creating it if needed), loads every job, and
+// quarantines anything corrupt: an unreadable spec sets the whole job
+// directory aside, a corrupt journal sets the journal file aside and keeps
+// its valid prefix. Defects are logged through logf (nil = silent) and are
+// never fatal — a damaged store always opens.
+func Open(root string, logf func(string, ...any)) (*Store, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: open store: %w", err)
+	}
+	s := &Store{root: root, logf: logf, jobs: map[string]*Job{}}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: open store: %w", err)
+	}
+	for _, e := range entries {
+		m := jobDirRe.FindStringSubmatch(e.Name())
+		if m == nil || !e.IsDir() {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		if n > s.seq {
+			s.seq = n
+		}
+		job, ok := s.loadJob(e.Name())
+		if ok {
+			s.jobs[job.ID] = job
+		}
+	}
+	return s, nil
+}
+
+// loadJob reads one job directory, quarantining defects. ok is false when
+// the job is unusable (quarantined wholesale).
+func (s *Store) loadJob(id string) (*Job, bool) {
+	dir := filepath.Join(s.root, id)
+	specData, err := os.ReadFile(filepath.Join(dir, specFile))
+	var spec Spec
+	if err == nil {
+		err = json.Unmarshal(specData, &spec)
+		if err == nil {
+			err = spec.Validate()
+		}
+	}
+	if err != nil {
+		s.logf("jobs: quarantining job %s: bad spec: %v", id, err)
+		s.quarantine(dir)
+		return nil, false
+	}
+	job := &Job{ID: id, Spec: spec, dir: dir}
+	jpath := filepath.Join(dir, journalFile)
+	f, err := os.Open(jpath)
+	switch {
+	case os.IsNotExist(err):
+		// A crash between mkdir and the first journal write: treat as
+		// freshly queued.
+	case err != nil:
+		s.logf("jobs: quarantining job %s: journal: %v", id, err)
+		s.quarantine(dir)
+		return nil, false
+	default:
+		recs, derr := DecodeJournal(f)
+		f.Close()
+		job.records = recs
+		if derr != nil {
+			// Keep the valid prefix; set the damaged file aside so the
+			// next journal write starts from known-good state.
+			s.logf("jobs: job %s: quarantining corrupt journal (keeping %d valid records): %v",
+				id, len(recs), derr)
+			s.quarantine(jpath)
+			if data, eerr := EncodeJournal(recs); eerr == nil {
+				if werr := fsio.WriteFileAtomic(jpath, data, 0o644); werr != nil {
+					s.logf("jobs: job %s: rewrite journal: %v", id, werr)
+				}
+			}
+		}
+	}
+	return job, true
+}
+
+// quarantine renames path aside with a unique ".quarantined" suffix. It
+// never fails the caller; an impossible rename is only logged.
+func (s *Store) quarantine(path string) {
+	for i := 0; ; i++ {
+		dst := fmt.Sprintf("%s.quarantined.%d", path, i)
+		if _, err := os.Lstat(dst); err == nil {
+			continue
+		}
+		if err := os.Rename(path, dst); err != nil {
+			s.logf("jobs: quarantine %s: %v", path, err)
+		} else {
+			s.quarantined++
+			_ = fsio.SyncDir(filepath.Dir(path))
+		}
+		return
+	}
+}
+
+// QuarantineFile sets a damaged file aside (used by the manager when a
+// checkpoint fails validation at run time).
+func (s *Store) QuarantineFile(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quarantine(path)
+}
+
+// Quarantined returns the number of files/directories set aside so far.
+func (s *Store) Quarantined() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// Create persists a new job for spec (already validated) and journals it
+// queued. The job directory, spec, and first journal record are all durable
+// when Create returns.
+func (s *Store) Create(spec Spec) (*Job, error) {
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("j%06d", s.seq)
+	s.mu.Unlock()
+	dir := filepath.Join(s.root, id)
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: create %s: %w", id, err)
+	}
+	if err := fsio.SyncDir(s.root); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(&spec, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("jobs: create %s: %w", id, err)
+	}
+	if err := fsio.WriteFileAtomic(filepath.Join(dir, specFile), data, 0o644); err != nil {
+		return nil, err
+	}
+	job := &Job{ID: id, Spec: spec, dir: dir}
+	if _, err := job.Append(StateQueued, 0, "submitted"); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.jobs[id] = job
+	s.mu.Unlock()
+	return job, nil
+}
+
+// Get returns the job with the given id.
+func (s *Store) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List returns every job ordered by id (submission order).
+func (s *Store) List() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Resumable returns the jobs recovery must re-enqueue: those whose last
+// journaled state is queued (never started, or interrupted by a drain) or
+// running (the process died mid-run), ordered by id.
+func (s *Store) Resumable() []*Job {
+	var out []*Job
+	for _, j := range s.List() {
+		switch j.Last().State {
+		case StateQueued, StateRunning:
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// StateCounts tallies jobs by last journaled state.
+func (s *Store) StateCounts() map[State]int {
+	counts := map[State]int{}
+	for _, j := range s.List() {
+		counts[j.Last().State]++
+	}
+	return counts
+}
+
+// ResultInfo is the terminal metadata written to result.json.
+type ResultInfo struct {
+	ID      string `json:"id"`
+	Circuit string `json:"circuit"`
+	// Attempts is the number of execution attempts the job took.
+	Attempts int `json:"attempts"`
+	// Succeeded distinguishes a real result from failure diagnostics.
+	Succeeded bool `json:"succeeded"`
+
+	TEIL       float64 `json:"teil"`
+	Stage1TEIL float64 `json:"stage1_teil"`
+	ChipW      int     `json:"chip_w"`
+	ChipH      int     `json:"chip_h"`
+	Area       int64   `json:"area"`
+
+	// DRCErrors/DRCWarnings/DRCViolations report the legality gate; a
+	// job with DRCErrors > 0 is failed-with-diagnostics unless the spec
+	// set skip_drc.
+	DRCErrors     int      `json:"drc_errors"`
+	DRCWarnings   int      `json:"drc_warnings"`
+	DRCViolations []string `json:"drc_violations,omitempty"`
+}
+
+// WriteResult persists info durably to the job's result.json.
+func (j *Job) WriteResult(info *ResultInfo) error {
+	data, err := json.MarshalIndent(info, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobs: result %s: %w", j.ID, err)
+	}
+	return fsio.WriteFileAtomic(j.ResultPath(), append(data, '\n'), 0o644)
+}
+
+// ReadResult loads the job's result.json, if present.
+func (j *Job) ReadResult() (*ResultInfo, error) {
+	data, err := os.ReadFile(j.ResultPath())
+	if err != nil {
+		return nil, err
+	}
+	info := &ResultInfo{}
+	if err := json.Unmarshal(data, info); err != nil {
+		return nil, fmt.Errorf("jobs: result %s: %w", j.ID, err)
+	}
+	return info, nil
+}

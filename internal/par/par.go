@@ -24,7 +24,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -211,57 +210,9 @@ func pool(workers, n int, task func(i int)) {
 //
 // The returned slice is sorted by task index (empty means every task
 // succeeded); fold it with Join when a single error value is needed.
+// Retries rerun immediately; use ForEachBackoff to wait between attempts.
 func ForEachErr(ctx context.Context, workers, n, retries int, fn func(i int) error) []TaskError {
-	if n <= 0 {
-		return nil
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if retries < 0 {
-		retries = 0
-	}
-	errs := make([]error, n)
-	attempts := make([]int, n)
-	attempt := func(i int) (err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				poolStats.panics.Add(1)
-				err = &PanicError{Value: r, Stack: debug.Stack()}
-			}
-		}()
-		return fn(i)
-	}
-	pool(workers, n, func(i int) {
-		if err := ctx.Err(); err != nil {
-			errs[i] = err
-			return
-		}
-		for a := 0; a <= retries; a++ {
-			if a > 0 {
-				poolStats.retries.Add(1)
-			}
-			attempts[i] = a + 1
-			errs[i] = attempt(i)
-			if errs[i] == nil {
-				return
-			}
-			// A cancelled run is not a faulty task: don't burn retries
-			// re-running work that will be cancelled again.
-			if ctx.Err() != nil ||
-				errors.Is(errs[i], context.Canceled) ||
-				errors.Is(errs[i], context.DeadlineExceeded) {
-				return
-			}
-		}
-	})
-	var out []TaskError
-	for i, err := range errs {
-		if err != nil {
-			out = append(out, TaskError{Index: i, Attempts: attempts[i], Err: err})
-		}
-	}
-	return out
+	return ForEachBackoff(ctx, workers, n, retries, Backoff{}, fn)
 }
 
 // MapRetry runs fn(i) for every i in [0, n) with ForEachErr's recovery and

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/anneal"
 	"repro/internal/estimate"
+	"repro/internal/fsio"
 	"repro/internal/geom"
 	"repro/internal/netlist"
 	"repro/internal/rng"
@@ -269,10 +270,12 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	return ck, nil
 }
 
-// SaveCheckpoint writes ck to path atomically: the bytes land in a
-// temporary file in the same directory, are synced, and replace path with a
-// rename. A crash mid-write leaves either the previous checkpoint or none,
-// never a torn file.
+// SaveCheckpoint writes ck to path atomically and durably: the bytes land
+// in a temporary file in the same directory, are synced, replace path with a
+// rename, and the directory entry itself is synced (without that last step
+// the rename lives only in the directory's page cache, and a power cut can
+// leave no checkpoint at all). A crash mid-write leaves either the previous
+// checkpoint or the new one, never a torn file.
 func SaveCheckpoint(path string, ck *Checkpoint) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
@@ -292,6 +295,9 @@ func SaveCheckpoint(path string, ck *Checkpoint) error {
 		return fmt.Errorf("place: save checkpoint: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("place: save checkpoint: %w", err)
+	}
+	if err := fsio.SyncDir(dir); err != nil {
 		return fmt.Errorf("place: save checkpoint: %w", err)
 	}
 	return nil

@@ -49,9 +49,41 @@ type Runtime struct {
 
 	reg         *telemetry.Registry
 	sink        *telemetry.JSONLSink
+	sinkIface   telemetry.Sink
+	prog        telemetry.ProgressFunc
 	traceFile   *os.File
 	metricsPath string
 	pprofSrv    *http.Server
+}
+
+// Registry returns the runtime's live metrics registry, or nil when neither
+// -metrics nor EnsureRegistry asked for one.
+func (rt *Runtime) Registry() *telemetry.Registry { return rt.reg }
+
+// EnsureRegistry guarantees the runtime has a live registry even when
+// -metrics was not passed — long-running servers use it to back a /metrics
+// endpoint. The Tracer is rebuilt so producers feed the new registry.
+func (rt *Runtime) EnsureRegistry() *telemetry.Registry {
+	if rt.reg == nil {
+		rt.reg = telemetry.NewRegistry()
+		rt.Tracer = telemetry.New(rt.sinkIface, rt.reg, rt.prog)
+	}
+	return rt.reg
+}
+
+// FoldPoolStats copies the process-wide worker-pool counters into the
+// registry (no-op without one). Close does this once at exit; a server calls
+// it before each /metrics scrape so the snapshot is current.
+func (rt *Runtime) FoldPoolStats() {
+	if rt.reg == nil {
+		return
+	}
+	ps := par.Stats()
+	rt.reg.Gauge("pool.tasks_started").Set(float64(ps.TasksStarted))
+	rt.reg.Gauge("pool.tasks_done").Set(float64(ps.TasksDone))
+	rt.reg.Gauge("pool.retries").Set(float64(ps.Retries))
+	rt.reg.Gauge("pool.panics").Set(float64(ps.Panics))
+	rt.reg.Gauge("pool.max_concurrent").Set(float64(ps.MaxConcurrent))
 }
 
 // Start builds the telemetry runtime the flags ask for. prefix labels
@@ -70,6 +102,7 @@ func (f *Flags) Start(prefix string, forceProgress bool) (*Runtime, error) {
 		rt.traceFile = file
 		rt.sink = telemetry.NewJSONLSink(file)
 		sink = rt.sink
+		rt.sinkIface = sink
 		enabled = true
 	}
 	if *f.Metrics != "" {
@@ -82,6 +115,7 @@ func (f *Flags) Start(prefix string, forceProgress bool) (*Runtime, error) {
 		if *f.ProgressEvery > 0 {
 			prog = telemetry.Throttled(*f.ProgressEvery, prog)
 		}
+		rt.prog = prog
 		enabled = true
 	}
 	if *f.Pprof != "" {
@@ -110,13 +144,8 @@ func (rt *Runtime) Close() error {
 			first = err
 		}
 	}
-	if rt.reg != nil {
-		ps := par.Stats()
-		rt.reg.Gauge("pool.tasks_started").Set(float64(ps.TasksStarted))
-		rt.reg.Gauge("pool.tasks_done").Set(float64(ps.TasksDone))
-		rt.reg.Gauge("pool.retries").Set(float64(ps.Retries))
-		rt.reg.Gauge("pool.panics").Set(float64(ps.Panics))
-		rt.reg.Gauge("pool.max_concurrent").Set(float64(ps.MaxConcurrent))
+	rt.FoldPoolStats()
+	if rt.metricsPath != "" && rt.reg != nil {
 		f, err := os.Create(rt.metricsPath)
 		if err != nil {
 			keep(fmt.Errorf("-metrics: %w", err))
