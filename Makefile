@@ -1,19 +1,20 @@
 # Standard checks for the TimberWolfMC reproduction.
 #
-#   make verify      tier-1 checks + race detector + short fuzz smokes + bench smoke + twserve smoke
+#   make verify      tier-1 checks + race detector + short fuzz smokes + bench smoke + twserve smoke + chaos smoke
 #   make test        unit tests only
 #   make fuzz-smoke  10-second runs of each fuzz target
 #   make bench       place benchmarks with -benchmem -> BENCH_PR3.json
 #   make bench-smoke 1-iteration benchmark pass (catches bitrot, no timing)
+#   make chaos-smoke bounded twchaos runs (fixed seeds, both modes)
 
 GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 BENCHOUT ?= BENCH_PR3.json
 
-.PHONY: verify tier1 test race fuzz-smoke bench bench-smoke serve-smoke
+.PHONY: verify tier1 test race fuzz-smoke bench bench-smoke serve-smoke chaos-smoke
 
-verify: tier1 race fuzz-smoke bench-smoke serve-smoke
+verify: tier1 race fuzz-smoke bench-smoke serve-smoke chaos-smoke
 
 tier1:
 	$(GO) build ./...
@@ -39,6 +40,15 @@ fuzz-smoke:
 # that leaves the job durably resumable.
 serve-smoke:
 	$(GO) test -run 'TestServeDrainSmoke|TestServeKillRecovery' -count=1 -v ./cmd/twserve
+
+# chaos-smoke runs the chaos driver with fixed seeds in both fault modes:
+# a bounded in-process run (injected faults, drain/restart interrupts) and
+# a short sigkill run (real child processes killed mid-write). Exit 0 means
+# the recovery contract held on every schedule. The full 50-schedule
+# property test already runs under tier1/race via the regular test suite.
+chaos-smoke:
+	$(GO) run ./cmd/twchaos -schedules 10 -seed 1
+	$(GO) run ./cmd/twchaos -mode sigkill -schedules 3 -seed 2
 
 # bench records the placement hot-path benchmarks (incl. the telemetry
 # on/off pair) as committed JSON. BENCHTIME=1x gives stable-ish numbers

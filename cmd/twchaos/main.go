@@ -1,0 +1,107 @@
+// Command twchaos is the chaos driver for the crash-safe placement job
+// machinery: it runs N randomized, deterministically seeded fault schedules
+// against the jobs manager and verifies the recovery contract on what each
+// schedule leaves on disk — every job ends succeeded with a placement
+// byte-identical to a clean run, failed/canceled with an explicit journaled
+// reason, or loudly quarantined; never a hang, a corrupt result, or a
+// runtime invariant violation (DESIGN.md §11).
+//
+// Two modes:
+//
+//	-mode inprocess   faults fire via internal/faultinject inside this
+//	                  process; workers are interrupted by drain/restart
+//	                  cycles (default)
+//	-mode sigkill     each armed phase is a re-executed child process that
+//	                  the parent kills with SIGKILL at a seeded random
+//	                  moment — real crashes, no deferred cleanup
+//
+// A failing schedule is reproducible alone: twchaos -seed S -schedule N
+// -schedules 1 reruns exactly that rule set and timing stream. Exit status
+// is 0 when the contract held, 1 on any violation, 2 on usage or harness
+// errors. Scratch stores are kept (and their path printed) on violation.
+//
+// The telemetry flags (-metrics, -trace, -pprof) apply; the metrics snapshot
+// includes the faultinject.* trip counters and invariant.* violation
+// counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chaos"
+	"repro/internal/telcli"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	// Child-protocol re-executions (sigkill mode) must short-circuit before
+	// flag parsing: the child sees the parent's argv.
+	if chaos.IsChild() {
+		return chaos.ChildMain()
+	}
+
+	var (
+		mode      = flag.String("mode", "inprocess", "fault delivery: inprocess or sigkill")
+		schedules = flag.Int("schedules", 20, "number of randomized fault schedules to run")
+		first     = flag.Int("schedule", 0, "index of the first schedule (rerun a failing schedule N with -schedule N -schedules 1)")
+		seed      = flag.Uint64("seed", 1, "master seed; equal seeds reproduce equal runs")
+		store     = flag.String("store", "", "scratch root for per-schedule job stores (default: temp dir, removed on success)")
+		restarts  = flag.Int("restarts", 0, "max armed interrupt/restart cycles per schedule (0 = default 4)")
+		verbose   = flag.Bool("v", false, "log every schedule, not just violations")
+	)
+	tf := telcli.Register(flag.CommandLine)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "twchaos: unexpected argument %q\n", flag.Arg(0))
+		return 2
+	}
+
+	rt, err := tf.Start("twchaos", false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "twchaos: %v\n", err)
+		return 2
+	}
+	defer rt.Close()
+
+	opts := chaos.Options{
+		Schedules:     *schedules,
+		FirstSchedule: *first,
+		Seed:          *seed,
+		Dir:           *store,
+		MaxRestarts:   *restarts,
+		Registry:      rt.EnsureRegistry(),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "twchaos: "+format+"\n", args...)
+		},
+		Verbose: *verbose,
+	}
+
+	var rep *chaos.Report
+	switch *mode {
+	case "inprocess":
+		rep, err = chaos.Run(opts)
+	case "sigkill":
+		rep, err = chaos.RunSigkill(opts, "")
+	default:
+		fmt.Fprintf(os.Stderr, "twchaos: unknown -mode %q (want inprocess or sigkill)\n", *mode)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "twchaos: %v\n", err)
+		return 2
+	}
+
+	fmt.Println("twchaos: " + rep.Summary())
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			fmt.Printf("twchaos: schedule %d [%s]: %v\n", v.Schedule, v.RulesString(), v.Violation)
+		}
+		fmt.Println("twchaos: FAIL — recovery contract violated")
+		return 1
+	}
+	fmt.Println("twchaos: OK — recovery contract held")
+	return 0
+}

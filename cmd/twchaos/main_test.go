@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// TestMain doubles as the twchaos entry point: TWCHAOS_MAIN=1 re-executions
+// run the real CLI, and chaos child-protocol re-executions (spawned by the
+// CLI's own sigkill mode, grandchildren of the test) route into ChildMain.
+func TestMain(m *testing.M) {
+	if chaos.IsChild() {
+		os.Exit(chaos.ChildMain())
+	}
+	if os.Getenv("TWCHAOS_MAIN") == "1" {
+		os.Exit(run())
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI re-execs the test binary as the twchaos CLI with args.
+func runCLI(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "TWCHAOS_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("exec: %v\n%s", err, out)
+		}
+		code = ee.ExitCode()
+	}
+	return string(out), code
+}
+
+func TestCLIInProcessSmoke(t *testing.T) {
+	out, code := runCLI(t, "-schedules", "4", "-seed", "5", "-store", t.TempDir())
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "twchaos: OK") {
+		t.Fatalf("missing OK verdict:\n%s", out)
+	}
+}
+
+func TestCLISigkillSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos run skipped in -short mode")
+	}
+	out, code := runCLI(t, "-mode", "sigkill", "-schedules", "2", "-seed", "6", "-store", t.TempDir())
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "twchaos: OK") {
+		t.Fatalf("missing OK verdict:\n%s", out)
+	}
+}
+
+func TestCLIBadFlags(t *testing.T) {
+	out, code := runCLI(t, "-mode", "bogus")
+	if code != 2 {
+		t.Fatalf("want exit 2 for bad -mode, got %d:\n%s", code, out)
+	}
+	out, code = runCLI(t, "extra-arg")
+	if code != 2 {
+		t.Fatalf("want exit 2 for stray argument, got %d:\n%s", code, out)
+	}
+}

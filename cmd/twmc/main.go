@@ -32,6 +32,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/invariant"
 	"repro/internal/netlist"
 	"repro/internal/place"
 	"repro/internal/route"
@@ -72,9 +73,16 @@ func main() {
 		ckEvery  = flag.Int("checkpoint-every", 0, "temperature steps between periodic checkpoints (0 = default 5)")
 		resume   = flag.String("resume", "", "resume an interrupted run from this checkpoint file (continued checkpoints default to the same file)")
 		deadline = flag.Duration("deadline", 0, "stop the run after this duration, checkpointing if -checkpoint is set (0 = none)")
+		invar    = flag.Bool("invariants", false, "enable runtime invariant checks (cost-accumulator drift at every temperature step); observe-only, bit-identical results")
 	)
 	tf := telcli.Register(flag.CommandLine)
 	flag.Parse()
+	if *invar {
+		invariant.Enable(invariant.Options{Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "twmc: "+format+"\n", args...)
+		}})
+		defer invariant.Disable()
+	}
 
 	if err := validateFlags(*nstarts, *workers, *ac, *m, *iters, *ckEvery,
 		*r, *rho, *eta, *aspect, *deadline, *ckPath, *resume, *load); err != nil {

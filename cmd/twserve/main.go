@@ -14,13 +14,16 @@
 //	POST /jobs              submit a job spec      → 202 {"id":"j000001",...}
 //	                        queue full             → 429 + Retry-After
 //	                        draining               → 503
+//	                        disk full/read-only    → 507
+//	                        not application/json   → 415
+//	                        spec over 8 MiB        → 413
 //	GET  /jobs              list jobs
 //	GET  /jobs/{id}         spec + full status journal
 //	GET  /jobs/{id}/result  final metrics + DRC outcome
 //	GET  /jobs/{id}/placement  final placement (plain text, reloadable)
 //	POST /jobs/{id}/cancel  cancel a queued or running job
 //	GET  /healthz           process liveness
-//	GET  /readyz            accepting jobs? (503 while draining)
+//	GET  /readyz            accepting jobs? (503 while draining or disk-full)
 //	GET  /metrics           live metrics snapshot (JSON)
 //
 // SIGTERM or SIGINT starts a graceful drain: /readyz flips to 503, new
@@ -35,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"mime"
 	"net"
 	"net/http"
 	"os"
@@ -44,6 +48,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
+	"repro/internal/invariant"
 	"repro/internal/jobs"
 	"repro/internal/telcli"
 )
@@ -57,13 +63,16 @@ func main() {
 
 func run() int {
 	var (
-		addr     = flag.String("addr", "localhost:8077", "HTTP listen address")
-		storeDir = flag.String("store", "", "job store directory (created if missing; required)")
-		workers  = flag.Int("workers", 0, "concurrent job executors (0 = default 2)")
-		queue    = flag.Int("queue", 0, "queued-job bound before submissions get 429 (0 = default 64)")
-		retries  = flag.Int("retries", 0, "default retry budget for transient job failures (0 = default 1)")
-		ckEvery  = flag.Int("checkpoint-every", 0, "temperature steps between job checkpoints (0 = default 5)")
-		drainT   = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget after SIGTERM/SIGINT")
+		addr      = flag.String("addr", "localhost:8077", "HTTP listen address")
+		storeDir  = flag.String("store", "", "job store directory (created if missing; required)")
+		workers   = flag.Int("workers", 0, "concurrent job executors (0 = default 2)")
+		queue     = flag.Int("queue", 0, "queued-job bound before submissions get 429 (0 = default 64)")
+		retries   = flag.Int("retries", 0, "default retry budget for transient job failures (0 = default 1)")
+		ckEvery   = flag.Int("checkpoint-every", 0, "temperature steps between job checkpoints (0 = default 5)")
+		drainT    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget after SIGTERM/SIGINT")
+		invar     = flag.Bool("invariants", false, "enable runtime invariant checks (journal state machine, cost drift); violations are logged and counted in /metrics")
+		faults    = flag.String("faults", "", "arm deterministic fault injection with this rule spec (e.g. 'fsio.write:err=enospc,after=3'); chaos testing only")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for probabilistic fault rules")
 	)
 	tf := telcli.Register(flag.CommandLine)
 	flag.Parse()
@@ -84,6 +93,26 @@ func run() int {
 	// A server always carries a live registry so /metrics works without
 	// telemetry flags; -metrics additionally snapshots it to a file at exit.
 	rt.EnsureRegistry()
+
+	if *invar {
+		invariant.Enable(invariant.Options{Logf: logf, Registry: rt.Registry()})
+		defer invariant.Disable()
+	}
+	if *faults != "" {
+		rules, err := faultinject.ParseRules(*faults)
+		if err != nil {
+			logf("%v", err)
+			return 2
+		}
+		pl := faultinject.NewPlane(*faultSeed, rules...)
+		pl.SetRegistry(rt.Registry())
+		if err := pl.Arm(); err != nil {
+			logf("%v", err)
+			return 1
+		}
+		defer faultinject.Disarm()
+		logf("fault injection armed: %s (seed %d)", *faults, *faultSeed)
+	}
 
 	st, err := jobs.Open(*storeDir, logf)
 	if err != nil {
@@ -175,6 +204,10 @@ func (s *server) mux() *http.ServeMux {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
 		}
+		if s.mgr.DiskFull() {
+			http.Error(w, "store filesystem full or read-only", http.StatusServiceUnavailable)
+			return
+		}
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -216,10 +249,25 @@ func httpError(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Refuse to decode anything not declared as JSON: arbitrary payloads
+	// (forms, multipart, octet streams) get an explicit 415, not a decode
+	// attempt that happens to fail.
+	mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if err != nil || mt != "application/json" {
+		httpError(w, http.StatusUnsupportedMediaType,
+			fmt.Errorf("submit requires Content-Type: application/json"))
+		return
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
 	var spec jobs.Spec
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("spec exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
 		return
 	}
@@ -231,6 +279,8 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, jobs.ErrDraining):
 		httpError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, jobs.ErrDiskFull):
+		httpError(w, http.StatusInsufficientStorage, err)
 	case err != nil:
 		httpError(w, http.StatusBadRequest, err)
 	default:

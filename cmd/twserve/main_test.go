@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/jobs"
 	"repro/internal/par"
 	"repro/internal/telcli"
@@ -410,5 +411,96 @@ func TestServeKillRecovery(t *testing.T) {
 	c2.cmd.Process.Signal(syscall.SIGTERM)
 	if code := c2.wait(t); code != 0 {
 		t.Fatalf("recovered server exited %d; stderr:\n%s", code, c2.stderr.String())
+	}
+}
+
+// TestHTTPSubmitContentType pins the 415 guard: only declared JSON bodies
+// reach the decoder.
+func TestHTTPSubmitContentType(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), jobs.Config{Workers: 1})
+	for _, ct := range []string{"text/plain", "application/x-www-form-urlencoded", "multipart/form-data; boundary=x", ""} {
+		req, err := http.NewRequest("POST", ts.URL+"/jobs", strings.NewReader(fastSpecJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnsupportedMediaType {
+			t.Errorf("Content-Type %q: %d %s, want 415", ct, resp.StatusCode, data)
+		}
+	}
+	// A parameterized JSON content type is still JSON.
+	req, _ := http.NewRequest("POST", ts.URL+"/jobs", strings.NewReader(fastSpecJSON))
+	req.Header.Set("Content-Type", "application/json; charset=utf-8")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("application/json with charset: %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestHTTPSubmitTooLarge pins the request body bound: anything past
+// maxSpecBytes gets a 413, not an unbounded read.
+func TestHTTPSubmitTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), jobs.Config{Workers: 1})
+	huge := `{"preset":"` + strings.Repeat("x", maxSpecBytes) + `"}`
+	resp, data := postJSON(t, ts.URL+"/jobs", huge)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit: %d %s, want 413", resp.StatusCode, data)
+	}
+}
+
+// TestHTTPDiskFull drives the ENOSPC path end to end with an injected fault
+// plane: submits are refused with 507 and readyz flips to 503 while the
+// store is unwritable, and both self-heal once writes succeed again.
+func TestHTTPDiskFull(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir(), jobs.Config{Workers: 1})
+	srv.mgr.Start()
+
+	pl := faultinject.NewPlane(1, faultinject.Rule{
+		Point: faultinject.FsioWrite, Err: syscall.ENOSPC, Times: faultinject.Unlimited,
+	})
+	if err := pl.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Disarm()
+
+	// The first submit hits ENOSPC mid-create and latches the condition.
+	resp, data := postJSON(t, ts.URL+"/jobs", fastSpecJSON)
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("submit on full disk: %d %s, want 507", resp.StatusCode, data)
+	}
+	if resp, data := get(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz on full disk: %d %s, want 503", resp.StatusCode, data)
+	}
+	// While latched, submits are refused up front by the probe.
+	if resp, data := postJSON(t, ts.URL+"/jobs", fastSpecJSON); resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("submit while latched: %d %s, want 507", resp.StatusCode, data)
+	}
+
+	// Space returns: the probe self-heals on the next submit.
+	faultinject.Disarm()
+	resp, data = postJSON(t, ts.URL+"/jobs", fastSpecJSON)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after space returned: %d %s, want 202", resp.StatusCode, data)
+	}
+	if resp, data := get(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after heal: %d %s, want 200", resp.StatusCode, data)
+	}
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &v); err == nil && v.ID != "" {
+		pollState(t, ts.URL, v.ID, "succeeded")
 	}
 }

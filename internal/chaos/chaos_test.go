@@ -1,0 +1,130 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/rng"
+	"repro/internal/telemetry"
+)
+
+// TestChaosProperty is the acceptance property: 50 seeded randomized fault
+// schedules against the jobs manager, every one terminating with
+// byte-identical placements on success paths, explicit reasons or
+// quarantines otherwise, and zero invariant violations. `go test -short`
+// trims the schedule count for quick iteration; the full 50 run in the
+// default suite and under make verify / -race.
+func TestChaosProperty(t *testing.T) {
+	n := 50
+	if testing.Short() {
+		n = 12
+	}
+	reg := telemetry.NewRegistry()
+	rep, err := Run(Options{
+		Schedules: n,
+		Seed:      7,
+		Registry:  reg,
+		Logf:      t.Logf,
+		Verbose:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("schedule %d [%s]: %v", v.Schedule, v.RulesString(), v.Violation)
+	}
+	if rep.InvariantViolations != 0 {
+		t.Errorf("%d invariant violations", rep.InvariantViolations)
+	}
+	if !rep.OK() {
+		t.Fatalf("contract violated: %s", rep.Summary())
+	}
+	if rep.Trips == 0 {
+		t.Fatal("no faults tripped: the schedules never exercised anything")
+	}
+	if rep.Succeeded == 0 {
+		t.Fatal("no schedule produced a successful job; byte-identity never checked")
+	}
+	// The trip counters must have flowed into the registry (the /metrics
+	// export path).
+	if c := reg.Counter("faultinject.trips").Value(); c != rep.Trips {
+		t.Fatalf("registry faultinject.trips = %d, report says %d", c, rep.Trips)
+	}
+	t.Logf("chaos: %s", rep.Summary())
+}
+
+// TestSchedulesAreDeterministic pins that a schedule's rule set is a pure
+// function of (seed, index), so any failing schedule can be re-run alone.
+func TestSchedulesAreDeterministic(t *testing.T) {
+	gen := func() []string {
+		var out []string
+		for i := 0; i < 20; i++ {
+			src := rng.New(99 ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+			o := Outcome{Rules: genRules(src)}
+			out = append(out, o.RulesString())
+		}
+		return out
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule %d not deterministic:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+	// Distinct indices must not all collapse to one rule set.
+	distinct := map[string]bool{}
+	for _, s := range a {
+		distinct[s] = true
+	}
+	if len(distinct) < 5 {
+		t.Fatalf("only %d distinct rule sets in 20 schedules", len(distinct))
+	}
+}
+
+// TestVerifyCatchesTamperedPlacement proves the verifier is not vacuous:
+// flipping bytes in a succeeded job's placement must fail verification.
+func TestVerifyCatchesTamperedPlacement(t *testing.T) {
+	opts := &Options{Logf: t.Logf}
+	opts.fill()
+	dir := t.TempDir()
+	ref, err := referenceRun(opts, filepath.Join(dir, "ref"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sdir := filepath.Join(dir, "s0")
+	st, err := jobs.Open(sdir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := jobs.NewManager(st, jobs.Config{Workers: 1, Backoff: fastBackoff, CheckpointEvery: 1, Logf: t.Logf})
+	m.Start()
+	j, err := m.Submit(opts.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, err := waitTerminal(j, time.Minute); err != nil || rec.State != jobs.StateSucceeded {
+		t.Fatalf("clean run ended %v (err %v)", rec.State, err)
+	}
+	drainQuiet(m)
+
+	var out Outcome
+	if err := verifyStore(opts, sdir, j.ID, false, ref, &out); err != nil {
+		t.Fatalf("clean store failed verification: %v", err)
+	}
+
+	data, err := os.ReadFile(j.PlacementPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(j.PlacementPath(), append(data, []byte("# tampered\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = Outcome{}
+	if err := verifyStore(opts, sdir, j.ID, false, ref, &out); err == nil {
+		t.Fatal("verifier accepted a tampered placement")
+	}
+}

@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/invariant"
+	"repro/internal/jobs"
+)
+
+// The twchaos child protocol: RunSigkill re-executes the current binary with
+// these environment variables set, and the binary's main (or TestMain) must
+// route such invocations to ChildMain. The child derives its fault rules
+// from (EnvSeed, EnvIndex) via ScheduleRules, so nothing random crosses the
+// process boundary.
+const (
+	// EnvChild marks the process as a chaos child ("1").
+	EnvChild = "TWCHAOS_CHILD"
+	// EnvDir is the job store root the child must open.
+	EnvDir = "TWCHAOS_DIR"
+	// EnvSeed is the master chaos seed, decimal.
+	EnvSeed = "TWCHAOS_SEED"
+	// EnvIndex is the schedule index, decimal.
+	EnvIndex = "TWCHAOS_INDEX"
+	// EnvSpec is the job spec, JSON-encoded.
+	EnvSpec = "TWCHAOS_SPEC"
+	// EnvArmed ("1") arms the schedule's fault rules inside the child;
+	// absent for the heal pass.
+	EnvArmed = "TWCHAOS_ARMED"
+)
+
+// Child exit codes. Anything else is an unexpected failure the parent
+// reports as a contract violation.
+const (
+	// childExitOK: every job in the store reached a terminal state.
+	childExitOK = 0
+	// childExitSetup: the child could not even parse its environment.
+	childExitSetup = 2
+	// childExitRetry: a clean, retryable non-result — the store would not
+	// open, the submit was rejected, or jobs did not converge before the
+	// child's own deadline. Legitimate under armed faults; a violation from
+	// the heal pass.
+	childExitRetry = 3
+	// ChildExitInvariant: the work finished but the runtime invariant
+	// checker tripped. Always a violation.
+	ChildExitInvariant = 7
+)
+
+// IsChild reports whether this process was spawned under the child protocol.
+func IsChild() bool { return os.Getenv(EnvChild) == "1" }
+
+// ChildMain is the chaos child's entry point: open the store named by the
+// environment, optionally arm the schedule's faults, run every job to a
+// terminal state, and exit with one of the protocol codes. The parent kills
+// the process with SIGKILL at a random moment — that, not the clean exit
+// path, is the part under test.
+func ChildMain() int {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "twchaos-child[%d]: "+format+"\n",
+			append([]any{os.Getpid()}, args...)...)
+	}
+	dir := os.Getenv(EnvDir)
+	if dir == "" {
+		logf("missing %s", EnvDir)
+		return childExitSetup
+	}
+	var spec jobs.Spec
+	if err := json.Unmarshal([]byte(os.Getenv(EnvSpec)), &spec); err != nil {
+		logf("bad %s: %v", EnvSpec, err)
+		return childExitSetup
+	}
+
+	invariant.Enable(invariant.Options{Logf: logf})
+	defer invariant.Disable()
+
+	if os.Getenv(EnvArmed) == "1" {
+		seed, err := strconv.ParseUint(os.Getenv(EnvSeed), 10, 64)
+		if err != nil {
+			logf("bad %s: %v", EnvSeed, err)
+			return childExitSetup
+		}
+		idx, err := strconv.Atoi(os.Getenv(EnvIndex))
+		if err != nil {
+			logf("bad %s: %v", EnvIndex, err)
+			return childExitSetup
+		}
+		pl := faultinject.NewPlane(seed^uint64(idx)<<20, ScheduleRules(seed, idx)...)
+		if err := pl.Arm(); err != nil {
+			logf("arm: %v", err)
+			return childExitSetup
+		}
+		defer faultinject.Disarm()
+	}
+
+	st, err := jobs.Open(dir, logf)
+	if err != nil {
+		logf("open store: %v", err)
+		return childExitRetry
+	}
+	m := jobs.NewManager(st, jobs.Config{
+		Workers: 1, Backoff: fastBackoff, CheckpointEvery: 1, Logf: logf,
+	})
+	m.Start()
+	if len(st.List()) == 0 {
+		if _, err := m.Submit(spec); err != nil {
+			logf("submit rejected: %v", err)
+			drainQuiet(m)
+			return childExitRetry
+		}
+	}
+	deadline := time.Now().Add(time.Minute)
+	for time.Now().Before(deadline) && !allTerminal(st) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	drainQuiet(m)
+	if !allTerminal(st) {
+		logf("jobs not terminal after %v", time.Minute)
+		return childExitRetry
+	}
+	if invariant.Count() > 0 {
+		return ChildExitInvariant
+	}
+	return childExitOK
+}

@@ -1,0 +1,45 @@
+package chaos
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain routes child-protocol re-executions of this test binary into
+// ChildMain, which is what lets TestChaosSigkill spawn and SIGKILL real
+// subprocesses of itself.
+func TestMain(m *testing.M) {
+	if IsChild() {
+		os.Exit(ChildMain())
+	}
+	os.Exit(m.Run())
+}
+
+// TestChaosSigkill runs the subprocess flavor of the chaos contract: armed
+// children are killed with SIGKILL mid-flight — real process deaths, with no
+// deferred cleanup or recover() softening — and recovery still has to
+// converge to the byte-identical placement.
+func TestChaosSigkill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos run skipped in -short mode")
+	}
+	rep, err := RunSigkill(Options{
+		Schedules: 6,
+		Seed:      11,
+		Logf:      t.Logf,
+		Verbose:   true,
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("schedule %d [%s]: %v", v.Schedule, v.RulesString(), v.Violation)
+	}
+	if !rep.OK() {
+		t.Fatalf("contract violated: %s", rep.Summary())
+	}
+	if rep.Succeeded == 0 {
+		t.Fatal("no schedule produced a successful job; byte-identity never checked")
+	}
+	t.Logf("chaos sigkill: %s", rep.Summary())
+}

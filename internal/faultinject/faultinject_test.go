@@ -1,0 +1,234 @@
+package faultinject
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// arm arms pl for the test and guarantees disarm at cleanup. Tests that arm
+// the global plane must not run in parallel with each other.
+func arm(t *testing.T, pl *Plane) {
+	t.Helper()
+	if err := pl.Arm(); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	t.Cleanup(Disarm)
+}
+
+func TestCheckDisarmed(t *testing.T) {
+	Disarm()
+	if Armed() {
+		t.Fatal("Armed() = true with no plane")
+	}
+	if f := Check(FsioWrite); f != nil {
+		t.Fatalf("Check disarmed = %+v, want nil", f)
+	}
+	if err := Err(FsioWrite); err != nil {
+		t.Fatalf("Err disarmed = %v, want nil", err)
+	}
+}
+
+func TestCheckDisarmedZeroAllocs(t *testing.T) {
+	Disarm()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if Check(FsioWrite) != nil || Err(JobsJournalBefore) != nil {
+			t.Fatal("unexpected fault")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disarmed Check/Err allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestDefaultRuleTripsOnce(t *testing.T) {
+	pl := NewPlane(1, Rule{Point: FsioWrite})
+	arm(t, pl)
+	err := Err(FsioWrite)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("first hit: err = %v, want ErrInjected", err)
+	}
+	if err := Err(FsioWrite); err != nil {
+		t.Fatalf("second hit: err = %v, want nil (Times defaults to 1)", err)
+	}
+	if got := pl.TotalTrips(); got != 1 {
+		t.Fatalf("TotalTrips = %d, want 1", got)
+	}
+	if got := pl.Trips()[FsioWrite]; got != 1 {
+		t.Fatalf("Trips[FsioWrite] = %d, want 1", got)
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	pl := NewPlane(1, Rule{Point: ParAttempt, After: 2, Times: 3})
+	arm(t, pl)
+	var trips int
+	for i := 0; i < 10; i++ {
+		if Err(ParAttempt) != nil {
+			trips++
+			if i < 2 {
+				t.Fatalf("tripped on hit %d, inside After window", i)
+			}
+		}
+	}
+	if trips != 3 {
+		t.Fatalf("trips = %d, want 3", trips)
+	}
+}
+
+func TestUnlimited(t *testing.T) {
+	pl := NewPlane(1, Rule{Point: FsioSync, Times: Unlimited})
+	arm(t, pl)
+	for i := 0; i < 50; i++ {
+		if Err(FsioSync) == nil {
+			t.Fatalf("hit %d: no fault with Times=Unlimited", i)
+		}
+	}
+}
+
+func TestProbDeterministic(t *testing.T) {
+	trip := func() []bool {
+		pl := NewPlane(42, Rule{Point: ParTask, Prob: 0.3, Times: Unlimited, Delay: time.Nanosecond})
+		var out []bool
+		for i := 0; i < 200; i++ {
+			out = append(out, pl.check(ParTask) != nil)
+		}
+		return out
+	}
+	a, b := trip(), trip()
+	var n int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between equal-seed planes", i)
+		}
+		if a[i] {
+			n++
+		}
+	}
+	if n < 30 || n > 90 {
+		t.Fatalf("Prob=0.3 tripped %d/200 times; want roughly 60", n)
+	}
+	// A different seed must give a different trip sequence.
+	pl2 := NewPlane(43, Rule{Point: ParTask, Prob: 0.3, Times: Unlimited, Delay: time.Nanosecond})
+	same := true
+	for i := 0; i < 200; i++ {
+		if (pl2.check(ParTask) != nil) != a[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 200-draw trip sequences")
+	}
+}
+
+func TestErrWrapping(t *testing.T) {
+	pl := NewPlane(1,
+		Rule{Point: FsioWrite, Err: syscall.ENOSPC},
+		Rule{Point: FsioRename, Err: errors.New("boom")},
+	)
+	arm(t, pl)
+	err := Err(FsioWrite)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("ENOSPC rule: err = %v, want Is(ErrInjected) && Is(ENOSPC)", err)
+	}
+	if err := Err(FsioRename); !errors.Is(err, ErrInjected) {
+		t.Fatalf("custom-error rule: err = %v, want Is(ErrInjected)", err)
+	}
+}
+
+func TestTornAndPanicRulesCarryNoError(t *testing.T) {
+	pl := NewPlane(1,
+		Rule{Point: FsioWriteTorn, Frac: 0.5},
+		Rule{Point: ParAttempt, Panic: true},
+	)
+	arm(t, pl)
+	f := Check(FsioWriteTorn)
+	if f == nil || f.Err != nil || f.Frac != 0.5 {
+		t.Fatalf("torn rule: fault = %+v, want Frac=0.5 and nil Err", f)
+	}
+	f = Check(ParAttempt)
+	if f == nil || !f.Panic || f.Err != nil {
+		t.Fatalf("panic rule: fault = %+v, want Panic=true and nil Err", f)
+	}
+}
+
+func TestDoubleArm(t *testing.T) {
+	pl := NewPlane(1, Rule{Point: FsioWrite})
+	arm(t, pl)
+	if err := NewPlane(2, Rule{Point: FsioSync}).Arm(); err == nil {
+		t.Fatal("second Arm succeeded; want error")
+	}
+	Disarm()
+	Disarm() // idempotent
+	pl2 := NewPlane(3, Rule{Point: FsioSync})
+	if err := pl2.Arm(); err != nil {
+		t.Fatalf("Arm after Disarm: %v", err)
+	}
+	Disarm()
+}
+
+func TestTelemetryCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	pl := NewPlane(1, Rule{Point: JobsJournalBefore, Times: 2})
+	pl.SetRegistry(reg)
+	arm(t, pl)
+	Err(JobsJournalBefore)
+	Err(JobsJournalBefore)
+	Err(JobsJournalBefore)
+	if got := reg.Counter("faultinject.trips").Value(); got != 2 {
+		t.Fatalf("faultinject.trips = %d, want 2", got)
+	}
+	if got := reg.Counter("faultinject.trip.jobs.journal.before").Value(); got != 2 {
+		t.Fatalf("per-point counter = %d, want 2", got)
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("fsio.write:err=enospc,after=2; par.attempt:panic,times=inf;fsio.write.torn:frac=0.25,delay=1ms")
+	if err != nil {
+		t.Fatalf("ParseRules: %v", err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("len(rules) = %d, want 3", len(rules))
+	}
+	r := rules[0]
+	if r.Point != FsioWrite || !errors.Is(r.Err, syscall.ENOSPC) || r.After != 2 {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	r = rules[1]
+	if r.Point != ParAttempt || !r.Panic || r.Times != Unlimited {
+		t.Fatalf("rule 1 = %+v", r)
+	}
+	r = rules[2]
+	if r.Point != FsioWriteTorn || r.Frac != 0.25 || r.Delay != time.Millisecond {
+		t.Fatalf("rule 2 = %+v", r)
+	}
+
+	for _, bad := range []string{"", "nosuch.point", "fsio.write:zap=1", "fsio.write:after=x", "fsio.write:err=nope"} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Errorf("ParseRules(%q) succeeded; want error", bad)
+		}
+	}
+}
+
+func TestMultipleRulesSamePoint(t *testing.T) {
+	sentinel := errors.New("second")
+	pl := NewPlane(1,
+		Rule{Point: FsioWrite, Times: 1},
+		Rule{Point: FsioWrite, Err: sentinel, After: 1, Times: 1},
+	)
+	arm(t, pl)
+	if err := Err(FsioWrite); !errors.Is(err, ErrInjected) || errors.Is(err, sentinel) {
+		t.Fatalf("hit 1: err = %v, want first rule's generic error", err)
+	}
+	if err := Err(FsioWrite); !errors.Is(err, sentinel) {
+		t.Fatalf("hit 2: err = %v, want second rule's sentinel", err)
+	}
+	if err := Err(FsioWrite); err != nil {
+		t.Fatalf("hit 3: err = %v, want nil (budgets spent)", err)
+	}
+}

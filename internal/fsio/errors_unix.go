@@ -12,3 +12,12 @@ import (
 func isSyncUnsupported(err error) bool {
 	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)
 }
+
+// isDiskUnwritable reports whether err means the filesystem will reject
+// every write until an operator intervenes: out of space (ENOSPC), over
+// quota (EDQUOT), or mounted read-only (EROFS).
+func isDiskUnwritable(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) ||
+		errors.Is(err, syscall.EDQUOT) ||
+		errors.Is(err, syscall.EROFS)
+}

@@ -2,10 +2,27 @@
 
 package fsio
 
+import (
+	"errors"
+	"syscall"
+)
+
 // isSyncUnsupported reports whether err means the filesystem cannot fsync a
 // directory handle. Windows has no directory fsync at all; FlushFileBuffers
 // on a directory handle fails with an access error, which we treat the same
 // way.
 func isSyncUnsupported(err error) bool {
 	return err != nil
+}
+
+// isDiskUnwritable reports whether err means the filesystem will reject
+// every write until an operator intervenes. ERROR_DISK_FULL (112) and
+// ERROR_HANDLE_DISK_FULL (39) are the documented NTFS out-of-space codes;
+// syscall.ENOSPC covers layers that translate to POSIX errnos.
+func isDiskUnwritable(err error) bool {
+	const errorHandleDiskFull = syscall.Errno(39)
+	const errorDiskFull = syscall.Errno(112)
+	return errors.Is(err, syscall.ENOSPC) ||
+		errors.Is(err, errorDiskFull) ||
+		errors.Is(err, errorHandleDiskFull)
 }

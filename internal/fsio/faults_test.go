@@ -1,0 +1,158 @@
+package fsio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+func armRules(t *testing.T, rules ...faultinject.Rule) *faultinject.Plane {
+	t.Helper()
+	pl := faultinject.NewPlane(1, rules...)
+	if err := pl.Arm(); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	t.Cleanup(faultinject.Disarm)
+	return pl
+}
+
+func TestInjectedWriteFaultsFailCleanly(t *testing.T) {
+	for _, point := range []faultinject.Point{
+		faultinject.FsioWrite, faultinject.FsioSync, faultinject.FsioRename,
+	} {
+		t.Run(string(point), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.bin")
+			if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			armRules(t, faultinject.Rule{Point: point})
+
+			err := WriteFileAtomic(path, []byte("new content"), 0o644)
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("WriteFileAtomic = %v, want injected error", err)
+			}
+			// The old file must be intact and no temp files may linger.
+			got, rerr := os.ReadFile(path)
+			if rerr != nil || string(got) != "old" {
+				t.Fatalf("target after failed write: %q, %v; want old content", got, rerr)
+			}
+			ents, _ := os.ReadDir(dir)
+			if len(ents) != 1 {
+				t.Fatalf("dir has %d entries after failed write, want 1 (temp left behind?)", len(ents))
+			}
+			// After the rule's budget is spent the write succeeds.
+			if err := WriteFileAtomic(path, []byte("new content"), 0o644); err != nil {
+				t.Fatalf("retry after budget spent: %v", err)
+			}
+			got, _ = os.ReadFile(path)
+			if string(got) != "new content" {
+				t.Fatalf("target after retry: %q", got)
+			}
+		})
+	}
+}
+
+func TestInjectedSyncDirFault(t *testing.T) {
+	dir := t.TempDir()
+	armRules(t, faultinject.Rule{Point: faultinject.FsioSyncDir})
+	if err := SyncDir(dir); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("SyncDir = %v, want injected error", err)
+	}
+	if err := SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir after budget spent: %v", err)
+	}
+}
+
+func TestInjectedTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	armRules(t, faultinject.Rule{Point: faultinject.FsioWriteTorn, Frac: 0.5})
+
+	data := []byte("0123456789abcdef")
+	if err := WriteFileAtomic(path, data, 0o644); err != nil {
+		t.Fatalf("torn write must report success, got %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data)/2 || string(got) != "01234567" {
+		t.Fatalf("torn file = %q (%d bytes), want first half of %q", got, len(got), data)
+	}
+	// Next write is whole again.
+	if err := WriteFileAtomic(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); len(got) != len(data) {
+		t.Fatalf("post-budget write left %d bytes, want %d", len(got), len(data))
+	}
+}
+
+func TestErrDiskFullClassification(t *testing.T) {
+	armRules(t,
+		faultinject.Rule{Point: faultinject.FsioWrite, Err: syscall.ENOSPC},
+		faultinject.Rule{Point: faultinject.FsioWrite, Err: syscall.EIO, After: 1},
+	)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+
+	// Injected ENOSPC rides the same classify() path as real OS errors, so
+	// callers see every sentinel: injected, errno, and disk-full.
+	err := WriteFileAtomic(path, []byte("x"), 0o644)
+	if !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, ErrDiskFull) ||
+		!errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want Is(ENOSPC) && Is(ErrDiskFull) && Is(ErrInjected)", err)
+	}
+
+	// Transient EIO must NOT classify as disk-full.
+	err = WriteFileAtomic(path, []byte("x"), 0o644)
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("err = %v, want Is(EIO)", err)
+	}
+	if errors.Is(err, ErrDiskFull) {
+		t.Fatalf("EIO wrongly Is(ErrDiskFull): %v", err)
+	}
+}
+
+func TestClassifyDirect(t *testing.T) {
+	if classify(nil) != nil {
+		t.Fatal("classify(nil) != nil")
+	}
+	for _, errno := range []syscall.Errno{syscall.ENOSPC, syscall.EDQUOT, syscall.EROFS} {
+		if !errors.Is(classify(errno), ErrDiskFull) {
+			t.Errorf("classify(%v) not Is(ErrDiskFull)", errno)
+		}
+	}
+	if errors.Is(classify(syscall.EACCES), ErrDiskFull) {
+		t.Error("classify(EACCES) wrongly Is(ErrDiskFull)")
+	}
+	// Already-classified errors are not double-wrapped.
+	once := classify(syscall.ENOSPC)
+	if classify(once) != once {
+		t.Error("classify re-wrapped an ErrDiskFull error")
+	}
+}
+
+func TestRealReadOnlyDirClassifies(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("running as root; chmod 0500 does not block writes")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o700)
+	err := WriteFileAtomic(filepath.Join(dir, "x"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("write into read-only dir succeeded")
+	}
+	// EACCES is permissions, not disk state: must stay transient.
+	if errors.Is(err, ErrDiskFull) {
+		t.Fatalf("EACCES classified as ErrDiskFull: %v", err)
+	}
+}

@@ -46,6 +46,60 @@ func knownState(s State) bool {
 	return false
 }
 
+// ValidTransition reports whether a journal may record to directly after
+// from. The empty State stands for "no record yet".
+//
+// The rule is looser than the nominal lifecycle diagram because journaling
+// is itself fallible: an append can fail after an earlier one already
+// landed (crash, torn write, injected fault), leaving the previous state
+// stale, and the manager records retry bookkeeping between attempts. Chaos
+// runs show queued→queued, running→running, and queued→failed (retry budget
+// exhausted after an "attempt failed" record) are all legitimate on disk.
+// What the recovery machinery actually depends on is narrower:
+//
+//   - from terminal → nothing may follow, ever
+//   - to succeeded → only from running: a success is journaled by the same
+//     process, in the same attempt, that journaled the run — a success out
+//     of nowhere means corruption
+//   - everything else (queued/running/canceled/failed from any non-terminal
+//     state) → allowed
+func ValidTransition(from, to State) bool {
+	if from.Terminal() {
+		return false
+	}
+	switch to {
+	case StateQueued, StateRunning, StateCanceled, StateFailed:
+		return true
+	case StateSucceeded:
+		return from == StateRunning
+	}
+	return false
+}
+
+// CheckJournal verifies the whole-journal properties recovery depends on:
+// strictly consecutive sequence numbers from 1, every adjacent pair a
+// ValidTransition, and nothing after a terminal record. It is the invariant
+// site behind jobs.transition and the chaos verifier's journal check.
+func CheckJournal(recs []Record) error {
+	prev := State("")
+	for i, rec := range recs {
+		if rec.Seq != i+1 {
+			return fmt.Errorf("jobs: journal record %d has sequence %d, want %d", i, rec.Seq, i+1)
+		}
+		if !knownState(rec.State) {
+			return fmt.Errorf("jobs: journal record %d has unknown state %q", i, rec.State)
+		}
+		if prev.Terminal() {
+			return fmt.Errorf("jobs: journal record %d: record after terminal state %q", i, prev)
+		}
+		if !ValidTransition(prev, rec.State) {
+			return fmt.Errorf("jobs: journal record %d: invalid transition %q → %q", i, prev, rec.State)
+		}
+		prev = rec.State
+	}
+	return nil
+}
+
 // Record is one journal entry: a state transition with its sequence number
 // (1-based, strictly consecutive), wall time, execution attempt, and a
 // human-readable detail.
@@ -117,9 +171,16 @@ func DecodeJournal(r io.Reader) ([]Record, error) {
 		if want := len(recs) + 1; rec.Seq != want {
 			return recs, fmt.Errorf("jobs: journal line %d: sequence %d, want %d", line, rec.Seq, want)
 		}
-		if len(recs) > 0 && recs[len(recs)-1].State.Terminal() {
-			return recs, fmt.Errorf("jobs: journal line %d: record after terminal state %q",
-				line, recs[len(recs)-1].State)
+		prev := State("")
+		if len(recs) > 0 {
+			prev = recs[len(recs)-1].State
+		}
+		if prev.Terminal() {
+			return recs, fmt.Errorf("jobs: journal line %d: record after terminal state %q", line, prev)
+		}
+		if !ValidTransition(prev, rec.State) {
+			return recs, fmt.Errorf("jobs: journal line %d: invalid transition %q → %q",
+				line, prev, rec.State)
 		}
 		recs = append(recs, rec)
 	}

@@ -1,6 +1,7 @@
 package jobs
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/fsio"
 	"repro/internal/netlist"
 	"repro/internal/par"
@@ -45,6 +47,12 @@ func (e *ErrQueueFull) Error() string {
 
 // ErrDraining is returned by Submit once a drain has begun.
 var ErrDraining = errors.New("jobs: not accepting jobs (draining)")
+
+// ErrDiskFull is returned by Submit while the store's filesystem is full or
+// read-only (it wraps fsio.ErrDiskFull, so errors.Is works against either).
+// Accepting a job the store cannot journal would lose it on the next crash,
+// so the manager refuses work until a write succeeds again.
+var ErrDiskFull = fmt.Errorf("jobs: not accepting jobs: %w", fsio.ErrDiskFull)
 
 // Config shapes a Manager.
 type Config struct {
@@ -194,6 +202,18 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		m.qmu.Unlock()
 		return nil, ErrDraining
 	}
+	m.qmu.Unlock()
+	// Disk-full latch: retest with a probe write (self-healing once space
+	// returns) and refuse work while the store is unwritable.
+	if !m.store.ProbeDisk() {
+		m.mRejected.Inc()
+		return nil, ErrDiskFull
+	}
+	m.qmu.Lock()
+	if m.stopping {
+		m.qmu.Unlock()
+		return nil, ErrDraining
+	}
 	if len(m.pending) >= m.cfg.QueueDepth {
 		depth := len(m.pending)
 		m.qmu.Unlock()
@@ -207,6 +227,12 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	// the bound is backpressure, not a hard invariant.
 	job, err := m.store.Create(spec)
 	if err != nil {
+		if errors.Is(err, fsio.ErrDiskFull) {
+			// The probe passed but the real write hit ENOSPC/EROFS; the
+			// latch is set, so report it as the same refusal.
+			m.mRejected.Inc()
+			return nil, fmt.Errorf("%w (%v)", ErrDiskFull, err)
+		}
 		return nil, err
 	}
 	m.qmu.Lock()
@@ -237,6 +263,10 @@ func (m *Manager) retryAfter(depth int) time.Duration {
 	}
 	return d
 }
+
+// DiskFull reports whether the store is refusing work because its
+// filesystem is full or read-only (readyz flips to 503 on this).
+func (m *Manager) DiskFull() bool { return m.store.DiskFull() }
 
 // QueueDepth returns the number of jobs waiting to run.
 func (m *Manager) QueueDepth() int {
@@ -509,28 +539,29 @@ func (m *Manager) finish(j *Job, c *netlist.Circuit, res *core.Result, out *outc
 	return nil
 }
 
-// writePlacement persists the final placement atomically and durably.
+// writePlacement persists the final placement atomically and durably, then
+// reads the file back and byte-compares it: a torn write on the result
+// artifact must fail the attempt (retryable) rather than ever surfacing as a
+// corrupt placement to a client.
 func (m *Manager) writePlacement(j *Job, res *core.Result) error {
-	pf, err := os.CreateTemp(j.Dir(), placementFile+".tmp*")
+	var buf bytes.Buffer
+	if err := place.WritePlacement(&buf, res.Placement); err != nil {
+		return err
+	}
+	werr := fsio.WriteFileAtomic(j.PlacementPath(), buf.Bytes(), 0o644)
+	m.store.noteWrite(werr)
+	if werr != nil {
+		return werr
+	}
+	got, err := os.ReadFile(j.PlacementPath())
 	if err != nil {
-		return err
+		return fmt.Errorf("jobs: placement %s: read-back: %w", j.ID, err)
 	}
-	defer os.Remove(pf.Name()) // no-op after rename
-	if err := place.WritePlacement(pf, res.Placement); err != nil {
-		pf.Close()
-		return err
+	if !bytes.Equal(got, buf.Bytes()) {
+		return fmt.Errorf("jobs: placement %s: read-back mismatch: wrote %d bytes, file has %d",
+			j.ID, buf.Len(), len(got))
 	}
-	if err := pf.Sync(); err != nil {
-		pf.Close()
-		return err
-	}
-	if err := pf.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(pf.Name(), j.PlacementPath()); err != nil {
-		return err
-	}
-	return fsio.SyncDir(j.Dir())
+	return nil
 }
 
 // loadCheckpoint returns the job's checkpoint if present and valid for c.
@@ -544,6 +575,11 @@ func (m *Manager) loadCheckpoint(j *Job, c *netlist.Circuit) *place.Checkpoint {
 	ck, err := place.LoadCheckpoint(path)
 	if err == nil {
 		err = ck.Validate(c)
+	}
+	if err == nil {
+		// Chaos injection: treat a freshly loaded, valid checkpoint as
+		// corrupt, driving the quarantine-and-restart-from-scratch path.
+		err = faultinject.Err(faultinject.JobsCheckpointCorrupt)
 	}
 	if err != nil {
 		m.cfg.Logf("jobs: %s: quarantining bad checkpoint: %v", j.ID, err)

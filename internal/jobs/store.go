@@ -1,6 +1,7 @@
 package jobs
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,9 +11,12 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/fsio"
+	"repro/internal/invariant"
 )
 
 // File names inside a job directory.
@@ -36,6 +40,9 @@ type Job struct {
 	ID   string
 	Spec Spec
 	dir  string
+	// store is the owning store (nil only in tests that build bare Jobs);
+	// durable writes report their outcome to it for disk-full tracking.
+	store *Store
 
 	mu      sync.Mutex
 	records []Record
@@ -59,11 +66,28 @@ func (j *Job) PlacementPath() string { return filepath.Join(j.dir, placementFile
 var ErrTerminal = errors.New("jobs: job already in a terminal state")
 
 // Append journals a state transition durably and returns the record.
+//
+// Fault-injection points bracket the disk write: jobs.journal.before fails
+// the append with nothing written (crash-before-transition — memory and
+// disk both keep the old state), jobs.journal.after fails it with the
+// record already durable (crash-between-transitions — disk is one record
+// ahead of memory; the next whole-journal rewrite or store reopen heals
+// the divergence).
 func (j *Job) Append(state State, attempt int, detail string) (Record, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if n := len(j.records); n > 0 && j.records[n-1].State.Terminal() {
-		return Record{}, fmt.Errorf("%w: %s is %s", ErrTerminal, j.ID, j.records[n-1].State)
+	prev := State("")
+	if n := len(j.records); n > 0 {
+		prev = j.records[n-1].State
+		if prev.Terminal() {
+			return Record{}, fmt.Errorf("%w: %s is %s", ErrTerminal, j.ID, prev)
+		}
+	}
+	// Invariant jobs.transition: the terminal-exclusivity check above plus
+	// ValidTransition cover the full journal state machine; a violation
+	// here means a manager bug, not disk damage.
+	if invariant.Enabled() && !ValidTransition(prev, state) {
+		invariant.Failf("jobs.transition", "job %s: %q → %q", j.ID, prev, state)
 	}
 	rec := Record{
 		Seq:     len(j.records) + 1,
@@ -76,7 +100,15 @@ func (j *Job) Append(state State, attempt int, detail string) (Record, error) {
 	if err != nil {
 		return rec, err
 	}
-	if err := fsio.WriteFileAtomic(filepath.Join(j.dir, journalFile), data, 0o644); err != nil {
+	if err := faultinject.Err(faultinject.JobsJournalBefore); err != nil {
+		return rec, fmt.Errorf("jobs: journal %s: %w", j.ID, err)
+	}
+	werr := fsio.WriteFileAtomic(filepath.Join(j.dir, journalFile), data, 0o644)
+	j.store.noteWrite(werr)
+	if werr != nil {
+		return rec, fmt.Errorf("jobs: journal %s: %w", j.ID, werr)
+	}
+	if err := faultinject.Err(faultinject.JobsJournalAfter); err != nil {
 		return rec, fmt.Errorf("jobs: journal %s: %w", j.ID, err)
 	}
 	j.records = append(j.records, rec)
@@ -112,6 +144,10 @@ type Store struct {
 	seq  int
 	// quarantined counts files or directories set aside during Open.
 	quarantined int
+
+	// diskFull latches when a durable write fails with fsio.ErrDiskFull and
+	// clears on the next successful one; readyz and Submit consult it.
+	diskFull atomic.Bool
 }
 
 // Open scans root (creating it if needed), loads every job, and
@@ -165,7 +201,7 @@ func (s *Store) loadJob(id string) (*Job, bool) {
 		s.quarantine(dir)
 		return nil, false
 	}
-	job := &Job{ID: id, Spec: spec, dir: dir}
+	job := &Job{ID: id, Spec: spec, dir: dir, store: s}
 	jpath := filepath.Join(dir, journalFile)
 	f, err := os.Open(jpath)
 	switch {
@@ -190,6 +226,13 @@ func (s *Store) loadJob(id string) (*Job, bool) {
 				if werr := fsio.WriteFileAtomic(jpath, data, 0o644); werr != nil {
 					s.logf("jobs: job %s: rewrite journal: %v", id, werr)
 				}
+			}
+		}
+		// Invariant jobs.journal: whatever survived decode (and possible
+		// prefix-trimming) must satisfy the whole-journal state machine.
+		if invariant.Enabled() {
+			if ierr := CheckJournal(job.records); ierr != nil {
+				invariant.Failf("jobs.journal", "job %s: %v", id, ierr)
 			}
 		}
 	}
@@ -222,6 +265,46 @@ func (s *Store) QuarantineFile(path string) {
 	s.quarantine(path)
 }
 
+// noteWrite records the outcome of a durable write for disk-full tracking:
+// an fsio.ErrDiskFull latches the condition, any successful write clears
+// it. Nil-receiver safe for bare test Jobs.
+func (s *Store) noteWrite(err error) {
+	if s == nil {
+		return
+	}
+	if err == nil {
+		s.diskFull.Store(false)
+	} else if errors.Is(err, fsio.ErrDiskFull) {
+		s.diskFull.Store(true)
+	}
+}
+
+// DiskFull reports whether the store's last failing durable write hit a
+// full or read-only filesystem and no write has succeeded since. Submit
+// rejects work and readyz reports 503 while this holds.
+func (s *Store) DiskFull() bool {
+	if s == nil {
+		return false
+	}
+	return s.diskFull.Load()
+}
+
+// ProbeDisk retests a latched disk-full condition with a small probe write
+// in the store root, clearing the latch when space is back. It reports
+// whether the store is writable.
+func (s *Store) ProbeDisk() bool {
+	if !s.DiskFull() {
+		return true
+	}
+	probe := filepath.Join(s.root, ".probe")
+	err := fsio.WriteFileAtomic(probe, []byte("probe\n"), 0o644)
+	if err == nil {
+		os.Remove(probe)
+	}
+	s.noteWrite(err)
+	return err == nil
+}
+
 // Quarantined returns the number of files/directories set aside so far.
 func (s *Store) Quarantined() int {
 	s.mu.Lock()
@@ -252,9 +335,10 @@ func (s *Store) Create(spec Spec) (*Job, error) {
 		return nil, fmt.Errorf("jobs: create %s: %w", id, err)
 	}
 	if err := fsio.WriteFileAtomic(filepath.Join(dir, specFile), data, 0o644); err != nil {
+		s.noteWrite(err)
 		return nil, err
 	}
-	job := &Job{ID: id, Spec: spec, dir: dir}
+	job := &Job{ID: id, Spec: spec, dir: dir, store: s}
 	if _, err := job.Append(StateQueued, 0, "submitted"); err != nil {
 		return nil, err
 	}
@@ -330,13 +414,30 @@ type ResultInfo struct {
 	DRCViolations []string `json:"drc_violations,omitempty"`
 }
 
-// WriteResult persists info durably to the job's result.json.
+// WriteResult persists info durably to the job's result.json and verifies
+// it by reading the file back: a torn write on the final artifact must
+// surface as a retryable error here, never as a corrupt result served to a
+// client later.
 func (j *Job) WriteResult(info *ResultInfo) error {
 	data, err := json.MarshalIndent(info, "", "  ")
 	if err != nil {
 		return fmt.Errorf("jobs: result %s: %w", j.ID, err)
 	}
-	return fsio.WriteFileAtomic(j.ResultPath(), append(data, '\n'), 0o644)
+	data = append(data, '\n')
+	werr := fsio.WriteFileAtomic(j.ResultPath(), data, 0o644)
+	j.store.noteWrite(werr)
+	if werr != nil {
+		return werr
+	}
+	got, rerr := os.ReadFile(j.ResultPath())
+	if rerr != nil {
+		return fmt.Errorf("jobs: result %s: read-back: %w", j.ID, rerr)
+	}
+	if !bytes.Equal(got, data) {
+		return fmt.Errorf("jobs: result %s: read-back mismatch: wrote %d bytes, file has %d",
+			j.ID, len(data), len(got))
+	}
+	return nil
 }
 
 // ReadResult loads the job's result.json, if present.

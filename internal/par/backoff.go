@@ -3,9 +3,11 @@ package par
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime/debug"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/rng"
 )
 
@@ -74,12 +76,15 @@ func (b Backoff) Delay(i, a int) time.Duration {
 	return d
 }
 
-// sleep waits for d or until ctx is cancelled, returning ctx.Err() in the
-// latter case. A non-positive d returns immediately (but still observes an
+// sleep waits for d or until ctx is cancelled, returning context.Cause(ctx)
+// in the latter case — the cancel cause (a deadline sentinel, a drain
+// reason) is more useful to the caller than the bare context.Canceled, and
+// errors.Is against the plain sentinels still holds for plain cancels. A
+// non-positive d returns immediately (but still observes an
 // already-cancelled context, so a retry loop never outruns cancellation).
 func sleep(ctx context.Context, d time.Duration) error {
-	if err := ctx.Err(); err != nil {
-		return err
+	if ctx.Err() != nil {
+		return context.Cause(ctx)
 	}
 	if d <= 0 {
 		return nil
@@ -88,7 +93,7 @@ func sleep(ctx context.Context, d time.Duration) error {
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
-		return ctx.Err()
+		return context.Cause(ctx)
 	case <-t.C:
 		return nil
 	}
@@ -115,6 +120,20 @@ func Retry(ctx context.Context, i, retries int, bo Backoff, fn func() error) (at
 				err = &PanicError{Value: r, Stack: debug.Stack()}
 			}
 		}()
+		// Chaos injection: stall, panic, or fail this attempt. The panic
+		// lands inside the recover above, exercising the same isolation a
+		// real panicking task gets.
+		if f := faultinject.Check(faultinject.ParAttempt); f != nil {
+			if f.Delay > 0 {
+				time.Sleep(f.Delay)
+			}
+			if f.Panic {
+				panic(fmt.Sprintf("faultinject: injected panic at %s", f.Point))
+			}
+			if f.Err != nil {
+				return f.Err
+			}
+		}
 		return fn()
 	}
 	for a := 0; a <= retries; a++ {
@@ -123,6 +142,9 @@ func Retry(ctx context.Context, i, retries int, bo Backoff, fn func() error) (at
 			if werr := sleep(ctx, bo.Delay(i, a)); werr != nil {
 				return attempts, werr
 			}
+		} else if ctx.Err() != nil {
+			// Already cancelled on entry: don't burn an attempt.
+			return 0, context.Cause(ctx)
 		}
 		attempts = a + 1
 		err = attempt()
@@ -152,8 +174,8 @@ func ForEachBackoff(ctx context.Context, workers, n, retries int, bo Backoff, fn
 	errs := make([]error, n)
 	attempts := make([]int, n)
 	pool(workers, n, func(i int) {
-		if err := ctx.Err(); err != nil {
-			errs[i] = err
+		if ctx.Err() != nil {
+			errs[i] = context.Cause(ctx)
 			return
 		}
 		attempts[i], errs[i] = Retry(ctx, i, retries, bo, func() error { return fn(i) })

@@ -26,6 +26,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
 )
 
 // DefaultRetries is the per-task retry budget used by callers that do not
@@ -79,6 +82,13 @@ func countTask(task func()) {
 		poolStats.active.Add(-1)
 		poolStats.done.Add(1)
 	}()
+	// Chaos injection: par.task honours only Delay (slow/stalled worker).
+	// Errors and panics belong at par.attempt, inside the recovery wrapper;
+	// an unrecovered panic here would kill the process, which is the
+	// subprocess chaos mode's job, not this one's.
+	if f := faultinject.Check(faultinject.ParTask); f != nil && f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
 	task()
 }
 

@@ -2,16 +2,17 @@ package place
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
 	"os"
-	"path/filepath"
 
 	"repro/internal/anneal"
 	"repro/internal/estimate"
+	"repro/internal/faultinject"
 	"repro/internal/fsio"
 	"repro/internal/geom"
 	"repro/internal/netlist"
@@ -270,41 +271,31 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	return ck, nil
 }
 
-// SaveCheckpoint writes ck to path atomically and durably: the bytes land
-// in a temporary file in the same directory, are synced, replace path with a
-// rename, and the directory entry itself is synced (without that last step
-// the rename lives only in the directory's page cache, and a power cut can
-// leave no checkpoint at all). A crash mid-write leaves either the previous
-// checkpoint or the new one, never a torn file.
+// SaveCheckpoint writes ck to path atomically and durably via
+// fsio.WriteFileAtomic: encoded to memory first, then temp file + fsync +
+// rename + directory fsync. A crash mid-write leaves either the previous
+// checkpoint or the new one, never a torn file. The faultinject point
+// place.checkpoint.save fails the save before any bytes move.
 func SaveCheckpoint(path string, ck *Checkpoint) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
+	if err := faultinject.Err(faultinject.PlaceCheckpointSave); err != nil {
 		return fmt.Errorf("place: save checkpoint: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after successful rename
-	if err := EncodeCheckpoint(tmp, ck); err != nil {
-		tmp.Close()
+	var buf bytes.Buffer
+	if err := EncodeCheckpoint(&buf, ck); err != nil {
 		return err
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("place: save checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("place: save checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("place: save checkpoint: %w", err)
-	}
-	if err := fsio.SyncDir(dir); err != nil {
+	if err := fsio.WriteFileAtomic(path, buf.Bytes(), 0o644); err != nil {
 		return fmt.Errorf("place: save checkpoint: %w", err)
 	}
 	return nil
 }
 
-// LoadCheckpoint reads and decodes the checkpoint at path.
+// LoadCheckpoint reads and decodes the checkpoint at path. The faultinject
+// point place.checkpoint.load fails the load before the file is opened.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
+	if err := faultinject.Err(faultinject.PlaceCheckpointLoad); err != nil {
+		return nil, fmt.Errorf("place: load checkpoint: %w", err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("place: load checkpoint: %w", err)

@@ -1,0 +1,43 @@
+package place
+
+import (
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/invariant"
+)
+
+// TestFaultInjectZeroExtraAllocsPerMove pins the disabled-path cost of the
+// fault-injection and invariant layers on the Stage 1 hot path: with the
+// injection points compiled in, the move loop must allocate exactly as much
+// with a plane armed on unrelated points (and invariants off) as it does
+// fully disarmed. Together with faultinject's own TestCheckDisarmedZeroAllocs
+// this is the "zero overhead when disabled" guard from DESIGN §11.
+func TestFaultInjectZeroExtraAllocsPerMove(t *testing.T) {
+	if faultinject.Armed() {
+		t.Fatal("a fault plane is already armed; tests must disarm between schedules")
+	}
+	if invariant.Enabled() {
+		t.Fatal("invariants unexpectedly enabled")
+	}
+	measure := func() float64 {
+		s := newBenchStage1(t, nil, 99)
+		return testing.AllocsPerRun(500, func() { stage1OneMove(s) })
+	}
+	disarmed := measure()
+	// Arm a plane whose rules target points the move loop never hits; the
+	// loop's own fast path must stay byte-for-byte the same work.
+	pl := faultinject.NewPlane(1,
+		faultinject.Rule{Point: faultinject.JobsJournalBefore, Times: faultinject.Unlimited},
+		faultinject.Rule{Point: faultinject.FsioWrite, Times: faultinject.Unlimited},
+	)
+	if err := pl.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Disarm()
+	armed := measure()
+	if armed > disarmed {
+		t.Fatalf("move loop allocates more with a plane armed: armed=%v disarmed=%v allocs/move",
+			armed, disarmed)
+	}
+}

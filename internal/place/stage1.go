@@ -10,6 +10,7 @@ import (
 	"repro/internal/anneal"
 	"repro/internal/estimate"
 	"repro/internal/geom"
+	"repro/internal/invariant"
 	"repro/internal/netlist"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -584,6 +585,15 @@ func (s *stage1) innerLoop(ctx context.Context, from int) error {
 // endStep closes the current temperature step: stopping-criterion
 // accounting, history, best-so-far tracking, and the per-step trace event.
 func (s *stage1) endStep() {
+	// Invariant place.cost: at every temperature-step boundary the
+	// incremental cost accumulators must agree with a from-scratch
+	// recomputation. CheckCostDrift restores the incremental values, so the
+	// check cannot perturb the anneal (bit-identity is pinned by tests).
+	if invariant.Enabled() {
+		if err := s.p.CheckCostDrift(); err != nil {
+			invariant.Failf("place.cost", "step %d: %v", s.ctl.Step(), err)
+		}
+	}
 	cost := s.p.Cost()
 	s.ctl.EndStep(cost)
 	s.history = append(s.history, StepStat{
