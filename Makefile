@@ -1,20 +1,22 @@
 # Standard checks for the TimberWolfMC reproduction.
 #
-#   make verify      tier-1 checks + race detector + short fuzz smokes + bench smoke + twserve smoke + chaos smoke
+#   make verify      tier-1 checks + race detector + short fuzz smokes + bench smoke/diff + twserve smoke + chaos smoke
 #   make test        unit tests only
 #   make fuzz-smoke  10-second runs of each fuzz target
-#   make bench       place benchmarks with -benchmem -> BENCH_PR3.json
+#   make bench       place benchmarks with -benchmem -> BENCH_PR6.json
 #   make bench-smoke 1-iteration benchmark pass (catches bitrot, no timing)
-#   make chaos-smoke bounded twchaos runs (fixed seeds, both modes)
+#   make bench-diff  bench-smoke output gated against the committed baseline
+#   make chaos-smoke bounded twchaos runs (fixed seeds, both modes, with and without tempering)
 
 GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
-BENCHOUT ?= BENCH_PR3.json
+BENCHOUT ?= BENCH_PR6.json
+BENCHBASE ?= BENCH_PR6.json
 
-.PHONY: verify tier1 test race fuzz-smoke bench bench-smoke serve-smoke chaos-smoke
+.PHONY: verify tier1 test race fuzz-smoke bench bench-smoke bench-diff serve-smoke chaos-smoke
 
-verify: tier1 race fuzz-smoke bench-smoke serve-smoke chaos-smoke
+verify: tier1 race fuzz-smoke bench-diff serve-smoke chaos-smoke
 
 tier1:
 	$(GO) build ./...
@@ -43,12 +45,15 @@ serve-smoke:
 
 # chaos-smoke runs the chaos driver with fixed seeds in both fault modes:
 # a bounded in-process run (injected faults, drain/restart interrupts) and
-# a short sigkill run (real child processes killed mid-write). Exit 0 means
-# the recovery contract held on every schedule. The full 50-schedule
-# property test already runs under tier1/race via the regular test suite.
+# a short sigkill run (real child processes killed mid-write), plus an
+# in-process run with parallel tempering so the ladder-wide checkpoint
+# format goes through the same fault schedules. Exit 0 means the recovery
+# contract held on every schedule. The full 50-schedule property test
+# already runs under tier1/race via the regular test suite.
 chaos-smoke:
 	$(GO) run ./cmd/twchaos -schedules 10 -seed 1
 	$(GO) run ./cmd/twchaos -mode sigkill -schedules 3 -seed 2
+	$(GO) run ./cmd/twchaos -schedules 5 -seed 3 -replicas 2
 
 # bench records the placement hot-path benchmarks (incl. the telemetry
 # on/off pair) as committed JSON. BENCHTIME=1x gives stable-ish numbers
@@ -58,7 +63,18 @@ bench:
 		| $(GO) run ./cmd/benchjson -o $(BENCHOUT)
 
 # bench-smoke proves every benchmark still runs and its output still
-# parses, without writing BENCH_PR3.json or caring about timing.
+# parses, without writing $(BENCHOUT) or caring about timing.
 bench-smoke:
 	$(GO) test -bench . -benchmem -benchtime=1x -run '^$$' ./internal/place \
 		| $(GO) run ./cmd/benchjson > /dev/null
+
+# bench-diff is the regression gate: a quick bench pass compared against
+# the committed baseline. 100 iterations (not 1) so one-time warmup
+# allocations and cold caches amortize out of the per-op numbers. The
+# ns/op tolerance is loose (short timings are noisy and machines differ);
+# the allocs/op gate is strict — any increase fails, because the Stage 1
+# hot paths are pinned at zero.
+bench-diff:
+	$(GO) test -bench . -benchmem -benchtime=100x -run '^$$' ./internal/place \
+		| $(GO) run ./cmd/benchjson -o /tmp/bench_head.json
+	$(GO) run ./cmd/benchjson -diff -ns-threshold 400 $(BENCHBASE) /tmp/bench_head.json

@@ -50,6 +50,7 @@ func run() int {
 		seed      = flag.Uint64("seed", 1, "master seed; equal seeds reproduce equal runs")
 		store     = flag.String("store", "", "scratch root for per-schedule job stores (default: temp dir, removed on success)")
 		restarts  = flag.Int("restarts", 0, "max armed interrupt/restart cycles per schedule (0 = default 4)")
+		replicas  = flag.Int("replicas", 0, "parallel-tempering replicas in the job under test (0 = classic anneal)")
 		verbose   = flag.Bool("v", false, "log every schedule, not just violations")
 	)
 	tf := telcli.Register(flag.CommandLine)
@@ -72,6 +73,7 @@ func run() int {
 		Seed:          *seed,
 		Dir:           *store,
 		MaxRestarts:   *restarts,
+		Replicas:      *replicas,
 		Registry:      rt.EnsureRegistry(),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "twchaos: "+format+"\n", args...)

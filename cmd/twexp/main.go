@@ -45,12 +45,13 @@ func main() {
 		m        = flag.Int("m", 0, "router alternatives override")
 		circuits = flag.String("circuits", "", "comma-separated preset subset")
 		workers  = flag.Int("workers", 0, "parallel trial workers (0 = all CPUs, 1 = serial; output is identical either way)")
+		replicas = flag.Int("replicas", 1, "parallel-tempering replicas inside each table-experiment run (1 = classic anneal)")
 		retries  = flag.Int("retries", 0, "per-task retry budget (0 = default 1, -1 = no retries)")
 	)
 	tf := telcli.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := validateFlags(*exp, *trials, *ac, *m, *workers, *retries, *circuits); err != nil {
+	if err := validateFlags(*exp, *trials, *ac, *m, *workers, *replicas, *retries, *circuits); err != nil {
 		fmt.Fprintln(os.Stderr, "twexp:", err)
 		os.Exit(2)
 	}
@@ -89,6 +90,7 @@ func main() {
 		cfg.Circuits = strings.Split(*circuits, ",")
 	}
 	cfg.Workers = *workers
+	cfg.Replicas = *replicas
 	cfg.Retries = *retries
 	cfg.Ctx = ctx
 	cfg.Tel = rt.Tracer
@@ -237,7 +239,7 @@ func reportFailure(id string, err error) {
 }
 
 // validateFlags rejects out-of-range flag values with a usage error.
-func validateFlags(exp string, trials, ac, m, workers, retries int, circuits string) error {
+func validateFlags(exp string, trials, ac, m, workers, replicas, retries int, circuits string) error {
 	if exp != "all" {
 		known := false
 		for _, id := range knownExps {
@@ -259,6 +261,8 @@ func validateFlags(exp string, trials, ac, m, workers, retries int, circuits str
 		return fmt.Errorf("-m must be >= 0 (got %d; 0 selects the config default)", m)
 	case workers < 0:
 		return fmt.Errorf("-workers must be >= 0 (got %d; 0 selects all CPUs)", workers)
+	case replicas < 1:
+		return fmt.Errorf("-replicas must be >= 1 (got %d)", replicas)
 	case retries < -1:
 		return fmt.Errorf("-retries must be >= -1 (got %d)", retries)
 	}

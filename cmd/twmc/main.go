@@ -59,7 +59,8 @@ func main() {
 		aspect   = flag.Float64("aspect", 1, "target core height/width ratio")
 		iters    = flag.Int("refine", 0, "refinement executions (0 = default 3)")
 		nstarts  = flag.Int("nstarts", 1, "independent Stage 1 anneals; best final cost wins")
-		workers  = flag.Int("workers", 0, "goroutines for -nstarts > 1 (0 = all CPUs; winner is scheduling-independent)")
+		replicas = flag.Int("replicas", 1, "parallel-tempering replicas within the Stage 1 run (1 = classic anneal; results are worker-count independent)")
+		workers  = flag.Int("workers", 0, "goroutines for -nstarts or -replicas > 1 (0 = all CPUs; results are scheduling-independent)")
 		preset   = flag.String("preset", "", "place a built-in synthetic circuit (i1,p1,x1,i2,i3,l1,d2,d1,d3)")
 		genSeed  = flag.Uint64("preset-seed", 17, "seed for -preset circuit synthesis")
 		stage1   = flag.Bool("stage1-only", false, "stop after Stage 1")
@@ -84,7 +85,7 @@ func main() {
 		defer invariant.Disable()
 	}
 
-	if err := validateFlags(*nstarts, *workers, *ac, *m, *iters, *ckEvery,
+	if err := validateFlags(*nstarts, *replicas, *workers, *ac, *m, *iters, *ckEvery,
 		*r, *rho, *eta, *aspect, *deadline, *ckPath, *resume, *load); err != nil {
 		fmt.Fprintln(os.Stderr, "twmc:", err)
 		os.Exit(2)
@@ -167,6 +168,7 @@ func main() {
 		CoreAspect:      *aspect,
 		Iterations:      *iters,
 		Starts:          *nstarts,
+		Replicas:        *replicas,
 		Workers:         *workers,
 		SkipStage2:      *stage1,
 		CheckpointPath:  *ckPath,
@@ -176,16 +178,27 @@ func main() {
 	if *nstarts > 1 {
 		fmt.Printf("stage 1: best of %d independent anneals\n", *nstarts)
 	}
+	if *replicas > 1 {
+		fmt.Printf("stage 1: parallel tempering with %d replicas\n", *replicas)
+	}
 	var res *core.Result
 	switch {
 	case *resume != "":
-		ck, cerr := place.LoadCheckpoint(*resume)
+		any, cerr := place.LoadAnyCheckpoint(*resume)
 		if cerr != nil {
 			die(cerr)
 		}
-		fmt.Printf("resuming %s from step %d of checkpoint %s\n", ck.Circuit, ck.Ctl.Step, *resume)
 		opts.Starts = 1
-		res, err = core.PlaceFromCheckpoint(ctx, c, ck, opts)
+		if any.Temper != nil {
+			tck := any.Temper
+			fmt.Printf("resuming %s from step %d of tempering checkpoint %s (%d replicas)\n",
+				tck.Circuit, tck.Reps[0].Ctl.Step, *resume, tck.Replicas)
+			res, err = core.PlaceFromTemperCheckpoint(ctx, c, tck, opts)
+		} else {
+			ck := any.Single
+			fmt.Printf("resuming %s from step %d of checkpoint %s\n", ck.Circuit, ck.Ctl.Step, *resume)
+			res, err = core.PlaceFromCheckpoint(ctx, c, ck, opts)
+		}
 	case *load != "":
 		f, ferr := os.Open(*load)
 		if ferr != nil {
@@ -301,11 +314,15 @@ func main() {
 // validateFlags rejects out-of-range or contradictory flag values up front
 // with a usage error, instead of letting them surface as a panic or a silent
 // misconfiguration deep in the run.
-func validateFlags(nstarts, workers, ac, m, iters, ckEvery int,
+func validateFlags(nstarts, replicas, workers, ac, m, iters, ckEvery int,
 	r, rho, eta, aspect float64, deadline time.Duration, ckPath, resume, load string) error {
 	switch {
 	case nstarts < 1:
 		return fmt.Errorf("-nstarts must be >= 1 (got %d)", nstarts)
+	case replicas < 1:
+		return fmt.Errorf("-replicas must be >= 1 (got %d)", replicas)
+	case nstarts > 1 && replicas > 1:
+		return fmt.Errorf("-nstarts and -replicas are mutually exclusive (got %d and %d): pick independent restarts or one tempered run", nstarts, replicas)
 	case workers < 0:
 		return fmt.Errorf("-workers must be >= 0 (got %d; 0 selects all CPUs)", workers)
 	case ac < 0:

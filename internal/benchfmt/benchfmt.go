@@ -91,3 +91,66 @@ func WriteJSON(w io.Writer, results []Result) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(sorted)
 }
+
+// ReadJSON reads results previously written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Result, error) {
+	var out []Result
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DiffRow is one benchmark's old-vs-new comparison. Old or New is nil when
+// the benchmark exists on only one side (never a regression by itself).
+type DiffRow struct {
+	Name       string
+	Old, New   *Result
+	NsDeltaPct float64 // (new-old)/old ns/op, percent; 0 when either side is absent or old is 0
+	Regressed  bool
+	Reason     string
+}
+
+// Diff compares two result sets by benchmark name. A row regresses when
+// ns/op grew by more than nsThresholdPct percent, or when allocs/op grew at
+// all — allocation regressions are always significant because the hot paths
+// are pinned at zero. Rows come back sorted by name, matched or not.
+func Diff(old, new []Result, nsThresholdPct float64) []DiffRow {
+	byName := func(rs []Result) map[string]*Result {
+		m := make(map[string]*Result, len(rs))
+		for i := range rs {
+			m[rs[i].Name] = &rs[i]
+		}
+		return m
+	}
+	om, nm := byName(old), byName(new)
+	names := make([]string, 0, len(om)+len(nm))
+	for name := range om {
+		names = append(names, name)
+	}
+	for name := range nm {
+		if _, ok := om[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	rows := make([]DiffRow, 0, len(names))
+	for _, name := range names {
+		row := DiffRow{Name: name, Old: om[name], New: nm[name]}
+		if row.Old != nil && row.New != nil {
+			if row.Old.NsPerOp > 0 {
+				row.NsDeltaPct = (row.New.NsPerOp - row.Old.NsPerOp) / row.Old.NsPerOp * 100
+			}
+			switch {
+			case row.New.AllocsPerOp > row.Old.AllocsPerOp:
+				row.Regressed = true
+				row.Reason = "allocs/op increased"
+			case row.NsDeltaPct > nsThresholdPct:
+				row.Regressed = true
+				row.Reason = "ns/op over threshold"
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

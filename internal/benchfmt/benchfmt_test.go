@@ -2,6 +2,7 @@ package benchfmt
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -72,5 +73,62 @@ func TestWriteJSONSorted(t *testing.T) {
 		if !strings.Contains(out, field) {
 			t.Errorf("output missing %s:\n%s", field, out)
 		}
+	}
+}
+
+func TestReadJSONRoundTrip(t *testing.T) {
+	in := []Result{
+		{Name: "BenchmarkB", Iterations: 10, NsPerOp: 2.5, BytesPerOp: 8, AllocsPerOp: 1},
+		{Name: "BenchmarkA", Iterations: 5, NsPerOp: 100},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Result{in[1], in[0]} // WriteJSON sorts by name
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("round trip = %+v, want %+v", out, want)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old := []Result{
+		{Name: "BenchmarkFast", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "BenchmarkSlow", NsPerOp: 1000, AllocsPerOp: 2},
+		{Name: "BenchmarkAlloc", NsPerOp: 50, AllocsPerOp: 0},
+		{Name: "BenchmarkGone", NsPerOp: 10},
+	}
+	new := []Result{
+		{Name: "BenchmarkFast", NsPerOp: 105, AllocsPerOp: 0},  // +5%: within threshold
+		{Name: "BenchmarkSlow", NsPerOp: 1200, AllocsPerOp: 2}, // +20%: regression
+		{Name: "BenchmarkAlloc", NsPerOp: 40, AllocsPerOp: 1},  // faster but allocates: regression
+		{Name: "BenchmarkNew", NsPerOp: 7},
+	}
+	rows := Diff(old, new, 10)
+	got := map[string]DiffRow{}
+	for _, r := range rows {
+		got[r.Name] = r
+	}
+	if len(rows) != 5 {
+		t.Fatalf("Diff returned %d rows, want 5", len(rows))
+	}
+	if r := got["BenchmarkFast"]; r.Regressed {
+		t.Errorf("Fast: +5%% flagged as regression under a 10%% threshold")
+	}
+	if r := got["BenchmarkSlow"]; !r.Regressed || r.Reason != "ns/op over threshold" {
+		t.Errorf("Slow: want ns/op regression, got %+v", r)
+	}
+	if r := got["BenchmarkAlloc"]; !r.Regressed || r.Reason != "allocs/op increased" {
+		t.Errorf("Alloc: any allocs/op increase must regress, got %+v", r)
+	}
+	if r := got["BenchmarkGone"]; r.New != nil || r.Regressed {
+		t.Errorf("Gone: removed benchmark must not regress, got %+v", r)
+	}
+	if r := got["BenchmarkNew"]; r.Old != nil || r.Regressed {
+		t.Errorf("New: added benchmark must not regress, got %+v", r)
 	}
 }

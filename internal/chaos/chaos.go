@@ -55,6 +55,10 @@ type Options struct {
 	// Spec is the placement job under test; the zero Spec selects a
 	// truncated i1 anneal that completes in tens of milliseconds.
 	Spec jobs.Spec
+	// Replicas overrides Spec.Replicas when > 0, turning the job under test
+	// into a parallel-tempering run (exercises the ladder-wide checkpoint
+	// format through the same fault schedules).
+	Replicas int
 	// Dir is the scratch root for per-schedule stores; empty means a fresh
 	// temporary directory (removed on success, kept on violation).
 	Dir string
@@ -91,6 +95,9 @@ func (o *Options) fill() {
 			Preset: "i1", Seed: 1, Ac: 8, MaxSteps: 8,
 			SkipStage2: true, SkipDRC: true, Retries: 3,
 		}
+	}
+	if o.Replicas > 0 {
+		o.Spec.Replicas = o.Replicas
 	}
 	if o.MaxRestarts <= 0 {
 		o.MaxRestarts = 4

@@ -50,7 +50,13 @@ type Options struct {
 	// the lowest final cost wins (deterministically, independent of worker
 	// scheduling). Values <= 1 run the single classic anneal.
 	Starts int
-	// Workers bounds the goroutines used when Starts > 1 (0 = GOMAXPROCS).
+	// Replicas enables parallel tempering within the Stage 1 run: K coupled
+	// anneals at staggered temperatures with deterministic replica-exchange
+	// moves (see place.RunStage1TemperedCtx). Values <= 1 run the single
+	// classic anneal. Mutually exclusive with Starts > 1.
+	Replicas int
+	// Workers bounds the goroutines used when Starts > 1 or Replicas > 1
+	// (0 = GOMAXPROCS).
 	Workers int
 	// SkipStage2 stops after Stage 1 (for estimator-accuracy studies).
 	SkipStage2 bool
@@ -175,6 +181,9 @@ func PlaceCtx(ctx context.Context, c *netlist.Circuit, opt Options) (*Result, er
 	if opt.CheckpointPath != "" && opt.Starts > 1 {
 		return nil, fmt.Errorf("core: checkpointing is incompatible with %d parallel starts (run a single start, or drop the checkpoint)", opt.Starts)
 	}
+	if opt.Replicas > 1 && opt.Starts > 1 {
+		return nil, fmt.Errorf("core: parallel tempering (%d replicas) is incompatible with %d parallel starts", opt.Replicas, opt.Starts)
+	}
 	s1opt := place.Options{
 		Seed:            opt.Seed,
 		Ac:              opt.Ac,
@@ -194,12 +203,15 @@ func PlaceCtx(ctx context.Context, c *netlist.Circuit, opt Options) (*Result, er
 		s1  place.Result
 		err error
 	)
-	if opt.Starts > 1 {
+	switch {
+	case opt.Starts > 1:
 		p, s1, _, err = place.RunStage1N(ctx, c, s1opt, opt.Starts, opt.Workers)
 		if p == nil {
 			return nil, fmt.Errorf("core: stage 1: %w", err)
 		}
-	} else {
+	case opt.Replicas > 1:
+		p, s1, err = place.RunStage1TemperedCtx(ctx, c, s1opt, opt.Replicas, opt.Workers)
+	default:
 		p, s1, err = place.RunStage1Ctx(ctx, c, s1opt)
 	}
 	res := &Result{
@@ -261,6 +273,45 @@ func PlaceFromCheckpoint(ctx context.Context, c *netlist.Circuit, ck *place.Chec
 	s2opt.Rho = ck.Opt.Rho
 	s2opt.MaxSteps = ck.Opt.MaxSteps
 	return res, runStage2(ctx, res, s2opt, ck.Opt.Seed)
+}
+
+// PlaceFromTemperCheckpoint resumes an interrupted parallel-tempering
+// Stage 1 run from a ladder-wide checkpoint and carries the winning replica
+// through Stage 2. As with PlaceFromCheckpoint, annealing parameters are
+// replayed from the checkpoint so the final layout is bit-identical to the
+// uninterrupted run; opt supplies the Stage 2 shape, worker bound, and
+// checkpoint-control fields for the continued run.
+func PlaceFromTemperCheckpoint(ctx context.Context, c *netlist.Circuit, tck *place.TemperCheckpoint, opt Options) (*Result, error) {
+	if err := netlist.Validate(c); err != nil {
+		return nil, err
+	}
+	p, s1, err := place.ResumeStage1Tempered(ctx, c, tck, place.Options{
+		CheckpointPath:  opt.CheckpointPath,
+		CheckpointEvery: opt.CheckpointEvery,
+		Tel:             opt.Tel,
+	}, opt.Workers)
+	if err != nil && p == nil {
+		return nil, err
+	}
+	res := &Result{
+		Placement:  p,
+		Stage1:     s1,
+		Stage1TEIL: s1.TEIL,
+		Stage1Area: p.ExpandedBounds().Area(),
+		TEIL:       s1.TEIL,
+		Chip:       p.ExpandedBounds(),
+	}
+	if err != nil {
+		return res, err
+	}
+	if opt.SkipStage2 {
+		return res, nil
+	}
+	s2opt := opt
+	s2opt.Ac = tck.Opt.Ac
+	s2opt.Rho = tck.Opt.Rho
+	s2opt.MaxSteps = tck.Opt.MaxSteps
+	return res, runStage2(ctx, res, s2opt, tck.Opt.Seed)
 }
 
 // runStage2 performs the Stage 2 refinement loop on res.Placement and folds

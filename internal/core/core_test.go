@@ -182,3 +182,37 @@ func TestWriteReport(t *testing.T) {
 		t.Error("stage-1-only report missing marker")
 	}
 }
+
+func TestPlaceWithReplicas(t *testing.T) {
+	c := testCircuit(t)
+	opt := Options{Seed: 1, Ac: 10, M: 6, MaxSteps: 6, Replicas: 3}
+	ref, err := Place(c, opt)
+	if err != nil {
+		t.Fatalf("Place with replicas: %v", err)
+	}
+	if ref.Placement == nil || ref.Stage2 == nil || ref.TEIL <= 0 {
+		t.Fatal("degenerate tempered result")
+	}
+	// The full flow (including Stage 2 downstream of the tempered winner)
+	// is worker-count independent.
+	for _, workers := range []int{2, 4} {
+		o := opt
+		o.Workers = workers
+		res, err := Place(c, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TEIL != ref.TEIL || res.Chip != ref.Chip {
+			t.Fatalf("workers=%d: TEIL/chip %v/%v, want %v/%v",
+				workers, res.TEIL, res.Chip, ref.TEIL, ref.Chip)
+		}
+	}
+}
+
+func TestPlaceRejectsReplicasWithStarts(t *testing.T) {
+	c := testCircuit(t)
+	_, err := Place(c, Options{Seed: 1, Replicas: 2, Starts: 2})
+	if err == nil || !strings.Contains(err.Error(), "incompatible") {
+		t.Fatalf("Replicas+Starts accepted (err=%v)", err)
+	}
+}

@@ -36,6 +36,12 @@ type Config struct {
 	M int
 	// Circuits restricts the preset list (nil = all nine).
 	Circuits []string
+	// Replicas enables parallel tempering inside each Stage 1 run of the
+	// table experiments (see core.Options.Replicas). Replicas run serially
+	// within a trial — the trial grid already saturates Workers — and the
+	// exchange schedule is deterministic, so table output stays
+	// byte-identical for any worker count.
+	Replicas int
 	// Workers bounds the goroutines running independent trials
 	// (0 = GOMAXPROCS, 1 = serial). Every trial derives its seed from its
 	// (circuit, trial) index and results are aggregated in index order, so
@@ -166,9 +172,11 @@ func Table3(cfg Config) ([]Table3Row, error) {
 			return trialOut{}, err
 		}
 		res, err := core.PlaceCtx(cfg.ctx(), c, core.Options{
-			Seed: cfg.Seed + uint64(t)*1009,
-			Ac:   cfg.Ac,
-			M:    cfg.M,
+			Seed:     cfg.Seed + uint64(t)*1009,
+			Ac:       cfg.Ac,
+			M:        cfg.M,
+			Replicas: cfg.Replicas,
+			Workers:  1,
 		})
 		if err != nil {
 			return trialOut{}, fmt.Errorf("table3 %s trial %d: %w", name, t, err)
@@ -277,7 +285,10 @@ func Table4(cfg Config) ([]Table4Row, error) {
 			Baseline: BaselineFor(name),
 		}
 		// TimberWolfMC.
-		res, err := core.PlaceCtx(cfg.ctx(), c, core.Options{Seed: cfg.Seed + 31, Ac: cfg.Ac, M: cfg.M})
+		res, err := core.PlaceCtx(cfg.ctx(), c, core.Options{
+			Seed: cfg.Seed + 31, Ac: cfg.Ac, M: cfg.M,
+			Replicas: cfg.Replicas, Workers: 1,
+		})
 		if err != nil {
 			return Table4Row{}, fmt.Errorf("table4 %s: %w", name, err)
 		}

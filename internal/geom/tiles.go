@@ -59,14 +59,56 @@ func TileSetFromRects(tiles []Rect) *TileSet {
 	return ts
 }
 
+// normalize sorts the tiles into canonical (YLo, XLo) order. Insertion sort
+// keeps the hot realize path allocation-free (sort.Slice allocates for its
+// closure and swapper) and is faster at the tiny tile counts cells carry.
+// Tile order never influences cost values: every cost term is an
+// order-independent sum over tiles.
 func (ts *TileSet) normalize() {
-	sort.Slice(ts.tiles, func(i, j int) bool {
-		a, b := ts.tiles[i], ts.tiles[j]
-		if a.YLo != b.YLo {
-			return a.YLo < b.YLo
+	tiles := ts.tiles
+	for i := 1; i < len(tiles); i++ {
+		t := tiles[i]
+		j := i - 1
+		for j >= 0 && (tiles[j].YLo > t.YLo ||
+			(tiles[j].YLo == t.YLo && tiles[j].XLo > t.XLo)) {
+			tiles[j+1] = tiles[j]
+			j--
 		}
-		return a.XLo < b.XLo
-	})
+		tiles[j+1] = t
+	}
+}
+
+// SetTransformed replaces ts's tiles with src's tiles mapped through
+// orientation o and then translated by d, reusing ts's backing storage: the
+// in-place, allocation-free counterpart of Transform for the placement hot
+// path. ts and src must not alias.
+func (ts *TileSet) SetTransformed(src *TileSet, o Orient, d Point) {
+	ts.tiles = ts.tiles[:0]
+	for _, t := range src.tiles {
+		ts.tiles = append(ts.tiles, o.ApplyRect(t).Translate(d))
+	}
+	ts.normalize()
+}
+
+// SetRect replaces ts's tiles with the single rectangle r, reusing backing
+// storage. It performs no validation; callers pass non-empty rects.
+func (ts *TileSet) SetRect(r Rect) {
+	ts.tiles = append(ts.tiles[:0], r)
+}
+
+// SetInflated replaces ts's tiles with src's tiles each inflated outward by
+// the given per-side amounts, dropping empty results and reusing ts's
+// backing storage: the in-place counterpart of building expanded cell
+// geometry via TileSetFromRects. ts and src must not alias.
+func (ts *TileSet) SetInflated(src *TileSet, left, bottom, right, top int) {
+	ts.tiles = ts.tiles[:0]
+	for _, t := range src.tiles {
+		in := t.Inflate(left, bottom, right, top)
+		if !in.Empty() {
+			ts.tiles = append(ts.tiles, in)
+		}
+	}
+	ts.normalize()
 }
 
 // Tiles returns the tiles in canonical order. The caller must not modify

@@ -444,11 +444,16 @@ func (m *Manager) attempt(j *Job, out *outcome) error {
 	opts.Tel = m.cfg.Tel
 
 	var res *core.Result
-	if ck := m.loadCheckpoint(j, c); ck != nil {
-		m.cfg.Logf("jobs: %s resuming from checkpoint step %d", j.ID, ck.Ctl.Step)
-		res, err = core.PlaceFromCheckpoint(ctx, c, ck, opts)
-	} else {
+	switch ck := m.loadCheckpoint(j, c); {
+	case ck == nil:
 		res, err = core.PlaceCtx(ctx, c, opts)
+	case ck.Temper != nil:
+		m.cfg.Logf("jobs: %s resuming from tempering checkpoint step %d (%d replicas)",
+			j.ID, ck.Temper.Reps[0].Ctl.Step, ck.Temper.Replicas)
+		res, err = core.PlaceFromTemperCheckpoint(ctx, c, ck.Temper, opts)
+	default:
+		m.cfg.Logf("jobs: %s resuming from checkpoint step %d", j.ID, ck.Single.Ctl.Step)
+		res, err = core.PlaceFromCheckpoint(ctx, c, ck.Single, opts)
 	}
 	if fi, serr := os.Stat(j.CheckpointPath()); serr == nil {
 		m.mCkBytes.Set(float64(fi.Size()))
@@ -564,17 +569,22 @@ func (m *Manager) writePlacement(j *Job, res *core.Result) error {
 	return nil
 }
 
-// loadCheckpoint returns the job's checkpoint if present and valid for c.
-// A corrupt or mismatched checkpoint is quarantined and logged, never
-// fatal: the job simply restarts from scratch.
-func (m *Manager) loadCheckpoint(j *Job, c *netlist.Circuit) *place.Checkpoint {
+// loadCheckpoint returns the job's checkpoint if present and valid for c,
+// whichever kind it is (single-run or parallel-tempering ladder). A corrupt
+// or mismatched checkpoint is quarantined and logged, never fatal: the job
+// simply restarts from scratch.
+func (m *Manager) loadCheckpoint(j *Job, c *netlist.Circuit) *place.AnyCheckpoint {
 	path := j.CheckpointPath()
 	if _, err := os.Stat(path); err != nil {
 		return nil
 	}
-	ck, err := place.LoadCheckpoint(path)
+	ck, err := place.LoadAnyCheckpoint(path)
 	if err == nil {
-		err = ck.Validate(c)
+		if ck.Temper != nil {
+			err = ck.Temper.Validate(c)
+		} else {
+			err = ck.Single.Validate(c)
+		}
 	}
 	if err == nil {
 		// Chaos injection: treat a freshly loaded, valid checkpoint as

@@ -90,6 +90,10 @@ type Spec struct {
 	MaxSteps   int     `json:"max_steps,omitempty"`
 	// SkipStage2 stops after Stage 1 placement.
 	SkipStage2 bool `json:"skip_stage2,omitempty"`
+	// Replicas enables parallel tempering in Stage 1 (core.Options.Replicas;
+	// <= 1 runs the classic anneal). Tempered jobs checkpoint and resume like
+	// single runs: the ladder-wide snapshot restores every replica.
+	Replicas int `json:"replicas,omitempty"`
 
 	// Deadline bounds each execution attempt; an expired deadline fails
 	// the job (0 = none).
@@ -121,6 +125,8 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("jobs: deadline must be >= 0")
 	case s.Retries < -1:
 		return fmt.Errorf("jobs: retries must be >= -1")
+	case s.Replicas < 0:
+		return fmt.Errorf("jobs: replicas must be >= 0")
 	}
 	if s.Preset != "" {
 		if _, err := gen.PresetSpec(s.Preset); err != nil {
@@ -170,6 +176,7 @@ func (s *Spec) coreOptions(ckPath string, ckEvery int) core.Options {
 		CoreAspect:      s.CoreAspect,
 		MaxSteps:        s.MaxSteps,
 		SkipStage2:      s.SkipStage2,
+		Replicas:        s.Replicas,
 		CheckpointPath:  ckPath,
 		CheckpointEvery: ckEvery,
 	}

@@ -156,33 +156,36 @@ func (ck *Checkpoint) Validate(c *netlist.Circuit) error {
 	if ck.InnerDone < -1 {
 		return fmt.Errorf("place: checkpoint inner-iteration index %d out of range", ck.InnerDone)
 	}
-	validateStates := func(kind string, states []CellState) error {
-		for i, st := range states {
-			cl := &c.Cells[i]
-			if st.Orient < 0 || st.Orient >= geom.NumOrients {
-				return fmt.Errorf("place: checkpoint %s cell %q: bad orientation %d", kind, cl.Name, st.Orient)
-			}
-			if st.Instance < 0 || st.Instance >= len(cl.Instances) {
-				return fmt.Errorf("place: checkpoint %s cell %q: no instance %d", kind, cl.Name, st.Instance)
-			}
-			if math.IsNaN(st.Aspect) || math.IsInf(st.Aspect, 0) || st.Aspect < 0 {
-				return fmt.Errorf("place: checkpoint %s cell %q: bad aspect %v", kind, cl.Name, st.Aspect)
-			}
-			for u, a := range st.Units {
-				if a.Edge < 0 || a.Edge > 3 || a.Site < 0 {
-					return fmt.Errorf("place: checkpoint %s cell %q unit %d: bad assignment (%d,%d)",
-						kind, cl.Name, u, a.Edge, a.Site)
-				}
-			}
-		}
-		return nil
-	}
-	if err := validateStates("state", ck.States); err != nil {
+	if err := validateCellStates(c, "state", ck.States); err != nil {
 		return err
 	}
 	if ck.BestValid {
-		if err := validateStates("best", ck.Best); err != nil {
+		if err := validateCellStates(c, "best", ck.Best); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// validateCellStates range-checks per-cell states from a checkpoint against
+// the circuit, so corrupt snapshots surface as errors rather than panics.
+func validateCellStates(c *netlist.Circuit, kind string, states []CellState) error {
+	for i, st := range states {
+		cl := &c.Cells[i]
+		if st.Orient < 0 || st.Orient >= geom.NumOrients {
+			return fmt.Errorf("place: checkpoint %s cell %q: bad orientation %d", kind, cl.Name, st.Orient)
+		}
+		if st.Instance < 0 || st.Instance >= len(cl.Instances) {
+			return fmt.Errorf("place: checkpoint %s cell %q: no instance %d", kind, cl.Name, st.Instance)
+		}
+		if math.IsNaN(st.Aspect) || math.IsInf(st.Aspect, 0) || st.Aspect < 0 {
+			return fmt.Errorf("place: checkpoint %s cell %q: bad aspect %v", kind, cl.Name, st.Aspect)
+		}
+		for u, a := range st.Units {
+			if a.Edge < 0 || a.Edge > 3 || a.Site < 0 {
+				return fmt.Errorf("place: checkpoint %s cell %q unit %d: bad assignment (%d,%d)",
+					kind, cl.Name, u, a.Edge, a.Site)
+			}
 		}
 	}
 	return nil
@@ -207,12 +210,19 @@ func unitCountsMatch(p *Placement, states []CellState) error {
 // followed by the JSON payload. The checksum (CRC-32/Castagnoli of the
 // payload bytes) lets the decoder reject torn or bit-rotted files.
 func EncodeCheckpoint(w io.Writer, ck *Checkpoint) error {
-	payload, err := json.Marshal(ck)
+	return encodeFramed(w, checkpointMagic, ck.Version, ck)
+}
+
+// encodeFramed writes the shared checkpoint framing: the header line with
+// the given magic, the format version, the payload checksum and length,
+// then the JSON payload itself.
+func encodeFramed(w io.Writer, magic string, version int, v any) error {
+	payload, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("place: encode checkpoint: %w", err)
 	}
 	sum := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli))
-	if _, err := fmt.Fprintf(w, "%s %d %08x %d\n", checkpointMagic, ck.Version, sum, len(payload)); err != nil {
+	if _, err := fmt.Fprintf(w, "%s %d %08x %d\n", magic, version, sum, len(payload)); err != nil {
 		return err
 	}
 	if _, err := w.Write(payload); err != nil {
@@ -225,40 +235,9 @@ func EncodeCheckpoint(w io.Writer, ck *Checkpoint) error {
 // verifying the header, length, and checksum. It never panics on malformed
 // input; every defect is a descriptive error.
 func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
-	br := bufio.NewReader(r)
-	header, err := br.ReadString('\n')
+	payload, version, err := decodeFramed(r, checkpointMagic, CheckpointVersion)
 	if err != nil {
-		return nil, fmt.Errorf("place: checkpoint header: %w", err)
-	}
-	var (
-		magic   string
-		version int
-		sum     uint32
-		size    int64
-	)
-	if _, err := fmt.Sscanf(header, "%s %d %x %d", &magic, &version, &sum, &size); err != nil {
-		return nil, fmt.Errorf("place: malformed checkpoint header %q", header)
-	}
-	if magic != checkpointMagic {
-		return nil, fmt.Errorf("place: not a checkpoint file (magic %q)", magic)
-	}
-	if version != CheckpointVersion {
-		return nil, fmt.Errorf("place: checkpoint version %d, want %d", version, CheckpointVersion)
-	}
-	if size < 0 || size > maxCheckpointPayload {
-		return nil, fmt.Errorf("place: checkpoint payload size %d out of range", size)
-	}
-	// Read incrementally rather than pre-allocating the claimed size, so a
-	// forged header cannot demand a 1 GiB allocation for a tiny file.
-	payload, err := io.ReadAll(io.LimitReader(br, size))
-	if err != nil {
-		return nil, fmt.Errorf("place: checkpoint payload: %w", err)
-	}
-	if int64(len(payload)) != size {
-		return nil, fmt.Errorf("place: checkpoint truncated: %d of %d payload bytes", len(payload), size)
-	}
-	if got := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)); got != sum {
-		return nil, fmt.Errorf("place: checkpoint checksum mismatch: header %08x, payload %08x", sum, got)
+		return nil, err
 	}
 	ck := &Checkpoint{}
 	if err := json.Unmarshal(payload, ck); err != nil {
@@ -269,6 +248,47 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 			version, ck.Version)
 	}
 	return ck, nil
+}
+
+// decodeFramed reads and verifies the shared checkpoint framing, returning
+// the checksum-validated payload bytes and the header version.
+func decodeFramed(r io.Reader, wantMagic string, wantVersion int) ([]byte, int, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, 0, fmt.Errorf("place: checkpoint header: %w", err)
+	}
+	var (
+		magic   string
+		version int
+		sum     uint32
+		size    int64
+	)
+	if _, err := fmt.Sscanf(header, "%s %d %x %d", &magic, &version, &sum, &size); err != nil {
+		return nil, 0, fmt.Errorf("place: malformed checkpoint header %q", header)
+	}
+	if magic != wantMagic {
+		return nil, 0, fmt.Errorf("place: not a checkpoint file (magic %q)", magic)
+	}
+	if version != wantVersion {
+		return nil, 0, fmt.Errorf("place: checkpoint version %d, want %d", version, wantVersion)
+	}
+	if size < 0 || size > maxCheckpointPayload {
+		return nil, 0, fmt.Errorf("place: checkpoint payload size %d out of range", size)
+	}
+	// Read incrementally rather than pre-allocating the claimed size, so a
+	// forged header cannot demand a 1 GiB allocation for a tiny file.
+	payload, err := io.ReadAll(io.LimitReader(br, size))
+	if err != nil {
+		return nil, 0, fmt.Errorf("place: checkpoint payload: %w", err)
+	}
+	if int64(len(payload)) != size {
+		return nil, 0, fmt.Errorf("place: checkpoint truncated: %d of %d payload bytes", len(payload), size)
+	}
+	if got := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)); got != sum {
+		return nil, 0, fmt.Errorf("place: checkpoint checksum mismatch: header %08x, payload %08x", sum, got)
+	}
+	return payload, version, nil
 }
 
 // SaveCheckpoint writes ck to path atomically and durably via

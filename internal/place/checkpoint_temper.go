@@ -1,0 +1,196 @@
+package place
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/anneal"
+	"repro/internal/faultinject"
+	"repro/internal/fsio"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/rng"
+)
+
+// TemperCheckpointVersion is the current tempering-checkpoint format
+// version.
+const TemperCheckpointVersion = 1
+
+// temperCheckpointMagic distinguishes ladder-wide tempering snapshots from
+// single-run checkpoints; LoadAnyCheckpoint sniffs it.
+const temperCheckpointMagic = "twmc-temper-checkpoint"
+
+// ReplicaCheckpoint is one rung of a TemperCheckpoint: the complete
+// resumable state of a single replica, mirroring the per-run fields of
+// Checkpoint.
+type ReplicaCheckpoint struct {
+	Ctl       anneal.ControllerState
+	Src       rng.State
+	Cost      CostAccum
+	States    []CellState
+	Best      []CellState
+	BestCost  float64
+	BestValid bool
+	Attempts  int64
+	History   []StepStat
+}
+
+// TemperCheckpoint is a complete resumable snapshot of a parallel-tempering
+// Stage 1 run: every replica's state plus the shared exchange-decision RNG
+// and exchange counters. Snapshots are taken at outer-step boundaries (after
+// the exchange pass), so resuming re-enters the lockstep loop exactly where
+// the original run would have.
+type TemperCheckpoint struct {
+	Version  int
+	Circuit  string
+	Opt      CheckpointOptions
+	Replicas int
+	Core     geom.Rect
+	// ST and P2 are shared ladder-wide (calibrated once on replica 0).
+	ST   float64
+	P2   float64
+	XSrc rng.State
+	Reps []ReplicaCheckpoint
+
+	ExchAttempts int64
+	ExchAccepts  int64
+}
+
+// Validate checks a decoded tempering checkpoint against the circuit it is
+// about to be applied to.
+func (ck *TemperCheckpoint) Validate(c *netlist.Circuit) error {
+	if ck.Version != TemperCheckpointVersion {
+		return fmt.Errorf("place: tempering checkpoint version %d, want %d", ck.Version, TemperCheckpointVersion)
+	}
+	if ck.Circuit != c.Name {
+		return fmt.Errorf("place: tempering checkpoint is for circuit %q, not %q", ck.Circuit, c.Name)
+	}
+	if ck.Replicas < 2 || ck.Replicas != len(ck.Reps) {
+		return fmt.Errorf("place: tempering checkpoint carries %d replica states for %d replicas",
+			len(ck.Reps), ck.Replicas)
+	}
+	if ck.Core.Empty() {
+		return fmt.Errorf("place: tempering checkpoint has an empty core")
+	}
+	if ck.ST <= 0 || math.IsNaN(ck.ST) || math.IsInf(ck.ST, 0) {
+		return fmt.Errorf("place: tempering checkpoint scale factor %v out of range", ck.ST)
+	}
+	if math.IsNaN(ck.P2) || math.IsInf(ck.P2, 0) {
+		return fmt.Errorf("place: tempering checkpoint carries non-finite p2 %v", ck.P2)
+	}
+	for k := range ck.Reps {
+		r := &ck.Reps[k]
+		if len(r.States) != len(c.Cells) {
+			return fmt.Errorf("place: tempering checkpoint replica %d has %d cell states, circuit has %d cells",
+				k, len(r.States), len(c.Cells))
+		}
+		if r.BestValid && len(r.Best) != len(c.Cells) {
+			return fmt.Errorf("place: tempering checkpoint replica %d best placement has %d states, circuit has %d cells",
+				k, len(r.Best), len(c.Cells))
+		}
+		for _, v := range []float64{r.Cost.C1, r.Cost.TEIL, r.Cost.C3, r.Ctl.T} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("place: tempering checkpoint replica %d carries non-finite value %v", k, v)
+			}
+		}
+		if err := validateCellStates(c, fmt.Sprintf("replica %d state", k), r.States); err != nil {
+			return err
+		}
+		if r.BestValid {
+			if err := validateCellStates(c, fmt.Sprintf("replica %d best", k), r.Best); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EncodeTemperCheckpoint writes ck to w in the shared header+JSON+CRC
+// framing (see EncodeCheckpoint), under the tempering magic.
+func EncodeTemperCheckpoint(w io.Writer, ck *TemperCheckpoint) error {
+	return encodeFramed(w, temperCheckpointMagic, ck.Version, ck)
+}
+
+// DecodeTemperCheckpoint reads a checkpoint written by
+// EncodeTemperCheckpoint, verifying the header, length, and checksum.
+func DecodeTemperCheckpoint(r io.Reader) (*TemperCheckpoint, error) {
+	payload, version, err := decodeFramed(r, temperCheckpointMagic, TemperCheckpointVersion)
+	if err != nil {
+		return nil, err
+	}
+	ck := &TemperCheckpoint{}
+	if err := json.Unmarshal(payload, ck); err != nil {
+		return nil, fmt.Errorf("place: tempering checkpoint payload: %w", err)
+	}
+	if ck.Version != version {
+		return nil, fmt.Errorf("place: tempering checkpoint header version %d disagrees with payload version %d",
+			version, ck.Version)
+	}
+	return ck, nil
+}
+
+// SaveTemperCheckpoint writes ck to path atomically and durably, sharing
+// the faultinject point and write discipline of SaveCheckpoint.
+func SaveTemperCheckpoint(path string, ck *TemperCheckpoint) error {
+	if err := faultinject.Err(faultinject.PlaceCheckpointSave); err != nil {
+		return fmt.Errorf("place: save checkpoint: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeTemperCheckpoint(&buf, ck); err != nil {
+		return err
+	}
+	if err := fsio.WriteFileAtomic(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("place: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadTemperCheckpoint reads and decodes the tempering checkpoint at path.
+func LoadTemperCheckpoint(path string) (*TemperCheckpoint, error) {
+	if err := faultinject.Err(faultinject.PlaceCheckpointLoad); err != nil {
+		return nil, fmt.Errorf("place: load checkpoint: %w", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("place: load checkpoint: %w", err)
+	}
+	defer f.Close()
+	return DecodeTemperCheckpoint(f)
+}
+
+// AnyCheckpoint is the result of sniffing a checkpoint file: exactly one of
+// the fields is non-nil.
+type AnyCheckpoint struct {
+	Single *Checkpoint
+	Temper *TemperCheckpoint
+}
+
+// LoadAnyCheckpoint reads the checkpoint at path whatever its kind,
+// dispatching on the header magic. Resume entry points (twmc -resume, the
+// jobs service's crash recovery) use it so a run checkpointed with replicas
+// enabled restarts through the tempering path automatically.
+func LoadAnyCheckpoint(path string) (*AnyCheckpoint, error) {
+	if err := faultinject.Err(faultinject.PlaceCheckpointLoad); err != nil {
+		return nil, fmt.Errorf("place: load checkpoint: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("place: load checkpoint: %w", err)
+	}
+	if bytes.HasPrefix(data, []byte(temperCheckpointMagic+" ")) {
+		tck, err := DecodeTemperCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		return &AnyCheckpoint{Temper: tck}, nil
+	}
+	ck, err := DecodeCheckpoint(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	return &AnyCheckpoint{Single: ck}, nil
+}

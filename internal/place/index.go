@@ -26,8 +26,8 @@ import (
 // to an exact side list that every query also scans.
 type cellIndex struct {
 	grid   geom.Rect // world region covered by the bins
-	binW   int       // bin width in grid units (>= 1)
-	binH   int       // bin height in grid units (>= 1)
+	shiftW uint      // log2 of the bin width in grid units
+	shiftH uint      // log2 of the bin height in grid units
 	nx, ny int       // bin counts per axis
 
 	bins  [][]int32   // cell ids per bin, row-major [by*nx+bx]
@@ -61,25 +61,41 @@ func newCellIndex(core geom.Rect, n int) *cellIndex {
 		n = 1
 	}
 	// ~1–2 cells per bin on average: an nx×ny grid with nx = ny ≈ √n.
+	// Bin dimensions round down to powers of two so the hot bin mapping is
+	// a shift rather than a division; the grid is a candidate filter, so
+	// any bin geometry yields bit-identical costs (see the type comment).
 	side := int(math.Sqrt(float64(n))) + 1
 	grid := core.Inflate(core.W()/4, core.H()/4, core.W()/4, core.H()/4)
+	shiftW := floorLog2(max(1, grid.W()/side))
+	shiftH := floorLog2(max(1, grid.H()/side))
+	nx := max(1, (grid.W()+(1<<shiftW)-1)>>shiftW)
+	ny := max(1, (grid.H()+(1<<shiftH)-1)>>shiftH)
 	ix := &cellIndex{
-		grid:  grid,
-		nx:    side,
-		ny:    side,
-		binW:  max(1, grid.W()/side),
-		binH:  max(1, grid.H()/side),
-		bins:  make([][]int32, side*side),
-		spans: make([]cellSpan, n),
-		boxes: make([]geom.Rect, n),
-		stamp: make([]uint32, n),
+		grid:   grid,
+		nx:     nx,
+		ny:     ny,
+		shiftW: shiftW,
+		shiftH: shiftH,
+		bins:   make([][]int32, nx*ny),
+		spans:  make([]cellSpan, n),
+		boxes:  make([]geom.Rect, n),
+		stamp:  make([]uint32, n),
 	}
 	return ix
 }
 
+// floorLog2 returns the largest s with 1<<s <= v (v >= 1).
+func floorLog2(v int) uint {
+	var s uint
+	for 1<<(s+1) <= v {
+		s++
+	}
+	return s
+}
+
 // binX maps a world x coordinate to a clamped bin column.
 func (ix *cellIndex) binX(x geom.Coord) int32 {
-	b := (x - ix.grid.XLo) / ix.binW
+	b := (x - ix.grid.XLo) >> ix.shiftW
 	if b < 0 {
 		return 0
 	}
@@ -91,7 +107,7 @@ func (ix *cellIndex) binX(x geom.Coord) int32 {
 
 // binY maps a world y coordinate to a clamped bin row.
 func (ix *cellIndex) binY(y geom.Coord) int32 {
-	b := (y - ix.grid.YLo) / ix.binH
+	b := (y - ix.grid.YLo) >> ix.shiftH
 	if b < 0 {
 		return 0
 	}
@@ -178,6 +194,18 @@ func removeID(s []int32, id int32) []int32 {
 // returns the extended slice. Cells spanning several bins are deduplicated
 // with a generation stamp, so the result has no repeats.
 func (ix *cellIndex) query(b geom.Rect, exclude int, out []int32) []int32 {
+	sp := ix.spanFor(b)
+	if sp.x0 == sp.x1 && sp.y0 == sp.y1 && len(ix.large) == 0 {
+		// Single-bin query: each cell appears in one bin at most once, so
+		// no stamp deduplication is needed.
+		boxes := ix.boxes
+		for _, id := range ix.bins[int(sp.y0)*ix.nx+int(sp.x0)] {
+			if int(id) != exclude && boxes[id].Intersects(b) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
 	ix.cur++
 	if ix.cur == 0 { // stamp wrapped: invalidate all marks
 		for k := range ix.stamp {
@@ -188,17 +216,17 @@ func (ix *cellIndex) query(b geom.Rect, exclude int, out []int32) []int32 {
 	if exclude >= 0 {
 		ix.stamp[exclude] = ix.cur
 	}
-	sp := ix.spanFor(b)
 	if !sp.large {
+		stamp, boxes, cur := ix.stamp, ix.boxes, ix.cur
 		for by := sp.y0; by <= sp.y1; by++ {
 			row := int(by) * ix.nx
 			for bx := sp.x0; bx <= sp.x1; bx++ {
 				for _, id := range ix.bins[row+int(bx)] {
-					if ix.stamp[id] == ix.cur {
+					if stamp[id] == cur {
 						continue
 					}
-					ix.stamp[id] = ix.cur
-					if ix.boxes[id].Intersects(b) {
+					stamp[id] = cur
+					if boxes[id].Intersects(b) {
 						out = append(out, id)
 					}
 				}

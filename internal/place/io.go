@@ -26,7 +26,7 @@ func WritePlacement(w io.Writer, p *Placement) error {
 	fmt.Fprintf(bw, "placement %s\n", p.Circuit.Name)
 	fmt.Fprintf(bw, "core %d %d %d %d\n", p.Core.XLo, p.Core.YLo, p.Core.XHi, p.Core.YHi)
 	for i := range p.Circuit.Cells {
-		st := p.states[i]
+		st := p.State(i)
 		fmt.Fprintf(bw, "cell %s %d %d %s %d %g\n",
 			p.Circuit.Cells[i].Name, st.Pos.X, st.Pos.Y, st.Orient, st.Instance, st.Aspect)
 		for _, u := range st.Units {

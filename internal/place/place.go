@@ -9,6 +9,14 @@
 // The same Placement state also serves Stage 2 (package refine) in static
 // expansion mode, where channel widths from global routing replace the
 // dynamic estimator.
+//
+// Placement state is stored structure-of-arrays (DESIGN.md §12): positions,
+// orientations, instances, aspects, and pin-unit assignments live in flat
+// slices, per-cell geometry is mutated in place, and per-net bounding boxes
+// carry a dirty bit so unchanged nets skip their pin scans. The CellState
+// struct remains the public exchange format (State/SetState, checkpoints,
+// placement files); the annealing hot path runs entirely on the flat state
+// and allocates nothing per move.
 package place
 
 import (
@@ -81,12 +89,43 @@ type Placement struct {
 	units      [][]unit     // uncommitted pin units per cell
 	sitesPer   []int        // pin sites per edge, per cell
 
-	states   []CellState
-	tiles    []*geom.TileSet // expanded world tiles per cell
-	rawTiles []*geom.TileSet // unexpanded world tiles per cell
-	pinPos   []geom.Point    // world position per pin
-	netBox   []geom.Rect     // bounding box of primary pins per net
-	siteCnt  [][]int16       // occupancy per cell: [4*S] flattened
+	// Structure-of-arrays cell state: one flat slice per component. Cell
+	// i's pin-unit assignments occupy [unitOff[i], unitOff[i+1]) of
+	// unitEdge/unitSite.
+	pos      []geom.Point
+	orient   []geom.Orient
+	instance []int
+	aspect   []float64
+	unitOff  []int
+	unitEdge []int32
+	unitSite []int32
+
+	tiles    []geom.TileSet // expanded world tiles per cell, mutated in place
+	rawTiles []geom.TileSet // unexpanded world tiles per cell, mutated in place
+	// tileBB/rawBB cache Bounds() of tiles/rawTiles, and dimW/dimH the
+	// current instance dimensions, all refreshed by realizeCell: pure
+	// functions of the cell state, cached so the overlap and pin-site hot
+	// paths skip recomputing them (values are identical either way).
+	tileBB []geom.Rect
+	rawBB  []geom.Rect
+	dimW   []int
+	dimH   []int
+	// centered holds, per cell and instance, the instance's canonical tiles
+	// translated so their bounding-box center is the origin: the position-
+	// and orientation-independent prefix of the realize transform chain,
+	// precomputed so realizing a macro cell is one in-place transform.
+	// Custom-shape instances (dims depend on the live aspect) have a nil
+	// entry and are realized from a single rectangle directly.
+	centered [][]*geom.TileSet
+	pinPos   []geom.Point // world position per pin
+	netBox   []geom.Rect  // bounding box of primary pins per net
+	// netDirty marks nets whose cached bounding box is stale because a
+	// primary pin actually changed position. Clean nets skip the pin scan in
+	// updateCell — the cached box is bit-identical to a recomputation, and
+	// the cost accumulators still see the exact subtract/add sequence.
+	netDirty []bool
+	pinNets  [][]int32 // nets using each pin as a primary connection
+	siteCnt  [][]int16 // occupancy per cell: [4*S] flattened
 
 	// index accelerates the overlap terms by restricting each evaluation
 	// to spatial neighbors; nil forces the exact full scan (identical
@@ -99,6 +138,13 @@ type Placement struct {
 	statEvals  int64
 	statTested int64
 
+	// scratchState is the reusable CellState buffer behind Randomize;
+	// calibStates/calibUnits are the full-placement snapshot CalibrateP2
+	// saves and restores, allocated once and reused across calls.
+	scratchState CellState
+	calibStates  []CellState
+	calibUnits   []UnitAssign
+
 	c1   float64 // TEIC (Eqn 6)
 	teil float64 // unweighted total span (TEIL)
 	c2   int64   // total overlap area, unscaled (Eqn 7 without p2)
@@ -109,6 +155,7 @@ type Placement struct {
 // Randomize or set states explicitly before annealing. est may be nil for
 // static mode (then SetStaticExpansion must be called).
 func New(c *netlist.Circuit, core geom.Rect, est *estimate.Estimator) *Placement {
+	n := len(c.Cells)
 	p := &Placement{
 		Circuit:    c,
 		Core:       core,
@@ -117,15 +164,26 @@ func New(c *netlist.Circuit, core geom.Rect, est *estimate.Estimator) *Placement
 		pinDensity: estimate.PinDensity(c),
 		cellNets:   buildCellNets(c),
 		netPrimary: buildNetPrimary(c),
-		states:     make([]CellState, len(c.Cells)),
-		tiles:      make([]*geom.TileSet, len(c.Cells)),
-		rawTiles:   make([]*geom.TileSet, len(c.Cells)),
+		pos:        make([]geom.Point, n),
+		orient:     make([]geom.Orient, n),
+		instance:   make([]int, n),
+		aspect:     make([]float64, n),
+		unitOff:    make([]int, n+1),
+		tiles:      make([]geom.TileSet, n),
+		rawTiles:   make([]geom.TileSet, n),
+		tileBB:     make([]geom.Rect, n),
+		rawBB:      make([]geom.Rect, n),
+		dimW:       make([]int, n),
+		dimH:       make([]int, n),
+		centered:   make([][]*geom.TileSet, n),
 		pinPos:     make([]geom.Point, len(c.Pins)),
 		netBox:     make([]geom.Rect, len(c.Nets)),
-		static:     make([][4]int, len(c.Cells)),
-		units:      make([][]unit, len(c.Cells)),
-		sitesPer:   make([]int, len(c.Cells)),
-		siteCnt:    make([][]int16, len(c.Cells)),
+		netDirty:   make([]bool, len(c.Nets)),
+		pinNets:    buildPinNets(c),
+		static:     make([][4]int, n),
+		units:      make([][]unit, n),
+		sitesPer:   make([]int, n),
+		siteCnt:    make([][]int16, n),
 	}
 	center := core.Center()
 	for i := range c.Cells {
@@ -135,26 +193,38 @@ func New(c *netlist.Circuit, core geom.Rect, est *estimate.Estimator) *Placement
 			p.sitesPer[i] = DefaultSitesPerEdge
 		}
 		p.units[i] = buildUnits(c, cl)
+		p.unitOff[i+1] = p.unitOff[i] + len(p.units[i])
 		p.siteCnt[i] = make([]int16, 4*p.sitesPer[i])
-		st := CellState{
-			Pos:      center,
-			Orient:   geom.R0,
-			Instance: 0,
-			Aspect:   1,
-			Units:    make([]UnitAssign, len(p.units[i])),
+		p.centered[i] = make([]*geom.TileSet, len(cl.Instances))
+		for ii := range cl.Instances {
+			if in := &cl.Instances[ii]; !in.IsCustomShape() {
+				b := in.Tiles.Bounds()
+				ctr := b.Center()
+				p.centered[i][ii] = in.Tiles.Transform(geom.R0, geom.Point{X: -ctr.X, Y: -ctr.Y})
+			}
 		}
+	}
+	p.unitEdge = make([]int32, p.unitOff[n])
+	p.unitSite = make([]int32, p.unitOff[n])
+	for i := range c.Cells {
+		cl := &c.Cells[i]
+		p.pos[i] = center
+		p.orient[i] = geom.R0
+		p.instance[i] = 0
+		p.aspect[i] = 1
 		if cl.Fixed {
-			st.Pos = cl.FixedPos
-			st.Orient = cl.FixedOrient
+			p.pos[i] = cl.FixedPos
+			p.orient[i] = cl.FixedOrient
 		}
 		if in := &cl.Instances[0]; in.IsCustomShape() {
-			st.Aspect = in.ClampAspect(1)
+			p.aspect[i] = in.ClampAspect(1)
 		}
 		// Default unit assignment: first allowed edge, consecutive sites.
+		off := p.unitOff[i]
 		for u := range p.units[i] {
-			st.Units[u] = UnitAssign{Edge: firstAllowedEdge(p.units[i][u].edges), Site: 0}
+			p.unitEdge[off+u] = int32(firstAllowedEdge(p.units[i][u].edges))
+			p.unitSite[off+u] = 0
 		}
-		p.states[i] = st
 	}
 	for i := range c.Cells {
 		p.realizeCell(i)
@@ -168,7 +238,7 @@ func New(c *netlist.Circuit, core geom.Rect, est *estimate.Estimator) *Placement
 // and expanded tile bounds, so that both expanded-tile (C2) and raw-tile
 // (RawOverlap) queries see a conservative candidate set.
 func (p *Placement) indexBox(i int) geom.Rect {
-	return p.rawTiles[i].Bounds().Union(p.tiles[i].Bounds())
+	return p.rawBB[i].Union(p.tileBB[i])
 }
 
 // RebuildIndex reconstructs the spatial overlap index from the current
@@ -238,6 +308,24 @@ func buildCellNets(c *netlist.Circuit) [][]int {
 	return out
 }
 
+// buildPinNets inverts the net→primary-pin relation: for each pin, the nets
+// it drives a bounding-box corner of. Every net listed for a pin of cell i
+// also appears in cellNets[i], so a dirty mark set while realizing cell i is
+// always cleared by updateCell's add pass over cellNets[i].
+func buildPinNets(c *netlist.Circuit) [][]int32 {
+	out := make([][]int32, len(c.Pins))
+	for ni := range c.Nets {
+		for _, conn := range c.Nets[ni].Conns {
+			pi := conn.Primary()
+			if k := len(out[pi]); k > 0 && out[pi][k-1] == int32(ni) {
+				continue // duplicate primary within one net
+			}
+			out[pi] = append(out[pi], int32(ni))
+		}
+	}
+	return out
+}
+
 func buildUnits(c *netlist.Circuit, cl *netlist.Cell) []unit {
 	var out []unit
 	for gi := range cl.Groups {
@@ -264,16 +352,69 @@ func firstAllowedEdge(m netlist.EdgeMask) int {
 
 // State returns a copy of cell i's placement state.
 func (p *Placement) State(i int) CellState {
-	st := p.states[i]
-	st.Units = append([]UnitAssign(nil), st.Units...)
+	st := CellState{
+		Pos:      p.pos[i],
+		Orient:   p.orient[i],
+		Instance: p.instance[i],
+		Aspect:   p.aspect[i],
+		Units:    make([]UnitAssign, p.unitOff[i+1]-p.unitOff[i]),
+	}
+	p.copyUnitsOut(i, st.Units)
 	return st
 }
 
-// Tiles returns the expanded world tiles of cell i.
-func (p *Placement) Tiles(i int) *geom.TileSet { return p.tiles[i] }
+// StateInto copies cell i's state into dst, reusing dst.Units's backing
+// array when its capacity suffices: the allocation-free counterpart of State
+// for the annealing hot path.
+func (p *Placement) StateInto(i int, dst *CellState) {
+	dst.Pos = p.pos[i]
+	dst.Orient = p.orient[i]
+	dst.Instance = p.instance[i]
+	dst.Aspect = p.aspect[i]
+	n := p.unitOff[i+1] - p.unitOff[i]
+	if cap(dst.Units) < n {
+		dst.Units = make([]UnitAssign, n)
+	} else {
+		dst.Units = dst.Units[:n]
+	}
+	p.copyUnitsOut(i, dst.Units)
+}
 
-// RawTiles returns the unexpanded world tiles of cell i.
-func (p *Placement) RawTiles(i int) *geom.TileSet { return p.rawTiles[i] }
+// copyUnitsOut fills dst with cell i's unit assignments; len(dst) must be
+// the cell's unit count.
+func (p *Placement) copyUnitsOut(i int, dst []UnitAssign) {
+	off := p.unitOff[i]
+	for u := range dst {
+		dst[u] = UnitAssign{Edge: int(p.unitEdge[off+u]), Site: int(p.unitSite[off+u])}
+	}
+}
+
+// writeState stores st into the flat state slices. The Units values are
+// copied, never aliased, so callers may reuse st.Units backing buffers.
+func (p *Placement) writeState(i int, st CellState) {
+	p.pos[i] = st.Pos
+	p.orient[i] = st.Orient
+	p.instance[i] = st.Instance
+	p.aspect[i] = st.Aspect
+	off := p.unitOff[i]
+	n := p.unitOff[i+1] - off
+	if len(st.Units) != n {
+		panic(fmt.Sprintf("place: cell %d state carries %d unit assignments, want %d",
+			i, len(st.Units), n))
+	}
+	for u := 0; u < n; u++ {
+		p.unitEdge[off+u] = int32(st.Units[u].Edge)
+		p.unitSite[off+u] = int32(st.Units[u].Site)
+	}
+}
+
+// Tiles returns the expanded world tiles of cell i. The returned set is
+// live: it is mutated in place when the cell moves.
+func (p *Placement) Tiles(i int) *geom.TileSet { return &p.tiles[i] }
+
+// RawTiles returns the unexpanded world tiles of cell i. The returned set is
+// live: it is mutated in place when the cell moves.
+func (p *Placement) RawTiles(i int) *geom.TileSet { return &p.rawTiles[i] }
 
 // PinPos returns the world position of pin pi.
 func (p *Placement) PinPos(pi int) geom.Point { return p.pinPos[pi] }
@@ -305,18 +446,17 @@ func (p *Placement) SitesPerEdge(i int) int { return p.sitesPer[i] }
 // calling this for every cell puts the whole placement in static mode.
 func (p *Placement) SetStaticExpansion(i int, sides [4]int) {
 	p.static[i] = sides
-	p.updateCell(i, p.states[i])
+	p.refreshCell(i)
 }
 
 // StaticExpansion returns cell i's static per-side expansions.
 func (p *Placement) StaticExpansion(i int) [4]int { return p.static[i] }
 
-// instanceDims returns the canonical width/height of the chosen instance.
+// instanceDims returns the canonical width/height of the chosen instance,
+// cached by realizeCell (callers on the subtract side of refreshCell see the
+// pre-move dimensions, exactly as reading the not-yet-written scalars would).
 func (p *Placement) instanceDims(i int) (w, h int) {
-	cl := &p.Circuit.Cells[i]
-	st := &p.states[i]
-	in := &cl.Instances[st.Instance]
-	return in.Dims(st.Aspect)
+	return p.dimW[i], p.dimH[i]
 }
 
 // worldSideToCanonical maps, for orientation o, each world side (L,R,B,T)
@@ -346,35 +486,33 @@ func init() {
 }
 
 // realizeCell recomputes the world geometry and pin positions of cell i
-// from its state. It does not touch cost accounting.
+// from its state, entirely in place — no allocation in steady state. It
+// does not touch cost accounting.
 func (p *Placement) realizeCell(i int) {
 	cl := &p.Circuit.Cells[i]
-	st := &p.states[i]
-	in := &cl.Instances[st.Instance]
+	in := &cl.Instances[p.instance[i]]
+	pos := p.pos[i]
+	o := p.orient[i]
+	w, h := in.Dims(p.aspect[i])
+	p.dimW[i], p.dimH[i] = w, h
 
 	// Raw world tiles.
-	var raw *geom.TileSet
+	raw := &p.rawTiles[i]
 	if in.IsCustomShape() {
-		w, h := in.Dims(st.Aspect)
-		raw = geom.MustTileSet(geom.R(-w/2, -h/2, -w/2+w, -h/2+h)).
-			Transform(st.Orient, st.Pos)
+		raw.SetRect(o.ApplyRect(geom.R(-w/2, -h/2, -w/2+w, -h/2+h)).Translate(pos))
 	} else {
-		b := in.Tiles.Bounds()
-		c := b.Center()
-		raw = in.Tiles.Transform(geom.R0, geom.Point{X: -c.X, Y: -c.Y}).
-			Transform(st.Orient, st.Pos)
+		raw.SetTransformed(p.centered[i][p.instance[i]], o, pos)
 	}
-	p.rawTiles[i] = raw
+	bb := raw.Bounds()
+	p.rawBB[i] = bb
 
 	// Expanded tiles: each tile side expanded outward by the estimator
 	// (dynamic mode) or the static per-side amounts (Stage 2). The pin
 	// density of the cell side facing each world direction modulates the
 	// dynamic estimate (§2.2 factor 3).
-	exp := make([]geom.Rect, 0, raw.Len())
 	var side [4]int
 	if p.Est != nil {
-		bb := raw.Bounds()
-		canon := worldSideToCanonical[st.Orient]
+		canon := worldSideToCanonical[o]
 		mid := [4]geom.Point{
 			{X: bb.XLo, Y: (bb.YLo + bb.YHi) / 2},
 			{X: bb.XHi, Y: (bb.YLo + bb.YHi) / 2},
@@ -388,24 +526,35 @@ func (p *Placement) realizeCell(i int) {
 	} else {
 		side = p.static[i]
 	}
-	for _, t := range raw.Tiles() {
-		exp = append(exp, t.Inflate(side[0], side[2], side[1], side[3]))
-	}
-	p.tiles[i] = geom.TileSetFromRects(exp)
+	p.tiles[i].SetInflated(raw, side[0], side[2], side[1], side[3])
+	p.tileBB[i] = p.tiles[i].Bounds()
 
 	// Pin positions.
-	w, h := p.instanceDims(i)
 	for _, pi := range cl.Pins {
 		pin := &p.Circuit.Pins[pi]
 		if pin.Placement == netlist.PinFixed {
 			off := clampOffset(pin.Offset, w, h)
-			p.pinPos[pi] = st.Pos.Add(st.Orient.Apply(off))
+			p.setPin(pi, pos.Add(o.Apply(off)))
 		}
 	}
 	// Uncommitted pins from unit assignments.
 	p.placeUnits(i)
 	// Site occupancy.
 	p.recountSites(i)
+}
+
+// setPin moves pin pi to v, marking the nets it bounds dirty when the
+// position actually changed. Nets whose pins all kept their positions stay
+// clean, and their cached bounding boxes — bit-identical to a recomputation,
+// being a pure function of unchanged pin positions — are reused.
+func (p *Placement) setPin(pi int, v geom.Point) {
+	if p.pinPos[pi] == v {
+		return
+	}
+	p.pinPos[pi] = v
+	for _, n := range p.pinNets[pi] {
+		p.netDirty[n] = true
+	}
 }
 
 // clampOffset restricts a canonical pin offset into the instance bounds;
@@ -463,15 +612,17 @@ func (p *Placement) SiteCapacity(i, edge int) int {
 // placeUnits assigns world positions to all uncommitted pins of cell i from
 // the unit assignments.
 func (p *Placement) placeUnits(i int) {
-	st := &p.states[i]
 	w, h := p.instanceDims(i)
 	n := p.sitesPer[i]
+	pos := p.pos[i]
+	o := p.orient[i]
+	off := p.unitOff[i]
 	for u, un := range p.units[i] {
-		a := st.Units[u]
+		edge := int(p.unitEdge[off+u])
+		s0 := int(p.unitSite[off+u])
 		for k, pi := range un.pins {
-			site := (a.Site + k) % n
-			pos := sitePos(a.Edge, site, n, w, h)
-			p.pinPos[pi] = st.Pos.Add(st.Orient.Apply(pos))
+			site := (s0 + k) % n
+			p.setPin(pi, pos.Add(o.Apply(sitePos(edge, site, n, w, h))))
 		}
 	}
 }
@@ -482,18 +633,25 @@ func (p *Placement) recountSites(i int) {
 	for k := range cnt {
 		cnt[k] = 0
 	}
-	st := &p.states[i]
 	n := p.sitesPer[i]
+	off := p.unitOff[i]
 	for u, un := range p.units[i] {
-		a := st.Units[u]
+		edge := int(p.unitEdge[off+u])
+		s0 := int(p.unitSite[off+u])
 		for k := range un.pins {
-			cnt[a.Edge*n+(a.Site+k)%n]++
+			cnt[edge*n+(s0+k)%n]++
 		}
 	}
 }
 
-// siteContrib computes cell i's contribution to C3 (Eqn 10–11).
+// siteContrib computes cell i's contribution to C3 (Eqn 10–11). Cells
+// without uncommitted pin units contribute exactly 0.0 (every site count is
+// zero, so the loop performs no additions); the early return yields the same
+// value without scanning the sites.
 func (p *Placement) siteContrib(i int) float64 {
+	if len(p.units[i]) == 0 {
+		return 0
+	}
 	var sum float64
 	n := p.sitesPer[i]
 	for e := 0; e < 4; e++ {
@@ -516,7 +674,7 @@ func (p *Placement) siteContrib(i int) float64 {
 // bounding boxes and hence zero overlap area.
 func (p *Placement) overlapContrib(i int) int64 {
 	var sum int64
-	ti := p.tiles[i]
+	ti := &p.tiles[i]
 	p.statEvals++
 	if p.index == nil {
 		p.statTested += int64(len(p.tiles) - 1)
@@ -524,15 +682,15 @@ func (p *Placement) overlapContrib(i int) int64 {
 			if j == i {
 				continue
 			}
-			sum += ti.Overlap(p.tiles[j])
+			sum += ti.Overlap(&p.tiles[j])
 		}
 		sum += p.borderOverlap(i)
 		return sum
 	}
-	p.queryBuf = p.index.query(ti.Bounds(), i, p.queryBuf[:0])
+	p.queryBuf = p.index.query(p.tileBB[i], i, p.queryBuf[:0])
 	p.statTested += int64(len(p.queryBuf))
 	for _, j := range p.queryBuf {
-		sum += ti.Overlap(p.tiles[j])
+		sum += ti.Overlap(&p.tiles[j])
 	}
 	sum += p.borderOverlap(i)
 	return sum
@@ -544,7 +702,7 @@ func (p *Placement) overlapContrib(i int) int64 {
 // tiles are used because the target core area budget (Eqn 5) equals the sum
 // of padded cell areas exactly; expanded tiles may legitimately protrude.
 func (p *Placement) borderOverlap(i int) int64 {
-	if p.Core.ContainsRect(p.rawTiles[i].Bounds()) {
+	if p.Core.ContainsRect(p.rawBB[i]) {
 		return 0
 	}
 	var sum int64
@@ -560,10 +718,10 @@ func (p *Placement) RawOverlap() int64 {
 	var sum int64
 	if p.index != nil {
 		for i := range p.rawTiles {
-			p.queryBuf = p.index.query(p.rawTiles[i].Bounds(), i, p.queryBuf[:0])
+			p.queryBuf = p.index.query(p.rawBB[i], i, p.queryBuf[:0])
 			for _, j := range p.queryBuf {
 				if int(j) > i { // count each pair once
-					sum += p.rawTiles[i].Overlap(p.rawTiles[j])
+					sum += p.rawTiles[i].Overlap(&p.rawTiles[j])
 				}
 			}
 		}
@@ -571,7 +729,7 @@ func (p *Placement) RawOverlap() int64 {
 	}
 	for i := range p.rawTiles {
 		for j := i + 1; j < len(p.rawTiles); j++ {
-			sum += p.rawTiles[i].Overlap(p.rawTiles[j])
+			sum += p.rawTiles[i].Overlap(&p.rawTiles[j])
 		}
 	}
 	return sum
@@ -617,22 +775,30 @@ func (p *Placement) RecomputeAll() {
 	p.c2 = 0
 	for n := range p.Circuit.Nets {
 		p.netBox[n] = p.netBoxFor(n)
+		p.netDirty[n] = false
 		w, s := p.netCostFromBox(n, p.netBox[n])
 		p.c1 += w
 		p.teil += s
 	}
 	for i := range p.tiles {
 		for j := i + 1; j < len(p.tiles); j++ {
-			p.c2 += p.tiles[i].Overlap(p.tiles[j])
+			p.c2 += p.tiles[i].Overlap(&p.tiles[j])
 		}
 		p.c2 += p.borderOverlap(i)
 		p.c3 += p.siteContrib(i)
 	}
 }
 
-// updateCell replaces cell i's state, incrementally maintaining all cost
-// terms, and returns nothing; use Try* wrappers for delta evaluation.
-func (p *Placement) updateCell(i int, st CellState) {
+// refreshCell re-realizes cell i from the flat state already in place,
+// incrementally maintaining all cost terms: the common tail of SetState and
+// SetStaticExpansion. The subtract side reads only the cached geometry and
+// net boxes, so the state write may precede it; the add side recomputes a
+// net's bounding box only when one of its pins actually moved (netDirty),
+// reusing the cached — bit-identical — box otherwise. The subtract/add of
+// unchanged values is preserved: the float accumulators see the exact
+// operation sequence of a full recomputation path, keeping costs
+// bit-identical across implementations.
+func (p *Placement) refreshCell(i int) {
 	// Remove old contributions; the cached per-net boxes are current, so
 	// no recomputation is needed on the subtract side.
 	p.c2 -= p.overlapContrib(i)
@@ -642,8 +808,7 @@ func (p *Placement) updateCell(i int, st CellState) {
 		p.c1 -= w
 		p.teil -= s
 	}
-	// Swap state and re-realize.
-	p.states[i] = st
+	// Re-realize.
 	p.realizeCell(i)
 	if p.index != nil {
 		p.index.update(i, p.indexBox(i))
@@ -652,16 +817,66 @@ func (p *Placement) updateCell(i int, st CellState) {
 	p.c2 += p.overlapContrib(i)
 	p.c3 += p.siteContrib(i)
 	for _, n := range p.cellNets[i] {
-		b := p.netBoxFor(n)
-		p.netBox[n] = b
+		b := p.netBox[n]
+		if p.netDirty[n] {
+			b = p.netBoxFor(n)
+			p.netBox[n] = b
+			p.netDirty[n] = false
+		}
 		w, s := p.netCostFromBox(n, b)
 		p.c1 += w
 		p.teil += s
 	}
 }
 
-// SetState places cell i in the given state (incremental cost update).
-func (p *Placement) SetState(i int, st CellState) { p.updateCell(i, st) }
+// SetState places cell i in the given state (incremental cost update). The
+// Units values are copied out of st, never aliased.
+func (p *Placement) SetState(i int, st CellState) {
+	p.c2 -= p.overlapContrib(i)
+	p.c3 -= p.siteContrib(i)
+	for _, n := range p.cellNets[i] {
+		w, s := p.netCostFromBox(n, p.netBox[n])
+		p.c1 -= w
+		p.teil -= s
+	}
+	p.writeState(i, st)
+	p.realizeCell(i)
+	if p.index != nil {
+		p.index.update(i, p.indexBox(i))
+	}
+	p.c2 += p.overlapContrib(i)
+	p.c3 += p.siteContrib(i)
+	for _, n := range p.cellNets[i] {
+		b := p.netBox[n]
+		if p.netDirty[n] {
+			b = p.netBoxFor(n)
+			p.netBox[n] = b
+			p.netDirty[n] = false
+		}
+		w, s := p.netCostFromBox(n, b)
+		p.c1 += w
+		p.teil += s
+	}
+}
+
+// snapshotScratch fills and returns the placement's reusable full-state
+// snapshot: one CellState per cell, with every Units slice cut from a single
+// flat backing array. Allocated on first use and reused afterwards, so
+// CalibrateP2's save/restore cycle is allocation-free in steady state.
+func (p *Placement) snapshotScratch() []CellState {
+	if p.calibStates == nil {
+		n := len(p.Circuit.Cells)
+		p.calibUnits = make([]UnitAssign, p.unitOff[n])
+		p.calibStates = make([]CellState, n)
+		for i := range p.calibStates {
+			p.calibStates[i].Units = p.calibUnits[p.unitOff[i]:p.unitOff[i+1]:p.unitOff[i+1]]
+		}
+	}
+	for i := range p.calibStates {
+		p.StateInto(i, &p.calibStates[i])
+	}
+	return p.calibStates
+}
 
 // C1 returns the TEIC (Eqn 6).
 func (p *Placement) C1() float64 { return p.c1 }
@@ -684,8 +899,8 @@ func (p *Placement) Cost() float64 {
 // CellBounds returns the bounding box of all raw (unexpanded) cell tiles.
 func (p *Placement) CellBounds() geom.Rect {
 	var b geom.Rect
-	for _, ts := range p.rawTiles {
-		b = b.Union(ts.Bounds())
+	for i := range p.rawTiles {
+		b = b.Union(p.rawTiles[i].Bounds())
 	}
 	return b
 }
@@ -694,8 +909,8 @@ func (p *Placement) CellBounds() geom.Rect {
 // the effective chip extent.
 func (p *Placement) ExpandedBounds() geom.Rect {
 	var b geom.Rect
-	for _, ts := range p.tiles {
-		b = b.Union(ts.Bounds())
+	for i := range p.tiles {
+		b = b.Union(p.tiles[i].Bounds())
 	}
 	return b
 }

@@ -127,7 +127,12 @@ type Result struct {
 func Randomize(p *Placement, src *rng.Source) {
 	core := p.Core
 	for i := range p.Circuit.Cells {
-		st := p.State(i)
+		// The reusable scratch state keeps the loop allocation-free; fixed
+		// cells are refreshed too (their uncommitted pins are re-sited, and
+		// the subtract/re-add of unchanged terms is part of the accumulator
+		// history bit-identity is stated over).
+		st := &p.scratchState
+		p.StateInto(i, st)
 		if p.Movable(i) {
 			st.Pos = geom.Point{
 				X: src.IntRange(core.XLo, core.XHi),
@@ -138,38 +143,39 @@ func Randomize(p *Placement, src *rng.Source) {
 		for u := range st.Units {
 			st.Units[u] = randomUnitAssign(p, i, u, src)
 		}
-		p.SetState(i, st)
+		p.SetState(i, *st)
 	}
 }
 
 func randomUnitAssign(p *Placement, cell, u int, src *rng.Source) UnitAssign {
 	mask := p.units[cell][u].edges
-	var edges []int
+	var edges [4]int
+	n := 0
 	for s := 0; s < 4; s++ {
 		if mask.Has(sideOfMask(s)) {
-			edges = append(edges, s)
+			edges[n] = s
+			n++
 		}
 	}
-	if len(edges) == 0 {
-		edges = []int{0}
+	if n == 0 {
+		edges[0] = 0
+		n = 1
 	}
 	return UnitAssign{
-		Edge: edges[src.Intn(len(edges))],
+		Edge: edges[src.Intn(n)],
 		Site: src.Intn(p.sitesPer[cell]),
 	}
 }
 
 // CalibrateP2 estimates p2 so that p2·E[C2] = η·E[C1] over random states at
 // T_∞ (Eqn 9). It samples full random placements and restores the original
-// state afterwards.
+// state afterwards. The snapshot lives in scratch buffers owned by the
+// placement, so repeated calibrations allocate nothing.
 func CalibrateP2(p *Placement, eta float64, src *rng.Source, samples int) float64 {
 	if samples <= 0 {
 		samples = 20
 	}
-	saved := make([]CellState, len(p.Circuit.Cells))
-	for i := range saved {
-		saved[i] = p.State(i)
-	}
+	saved := p.snapshotScratch()
 	var sumC1, sumC2 float64
 	for s := 0; s < samples; s++ {
 		Randomize(p, src)
@@ -238,6 +244,13 @@ type stage1 struct {
 	// the current temperature step already executed; -1 starts (or resumes)
 	// at an outer-step boundary.
 	resumeInner int
+
+	// cur and alt are reusable CellState buffers for the move generators:
+	// cur snapshots the state being modified (and backs the revert), alt
+	// holds the independent copy pin moves and interchanges need. Their
+	// Units arrays grow to the per-cell maximum on first use and are reused
+	// afterwards, keeping the inner loop at zero allocations per move.
+	cur, alt CellState
 }
 
 // stage1Config builds the annealing controller configuration; RunStage1Ctx
@@ -304,21 +317,7 @@ func RunStage1(c *netlist.Circuit, opt Options) (*Placement, Result) {
 // run: the resumed trajectory is bit-identical to the uninterrupted one.
 func RunStage1Ctx(ctx context.Context, c *netlist.Circuit, opt Options) (*Placement, Result, error) {
 	opt.fill()
-	core := opt.Core
-	if core.Empty() {
-		core = estimate.CoreSize(c, opt.Params, opt.CoreAspect)
-	}
-	// Pre-placed cells must lie inside the core: grow it to cover them.
-	for i := range c.Cells {
-		cl := &c.Cells[i]
-		if !cl.Fixed {
-			continue
-		}
-		w, h := cl.Instances[0].Dims(1)
-		bb := cl.FixedOrient.ApplyRect(geom.R(-w/2, -h/2, w-w/2, h-h/2)).
-			Translate(cl.FixedPos)
-		core = core.Union(bb.InflateUniform(2))
-	}
+	core := stage1CoreRegion(c, opt)
 	est := estimate.New(c, core, opt.Params)
 	p := New(c, core, est)
 	src := rng.New(opt.Seed)
@@ -346,6 +345,28 @@ func RunStage1Ctx(ctx context.Context, c *netlist.Circuit, opt Options) (*Placem
 	})
 	res, err := s.run(ctx)
 	return p, res, err
+}
+
+// stage1CoreRegion computes the target core region for a run: the
+// estimator-derived size (unless overridden), grown to cover any pre-placed
+// cells. opt must be filled.
+func stage1CoreRegion(c *netlist.Circuit, opt Options) geom.Rect {
+	core := opt.Core
+	if core.Empty() {
+		core = estimate.CoreSize(c, opt.Params, opt.CoreAspect)
+	}
+	// Pre-placed cells must lie inside the core: grow it to cover them.
+	for i := range c.Cells {
+		cl := &c.Cells[i]
+		if !cl.Fixed {
+			continue
+		}
+		w, h := cl.Instances[0].Dims(1)
+		bb := cl.FixedOrient.ApplyRect(geom.R(-w/2, -h/2, w-w/2, h-h/2)).
+			Translate(cl.FixedPos)
+		core = core.Union(bb.InflateUniform(2))
+	}
+	return core
 }
 
 // ResumeStage1 continues a checkpointed Stage 1 run on the same circuit.
@@ -720,12 +741,13 @@ func (s *stage1) finish(err error) (Result, error) {
 	return res, err
 }
 
-// tryState applies st to cell i and keeps it if the Metropolis criterion
-// accepts the cost change. class labels the attempt for per-class metrics;
-// recording happens after the accept decision, so it cannot perturb it.
-func (s *stage1) tryState(i int, st CellState, class moveClass) bool {
+// tryMove applies st to cell i and keeps it if the Metropolis criterion
+// accepts the cost change; old is the caller's snapshot of cell i's current
+// state, reused for the revert so the attempt allocates nothing. class
+// labels the attempt for per-class metrics; recording happens after the
+// accept decision, so it cannot perturb it.
+func (s *stage1) tryMove(i int, old *CellState, st CellState, class moveClass) bool {
 	before := s.p.Cost()
-	old := s.p.State(i)
 	s.p.SetState(i, st)
 	delta := s.p.Cost() - before
 	ok := s.ctl.Accept(delta)
@@ -735,7 +757,7 @@ func (s *stage1) tryState(i int, st CellState, class moveClass) bool {
 	if ok {
 		return true
 	}
-	s.p.SetState(i, old)
+	s.p.SetState(i, *old)
 	return false
 }
 
@@ -751,25 +773,28 @@ func (s *stage1) generateDisplacement() {
 	} else {
 		dx, dy = anneal.PickDisplacementDs(s.src, wx, wy)
 	}
-	cur := p.State(i)
+	cur := &s.cur
+	p.StateInto(i, cur)
 	target := geom.Point{
 		X: clamp(cur.Pos.X+dx, p.Core.XLo, p.Core.XHi),
 		Y: clamp(cur.Pos.Y+dy, p.Core.YLo, p.Core.YHi),
 	}
 
-	// A1: displace cell i to the target location.
-	st := cur
+	// A1: displace cell i to the target location. The trial state shares
+	// cur's Units backing: displacement and orientation moves never touch
+	// unit assignments, and SetState copies the values out.
+	st := *cur
 	st.Pos = target
-	if !s.tryState(i, st, mcDisplace) {
+	if !s.tryMove(i, cur, st, mcDisplace) {
 		// A1': retry with an aspect-ratio-inverting orientation
 		// (Figure 2: cell C2 fits the target slot once inverted).
 		st.Orient = s.randomInversion(cur.Orient)
-		if !s.tryState(i, st, mcInvert) {
+		if !s.tryMove(i, cur, st, mcInvert) {
 			// Ao: random orientation change in place.
-			st = cur
+			st = *cur
 			st.Orient = geom.Orient(s.src.Intn(geom.NumOrients))
 			if st.Orient != cur.Orient {
-				s.tryState(i, st, mcOrient)
+				s.tryMove(i, cur, st, mcOrient)
 			}
 		}
 	}
@@ -805,8 +830,12 @@ func (s *stage1) generateInterchange() {
 func (s *stage1) trySwap(i, j int, invert bool) bool {
 	p := s.p
 	before := p.Cost()
-	oi, oj := p.State(i), p.State(j)
-	ni, nj := p.State(i), p.State(j)
+	oi, oj := &s.cur, &s.alt
+	p.StateInto(i, oi)
+	p.StateInto(j, oj)
+	// The trial states share the snapshots' Units backing: interchanges
+	// never touch unit assignments, and SetState copies the values out.
+	ni, nj := *oi, *oj
 	ni.Pos, nj.Pos = oj.Pos, oi.Pos
 	class := mcSwap
 	if invert {
@@ -824,8 +853,8 @@ func (s *stage1) trySwap(i, j int, invert bool) bool {
 	if ok {
 		return true
 	}
-	p.SetState(i, oi)
-	p.SetState(j, oj)
+	p.SetState(i, *oi)
+	p.SetState(j, *oj)
 	return false
 }
 
@@ -837,9 +866,10 @@ func (s *stage1) tryPinMove(i int) bool {
 		return false
 	}
 	u := s.src.Intn(p.Units(i))
-	st := p.State(i)
-	st.Units[u] = randomUnitAssign(p, i, u, s.src)
-	return s.tryState(i, st, mcPin)
+	p.StateInto(i, &s.cur)
+	p.StateInto(i, &s.alt)
+	s.alt.Units[u] = randomUnitAssign(p, i, u, s.src)
+	return s.tryMove(i, &s.cur, s.alt, mcPin)
 }
 
 // tryShapeChange attempts an aspect-ratio change within the instance's
@@ -847,7 +877,11 @@ func (s *stage1) tryPinMove(i int) bool {
 func (s *stage1) tryShapeChange(i int) bool {
 	p := s.p
 	cl := &p.Circuit.Cells[i]
-	st := p.State(i)
+	cur := &s.cur
+	p.StateInto(i, cur)
+	// The trial state shares cur's Units backing: shape moves never touch
+	// unit assignments.
+	st := *cur
 	if len(cl.Instances) > 1 && s.src.Bool(0.3) {
 		next := s.src.Intn(len(cl.Instances) - 1)
 		if next >= st.Instance {
@@ -858,7 +892,7 @@ func (s *stage1) tryShapeChange(i int) bool {
 		if in.IsCustomShape() {
 			st.Aspect = in.ClampAspect(st.Aspect)
 		}
-		return s.tryState(i, st, mcShape)
+		return s.tryMove(i, cur, st, mcShape)
 	}
 	in := &cl.Instances[st.Instance]
 	if !in.IsCustomShape() {
@@ -870,7 +904,7 @@ func (s *stage1) tryShapeChange(i int) bool {
 		factor := math.Exp((s.src.Float64()*2 - 1) * 0.4)
 		st.Aspect = in.ClampAspect(st.Aspect * factor)
 	}
-	return s.tryState(i, st, mcShape)
+	return s.tryMove(i, cur, st, mcShape)
 }
 
 // randomInversion returns a random orientation with the opposite axis-swap

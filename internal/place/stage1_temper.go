@@ -1,0 +1,402 @@
+package place
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/anneal"
+	"repro/internal/estimate"
+	"repro/internal/netlist"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/telemetry"
+)
+
+// TemperGamma is the temperature-ladder spacing factor for parallel
+// tempering: replica k anneals at T_∞·γ^k. The hotter replicas explore
+// coarse rearrangements the base replica's Metropolis criterion would
+// reject, and the exchange moves funnel their discoveries down the ladder.
+const TemperGamma = 1.5
+
+// RunStage1Tempered is RunStage1TemperedCtx without cancellation.
+func RunStage1Tempered(c *netlist.Circuit, opt Options, replicas, workers int) (*Placement, Result) {
+	p, res, _ := RunStage1TemperedCtx(context.Background(), c, opt, replicas, workers)
+	return p, res
+}
+
+// RunStage1TemperedCtx runs Stage 1 with parallel tempering (replica
+// exchange): `replicas` coupled anneals of the same circuit at staggered
+// temperatures T_∞·γ^k, advancing in lockstep. After every temperature step,
+// adjacent replica pairs (alternating parity by step, so every rung of the
+// ladder is exercised) may swap their placements under the replica-exchange
+// Metropolis criterion
+//
+//	P(swap) = min(1, exp((1/T_i − 1/T_j)·(C_i − C_j)))
+//
+// so a hotter replica that found a lower-cost configuration hands it down
+// the ladder with probability 1 (see DESIGN.md §12).
+//
+// Determinism: each replica runs on its own RNG stream fanned out of
+// opt.Seed via rng.SplitSeeds, the exchange decisions draw from a dedicated
+// stream, exactly one draw per considered pair regardless of outcome, and
+// the step barrier plus index-addressed parallelism (internal/par) make the
+// result byte-identical for a fixed seed at any worker count. workers <= 0
+// selects GOMAXPROCS; replicas <= 1 degenerates to RunStage1Ctx.
+//
+// All replicas share the cost function: p2 is calibrated once on replica
+// 0's initial placement, and the temperature scale factor S_T likewise.
+// The returned placement is the lowest-cost replica's (ties to the lowest
+// replica index — a pure function of the results, scheduling-independent).
+//
+// Checkpointing: with opt.CheckpointPath set, a TemperCheckpoint snapshot
+// of all replicas is written at step boundaries (every CheckpointEvery
+// steps, and on cancellation the last boundary is written, so resume re-runs
+// the interrupted step). Feed it to ResumeStage1Tempered; the resumed
+// trajectory is bit-identical to the uninterrupted one.
+func RunStage1TemperedCtx(ctx context.Context, c *netlist.Circuit, opt Options, replicas, workers int) (*Placement, Result, error) {
+	if replicas <= 1 {
+		return RunStage1Ctx(ctx, c, opt)
+	}
+	opt.fill()
+	core := stage1CoreRegion(c, opt)
+	baseLabel := opt.Label
+	if baseLabel == "" {
+		baseLabel = "stage1"
+	}
+
+	// Per-replica move streams plus one exchange stream, all fanned out of
+	// the run seed. Replica 0 keeps opt.Seed itself, mirroring RunStage1N's
+	// trial-0 convention.
+	seeds := rng.New(opt.Seed).SplitSeeds(replicas + 1)
+	seeds[0] = opt.Seed
+	xsrc := rng.New(seeds[replicas])
+
+	reps := make([]*stage1, replicas)
+	// Replica construction is independent per slot (own placement, own
+	// estimator, own RNG), so it parallelizes without ordering effects.
+	par.ForEach(workers, replicas, func(k int) {
+		est := estimate.New(c, core, opt.Params)
+		p := New(c, core, est)
+		src := rng.New(seeds[k])
+		Randomize(p, src)
+		reps[k] = &stage1{p: p, src: src, resumeInner: -1}
+	})
+
+	// One cost function for the whole ladder: p2 and S_T from replica 0.
+	p0 := reps[0].p
+	p0.P2 = CalibrateP2(p0, opt.Eta, reps[0].src, 20)
+	var expArea int64
+	for i := range c.Cells {
+		expArea += p0.Tiles(i).Area()
+	}
+	st := anneal.ScaleFactor(float64(expArea) / float64(max(1, len(c.Cells))))
+
+	for k, s := range reps {
+		s.p.P2 = p0.P2
+		cfg := stage1Config(opt, st, core, len(c.Cells))
+		if k > 0 {
+			cfg.TInf = anneal.StartTemp(st) * math.Pow(TemperGamma, float64(k))
+		}
+		s.ctl = anneal.NewController(cfg, s.src.Split())
+		o := opt
+		o.Seed = seeds[k]
+		o.CheckpointPath = "" // checkpoints are ladder-wide, not per replica
+		o.Label = fmt.Sprintf("%s.r%d", baseLabel, k)
+		s.opt = o
+		s.st = st
+		s.movable = s.p.MovableCells()
+		s.initTelemetry()
+		s.tel.Emit(telemetry.Event{
+			Type: telemetry.TypeRunStart, Run: s.runLabel, Label: c.Name,
+			Cells: len(c.Cells), Seed: o.Seed, Cost: s.p.Cost(), T: s.ctl.T(),
+		})
+	}
+
+	t := &temperRun{
+		c: c, reps: reps, xsrc: xsrc, opt: opt,
+		workers: workers, label: baseLabel, tel: opt.Tel,
+		errs: make([]error, replicas),
+	}
+	return t.run(ctx)
+}
+
+// ResumeStage1Tempered continues a checkpointed parallel-tempering run. As
+// with ResumeStage1, every annealing parameter comes from the checkpoint;
+// opt supplies only the checkpoint-control fields, telemetry, and label.
+// The resumed trajectory — including all exchange decisions — is
+// bit-identical to the run the checkpoint was taken from had it never been
+// interrupted, at any worker count.
+func ResumeStage1Tempered(ctx context.Context, c *netlist.Circuit, tck *TemperCheckpoint, opt Options, workers int) (*Placement, Result, error) {
+	if tck == nil {
+		return nil, Result{}, fmt.Errorf("place: resume: nil tempering checkpoint")
+	}
+	if err := tck.Validate(c); err != nil {
+		return nil, Result{}, err
+	}
+	o := tck.Opt.options()
+	o.CheckpointPath = opt.CheckpointPath
+	o.CheckpointEvery = opt.CheckpointEvery
+	o.Tel = opt.Tel
+	o.Label = opt.Label
+	o.fill()
+	baseLabel := o.Label
+	if baseLabel == "" {
+		baseLabel = "stage1"
+	}
+	core := tck.Core
+	seeds := rng.New(o.Seed).SplitSeeds(tck.Replicas + 1)
+	seeds[0] = o.Seed
+
+	reps := make([]*stage1, tck.Replicas)
+	for k := range reps {
+		rck := &tck.Reps[k]
+		est := estimate.New(c, core, o.Params)
+		p := New(c, core, est)
+		if err := unitCountsMatch(p, rck.States); err != nil {
+			return nil, Result{}, err
+		}
+		if rck.BestValid {
+			if err := unitCountsMatch(p, rck.Best); err != nil {
+				return nil, Result{}, err
+			}
+		}
+		for i := range rck.States {
+			p.SetState(i, cloneState(rck.States[i]))
+		}
+		p.c1, p.teil, p.c2, p.c3 = rck.Cost.C1, rck.Cost.TEIL, rck.Cost.C2, rck.Cost.C3
+		p.P2 = tck.P2
+
+		src := rng.New(0)
+		src.Restore(rck.Src)
+		cfg := stage1Config(o, tck.ST, core, len(c.Cells))
+		if k > 0 {
+			cfg.TInf = anneal.StartTemp(tck.ST) * math.Pow(TemperGamma, float64(k))
+		}
+		ctl := anneal.NewController(cfg, rng.New(0))
+		ctl.Restore(rck.Ctl)
+
+		ro := o
+		ro.Seed = seeds[k]
+		ro.CheckpointPath = ""
+		ro.Label = fmt.Sprintf("%s.r%d", baseLabel, k)
+		s := &stage1{
+			p: p, ctl: ctl, src: src, opt: ro, st: tck.ST,
+			movable:     p.MovableCells(),
+			attempts:    rck.Attempts,
+			history:     append([]StepStat(nil), rck.History...),
+			bestCost:    rck.BestCost,
+			bestValid:   rck.BestValid,
+			resumeInner: -1,
+		}
+		if rck.BestValid {
+			s.best = cloneStates(rck.Best)
+		}
+		s.initTelemetry()
+		if s.tel != nil {
+			s.tel.Registry().Counter(s.runLabel + ".checkpoint.resumes").Inc()
+			s.tel.Emit(telemetry.Event{
+				Type: telemetry.TypeResume, Run: s.runLabel, Label: c.Name,
+				Step: ctl.Step(), Attempts: rck.Attempts,
+				Cost: p.Cost(), T: ctl.T(),
+			})
+		}
+		reps[k] = s
+	}
+	xsrc := rng.New(0)
+	xsrc.Restore(tck.XSrc)
+
+	t := &temperRun{
+		c: c, reps: reps, xsrc: xsrc, opt: o,
+		workers: workers, label: baseLabel, tel: o.Tel,
+		xAttempts: tck.ExchAttempts, xAccepts: tck.ExchAccepts,
+		errs: make([]error, tck.Replicas),
+	}
+	if t.tel != nil {
+		t.tel.Progressf("%s: tempering resumed at step %d (%d replicas)",
+			baseLabel, reps[0].ctl.Step(), len(reps))
+	}
+	return t.run(ctx)
+}
+
+// temperRun drives the coupled replica ladder: lockstep temperature steps,
+// parallel inner loops, serial exchange passes, and ladder-wide boundary
+// checkpoints.
+type temperRun struct {
+	c       *netlist.Circuit
+	reps    []*stage1
+	xsrc    *rng.Source // exchange-decision stream
+	opt     Options     // ladder-wide options (checkpoint control lives here)
+	workers int
+	label   string
+	tel     *telemetry.Tracer
+
+	xAttempts, xAccepts int64
+	errs                []error // per-replica inner-loop errors, reused
+	// boundary is the snapshot of the last completed step (or the initial
+	// state), written out on cancellation so the interrupted step re-runs
+	// on resume. Captured only when checkpointing is enabled.
+	boundary *TemperCheckpoint
+}
+
+func (t *temperRun) run(ctx context.Context) (*Placement, Result, error) {
+	if t.opt.CheckpointPath != "" {
+		t.boundary = t.buildCheckpoint()
+	}
+	// Replica 0 — the base-temperature anneal with the paper's schedule and
+	// stopping criterion — decides when the ladder is done; the hotter
+	// replicas advance in lockstep (their own, later-firing criteria are
+	// ignored: a hotter rung never quenches before the base).
+	for t.reps[0].ctl.Next() {
+		for _, s := range t.reps[1:] {
+			s.ctl.Next()
+		}
+		// Parallel inner loops: each slot touches only its own replica, so
+		// any worker count produces the same per-replica trajectories.
+		for k := range t.errs {
+			t.errs[k] = nil
+		}
+		par.ForEach(t.workers, len(t.reps), func(k int) {
+			t.errs[k] = t.reps[k].innerLoop(ctx, 0)
+		})
+		for _, err := range t.errs {
+			if err != nil {
+				return t.finish(err)
+			}
+		}
+		for _, s := range t.reps {
+			s.endStep()
+		}
+		t.exchange()
+		if t.opt.CheckpointPath != "" {
+			t.boundary = t.buildCheckpoint()
+			if t.reps[0].ctl.Step()%t.opt.CheckpointEvery == 0 {
+				if err := t.saveBoundary(); err != nil {
+					return t.finish(err)
+				}
+			}
+		}
+	}
+	return t.finish(nil)
+}
+
+// exchange runs one replica-exchange pass over adjacent pairs of
+// alternating parity (step 1: (1,2),(3,4)…; step 2: (0,1),(2,3)…). Exactly
+// one uniform draw is consumed per considered pair whatever the outcome, so
+// the exchange stream position is a pure function of the step count — the
+// property interrupt/resume bit-identity rests on. An accepted exchange
+// swaps the two slots' placements; controllers, RNG streams, and telemetry
+// labels stay with their temperature rung.
+func (t *temperRun) exchange() {
+	step := t.reps[0].ctl.Step()
+	for k := step % 2; k+1 < len(t.reps); k += 2 {
+		a, b := t.reps[k], t.reps[k+1]
+		u := t.xsrc.Float64()
+		ca, cb := a.p.Cost(), b.p.Cost()
+		// P(swap) = min(1, exp((1/T_a − 1/T_b)(C_a − C_b))): T_a < T_b, so a
+		// hotter replica holding the lower cost always hands it down.
+		arg := (1/a.ctl.T() - 1/b.ctl.T()) * (ca - cb)
+		acc := u < math.Exp(arg)
+		t.xAttempts++
+		if acc {
+			t.xAccepts++
+			a.p, b.p = b.p, a.p
+		}
+		if t.tel != nil {
+			reg := t.tel.Registry()
+			reg.Counter(t.label + ".exchange.attempts").Inc()
+			if acc {
+				reg.Counter(t.label + ".exchange.accepts").Inc()
+			}
+			accV := 0.0
+			if acc {
+				accV = 1
+			}
+			t.tel.Emit(telemetry.Event{
+				Type: telemetry.TypeExchange, Run: t.label,
+				Label: fmt.Sprintf("r%d<->r%d", k, k+1),
+				Step:  step, Acc: accV, Cost: ca, C1: cb,
+			})
+		}
+	}
+}
+
+// buildCheckpoint snapshots the whole ladder at a step boundary.
+func (t *temperRun) buildCheckpoint() *TemperCheckpoint {
+	reps := make([]ReplicaCheckpoint, len(t.reps))
+	for k, s := range t.reps {
+		reps[k] = ReplicaCheckpoint{
+			Ctl:       s.ctl.State(),
+			Src:       s.src.State(),
+			Cost:      CostAccum{C1: s.p.c1, TEIL: s.p.teil, C2: s.p.c2, C3: s.p.c3},
+			States:    s.snapshotStates(),
+			Best:      s.best,
+			BestCost:  s.bestCost,
+			BestValid: s.bestValid,
+			Attempts:  s.attempts,
+			History:   s.history[:len(s.history):len(s.history)],
+		}
+	}
+	return &TemperCheckpoint{
+		Version:      TemperCheckpointVersion,
+		Circuit:      t.c.Name,
+		Opt:          snapshotOptions(t.opt),
+		Replicas:     len(t.reps),
+		Core:         t.reps[0].p.Core,
+		ST:           t.reps[0].st,
+		P2:           t.reps[0].p.P2,
+		XSrc:         t.xsrc.State(),
+		Reps:         reps,
+		ExchAttempts: t.xAttempts,
+		ExchAccepts:  t.xAccepts,
+	}
+}
+
+func (t *temperRun) saveBoundary() error {
+	if err := SaveTemperCheckpoint(t.opt.CheckpointPath, t.boundary); err != nil {
+		return err
+	}
+	if t.tel != nil {
+		t.tel.Registry().Counter(t.label + ".checkpoint.writes").Inc()
+		t.tel.Emit(telemetry.Event{
+			Type: telemetry.TypeCheckpoint, Run: t.label,
+			Step: t.reps[0].ctl.Step(),
+		})
+	}
+	return nil
+}
+
+// finish closes out every replica (applying its best-so-far on
+// interruption, emitting run-end events) and returns the lowest-cost
+// replica's placement and result, ties to the lowest index. On interruption
+// the last boundary snapshot is written first, so the run resumes from the
+// start of the interrupted step.
+func (t *temperRun) finish(err error) (*Placement, Result, error) {
+	if err != nil && t.opt.CheckpointPath != "" && t.boundary != nil {
+		if werr := SaveTemperCheckpoint(t.opt.CheckpointPath, t.boundary); werr != nil {
+			err = fmt.Errorf("place: tempering interrupted and checkpoint write failed: %v: %w", werr, err)
+		}
+	}
+	win := -1
+	var wres Result
+	for k, s := range t.reps {
+		res, _ := s.finish(err)
+		if win < 0 || s.p.Cost() < t.reps[win].p.Cost() {
+			win = k
+			wres = res
+		}
+	}
+	if t.tel != nil {
+		t.tel.Registry().Gauge(t.label + ".exchange.accept_rate").Set(t.exchangeRate())
+		t.tel.Progressf("%s: tempering done: winner r%d, %d/%d exchanges accepted",
+			t.label, win, t.xAccepts, t.xAttempts)
+	}
+	return t.reps[win].p, wres, err
+}
+
+func (t *temperRun) exchangeRate() float64 {
+	if t.xAttempts == 0 {
+		return 0
+	}
+	return float64(t.xAccepts) / float64(t.xAttempts)
+}

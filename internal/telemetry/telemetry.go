@@ -95,6 +95,7 @@ const (
 	TypeRoute      = "route"      // a global-routing pass finished
 	TypeTask       = "task"       // an experiment-harness task attempt began
 	TypeNote       = "note"       // free-form annotation
+	TypeExchange   = "exchange"   // a replica-exchange pair was considered
 )
 
 // Sink consumes trace events. Implementations must be safe for concurrent
