@@ -1,22 +1,24 @@
 # Standard checks for the TimberWolfMC reproduction.
 #
-#   make verify      tier-1 checks + race detector + short fuzz smokes + bench smoke/diff + twserve smoke + chaos smoke
+#   make verify      tier-1 checks + race detector + short fuzz smokes + bench smoke/diff + twserve smoke + chaos smokes
 #   make test        unit tests only
 #   make fuzz-smoke  10-second runs of each fuzz target
-#   make bench       place benchmarks with -benchmem -> BENCH_PR6.json
+#   make bench       place + jobs benchmarks with -benchmem -> BENCH_PR7.json
 #   make bench-smoke 1-iteration benchmark pass (catches bitrot, no timing)
 #   make bench-diff  bench-smoke output gated against the committed baseline
-#   make chaos-smoke bounded twchaos runs (fixed seeds, both modes, with and without tempering)
+#   make chaos-smoke bounded twchaos runs (fixed seeds, both single-process modes)
+#   make chaos-node-smoke  bounded multi-node twchaos run (3-node fleet, SIGKILLed mid-claim)
 
 GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
-BENCHOUT ?= BENCH_PR6.json
-BENCHBASE ?= BENCH_PR6.json
+BENCHOUT ?= BENCH_PR7.json
+BENCHBASE ?= BENCH_PR7.json
+BENCHPKGS = ./internal/place ./internal/jobs
 
-.PHONY: verify tier1 test race fuzz-smoke bench bench-smoke bench-diff serve-smoke chaos-smoke
+.PHONY: verify tier1 test race fuzz-smoke bench bench-smoke bench-diff serve-smoke chaos-smoke chaos-node-smoke
 
-verify: tier1 race fuzz-smoke bench-diff serve-smoke chaos-smoke
+verify: tier1 race fuzz-smoke bench-diff serve-smoke chaos-smoke chaos-node-smoke
 
 tier1:
 	$(GO) build ./...
@@ -36,6 +38,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeCheckpoint -fuzztime=$(FUZZTIME) ./internal/place
 	$(GO) test -fuzz=FuzzDecodeLines -fuzztime=$(FUZZTIME) ./internal/telemetry
 	$(GO) test -fuzz=FuzzDecodeJournal -fuzztime=$(FUZZTIME) ./internal/jobs
+	$(GO) test -fuzz=FuzzDecodeLease -fuzztime=$(FUZZTIME) ./internal/jobs
 
 # serve-smoke drives a real twserve process end to end: start on an
 # ephemeral port, submit a job, SIGTERM mid-run, and require a clean exit
@@ -55,17 +58,26 @@ chaos-smoke:
 	$(GO) run ./cmd/twchaos -mode sigkill -schedules 3 -seed 2
 	$(GO) run ./cmd/twchaos -schedules 5 -seed 3 -replicas 2
 
-# bench records the placement hot-path benchmarks (incl. the telemetry
-# on/off pair) as committed JSON. BENCHTIME=1x gives stable-ish numbers
-# quickly; raise it (e.g. BENCHTIME=2s) for publication-grade figures.
+# chaos-node-smoke runs the multi-node chaos mode: a 3-node fleet of real
+# twchaos children sharing one store, SIGKILLed and restarted mid-claim
+# under lease-targeted fault schedules. Exit 0 means every job reached a
+# terminal state exactly once, no write landed under a stale fencing token,
+# and succeeded placements are byte-identical to a single-node reference.
+chaos-node-smoke:
+	$(GO) run ./cmd/twchaos -mode node -schedules 3 -seed 4
+
+# bench records the placement and job-store hot-path benchmarks (incl. the
+# telemetry on/off pair and the lease fencing guard) as committed JSON.
+# BENCHTIME=1x gives stable-ish numbers quickly; raise it (e.g.
+# BENCHTIME=2s) for publication-grade figures.
 bench:
-	$(GO) test -bench . -benchmem -benchtime=$(BENCHTIME) -run '^$$' ./internal/place \
+	$(GO) test -bench . -benchmem -benchtime=$(BENCHTIME) -run '^$$' $(BENCHPKGS) \
 		| $(GO) run ./cmd/benchjson -o $(BENCHOUT)
 
 # bench-smoke proves every benchmark still runs and its output still
 # parses, without writing $(BENCHOUT) or caring about timing.
 bench-smoke:
-	$(GO) test -bench . -benchmem -benchtime=1x -run '^$$' ./internal/place \
+	$(GO) test -bench . -benchmem -benchtime=1x -run '^$$' $(BENCHPKGS) \
 		| $(GO) run ./cmd/benchjson > /dev/null
 
 # bench-diff is the regression gate: a quick bench pass compared against
@@ -73,8 +85,8 @@ bench-smoke:
 # allocations and cold caches amortize out of the per-op numbers. The
 # ns/op tolerance is loose (short timings are noisy and machines differ);
 # the allocs/op gate is strict — any increase fails, because the Stage 1
-# hot paths are pinned at zero.
+# hot paths and the single-node lease guard are pinned at zero allocs.
 bench-diff:
-	$(GO) test -bench . -benchmem -benchtime=100x -run '^$$' ./internal/place \
+	$(GO) test -bench . -benchmem -benchtime=100x -run '^$$' $(BENCHPKGS) \
 		| $(GO) run ./cmd/benchjson -o /tmp/bench_head.json
 	$(GO) run ./cmd/benchjson -diff -ns-threshold 400 $(BENCHBASE) /tmp/bench_head.json

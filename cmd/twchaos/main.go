@@ -6,7 +6,7 @@
 // reason, or loudly quarantined; never a hang, a corrupt result, or a
 // runtime invariant violation (DESIGN.md §11).
 //
-// Two modes:
+// Three modes:
 //
 //	-mode inprocess   faults fire via internal/faultinject inside this
 //	                  process; workers are interrupted by drain/restart
@@ -14,6 +14,11 @@
 //	-mode sigkill     each armed phase is a re-executed child process that
 //	                  the parent kills with SIGKILL at a seeded random
 //	                  moment — real crashes, no deferred cleanup
+//	-mode node        a fleet of -nodes child processes shares one store,
+//	                  claiming jobs under leases with fencing tokens, while
+//	                  whole instances are SIGKILLed and restarted mid-claim;
+//	                  verifies at-most-once execution, journaled takeovers,
+//	                  token-audited journals, and byte-identical placements
 //
 // A failing schedule is reproducible alone: twchaos -seed S -schedule N
 // -schedules 1 reruns exactly that rule set and timing stream. Exit status
@@ -44,12 +49,13 @@ func run() int {
 	}
 
 	var (
-		mode      = flag.String("mode", "inprocess", "fault delivery: inprocess or sigkill")
+		mode      = flag.String("mode", "inprocess", "fault delivery: inprocess, sigkill, or node")
 		schedules = flag.Int("schedules", 20, "number of randomized fault schedules to run")
 		first     = flag.Int("schedule", 0, "index of the first schedule (rerun a failing schedule N with -schedule N -schedules 1)")
 		seed      = flag.Uint64("seed", 1, "master seed; equal seeds reproduce equal runs")
 		store     = flag.String("store", "", "scratch root for per-schedule job stores (default: temp dir, removed on success)")
 		restarts  = flag.Int("restarts", 0, "max armed interrupt/restart cycles per schedule (0 = default 4)")
+		nodes     = flag.Int("nodes", 0, "fleet size for -mode node (0 = default 3)")
 		replicas  = flag.Int("replicas", 0, "parallel-tempering replicas in the job under test (0 = classic anneal)")
 		verbose   = flag.Bool("v", false, "log every schedule, not just violations")
 	)
@@ -73,6 +79,7 @@ func run() int {
 		Seed:          *seed,
 		Dir:           *store,
 		MaxRestarts:   *restarts,
+		Nodes:         *nodes,
 		Replicas:      *replicas,
 		Registry:      rt.EnsureRegistry(),
 		Logf: func(format string, args ...any) {
@@ -87,8 +94,10 @@ func run() int {
 		rep, err = chaos.Run(opts)
 	case "sigkill":
 		rep, err = chaos.RunSigkill(opts, "")
+	case "node":
+		rep, err = chaos.RunNode(opts, "")
 	default:
-		fmt.Fprintf(os.Stderr, "twchaos: unknown -mode %q (want inprocess or sigkill)\n", *mode)
+		fmt.Fprintf(os.Stderr, "twchaos: unknown -mode %q (want inprocess, sigkill, or node)\n", *mode)
 		return 2
 	}
 	if err != nil {

@@ -14,10 +14,14 @@
 //	POST /jobs              submit a job spec      → 202 {"id":"j000001",...}
 //	                        queue full             → 429 + Retry-After
 //	                        draining               → 503
+//	                        node saturated, peers alive → 503 + Retry-After
 //	                        disk full/read-only    → 507
 //	                        not application/json   → 415
 //	                        spec over 8 MiB        → 413
+//	POST /jobs/batch        submit an array of specs; per-item outcomes
+//	                        (202 all accepted, 207 otherwise)
 //	GET  /jobs              list jobs
+//	GET  /jobs/status?ids=a,b  bulk status in one round trip
 //	GET  /jobs/{id}         spec + full status journal
 //	GET  /jobs/{id}/result  final metrics + DRC outcome
 //	GET  /jobs/{id}/placement  final placement (plain text, reloadable)
@@ -28,7 +32,15 @@
 //
 // SIGTERM or SIGINT starts a graceful drain: /readyz flips to 503, new
 // submissions are rejected, running jobs checkpoint and journal themselves
-// back to queued, and the process exits 0 within the -drain budget.
+// back to queued, and the process exits 0 within the -drain budget. In
+// fleet mode (-node-id) the drain also releases every held job lease, so
+// peer instances reclaim this node's work immediately instead of waiting
+// out the lease TTL.
+//
+// Fleet mode: several twserve instances may share one -store. Each claims
+// jobs under a TTL lease with a monotonic fencing token; every durable
+// write validates the token, so a stalled instance can never clobber work a
+// peer reclaimed (see README "Running a fleet" and DESIGN.md §13).
 package main
 
 import (
@@ -44,6 +56,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -70,6 +83,9 @@ func run() int {
 		retries   = flag.Int("retries", 0, "default retry budget for transient job failures (0 = default 1)")
 		ckEvery   = flag.Int("checkpoint-every", 0, "temperature steps between job checkpoints (0 = default 5)")
 		drainT    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget after SIGTERM/SIGINT")
+		nodeID    = flag.String("node-id", "", "fleet node ID; non-empty switches the store to multi-instance lease mode (several twserve processes may share one -store)")
+		peerDirs  = flag.String("peer-dirs", "", "comma-separated additional store roots whose node heartbeats count as live peers (for load shedding)")
+		leaseTTL  = flag.Duration("lease-ttl", 0, "fleet job-lease TTL; a node silent this long loses its jobs to peers (0 = default 3s)")
 		invar     = flag.Bool("invariants", false, "enable runtime invariant checks (journal state machine, cost drift); violations are logged and counted in /metrics")
 		faults    = flag.String("faults", "", "arm deterministic fault injection with this rule spec (e.g. 'fsio.write:err=enospc,after=3'); chaos testing only")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for probabilistic fault rules")
@@ -122,6 +138,10 @@ func run() int {
 	if n := st.Quarantined(); n > 0 {
 		logf("store: quarantined %d damaged file(s)/dir(s); see %s", n, *storeDir)
 	}
+	var peers []string
+	if *peerDirs != "" {
+		peers = strings.Split(*peerDirs, ",")
+	}
 	mgr := jobs.NewManager(st, jobs.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -129,7 +149,17 @@ func run() int {
 		CheckpointEvery: *ckEvery,
 		Tel:             rt.Tracer,
 		Logf:            logf,
+		NodeID:          *nodeID,
+		LeaseTTL:        *leaseTTL,
+		PeerDirs:        peers,
 	})
+	if *nodeID != "" {
+		ttl := *leaseTTL
+		if ttl <= 0 {
+			ttl = jobs.DefaultLeaseTTL
+		}
+		logf("fleet mode: node %q, lease TTL %v, %d peer dir(s)", *nodeID, ttl, len(peers))
+	}
 	if n := mgr.Start(); n > 0 {
 		logf("recovered %d interrupted job(s)", n)
 	}
@@ -191,7 +221,11 @@ type server struct {
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("POST /jobs/batch", s.handleBatch)
 	mux.HandleFunc("GET /jobs", s.handleList)
+	// Literal segments outrank wildcards in Go's ServeMux, so /jobs/status
+	// coexists with /jobs/{id}.
+	mux.HandleFunc("GET /jobs/status", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/placement", s.handlePlacement)
@@ -206,6 +240,13 @@ func (s *server) mux() *http.ServeMux {
 		}
 		if s.mgr.DiskFull() {
 			http.Error(w, "store filesystem full or read-only", http.StatusServiceUnavailable)
+			return
+		}
+		if s.mgr.ShedHint() {
+			// Load balancers polling readyz take a saturated fleet member
+			// out of rotation while live peers can absorb the work.
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "node saturated; peers alive", http.StatusServiceUnavailable)
 			return
 		}
 		io.WriteString(w, "ok\n")
@@ -271,22 +312,153 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
 		return
 	}
-	j, err := s.mgr.Submit(spec)
+	if s.shed(w) {
+		return
+	}
+	j, status, retryAfter, err := s.submit(spec)
+	if err != nil {
+		if retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		}
+		httpError(w, status, err)
+		return
+	}
+	s.logf("accepted %s (%s)", j.ID, circuitLabel(&j.Spec))
+	writeJSON(w, http.StatusAccepted, view(j))
+}
+
+// submit runs one spec through the manager and maps the refusal surface to
+// HTTP semantics: 429 + Retry-After on backpressure, 503 while draining,
+// 507 while the store filesystem is unwritable, 400 otherwise.
+func (s *server) submit(spec jobs.Spec) (j *jobs.Job, status, retryAfter int, err error) {
+	j, err = s.mgr.Submit(spec)
 	var full *jobs.ErrQueueFull
 	switch {
+	case err == nil:
+		return j, http.StatusAccepted, 0, nil
 	case errors.As(err, &full):
-		w.Header().Set("Retry-After", strconv.Itoa(int(full.RetryAfter.Seconds())))
-		httpError(w, http.StatusTooManyRequests, err)
+		return nil, http.StatusTooManyRequests, int(full.RetryAfter.Seconds()), err
 	case errors.Is(err, jobs.ErrDraining):
-		httpError(w, http.StatusServiceUnavailable, err)
+		return nil, http.StatusServiceUnavailable, 0, err
 	case errors.Is(err, jobs.ErrDiskFull):
-		httpError(w, http.StatusInsufficientStorage, err)
-	case err != nil:
-		httpError(w, http.StatusBadRequest, err)
+		return nil, http.StatusInsufficientStorage, 0, err
 	default:
-		s.logf("accepted %s (%s)", j.ID, circuitLabel(&j.Spec))
-		writeJSON(w, http.StatusAccepted, view(j))
+		return nil, http.StatusBadRequest, 0, err
 	}
+}
+
+// shed applies fleet load shedding: when this node's claim budget is
+// exhausted but live peers can absorb the work (and the shared backlog is
+// not full — that refusal stays 429), new submissions get an immediate 503
+// with a short Retry-After instead of piling onto a saturated member.
+func (s *server) shed(w http.ResponseWriter) bool {
+	if !s.mgr.ShedHint() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusServiceUnavailable,
+		fmt.Errorf("node saturated; live peers can take this job — retry shortly or submit to a peer"))
+	return true
+}
+
+// handleBatch submits an array of specs in one request. Each element is
+// accepted or refused independently; the response mirrors the array with a
+// per-item status using the same semantics as single submit. All accepted →
+// 202; any refusal → 207 with details inline.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if err != nil || mt != "application/json" {
+		httpError(w, http.StatusUnsupportedMediaType,
+			fmt.Errorf("submit requires Content-Type: application/json"))
+		return
+	}
+	if s.shed(w) {
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	var specs []jobs.Spec
+	if err := dec.Decode(&specs); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("batch exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad batch: %w", err))
+		return
+	}
+	if len(specs) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	type batchItem struct {
+		ID     string     `json:"id,omitempty"`
+		State  jobs.State `json:"state,omitempty"`
+		Status int        `json:"status"`
+		Error  string     `json:"error,omitempty"`
+	}
+	items := make([]batchItem, len(specs))
+	accepted, maxRetry := 0, 0
+	for i, spec := range specs {
+		j, status, retryAfter, err := s.submit(spec)
+		if err != nil {
+			items[i] = batchItem{Status: status, Error: err.Error()}
+			if retryAfter > maxRetry {
+				maxRetry = retryAfter
+			}
+			continue
+		}
+		items[i] = batchItem{ID: j.ID, State: j.Last().State, Status: http.StatusAccepted}
+		accepted++
+	}
+	s.logf("batch: accepted %d/%d job(s)", accepted, len(specs))
+	status := http.StatusAccepted
+	if accepted < len(specs) {
+		status = http.StatusMultiStatus
+		if maxRetry > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(maxRetry))
+		}
+	}
+	writeJSON(w, status, items)
+}
+
+// handleStatus returns the status of many jobs in one round trip:
+// GET /jobs/status?ids=j000001,j000002. Unknown IDs come back as per-item
+// errors, not a request-level 404.
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	idsParam := r.URL.Query().Get("ids")
+	if idsParam == "" {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("ids query parameter required (comma-separated job IDs)"))
+		return
+	}
+	type statusItem struct {
+		jobView
+		Error string `json:"error,omitempty"`
+	}
+	ids := strings.Split(idsParam, ",")
+	items := make([]statusItem, len(ids))
+	for i, id := range ids {
+		j, ok := s.lookup(id)
+		if !ok {
+			items[i] = statusItem{jobView: jobView{ID: id}, Error: "no such job"}
+			continue
+		}
+		items[i] = statusItem{jobView: view(j)}
+	}
+	writeJSON(w, http.StatusOK, items)
+}
+
+// lookup resolves a job ID, rescanning the store on a miss: in fleet mode a
+// peer may have published the job between this node's scan ticks, and a
+// client that just got a 202 from that peer expects its ID to resolve here.
+func (s *server) lookup(id string) (*jobs.Job, bool) {
+	if j, ok := s.store.Get(id); ok {
+		return j, true
+	}
+	s.store.Rescan()
+	return s.store.Get(id)
 }
 
 func circuitLabel(spec *jobs.Spec) string {
@@ -306,7 +478,7 @@ func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) job(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
-	j, ok := s.store.Get(r.PathValue("id"))
+	j, ok := s.lookup(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no job %s", r.PathValue("id")))
 	}

@@ -460,6 +460,191 @@ func TestHTTPSubmitTooLarge(t *testing.T) {
 	}
 }
 
+// TestHTTPBatch pins the bulk-submit endpoint: per-item outcomes with single-
+// submit semantics, 202 when everything lands, 207 when anything is refused.
+func TestHTTPBatch(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), jobs.Config{Workers: 1})
+
+	type item struct {
+		ID     string `json:"id"`
+		State  string `json:"state"`
+		Status int    `json:"status"`
+		Error  string `json:"error"`
+	}
+	// All-good batch: 202 and every item accepted.
+	resp, data := postJSON(t, ts.URL+"/jobs/batch", "["+fastSpecJSON+","+fastSpecJSON+"]")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch: %d %s, want 202", resp.StatusCode, data)
+	}
+	var items []item
+	if err := json.Unmarshal(data, &items); err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("batch returned %d items, want 2", len(items))
+	}
+	for i, it := range items {
+		if it.Status != http.StatusAccepted || it.ID == "" || it.State != "queued" {
+			t.Fatalf("item %d: %+v, want accepted+queued with an ID", i, it)
+		}
+	}
+
+	// Mixed batch: the bad spec is refused in place, the good one still lands.
+	resp, data = postJSON(t, ts.URL+"/jobs/batch", "["+fastSpecJSON+`,{"preset":"no-such"}]`)
+	if resp.StatusCode != http.StatusMultiStatus {
+		t.Fatalf("mixed batch: %d %s, want 207", resp.StatusCode, data)
+	}
+	items = nil
+	if err := json.Unmarshal(data, &items); err != nil {
+		t.Fatal(err)
+	}
+	if items[0].Status != http.StatusAccepted || items[0].ID == "" {
+		t.Fatalf("mixed batch good item: %+v", items[0])
+	}
+	if items[1].Status != http.StatusBadRequest || items[1].Error == "" || items[1].ID != "" {
+		t.Fatalf("mixed batch bad item: %+v", items[1])
+	}
+
+	// Request-level refusals.
+	for body, want := range map[string]int{
+		"[]":        http.StatusBadRequest, // empty batch
+		"{not":      http.StatusBadRequest,
+		`[{"x":1}]`: http.StatusBadRequest, // unknown field
+	} {
+		if resp, data := postJSON(t, ts.URL+"/jobs/batch", body); resp.StatusCode != want {
+			t.Errorf("batch %q: %d %s, want %d", body, resp.StatusCode, data, want)
+		}
+	}
+	req, _ := http.NewRequest("POST", ts.URL+"/jobs/batch", strings.NewReader("["+fastSpecJSON+"]"))
+	req.Header.Set("Content-Type", "text/plain")
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Errorf("batch with text/plain: %d, want 415", resp.StatusCode)
+	}
+}
+
+// TestHTTPBulkStatus pins GET /jobs/status?ids=…: one round trip, per-item
+// errors for unknown IDs instead of a request-level 404.
+func TestHTTPBulkStatus(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), jobs.Config{Workers: 1})
+	var ids []string
+	for i := 0; i < 2; i++ {
+		_, data := postJSON(t, ts.URL+"/jobs", fastSpecJSON)
+		var v struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(data, &v); err != nil || v.ID == "" {
+			t.Fatalf("submit response %q: %v", data, err)
+		}
+		ids = append(ids, v.ID)
+	}
+
+	resp, data := get(t, ts.URL+"/jobs/status?ids="+ids[0]+","+ids[1]+",j424242")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bulk status: %d %s", resp.StatusCode, data)
+	}
+	var items []struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &items); err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("bulk status returned %d items, want 3", len(items))
+	}
+	for i := 0; i < 2; i++ {
+		if items[i].ID != ids[i] || items[i].State != "queued" || items[i].Error != "" {
+			t.Fatalf("item %d: %+v, want %s queued", i, items[i], ids[i])
+		}
+	}
+	if items[2].ID != "j424242" || items[2].Error == "" {
+		t.Fatalf("unknown-ID item: %+v, want per-item error", items[2])
+	}
+
+	if resp, _ := get(t, ts.URL+"/jobs/status"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status without ids: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHTTPFleetShed pins readyz-aware load shedding: a fleet node whose
+// claim budget is exhausted, with a live peer and room in the shared
+// backlog, refuses new submissions with 503 + Retry-After and flips readyz,
+// then recovers once the local work drains.
+func TestHTTPFleetShed(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newTestServer(t, dir, jobs.Config{
+		Workers: 1, QueueDepth: 64,
+		NodeID: "n1", LeaseTTL: time.Second, ScanEvery: 5 * time.Millisecond,
+	})
+	srv.mgr.Start()
+	defer srv.mgr.Drain(t.Context())
+
+	// A live peer node, simulated by a second store handle heartbeating the
+	// shared root.
+	peer, err := jobs.Open(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer.SetNode("peer")
+	if err := peer.WriteNodeHeartbeat(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill this node's claim budget (2×Workers) with slow jobs.
+	for i := 0; i < 3; i++ {
+		if resp, data := postJSON(t, ts.URL+"/jobs", slowSpecJSON); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, data)
+		}
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for !srv.mgr.ShedHint() {
+		if time.Now().After(deadline) {
+			t.Fatal("node never saturated")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	resp, data := postJSON(t, ts.URL+"/jobs", fastSpecJSON)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while saturated: %d %s, want 503", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed 503 without Retry-After hint")
+	}
+	resp, data = postJSON(t, ts.URL+"/jobs/batch", "["+fastSpecJSON+"]")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("batch while saturated: %d %s, want 503", resp.StatusCode, data)
+	}
+	resp, data = get(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while saturated: %d %s, want 503", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("readyz 503 without Retry-After hint")
+	}
+
+	// Existing jobs finish; the node sheds nothing once its budget frees up.
+	for _, id := range []string{"j000001", "j000002", "j000003"} {
+		pollState(t, ts.URL, id, "succeeded")
+	}
+	deadline = time.Now().Add(60 * time.Second)
+	for srv.mgr.ShedHint() {
+		if time.Now().After(deadline) {
+			t.Fatal("node never recovered from saturation")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if resp, data := postJSON(t, ts.URL+"/jobs", fastSpecJSON); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after recovery: %d %s, want 202", resp.StatusCode, data)
+	}
+	if resp, _ := get(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after recovery: %d, want 200", resp.StatusCode)
+	}
+}
+
 // TestHTTPDiskFull drives the ENOSPC path end to end with an injected fault
 // plane: submits are refused with 507 and readyz flips to 503 while the
 // store is unwritable, and both self-heal once writes succeed again.

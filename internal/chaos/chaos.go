@@ -63,8 +63,11 @@ type Options struct {
 	// temporary directory (removed on success, kept on violation).
 	Dir string
 	// MaxRestarts bounds the armed open→run→interrupt→drain cycles per
-	// schedule before the heal pass (default 4).
+	// schedule before the heal pass (default 4). In node mode it is the
+	// number of SIGKILL events delivered to the fleet per schedule.
 	MaxRestarts int
+	// Nodes is the fleet size for node-level chaos (RunNode; default 3).
+	Nodes int
 	// ScheduleDeadline is the per-schedule watchdog; a schedule that does
 	// not finish in time is reported as a hang (default 2 minutes).
 	ScheduleDeadline time.Duration
@@ -101,6 +104,9 @@ func (o *Options) fill() {
 	}
 	if o.MaxRestarts <= 0 {
 		o.MaxRestarts = 4
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 3
 	}
 	if o.ScheduleDeadline <= 0 {
 		o.ScheduleDeadline = 2 * time.Minute

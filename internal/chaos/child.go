@@ -31,6 +31,12 @@ const (
 	// EnvArmed ("1") arms the schedule's fault rules inside the child;
 	// absent for the heal pass.
 	EnvArmed = "TWCHAOS_ARMED"
+	// EnvNode, when set (decimal slot number), runs the child as fleet node
+	// "n<slot>" of a multi-node chaos schedule (RunNode): it claims jobs
+	// from the shared store under leases instead of submitting its own, and
+	// derives its fault rules from (EnvSeed, EnvIndex, slot) via
+	// NodeScheduleRules.
+	EnvNode = "TWCHAOS_NODE"
 )
 
 // Child exit codes. Anything else is an unexpected failure the parent
@@ -68,11 +74,6 @@ func ChildMain() int {
 		logf("missing %s", EnvDir)
 		return childExitSetup
 	}
-	var spec jobs.Spec
-	if err := json.Unmarshal([]byte(os.Getenv(EnvSpec)), &spec); err != nil {
-		logf("bad %s: %v", EnvSpec, err)
-		return childExitSetup
-	}
 
 	invariant.Enable(invariant.Options{Logf: logf})
 	defer invariant.Disable()
@@ -88,12 +89,33 @@ func ChildMain() int {
 			logf("bad %s: %v", EnvIndex, err)
 			return childExitSetup
 		}
-		pl := faultinject.NewPlane(seed^uint64(idx)<<20, ScheduleRules(seed, idx)...)
+		rules := ScheduleRules(seed, idx)
+		planeSeed := seed ^ uint64(idx)<<20
+		if slotEnv := os.Getenv(EnvNode); slotEnv != "" {
+			slot, err := strconv.Atoi(slotEnv)
+			if err != nil {
+				logf("bad %s: %v", EnvNode, err)
+				return childExitSetup
+			}
+			rules = NodeScheduleRules(seed, idx, slot)
+			planeSeed ^= uint64(slot+1) << 40
+		}
+		pl := faultinject.NewPlane(planeSeed, rules...)
 		if err := pl.Arm(); err != nil {
 			logf("arm: %v", err)
 			return childExitSetup
 		}
 		defer faultinject.Disarm()
+	}
+
+	if slotEnv := os.Getenv(EnvNode); slotEnv != "" {
+		return nodeChildMain(dir, slotEnv, logf)
+	}
+
+	var spec jobs.Spec
+	if err := json.Unmarshal([]byte(os.Getenv(EnvSpec)), &spec); err != nil {
+		logf("bad %s: %v", EnvSpec, err)
+		return childExitSetup
 	}
 
 	st, err := jobs.Open(dir, logf)
@@ -112,6 +134,37 @@ func ChildMain() int {
 			return childExitRetry
 		}
 	}
+	deadline := time.Now().Add(time.Minute)
+	for time.Now().Before(deadline) && !allTerminal(st) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	drainQuiet(m)
+	if !allTerminal(st) {
+		logf("jobs not terminal after %v", time.Minute)
+		return childExitRetry
+	}
+	if invariant.Count() > 0 {
+		return ChildExitInvariant
+	}
+	return childExitOK
+}
+
+// nodeChildMain is the fleet variant of the child body: open the shared
+// store as node "n<slot>", let the manager's scan loop claim whatever work
+// its lease protocol entitles it to, and exit OK once every job in the
+// store is terminal. The parent submits the jobs and delivers the SIGKILLs.
+func nodeChildMain(dir, slotEnv string, logf func(string, ...any)) int {
+	st, err := jobs.Open(dir, logf)
+	if err != nil {
+		logf("open store: %v", err)
+		return childExitRetry
+	}
+	m := jobs.NewManager(st, jobs.Config{
+		Workers: 1, Backoff: fastBackoff, CheckpointEvery: 1, Logf: logf,
+		NodeID:   "n" + slotEnv,
+		LeaseTTL: nodeLeaseTTL, ScanEvery: nodeScanEvery,
+	})
+	m.Start()
 	deadline := time.Now().Add(time.Minute)
 	for time.Now().Before(deadline) && !allTerminal(st) {
 		time.Sleep(2 * time.Millisecond)

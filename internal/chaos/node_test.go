@@ -1,0 +1,36 @@
+package chaos
+
+import "testing"
+
+// TestChaosNode runs the multi-node flavor of the chaos contract: a small
+// fleet of real child processes shares one store under lease-targeted fault
+// schedules while whole nodes are SIGKILLed and restarted mid-claim. The
+// verifier then requires every job terminal exactly once, every takeover
+// journaled under a fresh fencing token, no write under a stale token (the
+// lease audit), and succeeded placements byte-identical to a single-node
+// reference. The full 50-schedule acceptance run is the same harness with
+// -schedules 50 via cmd/twchaos.
+func TestChaosNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos run skipped in -short mode")
+	}
+	rep, err := RunNode(Options{
+		Schedules: 4,
+		Seed:      13,
+		Logf:      t.Logf,
+		Verbose:   true,
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("schedule %d [%s]: %v", v.Schedule, v.RulesString(), v.Violation)
+	}
+	if !rep.OK() {
+		t.Fatalf("contract violated: %s", rep.Summary())
+	}
+	if rep.Succeeded == 0 {
+		t.Fatal("no schedule produced a successful job; byte-identity never checked")
+	}
+	t.Logf("chaos node: %s", rep.Summary())
+}

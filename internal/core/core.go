@@ -72,6 +72,9 @@ type Options struct {
 	// CheckpointEvery is the outer-step interval between periodic
 	// checkpoints (default place.DefaultCheckpointEvery).
 	CheckpointEvery int
+	// CheckpointGuard is consulted before every checkpoint write; a non-nil
+	// error aborts the write and the run (see place.Options.CheckpointGuard).
+	CheckpointGuard func() error
 	// Tel, when non-nil, receives trace events, metrics, and progress lines
 	// from every stage of the flow. Telemetry is observe-only, so results
 	// are bit-identical with or without it (TestTelemetryBitIdentity).
@@ -196,6 +199,7 @@ func PlaceCtx(ctx context.Context, c *netlist.Circuit, opt Options) (*Result, er
 		MaxSteps:        opt.MaxSteps,
 		CheckpointPath:  opt.CheckpointPath,
 		CheckpointEvery: opt.CheckpointEvery,
+		CheckpointGuard: opt.CheckpointGuard,
 		Tel:             opt.Tel,
 	}
 	var (
@@ -247,6 +251,7 @@ func PlaceFromCheckpoint(ctx context.Context, c *netlist.Circuit, ck *place.Chec
 	p, s1, err := place.ResumeStage1(ctx, c, ck, place.Options{
 		CheckpointPath:  opt.CheckpointPath,
 		CheckpointEvery: opt.CheckpointEvery,
+		CheckpointGuard: opt.CheckpointGuard,
 		Tel:             opt.Tel,
 	})
 	if err != nil && p == nil {
@@ -288,6 +293,7 @@ func PlaceFromTemperCheckpoint(ctx context.Context, c *netlist.Circuit, tck *pla
 	p, s1, err := place.ResumeStage1Tempered(ctx, c, tck, place.Options{
 		CheckpointPath:  opt.CheckpointPath,
 		CheckpointEvery: opt.CheckpointEvery,
+		CheckpointGuard: opt.CheckpointGuard,
 		Tel:             opt.Tel,
 	}, opt.Workers)
 	if err != nil && p == nil {

@@ -72,6 +72,23 @@ const (
 	// checkpoint as corrupt, driving the quarantine-and-restart path.
 	JobsCheckpointCorrupt Point = "jobs.checkpoint.corrupt"
 
+	// JobsLeaseClaim fires at the top of a lease claim: Delay widens the
+	// read-decide-create race window so concurrent claimers collide on the
+	// O_EXCL file, Err fails the claim outright.
+	JobsLeaseClaim Point = "jobs.lease.claim"
+	// JobsLeaseHeartbeat fires inside lease renewal: Delay stalls the
+	// heartbeat past the TTL (the holder looks dead and gets fenced), Err
+	// fails the renewal write.
+	JobsLeaseHeartbeat Point = "jobs.lease.heartbeat"
+	// JobsLeaseSkew skews the lease layer's clock reads forward by Delay,
+	// making one node see live peers' leases as already expired — the
+	// premature-takeover scenario fencing tokens exist for.
+	JobsLeaseSkew Point = "jobs.lease.skew"
+	// JobsLeaseTorn truncates a freshly created claim file to Frac of its
+	// bytes after a successful create: an acknowledged-then-lost claim write.
+	// Readers must treat the undecodable claim as present-but-expired.
+	JobsLeaseTorn Point = "jobs.lease.torn"
+
 	// ParAttempt fires inside par.Retry's recovered attempt wrapper: Delay
 	// stalls the attempt, Panic panics it (exercising panic isolation), Err
 	// fails it.
@@ -93,6 +110,7 @@ func Points() []Point {
 	pts := []Point{
 		FsioWrite, FsioSync, FsioRename, FsioSyncDir, FsioWriteTorn,
 		JobsJournalBefore, JobsJournalAfter, JobsCheckpointCorrupt,
+		JobsLeaseClaim, JobsLeaseHeartbeat, JobsLeaseSkew, JobsLeaseTorn,
 		ParAttempt, ParTask,
 		PlaceCheckpointSave, PlaceCheckpointLoad,
 	}

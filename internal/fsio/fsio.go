@@ -126,6 +126,45 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	return nil
 }
 
+// ErrExists is returned by CreateExclusive when the target path already
+// exists — the "lost the race" outcome, distinct from real I/O failures.
+var ErrExists = errors.New("fsio: file already exists")
+
+// CreateExclusive durably creates path with data, failing with ErrExists if
+// the file is already there. O_CREATE|O_EXCL on a local POSIX filesystem is
+// atomic across processes, which makes this the mutual-exclusion primitive
+// the lease layer's claim files are built on: of N racing creators exactly
+// one wins, and the losers learn they lost.
+//
+// Unlike WriteFileAtomic there is no temp+rename (rename is last-writer-wins,
+// the opposite of what a claim needs). A crash can therefore leave a torn
+// claim file behind; callers must frame the content (CRC) and treat an
+// undecodable claim as present-but-expired.
+func CreateExclusive(path string, data []byte, perm os.FileMode) error {
+	if err := faultinject.Err(faultinject.FsioWrite); err != nil {
+		return fmt.Errorf("fsio: create %s: %w", path, classify(err))
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, perm)
+	if err != nil {
+		if os.IsExist(err) {
+			return fmt.Errorf("%w: %s", ErrExists, path)
+		}
+		return fmt.Errorf("fsio: create %s: %w", path, classify(err))
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("fsio: create %s: %w", path, classify(err))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("fsio: create %s: %w", path, classify(err))
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("fsio: create %s: %w", path, classify(err))
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
 // injectSyncFault keeps the fsync injection point out of the happy-path
 // error chain above.
 func injectSyncFault() error {

@@ -1,0 +1,63 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkGuardWriteNoLease pins the single-node fast path of the fencing
+// guard, which the placement loop consults before every checkpoint save:
+// with no lease attached it must stay allocation-free, so fleet support
+// costs the single-node hot path nothing (the bench-diff allocs/op gate
+// enforces the 0).
+func BenchmarkGuardWriteNoLease(b *testing.B) {
+	st, err := Open(b.TempDir(), b.Logf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	j, err := st.Create(fastSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.GuardWrite(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchLeaseRecord() LeaseRecord {
+	return LeaseRecord{
+		Token: 42, Node: "n1",
+		Time:    time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC),
+		Expires: time.Date(2026, 8, 8, 0, 0, 3, 0, time.UTC),
+	}
+}
+
+// BenchmarkEncodeLeaseRecord covers the claim/heartbeat write framing.
+func BenchmarkEncodeLeaseRecord(b *testing.B) {
+	rec := benchLeaseRecord()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeLeaseRecord(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeLeaseRecord covers the lease-state read path every scan
+// tick and claim attempt goes through.
+func BenchmarkDecodeLeaseRecord(b *testing.B) {
+	data, err := EncodeLeaseRecord(benchLeaseRecord())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeLeaseRecord(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

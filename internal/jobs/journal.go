@@ -78,10 +78,13 @@ func ValidTransition(from, to State) bool {
 
 // CheckJournal verifies the whole-journal properties recovery depends on:
 // strictly consecutive sequence numbers from 1, every adjacent pair a
-// ValidTransition, and nothing after a terminal record. It is the invariant
-// site behind jobs.transition and the chaos verifier's journal check.
+// ValidTransition, nothing after a terminal record, and non-decreasing
+// fencing tokens (over records that carry one — single-node records with
+// token 0 are exempt). It is the invariant site behind jobs.transition and
+// the chaos verifier's journal check.
 func CheckJournal(recs []Record) error {
 	prev := State("")
+	var maxToken uint64
 	for i, rec := range recs {
 		if rec.Seq != i+1 {
 			return fmt.Errorf("jobs: journal record %d has sequence %d, want %d", i, rec.Seq, i+1)
@@ -95,6 +98,13 @@ func CheckJournal(recs []Record) error {
 		if !ValidTransition(prev, rec.State) {
 			return fmt.Errorf("jobs: journal record %d: invalid transition %q → %q", i, prev, rec.State)
 		}
+		if rec.Token > 0 {
+			if rec.Token < maxToken {
+				return fmt.Errorf("jobs: journal record %d: fencing token went backwards (%d after %d) — stale write",
+					i, rec.Token, maxToken)
+			}
+			maxToken = rec.Token
+		}
 		prev = rec.State
 	}
 	return nil
@@ -102,13 +112,21 @@ func CheckJournal(recs []Record) error {
 
 // Record is one journal entry: a state transition with its sequence number
 // (1-based, strictly consecutive), wall time, execution attempt, and a
-// human-readable detail.
+// human-readable detail. In fleet mode (DESIGN.md §13) each record also
+// carries the writing node and its fencing token; both are zero/absent for
+// single-node stores, so the format needs no version bump.
 type Record struct {
 	Seq     int       `json:"seq"`
 	Time    time.Time `json:"time"`
 	State   State     `json:"state"`
 	Attempt int       `json:"attempt,omitempty"`
 	Detail  string    `json:"detail,omitempty"`
+	// Node identifies the fleet node that journaled this record.
+	Node string `json:"node,omitempty"`
+	// Token is the fencing token the writer held. Non-zero tokens must be
+	// non-decreasing along a journal: a later record with a smaller token is
+	// the signature of a stale zombie's write landing after a takeover.
+	Token uint64 `json:"token,omitempty"`
 }
 
 // journalMagic leads every journal line; the version is bumped on any

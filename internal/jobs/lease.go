@@ -1,0 +1,543 @@
+package jobs
+
+// Lease-based multi-node job claiming (DESIGN.md §13).
+//
+// The store is a plain directory tree shared by N twserve processes (one
+// local filesystem, N node IDs). Mutual exclusion over a job comes from a
+// per-job claim chain: claims/t00000001, t00000002, ... — each an
+// O_CREATE|O_EXCL file (fsio.CreateExclusive) holding one CRC-framed
+// LeaseRecord. O_EXCL makes creation atomic across processes, so every
+// token has exactly one winner, and tokens are monotonic by construction
+// because a claimer always targets highestToken+1. Claim files are never
+// deleted or rewritten while the job lives, so the high-water mark survives
+// crashes and a late zombie can never reset it.
+//
+// The current holder is the node named in the highest-token claim file.
+// Liveness is a TTL: the claim carries an initial expiry, and the holder
+// refreshes it by rewriting claims/hb (fsio.WriteFileAtomic) with the same
+// token. A heartbeat with a stale token is ignored by readers, so a
+// zombie's last hb can never extend a superseded lease. A lease that is
+// expired, explicitly released, or held by the reading node itself (an
+// earlier incarnation) is claimable.
+//
+// O_EXCL plus a TTL is still an imperfect lock — a paused holder can wake
+// after its TTL and keep writing. Safety therefore does not rest on the
+// lock but on fencing: every durable write (journal append, checkpoint,
+// placement, result) validates that the writer's token is still the highest
+// claim before writing, and the chaos journal audit (AuditLease +
+// CheckJournal token monotonicity) verifies no stale write ever landed.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/fsio"
+	"repro/internal/invariant"
+)
+
+// Lease layer file layout inside a job directory and the store root.
+const (
+	claimsDir     = "claims"  // <job>/claims/t%08d + hb
+	heartbeatFile = "hb"      // holder-refreshed expiry extension
+	nodesDirName  = "nodes"   // <root>/nodes/<id>.twl node heartbeats
+	leaseMagic    = "twlease" // line framing magic
+	// LeaseVersion is bumped on any incompatible lease-record change.
+	LeaseVersion = 1
+	// maxLeaseLine bounds one lease record's JSON payload.
+	maxLeaseLine = 1 << 16
+)
+
+// claimFileRe matches claim file names ("t" + eight or more digits).
+var claimFileRe = regexp.MustCompile(`^t(\d{8,})$`)
+
+// ErrFenced is returned by lease validation (and every fenced durable
+// write) when a newer claim has superseded the caller's token: the job was
+// taken over, and the caller must stop touching it.
+var ErrFenced = errors.New("jobs: lease fenced (superseded by a newer claim)")
+
+// ErrLeaseHeld is returned by Claim (and unleased fleet-mode writes) when
+// another node holds a live lease on the job.
+var ErrLeaseHeld = errors.New("jobs: lease held by another node")
+
+// LeaseRecord is one claim or heartbeat: who holds which token until when.
+type LeaseRecord struct {
+	// Token is the fencing token; claim file t%08d carries Token N.
+	Token uint64 `json:"token"`
+	// Node is the claiming node's ID.
+	Node string `json:"node"`
+	// Time is when the record was written.
+	Time time.Time `json:"time"`
+	// Expires is when the lease lapses unless renewed.
+	Expires time.Time `json:"expires"`
+	// Released marks a voluntary release (drain): the lease is immediately
+	// reclaimable without waiting out the TTL.
+	Released bool `json:"released,omitempty"`
+}
+
+// EncodeLeaseRecord renders rec as one framed line:
+//
+//	twlease VERSION CRC32C PAYLOADLEN PAYLOADJSON\n
+//
+// the same CRC-and-length discipline as the status journal, so a torn claim
+// or heartbeat is detected rather than trusted.
+func EncodeLeaseRecord(rec LeaseRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: encode lease record: %w", err)
+	}
+	sum := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli))
+	return fmt.Appendf(nil, "%s %d %08x %d %s\n", leaseMagic, LeaseVersion, sum, len(payload), payload), nil
+}
+
+// DecodeLeaseRecord parses and verifies one framed lease record. It never
+// panics on malformed input (FuzzDecodeLease pins this).
+func DecodeLeaseRecord(data []byte) (LeaseRecord, error) {
+	var rec LeaseRecord
+	line := bytes.TrimSuffix(data, []byte("\n"))
+	if bytes.ContainsRune(line, '\n') {
+		return rec, fmt.Errorf("jobs: lease record spans multiple lines")
+	}
+	fields := bytes.SplitN(line, []byte(" "), 5)
+	if len(fields) != 5 {
+		return rec, fmt.Errorf("jobs: malformed lease record %.40q", data)
+	}
+	if string(fields[0]) != leaseMagic {
+		return rec, fmt.Errorf("jobs: lease record: bad magic %.20q", fields[0])
+	}
+	version, err := strconv.Atoi(string(fields[1]))
+	if err != nil || version != LeaseVersion {
+		return rec, fmt.Errorf("jobs: lease record: unsupported version %.20q", fields[1])
+	}
+	sum64, err := strconv.ParseUint(string(fields[2]), 16, 32)
+	if err != nil || len(fields[2]) != 8 {
+		return rec, fmt.Errorf("jobs: lease record: bad checksum field %.20q", fields[2])
+	}
+	size, err := strconv.Atoi(string(fields[3]))
+	if err != nil || size < 0 || size > maxLeaseLine {
+		return rec, fmt.Errorf("jobs: lease record: bad length field %.20q", fields[3])
+	}
+	payload := fields[4]
+	if len(payload) != size {
+		return rec, fmt.Errorf("jobs: lease record: payload is %d bytes, header says %d", len(payload), size)
+	}
+	if got := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)); got != uint32(sum64) {
+		return rec, fmt.Errorf("jobs: lease record: checksum mismatch: header %08x, payload %08x", sum64, got)
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return rec, fmt.Errorf("jobs: lease record payload: %v", err)
+	}
+	if rec.Token == 0 {
+		return rec, fmt.Errorf("jobs: lease record: token 0 out of range")
+	}
+	if rec.Node == "" {
+		return rec, fmt.Errorf("jobs: lease record: empty node")
+	}
+	return rec, nil
+}
+
+// leaseNow is the lease layer's clock: time.Now plus any injected skew
+// (jobs.lease.skew Delay), so chaos schedules can make one node see peers'
+// leases as already expired and prove fencing holds anyway.
+func leaseNow() time.Time {
+	now := time.Now()
+	if f := faultinject.Check(faultinject.JobsLeaseSkew); f != nil {
+		now = now.Add(f.Delay)
+	}
+	return now
+}
+
+// leaseState is the decoded on-disk lease view of one job.
+type leaseState struct {
+	// maxToken is the highest claim token present (by filename, so a torn
+	// claim still counts — its writer may believe it holds the lease).
+	maxToken uint64
+	// top is the decoded highest claim; zero-valued (Node "") when the
+	// claim file is torn or undecodable, which readers treat as an expired
+	// lease held by an unknown node.
+	top LeaseRecord
+	// hb is the decoded heartbeat, if present and matching maxToken.
+	hb LeaseRecord
+}
+
+// effective returns the record governing the current lease: the matching
+// heartbeat when there is one (renewals extend expiry there), else the
+// claim record itself.
+func (ls *leaseState) effective() LeaseRecord {
+	if ls.hb.Token == ls.maxToken && ls.maxToken != 0 {
+		return ls.hb
+	}
+	return ls.top
+}
+
+// heldBy reports the live holder of the lease, if any, at time now. A torn
+// top claim (Node "") reads as not live: the writer cannot validate its own
+// token either, so treating it as expired cannot create two effective
+// owners — it only forces a reclaim.
+func (ls *leaseState) heldBy(now time.Time) (string, bool) {
+	if ls.maxToken == 0 {
+		return "", false
+	}
+	eff := ls.effective()
+	if eff.Node == "" || eff.Released || !now.Before(eff.Expires) {
+		return "", false
+	}
+	return eff.Node, true
+}
+
+// readLeaseState scans a job directory's claims/ subdir. A missing subdir
+// is an empty state (never-claimed job); unreadable claim files degrade to
+// filename-only entries, never errors — the lease layer must keep working
+// on a store a crash tore up.
+func readLeaseState(dir string) (leaseState, error) {
+	var ls leaseState
+	cdir := filepath.Join(dir, claimsDir)
+	entries, err := os.ReadDir(cdir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ls, nil
+		}
+		return ls, fmt.Errorf("jobs: lease state %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		m := claimFileRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		tok, perr := strconv.ParseUint(m[1], 10, 64)
+		if perr != nil || tok == 0 {
+			continue
+		}
+		if tok <= ls.maxToken {
+			continue
+		}
+		ls.maxToken = tok
+		ls.top = LeaseRecord{}
+		if data, rerr := os.ReadFile(filepath.Join(cdir, e.Name())); rerr == nil {
+			if rec, derr := DecodeLeaseRecord(data); derr == nil && rec.Token == tok {
+				ls.top = rec
+			}
+		}
+	}
+	if data, rerr := os.ReadFile(filepath.Join(cdir, heartbeatFile)); rerr == nil {
+		if rec, derr := DecodeLeaseRecord(data); derr == nil {
+			ls.hb = rec
+		}
+	}
+	return ls, nil
+}
+
+// claimTokens lists every claim token present in dir, sorted ascending,
+// with the decoded record (zero-valued for torn claims). Used by AuditLease.
+func claimTokens(dir string) (map[uint64]LeaseRecord, error) {
+	out := map[uint64]LeaseRecord{}
+	cdir := filepath.Join(dir, claimsDir)
+	entries, err := os.ReadDir(cdir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return out, nil
+		}
+		return nil, err
+	}
+	for _, e := range entries {
+		m := claimFileRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		tok, perr := strconv.ParseUint(m[1], 10, 64)
+		if perr != nil || tok == 0 {
+			continue
+		}
+		rec := LeaseRecord{}
+		if data, rerr := os.ReadFile(filepath.Join(cdir, e.Name())); rerr == nil {
+			if r, derr := DecodeLeaseRecord(data); derr == nil && r.Token == tok {
+				rec = r
+			}
+		}
+		out[tok] = rec
+	}
+	return out, nil
+}
+
+// Lease is one node's claim on one job. It is owned by the claiming
+// manager; Renew/Release/Validate are safe for concurrent use.
+type Lease struct {
+	job  *Job
+	node string
+	ttl  time.Duration
+
+	mu sync.Mutex
+	// Token is the fencing token this lease was claimed under.
+	Token uint64
+	// released is set by Release (or a fencing loss) so later calls are
+	// no-ops.
+	released bool
+}
+
+// Node returns the claiming node's ID.
+func (l *Lease) Node() string { return l.node }
+
+// Claim attempts to take the lease on j for node s.NodeID() with the given
+// TTL. It succeeds when the job has never been claimed, the current lease
+// is expired or released, or the current holder is this node itself (an
+// earlier incarnation after a restart — the new claim supersedes it). It
+// returns ErrLeaseHeld when another node's lease is live, or when a racing
+// claimer wins the O_EXCL create first.
+//
+// On success the job's in-memory journal is resynced from disk (the prior
+// holder may have journaled records this process never saw) and the lease
+// is attached to the job, so subsequent Appends stamp and validate it. prev
+// reports the superseded lease (zero-valued for a first claim) so callers
+// can journal takeovers and measure reclaim latency.
+func (s *Store) Claim(j *Job, ttl time.Duration) (l *Lease, prev LeaseRecord, err error) {
+	node := s.NodeID()
+	if node == "" {
+		return nil, LeaseRecord{}, fmt.Errorf("jobs: claim %s: store has no node ID (fleet mode off)", j.ID)
+	}
+	if ttl <= 0 {
+		return nil, LeaseRecord{}, fmt.Errorf("jobs: claim %s: non-positive TTL %v", j.ID, ttl)
+	}
+	// Injected claim faults: Delay widens the read-decide-create window so
+	// concurrent claimers pile onto the same token; Err fails the claim.
+	if f := faultinject.Check(faultinject.JobsLeaseClaim); f != nil {
+		if f.Delay > 0 {
+			time.Sleep(f.Delay)
+		}
+		if f.Err != nil {
+			return nil, LeaseRecord{}, fmt.Errorf("jobs: claim %s: %w", j.ID, f.Err)
+		}
+	}
+	ls, err := readLeaseState(j.dir)
+	if err != nil {
+		return nil, LeaseRecord{}, err
+	}
+	now := leaseNow()
+	if holder, live := ls.heldBy(now); live && holder != node {
+		return nil, LeaseRecord{}, fmt.Errorf("%w: %s holds %s (token %d)", ErrLeaseHeld, holder, j.ID, ls.maxToken)
+	}
+	prev = ls.effective()
+	token := ls.maxToken + 1
+	rec := LeaseRecord{Token: token, Node: node, Time: now, Expires: now.Add(ttl)}
+	data, err := EncodeLeaseRecord(rec)
+	if err != nil {
+		return nil, LeaseRecord{}, err
+	}
+	cdir := filepath.Join(j.dir, claimsDir)
+	if err := os.MkdirAll(cdir, 0o755); err != nil {
+		return nil, LeaseRecord{}, fmt.Errorf("jobs: claim %s: %w", j.ID, err)
+	}
+	path := filepath.Join(cdir, fmt.Sprintf("t%08d", token))
+	if err := fsio.CreateExclusive(path, data, 0o644); err != nil {
+		if errors.Is(err, fsio.ErrExists) {
+			// Lost the race: someone else created this token first.
+			return nil, LeaseRecord{}, fmt.Errorf("%w: lost claim race for %s token %d", ErrLeaseHeld, j.ID, token)
+		}
+		s.noteWrite(err)
+		return nil, LeaseRecord{}, err
+	}
+	s.noteWrite(nil)
+	// Invariant jobs.lease.token: O_EXCL hands out each token to exactly
+	// one winner, and we always target maxToken+1, so a successful claim's
+	// token must exceed everything previously on disk.
+	if invariant.Enabled() && token <= ls.maxToken {
+		invariant.Failf("jobs.lease.token", "job %s: claimed token %d not above prior max %d", j.ID, token, ls.maxToken)
+	}
+	// Injected torn claim: the create succeeded but the media lost part of
+	// it. Readers see the token (filename) but no decodable record, treat
+	// the lease as expired, and a reclaimer fences this claimer out.
+	if f := faultinject.Check(faultinject.JobsLeaseTorn); f != nil {
+		keep := int64(f.Frac * float64(len(data)))
+		_ = os.Truncate(path, keep)
+	}
+	l = &Lease{job: j, node: node, ttl: ttl, Token: token}
+	// Best-effort heartbeat; ownership and initial expiry live in the claim
+	// file, so a failed hb write only shortens the first renewal window.
+	_ = l.writeHeartbeat(rec)
+	j.mu.Lock()
+	j.reloadLocked()
+	j.lease = l
+	j.mu.Unlock()
+	return l, prev, nil
+}
+
+// writeHeartbeat atomically replaces claims/hb with rec.
+func (l *Lease) writeHeartbeat(rec LeaseRecord) error {
+	data, err := EncodeLeaseRecord(rec)
+	if err != nil {
+		return err
+	}
+	werr := fsio.WriteFileAtomic(filepath.Join(l.job.dir, claimsDir, heartbeatFile), data, 0o644)
+	l.job.store.noteWrite(werr)
+	return werr
+}
+
+// Validate confirms this lease still governs the job: its token is the
+// highest claim on disk and names this node. Any newer claim means a
+// takeover happened — the caller is fenced and must stop writing.
+func (l *Lease) Validate() error {
+	l.mu.Lock()
+	released := l.released
+	l.mu.Unlock()
+	if released {
+		return fmt.Errorf("%w: lease on %s was released", ErrFenced, l.job.ID)
+	}
+	ls, err := readLeaseState(l.job.dir)
+	if err != nil {
+		return err
+	}
+	if ls.maxToken != l.Token || ls.top.Node != l.node {
+		return fmt.Errorf("%w: %s token %d superseded (disk has token %d, node %q)",
+			ErrFenced, l.job.ID, l.Token, ls.maxToken, ls.top.Node)
+	}
+	return nil
+}
+
+// Renew extends the lease by its TTL via the heartbeat file, after
+// validating the token is still the highest claim. Injected heartbeat
+// faults (jobs.lease.heartbeat) stall the renewal past the TTL or fail it,
+// opening real takeover windows for chaos schedules.
+func (l *Lease) Renew() error {
+	if f := faultinject.Check(faultinject.JobsLeaseHeartbeat); f != nil {
+		if f.Delay > 0 {
+			time.Sleep(f.Delay)
+		}
+		if f.Err != nil {
+			return fmt.Errorf("jobs: renew %s: %w", l.job.ID, f.Err)
+		}
+	}
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	now := leaseNow()
+	return l.writeHeartbeat(LeaseRecord{Token: l.Token, Node: l.node, Time: now, Expires: now.Add(l.ttl)})
+}
+
+// Release voluntarily gives the lease up (drain path): the heartbeat is
+// rewritten with Released set, so peers reclaim immediately instead of
+// waiting out the TTL. Releasing an already fenced or released lease is a
+// no-op — the lease is no longer ours to write.
+func (l *Lease) Release() error {
+	l.mu.Lock()
+	if l.released {
+		l.mu.Unlock()
+		return nil
+	}
+	l.released = true
+	l.mu.Unlock()
+	l.job.mu.Lock()
+	if l.job.lease == l {
+		l.job.lease = nil
+	}
+	l.job.mu.Unlock()
+	ls, err := readLeaseState(l.job.dir)
+	if err != nil || ls.maxToken != l.Token || ls.top.Node != l.node {
+		// Fenced (or unreadable): the current lease belongs to someone
+		// else; leave their heartbeat alone.
+		return err
+	}
+	now := leaseNow()
+	return l.writeHeartbeat(LeaseRecord{Token: l.Token, Node: l.node, Time: now, Expires: now, Released: true})
+}
+
+// AuditLease cross-checks a job's journal against its on-disk claim chain:
+// every journaled fencing token must exist as a claim file, a decodable
+// claim must name the journaling node, and (via CheckJournal) non-zero
+// tokens must be non-decreasing. This is the chaos verifier's proof that no
+// record was written under a stale or fabricated token.
+func AuditLease(dir string, recs []Record) error {
+	claims, err := claimTokens(dir)
+	if err != nil {
+		return fmt.Errorf("jobs: lease audit: %w", err)
+	}
+	for i, rec := range recs {
+		if rec.Token == 0 {
+			continue
+		}
+		claim, ok := claims[rec.Token]
+		if !ok {
+			return fmt.Errorf("jobs: lease audit: journal record %d carries token %d with no claim file", i, rec.Token)
+		}
+		if claim.Node != "" && rec.Node != claim.Node {
+			return fmt.Errorf("jobs: lease audit: journal record %d: node %q wrote under token %d claimed by %q",
+				i, rec.Node, rec.Token, claim.Node)
+		}
+	}
+	return nil
+}
+
+// nodeHeartbeatRe matches node heartbeat file names.
+var nodeHeartbeatRe = regexp.MustCompile(`^(.+)\.twl$`)
+
+// WriteNodeHeartbeat advertises this node as alive in <root>/nodes/, with a
+// TTL-bounded expiry. Peers (and the load-shedding readyz path) count live
+// entries to decide whether shedding to the fleet makes sense.
+func (s *Store) WriteNodeHeartbeat(ttl time.Duration) error {
+	node := s.NodeID()
+	if node == "" {
+		return fmt.Errorf("jobs: node heartbeat: store has no node ID")
+	}
+	now := leaseNow()
+	data, err := EncodeLeaseRecord(LeaseRecord{Token: 1, Node: node, Time: now, Expires: now.Add(ttl)})
+	if err != nil {
+		return err
+	}
+	dir := filepath.Join(s.root, nodesDirName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("jobs: node heartbeat: %w", err)
+	}
+	return fsio.WriteFileAtomic(filepath.Join(dir, node+".twl"), data, 0o644)
+}
+
+// RemoveNodeHeartbeat withdraws this node's liveness advertisement (clean
+// shutdown); best-effort.
+func (s *Store) RemoveNodeHeartbeat() {
+	if node := s.NodeID(); node != "" {
+		_ = os.Remove(filepath.Join(s.root, nodesDirName, node+".twl"))
+	}
+}
+
+// AliveNodes returns the IDs of nodes with unexpired heartbeats under the
+// given store roots (deduplicated, sorted), excluding self.
+func AliveNodes(roots []string, self string) []string {
+	now := leaseNow()
+	seen := map[string]bool{}
+	for _, root := range roots {
+		entries, err := os.ReadDir(filepath.Join(root, nodesDirName))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			m := nodeHeartbeatRe.FindStringSubmatch(e.Name())
+			if m == nil || m[1] == self {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(root, nodesDirName, e.Name()))
+			if err != nil {
+				continue
+			}
+			rec, err := DecodeLeaseRecord(data)
+			if err != nil || rec.Node != m[1] || !now.Before(rec.Expires) {
+				continue
+			}
+			seen[rec.Node] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

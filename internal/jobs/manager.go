@@ -23,6 +23,12 @@ const (
 	DefaultWorkers    = 2
 	DefaultQueueDepth = 64
 	DefaultRetries    = 1
+	// DefaultLeaseTTL is how long a fleet node's job lease stays live
+	// without a heartbeat before peers may reclaim the job.
+	DefaultLeaseTTL = 3 * time.Second
+	// DefaultScanEvery is the fleet scan/heartbeat cadence; it must be
+	// comfortably under DefaultLeaseTTL so renewals never lapse by accident.
+	DefaultScanEvery = 200 * time.Millisecond
 )
 
 // Cancellation causes, distinguished via context.Cause so the worker can
@@ -31,6 +37,10 @@ var (
 	errCanceled = errors.New("jobs: canceled by request")
 	errDraining = errors.New("jobs: draining")
 	errDeadline = errors.New("jobs: deadline exceeded")
+	// errFenced cancels a running job whose lease was lost to another node;
+	// the worker must stop without journaling — the job belongs to the
+	// reclaimer now.
+	errFenced = errors.New("jobs: lease fenced")
 )
 
 // ErrQueueFull is returned by Submit when the queue is at capacity; it
@@ -75,6 +85,23 @@ type Config struct {
 	Tel *telemetry.Tracer
 	// Logf receives operational log lines (nil = silent).
 	Logf func(string, ...any)
+
+	// NodeID, when non-empty, switches the manager to fleet mode: jobs are
+	// claimed from the shared store under TTL leases with fencing tokens
+	// instead of dispatched from a private queue, so several processes can
+	// serve one store without double-executing or clobbering each other.
+	NodeID string
+	// LeaseTTL is the job-lease lifetime in fleet mode (default
+	// DefaultLeaseTTL). A node that misses renewals for this long loses its
+	// jobs to peers.
+	LeaseTTL time.Duration
+	// ScanEvery is the fleet scan cadence (default DefaultScanEvery): node
+	// heartbeat, store rescan, lease renewal, and claim sweep.
+	ScanEvery time.Duration
+	// PeerDirs lists additional store roots whose node heartbeats count as
+	// live peers (for load-shedding hints). Nodes sharing this store's root
+	// see each other without any PeerDirs.
+	PeerDirs []string
 }
 
 func (c *Config) fill() {
@@ -92,6 +119,12 @@ func (c *Config) fill() {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = DefaultLeaseTTL
+	}
+	if c.ScanEvery <= 0 {
+		c.ScanEvery = DefaultScanEvery
 	}
 }
 
@@ -121,6 +154,12 @@ type Manager struct {
 	rmu     sync.Mutex
 	running map[string]context.CancelCauseFunc
 
+	// hmu guards held, the leases this node currently owns (fleet mode),
+	// keyed by job ID. Entries are added by the claim sweep and removed on
+	// release or fencing loss.
+	hmu  sync.Mutex
+	held map[string]*Lease
+
 	wg sync.WaitGroup
 
 	// jobs.* instruments (nil-safe no-ops when telemetry is off).
@@ -133,14 +172,27 @@ type Manager struct {
 	mQuarantined *telemetry.Gauge
 	mCkBytes     *telemetry.Gauge
 	mStates      map[State]*telemetry.Gauge
+
+	// jobs.lease.* instruments (fleet mode).
+	mLeaseClaims   *telemetry.Counter
+	mLeaseRenewals *telemetry.Counter
+	mLeaseExpiries *telemetry.Counter
+	mLeaseFenced   *telemetry.Counter
+	mReclaimLat    *telemetry.Histogram
 }
 
 // NewManager builds a manager over store. Call Start to begin executing.
 func NewManager(store *Store, cfg Config) *Manager {
 	cfg.fill()
-	m := &Manager{store: store, cfg: cfg, running: map[string]context.CancelCauseFunc{}}
+	m := &Manager{
+		store:   store,
+		cfg:     cfg,
+		running: map[string]context.CancelCauseFunc{},
+		held:    map[string]*Lease{},
+	}
 	m.ctx, m.cancel = context.WithCancelCause(context.Background())
 	m.qcond = sync.NewCond(&m.qmu)
+	store.SetNode(cfg.NodeID)
 	reg := cfg.Tel.Registry()
 	m.mQueueDepth = reg.Gauge("jobs.queue_depth")
 	m.mRunning = reg.Gauge("jobs.running")
@@ -154,12 +206,44 @@ func NewManager(store *Store, cfg Config) *Manager {
 	for _, st := range []State{StateQueued, StateRunning, StateSucceeded, StateFailed, StateCanceled} {
 		m.mStates[st] = reg.Gauge("jobs.state." + string(st))
 	}
+	m.mLeaseClaims = reg.Counter("jobs.lease.claims")
+	m.mLeaseRenewals = reg.Counter("jobs.lease.renewals")
+	m.mLeaseExpiries = reg.Counter("jobs.lease.expiries")
+	m.mLeaseFenced = reg.Counter("jobs.lease.fencing_rejections")
+	m.mReclaimLat = reg.Histogram("jobs.lease.reclaim_seconds",
+		[]float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10})
 	return m
 }
 
+// fleet reports whether the manager runs in multi-node (leased) mode.
+func (m *Manager) fleet() bool { return m.cfg.NodeID != "" }
+
 // Start re-enqueues every resumable job (crash/drain recovery) and launches
 // the worker pool. It returns the number of recovered jobs.
+//
+// In fleet mode recovery happens through the lease protocol instead: the
+// scan loop claims resumable jobs (our own from a previous incarnation, or a
+// dead peer's once their lease expires), so Start only launches the scanner
+// and workers and returns 0.
 func (m *Manager) Start() int {
+	if m.fleet() {
+		if err := m.store.WriteNodeHeartbeat(3 * m.cfg.LeaseTTL); err != nil {
+			m.cfg.Logf("jobs: node heartbeat: %v", err)
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.scan()
+		}()
+		for w := 0; w < m.cfg.Workers; w++ {
+			m.wg.Add(1)
+			go func() {
+				defer m.wg.Done()
+				m.work()
+			}()
+		}
+		return 0
+	}
 	resumable := m.store.Resumable()
 	for _, j := range resumable {
 		last := j.Last()
@@ -190,6 +274,231 @@ func (m *Manager) Start() int {
 	return len(resumable)
 }
 
+// scan is the fleet maintenance loop: heartbeat the node, pick up jobs
+// published by peers, renew held leases (fencing any we lost), and claim
+// available work. It runs one pass immediately so a fresh node starts
+// claiming without waiting out the first tick.
+func (m *Manager) scan() {
+	t := time.NewTicker(m.cfg.ScanEvery)
+	defer t.Stop()
+	for {
+		m.scanOnce()
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (m *Manager) scanOnce() {
+	if err := m.store.WriteNodeHeartbeat(3 * m.cfg.LeaseTTL); err != nil {
+		m.cfg.Logf("jobs: node heartbeat: %v", err)
+	}
+	m.store.Rescan()
+	m.renewHeld()
+	m.claimWork()
+	m.updateMetrics()
+}
+
+// renewHeld extends every held lease. A renewal that comes back ErrFenced
+// means another node took the job over (our heartbeat lapsed past the TTL):
+// cancel the local run with errFenced so it stops writing, and forget the
+// lease. Other renewal errors (transient I/O) are only logged — the lease
+// stays live on disk until its TTL actually lapses.
+func (m *Manager) renewHeld() {
+	m.hmu.Lock()
+	held := make(map[string]*Lease, len(m.held))
+	for id, l := range m.held {
+		held[id] = l
+	}
+	m.hmu.Unlock()
+	for id, l := range held {
+		err := l.Renew()
+		switch {
+		case err == nil:
+			m.mLeaseRenewals.Inc()
+		case errors.Is(err, ErrFenced):
+			m.mLeaseFenced.Inc()
+			m.cfg.Logf("jobs: %s: %v", id, err)
+			m.rmu.Lock()
+			cancel, ok := m.running[id]
+			m.rmu.Unlock()
+			if ok {
+				cancel(errFenced)
+			}
+			m.hmu.Lock()
+			delete(m.held, id)
+			m.hmu.Unlock()
+			_ = l.Release() // marks the lease dead locally; skips the hb write
+		default:
+			m.cfg.Logf("jobs: %s: renew: %v", id, err)
+		}
+	}
+}
+
+// claimWork claims up to 2×Workers outstanding jobs (pending + running) so
+// each node keeps a modest local buffer without hoarding the shared backlog.
+// Every claim re-syncs the job's journal from disk first, so the decision is
+// made against the current owner's records, not a stale snapshot.
+func (m *Manager) claimWork() {
+	m.qmu.Lock()
+	if m.stopping {
+		m.qmu.Unlock()
+		return
+	}
+	budget := m.cfg.Workers*2 - len(m.pending)
+	m.qmu.Unlock()
+	m.rmu.Lock()
+	budget -= len(m.running)
+	m.rmu.Unlock()
+	for _, j := range m.store.List() {
+		if budget <= 0 {
+			return
+		}
+		m.hmu.Lock()
+		_, mine := m.held[j.ID]
+		m.hmu.Unlock()
+		if mine {
+			continue
+		}
+		j.Reload()
+		last := j.Last()
+		if last.State != StateQueued && last.State != StateRunning {
+			continue
+		}
+		lease, prev, err := m.store.Claim(j, m.cfg.LeaseTTL)
+		if err != nil {
+			if !errors.Is(err, ErrLeaseHeld) {
+				m.cfg.Logf("jobs: %s: claim: %v", j.ID, err)
+			}
+			continue
+		}
+		m.mLeaseClaims.Inc()
+		if err := m.noteClaim(j, prev); err != nil {
+			// The takeover/recovery record is a precondition for running:
+			// skipping it would let the new owner's running record land
+			// directly after the old owner's with no journaled trace of the
+			// ownership change. Give the claim back; the next scan retries.
+			m.cfg.Logf("jobs: %s: claim note: %v", j.ID, err)
+			if rerr := lease.Release(); rerr != nil {
+				m.cfg.Logf("jobs: %s: release: %v", j.ID, rerr)
+			}
+			continue
+		}
+		m.hmu.Lock()
+		m.held[j.ID] = lease
+		m.hmu.Unlock()
+		m.qmu.Lock()
+		if m.stopping {
+			m.qmu.Unlock()
+			return
+		}
+		m.pending = append(m.pending, j)
+		budget--
+		m.qcond.Signal()
+		m.qmu.Unlock()
+	}
+}
+
+// noteClaim journals what a successful claim means: a takeover from a dead
+// or drained peer, or this node recovering its own interrupted job. A plain
+// claim of a freshly queued job needs no extra record — the claim file and
+// the running record's token already tell the story. The record is
+// mandatory: a non-nil error means the claim must be given back.
+func (m *Manager) noteClaim(j *Job, prev LeaseRecord) error {
+	// Claim re-synced the journal from disk, so this is the prior owner's
+	// final word, not the possibly stale pre-claim snapshot.
+	last := j.Last()
+	expired := prev.Token > 0 && !prev.Released
+	if expired {
+		m.mLeaseExpiries.Inc()
+		if lat := leaseNow().Sub(prev.Expires); lat > 0 {
+			m.mReclaimLat.Observe(lat.Seconds())
+		}
+	}
+	switch {
+	case prev.Token > 0 && prev.Node != m.cfg.NodeID:
+		how := "released"
+		if expired {
+			how = "expired"
+		}
+		detail := fmt.Sprintf("lease takeover from %s (token %d %s)", prev.Node, prev.Token, how)
+		if last.State == StateRunning {
+			if _, err := j.Append(StateQueued, last.Attempt, detail); err != nil {
+				return err
+			}
+		}
+		m.cfg.Logf("jobs: %s: %s", j.ID, detail)
+	case last.State == StateRunning:
+		// Our own previous incarnation died mid-run; journal the gap like
+		// single-node Start recovery does.
+		if _, err := j.Append(StateQueued, last.Attempt, "recovered after restart"); err != nil {
+			return err
+		}
+		m.mRecovered.Inc()
+		m.cfg.Logf("jobs: recovered %s (lease token %d)", j.ID, prev.Token)
+	}
+	return nil
+}
+
+// releaseLease gives up this node's lease on j (after the run finishes or a
+// drain abandons the pending claim) so peers can pick the job up without
+// waiting out the TTL.
+func (m *Manager) releaseLease(j *Job) {
+	m.hmu.Lock()
+	l, ok := m.held[j.ID]
+	delete(m.held, j.ID)
+	m.hmu.Unlock()
+	if !ok {
+		return
+	}
+	if err := l.Release(); err != nil {
+		m.cfg.Logf("jobs: %s: release: %v", j.ID, err)
+	}
+}
+
+// PeersAlive counts other fleet nodes with live heartbeats, looking at this
+// store's root plus any configured PeerDirs. Zero in single-node mode.
+func (m *Manager) PeersAlive() int {
+	if !m.fleet() {
+		return 0
+	}
+	roots := append([]string{m.store.Root()}, m.cfg.PeerDirs...)
+	return len(AliveNodes(roots, m.cfg.NodeID))
+}
+
+// Saturated reports whether this fleet node's claim budget is exhausted:
+// local outstanding work (claimed-pending plus running) has reached
+// 2×Workers, the same bound the scan loop claims up to. Always false in
+// single-node mode, where the pending queue is the real backlog.
+func (m *Manager) Saturated() bool {
+	if !m.fleet() {
+		return false
+	}
+	m.qmu.Lock()
+	pending := len(m.pending)
+	m.qmu.Unlock()
+	m.rmu.Lock()
+	running := len(m.running)
+	m.rmu.Unlock()
+	return pending+running >= m.cfg.Workers*2
+}
+
+// ShedHint reports whether a fleet front end should shed new submissions
+// with a try-elsewhere hint: this node is saturated, live peers could take
+// the work, and the shared backlog still has room (a full backlog is
+// ErrQueueFull's 429, not shedding).
+func (m *Manager) ShedHint() bool {
+	if !m.Saturated() {
+		return false
+	}
+	if m.store.QueuedCount() >= m.cfg.QueueDepth {
+		return false
+	}
+	return m.PeersAlive() > 0
+}
+
 // Submit validates, persists, and enqueues a new job. When the queue is at
 // capacity it returns *ErrQueueFull (with a retry-after hint) without
 // persisting anything; once draining it returns ErrDraining.
@@ -214,13 +523,18 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		m.qmu.Unlock()
 		return nil, ErrDraining
 	}
-	if len(m.pending) >= m.cfg.QueueDepth {
-		depth := len(m.pending)
-		m.qmu.Unlock()
+	depth := len(m.pending)
+	m.qmu.Unlock()
+	if m.fleet() {
+		// The local pending buffer only mirrors claimed work; backpressure
+		// in fleet mode is the shared store's queued backlog, which every
+		// node's Submit sees.
+		depth = m.store.QueuedCount()
+	}
+	if depth >= m.cfg.QueueDepth {
 		m.mRejected.Inc()
 		return nil, &ErrQueueFull{Depth: depth, RetryAfter: m.retryAfter(depth)}
 	}
-	m.qmu.Unlock()
 
 	// Persist outside the queue lock (disk I/O), then enqueue. Concurrent
 	// submits can overshoot QueueDepth by the number of in-flight Creates;
@@ -234,6 +548,14 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 			return nil, fmt.Errorf("%w (%v)", ErrDiskFull, err)
 		}
 		return nil, err
+	}
+	if m.fleet() {
+		// Fleet mode never enqueues directly: the job is durably queued in
+		// the shared store, and whichever node's scan loop claims it first
+		// (possibly ours, within ScanEvery) runs it under a lease.
+		m.mSubmitted.Inc()
+		m.updateMetrics()
+		return job, nil
 	}
 	m.qmu.Lock()
 	if m.stopping {
@@ -322,12 +644,32 @@ func (m *Manager) Drain(ctx context.Context) error {
 		m.wg.Wait()
 		close(done)
 	}()
+	var derr error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
-		return fmt.Errorf("jobs: drain: %w", ctx.Err())
+		derr = fmt.Errorf("jobs: drain: %w", ctx.Err())
 	}
+	if m.fleet() {
+		// Release every lease still held (claimed-but-undispatched jobs, or
+		// in-flight ones if the drain timed out) and withdraw the node
+		// heartbeat, so peers reclaim this node's work immediately instead
+		// of waiting out the lease TTL.
+		m.hmu.Lock()
+		held := make([]*Lease, 0, len(m.held))
+		for _, l := range m.held {
+			held = append(held, l)
+		}
+		m.held = map[string]*Lease{}
+		m.hmu.Unlock()
+		for _, l := range held {
+			if err := l.Release(); err != nil {
+				m.cfg.Logf("jobs: release on drain: %v", err)
+			}
+		}
+		m.store.RemoveNodeHeartbeat()
+	}
+	return derr
 }
 
 // work is one worker's dispatch loop.
@@ -347,6 +689,9 @@ func (m *Manager) work() {
 		if j.Last().State == StateQueued {
 			m.runJob(j)
 		}
+		if m.fleet() {
+			m.releaseLease(j)
+		}
 		m.updateMetrics()
 	}
 }
@@ -356,6 +701,9 @@ func (m *Manager) work() {
 type outcome struct {
 	attempt  int
 	terminal State // set when the attempt already journaled the job's fate
+	// fenced means the lease was lost mid-attempt: another node owns the
+	// job and its journal now, so this node writes nothing and stops.
+	fenced bool
 }
 
 // runJob executes one job with bounded retries and backoff, journaling
@@ -385,6 +733,10 @@ func (m *Manager) runJob(j *Job) {
 		return err
 	})
 	switch {
+	case out.fenced:
+		// The lease was lost mid-run: the job's journal belongs to the
+		// node that reclaimed it, and whatever it decides is the truth.
+		m.cfg.Logf("jobs: %s: fenced; taken over by another node", j.ID)
 	case out.terminal != "":
 		// The attempt journaled its own fate (succeeded, failed DRC or
 		// deadline, canceled, or interrupted-by-drain → queued).
@@ -402,10 +754,24 @@ func (m *Manager) runJob(j *Job) {
 	}
 }
 
-// attempt executes the job once under its own context. Terminal outcomes
+// attempt executes the job once and folds any fencing loss — surfacing from
+// a journal append, the checkpoint guard inside the annealer, a result
+// write, or an errFenced cancellation — into out.fenced with a nil error,
+// which stops the retry loop without journaling under the stale token.
+func (m *Manager) attempt(j *Job, out *outcome) error {
+	err := m.attemptOnce(j, out)
+	if err != nil && errors.Is(err, ErrFenced) {
+		out.fenced = true
+		m.mLeaseFenced.Inc()
+		return nil
+	}
+	return err
+}
+
+// attemptOnce executes the job once under its own context. Terminal outcomes
 // are journaled here and signalled through out; the returned error drives
 // the retry loop (nil = done, context errors = stop, else = retry).
-func (m *Manager) attempt(j *Job, out *outcome) error {
+func (m *Manager) attemptOnce(j *Job, out *outcome) error {
 	ctx, cancel := context.WithCancelCause(m.ctx)
 	defer cancel(nil)
 	if d := time.Duration(j.Spec.Deadline); d > 0 {
@@ -442,6 +808,11 @@ func (m *Manager) attempt(j *Job, out *outcome) error {
 
 	opts := j.Spec.coreOptions(j.CheckpointPath(), m.cfg.CheckpointEvery)
 	opts.Tel = m.cfg.Tel
+	// Fencing at the checkpoint boundary: every periodic checkpoint save
+	// first validates the lease, so a zombie whose lease expired stops at
+	// its next save instead of clobbering the reclaimer's checkpoint.
+	// GuardWrite is a no-op when the job carries no lease (single-node).
+	opts.CheckpointGuard = j.GuardWrite
 
 	var res *core.Result
 	switch ck := m.loadCheckpoint(j, c); {
@@ -473,6 +844,10 @@ func (m *Manager) attempt(j *Job, out *outcome) error {
 			m.journal(j, StateFailed, out.attempt,
 				fmt.Sprintf("deadline %v exceeded", time.Duration(j.Spec.Deadline)))
 			return err
+		case errors.Is(cause, errFenced):
+			// The renew loop detected a takeover and cancelled us; the
+			// attempt wrapper converts this into a silent fenced stop.
+			return ErrFenced
 		}
 		// Transient failure: the retry loop decides. A checkpoint, if one
 		// was written, lets the retry resume instead of recomputing.
@@ -549,6 +924,9 @@ func (m *Manager) finish(j *Job, c *netlist.Circuit, res *core.Result, out *outc
 // artifact must fail the attempt (retryable) rather than ever surfacing as a
 // corrupt placement to a client.
 func (m *Manager) writePlacement(j *Job, res *core.Result) error {
+	if err := j.GuardWrite(); err != nil {
+		return err
+	}
 	var buf bytes.Buffer
 	if err := place.WritePlacement(&buf, res.Placement); err != nil {
 		return err

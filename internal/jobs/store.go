@@ -10,8 +10,10 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/faultinject"
@@ -26,6 +28,9 @@ const (
 	checkpointFile = "checkpoint.ck"
 	resultFile     = "result.json"
 	placementFile  = "placement.tw"
+	// tmpJobPrefix marks an under-construction job directory awaiting its
+	// atomic rename-publish; scans skip it, Open removes stale ones.
+	tmpJobPrefix = ".tmp-j"
 )
 
 // jobDirRe matches job directory names ("j" + six or more digits).
@@ -46,6 +51,9 @@ type Job struct {
 
 	mu      sync.Mutex
 	records []Record
+	// lease is this process's claim on the job (fleet mode only); while
+	// set, every durable write validates its fencing token first.
+	lease *Lease
 }
 
 // Dir returns the job's directory.
@@ -76,6 +84,29 @@ var ErrTerminal = errors.New("jobs: job already in a terminal state")
 func (j *Job) Append(state State, attempt int, detail string) (Record, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	node := j.store.NodeID()
+	lease := j.lease
+	if node != "" {
+		if lease != nil {
+			// Fencing: the whole-journal rewrite below would clobber a
+			// reclaimer's records if our lease was taken over; refuse first.
+			if err := lease.Validate(); err != nil {
+				return Record{}, fmt.Errorf("jobs: journal %s: %w", j.ID, err)
+			}
+		} else {
+			// Unleased fleet write (submit's first record, cancel of an
+			// unclaimed job): resync memory from disk — a peer may have
+			// appended — and refuse while another node holds a live lease.
+			j.reloadLocked()
+			ls, err := readLeaseState(j.dir)
+			if err != nil {
+				return Record{}, err
+			}
+			if holder, live := ls.heldBy(leaseNow()); live && holder != node {
+				return Record{}, fmt.Errorf("jobs: journal %s: %w: held by %s", j.ID, ErrLeaseHeld, holder)
+			}
+		}
+	}
 	prev := State("")
 	if n := len(j.records); n > 0 {
 		prev = j.records[n-1].State
@@ -95,6 +126,22 @@ func (j *Job) Append(state State, attempt int, detail string) (Record, error) {
 		State:   state,
 		Attempt: attempt,
 		Detail:  detail,
+	}
+	if node != "" {
+		rec.Node = node
+		if lease != nil {
+			rec.Token = lease.Token
+			// Invariant jobs.lease.fence: a validated lease is the highest
+			// claim, so its token can never fall below one already journaled.
+			if invariant.Enabled() {
+				for _, r := range j.records {
+					if r.Token > rec.Token {
+						invariant.Failf("jobs.lease.fence", "job %s: appending token %d after token %d",
+							j.ID, rec.Token, r.Token)
+					}
+				}
+			}
+		}
 	}
 	data, err := EncodeJournal(append(j.records, rec))
 	if err != nil {
@@ -133,8 +180,49 @@ func (j *Job) History() []Record {
 	return append([]Record(nil), j.records...)
 }
 
-// Store is the durable job store: one directory per job under root.
-// A store is owned by a single process at a time.
+// Reload resyncs the in-memory journal from disk. In fleet mode peers
+// append to jobs this process only observes; the manager's scanner calls
+// this so Last/History/StateCounts converge on what is actually journaled.
+func (j *Job) Reload() {
+	j.mu.Lock()
+	j.reloadLocked()
+	j.mu.Unlock()
+}
+
+// reloadLocked re-reads the journal with j.mu held. Disk can only be ahead
+// of memory (a peer appended, or a journal.after fault landed the write the
+// caller saw fail); a shorter or defective on-disk journal never truncates
+// the in-memory view.
+func (j *Job) reloadLocked() {
+	f, err := os.Open(filepath.Join(j.dir, journalFile))
+	if err != nil {
+		return
+	}
+	recs, _ := DecodeJournal(f)
+	f.Close()
+	if len(recs) >= len(j.records) {
+		j.records = recs
+	}
+}
+
+// GuardWrite validates fleet-mode write authority for non-journal artifacts
+// (checkpoint, placement, result): with a lease attached the lease must
+// still be the highest claim; without one (single-node mode) it is a no-op.
+// The manager installs this as the annealer's CheckpointGuard.
+func (j *Job) GuardWrite() error {
+	j.mu.Lock()
+	l := j.lease
+	j.mu.Unlock()
+	if l == nil {
+		return nil
+	}
+	return l.Validate()
+}
+
+// Store is the durable job store: one directory per job under root. In
+// single-node mode (no SetNode) a store is owned by one process at a time;
+// in fleet mode N processes share the root and coordinate through the
+// lease layer (lease.go, DESIGN.md §13).
 type Store struct {
 	root string
 	logf func(string, ...any)
@@ -145,9 +233,36 @@ type Store struct {
 	// quarantined counts files or directories set aside during Open.
 	quarantined int
 
+	// fleet holds the node ID once fleet mode is enabled; nil keeps
+	// single-node semantics with one atomic load of overhead per write.
+	fleet atomic.Pointer[string]
+
 	// diskFull latches when a durable write fails with fsio.ErrDiskFull and
 	// clears on the next successful one; readyz and Submit consult it.
 	diskFull atomic.Bool
+}
+
+// SetNode enables fleet-mode semantics under the given node ID: journal
+// records are stamped with node and fencing token, and every durable write
+// is fenced against the job's lease chain. Call before any manager starts;
+// an empty id is a no-op.
+func (s *Store) SetNode(id string) {
+	if id != "" {
+		s.fleet.Store(&id)
+	}
+}
+
+// NodeID returns the fleet node ID, or "" in single-node mode. Nil-receiver
+// safe for bare test Jobs.
+func (s *Store) NodeID() string {
+	if s == nil {
+		return ""
+	}
+	p := s.fleet.Load()
+	if p == nil {
+		return ""
+	}
+	return *p
 }
 
 // Open scans root (creating it if needed), loads every job, and
@@ -168,6 +283,16 @@ func Open(root string, logf func(string, ...any)) (*Store, error) {
 		return nil, fmt.Errorf("jobs: open store: %w", err)
 	}
 	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), tmpJobPrefix) {
+			// A crash mid-Create leaves an unpublished temp dir behind. A
+			// peer may still be mid-Create right now, so only clearly stale
+			// ones are removed.
+			if fi, err := e.Info(); err == nil && time.Since(fi.ModTime()) > time.Hour {
+				s.logf("jobs: removing stale create-temp dir %s", e.Name())
+				os.RemoveAll(filepath.Join(root, e.Name()))
+			}
+			continue
+		}
 		m := jobDirRe.FindStringSubmatch(e.Name())
 		if m == nil || !e.IsDir() {
 			continue
@@ -182,6 +307,46 @@ func Open(root string, logf func(string, ...any)) (*Store, error) {
 		}
 	}
 	return s, nil
+}
+
+// Rescan picks up job directories published by peer processes since Open
+// (or the last Rescan), loading — and, exactly as during Open, quarantining
+// — anything new. It returns the newly loaded jobs ordered by ID. The
+// fleet-mode manager calls this on every scan tick.
+func (s *Store) Rescan() []*Job {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		s.logf("jobs: rescan: %v", err)
+		return nil
+	}
+	var added []*Job
+	for _, e := range entries {
+		m := jobDirRe.FindStringSubmatch(e.Name())
+		if m == nil || !e.IsDir() {
+			continue
+		}
+		s.mu.Lock()
+		_, known := s.jobs[e.Name()]
+		if n, _ := strconv.Atoi(m[1]); n > s.seq {
+			s.seq = n
+		}
+		s.mu.Unlock()
+		if known {
+			continue
+		}
+		job, ok := s.loadJob(e.Name())
+		if !ok {
+			continue
+		}
+		s.mu.Lock()
+		if _, dup := s.jobs[job.ID]; !dup {
+			s.jobs[job.ID] = job
+			added = append(added, job)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(added, func(a, b int) bool { return added[a].ID < added[b].ID })
+	return added
 }
 
 // loadJob reads one job directory, quarantining defects. ok is false when
@@ -240,7 +405,8 @@ func (s *Store) loadJob(id string) (*Job, bool) {
 }
 
 // quarantine renames path aside with a unique ".quarantined" suffix. It
-// never fails the caller; an impossible rename is only logged.
+// never fails the caller; an impossible rename is only logged. Safe for
+// concurrent use (Rescan loads peer jobs while the manager runs).
 func (s *Store) quarantine(path string) {
 	for i := 0; ; i++ {
 		dst := fmt.Sprintf("%s.quarantined.%d", path, i)
@@ -250,7 +416,9 @@ func (s *Store) quarantine(path string) {
 		if err := os.Rename(path, dst); err != nil {
 			s.logf("jobs: quarantine %s: %v", path, err)
 		} else {
+			s.mu.Lock()
 			s.quarantined++
+			s.mu.Unlock()
 			_ = fsio.SyncDir(filepath.Dir(path))
 		}
 		return
@@ -260,8 +428,6 @@ func (s *Store) quarantine(path string) {
 // QuarantineFile sets a damaged file aside (used by the manager when a
 // checkpoint fails validation at run time).
 func (s *Store) QuarantineFile(path string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.quarantine(path)
 }
 
@@ -318,32 +484,56 @@ func (s *Store) Root() string { return s.root }
 // Create persists a new job for spec (already validated) and journals it
 // queued. The job directory, spec, and first journal record are all durable
 // when Create returns.
+//
+// The job is built in a hidden temp directory and published with a single
+// rename: a peer process scanning the root (fleet mode) must never observe
+// a half-created job directory, which its Open/Rescan would quarantine.
+// Peers race for IDs, so a taken ID (rename onto an existing directory)
+// just bumps the sequence and retries.
 func (s *Store) Create(spec Spec) (*Job, error) {
-	s.mu.Lock()
-	s.seq++
-	id := fmt.Sprintf("j%06d", s.seq)
-	s.mu.Unlock()
-	dir := filepath.Join(s.root, id)
-	if err := os.Mkdir(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("jobs: create %s: %w", id, err)
+	data, err := json.MarshalIndent(&spec, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("jobs: create: %w", err)
+	}
+	tmp, err := os.MkdirTemp(s.root, tmpJobPrefix+"*")
+	if err != nil {
+		return nil, fmt.Errorf("jobs: create: %w", err)
+	}
+	job := &Job{Spec: spec, dir: tmp, store: s}
+	if err := fsio.WriteFileAtomic(filepath.Join(tmp, specFile), data, 0o644); err != nil {
+		s.noteWrite(err)
+		os.RemoveAll(tmp)
+		return nil, err
+	}
+	if _, err := job.Append(StateQueued, 0, "submitted"); err != nil {
+		os.RemoveAll(tmp)
+		return nil, err
+	}
+	for tries := 0; ; tries++ {
+		s.mu.Lock()
+		s.seq++
+		id := fmt.Sprintf("j%06d", s.seq)
+		s.mu.Unlock()
+		dir := filepath.Join(s.root, id)
+		err := os.Rename(tmp, dir)
+		if err == nil {
+			job.ID = id
+			job.dir = dir
+			break
+		}
+		// EEXIST/ENOTEMPTY: a peer published that ID since our last scan;
+		// the bumped sequence tries the next one. (A published dir is never
+		// empty, so the rename cannot silently replace one.)
+		if !(os.IsExist(err) || errors.Is(err, syscall.ENOTEMPTY)) || tries >= 10000 {
+			os.RemoveAll(tmp)
+			return nil, fmt.Errorf("jobs: create: publish: %w", err)
+		}
 	}
 	if err := fsio.SyncDir(s.root); err != nil {
 		return nil, err
 	}
-	data, err := json.MarshalIndent(&spec, "", "  ")
-	if err != nil {
-		return nil, fmt.Errorf("jobs: create %s: %w", id, err)
-	}
-	if err := fsio.WriteFileAtomic(filepath.Join(dir, specFile), data, 0o644); err != nil {
-		s.noteWrite(err)
-		return nil, err
-	}
-	job := &Job{ID: id, Spec: spec, dir: dir, store: s}
-	if _, err := job.Append(StateQueued, 0, "submitted"); err != nil {
-		return nil, err
-	}
 	s.mu.Lock()
-	s.jobs[id] = job
+	s.jobs[job.ID] = job
 	s.mu.Unlock()
 	return job, nil
 }
@@ -391,6 +581,13 @@ func (s *Store) StateCounts() map[State]int {
 	return counts
 }
 
+// QueuedCount reports how many known jobs are currently queued. Fleet
+// managers use it for store-level backpressure: with multiple writers the
+// local pending channel no longer reflects the shared backlog.
+func (s *Store) QueuedCount() int {
+	return s.StateCounts()[StateQueued]
+}
+
 // ResultInfo is the terminal metadata written to result.json.
 type ResultInfo struct {
 	ID      string `json:"id"`
@@ -419,6 +616,11 @@ type ResultInfo struct {
 // surface as a retryable error here, never as a corrupt result served to a
 // client later.
 func (j *Job) WriteResult(info *ResultInfo) error {
+	// Fencing: a stale lease must never publish a result over the
+	// reclaimer's. No-op when the job carries no lease (single-node mode).
+	if err := j.GuardWrite(); err != nil {
+		return err
+	}
 	data, err := json.MarshalIndent(info, "", "  ")
 	if err != nil {
 		return fmt.Errorf("jobs: result %s: %w", j.ID, err)

@@ -61,6 +61,13 @@ type Options struct {
 	// CheckpointEvery is the outer-step interval between periodic
 	// checkpoints; defaults to DefaultCheckpointEvery.
 	CheckpointEvery int
+	// CheckpointGuard, when non-nil, is consulted immediately before every
+	// checkpoint write; a non-nil error aborts the write and the run. The
+	// job layer uses it to validate its fencing token, so a stale worker
+	// whose lease was taken over stops at the next checkpoint boundary
+	// instead of overwriting the reclaimer's file (DESIGN.md §13). Not
+	// persisted in checkpoints; supply it again on resume.
+	CheckpointGuard func() error
 	// Tel, when non-nil, receives trace events, metrics, and progress lines
 	// for the run. Telemetry is observe-only — it never draws from the run's
 	// RNG streams or alters decisions — so results are bit-identical with or
@@ -386,6 +393,7 @@ func ResumeStage1(ctx context.Context, c *netlist.Circuit, ck *Checkpoint, opt O
 	o := ck.Opt.options()
 	o.CheckpointPath = opt.CheckpointPath
 	o.CheckpointEvery = opt.CheckpointEvery
+	o.CheckpointGuard = opt.CheckpointGuard
 	o.Tel = opt.Tel
 	o.Label = opt.Label
 	o.fill()
@@ -688,6 +696,11 @@ func (s *stage1) buildCheckpoint(innerDone int) *Checkpoint {
 }
 
 func (s *stage1) saveCheckpoint(innerDone int) error {
+	if g := s.opt.CheckpointGuard; g != nil {
+		if err := g(); err != nil {
+			return err
+		}
+	}
 	start := time.Now()
 	err := SaveCheckpoint(s.opt.CheckpointPath, s.buildCheckpoint(innerDone))
 	if err != nil || s.tel == nil {

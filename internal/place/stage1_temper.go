@@ -137,6 +137,7 @@ func ResumeStage1Tempered(ctx context.Context, c *netlist.Circuit, tck *TemperCh
 	o := tck.Opt.options()
 	o.CheckpointPath = opt.CheckpointPath
 	o.CheckpointEvery = opt.CheckpointEvery
+	o.CheckpointGuard = opt.CheckpointGuard
 	o.Tel = opt.Tel
 	o.Label = opt.Label
 	o.fill()
@@ -353,6 +354,11 @@ func (t *temperRun) buildCheckpoint() *TemperCheckpoint {
 }
 
 func (t *temperRun) saveBoundary() error {
+	if g := t.opt.CheckpointGuard; g != nil {
+		if err := g(); err != nil {
+			return err
+		}
+	}
 	if err := SaveTemperCheckpoint(t.opt.CheckpointPath, t.boundary); err != nil {
 		return err
 	}
@@ -373,7 +379,14 @@ func (t *temperRun) saveBoundary() error {
 // start of the interrupted step.
 func (t *temperRun) finish(err error) (*Placement, Result, error) {
 	if err != nil && t.opt.CheckpointPath != "" && t.boundary != nil {
-		if werr := SaveTemperCheckpoint(t.opt.CheckpointPath, t.boundary); werr != nil {
+		werr := error(nil)
+		if g := t.opt.CheckpointGuard; g != nil {
+			werr = g()
+		}
+		if werr == nil {
+			werr = SaveTemperCheckpoint(t.opt.CheckpointPath, t.boundary)
+		}
+		if werr != nil {
 			err = fmt.Errorf("place: tempering interrupted and checkpoint write failed: %v: %w", werr, err)
 		}
 	}
