@@ -1,24 +1,25 @@
 # Standard checks for the TimberWolfMC reproduction.
 #
-#   make verify      tier-1 checks + race detector + short fuzz smokes + bench smoke/diff + twserve smoke + chaos smokes
+#   make verify      tier-1 checks + race detector + short fuzz smokes + bench smoke/diff + twserve smoke + obs smoke + chaos smokes
 #   make test        unit tests only
 #   make fuzz-smoke  10-second runs of each fuzz target
-#   make bench       place + jobs benchmarks with -benchmem -> BENCH_PR7.json
+#   make bench       place + jobs benchmarks with -benchmem -> BENCH_PR8.json
 #   make bench-smoke 1-iteration benchmark pass (catches bitrot, no timing)
 #   make bench-diff  bench-smoke output gated against the committed baseline
+#   make obs-smoke   2-node fleet end to end: submit, scrape /metrics, twobs clean timeline
 #   make chaos-smoke bounded twchaos runs (fixed seeds, both single-process modes)
 #   make chaos-node-smoke  bounded multi-node twchaos run (3-node fleet, SIGKILLed mid-claim)
 
 GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
-BENCHOUT ?= BENCH_PR7.json
-BENCHBASE ?= BENCH_PR7.json
+BENCHOUT ?= BENCH_PR8.json
+BENCHBASE ?= BENCH_PR8.json
 BENCHPKGS = ./internal/place ./internal/jobs
 
-.PHONY: verify tier1 test race fuzz-smoke bench bench-smoke bench-diff serve-smoke chaos-smoke chaos-node-smoke
+.PHONY: verify tier1 test race fuzz-smoke bench bench-smoke bench-diff serve-smoke obs-smoke chaos-smoke chaos-node-smoke
 
-verify: tier1 race fuzz-smoke bench-diff serve-smoke chaos-smoke chaos-node-smoke
+verify: tier1 race fuzz-smoke bench-diff serve-smoke obs-smoke chaos-smoke chaos-node-smoke
 
 tier1:
 	$(GO) build ./...
@@ -45,6 +46,14 @@ fuzz-smoke:
 # that leaves the job durably resumable.
 serve-smoke:
 	$(GO) test -run 'TestServeDrainSmoke|TestServeKillRecovery' -count=1 -v ./cmd/twserve
+
+# obs-smoke drives the observability stack end to end: two real fleet-mode
+# twserve processes share one store, each claims a submitted job, both
+# expose the jobs.lease.* counters on /metrics, and after a clean drain the
+# twobs analyzer must reconstruct a complete per-job timeline with zero
+# findings (green runs are silent).
+obs-smoke:
+	$(GO) test -run 'TestObsFleetSmoke' -count=1 -v ./cmd/twserve
 
 # chaos-smoke runs the chaos driver with fixed seeds in both fault modes:
 # a bounded in-process run (injected faults, drain/restart interrupts) and

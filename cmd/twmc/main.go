@@ -75,6 +75,7 @@ func main() {
 		resume   = flag.String("resume", "", "resume an interrupted run from this checkpoint file (continued checkpoints default to the same file)")
 		deadline = flag.Duration("deadline", 0, "stop the run after this duration, checkpointing if -checkpoint is set (0 = none)")
 		invar    = flag.Bool("invariants", false, "enable runtime invariant checks (cost-accumulator drift at every temperature step); observe-only, bit-identical results")
+		metricsL = flag.String("metrics-listen", "", "serve GET /metrics (Prometheus text format) and /healthz on this address for the duration of the run")
 	)
 	tf := telcli.Register(flag.CommandLine)
 	flag.Parse()
@@ -151,6 +152,16 @@ func main() {
 		if cerr := rt.Close(); cerr != nil {
 			fmt.Fprintln(os.Stderr, "twmc: telemetry:", cerr)
 		}
+	}
+	if *metricsL != "" {
+		// Before tel is captured: ServeMetrics ensures a registry, which
+		// rebuilds the tracer so producers feed it.
+		bound, merr := rt.ServeMetrics(*metricsL, "")
+		if merr != nil {
+			closeTelemetry()
+			fatal(merr)
+		}
+		fmt.Fprintf(os.Stderr, "twmc: metrics listening on http://%s/metrics\n", bound)
 	}
 	tel := rt.Tracer
 	die := func(err error) {

@@ -65,6 +65,7 @@ import (
 	"repro/internal/invariant"
 	"repro/internal/jobs"
 	"repro/internal/telcli"
+	"repro/internal/telemetry"
 )
 
 // maxSpecBytes bounds a submitted spec (inline netlists included).
@@ -109,6 +110,11 @@ func run() int {
 	// A server always carries a live registry so /metrics works without
 	// telemetry flags; -metrics additionally snapshots it to a file at exit.
 	rt.EnsureRegistry()
+	// Close unconditionally (it is idempotent): the early error return on a
+	// listener failure and a timed-out drain must still flush the trace sink
+	// and metrics snapshot.
+	defer rt.Close()
+	build := telemetry.RegisterBuildInfo(rt.Registry(), *nodeID)
 
 	if *invar {
 		invariant.Enable(invariant.Options{Logf: logf, Registry: rt.Registry()})
@@ -173,7 +179,7 @@ func run() int {
 	// bound port when -addr asked for :0.
 	fmt.Printf("twserve: listening on http://%s (store %s)\n", ln.Addr(), *storeDir)
 
-	srv := &server{store: st, mgr: mgr, rt: rt, logf: logf}
+	srv := &server{store: st, mgr: mgr, rt: rt, build: build, logf: logf}
 	srv.ready.Store(true)
 	httpSrv := &http.Server{Handler: srv.mux()}
 	errc := make(chan error, 1)
@@ -213,6 +219,7 @@ type server struct {
 	store *jobs.Store
 	mgr   *jobs.Manager
 	rt    *telcli.Runtime
+	build telemetry.BuildInfo
 	ready atomic.Bool
 	logf  func(string, ...any)
 }
@@ -231,7 +238,8 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /jobs/{id}/placement", s.handlePlacement)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		io.WriteString(w, "ok\n")
+		fmt.Fprintf(w, "ok version=%s go=%s node=%s\n",
+			s.build.Version, s.build.Go, s.build.Node)
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
 		if !s.ready.Load() {
@@ -551,10 +559,13 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics serves the registry in the Prometheus text exposition
+// format (version 0.0.4). The JSON snapshot remains available via the
+// -metrics exit file; scrapers get the standard format.
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.rt.FoldPoolStats()
-	w.Header().Set("Content-Type", "application/json")
-	if err := s.rt.Registry().WriteJSON(w); err != nil {
+	w.Header().Set("Content-Type", telemetry.PrometheusContentType)
+	if err := s.rt.Registry().WritePrometheus(w); err != nil {
 		s.logf("metrics: %v", err)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/par"
 	"repro/internal/telcli"
+	"repro/internal/telemetry"
 )
 
 // TestMain doubles as the twserve entry point: the subprocess tests re-exec
@@ -63,7 +64,8 @@ func newTestServer(t *testing.T, root string, cfg jobs.Config) (*server, *httpte
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = 1
 	}
-	srv := &server{store: st, mgr: jobs.NewManager(st, cfg), rt: rt, logf: t.Logf}
+	build := telemetry.RegisterBuildInfo(rt.Registry(), cfg.NodeID)
+	srv := &server{store: st, mgr: jobs.NewManager(st, cfg), rt: rt, build: build, logf: t.Logf}
 	srv.ready.Store(true)
 	ts := httptest.NewServer(srv.mux())
 	t.Cleanup(ts.Close)
@@ -165,8 +167,19 @@ func TestHTTPLifecycle(t *testing.T) {
 		}
 	}
 	resp, data = get(t, ts.URL+"/metrics")
-	if resp.StatusCode != http.StatusOK || !bytes.Contains(data, []byte("jobs.submitted")) {
+	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("metrics: %d %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.PrometheusContentType {
+		t.Fatalf("metrics Content-Type %q, want %q", ct, telemetry.PrometheusContentType)
+	}
+	for _, want := range []string{
+		"# TYPE jobs_submitted counter", "jobs_submitted 1",
+		`build_info{`,
+	} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Fatalf("metrics missing %q:\n%s", want, data)
+		}
 	}
 }
 

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"net/http"
+	"regexp"
+	"strconv"
+	"syscall"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+var leaseClaimsRe = regexp.MustCompile(`(?m)^jobs_lease_claims (\d+)$`)
+
+// TestObsFleetSmoke is the observability end-to-end `make obs-smoke` runs:
+// two real fleet-mode twserve processes share one store, each takes a
+// submitted job, both expose the lease counters on /metrics, and after a
+// clean drain twobs's analyzer reconstructs a complete timeline for every
+// job with zero findings — the "green runs are silent" contract.
+func TestObsFleetSmoke(t *testing.T) {
+	store := t.TempDir()
+	n1 := startChild(t, store, "-node-id", "n1")
+	n2 := startChild(t, store, "-node-id", "n2")
+
+	// One job submitted at each node; either node may claim either job.
+	for i, c := range []*child{n1, n2} {
+		if resp, data := postJSON(t, c.url+"/jobs", fastSpecJSON); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, data)
+		}
+	}
+	for _, id := range []string{"j000001", "j000002"} {
+		pollState(t, n1.url, id, "succeeded")
+	}
+
+	// Scrape both nodes: the exposition must carry the lease families, and
+	// across the fleet every claim shows up on some live node's counter.
+	claims := int64(0)
+	for _, c := range []*child{n1, n2} {
+		resp, data := get(t, c.url+"/metrics")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("metrics: %d %s", resp.StatusCode, data)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != telemetry.PrometheusContentType {
+			t.Fatalf("metrics Content-Type %q, want %q", ct, telemetry.PrometheusContentType)
+		}
+		m := leaseClaimsRe.FindSubmatch(data)
+		if m == nil {
+			t.Fatalf("scrape missing jobs_lease_claims sample:\n%s", data)
+		}
+		v, err := strconv.ParseInt(string(m[1]), 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		claims += v
+	}
+	if claims < 2 {
+		t.Fatalf("fleet-wide jobs_lease_claims %d, want >= 2", claims)
+	}
+
+	for _, c := range []*child{n1, n2} {
+		if err := c.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, c := range []*child{n1, n2} {
+		if code := c.wait(t); code != 0 {
+			t.Fatalf("node %d exited %d; stderr:\n%s", i+1, code, c.stderr.String())
+		}
+	}
+
+	// Postmortem: the analyzer behind twobs must stitch a complete,
+	// causally-consistent timeline per job and stay silent on a green run.
+	rep, err := obs.Analyze([]string{store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JobCount != 2 {
+		t.Fatalf("twobs saw %d job(s), want 2", rep.JobCount)
+	}
+	for _, f := range rep.Findings() {
+		t.Errorf("green run produced finding: %s %s %s: %s", f.Job, f.Severity, f.Kind, f.Detail)
+	}
+	for _, jt := range rep.Jobs {
+		kinds := map[string]int{}
+		for _, ev := range jt.Events {
+			kinds[ev.Kind]++
+		}
+		if kinds["journal"] == 0 || kinds["span"] == 0 || kinds["claim"] == 0 {
+			t.Errorf("job %s timeline incomplete: %v", jt.Job, kinds)
+		}
+		if jt.State != "succeeded" {
+			t.Errorf("job %s reconstructed state %q, want succeeded", jt.Job, jt.State)
+		}
+		if !jt.Finished.After(jt.Submitted) {
+			t.Errorf("job %s interval empty: %v .. %v", jt.Job, jt.Submitted, jt.Finished)
+		}
+	}
+}

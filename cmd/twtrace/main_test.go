@@ -68,6 +68,83 @@ func TestReportGolden(t *testing.T) {
 	}
 }
 
+// TestLadderGolden records a deterministic parallel-tempering run and checks
+// the -ladder report — one summary row per replica rung plus the untouched
+// full table for the non-family route run — against testdata/ladder.golden.
+func TestLadderGolden(t *testing.T) {
+	c, err := gen.Preset("i1", 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink := telemetry.NewJSONLSink(&buf)
+	tel := telemetry.New(sink, nil, nil)
+	_, err = core.PlaceCtx(context.Background(), c, core.Options{
+		Seed: 7, Ac: 4, MaxSteps: 6, Iterations: 1, M: 4, Replicas: 3, Workers: 1, Tel: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, stats, err := telemetry.DecodeLines(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report bytes.Buffer
+	if err := writeLadderReport(&report, events, stats, "", false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(report.Bytes(), []byte("ladder stage1: 3 replicas")) {
+		t.Fatalf("replica family not folded:\n%s", report.String())
+	}
+
+	golden := filepath.Join("testdata", "ladder.golden")
+	if *update {
+		if err := os.WriteFile(golden, report.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(report.Bytes(), want) {
+		t.Errorf("report differs from %s (regenerate with -update if the change is intended)\n--- got ---\n%s",
+			golden, report.String())
+	}
+}
+
+// TestLadderGroupsTrials checks <base>.t<k> multi-start labels fold into a
+// trial family and that solo runs render with the full per-run table.
+func TestLadderGroupsTrials(t *testing.T) {
+	trace := `{"v":1,"type":"step","run":"s1.t1","step":1,"T":8,"acc":0.8,"cost":4}` + "\n" +
+		`{"v":1,"type":"run-end","run":"s1.t1","step":1,"attempts":12,"cost":4,"acc":0.8}` + "\n" +
+		`{"v":1,"type":"step","run":"s1.t0","step":1,"T":9,"acc":0.9,"cost":3}` + "\n" +
+		`{"v":1,"type":"run-end","run":"s1.t0","step":1,"attempts":10,"cost":3,"acc":0.9}` + "\n" +
+		`{"v":1,"type":"step","run":"solo","step":1,"T":5,"acc":0.5,"cost":2}` + "\n"
+	events, stats, err := telemetry.DecodeString(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report bytes.Buffer
+	if err := writeLadderReport(&report, events, stats, "", false); err != nil {
+		t.Fatal(err)
+	}
+	out := report.String()
+	for _, want := range []string{"ladder s1: 2 trials", "run solo"} {
+		if !bytes.Contains(report.Bytes(), []byte(want)) {
+			t.Errorf("ladder report missing %q:\n%s", want, out)
+		}
+	}
+	// t0 sorts before t1 regardless of trace arrival order.
+	if i0, i1 := bytes.Index(report.Bytes(), []byte("t0")), bytes.Index(report.Bytes(), []byte("t1")); i0 > i1 {
+		t.Errorf("rungs not index-ordered:\n%s", out)
+	}
+}
+
 // TestReportSkipsMalformed checks the report surfaces the skipped-line count.
 func TestReportSkipsMalformed(t *testing.T) {
 	trace := `{"v":1,"type":"run-start","run":"x","cells":3,"seed":9}` + "\n" +

@@ -3,6 +3,8 @@ package core
 import (
 	"bytes"
 	"context"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -39,9 +41,18 @@ func TestTelemetryBitIdentity(t *testing.T) {
 		sink := telemetry.NewJSONLSink(&trace)
 		reg := telemetry.NewRegistry()
 		var progLines atomic.Int64
+		// The full fleet-mode stack: trace + metrics + progress, fanned
+		// through a RunSpans adapter exactly like the job manager's span tee
+		// (PR 8) — the span path must be observe-only too.
+		var spans []telemetry.Span
+		var spanMu sync.Mutex
 		tel := telemetry.New(sink, reg, func(format string, args ...any) {
 			progLines.Add(1)
-		})
+		}).Fan(telemetry.NewRunSpans("a1", func(sp telemetry.Span) {
+			spanMu.Lock()
+			spans = append(spans, sp)
+			spanMu.Unlock()
+		}))
 		instrumented := run(tel)
 		if err := sink.Close(); err != nil {
 			t.Fatal(err)
@@ -76,6 +87,18 @@ func TestTelemetryBitIdentity(t *testing.T) {
 		counters, gauges, _ := reg.Names()
 		if len(counters) == 0 || len(gauges) == 0 {
 			t.Fatalf("seed %d: metrics registry empty: %v %v", seed, counters, gauges)
+		}
+		spanMu.Lock()
+		phaseSpans := 0
+		for _, sp := range spans {
+			if strings.HasPrefix(sp.Name, "phase:") {
+				phaseSpans++
+			}
+		}
+		nspans := len(spans)
+		spanMu.Unlock()
+		if nspans == 0 || phaseSpans == 0 {
+			t.Fatalf("seed %d: span tee silent: %d spans, %d phase spans", seed, nspans, phaseSpans)
 		}
 	}
 }

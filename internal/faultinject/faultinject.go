@@ -60,6 +60,10 @@ const (
 	// the published file to Frac of its bytes: the torn/bit-rotted file the
 	// CRC framing and quarantine paths exist for.
 	FsioWriteTorn Point = "fsio.write.torn"
+	// FsioAppend fails fsio.AppendLine before any bytes land. It is a
+	// separate point from FsioWrite so span-record appends can be faulted
+	// without perturbing the firing order of existing atomic-write schedules.
+	FsioAppend Point = "fsio.append"
 
 	// JobsJournalBefore fails a journal append before the disk write — the
 	// crash-before-transition analog (memory and disk both keep the old
@@ -109,6 +113,7 @@ const (
 func Points() []Point {
 	pts := []Point{
 		FsioWrite, FsioSync, FsioRename, FsioSyncDir, FsioWriteTorn,
+		FsioAppend,
 		JobsJournalBefore, JobsJournalAfter, JobsCheckpointCorrupt,
 		JobsLeaseClaim, JobsLeaseHeartbeat, JobsLeaseSkew, JobsLeaseTorn,
 		ParAttempt, ParTask,

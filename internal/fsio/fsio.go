@@ -165,6 +165,39 @@ func CreateExclusive(path string, data []byte, perm os.FileMode) error {
 	return SyncDir(filepath.Dir(path))
 }
 
+// AppendLine durably appends one framed record to path, creating the file
+// if needed: O_APPEND write of the whole record in a single syscall, then
+// fsync. This is the primitive behind append-only observability files (span
+// records): unlike WriteFileAtomic it never replaces existing content, so N
+// processes can interleave whole records into one file — each O_APPEND
+// write lands at the end atomically on local filesystems — and a crash can
+// tear at most the final record, which the CRC framing downstream detects
+// and skips.
+//
+// data should be one complete newline-terminated record; callers frame it
+// (magic + CRC + length) so a torn tail is detected rather than trusted.
+func AppendLine(path string, data []byte, perm os.FileMode) error {
+	if err := faultinject.Err(faultinject.FsioAppend); err != nil {
+		return fmt.Errorf("fsio: append %s: %w", path, classify(err))
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, perm)
+	if err != nil {
+		return fmt.Errorf("fsio: append %s: %w", path, classify(err))
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("fsio: append %s: %w", path, classify(err))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("fsio: append %s: %w", path, classify(err))
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("fsio: append %s: %w", path, classify(err))
+	}
+	return nil
+}
+
 // injectSyncFault keeps the fsync injection point out of the happy-path
 // error chain above.
 func injectSyncFault() error {

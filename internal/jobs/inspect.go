@@ -1,0 +1,130 @@
+package jobs
+
+// Read-only inspection helpers for postmortem tooling (internal/obs,
+// cmd/twobs). They read a job directory's durable artifacts directly —
+// journal, claim chain, span file, node heartbeats — without opening a
+// Store, so a timeline can be reconstructed from a dead fleet's files
+// without touching (or needing) any live lease state.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// JobDirRe matches published job directory names (j + at least six digits).
+var JobDirRe = regexp.MustCompile(`^j(\d{6,})$`)
+
+// JournalPath returns the journal file path inside a job directory.
+func JournalPath(dir string) string { return filepath.Join(dir, journalFile) }
+
+// SpanFilePath returns the span file path inside a job directory.
+func SpanFilePath(dir string) string { return filepath.Join(dir, spansFile) }
+
+// ListJobDirs returns the published job directories under a store root,
+// sorted by name (which is creation order — the sequence number is the
+// name). The returned paths are joined with root.
+func ListJobDirs(root string) ([]string, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() && JobDirRe.MatchString(e.Name()) {
+			dirs = append(dirs, filepath.Join(root, e.Name()))
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// ReadJournalDir decodes a job directory's journal. A missing journal is an
+// empty result, not an error (the directory may have been torn mid-create).
+func ReadJournalDir(dir string) ([]Record, error) {
+	f, err := os.Open(JournalPath(dir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeJournal(f)
+}
+
+// ClaimChain reads every claim record in a job directory's claim chain,
+// sorted by token ascending. A torn or undecodable claim file still appears
+// — with only the Token set — because its writer may believe it holds the
+// lease; readers treat Node == "" as "unknown holder".
+func ClaimChain(dir string) ([]LeaseRecord, error) {
+	toks, err := claimTokens(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LeaseRecord, 0, len(toks))
+	for tok, rec := range toks {
+		if rec.Token == 0 {
+			rec.Token = tok
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Token < out[b].Token })
+	return out, nil
+}
+
+// ReadHeartbeat decodes a job directory's lease heartbeat file, if present
+// and intact (ok reports whether it was).
+func ReadHeartbeat(dir string) (LeaseRecord, bool) {
+	data, err := os.ReadFile(filepath.Join(dir, claimsDir, heartbeatFile))
+	if err != nil {
+		return LeaseRecord{}, false
+	}
+	rec, err := DecodeLeaseRecord(data)
+	if err != nil {
+		return LeaseRecord{}, false
+	}
+	return rec, true
+}
+
+// NodeHeartbeats decodes every node-liveness file under a store root, keyed
+// by node ID — the postmortem view (AliveNodes filters by expiry instead).
+// Undecodable files are skipped.
+func NodeHeartbeats(root string) map[string]LeaseRecord {
+	out := map[string]LeaseRecord{}
+	dir := filepath.Join(root, nodesDirName)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return out
+	}
+	for _, e := range entries {
+		m := nodeHeartbeatRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		if rec, derr := DecodeLeaseRecord(data); derr == nil && rec.Node == m[1] {
+			out[rec.Node] = rec
+		}
+	}
+	return out
+}
+
+// ParseJobSeq extracts the numeric sequence from a job directory name
+// ("j000042" → 42, ok false when the name is not a job directory).
+func ParseJobSeq(name string) (int, bool) {
+	m := JobDirRe.FindStringSubmatch(name)
+	if m == nil {
+		return 0, false
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
@@ -375,7 +376,7 @@ func (m *Manager) claimWork() {
 			continue
 		}
 		m.mLeaseClaims.Inc()
-		if err := m.noteClaim(j, prev); err != nil {
+		if err := m.noteClaim(j, lease, prev); err != nil {
 			// The takeover/recovery record is a precondition for running:
 			// skipping it would let the new owner's running record land
 			// directly after the old owner's with no journaled trace of the
@@ -406,7 +407,7 @@ func (m *Manager) claimWork() {
 // claim of a freshly queued job needs no extra record — the claim file and
 // the running record's token already tell the story. The record is
 // mandatory: a non-nil error means the claim must be given back.
-func (m *Manager) noteClaim(j *Job, prev LeaseRecord) error {
+func (m *Manager) noteClaim(j *Job, lease *Lease, prev LeaseRecord) error {
 	// Claim re-synced the journal from disk, so this is the prior owner's
 	// final word, not the possibly stale pre-claim snapshot.
 	last := j.Last()
@@ -417,6 +418,7 @@ func (m *Manager) noteClaim(j *Job, prev LeaseRecord) error {
 			m.mReclaimLat.Observe(lat.Seconds())
 		}
 	}
+	takeover := false
 	switch {
 	case prev.Token > 0 && prev.Node != m.cfg.NodeID:
 		how := "released"
@@ -425,6 +427,7 @@ func (m *Manager) noteClaim(j *Job, prev LeaseRecord) error {
 		}
 		detail := fmt.Sprintf("lease takeover from %s (token %d %s)", prev.Node, prev.Token, how)
 		if last.State == StateRunning {
+			takeover = true
 			if _, err := j.Append(StateQueued, last.Attempt, detail); err != nil {
 				return err
 			}
@@ -439,6 +442,30 @@ func (m *Manager) noteClaim(j *Job, prev LeaseRecord) error {
 		m.mRecovered.Inc()
 		m.cfg.Logf("jobs: recovered %s (lease token %d)", j.ID, prev.Token)
 	}
+	// One claim span per won claim, emitted only once any mandatory
+	// takeover/recovery record is durable — so a takeover span without its
+	// matching journal record is a protocol violation twobs can flag.
+	now := time.Now().UTC()
+	attrs := map[string]string{}
+	if prev.Token > 0 {
+		attrs["prev_node"] = prev.Node
+		attrs["prev_token"] = strconv.FormatUint(prev.Token, 10)
+		if expired {
+			attrs["prev_lease"] = "expired"
+		} else {
+			attrs["prev_lease"] = "released"
+		}
+	}
+	if takeover {
+		attrs["takeover"] = "true"
+	}
+	j.guardedSpan(telemetry.Span{
+		ID:    fmt.Sprintf("claim.t%d", lease.Token),
+		Name:  "claim",
+		Start: now,
+		End:   now,
+		Attrs: attrs,
+	})
 	return nil
 }
 
@@ -759,12 +786,45 @@ func (m *Manager) runJob(j *Job) {
 // write, or an errFenced cancellation — into out.fenced with a nil error,
 // which stops the retry loop without journaling under the stale token.
 func (m *Manager) attempt(j *Job, out *outcome) error {
+	start := time.Now().UTC()
 	err := m.attemptOnce(j, out)
+	end := time.Now().UTC()
 	if err != nil && errors.Is(err, ErrFenced) {
 		out.fenced = true
 		m.mLeaseFenced.Inc()
+		// The fenced-abort marker is the one span a superseded node still
+		// writes: it documents the abort under the now-stale identity, and
+		// twobs exempts the "fenced" name from zombie-write detection for
+		// exactly this record.
+		j.appendSpan(telemetry.Span{
+			ID:    fmt.Sprintf("fenced.a%d", out.attempt),
+			Name:  "fenced",
+			Node:  m.cfg.NodeID,
+			Start: start,
+			End:   end,
+			Attrs: map[string]string{"attempt": strconv.Itoa(out.attempt)},
+		})
 		return nil
 	}
+	oc := "retry"
+	switch {
+	case out.terminal != "":
+		oc = string(out.terminal)
+	case err == nil:
+		oc = "done"
+	case m.ctx.Err() != nil || isCtxErr(err):
+		oc = "interrupted"
+	}
+	j.guardedSpan(telemetry.Span{
+		ID:    fmt.Sprintf("a%d", out.attempt),
+		Name:  "attempt",
+		Start: start,
+		End:   end,
+		Attrs: map[string]string{
+			"attempt": strconv.Itoa(out.attempt),
+			"outcome": oc,
+		},
+	})
 	return err
 }
 
@@ -807,7 +867,11 @@ func (m *Manager) attemptOnce(j *Job, out *outcome) error {
 	}
 
 	opts := j.Spec.coreOptions(j.CheckpointPath(), m.cfg.CheckpointEvery)
-	opts.Tel = m.cfg.Tel
+	// Tee the run's trace events into anneal-phase spans parented to this
+	// attempt. The recorder appends through guardedSpan, so a node whose
+	// lease is lost mid-run stops leaving spans at the same boundary it
+	// stops leaving checkpoints.
+	opts.Tel = m.cfg.Tel.Fan(telemetry.NewRunSpans(fmt.Sprintf("a%d", out.attempt), j.guardedSpan))
 	// Fencing at the checkpoint boundary: every periodic checkpoint save
 	// first validates the lease, so a zombie whose lease expired stops at
 	// its next save instead of clobbering the reclaimer's checkpoint.

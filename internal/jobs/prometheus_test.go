@@ -1,0 +1,79 @@
+package jobs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestLeaseCountersSurviveRestart pins the scrape surface across a node
+// restart. A process restart throws the in-memory registry away, so "survive"
+// means the replacement process re-registers every jobs.lease.* family and
+// keeps counting from the store's durable state: here n1 claims a job and
+// dies mid-run (lease left to expire, exactly what a crashed node leaves
+// behind), and the restarted process — fresh registry, same store — must
+// observe the expiry, count its own reclaim, and expose all of it under the
+// same Prometheus family names a scraper was already watching.
+func TestLeaseCountersSurviveRestart(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+
+	// "First process": claim the job, journal the running record, crash.
+	st1, err := Open(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1.SetNode("n1")
+	j1, err := st1.Create(fastSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st1.Claim(j1, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j1.Append(StateRunning, 1, "executing"); err != nil {
+		t.Fatal(err)
+	}
+	// No release, no renewal: the lease dies of TTL like a SIGKILLed node's.
+
+	// "Restarted process": fresh registry, same store directory.
+	reg := telemetry.NewRegistry()
+	cfg := Config{
+		Workers: 1, NodeID: "n2",
+		LeaseTTL: 200 * time.Millisecond, ScanEvery: 10 * time.Millisecond,
+		Tel: telemetry.New(nil, reg, nil),
+	}
+	st2, m := newTestManager(t, dir, cfg)
+	m.Start()
+	defer drain(t, m)
+
+	j, ok := st2.Get(j1.ID)
+	if !ok {
+		t.Fatal("job lost across restart")
+	}
+	waitState(t, j, StateSucceeded)
+
+	for _, name := range []string{"jobs.lease.claims", "jobs.lease.expiries"} {
+		if v := reg.Counter(name).Value(); v < 1 {
+			t.Errorf("restarted node's %s = %d, want >= 1", name, v)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, fam := range []string{
+		"# TYPE jobs_lease_claims counter",
+		"# TYPE jobs_lease_expiries counter",
+		"# TYPE jobs_lease_renewals counter",
+	} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("scrape after restart missing %q:\n%s", fam, out)
+		}
+	}
+}

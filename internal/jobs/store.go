@@ -159,6 +159,9 @@ func (j *Job) Append(state State, attempt int, detail string) (Record, error) {
 		return rec, fmt.Errorf("jobs: journal %s: %w", j.ID, err)
 	}
 	j.records = append(j.records, rec)
+	// Mirror the durable transition as a lifecycle span (best-effort; the
+	// fencing check above already authorized this node to write here).
+	j.recordSpan(rec)
 	return rec, nil
 }
 

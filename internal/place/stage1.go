@@ -241,7 +241,10 @@ type stage1 struct {
 	runLabel   string
 	mcAttempts [numMoveClasses]*telemetry.Counter
 	mcAccepts  [numMoveClasses]*telemetry.Counter
+	mcRatio    [numMoveClasses]*telemetry.Gauge
 	deltaHist  *telemetry.Histogram
+	gaugeT     *telemetry.Gauge
+	gaugeBest  *telemetry.Gauge
 	// best-so-far placement by full cost, sampled at step boundaries; the
 	// usable result when a run is interrupted.
 	best      []CellState
@@ -294,8 +297,11 @@ func (s *stage1) initTelemetry() {
 		base := s.runLabel + ".move." + moveClassNames[c]
 		s.mcAttempts[c] = reg.Counter(base + ".attempts")
 		s.mcAccepts[c] = reg.Counter(base + ".accepts")
+		s.mcRatio[c] = reg.Gauge(base + ".accept_ratio")
 	}
 	s.deltaHist = reg.Histogram(s.runLabel+".delta_cost", telemetry.DeltaCostBounds())
+	s.gaugeT = reg.Gauge(s.runLabel + ".T")
+	s.gaugeBest = reg.Gauge(s.runLabel + ".best_cost")
 }
 
 // record books one move attempt into the per-class metrics. Callers guard
@@ -651,6 +657,15 @@ func (s *stage1) endStep() {
 		reg.Gauge(s.runLabel + ".teil").Set(s.p.TEIL())
 		reg.Gauge(s.runLabel + ".overlap").Set(float64(s.p.C2Raw()))
 		reg.Gauge(s.runLabel + ".c3").Set(s.p.C3())
+		// Annealing-health gauges for scrapes: schedule position, best cost
+		// so far, and the cumulative acceptance ratio per move class.
+		s.gaugeT.Set(s.ctl.T())
+		s.gaugeBest.Set(s.bestCost)
+		for c := range s.mcAttempts {
+			if n := s.mcAttempts[c].Value(); n > 0 {
+				s.mcRatio[c].Set(float64(s.mcAccepts[c].Value()) / float64(n))
+			}
+		}
 		s.tel.Progressf("%s: step %d T=%.4g cost=%.6g acc=%.2f",
 			s.runLabel, s.ctl.Step(), s.ctl.T(), cost, s.ctl.StepAcceptRate())
 	}

@@ -88,3 +88,24 @@ func TestTelemetryZeroExtraAllocsPerMove(t *testing.T) {
 		t.Fatalf("telemetry-enabled inner loop allocates more: on=%v off=%v allocs/move", on, off)
 	}
 }
+
+// TestSpanZeroExtraAllocsPerMove extends the guard to the PR 8 span path:
+// with the full fleet-mode telemetry stack attached — metrics registry (so
+// the annealing-health gauges are live) fanned through a RunSpans adapter
+// (the manager's span tee) — the inner loop still allocates nothing extra
+// per move. Spans are emitted at phase edges and step boundaries only; the
+// per-move path must not see them.
+func TestSpanZeroExtraAllocsPerMove(t *testing.T) {
+	measure := func(tel *telemetry.Tracer) float64 {
+		s := newBenchStage1(t, tel, 123)
+		return testing.AllocsPerRun(500, func() { stage1OneMove(s) })
+	}
+	off := measure(nil)
+	spans := 0
+	fleet := telemetry.New(nil, telemetry.NewRegistry(), nil).
+		Fan(telemetry.NewRunSpans("a1", func(telemetry.Span) { spans++ }))
+	on := measure(fleet)
+	if on > off {
+		t.Fatalf("span-instrumented inner loop allocates more: on=%v off=%v allocs/move", on, off)
+	}
+}

@@ -8,8 +8,10 @@ package telcli
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/par"
@@ -54,6 +56,10 @@ type Runtime struct {
 	traceFile   *os.File
 	metricsPath string
 	pprofSrv    *http.Server
+	metricsSrv  *http.Server
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Registry returns the runtime's live metrics registry, or nil when neither
@@ -84,6 +90,33 @@ func (rt *Runtime) FoldPoolStats() {
 	rt.reg.Gauge("pool.retries").Set(float64(ps.Retries))
 	rt.reg.Gauge("pool.panics").Set(float64(ps.Panics))
 	rt.reg.Gauge("pool.max_concurrent").Set(float64(ps.MaxConcurrent))
+}
+
+// ServeMetrics starts an HTTP listener on addr exposing GET /metrics in the
+// Prometheus text exposition format and GET /healthz with build metadata —
+// the scrape surface for long CLI runs (twmc -metrics-listen). It guarantees
+// a live registry (rebuilding the Tracer, so call it before capturing
+// rt.Tracer), registers the build_info gauge, and returns the bound address.
+// Close stops the listener.
+func (rt *Runtime) ServeMetrics(addr, node string) (string, error) {
+	reg := rt.EnsureRegistry()
+	bi := telemetry.RegisterBuildInfo(reg, node)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("-metrics-listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		rt.FoldPoolStats()
+		w.Header().Set("Content-Type", telemetry.PrometheusContentType)
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintf(w, "ok version=%s go=%s node=%s\n", bi.Version, bi.Go, bi.Node)
+	})
+	rt.metricsSrv = &http.Server{Handler: mux}
+	go rt.metricsSrv.Serve(ln)
+	return ln.Addr().String(), nil
 }
 
 // Start builds the telemetry runtime the flags ask for. prefix labels
@@ -137,7 +170,18 @@ func (f *Flags) Start(prefix string, forceProgress bool) (*Runtime, error) {
 // registry, the metrics snapshot is written, the trace is flushed, and the
 // pprof server is stopped. Returns the first error; the run's results are
 // already out, so callers typically just report it.
+//
+// Close is idempotent: later calls return the first call's error without
+// re-closing anything. That makes an unconditional `defer rt.Close()` safe
+// in servers whose shutdown path also closes explicitly — the fix for trace
+// sinks silently losing their tail when a drain timed out and the early
+// error return skipped the flush.
 func (rt *Runtime) Close() error {
+	rt.closeOnce.Do(func() { rt.closeErr = rt.close() })
+	return rt.closeErr
+}
+
+func (rt *Runtime) close() error {
 	var first error
 	keep := func(err error) {
 		if first == nil && err != nil {
@@ -162,6 +206,9 @@ func (rt *Runtime) Close() error {
 	}
 	if rt.pprofSrv != nil {
 		keep(rt.pprofSrv.Close())
+	}
+	if rt.metricsSrv != nil {
+		keep(rt.metricsSrv.Close())
 	}
 	return first
 }

@@ -1,0 +1,123 @@
+package telcli
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func startRuntime(t *testing.T, args ...string) *Runtime {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	tf := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := tf.Start("test", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestCloseIdempotent pins the drain-path fix: a server that closes its
+// telemetry explicitly on the happy path must be able to `defer rt.Close()`
+// unconditionally — the second call reports the first call's result instead
+// of failing on an already-closed trace file.
+func TestCloseIdempotent(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	rt := startRuntime(t, "-trace", trace)
+	rt.Tracer.Emit(telemetry.Event{Type: telemetry.TypeNote, Run: "r1"})
+
+	if err := rt.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatalf("second Close: %v (idempotency regression)", err)
+	}
+
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"note"`) {
+		t.Fatalf("trace not flushed: %q", data)
+	}
+}
+
+// TestCloseFlushesSinkOnEveryPath checks the event written just before an
+// abnormal exit survives: Close is the only flush, so it must run even when
+// an earlier Close already consumed the happy path.
+func TestCloseFlushesSinkOnEveryPath(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	metrics := filepath.Join(t.TempDir(), "metrics.json")
+	rt := startRuntime(t, "-trace", trace, "-metrics", metrics)
+	rt.Tracer.Emit(telemetry.Event{Type: telemetry.TypeNote, Run: "tail"})
+	rt.Registry().Counter("x").Inc()
+
+	// Simulate the timed-out-drain path: explicit close, then the deferred
+	// one; both must leave complete artifacts and no error.
+	for i := 0; i < 3; i++ {
+		if err := rt.Close(); err != nil {
+			t.Fatalf("Close %d: %v", i, err)
+		}
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil || !strings.Contains(string(data), `"tail"`) {
+		t.Fatalf("trace tail lost: %q (%v)", data, err)
+	}
+	snap, err := os.ReadFile(metrics)
+	if err != nil || !strings.Contains(string(snap), `"x"`) {
+		t.Fatalf("metrics snapshot missing: %q (%v)", snap, err)
+	}
+}
+
+// TestServeMetrics covers the CLI scrape surface: /metrics serves the
+// Prometheus text format with build_info, /healthz identifies the binary.
+func TestServeMetrics(t *testing.T) {
+	rt := startRuntime(t)
+	addr, err := rt.ServeMetrics("localhost:0", "cli-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rt.Registry().Counter("demo.count").Inc()
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.PrometheusContentType {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	for _, want := range []string{"demo_count 1", `build_info{`, `node="cli-1"`} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	resp, err = http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(health), "node=cli-1") {
+		t.Fatalf("healthz: %q", health)
+	}
+
+	if err := rt.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatalf("metrics listener still serving after Close")
+	}
+}

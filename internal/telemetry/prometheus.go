@@ -1,0 +1,256 @@
+package telemetry
+
+// Prometheus text exposition (format version 0.0.4), hand-rendered with no
+// external dependencies. The registry's dotted instrument names map to
+// Prometheus metric names by substituting '_' for every character outside
+// [a-zA-Z0-9_:]; an optional '{k="v",...}' suffix built with LabeledName
+// passes through as the sample's label set. DESIGN.md §14 tabulates the
+// mapping.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type a /metrics endpoint serving
+// WritePrometheus must declare.
+const PrometheusContentType = "text/plain; version=0.0.4"
+
+// promHelp carries curated HELP strings for the stable metric families;
+// everything else gets a generic line. Keys are exposition (sanitized)
+// family names.
+var promHelp = map[string]string{
+	"build_info":                    "Build metadata (value is always 1); labels identify the binary.",
+	"jobs_queue_depth":              "Jobs waiting to run on this node.",
+	"jobs_running":                  "Jobs currently executing on this node.",
+	"jobs_submitted":                "Jobs accepted by this node's submit path.",
+	"jobs_lease_claims":             "Job leases this node has claimed.",
+	"jobs_lease_renewals":           "Successful lease heartbeat renewals.",
+	"jobs_lease_expiries":           "Peer leases this node observed expired at claim time.",
+	"jobs_lease_fencing_rejections": "Writes refused because the lease was superseded.",
+	"jobs_lease_reclaim_seconds":    "Latency from lease expiry to reclaim by a peer.",
+}
+
+// sanitizeMetricName maps a registry instrument name to a legal Prometheus
+// metric name: every character outside [a-zA-Z0-9_:] becomes '_', and a
+// leading digit gets a '_' prefix.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// LabeledName builds a registry instrument name carrying a Prometheus label
+// set: name{k1="v1",k2="v2"}. kv alternates key, value; values are escaped
+// here, so callers pass them raw. The exposition writer splits the braces
+// back off; the JSON snapshot keeps the whole string as the key.
+func LabeledName(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeMetricName(kv[i]))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitLabels separates a stored instrument name into its base name and the
+// pass-through label block ("" when unlabeled).
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// formatPromValue renders a float per the exposition format.
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promSample is one rendered exposition line body (name+labels and value).
+type promSample struct {
+	name  string // full sample name including any label block
+	value string
+}
+
+// promFamily groups samples sharing a base metric name under one HELP/TYPE
+// header pair.
+type promFamily struct {
+	name    string // sanitized base name
+	kind    string // counter | gauge | histogram
+	samples []promSample
+}
+
+// WritePrometheus renders a point-in-time snapshot of every instrument in
+// the Prometheus text exposition format, version 0.0.4: families sorted by
+// name, each preceded by exactly one # HELP and one # TYPE line, histograms
+// expanded into cumulative _bucket series plus _sum and _count. A nil
+// registry writes nothing. Output is deterministic for a fixed snapshot, so
+// the conformance tests can assert on it directly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	fams := map[string]*promFamily{}
+	add := func(storedName, kind string, mk func(base, labels string, f *promFamily)) {
+		base, labels := splitLabels(storedName)
+		base = sanitizeMetricName(base)
+		f, ok := fams[base]
+		if !ok {
+			f = &promFamily{name: base, kind: kind}
+			fams[base] = f
+		}
+		if f.kind != kind {
+			// A name collision across instrument kinds would render an
+			// inconsistent family; keep the first kind and drop the rest.
+			return
+		}
+		mk(base, labels, f)
+	}
+
+	r.mu.Lock()
+	for name, c := range r.counters {
+		v := c.Value()
+		add(name, "counter", func(base, labels string, f *promFamily) {
+			f.samples = append(f.samples, promSample{base + labels, strconv.FormatInt(v, 10)})
+		})
+	}
+	for name, g := range r.gauges {
+		v := g.Value()
+		add(name, "gauge", func(base, labels string, f *promFamily) {
+			f.samples = append(f.samples, promSample{base + labels, formatPromValue(v)})
+		})
+	}
+	for name, h := range r.hists {
+		bounds, counts := h.Snapshot()
+		sum, count := h.Sum(), h.Count()
+		add(name, "histogram", func(base, labels string, f *promFamily) {
+			if labels != "" {
+				// Labeled histograms would need the le label merged into the
+				// existing block; the registry never creates them today.
+				return
+			}
+			cum := int64(0)
+			for i, b := range bounds {
+				cum += counts[i]
+				f.samples = append(f.samples, promSample{
+					fmt.Sprintf(`%s_bucket{le="%s"}`, base, formatPromValue(b)),
+					strconv.FormatInt(cum, 10),
+				})
+			}
+			cum += counts[len(counts)-1]
+			f.samples = append(f.samples, promSample{base + `_bucket{le="+Inf"}`, strconv.FormatInt(cum, 10)})
+			f.samples = append(f.samples, promSample{base + "_sum", formatPromValue(sum)})
+			f.samples = append(f.samples, promSample{base + "_count", strconv.FormatInt(count, 10)})
+		})
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		help, ok := promHelp[f.name]
+		if !ok {
+			help = "Repro registry metric " + f.name + "."
+		}
+		help = strings.ReplaceAll(help, `\`, `\\`)
+		help = strings.ReplaceAll(help, "\n", `\n`)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, help, f.name, f.kind); err != nil {
+			return err
+		}
+		// Histogram sample order (buckets ascending, then _sum, _count) is
+		// already meaningful; everything else sorts by sample name.
+		if f.kind != "histogram" {
+			sort.Slice(f.samples, func(a, b int) bool { return f.samples[a].name < f.samples[b].name })
+		}
+		for _, s := range f.samples {
+			if _, err := fmt.Fprintf(w, "%s %s\n", s.name, s.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// BuildInfo identifies the running binary for scrapes and health probes.
+type BuildInfo struct {
+	Version string `json:"version"`
+	Go      string `json:"go"`
+	Node    string `json:"node,omitempty"`
+}
+
+// ReadBuildInfo extracts the module version and Go toolchain version from
+// the binary's embedded build information ("unknown" when built without
+// module support, e.g. some test binaries).
+func ReadBuildInfo(node string) BuildInfo {
+	bi := BuildInfo{Version: "unknown", Go: "unknown", Node: node}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		if info.Main.Version != "" {
+			bi.Version = info.Main.Version
+		}
+		if info.GoVersion != "" {
+			bi.Go = info.GoVersion
+		}
+	}
+	return bi
+}
+
+// RegisterBuildInfo publishes the standard build_info gauge — value fixed
+// at 1, identity in the labels — so every scrape identifies the binary and
+// node it came from. It returns the info for reuse (healthz).
+func RegisterBuildInfo(reg *Registry, node string) BuildInfo {
+	bi := ReadBuildInfo(node)
+	reg.Gauge(LabeledName("build_info",
+		"version", bi.Version, "go", bi.Go, "node", bi.Node)).Set(1)
+	return bi
+}

@@ -1,0 +1,279 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Exposition-format grammar (version 0.0.4): metric names, label blocks,
+// sample values. The conformance test parses every rendered line against
+// these instead of eyeballing the output.
+var (
+	promNameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^{}]*)\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+	promLabelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="((?:[^"\\\n]|\\\\|\\"|\\n)*)"$`)
+)
+
+// parseExposition validates text against the exposition rules and returns
+// family name → TYPE. It fails the test on any malformed line, HELP/TYPE
+// disorder, duplicate headers, or samples outside their family block.
+func parseExposition(t *testing.T, text string) map[string]string {
+	t.Helper()
+	types := map[string]string{}
+	helps := map[string]bool{}
+	current := "" // family whose block we are inside
+	sawType := false
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !promNameRe.MatchString(name) {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			if helps[name] {
+				t.Fatalf("line %d: duplicate HELP for %s", ln+1, name)
+			}
+			helps[name] = true
+			current, sawType = name, false
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 || !promNameRe.MatchString(fields[0]) {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			name, kind := fields[0], fields[1]
+			if name != current {
+				t.Fatalf("line %d: TYPE %s outside its HELP block (current %q)", ln+1, name, current)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown TYPE %q", ln+1, kind)
+			}
+			types[name] = kind
+			sawType = true
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		default:
+			m := promSampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed sample: %q", ln+1, line)
+			}
+			name := m[1]
+			base := current
+			if !sawType {
+				t.Fatalf("line %d: sample %s before its TYPE line", ln+1, name)
+			}
+			// A sample belongs to the family block it appears in; histograms
+			// suffix the family name.
+			if name != base && name != base+"_bucket" && name != base+"_sum" && name != base+"_count" {
+				t.Fatalf("line %d: sample %s inside family block %s", ln+1, name, base)
+			}
+			if m[3] != "" {
+				for _, lab := range strings.Split(m[3], ",") {
+					if !promLabelRe.MatchString(lab) {
+						t.Fatalf("line %d: malformed label %q", ln+1, lab)
+					}
+				}
+			}
+		}
+	}
+	return types
+}
+
+// TestPrometheusConformance renders a registry holding every instrument kind
+// — including names and label values needing sanitizing/escaping — and
+// machine-checks the output against the exposition grammar.
+func TestPrometheusConformance(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs.submitted").Add(3)
+	reg.Counter(LabeledName("moves.accepted", "class", `disp "tricky"\path`+"\nnl")).Add(7)
+	reg.Gauge("stage1.T").Set(123.5)
+	reg.Gauge("7starts.with.digit").Set(1)
+	reg.Histogram("delta.cost", []float64{-1, 0, 1}).Observe(-5)
+	reg.Histogram("delta.cost", nil).Observe(0.5)
+	reg.Histogram("delta.cost", nil).Observe(99)
+	RegisterBuildInfo(reg, "n1")
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	types := parseExposition(t, out)
+
+	want := map[string]string{
+		"jobs_submitted":      "counter",
+		"moves_accepted":      "counter",
+		"stage1_T":            "gauge",
+		"_7starts_with_digit": "gauge",
+		"delta_cost":          "histogram",
+		"build_info":          "gauge",
+	}
+	for name, kind := range want {
+		if types[name] != kind {
+			t.Errorf("family %s: TYPE %q, want %q\n%s", name, types[name], kind, out)
+		}
+	}
+
+	// Families render in sorted order.
+	names := make([]string, 0, len(want))
+	for n := range want {
+		names = append(names, n)
+	}
+	order := make([]int, len(names))
+	for i, name := range names {
+		order[i] = strings.Index(out, "# HELP "+name+" ")
+		if order[i] < 0 {
+			t.Fatalf("family %s missing HELP", name)
+		}
+	}
+	for i := range names {
+		for j := i + 1; j < len(names); j++ {
+			if (names[i] < names[j]) != (order[i] < order[j]) {
+				t.Errorf("families not name-sorted: %s at %d, %s at %d", names[i], order[i], names[j], order[j])
+			}
+		}
+	}
+
+	// Label escaping survives round-trip: backslash, quote, newline.
+	if !strings.Contains(out, `class="disp \"tricky\"\\path\nnl"`) {
+		t.Errorf("label value not escaped per exposition rules:\n%s", out)
+	}
+
+	// Histogram: cumulative buckets ascending, +Inf equals _count, sum present.
+	checkHistogram(t, out, "delta_cost", 3, -5+0.5+99)
+}
+
+func checkHistogram(t *testing.T, out, name string, count int64, sum float64) {
+	t.Helper()
+	bucketRe := regexp.MustCompile(`(?m)^` + name + `_bucket\{le="([^"]+)"\} (\d+)$`)
+	prevCum := int64(-1)
+	prevLe := math.Inf(-1)
+	sawInf := false
+	var infCum int64
+	for _, m := range bucketRe.FindAllStringSubmatch(out, -1) {
+		le := math.Inf(1)
+		if m[1] != "+Inf" {
+			var err error
+			le, err = strconv.ParseFloat(m[1], 64)
+			if err != nil {
+				t.Fatalf("bucket bound %q: %v", m[1], err)
+			}
+		} else {
+			sawInf = true
+		}
+		cum, _ := strconv.ParseInt(m[2], 10, 64)
+		if le <= prevLe {
+			t.Errorf("%s buckets not ascending: le=%v after %v", name, le, prevLe)
+		}
+		if cum < prevCum {
+			t.Errorf("%s buckets not cumulative: %d after %d", name, cum, prevCum)
+		}
+		prevLe, prevCum = le, cum
+		infCum = cum
+	}
+	if !sawInf {
+		t.Fatalf("%s has no +Inf bucket:\n%s", name, out)
+	}
+	if infCum != count {
+		t.Errorf("%s +Inf bucket %d != count %d", name, infCum, count)
+	}
+	if !strings.Contains(out, fmt.Sprintf("%s_count %d", name, count)) {
+		t.Errorf("%s_count %d missing:\n%s", name, count, out)
+	}
+	if !strings.Contains(out, name+"_sum "+formatPromValue(sum)) {
+		t.Errorf("%s_sum %v missing:\n%s", name, sum, out)
+	}
+}
+
+// TestPrometheusSpecialValues pins NaN/Inf rendering.
+func TestPrometheusSpecialValues(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("g.nan").Set(math.NaN())
+	reg.Gauge("g.inf").Set(math.Inf(1))
+	reg.Gauge("g.neginf").Set(math.Inf(-1))
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	parseExposition(t, out)
+	for _, want := range []string{"g_nan NaN", "g_inf +Inf", "g_neginf -Inf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusNilRegistry: the disabled path writes nothing and no error.
+func TestPrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q (err %v)", buf.String(), err)
+	}
+}
+
+// TestPrometheusConcurrentScrape hammers instruments from writer goroutines
+// while scrapers render concurrently — the -race run is the assertion.
+func TestPrometheusConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter(fmt.Sprintf("writer.%d.ops", w))
+			g := reg.Gauge("shared.T")
+			h := reg.Histogram("shared.delta", DeltaCostBounds())
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i%7) - 3)
+				// Interleave instrument creation with scrapes too.
+				reg.Counter(fmt.Sprintf("writer.%d.extra.%d", w, i%3)).Inc()
+			}
+		}(w)
+	}
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := reg.WritePrometheus(io.Discard); err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	var scraped bytes.Buffer
+	if err := reg.WritePrometheus(&scraped); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	// A final quiesced scrape must still parse clean.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parseExposition(t, buf.String())
+}
