@@ -3,23 +3,24 @@
 #   make verify      tier-1 checks + race detector + short fuzz smokes + bench smoke/diff + twserve smoke + obs smoke + chaos smokes
 #   make test        unit tests only
 #   make fuzz-smoke  10-second runs of each fuzz target
-#   make bench       place + jobs benchmarks with -benchmem -> BENCH_PR8.json
+#   make bench       place + jobs benchmarks with -benchmem -> BENCH_PR9.json
 #   make bench-smoke 1-iteration benchmark pass (catches bitrot, no timing)
 #   make bench-diff  bench-smoke output gated against the committed baseline
 #   make obs-smoke   2-node fleet end to end: submit, scrape /metrics, twobs clean timeline
 #   make chaos-smoke bounded twchaos runs (fixed seeds, both single-process modes)
 #   make chaos-node-smoke  bounded multi-node twchaos run (3-node fleet, SIGKILLed mid-claim)
+#   make storm-smoke       bounded multi-tenant submission storm against a faulted fleet
 
 GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
-BENCHOUT ?= BENCH_PR8.json
-BENCHBASE ?= BENCH_PR8.json
+BENCHOUT ?= BENCH_PR9.json
+BENCHBASE ?= BENCH_PR9.json
 BENCHPKGS = ./internal/place ./internal/jobs
 
-.PHONY: verify tier1 test race fuzz-smoke bench bench-smoke bench-diff serve-smoke obs-smoke chaos-smoke chaos-node-smoke
+.PHONY: verify tier1 test race fuzz-smoke bench bench-smoke bench-diff serve-smoke obs-smoke chaos-smoke chaos-node-smoke storm-smoke
 
-verify: tier1 race fuzz-smoke bench-diff serve-smoke obs-smoke chaos-smoke chaos-node-smoke
+verify: tier1 race fuzz-smoke bench-diff serve-smoke obs-smoke chaos-smoke chaos-node-smoke storm-smoke
 
 tier1:
 	$(GO) build ./...
@@ -40,6 +41,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeLines -fuzztime=$(FUZZTIME) ./internal/telemetry
 	$(GO) test -fuzz=FuzzDecodeJournal -fuzztime=$(FUZZTIME) ./internal/jobs
 	$(GO) test -fuzz=FuzzDecodeLease -fuzztime=$(FUZZTIME) ./internal/jobs
+	$(GO) test -fuzz=FuzzParseTenantConfig -fuzztime=$(FUZZTIME) ./internal/jobs
 
 # serve-smoke drives a real twserve process end to end: start on an
 # ephemeral port, submit a job, SIGTERM mid-run, and require a clean exit
@@ -74,6 +76,16 @@ chaos-smoke:
 # and succeeded placements are byte-identical to a single-node reference.
 chaos-node-smoke:
 	$(GO) run ./cmd/twchaos -mode node -schedules 3 -seed 4
+
+# storm-smoke runs the multi-tenant chaos mode: a seeded submission storm
+# crossing the full admission surface (per-tenant quotas, queue-full, the
+# weighted overload band) while a small fleet with lease faults armed works
+# through the accepted jobs. Exit 0 means quotas were never exceeded, every
+# rejection was typed and carried a Retry-After, no tenant starved, and the
+# node-mode exactly-once/byte-identity contract held. The 50-schedule
+# acceptance run is the same harness with -schedules 50.
+storm-smoke:
+	$(GO) run ./cmd/twchaos -mode storm -schedules 2 -seed 5
 
 # bench records the placement and job-store hot-path benchmarks (incl. the
 # telemetry on/off pair and the lease fencing guard) as committed JSON.

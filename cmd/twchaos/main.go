@@ -6,7 +6,7 @@
 // reason, or loudly quarantined; never a hang, a corrupt result, or a
 // runtime invariant violation (DESIGN.md §11).
 //
-// Three modes:
+// Four modes:
 //
 //	-mode inprocess   faults fire via internal/faultinject inside this
 //	                  process; workers are interrupted by drain/restart
@@ -19,6 +19,13 @@
 //	                  whole instances are SIGKILLed and restarted mid-claim;
 //	                  verifies at-most-once execution, journaled takeovers,
 //	                  token-audited journals, and byte-identical placements
+//	-mode storm       a seeded multi-tenant submission storm crosses the
+//	                  full admission surface (quotas, queue-full, the
+//	                  weighted overload band) while a 2–3 node fleet with
+//	                  lease faults armed churns through the accepted work;
+//	                  verifies quotas never exceeded, typed rejections with
+//	                  Retry-After, no tenant starved, deadline fail-fast,
+//	                  plus the node-mode contract (DESIGN.md §15)
 //
 // A failing schedule is reproducible alone: twchaos -seed S -schedule N
 // -schedules 1 reruns exactly that rule set and timing stream. Exit status
@@ -49,7 +56,7 @@ func run() int {
 	}
 
 	var (
-		mode      = flag.String("mode", "inprocess", "fault delivery: inprocess, sigkill, or node")
+		mode      = flag.String("mode", "inprocess", "fault delivery: inprocess, sigkill, node, or storm")
 		schedules = flag.Int("schedules", 20, "number of randomized fault schedules to run")
 		first     = flag.Int("schedule", 0, "index of the first schedule (rerun a failing schedule N with -schedule N -schedules 1)")
 		seed      = flag.Uint64("seed", 1, "master seed; equal seeds reproduce equal runs")
@@ -96,8 +103,10 @@ func run() int {
 		rep, err = chaos.RunSigkill(opts, "")
 	case "node":
 		rep, err = chaos.RunNode(opts, "")
+	case "storm":
+		rep, err = chaos.RunStorm(opts, "")
 	default:
-		fmt.Fprintf(os.Stderr, "twchaos: unknown -mode %q (want inprocess, sigkill, or node)\n", *mode)
+		fmt.Fprintf(os.Stderr, "twchaos: unknown -mode %q (want inprocess, sigkill, node, or storm)\n", *mode)
 		return 2
 	}
 	if err != nil {

@@ -12,12 +12,21 @@
 // API (see README "Running as a service" for curl examples):
 //
 //	POST /jobs              submit a job spec      → 202 {"id":"j000001",...}
+//	                        tenant over quota      → 429 + Retry-After + retry budget
 //	                        queue full             → 429 + Retry-After
 //	                        draining               → 503
 //	                        node saturated, peers alive → 503 + Retry-After
+//	                        overloaded (weighted shed)  → 503 + Retry-After
 //	                        disk full/read-only    → 507
 //	                        not application/json   → 415
 //	                        spec over 8 MiB        → 413
+//
+// Multi-tenancy: the X-Tenant header (or the spec's "tenant" field) names
+// the submitting tenant; -tenants loads per-tenant weights and quotas (see
+// README "Multi-tenant operation"). Quota refusals are 429s with a computed
+// Retry-After and the tenant's remaining retry budget — distinct from the
+// capacity 503s above.
+//
 //	POST /jobs/batch        submit an array of specs; per-item outcomes
 //	                        (202 all accepted, 207 otherwise)
 //	GET  /jobs              list jobs
@@ -87,6 +96,8 @@ func run() int {
 		nodeID    = flag.String("node-id", "", "fleet node ID; non-empty switches the store to multi-instance lease mode (several twserve processes may share one -store)")
 		peerDirs  = flag.String("peer-dirs", "", "comma-separated additional store roots whose node heartbeats count as live peers (for load shedding)")
 		leaseTTL  = flag.Duration("lease-ttl", 0, "fleet job-lease TTL; a node silent this long loses its jobs to peers (0 = default 3s)")
+		leaseRet  = flag.Duration("lease-retention", 0, "GC lease litter (expired node heartbeats, terminal jobs' superseded claim files) older than this on startup (0 = disabled)")
+		tenantsF  = flag.String("tenants", "", "tenant policy config file: per-tenant weight, rate, burst, max_inflight, retry_budget (empty = no quotas)")
 		invar     = flag.Bool("invariants", false, "enable runtime invariant checks (journal state machine, cost drift); violations are logged and counted in /metrics")
 		faults    = flag.String("faults", "", "arm deterministic fault injection with this rule spec (e.g. 'fsio.write:err=enospc,after=3'); chaos testing only")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for probabilistic fault rules")
@@ -136,6 +147,22 @@ func run() int {
 		logf("fault injection armed: %s (seed %d)", *faults, *faultSeed)
 	}
 
+	var tcfg *jobs.TenantConfig
+	if *tenantsF != "" {
+		f, err := os.Open(*tenantsF)
+		if err != nil {
+			logf("%v", err)
+			return 2
+		}
+		tcfg, err = jobs.ParseTenantConfig(f)
+		f.Close()
+		if err != nil {
+			logf("%v", err)
+			return 2
+		}
+		logf("tenant config %s: %d named tenant(s) + default policy", *tenantsF, len(tcfg.Names()))
+	}
+
 	st, err := jobs.Open(*storeDir, logf)
 	if err != nil {
 		logf("%v", err)
@@ -158,6 +185,8 @@ func run() int {
 		NodeID:          *nodeID,
 		LeaseTTL:        *leaseTTL,
 		PeerDirs:        peers,
+		Tenants:         tcfg,
+		LeaseRetention:  *leaseRet,
 	})
 	if *nodeID != "" {
 		ttl := *leaseTTL
@@ -267,6 +296,7 @@ func (s *server) mux() *http.ServeMux {
 type jobView struct {
 	ID      string     `json:"id"`
 	Name    string     `json:"name,omitempty"`
+	Tenant  string     `json:"tenant,omitempty"`
 	State   jobs.State `json:"state"`
 	Detail  string     `json:"detail,omitempty"`
 	Attempt int        `json:"attempt,omitempty"`
@@ -278,6 +308,7 @@ func view(j *jobs.Job) jobView {
 	return jobView{
 		ID:      j.ID,
 		Name:    j.Spec.Name,
+		Tenant:  j.Spec.Tenant,
 		State:   rec.State,
 		Detail:  rec.Detail,
 		Attempt: rec.Attempt,
@@ -320,67 +351,138 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
 		return
 	}
-	if s.shed(w) {
+	if !s.applyTenant(w, r, &spec) {
 		return
 	}
-	j, status, retryAfter, err := s.submit(spec)
-	if err != nil {
-		if retryAfter > 0 {
-			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
-		}
-		httpError(w, status, err)
+	j, ref := s.submit(spec)
+	if ref != nil {
+		s.writeRefusal(w, ref)
 		return
 	}
-	s.logf("accepted %s (%s)", j.ID, circuitLabel(&j.Spec))
+	s.logf("accepted %s (%s, tenant %s)", j.ID, circuitLabel(&j.Spec), tenantLabel(&j.Spec))
 	writeJSON(w, http.StatusAccepted, view(j))
 }
 
-// submit runs one spec through the manager and maps the refusal surface to
-// HTTP semantics: 429 + Retry-After on backpressure, 503 while draining,
-// 507 while the store filesystem is unwritable, 400 otherwise.
-func (s *server) submit(spec jobs.Spec) (j *jobs.Job, status, retryAfter int, err error) {
-	j, err = s.mgr.Submit(spec)
-	var full *jobs.ErrQueueFull
-	switch {
-	case err == nil:
-		return j, http.StatusAccepted, 0, nil
-	case errors.As(err, &full):
-		return nil, http.StatusTooManyRequests, int(full.RetryAfter.Seconds()), err
-	case errors.Is(err, jobs.ErrDraining):
-		return nil, http.StatusServiceUnavailable, 0, err
-	case errors.Is(err, jobs.ErrDiskFull):
-		return nil, http.StatusInsufficientStorage, 0, err
-	default:
-		return nil, http.StatusBadRequest, 0, err
-	}
+// refusal is the machine-readable shape of every refused submission, on the
+// single-submit response body and per batch item. Quota 429s carry the
+// tenant, the reason, a Retry-After (also sent as the HTTP header), and the
+// tenant's remaining retry budget; capacity 503s carry reason and
+// Retry-After. Clients never have to parse the error text.
+type refusal struct {
+	Status      int    `json:"status"`
+	Error       string `json:"error"`
+	Tenant      string `json:"tenant,omitempty"`
+	Reason      string `json:"reason,omitempty"`
+	RetryAfterS int    `json:"retry_after_s,omitempty"`
+	RetryBudget *int   `json:"retry_budget,omitempty"`
 }
 
-// shed applies fleet load shedding: when this node's claim budget is
-// exhausted but live peers can absorb the work (and the shared backlog is
-// not full — that refusal stays 429), new submissions get an immediate 503
-// with a short Retry-After instead of piling onto a saturated member.
-func (s *server) shed(w http.ResponseWriter) bool {
-	if !s.mgr.ShedHint() {
+// submit runs one spec through the manager and maps the refusal surface to
+// HTTP semantics: 429 + Retry-After for quota refusals (tenant over rate or
+// in-flight limits) and a full backlog, 503 + Retry-After for capacity
+// shedding (fleet try-a-peer, weighted overload), 503 while draining, 507
+// while the store filesystem is unwritable, 400 otherwise. Single submit
+// and batch items share this path, so their outcomes are always consistent.
+func (s *server) submit(spec jobs.Spec) (*jobs.Job, *refusal) {
+	j, err := s.mgr.Submit(spec)
+	if err == nil {
+		return j, nil
+	}
+	ref := &refusal{Error: err.Error()}
+	var quota *jobs.ErrOverQuota
+	var full *jobs.ErrQueueFull
+	var shed *jobs.ErrShed
+	switch {
+	case errors.As(err, &quota):
+		ref.Status = http.StatusTooManyRequests
+		ref.Tenant = quota.Tenant
+		ref.Reason = "quota_" + quota.Reason
+		ref.RetryAfterS = retrySeconds(quota.RetryAfter)
+		budget := quota.RetryBudget
+		ref.RetryBudget = &budget
+	case errors.As(err, &full):
+		ref.Status = http.StatusTooManyRequests
+		ref.Reason = "queue_full"
+		ref.RetryAfterS = retrySeconds(full.RetryAfter)
+	case errors.As(err, &shed):
+		ref.Status = http.StatusServiceUnavailable
+		ref.Tenant = shed.Tenant
+		ref.Reason = "shed_" + shed.Reason
+		ref.RetryAfterS = retrySeconds(shed.RetryAfter)
+	case errors.Is(err, jobs.ErrDraining):
+		ref.Status = http.StatusServiceUnavailable
+		ref.Reason = "draining"
+	case errors.Is(err, jobs.ErrDiskFull):
+		ref.Status = http.StatusInsufficientStorage
+		ref.Reason = "disk_full"
+	default:
+		ref.Status = http.StatusBadRequest
+	}
+	return nil, ref
+}
+
+// retrySeconds renders a Retry-After duration in whole seconds, >= 1 (the
+// manager already clamps its hints, but an HTTP Retry-After of 0 would be a
+// malformed backoff signal, so it is floored here too).
+func retrySeconds(d time.Duration) int {
+	if sec := int(d / time.Second); sec > 1 {
+		return sec
+	}
+	return 1
+}
+
+// writeRefusal sends one refusal, mirroring RetryAfterS into the standard
+// Retry-After header.
+func (s *server) writeRefusal(w http.ResponseWriter, ref *refusal) {
+	if ref.RetryAfterS > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(ref.RetryAfterS))
+	}
+	writeJSON(w, ref.Status, ref)
+}
+
+// applyTenant resolves the submission's tenant from the X-Tenant header and
+// the spec's tenant field. The header wins when the spec is silent; a
+// mismatch between the two is a 400, not a silent override. Reports whether
+// the request may proceed.
+func (s *server) applyTenant(w http.ResponseWriter, r *http.Request, spec *jobs.Spec) bool {
+	h := r.Header.Get("X-Tenant")
+	if h == "" {
+		return true
+	}
+	if !jobs.ValidTenantName(h) {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("bad X-Tenant %.80q (want 1-64 chars of [A-Za-z0-9._-])", h))
 		return false
 	}
-	w.Header().Set("Retry-After", "1")
-	httpError(w, http.StatusServiceUnavailable,
-		fmt.Errorf("node saturated; live peers can take this job — retry shortly or submit to a peer"))
+	if spec.Tenant != "" && spec.Tenant != h {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("spec tenant %q conflicts with X-Tenant %q", spec.Tenant, h))
+		return false
+	}
+	spec.Tenant = h
 	return true
 }
 
-// handleBatch submits an array of specs in one request. Each element is
-// accepted or refused independently; the response mirrors the array with a
-// per-item status using the same semantics as single submit. All accepted →
-// 202; any refusal → 207 with details inline.
+func tenantLabel(spec *jobs.Spec) string {
+	if spec.Tenant == "" {
+		return jobs.DefaultTenant
+	}
+	return spec.Tenant
+}
+
+// handleBatch submits an array of specs in one request. Each element goes
+// through exactly the same submit path as a single POST /jobs — admission
+// quotas, queue backpressure, and load shedding are all applied per item,
+// so one batch can mix 202s, quota 429s, and shed 503s with the same
+// precedence a client would see submitting serially. All accepted → 202;
+// any refusal → 207 with per-item details (including each refused item's
+// Retry-After and retry budget) and the largest Retry-After as the
+// response header.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	if err != nil || mt != "application/json" {
 		httpError(w, http.StatusUnsupportedMediaType,
 			fmt.Errorf("submit requires Content-Type: application/json"))
-		return
-	}
-	if s.shed(w) {
 		return
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
@@ -401,23 +503,37 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	type batchItem struct {
-		ID     string     `json:"id,omitempty"`
-		State  jobs.State `json:"state,omitempty"`
-		Status int        `json:"status"`
-		Error  string     `json:"error,omitempty"`
+		ID    string     `json:"id,omitempty"`
+		State jobs.State `json:"state,omitempty"`
+		refusal
+	}
+	if h := r.Header.Get("X-Tenant"); h != "" && !jobs.ValidTenantName(h) {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("bad X-Tenant %.80q (want 1-64 chars of [A-Za-z0-9._-])", h))
+		return
 	}
 	items := make([]batchItem, len(specs))
 	accepted, maxRetry := 0, 0
 	for i, spec := range specs {
-		j, status, retryAfter, err := s.submit(spec)
-		if err != nil {
-			items[i] = batchItem{Status: status, Error: err.Error()}
-			if retryAfter > maxRetry {
-				maxRetry = retryAfter
+		if h := r.Header.Get("X-Tenant"); h != "" {
+			if spec.Tenant != "" && spec.Tenant != h {
+				items[i] = batchItem{refusal: refusal{
+					Status: http.StatusBadRequest,
+					Error:  fmt.Sprintf("spec tenant %q conflicts with X-Tenant %q", spec.Tenant, h),
+				}}
+				continue
+			}
+			spec.Tenant = h
+		}
+		j, ref := s.submit(spec)
+		if ref != nil {
+			items[i] = batchItem{refusal: *ref}
+			if ref.RetryAfterS > maxRetry {
+				maxRetry = ref.RetryAfterS
 			}
 			continue
 		}
-		items[i] = batchItem{ID: j.ID, State: j.Last().State, Status: http.StatusAccepted}
+		items[i] = batchItem{ID: j.ID, State: j.Last().State, refusal: refusal{Status: http.StatusAccepted}}
 		accepted++
 	}
 	s.logf("batch: accepted %d/%d job(s)", accepted, len(specs))

@@ -606,11 +606,26 @@ func TestHTTPFleetShed(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Fill this node's claim budget (2×Workers) with slow jobs.
+	// Fill this node's claim budget (2×Workers) with slow jobs. The scan
+	// loop races the fill: a submit may find the budget already exhausted
+	// and be shed — which is the very state the fill is driving toward, so
+	// accept it and stop filling.
+	var filled []string
 	for i := 0; i < 3; i++ {
-		if resp, data := postJSON(t, ts.URL+"/jobs", slowSpecJSON); resp.StatusCode != http.StatusAccepted {
+		resp, data := postJSON(t, ts.URL+"/jobs", slowSpecJSON)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted {
 			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, data)
 		}
+		var v struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal([]byte(data), &v); err != nil || v.ID == "" {
+			t.Fatalf("submit %d: bad body %s", i, data)
+		}
+		filled = append(filled, v.ID)
 	}
 	deadline := time.Now().Add(60 * time.Second)
 	for !srv.mgr.ShedHint() {
@@ -627,9 +642,25 @@ func TestHTTPFleetShed(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("shed 503 without Retry-After hint")
 	}
+	// Batch items shed per item, consistently with single submit: the batch
+	// response is a 207 whose items carry the same 503 + Retry-After.
 	resp, data = postJSON(t, ts.URL+"/jobs/batch", "["+fastSpecJSON+"]")
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("batch while saturated: %d %s, want 503", resp.StatusCode, data)
+	if resp.StatusCode != http.StatusMultiStatus {
+		t.Fatalf("batch while saturated: %d %s, want 207", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed batch 207 without Retry-After hint")
+	}
+	var shedItems []struct {
+		Status      int    `json:"status"`
+		Reason      string `json:"reason"`
+		RetryAfterS int    `json:"retry_after_s"`
+	}
+	if err := json.Unmarshal([]byte(data), &shedItems); err != nil || len(shedItems) != 1 {
+		t.Fatalf("shed batch decode: %v (%s)", err, data)
+	}
+	if shedItems[0].Status != http.StatusServiceUnavailable || shedItems[0].RetryAfterS < 1 {
+		t.Fatalf("shed batch item = %+v, want per-item 503 with retry_after_s >= 1", shedItems[0])
 	}
 	resp, data = get(t, ts.URL+"/readyz")
 	if resp.StatusCode != http.StatusServiceUnavailable {
@@ -640,7 +671,7 @@ func TestHTTPFleetShed(t *testing.T) {
 	}
 
 	// Existing jobs finish; the node sheds nothing once its budget frees up.
-	for _, id := range []string{"j000001", "j000002", "j000003"} {
+	for _, id := range filled {
 		pollState(t, ts.URL, id, "succeeded")
 	}
 	deadline = time.Now().Add(60 * time.Second)
@@ -701,4 +732,244 @@ func TestHTTPDiskFull(t *testing.T) {
 	if err := json.Unmarshal(data, &v); err == nil && v.ID != "" {
 		pollState(t, ts.URL, v.ID, "succeeded")
 	}
+}
+
+// tenantPost submits body to path with an optional X-Tenant header.
+func tenantPost(t *testing.T, url, tenant, body string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("POST", url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestHTTPTenantHeader pins X-Tenant handling on submit: the header stamps
+// the job's tenant (visible in every job view), a spec-level tenant works
+// without the header, a matching pair is fine, and a conflicting or
+// malformed header is a 400 before anything lands on disk.
+func TestHTTPTenantHeader(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), jobs.Config{Workers: 1})
+	specWith := func(tenant string) string {
+		return strings.TrimSuffix(fastSpecJSON, "}") + `,"tenant":"` + tenant + `"}`
+	}
+	var v struct {
+		ID     string `json:"id"`
+		Tenant string `json:"tenant"`
+	}
+
+	resp, data := tenantPost(t, ts.URL+"/jobs", "acme", fastSpecJSON)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tenanted submit: %d %s, want 202", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &v); err != nil || v.Tenant != "acme" {
+		t.Fatalf("submit response %s (err %v), want tenant acme", data, err)
+	}
+	if resp, data := get(t, ts.URL+"/jobs/"+v.ID); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job: %d", resp.StatusCode)
+	} else if err := json.Unmarshal(data, &v); err != nil || v.Tenant != "acme" {
+		t.Fatalf("job view %s (err %v), want tenant acme", data, err)
+	}
+
+	if resp, data := tenantPost(t, ts.URL+"/jobs", "", specWith("lab")); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("spec-tenant submit: %d %s, want 202", resp.StatusCode, data)
+	} else if err := json.Unmarshal(data, &v); err != nil || v.Tenant != "lab" {
+		t.Fatalf("spec-tenant response %s, want tenant lab", data)
+	}
+	if resp, data := tenantPost(t, ts.URL+"/jobs", "lab", specWith("lab")); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("matching header+spec submit: %d %s, want 202", resp.StatusCode, data)
+	}
+	if resp, data := tenantPost(t, ts.URL+"/jobs", "acme", specWith("lab")); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("conflicting tenant submit: %d %s, want 400", resp.StatusCode, data)
+	}
+	for _, bad := range []string{"no spaces", "ü", strings.Repeat("x", 65)} {
+		if resp, data := tenantPost(t, ts.URL+"/jobs", bad, fastSpecJSON); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("X-Tenant %q: %d %s, want 400", bad, resp.StatusCode, data)
+		}
+	}
+}
+
+// refusalBody is the machine-readable refusal JSON every 4xx/5xx carries.
+type refusalBody struct {
+	Status      int    `json:"status"`
+	Error       string `json:"error"`
+	Tenant      string `json:"tenant"`
+	Reason      string `json:"reason"`
+	RetryAfterS int    `json:"retry_after_s"`
+	RetryBudget *int   `json:"retry_budget"`
+}
+
+// TestHTTPQuotaRejection pins the quota surface: an over-quota tenant gets
+// a 429 with a Retry-After header, a machine-readable reason, and its
+// remaining retry budget — while other tenants submit on unaffected.
+func TestHTTPQuotaRejection(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), jobs.Config{
+		Workers: 1, // manager never started: accepted jobs stay queued
+		Tenants: jobs.NewTenantConfig(map[string]jobs.TenantPolicy{
+			"acme": {MaxInFlight: 1, RetryBudget: 2},
+		}, jobs.TenantPolicy{}),
+	})
+	if resp, data := tenantPost(t, ts.URL+"/jobs", "acme", fastSpecJSON); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d %s, want 202", resp.StatusCode, data)
+	}
+	resp, data := tenantPost(t, ts.URL+"/jobs", "acme", fastSpecJSON)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: %d %s, want 429", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	var ref refusalBody
+	if err := json.Unmarshal(data, &ref); err != nil {
+		t.Fatalf("refusal not JSON: %v in %s", err, data)
+	}
+	if ref.Status != 429 || ref.Tenant != "acme" || ref.Reason != "quota_inflight" || ref.RetryAfterS < 1 {
+		t.Fatalf("refusal = %+v", ref)
+	}
+	if ref.RetryBudget == nil || *ref.RetryBudget != 1 {
+		t.Fatalf("refusal budget = %v, want 1", ref.RetryBudget)
+	}
+	// acme's cap is acme's problem: the default tenant still submits.
+	if resp, data := postJSON(t, ts.URL+"/jobs", fastSpecJSON); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("default-tenant submit: %d %s, want 202", resp.StatusCode, data)
+	}
+}
+
+// TestHTTPBatchMixedQuota pins per-item admission in batches: a capped
+// tenant's batch lands its first item and gets well-formed 429 refusals for
+// the rest, the response is 207 with a Retry-After header, and a per-item
+// tenant conflict is an item-level 400 that refuses only that item.
+func TestHTTPBatchMixedQuota(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), jobs.Config{
+		Workers: 1,
+		Tenants: jobs.NewTenantConfig(map[string]jobs.TenantPolicy{
+			"acme": {MaxInFlight: 1},
+		}, jobs.TenantPolicy{}),
+	})
+	type item struct {
+		ID string `json:"id"`
+		refusalBody
+	}
+	resp, data := tenantPost(t, ts.URL+"/jobs/batch", "acme",
+		"["+fastSpecJSON+","+fastSpecJSON+","+fastSpecJSON+"]")
+	if resp.StatusCode != http.StatusMultiStatus {
+		t.Fatalf("mixed batch: %d %s, want 207", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("207 with quota refusals lacks Retry-After header")
+	}
+	var items []item
+	if err := json.Unmarshal(data, &items); err != nil || len(items) != 3 {
+		t.Fatalf("batch body %s (err %v), want 3 items", data, err)
+	}
+	if items[0].Status != http.StatusAccepted || items[0].ID == "" {
+		t.Fatalf("item 0 = %+v, want accepted", items[0])
+	}
+	for i, it := range items[1:] {
+		if it.Status != http.StatusTooManyRequests || it.Reason != "quota_inflight" ||
+			it.RetryAfterS < 1 || it.Tenant != "acme" || it.ID != "" {
+			t.Fatalf("item %d = %+v, want a well-formed quota 429", i+1, it)
+		}
+	}
+
+	// One conflicting item refuses in place; its siblings are unaffected.
+	conflicting := strings.TrimSuffix(fastSpecJSON, "}") + `,"tenant":"lab"}`
+	resp, data = tenantPost(t, ts.URL+"/jobs/batch", "other",
+		"["+conflicting+","+fastSpecJSON+"]")
+	if resp.StatusCode != http.StatusMultiStatus {
+		t.Fatalf("conflict batch: %d %s, want 207", resp.StatusCode, data)
+	}
+	items = nil
+	if err := json.Unmarshal(data, &items); err != nil || len(items) != 2 {
+		t.Fatalf("conflict batch body %s (err %v)", data, err)
+	}
+	if items[0].Status != http.StatusBadRequest || items[0].ID != "" {
+		t.Fatalf("conflicting item = %+v, want 400", items[0])
+	}
+	if items[1].Status != http.StatusAccepted || items[1].ID == "" {
+		t.Fatalf("clean sibling = %+v, want accepted", items[1])
+	}
+	// A malformed X-Tenant header refuses the whole batch up front.
+	if resp, data := tenantPost(t, ts.URL+"/jobs/batch", "no spaces", "["+fastSpecJSON+"]"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-header batch: %d %s, want 400", resp.StatusCode, data)
+	}
+}
+
+// TestHTTPRefusalPrecedence pins the refusal ladder end to end over one
+// server: quota 429s outrank every capacity refusal, disk-full 507 outranks
+// shedding, the weighted overload band sheds low-weight tenants with a 503
+// while heavy tenants ride to the top, and a hard-full backlog is always a
+// queue-full 429 — never a shed.
+func TestHTTPRefusalPrecedence(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), jobs.Config{
+		Workers:    1,
+		QueueDepth: 4, // hwm 3: low (w=1) sheds at depth 3, weight-4 tenants at 4
+		Tenants: jobs.NewTenantConfig(map[string]jobs.TenantPolicy{
+			"low":    {Weight: 1},
+			"high":   {Weight: 4},
+			"capped": {Weight: 4, MaxInFlight: 1},
+		}, jobs.TenantPolicy{Weight: 4}),
+	})
+	expect := func(tenant string, status int, reason string) refusalBody {
+		t.Helper()
+		resp, data := tenantPost(t, ts.URL+"/jobs", tenant, fastSpecJSON)
+		if resp.StatusCode != status {
+			t.Fatalf("%s submit: %d %s, want %d", tenant, resp.StatusCode, data, status)
+		}
+		var ref refusalBody
+		if status != http.StatusAccepted {
+			if err := json.Unmarshal(data, &ref); err != nil || ref.Reason != reason {
+				t.Fatalf("%s refusal %s (err %v), want reason %q", tenant, data, err, reason)
+			}
+			if ref.RetryAfterS < 1 || resp.Header.Get("Retry-After") == "" {
+				t.Fatalf("%s refusal %s lacks a retry hint", tenant, data)
+			}
+		}
+		return ref
+	}
+	expect("capped", http.StatusAccepted, "")
+	expect("high", http.StatusAccepted, "")
+	expect("high", http.StatusAccepted, "")
+	// Depth 3 = the high-water mark: the lightest tenant sheds first.
+	expect("low", http.StatusServiceUnavailable, "shed_overload")
+	// Disk-full outranks shedding. A heavy tenant's submit reaches the
+	// create, hits ENOSPC, and latches the condition; while latched, even a
+	// tenant the band would shed sees the 507, not the 503.
+	pl := faultinject.NewPlane(1, faultinject.Rule{
+		Point: faultinject.FsioWrite, Err: syscall.ENOSPC, Times: faultinject.Unlimited,
+	})
+	if err := pl.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	if resp, data := tenantPost(t, ts.URL+"/jobs", "high", fastSpecJSON); resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("high submit on full disk: %d %s, want 507", resp.StatusCode, data)
+	}
+	resp, data := tenantPost(t, ts.URL+"/jobs", "low", fastSpecJSON)
+	faultinject.Disarm()
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("low submit on latched-full disk: %d %s, want 507", resp.StatusCode, data)
+	}
+	// Quota outranks the shed band: capped is inside the band by weight but
+	// over its own cap, and must see its 429, not a capacity 503.
+	expect("capped", http.StatusTooManyRequests, "quota_inflight")
+	// The heaviest tenants ride the band until the backlog is hard-full...
+	expect("high", http.StatusAccepted, "")
+	// ...and a full backlog is queue-full for everyone — except a tenant
+	// over quota, whose 429 still names the quota.
+	expect("high", http.StatusTooManyRequests, "queue_full")
+	expect("low", http.StatusTooManyRequests, "queue_full")
+	expect("capped", http.StatusTooManyRequests, "quota_inflight")
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/faultinject"
@@ -37,6 +38,11 @@ const (
 	// derives its fault rules from (EnvSeed, EnvIndex, slot) via
 	// NodeScheduleRules.
 	EnvNode = "TWCHAOS_NODE"
+	// EnvTenants, when set, is the fleet's tenant config in
+	// jobs.ParseTenantConfig line format (TenantConfig.String()); fleet
+	// children load it so their claim scheduling uses the same weights the
+	// storm parent admits with.
+	EnvTenants = "TWCHAOS_TENANTS"
 )
 
 // Child exit codes. Anything else is an unexpected failure the parent
@@ -159,10 +165,19 @@ func nodeChildMain(dir, slotEnv string, logf func(string, ...any)) int {
 		logf("open store: %v", err)
 		return childExitRetry
 	}
+	var tcfg *jobs.TenantConfig
+	if conf := os.Getenv(EnvTenants); conf != "" {
+		tcfg, err = jobs.ParseTenantConfig(strings.NewReader(conf))
+		if err != nil {
+			logf("bad %s: %v", EnvTenants, err)
+			return childExitSetup
+		}
+	}
 	m := jobs.NewManager(st, jobs.Config{
 		Workers: 1, Backoff: fastBackoff, CheckpointEvery: 1, Logf: logf,
 		NodeID:   "n" + slotEnv,
 		LeaseTTL: nodeLeaseTTL, ScanEvery: nodeScanEvery,
+		Tenants: tcfg,
 	})
 	m.Start()
 	deadline := time.Now().Add(time.Minute)

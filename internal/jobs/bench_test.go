@@ -61,3 +61,23 @@ func BenchmarkDecodeLeaseRecord(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAdmitFastPath pins the per-submit admission check on its accept
+// path: after a tenant's first submission warms its bucket, Admit must stay
+// allocation-free (the bench-diff allocs/op gate enforces the 0) — quota
+// enforcement may not tax every accepted job with garbage.
+func BenchmarkAdmitFastPath(b *testing.B) {
+	a := NewAdmission(NewTenantConfig(map[string]TenantPolicy{
+		"acme": {Weight: 4, Rate: maxTenantRate, Burst: maxTenantRate, MaxInFlight: 1 << 20},
+	}, TenantPolicy{}))
+	if dec := a.Admit("acme", 0); !dec.OK {
+		b.Fatal("warmup rejected")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dec := a.Admit("acme", 1); !dec.OK {
+			b.Fatal("rejected")
+		}
+	}
+}

@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 	"time"
 )
@@ -120,6 +121,66 @@ func FuzzDecodeLease(f *testing.F) {
 		again.Expires, rec.Expires = time.Time{}, time.Time{}
 		if again != rec {
 			t.Fatalf("round trip changed record: %+v != %+v", again, rec)
+		}
+	})
+}
+
+// FuzzParseTenantConfig throws arbitrary text at the tenant-config parser:
+// it must never panic, every accepted config must satisfy the policy
+// invariants admission and scheduling rely on (filled weights and budgets,
+// valid names, a sane max weight), and the config must survive a render/
+// reparse round trip — String() is how a parent process hands its config to
+// chaos child nodes.
+func FuzzParseTenantConfig(f *testing.F) {
+	f.Add("")
+	f.Add("# comment only\n\n")
+	f.Add("* weight=1 rate=2 burst=5 max_inflight=8\nacme weight=4 rate=10 burst=20 max_inflight=32 retry_budget=16\n")
+	f.Add("lab-7 rate=0.5\n")
+	f.Add("a.b_c-D weight=3 burst=0.25\n")
+	f.Add("acme weight=0\n")
+	f.Add("acme rate=NaN\n")
+	f.Add("acme rate=+Inf\n")
+	f.Add("acme rate=-1\n")
+	f.Add("acme weight=99999999999999999999\n")
+	f.Add("a weight=1\na weight=2\n")
+	f.Add("* weight=1\n* weight=2\n")
+	f.Add("acme weight=1 weight=2\n")
+	f.Add("acme bogus=1\n")
+	f.Add("acme weight\n")
+	f.Add("acme weight=\n")
+	f.Add("ac/me weight=1\n")
+	f.Add(strings.Repeat("x", maxTenantLine+10))
+	f.Add("\x00 weight=1\n")
+	f.Add("a rate=1e308\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseTenantConfig(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if c.MaxWeight() < 1 {
+			t.Fatalf("accepted config has MaxWeight %d", c.MaxWeight())
+		}
+		for _, name := range c.Names() {
+			if !ValidTenantName(name) {
+				t.Fatalf("accepted config lists invalid tenant name %q", name)
+			}
+		}
+		for _, name := range append(c.Names(), "", "unlisted") {
+			p := c.Policy(name)
+			if p.Weight < 1 || p.RetryBudget < 1 {
+				t.Fatalf("Policy(%q) = %+v: unfilled defaults", name, p)
+			}
+			if p.Rate > 0 && p.Burst < 1 {
+				t.Fatalf("Policy(%q) = %+v: rate-limited with burst < 1", name, p)
+			}
+		}
+		// Render/reparse must be lossless: same rendering, same policies.
+		again, err := ParseTenantConfig(strings.NewReader(c.String()))
+		if err != nil {
+			t.Fatalf("rendering of accepted config rejected: %v\n%s", err, c.String())
+		}
+		if again.String() != c.String() {
+			t.Fatalf("round trip changed config:\n%s\nvs\n%s", c.String(), again.String())
 		}
 	})
 }

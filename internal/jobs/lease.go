@@ -452,14 +452,24 @@ func (l *Lease) Release() error {
 }
 
 // AuditLease cross-checks a job's journal against its on-disk claim chain:
-// every journaled fencing token must exist as a claim file, a decodable
-// claim must name the journaling node, and (via CheckJournal) non-zero
-// tokens must be non-decreasing. This is the chaos verifier's proof that no
-// record was written under a stale or fabricated token.
+// every journaled fencing token must exist as a claim file — except tokens
+// strictly below the on-disk high-water mark, whose claim files lease GC
+// (GCLeases) may have removed — a decodable claim must name the journaling
+// node, and (via CheckJournal) non-zero tokens must be non-decreasing. A
+// journaled token above the high-water mark is always a violation: tokens
+// are only minted through O_EXCL claim files and the highest one is never
+// GC'd, so such a record was fabricated. This is the chaos verifier's proof
+// that no record was written under a stale or fabricated token.
 func AuditLease(dir string, recs []Record) error {
 	claims, err := claimTokens(dir)
 	if err != nil {
 		return fmt.Errorf("jobs: lease audit: %w", err)
+	}
+	var maxTok uint64
+	for tok := range claims {
+		if tok > maxTok {
+			maxTok = tok
+		}
 	}
 	for i, rec := range recs {
 		if rec.Token == 0 {
@@ -467,7 +477,14 @@ func AuditLease(dir string, recs []Record) error {
 		}
 		claim, ok := claims[rec.Token]
 		if !ok {
-			return fmt.Errorf("jobs: lease audit: journal record %d carries token %d with no claim file", i, rec.Token)
+			if rec.Token < maxTok {
+				// GC debris: the claim existed (tokens are only minted
+				// through claim files) and was below the preserved
+				// high-water mark when removed.
+				continue
+			}
+			return fmt.Errorf("jobs: lease audit: journal record %d carries token %d with no claim file (high-water mark %d)",
+				i, rec.Token, maxTok)
 		}
 		if claim.Node != "" && rec.Node != claim.Node {
 			return fmt.Errorf("jobs: lease audit: journal record %d: node %q wrote under token %d claimed by %q",
@@ -475,6 +492,94 @@ func AuditLease(dir string, recs []Record) error {
 		}
 	}
 	return nil
+}
+
+// GCLeases removes lease litter a long-lived store accumulates: node
+// liveness files whose heartbeat expired more than retention ago, and — for
+// jobs already in a terminal state — superseded claim files (token below
+// the chain's high-water mark) and dead lease heartbeats older than the
+// retention. The highest claim file of every chain is always preserved: it
+// is the fencing high-water mark, and removing it would let a token be
+// re-minted. Undecodable files are aged by mtime. Returns the number of
+// files removed; per-file errors are skipped, not fatal.
+func (s *Store) GCLeases(retention time.Duration) (int, error) {
+	if retention <= 0 {
+		return 0, fmt.Errorf("jobs: lease gc: non-positive retention %v", retention)
+	}
+	now := leaseNow()
+	removed := 0
+	// Stale node liveness advertisements.
+	ndir := filepath.Join(s.root, nodesDirName)
+	if entries, err := os.ReadDir(ndir); err == nil {
+		for _, e := range entries {
+			if nodeHeartbeatRe.FindStringSubmatch(e.Name()) == nil {
+				continue
+			}
+			path := filepath.Join(ndir, e.Name())
+			if leaseFileStale(path, now, retention) && os.Remove(path) == nil {
+				removed++
+			}
+		}
+	}
+	// Superseded claims and dead heartbeats of terminal jobs. Live jobs are
+	// left alone wholesale: their chains are small and their leases are
+	// load-bearing.
+	for _, j := range s.List() {
+		j.Reload()
+		if !j.Last().State.Terminal() {
+			continue
+		}
+		cdir := filepath.Join(j.dir, claimsDir)
+		entries, err := os.ReadDir(cdir)
+		if err != nil {
+			continue
+		}
+		var maxTok uint64
+		for _, e := range entries {
+			if m := claimFileRe.FindStringSubmatch(e.Name()); m != nil {
+				if tok, perr := strconv.ParseUint(m[1], 10, 64); perr == nil && tok > maxTok {
+					maxTok = tok
+				}
+			}
+		}
+		for _, e := range entries {
+			m := claimFileRe.FindStringSubmatch(e.Name())
+			if m == nil {
+				continue
+			}
+			tok, perr := strconv.ParseUint(m[1], 10, 64)
+			if perr != nil || tok >= maxTok {
+				continue // the high-water mark stays, always
+			}
+			path := filepath.Join(cdir, e.Name())
+			if fi, serr := os.Stat(path); serr == nil && now.Sub(fi.ModTime()) > retention {
+				if os.Remove(path) == nil {
+					removed++
+				}
+			}
+		}
+		hbPath := filepath.Join(cdir, heartbeatFile)
+		if leaseFileStale(hbPath, now, retention) && os.Remove(hbPath) == nil {
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+// leaseFileStale reports whether the lease record at path has been dead
+// (expired or released) for longer than retention. A missing file is not
+// stale; an undecodable one is aged by its mtime.
+func leaseFileStale(path string, now time.Time, retention time.Duration) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	rec, derr := DecodeLeaseRecord(data)
+	if derr != nil {
+		fi, serr := os.Stat(path)
+		return serr == nil && now.Sub(fi.ModTime()) > retention
+	}
+	return now.Sub(rec.Expires) > retention
 }
 
 // nodeHeartbeatRe matches node heartbeat file names.

@@ -59,6 +59,36 @@ func (e *ErrQueueFull) Error() string {
 // ErrDraining is returned by Submit once a drain has begun.
 var ErrDraining = errors.New("jobs: not accepting jobs (draining)")
 
+// ErrOverQuota is returned by Submit when the tenant's admission quota
+// refuses the job (429-family: the client exceeded its own allowance, not
+// the service's capacity). RetryAfter is computed from the token deficit
+// and RetryBudget counts the remaining polite retries before hints escalate.
+type ErrOverQuota struct {
+	Tenant      string
+	Reason      string // "rate" or "inflight"
+	RetryAfter  time.Duration
+	RetryBudget int
+}
+
+func (e *ErrOverQuota) Error() string {
+	return fmt.Sprintf("jobs: tenant %s over quota (%s); retry after %v (retry budget %d)",
+		e.Tenant, e.Reason, e.RetryAfter, e.RetryBudget)
+}
+
+// ErrShed is returned by Submit when the node sheds the submission under
+// load (503-family: service capacity, not client quota). Reason "saturated"
+// is the fleet try-a-peer hint; "overload" is the weighted high-water-mark
+// shed that drops lowest-weight tenants first as the shared backlog fills.
+type ErrShed struct {
+	Tenant     string
+	Reason     string // "saturated" or "overload"
+	RetryAfter time.Duration
+}
+
+func (e *ErrShed) Error() string {
+	return fmt.Sprintf("jobs: shedding %s submission (%s); retry after %v", e.Tenant, e.Reason, e.RetryAfter)
+}
+
 // ErrDiskFull is returned by Submit while the store's filesystem is full or
 // read-only (it wraps fsio.ErrDiskFull, so errors.Is works against either).
 // Accepting a job the store cannot journal would lose it on the next crash,
@@ -103,6 +133,16 @@ type Config struct {
 	// live peers (for load-shedding hints). Nodes sharing this store's root
 	// see each other without any PeerDirs.
 	PeerDirs []string
+
+	// Tenants configures per-tenant quotas, weights, and admission control
+	// (nil = every tenant gets DefaultTenantPolicy: unit weight, no quotas
+	// — the pre-tenancy behavior).
+	Tenants *TenantConfig
+	// LeaseRetention, when positive, garbage-collects lease litter on
+	// Start: expired node heartbeats and terminal jobs' superseded claim
+	// files older than the retention (the fencing high-water mark — the
+	// highest claim file — is always preserved). Zero disables GC.
+	LeaseRetention time.Duration
 }
 
 func (c *Config) fill() {
@@ -161,6 +201,11 @@ type Manager struct {
 	hmu  sync.Mutex
 	held map[string]*Lease
 
+	// adm enforces per-tenant admission quotas; sched orders fleet claims
+	// across tenants (owned by the scan goroutine).
+	adm   *Admission
+	sched *tenantSched
+
 	wg sync.WaitGroup
 
 	// jobs.* instruments (nil-safe no-ops when telemetry is off).
@@ -180,16 +225,33 @@ type Manager struct {
 	mLeaseExpiries *telemetry.Counter
 	mLeaseFenced   *telemetry.Counter
 	mReclaimLat    *telemetry.Histogram
+
+	// tmu guards tmetrics, the per-tenant labeled instruments, created
+	// lazily on a tenant's first submission and cached so the admission
+	// fast path never rebuilds a labeled name.
+	tmu      sync.Mutex
+	tmetrics map[string]tenantInstruments
+}
+
+// tenantInstruments are one tenant's labeled jobs.tenant.* instruments.
+type tenantInstruments struct {
+	submitted *telemetry.Counter
+	rejected  *telemetry.Counter
+	shed      *telemetry.Counter
+	inflight  *telemetry.Gauge
 }
 
 // NewManager builds a manager over store. Call Start to begin executing.
 func NewManager(store *Store, cfg Config) *Manager {
 	cfg.fill()
 	m := &Manager{
-		store:   store,
-		cfg:     cfg,
-		running: map[string]context.CancelCauseFunc{},
-		held:    map[string]*Lease{},
+		store:    store,
+		cfg:      cfg,
+		running:  map[string]context.CancelCauseFunc{},
+		held:     map[string]*Lease{},
+		adm:      NewAdmission(cfg.Tenants),
+		sched:    newTenantSched(cfg.Tenants),
+		tmetrics: map[string]tenantInstruments{},
 	}
 	m.ctx, m.cancel = context.WithCancelCause(context.Background())
 	m.qcond = sync.NewCond(&m.qmu)
@@ -219,6 +281,28 @@ func NewManager(store *Store, cfg Config) *Manager {
 // fleet reports whether the manager runs in multi-node (leased) mode.
 func (m *Manager) fleet() bool { return m.cfg.NodeID != "" }
 
+// tenantInstruments returns (creating and caching on first use) the
+// tenant's labeled jobs.tenant.* instruments. The cache keeps the labeled
+// name construction off the admission fast path: a hit is one mutex and one
+// map lookup, no allocation.
+func (m *Manager) tenantInstrumentsFor(tenant string) tenantInstruments {
+	tenant = canonTenant(tenant)
+	m.tmu.Lock()
+	defer m.tmu.Unlock()
+	ti, ok := m.tmetrics[tenant]
+	if !ok {
+		reg := m.cfg.Tel.Registry()
+		ti = tenantInstruments{
+			submitted: reg.Counter(telemetry.LabeledName("jobs.tenant.submitted", "tenant", tenant)),
+			rejected:  reg.Counter(telemetry.LabeledName("jobs.tenant.rejected", "tenant", tenant)),
+			shed:      reg.Counter(telemetry.LabeledName("jobs.tenant.shed", "tenant", tenant)),
+			inflight:  reg.Gauge(telemetry.LabeledName("jobs.tenant.inflight", "tenant", tenant)),
+		}
+		m.tmetrics[tenant] = ti
+	}
+	return ti
+}
+
 // Start re-enqueues every resumable job (crash/drain recovery) and launches
 // the worker pool. It returns the number of recovered jobs.
 //
@@ -227,6 +311,13 @@ func (m *Manager) fleet() bool { return m.cfg.NodeID != "" }
 // dead peer's once their lease expires), so Start only launches the scanner
 // and workers and returns 0.
 func (m *Manager) Start() int {
+	if m.cfg.LeaseRetention > 0 {
+		if n, err := m.store.GCLeases(m.cfg.LeaseRetention); err != nil {
+			m.cfg.Logf("jobs: lease gc: %v", err)
+		} else if n > 0 {
+			m.cfg.Logf("jobs: lease gc removed %d stale file(s)", n)
+		}
+	}
 	if m.fleet() {
 		if err := m.store.WriteNodeHeartbeat(3 * m.cfg.LeaseTTL); err != nil {
 			m.cfg.Logf("jobs: node heartbeat: %v", err)
@@ -342,6 +433,12 @@ func (m *Manager) renewHeld() {
 // each node keeps a modest local buffer without hoarding the shared backlog.
 // Every claim re-syncs the job's journal from disk first, so the decision is
 // made against the current owner's records, not a stale snapshot.
+//
+// Claim order is deficit-weighted round-robin across tenants (sched.go):
+// within a tenant jobs stay in store order, but the budget is spread across
+// backlogged tenants by weight, so one tenant's burst cannot monopolize the
+// node. The ordering is a fairness hint only — at-most-once execution comes
+// from the lease fencing, not from who scans what first.
 func (m *Manager) claimWork() {
 	m.qmu.Lock()
 	if m.stopping {
@@ -353,10 +450,11 @@ func (m *Manager) claimWork() {
 	m.rmu.Lock()
 	budget -= len(m.running)
 	m.rmu.Unlock()
+	if budget <= 0 {
+		return
+	}
+	queues := map[string][]*Job{}
 	for _, j := range m.store.List() {
-		if budget <= 0 {
-			return
-		}
 		m.hmu.Lock()
 		_, mine := m.held[j.ID]
 		m.hmu.Unlock()
@@ -367,6 +465,13 @@ func (m *Manager) claimWork() {
 		last := j.Last()
 		if last.State != StateQueued && last.State != StateRunning {
 			continue
+		}
+		t := canonTenant(j.Spec.Tenant)
+		queues[t] = append(queues[t], j)
+	}
+	for _, j := range m.sched.order(queues) {
+		if budget <= 0 {
+			return
 		}
 		lease, prev, err := m.store.Claim(j, m.cfg.LeaseTTL)
 		if err != nil {
@@ -526,12 +631,21 @@ func (m *Manager) ShedHint() bool {
 	return m.PeersAlive() > 0
 }
 
-// Submit validates, persists, and enqueues a new job. When the queue is at
-// capacity it returns *ErrQueueFull (with a retry-after hint) without
-// persisting anything; once draining it returns ErrDraining.
+// Submit validates, persists, and enqueues a new job. The refusal surface,
+// in precedence order (DESIGN.md §15): ErrDraining (shutting down),
+// ErrDiskFull (store unwritable), *ErrOverQuota (tenant admission — rate or
+// in-flight quota, a 429 with Retry-After), *ErrQueueFull (shared backlog
+// at capacity, also 429), *ErrShed (capacity shedding — fleet try-a-peer or
+// the weighted overload band, a 503). Nothing lands on disk for a refused
+// submission. Submit also stamps the spec's absolute deadline (NotAfter)
+// from a relative Deadline, so the deadline starts at submission and
+// survives the hop to whichever fleet node claims the job.
 func (m *Manager) Submit(spec Spec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if spec.NotAfter == 0 && spec.Deadline > 0 {
+		spec.NotAfter = time.Now().Add(time.Duration(spec.Deadline)).UnixMilli()
 	}
 	m.qmu.Lock()
 	if m.stopping {
@@ -544,6 +658,19 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	if !m.store.ProbeDisk() {
 		m.mRejected.Inc()
 		return nil, ErrDiskFull
+	}
+	// Tenant admission: quota refusals outrank capacity refusals so a
+	// client over its own allowance always sees its 429, not a transient
+	// capacity 503 that hides the quota problem.
+	if dec := m.adm.Admit(spec.Tenant, m.store.TenantInFlight(spec.Tenant)); !dec.OK {
+		m.mRejected.Inc()
+		m.tenantInstrumentsFor(spec.Tenant).rejected.Inc()
+		return nil, &ErrOverQuota{
+			Tenant:      canonTenant(spec.Tenant),
+			Reason:      dec.Reason,
+			RetryAfter:  dec.RetryAfter,
+			RetryBudget: dec.BudgetLeft,
+		}
 	}
 	m.qmu.Lock()
 	if m.stopping {
@@ -560,7 +687,13 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	}
 	if depth >= m.cfg.QueueDepth {
 		m.mRejected.Inc()
+		m.tenantInstrumentsFor(spec.Tenant).rejected.Inc()
 		return nil, &ErrQueueFull{Depth: depth, RetryAfter: m.retryAfter(depth)}
+	}
+	if err := m.shedSubmit(spec.Tenant, depth); err != nil {
+		m.mRejected.Inc()
+		m.tenantInstrumentsFor(spec.Tenant).shed.Inc()
+		return nil, err
 	}
 
 	// Persist outside the queue lock (disk I/O), then enqueue. Concurrent
@@ -581,6 +714,7 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		// the shared store, and whichever node's scan loop claims it first
 		// (possibly ours, within ScanEvery) runs it under a lease.
 		m.mSubmitted.Inc()
+		m.tenantInstrumentsFor(spec.Tenant).submitted.Inc()
 		m.updateMetrics()
 		return job, nil
 	}
@@ -596,8 +730,45 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	m.qcond.Signal()
 	m.qmu.Unlock()
 	m.mSubmitted.Inc()
+	m.tenantInstrumentsFor(spec.Tenant).submitted.Inc()
 	m.updateMetrics()
 	return job, nil
+}
+
+// shedSubmit decides whether to shed a submission for capacity reasons
+// (503-family), given the shared backlog depth already measured by Submit.
+// Two sheds exist:
+//
+//   - "saturated": the fleet try-a-peer hint — this node's claim budget is
+//     exhausted, live peers could take the work, and the backlog has room
+//     (a full backlog stays ErrQueueFull's 429). Tenant-agnostic, same as
+//     ShedHint.
+//   - "overload": graceful degradation as the backlog fills. Above a
+//     high-water mark (3/4 of QueueDepth) each tenant gets a weighted slice
+//     of the remaining band: tenant w's submissions shed once depth >=
+//     hwm + (QueueDepth-hwm)·w/maxWeight. Lowest-weight tenants shed first;
+//     the heaviest tenant never sheds before the backlog is hard-full.
+//     With no tenant config every weight is maxWeight and the band is
+//     inactive — the pre-tenancy behavior.
+func (m *Manager) shedSubmit(tenant string, depth int) error {
+	if m.fleet() && m.Saturated() && m.PeersAlive() > 0 {
+		return &ErrShed{Tenant: canonTenant(tenant), Reason: "saturated", RetryAfter: time.Second}
+	}
+	q := m.cfg.QueueDepth
+	hwm := q * 3 / 4
+	if depth < hwm || hwm >= q {
+		return nil
+	}
+	w := m.cfg.Tenants.Policy(tenant).Weight
+	maxW := m.cfg.Tenants.MaxWeight()
+	if w > maxW {
+		maxW = w
+	}
+	limit := hwm + (q-hwm)*w/maxW
+	if depth >= limit {
+		return &ErrShed{Tenant: canonTenant(tenant), Reason: "overload", RetryAfter: m.retryAfter(depth)}
+	}
+	return nil
 }
 
 // retryAfter sizes a backpressure hint to the backlog: roughly one second
@@ -737,6 +908,9 @@ type outcome struct {
 // every transition. Panics are confined to the attempt and retried
 // (par.Retry's recovery semantics).
 func (m *Manager) runJob(j *Job) {
+	if m.failExpired(j) {
+		return
+	}
 	retries := m.cfg.Retries
 	switch {
 	case j.Spec.Retries > 0:
@@ -779,6 +953,29 @@ func (m *Manager) runJob(j *Job) {
 		}
 		m.cfg.Logf("jobs: %s %s", j.ID, detail)
 	}
+}
+
+// failExpired fails a job whose absolute deadline (Spec.NotAfter) already
+// passed, without spending an execution attempt on it: a job that can no
+// longer finish in time burns a worker for nothing. In fleet mode this runs
+// after the claim (journaling needs the lease), so the failing node is the
+// job's legitimate owner. Reports whether the job was disposed of.
+func (m *Manager) failExpired(j *Job) bool {
+	na := j.Spec.NotAfterTime()
+	if na.IsZero() || time.Now().Before(na) {
+		return false
+	}
+	last := j.Last()
+	detail := fmt.Sprintf("deadline expired %v before execution; failed fast",
+		time.Since(na).Round(time.Millisecond))
+	if _, err := j.Append(StateFailed, last.Attempt, detail); err != nil {
+		// Terminal already (canceled race) or fenced — either way the job
+		// is no longer ours to run.
+		m.cfg.Logf("jobs: %s: %v", j.ID, err)
+		return true
+	}
+	m.cfg.Logf("jobs: %s %s", j.ID, detail)
+	return true
 }
 
 // attempt executes the job once and folds any fencing loss — surfacing from
@@ -834,9 +1031,18 @@ func (m *Manager) attempt(j *Job, out *outcome) error {
 func (m *Manager) attemptOnce(j *Job, out *outcome) error {
 	ctx, cancel := context.WithCancelCause(m.ctx)
 	defer cancel(nil)
+	// Per-attempt deadline, tightened by the spec's absolute NotAfter: the
+	// attempt is cut off at whichever comes first.
+	var dl time.Time
 	if d := time.Duration(j.Spec.Deadline); d > 0 {
+		dl = time.Now().Add(d)
+	}
+	if na := j.Spec.NotAfterTime(); !na.IsZero() && (dl.IsZero() || na.Before(dl)) {
+		dl = na
+	}
+	if !dl.IsZero() {
 		var cancelT context.CancelFunc
-		ctx, cancelT = context.WithDeadlineCause(ctx, time.Now().Add(d), errDeadline)
+		ctx, cancelT = context.WithDeadlineCause(ctx, dl, errDeadline)
 		defer cancelT()
 	}
 	m.rmu.Lock()
@@ -905,8 +1111,11 @@ func (m *Manager) attemptOnce(j *Job, out *outcome) error {
 			return err
 		case errors.Is(cause, errDeadline):
 			out.terminal = StateFailed
-			m.journal(j, StateFailed, out.attempt,
-				fmt.Sprintf("deadline %v exceeded", time.Duration(j.Spec.Deadline)))
+			detail := fmt.Sprintf("deadline %v exceeded", time.Duration(j.Spec.Deadline))
+			if j.Spec.Deadline == 0 {
+				detail = fmt.Sprintf("absolute deadline %s exceeded", j.Spec.NotAfterTime().UTC().Format(time.RFC3339))
+			}
+			m.journal(j, StateFailed, out.attempt, detail)
 			return err
 		case errors.Is(cause, errFenced):
 			// The renew loop detected a takeover and cancelled us; the
@@ -1068,4 +1277,13 @@ func (m *Manager) updateMetrics() {
 		g.Set(float64(counts[st]))
 	}
 	m.mQuarantined.Set(float64(m.store.Quarantined()))
+	m.tmu.Lock()
+	tenants := make([]string, 0, len(m.tmetrics))
+	for t := range m.tmetrics {
+		tenants = append(tenants, t)
+	}
+	m.tmu.Unlock()
+	for _, t := range tenants {
+		m.tenantInstrumentsFor(t).inflight.Set(float64(m.store.TenantInFlight(t)))
+	}
 }

@@ -1,0 +1,79 @@
+package jobs
+
+// Deficit-weighted round-robin claim ordering (DESIGN.md §15). The fleet
+// scan loop used to claim jobs in plain store order (FIFO by ID), which
+// lets one tenant's burst monopolize every node's claim budget. The
+// scheduler reorders each scan's claimable jobs across tenants instead:
+// each round every backlogged tenant's deficit grows by its weight and the
+// tenant claims one job per whole unit of deficit. With integer weights
+// >= 1 this guarantees every tenant with pending work is offered at least
+// one claim per round (no starvation), and backlogged tenants receive
+// claims proportional to their weights over time.
+//
+// The ordering is only a scheduling hint: nodes do not coordinate their
+// orderings, claims still race through the O_EXCL claim files, and
+// at-most-once execution still rests entirely on fencing tokens (lease.go).
+// A "wrong" order can cost fairness, never correctness.
+
+import "sort"
+
+// tenantSched carries DWRR state across scan rounds. It is owned by the
+// manager's scan loop (single goroutine), so it needs no lock.
+type tenantSched struct {
+	cfg      *TenantConfig
+	deficits map[string]float64
+	// cursor rotates which tenant each round starts at, so equal-weight
+	// tenants don't see a fixed bias from map-order-independent sorting.
+	cursor int
+}
+
+func newTenantSched(cfg *TenantConfig) *tenantSched {
+	return &tenantSched{cfg: cfg, deficits: map[string]float64{}}
+}
+
+// order flattens per-tenant FIFO queues into one claim order via DWRR.
+// queues maps tenant name to that tenant's claimable jobs in store order;
+// the map is consumed. Tenants with no backlog this round have their
+// deficit reset — DWRR's standard rule, so an idle tenant cannot bank
+// credit and later burst past its share.
+func (s *tenantSched) order(queues map[string][]*Job) []*Job {
+	tenants := make([]string, 0, len(queues))
+	total := 0
+	for t, q := range queues {
+		tenants = append(tenants, t)
+		total += len(q)
+	}
+	for t := range s.deficits {
+		if _, backlogged := queues[t]; !backlogged {
+			delete(s.deficits, t)
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	sort.Strings(tenants)
+	out := make([]*Job, 0, total)
+	start := s.cursor % len(tenants)
+	for len(out) < total {
+		for i := 0; i < len(tenants); i++ {
+			t := tenants[(start+i)%len(tenants)]
+			q := queues[t]
+			if len(q) == 0 {
+				continue
+			}
+			d := s.deficits[t] + float64(s.cfg.Policy(t).Weight)
+			for d >= 1 && len(q) > 0 {
+				out = append(out, q[0])
+				q = q[1:]
+				d--
+			}
+			if len(q) == 0 {
+				d = 0
+			}
+			queues[t] = q
+			s.deficits[t] = d
+		}
+	}
+	s.cursor++
+	return out
+}

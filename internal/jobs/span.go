@@ -48,6 +48,17 @@ func ReadSpanFile(path string) ([]telemetry.Span, telemetry.SpanDecodeStats, err
 // emission goes through guardedSpan).
 func (j *Job) appendSpan(sp telemetry.Span) {
 	sp.Job = j.ID
+	// Surface the job's tenant on every span so twobs timelines and span
+	// queries can slice a fleet's history per tenant. Jobs without an
+	// explicit tenant (pre-tenancy stores, direct Create calls) keep their
+	// spans byte-identical to before.
+	if t := j.Spec.Tenant; t != "" {
+		if sp.Attrs == nil {
+			sp.Attrs = map[string]string{"tenant": t}
+		} else if _, ok := sp.Attrs["tenant"]; !ok {
+			sp.Attrs["tenant"] = t
+		}
+	}
 	data, err := telemetry.EncodeSpan(sp)
 	if err != nil {
 		j.logf("jobs: %s: span: %v", j.ID, err)

@@ -68,6 +68,11 @@ type Spec struct {
 	// Name is an optional human label reported in listings.
 	Name string `json:"name,omitempty"`
 
+	// Tenant names the traffic class this job belongs to (X-Tenant header
+	// on the HTTP surface). Empty means the default tenant; quotas, fair
+	// scheduling, and overload shedding key off it (DESIGN.md §15).
+	Tenant string `json:"tenant,omitempty"`
+
 	// Preset names a built-in synthetic circuit (gen.PresetNames);
 	// mutually exclusive with Netlist.
 	Preset string `json:"preset,omitempty"`
@@ -98,6 +103,12 @@ type Spec struct {
 	// Deadline bounds each execution attempt; an expired deadline fails
 	// the job (0 = none).
 	Deadline Duration `json:"deadline,omitempty"`
+	// NotAfter is the job's absolute completion deadline in Unix
+	// milliseconds (0 = none). Submit stamps it from Deadline so the
+	// deadline survives the submit→claim hop: a fleet node that claims the
+	// job after NotAfter fails it fast instead of burning a worker, and a
+	// running attempt is cut off at min(attempt deadline, NotAfter).
+	NotAfter int64 `json:"not_after_ms,omitempty"`
 	// Retries is the per-job budget of re-executions after transient
 	// failures (panics, I/O errors); 0 uses the manager's default, -1
 	// disables retries.
@@ -123,6 +134,10 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("jobs: r, rho, eta, and core_aspect must be >= 0")
 	case s.Deadline < 0:
 		return fmt.Errorf("jobs: deadline must be >= 0")
+	case s.NotAfter < 0:
+		return fmt.Errorf("jobs: not_after_ms must be >= 0")
+	case s.Tenant != "" && !ValidTenantName(s.Tenant):
+		return fmt.Errorf("jobs: bad tenant name %.80q (want 1-64 chars of [A-Za-z0-9._-])", s.Tenant)
 	case s.Retries < -1:
 		return fmt.Errorf("jobs: retries must be >= -1")
 	case s.Replicas < 0:
@@ -141,6 +156,15 @@ func (s *Spec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// NotAfterTime returns the absolute deadline as a time.Time (zero when the
+// spec carries none).
+func (s *Spec) NotAfterTime() time.Time {
+	if s.NotAfter == 0 {
+		return time.Time{}
+	}
+	return time.UnixMilli(s.NotAfter)
 }
 
 // Circuit builds the job's circuit from the spec.

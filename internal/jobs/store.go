@@ -352,6 +352,25 @@ func (s *Store) Rescan() []*Job {
 	return added
 }
 
+// ReadSpecDir reads and validates the spec stored in a job directory,
+// without opening the store. Offline analyzers (internal/obs) use it to
+// recover per-job metadata — notably the tenant — straight from the
+// durable artifacts.
+func ReadSpecDir(dir string) (Spec, error) {
+	data, err := os.ReadFile(filepath.Join(dir, specFile))
+	if err != nil {
+		return Spec{}, err
+	}
+	var spec Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return Spec{}, fmt.Errorf("jobs: %s: %w", specFile, err)
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
 // loadJob reads one job directory, quarantining defects. ok is false when
 // the job is unusable (quarantined wholesale).
 func (s *Store) loadJob(id string) (*Job, bool) {
@@ -589,6 +608,27 @@ func (s *Store) StateCounts() map[State]int {
 // local pending channel no longer reflects the shared backlog.
 func (s *Store) QueuedCount() int {
 	return s.StateCounts()[StateQueued]
+}
+
+// TenantInFlight counts the tenant's non-terminal jobs (queued or running).
+// It is the admission controller's MaxInFlight input, called on every
+// submit, so it deliberately avoids List()'s sorted-copy allocation: one
+// pass over the job map under the store lock. Taking each job's lock under
+// s.mu is safe — no code path acquires s.mu while holding a job lock.
+func (s *Store) TenantInFlight(tenant string) int {
+	tenant = canonTenant(tenant)
+	n := 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if canonTenant(j.Spec.Tenant) != tenant {
+			continue
+		}
+		if !j.Last().State.Terminal() {
+			n++
+		}
+	}
+	return n
 }
 
 // ResultInfo is the terminal metadata written to result.json.

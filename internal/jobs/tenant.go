@@ -1,0 +1,313 @@
+package jobs
+
+// Multi-tenant policy configuration (DESIGN.md §15). A tenant is a named
+// traffic class: every job carries one (the default tenant when the
+// submitter names none), and the fleet's admission control, weighted-fair
+// claim scheduling, and overload shedding all key off the per-tenant policy
+// parsed here. The config is a deliberately plain line format so operators
+// can write it by hand and the fuzz target (FuzzParseTenantConfig) can pin
+// the parser against hostile input:
+//
+//	# tenants.conf
+//	*     weight=1 rate=2  burst=5  max_inflight=8
+//	acme  weight=4 rate=10 burst=20 max_inflight=32 retry_budget=16
+//
+// "*" sets the policy for tenants not listed. Omitted keys take defaults;
+// rate=0 / max_inflight=0 mean unlimited, so an empty config degrades to
+// exactly the pre-tenancy behavior.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultTenant is the tenant jobs belong to when the submitter names none.
+const DefaultTenant = "default"
+
+// Bounds the parser enforces. They are hard caps, not tuning advice: a
+// config outside them is rejected wholesale, so a typo (or fuzz input)
+// cannot configure a weight that overflows the scheduler's deficit math.
+const (
+	maxTenantNameLen = 64
+	maxTenants       = 1024
+	maxTenantWeight  = 1 << 20
+	maxTenantRate    = 1e9
+	maxTenantCount   = 1 << 30 // max_inflight / retry_budget cap
+	maxTenantLine    = 4096
+)
+
+// DefaultRetryBudget is the per-tenant budget of polite (non-escalated)
+// quota rejections a client gets before Retry-After hints start backing off
+// exponentially.
+const DefaultRetryBudget = 8
+
+// TenantPolicy is one tenant's quota and scheduling parameters.
+type TenantPolicy struct {
+	// Weight is the tenant's share in deficit-weighted round-robin claim
+	// scheduling and the order overloaded submissions shed (lowest weight
+	// first). Always >= 1.
+	Weight int
+	// Rate is the sustained admission rate in jobs/second (token-bucket
+	// refill); 0 = unlimited.
+	Rate float64
+	// Burst is the token-bucket capacity (peak burst size). 0 defaults to
+	// max(1, ceil(Rate)).
+	Burst float64
+	// MaxInFlight bounds the tenant's non-terminal jobs across the whole
+	// store; 0 = unlimited.
+	MaxInFlight int
+	// RetryBudget is how many consecutive quota rejections keep the polite
+	// base Retry-After before hints escalate exponentially.
+	RetryBudget int
+}
+
+// DefaultTenantPolicy is the policy of every tenant when no config is
+// loaded: unit weight, no quotas — the pre-tenancy behavior.
+var DefaultTenantPolicy = TenantPolicy{Weight: 1, RetryBudget: DefaultRetryBudget}
+
+// fill replaces zero values with defaults and returns the result.
+func (p TenantPolicy) fill() TenantPolicy {
+	if p.Weight <= 0 {
+		p.Weight = 1
+	}
+	if p.Burst <= 0 && p.Rate > 0 {
+		p.Burst = math.Ceil(p.Rate)
+		if p.Burst < 1 {
+			p.Burst = 1
+		}
+	}
+	if p.RetryBudget <= 0 {
+		p.RetryBudget = DefaultRetryBudget
+	}
+	return p
+}
+
+// TenantConfig maps tenant names to policies, with a "*" default for
+// unlisted tenants. The zero value (and a nil pointer) behave as "no
+// config": every tenant gets DefaultTenantPolicy.
+type TenantConfig struct {
+	policies map[string]TenantPolicy
+	def      TenantPolicy
+	hasDef   bool
+	names    []string // configured tenant names, sorted
+	maxW     int
+}
+
+// NewTenantConfig builds a config programmatically (tests, chaos driver).
+// Policies are filled with defaults; def may be zero to use
+// DefaultTenantPolicy for unlisted tenants.
+func NewTenantConfig(policies map[string]TenantPolicy, def TenantPolicy) *TenantConfig {
+	c := &TenantConfig{policies: map[string]TenantPolicy{}, def: def.fill(), hasDef: true}
+	for name, p := range policies {
+		c.policies[name] = p.fill()
+		c.names = append(c.names, name)
+	}
+	sort.Strings(c.names)
+	c.maxW = c.def.Weight
+	for _, p := range c.policies {
+		if p.Weight > c.maxW {
+			c.maxW = p.Weight
+		}
+	}
+	return c
+}
+
+// Policy returns the effective policy for a tenant ("" means the default
+// tenant). Nil-receiver safe: no config means DefaultTenantPolicy for all.
+func (c *TenantConfig) Policy(tenant string) TenantPolicy {
+	if c == nil {
+		return DefaultTenantPolicy
+	}
+	if p, ok := c.policies[canonTenant(tenant)]; ok {
+		return p
+	}
+	if c.hasDef {
+		return c.def
+	}
+	return DefaultTenantPolicy
+}
+
+// Names returns the explicitly configured tenant names, sorted.
+func (c *TenantConfig) Names() []string {
+	if c == nil {
+		return nil
+	}
+	return c.names
+}
+
+// MaxWeight returns the largest weight across the configured tenants and
+// the default policy (>= 1). The overload-shed band is sized against it.
+func (c *TenantConfig) MaxWeight() int {
+	if c == nil || c.maxW < 1 {
+		return 1
+	}
+	return c.maxW
+}
+
+// String renders the config back into its own parseable line format (used
+// to hand a parent process's config to chaos children via the environment).
+func (c *TenantConfig) String() string {
+	if c == nil {
+		return ""
+	}
+	var b strings.Builder
+	render := func(name string, p TenantPolicy) {
+		fmt.Fprintf(&b, "%s weight=%d rate=%s burst=%s max_inflight=%d retry_budget=%d\n",
+			name, p.Weight,
+			strconv.FormatFloat(p.Rate, 'g', -1, 64),
+			strconv.FormatFloat(p.Burst, 'g', -1, 64),
+			p.MaxInFlight, p.RetryBudget)
+	}
+	if c.hasDef {
+		render("*", c.def)
+	}
+	for _, name := range c.names {
+		render(name, c.policies[name])
+	}
+	return b.String()
+}
+
+// canonTenant maps the empty tenant ("" on specs submitted before tenancy,
+// or by clients that never set one) to the default tenant name.
+func canonTenant(tenant string) string {
+	if tenant == "" {
+		return DefaultTenant
+	}
+	return tenant
+}
+
+// ValidTenantName reports whether s is an acceptable tenant name: 1–64
+// characters from [A-Za-z0-9._-]. The charset is deliberately small — the
+// name becomes a metrics label, a config token, and a span attribute.
+func ValidTenantName(s string) bool {
+	if len(s) == 0 || len(s) > maxTenantNameLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ParseTenantConfig reads the tenant config line format. It is hardened the
+// same way the journal and lease decoders are: bounded line length, bounded
+// tenant count, a strict name charset, finite numeric ranges, and explicit
+// rejection of duplicate tenants and unknown keys. It never panics on any
+// input (FuzzParseTenantConfig pins this).
+func ParseTenantConfig(r io.Reader) (*TenantConfig, error) {
+	c := &TenantConfig{policies: map[string]TenantPolicy{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, maxTenantLine+1), maxTenantLine+1)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		name := fields[0]
+		if name != "*" && !ValidTenantName(name) {
+			return nil, fmt.Errorf("jobs: tenant config line %d: bad tenant name %.80q", lineno, name)
+		}
+		if name == "*" && c.hasDef {
+			return nil, fmt.Errorf("jobs: tenant config line %d: duplicate default (*) entry", lineno)
+		}
+		if _, dup := c.policies[name]; dup {
+			return nil, fmt.Errorf("jobs: tenant config line %d: duplicate tenant %q", lineno, name)
+		}
+		if len(c.policies) >= maxTenants {
+			return nil, fmt.Errorf("jobs: tenant config line %d: more than %d tenants", lineno, maxTenants)
+		}
+		var p TenantPolicy
+		seen := map[string]bool{}
+		for _, kv := range fields[1:] {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok || val == "" {
+				return nil, fmt.Errorf("jobs: tenant config line %d: malformed %.80q (want key=value)", lineno, kv)
+			}
+			if seen[key] {
+				return nil, fmt.Errorf("jobs: tenant config line %d: duplicate key %q", lineno, key)
+			}
+			seen[key] = true
+			var err error
+			switch key {
+			case "weight":
+				p.Weight, err = parseTenantInt(val, 1, maxTenantWeight)
+			case "rate":
+				p.Rate, err = parseTenantFloat(val, maxTenantRate)
+			case "burst":
+				p.Burst, err = parseTenantFloat(val, maxTenantRate)
+			case "max_inflight":
+				p.MaxInFlight, err = parseTenantInt(val, 0, maxTenantCount)
+			case "retry_budget":
+				p.RetryBudget, err = parseTenantInt(val, 1, maxTenantCount)
+			default:
+				return nil, fmt.Errorf("jobs: tenant config line %d: unknown key %.80q", lineno, key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("jobs: tenant config line %d: %s: %w", lineno, key, err)
+			}
+		}
+		if name == "*" {
+			c.def = p.fill()
+			c.hasDef = true
+			continue
+		}
+		c.policies[name] = p.fill()
+		c.names = append(c.names, name)
+	}
+	if err := sc.Err(); err != nil {
+		if lineno++; err == bufio.ErrTooLong {
+			return nil, fmt.Errorf("jobs: tenant config line %d: line exceeds %d bytes", lineno, maxTenantLine)
+		}
+		return nil, fmt.Errorf("jobs: tenant config: %w", err)
+	}
+	if !c.hasDef {
+		c.def = DefaultTenantPolicy
+		c.hasDef = true
+	}
+	sort.Strings(c.names)
+	c.maxW = c.def.Weight
+	for _, p := range c.policies {
+		if p.Weight > c.maxW {
+			c.maxW = p.Weight
+		}
+	}
+	return c, nil
+}
+
+// parseTenantInt parses a bounded decimal integer in [min, max].
+func parseTenantInt(s string, min, max int) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %.40q", s)
+	}
+	if n < min || n > max {
+		return 0, fmt.Errorf("value %d out of range [%d, %d]", n, min, max)
+	}
+	return n, nil
+}
+
+// parseTenantFloat parses a finite non-negative float <= max.
+func parseTenantFloat(s string, max float64) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %.40q", s)
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 || f > max {
+		return 0, fmt.Errorf("value %v out of range [0, %g]", f, max)
+	}
+	return f, nil
+}

@@ -1,0 +1,620 @@
+package jobs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseTenantConfig pins the happy path: comments, the "*" default,
+// omitted-key defaults, and unlisted tenants falling through to the default
+// policy.
+func TestParseTenantConfig(t *testing.T) {
+	t.Parallel()
+	conf := `
+# fleet tenants
+*     weight=1 rate=2  burst=5
+acme  weight=4 rate=10 burst=20 max_inflight=32 retry_budget=16
+lab-7 rate=0.5
+`
+	c, err := ParseTenantConfig(strings.NewReader(conf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Names(); len(got) != 2 || got[0] != "acme" || got[1] != "lab-7" {
+		t.Fatalf("Names() = %v, want [acme lab-7]", got)
+	}
+	acme := c.Policy("acme")
+	if acme.Weight != 4 || acme.Rate != 10 || acme.Burst != 20 || acme.MaxInFlight != 32 || acme.RetryBudget != 16 {
+		t.Fatalf("acme policy = %+v", acme)
+	}
+	// Omitted keys fill with defaults: weight 1, burst ceil(rate) (>= 1),
+	// retry budget DefaultRetryBudget, max_inflight unlimited.
+	lab := c.Policy("lab-7")
+	if lab.Weight != 1 || lab.Burst != 1 || lab.MaxInFlight != 0 || lab.RetryBudget != DefaultRetryBudget {
+		t.Fatalf("lab-7 policy = %+v", lab)
+	}
+	// Unlisted tenants (and the canonical default tenant) get the "*" line.
+	for _, name := range []string{"", DefaultTenant, "unlisted"} {
+		p := c.Policy(name)
+		if p.Weight != 1 || p.Rate != 2 || p.Burst != 5 {
+			t.Fatalf("Policy(%q) = %+v, want the * policy", name, p)
+		}
+	}
+	if c.MaxWeight() != 4 {
+		t.Fatalf("MaxWeight() = %d, want 4", c.MaxWeight())
+	}
+}
+
+// TestParseTenantConfigErrors pins the parser's hardening: every hostile
+// shape is rejected with an error naming the line, never accepted mangled.
+func TestParseTenantConfigErrors(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name, conf, want string
+	}{
+		{"bad name charset", "ac/me weight=1\n", "bad tenant name"},
+		{"name too long", strings.Repeat("a", 65) + " weight=1\n", "bad tenant name"},
+		{"duplicate tenant", "a weight=1\na weight=2\n", "duplicate tenant"},
+		{"duplicate default", "* weight=1\n* weight=2\n", "duplicate default"},
+		{"duplicate key", "a weight=1 weight=2\n", "duplicate key"},
+		{"unknown key", "a bogus=1\n", "unknown key"},
+		{"bare key", "a weight\n", "want key=value"},
+		{"empty value", "a weight=\n", "want key=value"},
+		{"weight zero", "a weight=0\n", "out of range"},
+		{"weight overflow", "a weight=99999999999999999999\n", "bad integer"},
+		{"weight too big", "a weight=2097152\n", "out of range"},
+		{"rate NaN", "a rate=NaN\n", "out of range"},
+		{"rate Inf", "a rate=+Inf\n", "out of range"},
+		{"rate negative", "a rate=-1\n", "out of range"},
+		{"inflight negative", "a max_inflight=-1\n", "out of range"},
+		{"line too long", "a weight=1 " + strings.Repeat("#", maxTenantLine) + "\n", "exceeds"},
+	}
+	for _, tc := range cases {
+		c, err := ParseTenantConfig(strings.NewReader(tc.conf))
+		if err == nil {
+			t.Errorf("%s: accepted (%v)", tc.name, c)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestTenantConfigStringRoundTrip pins String() as a faithful re-rendering:
+// the chaos driver hands a parent's config to child nodes through the
+// environment as exactly this text.
+func TestTenantConfigStringRoundTrip(t *testing.T) {
+	t.Parallel()
+	c := NewTenantConfig(map[string]TenantPolicy{
+		"acme": {Weight: 4, Rate: 10, Burst: 20, MaxInFlight: 32},
+		"lab":  {Rate: 0.25},
+	}, TenantPolicy{Weight: 2, Rate: 1e6})
+	again, err := ParseTenantConfig(strings.NewReader(c.String()))
+	if err != nil {
+		t.Fatalf("rendered config rejected: %v\n%s", err, c.String())
+	}
+	if again.String() != c.String() {
+		t.Fatalf("round trip changed config:\n%s\nvs\n%s", c.String(), again.String())
+	}
+	for _, name := range []string{"acme", "lab", "other", ""} {
+		if got, want := again.Policy(name), c.Policy(name); got != want {
+			t.Fatalf("Policy(%q) = %+v after round trip, want %+v", name, got, want)
+		}
+	}
+}
+
+func TestValidTenantName(t *testing.T) {
+	t.Parallel()
+	for _, ok := range []string{"a", "acme", "lab-7", "a.b_c-d", "A1", strings.Repeat("x", 64)} {
+		if !ValidTenantName(ok) {
+			t.Errorf("ValidTenantName(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", " ", "a b", "a/b", "a\nb", "über", strings.Repeat("x", 65), "*"} {
+		if ValidTenantName(bad) {
+			t.Errorf("ValidTenantName(%q) = true", bad)
+		}
+	}
+}
+
+// fakeAdmission builds an Admission over cfg with a settable clock.
+func fakeAdmission(cfg *TenantConfig) (*Admission, *time.Time) {
+	now := time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC)
+	a := NewAdmission(cfg)
+	a.now = func() time.Time { return now }
+	return a, &now
+}
+
+// TestAdmissionRate pins the token bucket: burst accepts, then rate
+// rejections with a Retry-After sized to the token deficit, then refill.
+func TestAdmissionRate(t *testing.T) {
+	t.Parallel()
+	a, now := fakeAdmission(NewTenantConfig(map[string]TenantPolicy{
+		"acme": {Rate: 1, Burst: 2},
+	}, TenantPolicy{}))
+	for i := 0; i < 2; i++ {
+		if dec := a.Admit("acme", 0); !dec.OK {
+			t.Fatalf("burst submit %d rejected: %+v", i, dec)
+		}
+	}
+	dec := a.Admit("acme", 0)
+	if dec.OK || dec.Reason != "rate" {
+		t.Fatalf("over-rate submit = %+v, want rate rejection", dec)
+	}
+	if dec.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter = %v, want 1s (one token at 1/s)", dec.RetryAfter)
+	}
+	// One second refills one token exactly.
+	*now = now.Add(time.Second)
+	if dec := a.Admit("acme", 0); !dec.OK {
+		t.Fatalf("post-refill submit rejected: %+v", dec)
+	}
+	// An unconfigured tenant has no rate limit at all.
+	for i := 0; i < 100; i++ {
+		if dec := a.Admit("other", 0); !dec.OK {
+			t.Fatalf("unlimited tenant rejected: %+v", dec)
+		}
+	}
+}
+
+// TestAdmissionInFlight pins the in-flight cap and its precedence over the
+// rate check (a capped tenant sees "inflight" even with tokens to spare).
+func TestAdmissionInFlight(t *testing.T) {
+	t.Parallel()
+	a, _ := fakeAdmission(NewTenantConfig(map[string]TenantPolicy{
+		"acme": {Rate: 100, Burst: 100, MaxInFlight: 2},
+	}, TenantPolicy{}))
+	if dec := a.Admit("acme", 1); !dec.OK {
+		t.Fatalf("under-cap submit rejected: %+v", dec)
+	}
+	dec := a.Admit("acme", 2)
+	if dec.OK || dec.Reason != "inflight" {
+		t.Fatalf("at-cap submit = %+v, want inflight rejection", dec)
+	}
+	if dec.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter = %v, want >= 1s", dec.RetryAfter)
+	}
+}
+
+// TestAdmissionRetryEscalation pins the budget arc: polite base hints while
+// budget lasts, doubling per excess rejection, the 5-minute cap, and a full
+// budget restore on the next accept.
+func TestAdmissionRetryEscalation(t *testing.T) {
+	t.Parallel()
+	a, now := fakeAdmission(NewTenantConfig(map[string]TenantPolicy{
+		"acme": {Rate: 1, Burst: 1, RetryBudget: 2},
+	}, TenantPolicy{}))
+	if dec := a.Admit("acme", 0); !dec.OK {
+		t.Fatalf("first submit rejected: %+v", dec)
+	}
+	wantRA := []time.Duration{
+		time.Second,     // reject 1: within budget
+		time.Second,     // reject 2: budget spent exactly
+		2 * time.Second, // reject 3: 1 past budget
+		4 * time.Second, // reject 4
+	}
+	wantLeft := []int{1, 0, 0, 0}
+	for i := range wantRA {
+		dec := a.Admit("acme", 0)
+		if dec.OK {
+			t.Fatalf("reject %d admitted", i+1)
+		}
+		if dec.RetryAfter != wantRA[i] || dec.BudgetLeft != wantLeft[i] {
+			t.Fatalf("reject %d: RetryAfter=%v BudgetLeft=%d, want %v/%d",
+				i+1, dec.RetryAfter, dec.BudgetLeft, wantRA[i], wantLeft[i])
+		}
+	}
+	// Hammering forever hits the cap, never overflows.
+	for i := 0; i < 40; i++ {
+		if dec := a.Admit("acme", 0); dec.RetryAfter > maxRetryAfter {
+			t.Fatalf("RetryAfter %v exceeds cap %v", dec.RetryAfter, maxRetryAfter)
+		}
+	}
+	// An accept restores the full budget.
+	*now = now.Add(time.Second)
+	if dec := a.Admit("acme", 0); !dec.OK || dec.BudgetLeft != 2 {
+		t.Fatalf("post-accept decision = %+v, want OK with budget 2", dec)
+	}
+}
+
+// TestAdmitFastPathNoAlloc pins the accepted-submit fast path at zero
+// allocations after the tenant's first call (BenchmarkAdmitFastPath gates
+// the same property through bench-diff).
+func TestAdmitFastPathNoAlloc(t *testing.T) {
+	a, _ := fakeAdmission(NewTenantConfig(map[string]TenantPolicy{
+		"acme": {Rate: 1e6, Burst: 1e6, MaxInFlight: 1 << 20},
+	}, TenantPolicy{}))
+	if dec := a.Admit("acme", 0); !dec.OK {
+		t.Fatalf("warmup rejected: %+v", dec)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if dec := a.Admit("acme", 1); !dec.OK {
+			t.Fatal("rejected")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("accepted Admit allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// schedJobs fabricates n bare jobs with distinguishable IDs.
+func schedJobs(tenant string, n int) []*Job {
+	out := make([]*Job, n)
+	for i := range out {
+		out[i] = &Job{ID: tenant + "-" + string(rune('1'+i))}
+	}
+	return out
+}
+
+// TestTenantSchedOrder pins DWRR proportionality: with weights 1 and 3 the
+// heavy tenant gets three claims per round to the light tenant's one, and
+// both appear in the very first round.
+func TestTenantSchedOrder(t *testing.T) {
+	t.Parallel()
+	s := newTenantSched(NewTenantConfig(map[string]TenantPolicy{
+		"a": {Weight: 1}, "b": {Weight: 3},
+	}, TenantPolicy{}))
+	a, b := schedJobs("a", 4), schedJobs("b", 4)
+	got := s.order(map[string][]*Job{"a": a, "b": b})
+	var ids []string
+	for _, j := range got {
+		ids = append(ids, j.ID)
+	}
+	want := []string{"a-1", "b-1", "b-2", "b-3", "a-2", "b-4", "a-3", "a-4"}
+	if strings.Join(ids, " ") != strings.Join(want, " ") {
+		t.Fatalf("order = %v, want %v", ids, want)
+	}
+	// The cursor rotates which tenant leads the next scan, so equal-weight
+	// tenants are not permanently biased by name order.
+	got = s.order(map[string][]*Job{"a": schedJobs("a", 1), "b": schedJobs("b", 1)})
+	if len(got) != 2 || got[0].ID != "b-1" {
+		t.Fatalf("second scan leads with %v, want b first after rotation", got)
+	}
+}
+
+// TestTenantSchedNoStarvation pins the fairness floor: weights >= 1 mean
+// every backlogged tenant is offered at least one claim in the first round,
+// no matter how heavy the competition.
+func TestTenantSchedNoStarvation(t *testing.T) {
+	t.Parallel()
+	s := newTenantSched(NewTenantConfig(map[string]TenantPolicy{
+		"heavy": {Weight: 100},
+	}, TenantPolicy{}))
+	got := s.order(map[string][]*Job{
+		"heavy": schedJobs("h", 50),
+		"light": schedJobs("l", 2),
+	})
+	if len(got) != 52 {
+		t.Fatalf("order dropped jobs: %d of 52", len(got))
+	}
+	for i, j := range got {
+		if strings.HasPrefix(j.ID, "l-") {
+			if i > 50 {
+				t.Fatalf("light tenant's first claim at position %d, starved past round one", i)
+			}
+			return
+		}
+	}
+	t.Fatal("light tenant never scheduled")
+}
+
+// TestTenantSchedIdleReset pins DWRR's credit rule: a tenant that goes idle
+// loses its banked deficit and cannot later burst past its share.
+func TestTenantSchedIdleReset(t *testing.T) {
+	t.Parallel()
+	s := newTenantSched(nil)
+	s.order(map[string][]*Job{"a": schedJobs("a", 1)})
+	if len(s.deficits) != 1 {
+		t.Fatalf("deficits = %v, want one entry", s.deficits)
+	}
+	s.order(map[string][]*Job{"b": schedJobs("b", 1)})
+	if _, banked := s.deficits["a"]; banked {
+		t.Fatal("idle tenant a kept banked deficit")
+	}
+}
+
+// TestTenantInFlight pins the store-side quota input: non-terminal jobs per
+// tenant, with "" and "default" counted as the same tenant.
+func TestTenantInFlight(t *testing.T) {
+	t.Parallel()
+	st := openNode(t, t.TempDir(), "")
+	mk := func(tenant string) *Job {
+		t.Helper()
+		spec := fastSpec()
+		spec.Tenant = tenant
+		j, err := st.Create(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	mk("acme")
+	mk("")
+	mk("default")
+	done := mk("acme")
+	if _, err := done.Append(StateRunning, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := done.Append(StateSucceeded, 1, "done"); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.TenantInFlight("acme"); got != 1 {
+		t.Fatalf("TenantInFlight(acme) = %d, want 1 (terminal job excluded)", got)
+	}
+	for _, tenant := range []string{"", DefaultTenant} {
+		if got := st.TenantInFlight(tenant); got != 2 {
+			t.Fatalf("TenantInFlight(%q) = %d, want 2 (empty and default merge)", tenant, got)
+		}
+	}
+	if got := st.TenantInFlight("stranger"); got != 0 {
+		t.Fatalf("TenantInFlight(stranger) = %d, want 0", got)
+	}
+}
+
+// TestSubmitOverQuota pins Manager.Submit's quota surface: an in-flight cap
+// turns the second submission into *ErrOverQuota with a Retry-After and the
+// tenant's retry budget, and admission recovers once the job is terminal.
+func TestSubmitOverQuota(t *testing.T) {
+	t.Parallel()
+	_, m := newTestManager(t, t.TempDir(), Config{
+		Workers: 1,
+		Tenants: NewTenantConfig(map[string]TenantPolicy{
+			"acme": {MaxInFlight: 1, RetryBudget: 3},
+		}, TenantPolicy{}),
+	})
+	spec := fastSpec()
+	spec.Tenant = "acme"
+	j, err := m.Submit(spec) // manager not started: the job stays queued
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Submit(spec)
+	var oq *ErrOverQuota
+	if !errors.As(err, &oq) {
+		t.Fatalf("second submit err = %v, want *ErrOverQuota", err)
+	}
+	if oq.Tenant != "acme" || oq.Reason != "inflight" || oq.RetryAfter < time.Second || oq.RetryBudget != 2 {
+		t.Fatalf("quota error = %+v", oq)
+	}
+	// Other tenants are unaffected by acme's cap.
+	if _, err := m.Submit(fastSpec()); err != nil {
+		t.Fatalf("default-tenant submit refused: %v", err)
+	}
+	// Terminal jobs free the slot.
+	if ok, err := m.Cancel(j.ID); err != nil || !ok {
+		t.Fatalf("cancel: %v %v", ok, err)
+	}
+	if _, err := m.Submit(spec); err != nil {
+		t.Fatalf("post-cancel submit refused: %v", err)
+	}
+}
+
+// TestSubmitOverloadShed pins the weighted degradation band: above the 3/4
+// high-water mark, low-weight tenants shed first, the heaviest tenant keeps
+// submitting until the backlog is hard-full, and a full backlog is always
+// ErrQueueFull's 429 — never a shed 503.
+func TestSubmitOverloadShed(t *testing.T) {
+	t.Parallel()
+	_, m := newTestManager(t, t.TempDir(), Config{
+		Workers:    1,
+		QueueDepth: 8, // hwm = 6; low (w=1) limit 6, high (w=4) limit 8
+		Tenants: NewTenantConfig(map[string]TenantPolicy{
+			"low":  {Weight: 1},
+			"high": {Weight: 4},
+		}, TenantPolicy{}),
+	})
+	sub := func(tenant string) error {
+		spec := fastSpec()
+		spec.Tenant = tenant
+		_, err := m.Submit(spec)
+		return err
+	}
+	for i := 0; i < 6; i++ { // fill to the high-water mark
+		if err := sub("high"); err != nil {
+			t.Fatalf("fill submit %d: %v", i, err)
+		}
+	}
+	var shed *ErrShed
+	if err := sub("low"); !errors.As(err, &shed) {
+		t.Fatalf("low-weight submit at hwm err = %v, want *ErrShed", err)
+	}
+	if shed.Tenant != "low" || shed.Reason != "overload" || shed.RetryAfter < time.Second {
+		t.Fatalf("shed error = %+v", shed)
+	}
+	for i := 0; i < 2; i++ { // the heaviest tenant rides the band to the top
+		if err := sub("high"); err != nil {
+			t.Fatalf("high-weight submit in band: %v", err)
+		}
+	}
+	var full *ErrQueueFull
+	if err := sub("high"); !errors.As(err, &full) {
+		t.Fatalf("submit at depth err = %v, want *ErrQueueFull", err)
+	}
+	if err := sub("low"); !errors.As(err, &full) {
+		t.Fatalf("low submit at full depth err = %v, want *ErrQueueFull (429 outranks shed)", err)
+	}
+}
+
+// saturateFleet makes m report an exhausted claim budget by stuffing its
+// pending buffer (Saturated only reads lengths; the entries never run
+// because the manager is not started).
+func saturateFleet(m *Manager) {
+	m.qmu.Lock()
+	m.pending = append(m.pending, nil, nil)
+	m.qmu.Unlock()
+}
+
+// TestShedHintEdges pins the fleet shed hint's edges: an unsaturated node
+// never sheds, a saturated node with zero live peers never sheds (a 503
+// with nowhere to go helps no one), a heartbeat whose expiry has passed is
+// not a live peer, a full backlog turns the hint off (queue-full 429 owns
+// that case), and two mutually saturated nodes both still hint (liveness,
+// not load, is the signal).
+func TestShedHintEdges(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	stA := openNode(t, dir, "a")
+	mA := NewManager(stA, Config{NodeID: "a", Workers: 1, QueueDepth: 4, Backoff: fastBackoff, Logf: t.Logf})
+
+	if mA.Saturated() || mA.ShedHint() {
+		t.Fatal("idle node claims saturation")
+	}
+	saturateFleet(mA)
+	if !mA.Saturated() {
+		t.Fatal("stuffed node not saturated")
+	}
+	if mA.ShedHint() {
+		t.Fatal("saturated node with zero live peers sheds")
+	}
+
+	// A heartbeat exactly at (or past) its expiry is dead: liveness needs
+	// now strictly before Expires.
+	now := time.Now()
+	data, err := EncodeLeaseRecord(LeaseRecord{Token: 1, Node: "c", Time: now, Expires: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndir := filepath.Join(dir, nodesDirName)
+	if err := os.MkdirAll(ndir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(ndir, "c.twl"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := AliveNodes([]string{dir}, "a"); len(got) != 0 {
+		t.Fatalf("AliveNodes with boundary heartbeat = %v, want none", got)
+	}
+	if mA.ShedHint() {
+		t.Fatal("expired-boundary heartbeat counted as a live peer")
+	}
+
+	// A genuinely live peer flips the hint on — even if that peer is
+	// itself saturated: the hint is a liveness signal, and the peer's own
+	// submit path sheds for itself.
+	stB := openNode(t, dir, "b")
+	if err := stB.WriteNodeHeartbeat(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	mB := NewManager(stB, Config{NodeID: "b", Workers: 1, QueueDepth: 4, Backoff: fastBackoff, Logf: t.Logf})
+	saturateFleet(mB)
+	if err := stA.WriteNodeHeartbeat(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !mA.ShedHint() || !mB.ShedHint() {
+		t.Fatal("mutually saturated nodes stopped hinting")
+	}
+
+	// A full shared backlog masks the hint: that refusal belongs to
+	// ErrQueueFull's 429.
+	for i := 0; i < 4; i++ {
+		if _, err := stA.Create(fastSpec()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mA.ShedHint() {
+		t.Fatal("full backlog still sheds; want queue-full instead")
+	}
+}
+
+// TestGCLeases pins startup lease GC: superseded claim files and dead
+// heartbeats of terminal jobs go, the fencing high-water mark and live
+// jobs' chains stay, stale node liveness files go, and AuditLease accepts
+// the post-GC state (missing sub-max claims are debris, not violations).
+func TestGCLeases(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	stA := openNode(t, dir, "a")
+	stB := openNode(t, dir, "b")
+	j, err := stA.Create(fastSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, _, err := stA.Claim(j, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	stB.Rescan()
+	jb, ok := stB.Get(j.ID)
+	if !ok {
+		t.Fatal("job invisible to node b")
+	}
+	l2, _, err := stB.Claim(jb, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jb.Append(StateRunning, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jb.Append(StateSucceeded, 1, "done"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Release(); err != nil {
+		t.Fatal(err)
+	}
+	// A live (non-terminal) job's chain must survive GC wholesale.
+	live, err := stA.Create(fastSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := stA.Claim(live, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := stA.WriteNodeHeartbeat(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := stB.WriteNodeHeartbeat(5 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond) // everything short-lived lapses
+
+	if _, err := stA.GCLeases(0); err == nil {
+		t.Fatal("GCLeases accepted non-positive retention")
+	}
+	removed, err := stA.GCLeases(10 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t00000001 (superseded claim), the dead hb, and b's stale liveness
+	// file: exactly three removals.
+	if removed != 3 {
+		t.Fatalf("GCLeases removed %d files, want 3", removed)
+	}
+	cdir := filepath.Join(j.Dir(), claimsDir)
+	if _, err := os.Stat(filepath.Join(cdir, "t00000001")); !os.IsNotExist(err) {
+		t.Fatal("superseded claim t00000001 survived GC")
+	}
+	if _, err := os.Stat(filepath.Join(cdir, "t00000002")); err != nil {
+		t.Fatalf("high-water claim t00000002 removed: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(live.Dir(), claimsDir, "t00000001")); err != nil {
+		t.Fatalf("live job's claim removed: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, nodesDirName, "a.twl")); err != nil {
+		t.Fatalf("live node heartbeat removed: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, nodesDirName, "b.twl")); !os.IsNotExist(err) {
+		t.Fatal("stale node heartbeat survived GC")
+	}
+	// The journal still references token 1; post-GC audit must tolerate the
+	// missing sub-max claim file...
+	jb.Reload()
+	if err := AuditLease(jb.Dir(), jb.History()); err != nil {
+		t.Fatalf("audit after GC: %v", err)
+	}
+	// ...but a token with no claim file at or above the high-water mark is
+	// still a violation (a fabricated token, not GC debris).
+	if err := os.Remove(filepath.Join(cdir, "t00000002")); err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditLease(jb.Dir(), jb.History()); err == nil {
+		t.Fatal("audit accepted a journaled token above the claim high-water mark")
+	}
+}

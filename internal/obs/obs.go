@@ -63,7 +63,11 @@ type Finding struct {
 
 // JobTimeline is the reconstructed history of one job.
 type JobTimeline struct {
-	Job      string    `json:"job"`
+	Job string `json:"job"`
+	// Tenant is the job's traffic class, recovered from the durable spec
+	// (canonicalized: an untenanted spec reports the default tenant).
+	// Empty only when no spec survived under any root.
+	Tenant   string    `json:"tenant,omitempty"`
 	Events   []Event   `json:"events"`
 	Findings []Finding `json:"findings,omitempty"`
 	// Submitted/Finished bound the job's journaled life; Finished is zero
@@ -151,6 +155,14 @@ func analyzeJob(id string, dirs []string) *JobTimeline {
 		recs   []jobs.Record
 	)
 	for _, dir := range dirs {
+		if jt.Tenant == "" {
+			if spec, err := jobs.ReadSpecDir(dir); err == nil {
+				jt.Tenant = spec.Tenant
+				if jt.Tenant == "" {
+					jt.Tenant = jobs.DefaultTenant
+				}
+			}
+		}
 		dirRecs, err := jobs.ReadJournalDir(dir)
 		if err != nil {
 			jt.finding(classifyJournalErr(err), "error", err.Error())
@@ -480,6 +492,9 @@ func (r *Report) WriteText(w io.Writer) error {
 	}
 	for _, jt := range r.Jobs {
 		header := fmt.Sprintf("\njob %s: %s", jt.Job, jt.State)
+		if jt.Tenant != "" {
+			header += " tenant=" + jt.Tenant
+		}
 		if !jt.Finished.IsZero() {
 			header += fmt.Sprintf(" in %v", jt.Latency)
 		}

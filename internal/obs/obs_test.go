@@ -33,6 +33,17 @@ func mkJobDir(t *testing.T, root, id string) string {
 	return dir
 }
 
+func writeSpec(t *testing.T, dir string, spec jobs.Spec) {
+	t.Helper()
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "spec.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func writeJournal(t *testing.T, dir string, recs []jobs.Record) {
 	t.Helper()
 	data, err := jobs.EncodeJournal(recs)
@@ -81,6 +92,7 @@ func cleanFleetRoot(t *testing.T) string {
 	root := t.TempDir()
 
 	d1 := mkJobDir(t, root, "j000001")
+	writeSpec(t, d1, jobs.Spec{Preset: "i1", Tenant: "acme"})
 	writeJournal(t, d1, []jobs.Record{
 		{Seq: 1, Time: at(0), State: jobs.StateQueued, Detail: "submitted"},
 		{Seq: 2, Time: at(2), State: jobs.StateRunning, Attempt: 1, Detail: "executing", Node: "n1", Token: 1},
@@ -102,7 +114,10 @@ func cleanFleetRoot(t *testing.T) string {
 			Attrs: map[string]string{"attempt": "1", "outcome": "succeeded"}},
 	)
 
+	// j000002's spec predates tenancy (no tenant field): the timeline must
+	// report the canonical default tenant, not an empty one.
 	d2 := mkJobDir(t, root, "j000002")
+	writeSpec(t, d2, jobs.Spec{Preset: "i1"})
 	writeJournal(t, d2, []jobs.Record{
 		{Seq: 1, Time: at(0), State: jobs.StateQueued, Detail: "submitted"},
 		{Seq: 2, Time: at(3), State: jobs.StateRunning, Attempt: 1, Detail: "executing", Node: "n1", Token: 1},
@@ -178,6 +193,14 @@ func TestCleanFleetSummary(t *testing.T) {
 	}
 	if rep.JobCount != 2 {
 		t.Fatalf("JobCount = %d", rep.JobCount)
+	}
+	// Tenants recovered from the durable specs: an explicit one verbatim,
+	// a pre-tenancy spec canonicalized to the default tenant.
+	if got := rep.Jobs[0].Tenant; got != "acme" {
+		t.Fatalf("j000001 tenant = %q, want acme", got)
+	}
+	if got := rep.Jobs[1].Tenant; got != jobs.DefaultTenant {
+		t.Fatalf("j000002 tenant = %q, want %q", got, jobs.DefaultTenant)
 	}
 	byNode := map[string]NodeSummary{}
 	for _, ns := range rep.Nodes {
