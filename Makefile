@@ -1,26 +1,28 @@
 # Standard checks for the TimberWolfMC reproduction.
 #
-#   make verify      tier-1 checks + race detector + short fuzz smokes + bench smoke/diff + twserve smoke + obs smoke + chaos smokes
+#   make verify      tier-1 checks + race detector + short fuzz smokes + bench smoke/diff + twserve smoke + obs smoke + chaos smokes + fsck smoke
 #   make test        unit tests only
 #   make fuzz-smoke  10-second runs of each fuzz target
-#   make bench       place + jobs benchmarks with -benchmem -> BENCH_PR9.json
+#   make bench       place + jobs benchmarks with -benchmem -> BENCH_PR10.json
 #   make bench-smoke 1-iteration benchmark pass (catches bitrot, no timing)
 #   make bench-diff  bench-smoke output gated against the committed baseline
 #   make obs-smoke   2-node fleet end to end: submit, scrape /metrics, twobs clean timeline
 #   make chaos-smoke bounded twchaos runs (fixed seeds, both single-process modes)
 #   make chaos-node-smoke  bounded multi-node twchaos run (3-node fleet, SIGKILLed mid-claim)
 #   make storm-smoke       bounded multi-tenant submission storm against a faulted fleet
+#   make dupstorm-smoke    bounded duplicate-submission storm (exactly-once per digest)
+#   make fsck-smoke        twfsck end to end against a store with seeded defects
 
 GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
-BENCHOUT ?= BENCH_PR9.json
-BENCHBASE ?= BENCH_PR9.json
+BENCHOUT ?= BENCH_PR10.json
+BENCHBASE ?= BENCH_PR10.json
 BENCHPKGS = ./internal/place ./internal/jobs
 
-.PHONY: verify tier1 test race fuzz-smoke bench bench-smoke bench-diff serve-smoke obs-smoke chaos-smoke chaos-node-smoke storm-smoke
+.PHONY: verify tier1 test race fuzz-smoke bench bench-smoke bench-diff serve-smoke obs-smoke chaos-smoke chaos-node-smoke storm-smoke dupstorm-smoke fsck-smoke
 
-verify: tier1 race fuzz-smoke bench-diff serve-smoke obs-smoke chaos-smoke chaos-node-smoke storm-smoke
+verify: tier1 race fuzz-smoke bench-diff serve-smoke obs-smoke chaos-smoke chaos-node-smoke storm-smoke dupstorm-smoke fsck-smoke
 
 tier1:
 	$(GO) build ./...
@@ -42,6 +44,8 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeJournal -fuzztime=$(FUZZTIME) ./internal/jobs
 	$(GO) test -fuzz=FuzzDecodeLease -fuzztime=$(FUZZTIME) ./internal/jobs
 	$(GO) test -fuzz=FuzzParseTenantConfig -fuzztime=$(FUZZTIME) ./internal/jobs
+	$(GO) test -fuzz=FuzzCanonicalSpec -fuzztime=$(FUZZTIME) ./internal/jobs
+	$(GO) test -fuzz=FuzzDecodeDedupIndex -fuzztime=$(FUZZTIME) ./internal/jobs
 
 # serve-smoke drives a real twserve process end to end: start on an
 # ephemeral port, submit a job, SIGTERM mid-run, and require a clean exit
@@ -86,6 +90,25 @@ chaos-node-smoke:
 # acceptance run is the same harness with -schedules 50.
 storm-smoke:
 	$(GO) run ./cmd/twchaos -mode storm -schedules 2 -seed 5
+
+# dupstorm-smoke runs the duplicate-submission chaos mode: racing goroutines
+# submit identical specs (raw duplicates plus retried idempotency keys)
+# through one admission front end while an armed fleet executes the
+# deduplicated work under SIGKILLs. Exit 0 means exactly one execution per
+# content digest (re-execution only over a journaled failed generation),
+# byte-identical fan-out through every alias, durable key→job mappings, and
+# a zero-error post-chaos scrub. The 50-schedule acceptance run is the same
+# harness with -schedules 50.
+dupstorm-smoke:
+	$(GO) run ./cmd/twchaos -mode dupstorm -schedules 2 -seed 6
+
+# fsck-smoke drives the twfsck binary end to end: a real store (executed
+# job, dedup alias, idempotency key) gets a clean bill of health (exit 0),
+# then a flipped placement byte must be detected (exit 1, dry-run touches
+# nothing) and quarantined by -repair. The per-defect-class matrix runs in
+# the internal/scrub unit tests.
+fsck-smoke:
+	$(GO) test -run 'TestFsckSmoke' -count=1 -v ./cmd/twfsck
 
 # bench records the placement and job-store hot-path benchmarks (incl. the
 # telemetry on/off pair and the lease fencing guard) as committed JSON.

@@ -6,7 +6,7 @@
 // reason, or loudly quarantined; never a hang, a corrupt result, or a
 // runtime invariant violation (DESIGN.md §11).
 //
-// Four modes:
+// Five modes:
 //
 //	-mode inprocess   faults fire via internal/faultinject inside this
 //	                  process; workers are interrupted by drain/restart
@@ -26,6 +26,13 @@
 //	                  verifies quotas never exceeded, typed rejections with
 //	                  Retry-After, no tenant starved, deadline fail-fast,
 //	                  plus the node-mode contract (DESIGN.md §15)
+//	-mode dupstorm    racing goroutines submit identical specs — raw
+//	                  duplicates plus retried idempotency keys — through one
+//	                  admission front end while an armed fleet executes the
+//	                  deduplicated work under SIGKILLs; verifies exactly one
+//	                  execution per content digest, byte-identical result
+//	                  fan-out through every alias, durable key→job mapping,
+//	                  and a zero-error post-chaos scrub pass (DESIGN.md §16)
 //
 // A failing schedule is reproducible alone: twchaos -seed S -schedule N
 // -schedules 1 reruns exactly that rule set and timing stream. Exit status
@@ -56,7 +63,7 @@ func run() int {
 	}
 
 	var (
-		mode      = flag.String("mode", "inprocess", "fault delivery: inprocess, sigkill, node, or storm")
+		mode      = flag.String("mode", "inprocess", "fault delivery: inprocess, sigkill, node, storm, or dupstorm")
 		schedules = flag.Int("schedules", 20, "number of randomized fault schedules to run")
 		first     = flag.Int("schedule", 0, "index of the first schedule (rerun a failing schedule N with -schedule N -schedules 1)")
 		seed      = flag.Uint64("seed", 1, "master seed; equal seeds reproduce equal runs")
@@ -105,8 +112,10 @@ func run() int {
 		rep, err = chaos.RunNode(opts, "")
 	case "storm":
 		rep, err = chaos.RunStorm(opts, "")
+	case "dupstorm":
+		rep, err = chaos.RunDupStorm(opts, "")
 	default:
-		fmt.Fprintf(os.Stderr, "twchaos: unknown -mode %q (want inprocess, sigkill, node, or storm)\n", *mode)
+		fmt.Fprintf(os.Stderr, "twchaos: unknown -mode %q (want inprocess, sigkill, node, storm, or dupstorm)\n", *mode)
 		return 2
 	}
 	if err != nil {

@@ -1,0 +1,72 @@
+// Command twfsck verifies a job store's durable artifacts: specs and
+// content digests, journals, fencing claim chains, span files,
+// checkpoints, succeeded placement/result bytes against their journaled
+// CRCs, and the dedupe index. By default it is strictly read-only and
+// prints a defect report; with -repair it applies the scrub package's
+// repair matrix (backfill/rewrite digests, rewrite valid journal
+// prefixes, quarantine everything else that is unsafe to keep).
+//
+// Usage:
+//
+//	twfsck [-repair] [-strict] [-format text|json] STORE_ROOT...
+//
+// Exit codes mirror twobs: 0 when clean (or warnings only), 1 when any
+// error-severity defect was found (with -strict, warnings too), 2 on
+// usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/scrub"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		repair = flag.Bool("repair", false, "repair what is safe to repair and quarantine the rest (default: read-only)")
+		strict = flag.Bool("strict", false, "exit nonzero on warnings too, not just errors")
+		format = flag.String("format", "text", "output format: text or json")
+		quiet  = flag.Bool("q", false, "suppress per-defect progress logging on stderr")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: twfsck [-repair] [-strict] [-format text|json] STORE_ROOT...")
+		flag.PrintDefaults()
+		return 2
+	}
+	logf := log.New(os.Stderr, "", 0).Printf
+	if *quiet {
+		logf = nil
+	}
+	rep, err := scrub.Scan(flag.Args(), scrub.Options{Repair: *repair, Logf: logf})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twfsck:", err)
+		return 2
+	}
+	switch *format {
+	case "text":
+		rep.WriteText(os.Stdout)
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "twfsck:", err)
+			return 2
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "twfsck: unknown format %q\n", *format)
+		return 2
+	}
+	if rep.Errors() > 0 || (*strict && rep.Warnings() > 0) {
+		return 1
+	}
+	return 0
+}

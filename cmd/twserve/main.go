@@ -11,7 +11,9 @@
 //
 // API (see README "Running as a service" for curl examples):
 //
-//	POST /jobs              submit a job spec      → 202 {"id":"j000001",...}
+//	POST /jobs              submit a job spec      → 201 {"id":"j000001",...}
+//	                        idempotent replay      → 200 + the original job
+//	                        key reused, new spec   → 409
 //	                        tenant over quota      → 429 + Retry-After + retry budget
 //	                        queue full             → 429 + Retry-After
 //	                        draining               → 503
@@ -21,14 +23,24 @@
 //	                        not application/json   → 415
 //	                        spec over 8 MiB        → 413
 //
+// Exactly-once submission (DESIGN.md §16): an Idempotency-Key header makes
+// the submit retry-safe — an exact retry (same key, same spec) returns the
+// original job with 200 instead of creating a duplicate. Independently,
+// every accepted spec is resolved against a content-digest index: an
+// identical spec already executing or already succeeded is registered as a
+// terminal "dedup" alias serving the shared result, without re-running the
+// anneal (the cache-hit submit returns in milliseconds; see README
+// "Idempotent retries and the result cache").
+//
 // Multi-tenancy: the X-Tenant header (or the spec's "tenant" field) names
 // the submitting tenant; -tenants loads per-tenant weights and quotas (see
 // README "Multi-tenant operation"). Quota refusals are 429s with a computed
 // Retry-After and the tenant's remaining retry budget — distinct from the
 // capacity 503s above.
 //
-//	POST /jobs/batch        submit an array of specs; per-item outcomes
-//	                        (202 all accepted, 207 otherwise)
+//	POST /jobs/batch        submit an array of specs, each optionally
+//	                        wrapped with "idempotency_key"; per-item
+//	                        outcomes (200 all accepted, 207 otherwise)
 //	GET  /jobs              list jobs
 //	GET  /jobs/status?ids=a,b  bulk status in one round trip
 //	GET  /jobs/{id}         spec + full status journal
@@ -73,6 +85,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/invariant"
 	"repro/internal/jobs"
+	"repro/internal/scrub"
 	"repro/internal/telcli"
 	"repro/internal/telemetry"
 )
@@ -97,6 +110,8 @@ func run() int {
 		peerDirs  = flag.String("peer-dirs", "", "comma-separated additional store roots whose node heartbeats count as live peers (for load shedding)")
 		leaseTTL  = flag.Duration("lease-ttl", 0, "fleet job-lease TTL; a node silent this long loses its jobs to peers (0 = default 3s)")
 		leaseRet  = flag.Duration("lease-retention", 0, "GC lease litter (expired node heartbeats, terminal jobs' superseded claim files) older than this on startup (0 = disabled)")
+		retention = flag.Duration("retention", 0, "delete terminal job dirs whose last transition is older than this (0 = keep forever; dedup sources with live aliases and the newest job dir always survive)")
+		scrubEvry = flag.Duration("scrub-every", 0, "background store-integrity sweep cadence (0 = disabled); defects are logged and counted in /metrics")
 		tenantsF  = flag.String("tenants", "", "tenant policy config file: per-tenant weight, rate, burst, max_inflight, retry_budget (empty = no quotas)")
 		invar     = flag.Bool("invariants", false, "enable runtime invariant checks (journal state machine, cost drift); violations are logged and counted in /metrics")
 		faults    = flag.String("faults", "", "arm deterministic fault injection with this rule spec (e.g. 'fsio.write:err=enospc,after=3'); chaos testing only")
@@ -187,6 +202,15 @@ func run() int {
 		PeerDirs:        peers,
 		Tenants:         tcfg,
 		LeaseRetention:  *leaseRet,
+		Retention:       *retention,
+		ScrubEvery:      *scrubEvry,
+		ScrubFunc: func(root string) (int, error) {
+			rep, err := scrub.Scan([]string{root}, scrub.Options{Logf: logf})
+			if err != nil {
+				return 0, err
+			}
+			return len(rep.Defects), nil
+		},
 	})
 	if *nodeID != "" {
 		ttl := *leaseTTL
@@ -301,11 +325,15 @@ type jobView struct {
 	Detail  string     `json:"detail,omitempty"`
 	Attempt int        `json:"attempt,omitempty"`
 	Updated time.Time  `json:"updated"`
+	// Digest is the spec's server-stamped content digest; Source, on a
+	// dedup alias, names the executing job whose result this one serves.
+	Digest string `json:"digest,omitempty"`
+	Source string `json:"source,omitempty"`
 }
 
 func view(j *jobs.Job) jobView {
 	rec := j.Last()
-	return jobView{
+	v := jobView{
 		ID:      j.ID,
 		Name:    j.Spec.Name,
 		Tenant:  j.Spec.Tenant,
@@ -313,7 +341,12 @@ func view(j *jobs.Job) jobView {
 		Detail:  rec.Detail,
 		Attempt: rec.Attempt,
 		Updated: rec.Time,
+		Digest:  j.Spec.Digest,
 	}
+	if src, ok := j.DedupSource(); ok {
+		v.Source = src
+	}
+	return v
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -354,13 +387,38 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.applyTenant(w, r, &spec) {
 		return
 	}
-	j, ref := s.submit(spec)
+	key, ok := idemKey(w, r)
+	if !ok {
+		return
+	}
+	j, created, ref := s.submit(spec, key)
 	if ref != nil {
 		s.writeRefusal(w, ref)
 		return
 	}
+	if !created {
+		s.logf("idempotent replay of %s (key %.40q)", j.ID, key)
+		writeJSON(w, http.StatusOK, view(j))
+		return
+	}
 	s.logf("accepted %s (%s, tenant %s)", j.ID, circuitLabel(&j.Spec), tenantLabel(&j.Spec))
-	writeJSON(w, http.StatusAccepted, view(j))
+	writeJSON(w, http.StatusCreated, view(j))
+}
+
+// maxIdemKeyBytes bounds a client idempotency key; the durable index hashes
+// the key, so the cap only guards against abusive headers.
+const maxIdemKeyBytes = 256
+
+// idemKey extracts and validates the Idempotency-Key header ("" = none).
+// Reports false after writing an error response.
+func idemKey(w http.ResponseWriter, r *http.Request) (string, bool) {
+	key := r.Header.Get("Idempotency-Key")
+	if len(key) > maxIdemKeyBytes {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("Idempotency-Key exceeds %d bytes", maxIdemKeyBytes))
+		return "", false
+	}
+	return key, true
 }
 
 // refusal is the machine-readable shape of every refused submission, on the
@@ -378,21 +436,27 @@ type refusal struct {
 }
 
 // submit runs one spec through the manager and maps the refusal surface to
-// HTTP semantics: 429 + Retry-After for quota refusals (tenant over rate or
-// in-flight limits) and a full backlog, 503 + Retry-After for capacity
-// shedding (fleet try-a-peer, weighted overload), 503 while draining, 507
-// while the store filesystem is unwritable, 400 otherwise. Single submit
-// and batch items share this path, so their outcomes are always consistent.
-func (s *server) submit(spec jobs.Spec) (*jobs.Job, *refusal) {
-	j, err := s.mgr.Submit(spec)
+// HTTP semantics: 409 for an idempotency key reused with a different spec,
+// 429 + Retry-After for quota refusals (tenant over rate or in-flight
+// limits) and a full backlog, 503 + Retry-After for capacity shedding
+// (fleet try-a-peer, weighted overload), 503 while draining, 507 while the
+// store filesystem is unwritable, 400 otherwise. Single submit and batch
+// items share this path, so their outcomes are always consistent. created
+// is false on an idempotent replay (the HTTP layer's 200-instead-of-201).
+func (s *server) submit(spec jobs.Spec, key string) (*jobs.Job, bool, *refusal) {
+	j, created, err := s.mgr.SubmitIdem(spec, key)
 	if err == nil {
-		return j, nil
+		return j, created, nil
 	}
 	ref := &refusal{Error: err.Error()}
 	var quota *jobs.ErrOverQuota
 	var full *jobs.ErrQueueFull
 	var shed *jobs.ErrShed
+	var idem *jobs.ErrIdemConflict
 	switch {
+	case errors.As(err, &idem):
+		ref.Status = http.StatusConflict
+		ref.Reason = "idempotency_key_conflict"
 	case errors.As(err, &quota):
 		ref.Status = http.StatusTooManyRequests
 		ref.Tenant = quota.Tenant
@@ -418,7 +482,7 @@ func (s *server) submit(spec jobs.Spec) (*jobs.Job, *refusal) {
 	default:
 		ref.Status = http.StatusBadRequest
 	}
-	return nil, ref
+	return nil, false, ref
 }
 
 // retrySeconds renders a Retry-After duration in whole seconds, >= 1 (the
@@ -470,11 +534,20 @@ func tenantLabel(spec *jobs.Spec) string {
 	return spec.Tenant
 }
 
+// batchSubmit is one batch element: a job spec, optionally wrapped with a
+// per-item idempotency key. The spec's fields are inlined (embedded), so a
+// plain array of bare specs keeps decoding unchanged.
+type batchSubmit struct {
+	jobs.Spec
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+}
+
 // handleBatch submits an array of specs in one request. Each element goes
 // through exactly the same submit path as a single POST /jobs — admission
-// quotas, queue backpressure, and load shedding are all applied per item,
-// so one batch can mix 202s, quota 429s, and shed 503s with the same
-// precedence a client would see submitting serially. All accepted → 202;
+// quotas, queue backpressure, load shedding, idempotency keys, and dedupe
+// are all applied per item, so one batch can mix 201s, replayed 200s, quota
+// 429s, and shed 503s with the same precedence a client would see
+// submitting serially. All accepted → 200 with per-item 201/200 statuses;
 // any refusal → 207 with per-item details (including each refused item's
 // Retry-After and retry budget) and the largest Retry-After as the
 // response header.
@@ -487,7 +560,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
-	var specs []jobs.Spec
+	var specs []batchSubmit
 	if err := dec.Decode(&specs); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -514,7 +587,15 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	items := make([]batchItem, len(specs))
 	accepted, maxRetry := 0, 0
-	for i, spec := range specs {
+	for i, item := range specs {
+		spec := item.Spec
+		if len(item.IdempotencyKey) > maxIdemKeyBytes {
+			items[i] = batchItem{refusal: refusal{
+				Status: http.StatusBadRequest,
+				Error:  fmt.Sprintf("idempotency_key exceeds %d bytes", maxIdemKeyBytes),
+			}}
+			continue
+		}
 		if h := r.Header.Get("X-Tenant"); h != "" {
 			if spec.Tenant != "" && spec.Tenant != h {
 				items[i] = batchItem{refusal: refusal{
@@ -525,7 +606,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			spec.Tenant = h
 		}
-		j, ref := s.submit(spec)
+		j, created, ref := s.submit(spec, item.IdempotencyKey)
 		if ref != nil {
 			items[i] = batchItem{refusal: *ref}
 			if ref.RetryAfterS > maxRetry {
@@ -533,11 +614,15 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		}
-		items[i] = batchItem{ID: j.ID, State: j.Last().State, refusal: refusal{Status: http.StatusAccepted}}
+		st := http.StatusCreated
+		if !created {
+			st = http.StatusOK
+		}
+		items[i] = batchItem{ID: j.ID, State: j.Last().State, refusal: refusal{Status: st}}
 		accepted++
 	}
 	s.logf("batch: accepted %d/%d job(s)", accepted, len(specs))
-	status := http.StatusAccepted
+	status := http.StatusOK
 	if accepted < len(specs) {
 		status = http.StatusMultiStatus
 		if maxRetry > 0 {
@@ -621,16 +706,34 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 	}{view(j), j.Spec, j.History()})
 }
 
+// resultSource resolves the job whose artifacts serve j: j itself normally,
+// the linked source for a dedup alias (whose own directory holds no result
+// bytes). Reports false after writing an error response.
+func (s *server) resultSource(w http.ResponseWriter, j *jobs.Job) (*jobs.Job, bool) {
+	src, err := s.store.ResolveResult(j)
+	if err != nil {
+		// A dangling or chained dedup link is store corruption (the
+		// scrubber's department), not a client error.
+		httpError(w, http.StatusInternalServerError, err)
+		return nil, false
+	}
+	return src, true
+}
+
 func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
 		return
 	}
-	info, err := j.ReadResult()
+	src, ok := s.resultSource(w, j)
+	if !ok {
+		return
+	}
+	info, err := src.ReadResult()
 	if err != nil {
 		if os.IsNotExist(err) {
 			httpError(w, http.StatusNotFound,
-				fmt.Errorf("job %s has no result yet (state %s)", j.ID, j.Last().State))
+				fmt.Errorf("job %s has no result yet (state %s)", j.ID, src.Last().State))
 			return
 		}
 		httpError(w, http.StatusInternalServerError, err)
@@ -644,11 +747,15 @@ func (s *server) handlePlacement(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	f, err := os.Open(j.PlacementPath())
+	src, ok := s.resultSource(w, j)
+	if !ok {
+		return
+	}
+	f, err := os.Open(src.PlacementPath())
 	if err != nil {
 		if os.IsNotExist(err) {
 			httpError(w, http.StatusNotFound,
-				fmt.Errorf("job %s has no placement (state %s)", j.ID, j.Last().State))
+				fmt.Errorf("job %s has no placement (state %s)", j.ID, src.Last().State))
 			return
 		}
 		httpError(w, http.StatusInternalServerError, err)

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -41,6 +42,17 @@ const (
 	fastSpecJSON = `{"preset":"i1","seed":1,"ac":8,"max_steps":8,"skip_stage2":true,"skip_drc":true}`
 	slowSpecJSON = `{"preset":"i3","seed":1,"ac":40,"max_steps":400,"skip_stage2":true,"skip_drc":true}`
 )
+
+// seedSpec and seedSlowSpec vary the seed: byte-identical specs dedupe
+// into one execution now, so tests that need N independent jobs must give
+// each submission distinct content.
+func seedSpec(seed int) string {
+	return fmt.Sprintf(`{"preset":"i1","seed":%d,"ac":8,"max_steps":8,"skip_stage2":true,"skip_drc":true}`, seed)
+}
+
+func seedSlowSpec(seed int) string {
+	return fmt.Sprintf(`{"preset":"i3","seed":%d,"ac":40,"max_steps":400,"skip_stage2":true,"skip_drc":true}`, seed)
+}
 
 // newTestServer wires a server over a fresh manager, in process.
 func newTestServer(t *testing.T, root string, cfg jobs.Config) (*server, *httptest.Server) {
@@ -134,7 +146,7 @@ func TestHTTPLifecycle(t *testing.T) {
 	defer srv.mgr.Drain(t.Context())
 
 	resp, data := postJSON(t, ts.URL+"/jobs", fastSpecJSON)
-	if resp.StatusCode != http.StatusAccepted {
+	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("submit: %d %s", resp.StatusCode, data)
 	}
 	var v struct {
@@ -206,11 +218,11 @@ func TestHTTPBackpressure(t *testing.T) {
 	// No Start(): the queue fills and stays full.
 	_, ts := newTestServer(t, t.TempDir(), jobs.Config{Workers: 1, QueueDepth: 2})
 	for i := 0; i < 2; i++ {
-		if resp, data := postJSON(t, ts.URL+"/jobs", fastSpecJSON); resp.StatusCode != http.StatusAccepted {
+		if resp, data := postJSON(t, ts.URL+"/jobs", seedSpec(i+1)); resp.StatusCode != http.StatusCreated {
 			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, data)
 		}
 	}
-	resp, data := postJSON(t, ts.URL+"/jobs", fastSpecJSON)
+	resp, data := postJSON(t, ts.URL+"/jobs", seedSpec(99))
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-capacity submit: %d %s, want 429", resp.StatusCode, data)
 	}
@@ -348,7 +360,7 @@ func TestServeDrainSmoke(t *testing.T) {
 	store := t.TempDir()
 	c := startChild(t, store)
 	resp, data := postJSON(t, c.url+"/jobs", slowSpecJSON)
-	if resp.StatusCode != http.StatusAccepted {
+	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("submit: %d %s", resp.StatusCode, data)
 	}
 	ck := filepath.Join(store, "j000001", "checkpoint.ck")
@@ -386,7 +398,7 @@ func TestServeKillRecovery(t *testing.T) {
 	// Reference: the same spec, uninterrupted, in a separate store.
 	refStore := t.TempDir()
 	ref := startChild(t, refStore)
-	if resp, data := postJSON(t, ref.url+"/jobs", slowSpecJSON); resp.StatusCode != http.StatusAccepted {
+	if resp, data := postJSON(t, ref.url+"/jobs", slowSpecJSON); resp.StatusCode != http.StatusCreated {
 		t.Fatalf("reference submit: %d %s", resp.StatusCode, data)
 	}
 	pollState(t, ref.url, "j000001", "succeeded")
@@ -397,7 +409,7 @@ func TestServeKillRecovery(t *testing.T) {
 	// Victim: same spec, killed without warning mid-run.
 	store := t.TempDir()
 	c := startChild(t, store)
-	if resp, data := postJSON(t, c.url+"/jobs", slowSpecJSON); resp.StatusCode != http.StatusAccepted {
+	if resp, data := postJSON(t, c.url+"/jobs", slowSpecJSON); resp.StatusCode != http.StatusCreated {
 		t.Fatalf("submit: %d %s", resp.StatusCode, data)
 	}
 	waitForFile(t, filepath.Join(store, "j000001", "checkpoint.ck"))
@@ -457,8 +469,8 @@ func TestHTTPSubmitContentType(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		t.Errorf("application/json with charset: %d, want 202", resp.StatusCode)
+	if resp.StatusCode != http.StatusCreated {
+		t.Errorf("application/json with charset: %d, want 201", resp.StatusCode)
 	}
 }
 
@@ -474,7 +486,7 @@ func TestHTTPSubmitTooLarge(t *testing.T) {
 }
 
 // TestHTTPBatch pins the bulk-submit endpoint: per-item outcomes with single-
-// submit semantics, 202 when everything lands, 207 when anything is refused.
+// submit semantics, 200 when everything lands, 207 when anything is refused.
 func TestHTTPBatch(t *testing.T) {
 	_, ts := newTestServer(t, t.TempDir(), jobs.Config{Workers: 1})
 
@@ -484,10 +496,10 @@ func TestHTTPBatch(t *testing.T) {
 		Status int    `json:"status"`
 		Error  string `json:"error"`
 	}
-	// All-good batch: 202 and every item accepted.
-	resp, data := postJSON(t, ts.URL+"/jobs/batch", "["+fastSpecJSON+","+fastSpecJSON+"]")
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("batch: %d %s, want 202", resp.StatusCode, data)
+	// All-good batch: 200 and every item created.
+	resp, data := postJSON(t, ts.URL+"/jobs/batch", "["+seedSpec(1)+","+seedSpec(2)+"]")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d %s, want 200", resp.StatusCode, data)
 	}
 	var items []item
 	if err := json.Unmarshal(data, &items); err != nil {
@@ -497,13 +509,13 @@ func TestHTTPBatch(t *testing.T) {
 		t.Fatalf("batch returned %d items, want 2", len(items))
 	}
 	for i, it := range items {
-		if it.Status != http.StatusAccepted || it.ID == "" || it.State != "queued" {
-			t.Fatalf("item %d: %+v, want accepted+queued with an ID", i, it)
+		if it.Status != http.StatusCreated || it.ID == "" || it.State != "queued" {
+			t.Fatalf("item %d: %+v, want created+queued with an ID", i, it)
 		}
 	}
 
 	// Mixed batch: the bad spec is refused in place, the good one still lands.
-	resp, data = postJSON(t, ts.URL+"/jobs/batch", "["+fastSpecJSON+`,{"preset":"no-such"}]`)
+	resp, data = postJSON(t, ts.URL+"/jobs/batch", "["+seedSpec(3)+`,{"preset":"no-such"}]`)
 	if resp.StatusCode != http.StatusMultiStatus {
 		t.Fatalf("mixed batch: %d %s, want 207", resp.StatusCode, data)
 	}
@@ -511,7 +523,7 @@ func TestHTTPBatch(t *testing.T) {
 	if err := json.Unmarshal(data, &items); err != nil {
 		t.Fatal(err)
 	}
-	if items[0].Status != http.StatusAccepted || items[0].ID == "" {
+	if items[0].Status != http.StatusCreated || items[0].ID == "" {
 		t.Fatalf("mixed batch good item: %+v", items[0])
 	}
 	if items[1].Status != http.StatusBadRequest || items[1].Error == "" || items[1].ID != "" {
@@ -543,7 +555,7 @@ func TestHTTPBulkStatus(t *testing.T) {
 	_, ts := newTestServer(t, t.TempDir(), jobs.Config{Workers: 1})
 	var ids []string
 	for i := 0; i < 2; i++ {
-		_, data := postJSON(t, ts.URL+"/jobs", fastSpecJSON)
+		_, data := postJSON(t, ts.URL+"/jobs", seedSpec(i+1))
 		var v struct {
 			ID string `json:"id"`
 		}
@@ -612,11 +624,11 @@ func TestHTTPFleetShed(t *testing.T) {
 	// accept it and stop filling.
 	var filled []string
 	for i := 0; i < 3; i++ {
-		resp, data := postJSON(t, ts.URL+"/jobs", slowSpecJSON)
+		resp, data := postJSON(t, ts.URL+"/jobs", seedSlowSpec(i+1))
 		if resp.StatusCode == http.StatusServiceUnavailable {
 			break
 		}
-		if resp.StatusCode != http.StatusAccepted {
+		if resp.StatusCode != http.StatusCreated {
 			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, data)
 		}
 		var v struct {
@@ -681,8 +693,8 @@ func TestHTTPFleetShed(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	if resp, data := postJSON(t, ts.URL+"/jobs", fastSpecJSON); resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit after recovery: %d %s, want 202", resp.StatusCode, data)
+	if resp, data := postJSON(t, ts.URL+"/jobs", fastSpecJSON); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit after recovery: %d %s, want 201", resp.StatusCode, data)
 	}
 	if resp, _ := get(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusOK {
 		t.Fatalf("readyz after recovery: %d, want 200", resp.StatusCode)
@@ -720,8 +732,8 @@ func TestHTTPDiskFull(t *testing.T) {
 	// Space returns: the probe self-heals on the next submit.
 	faultinject.Disarm()
 	resp, data = postJSON(t, ts.URL+"/jobs", fastSpecJSON)
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit after space returned: %d %s, want 202", resp.StatusCode, data)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit after space returned: %d %s, want 201", resp.StatusCode, data)
 	}
 	if resp, data := get(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusOK {
 		t.Fatalf("readyz after heal: %d %s, want 200", resp.StatusCode, data)
@@ -772,8 +784,8 @@ func TestHTTPTenantHeader(t *testing.T) {
 	}
 
 	resp, data := tenantPost(t, ts.URL+"/jobs", "acme", fastSpecJSON)
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("tenanted submit: %d %s, want 202", resp.StatusCode, data)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("tenanted submit: %d %s, want 201", resp.StatusCode, data)
 	}
 	if err := json.Unmarshal(data, &v); err != nil || v.Tenant != "acme" {
 		t.Fatalf("submit response %s (err %v), want tenant acme", data, err)
@@ -784,13 +796,13 @@ func TestHTTPTenantHeader(t *testing.T) {
 		t.Fatalf("job view %s (err %v), want tenant acme", data, err)
 	}
 
-	if resp, data := tenantPost(t, ts.URL+"/jobs", "", specWith("lab")); resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("spec-tenant submit: %d %s, want 202", resp.StatusCode, data)
+	if resp, data := tenantPost(t, ts.URL+"/jobs", "", specWith("lab")); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("spec-tenant submit: %d %s, want 201", resp.StatusCode, data)
 	} else if err := json.Unmarshal(data, &v); err != nil || v.Tenant != "lab" {
 		t.Fatalf("spec-tenant response %s, want tenant lab", data)
 	}
-	if resp, data := tenantPost(t, ts.URL+"/jobs", "lab", specWith("lab")); resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("matching header+spec submit: %d %s, want 202", resp.StatusCode, data)
+	if resp, data := tenantPost(t, ts.URL+"/jobs", "lab", specWith("lab")); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("matching header+spec submit: %d %s, want 201", resp.StatusCode, data)
 	}
 	if resp, data := tenantPost(t, ts.URL+"/jobs", "acme", specWith("lab")); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("conflicting tenant submit: %d %s, want 400", resp.StatusCode, data)
@@ -822,8 +834,8 @@ func TestHTTPQuotaRejection(t *testing.T) {
 			"acme": {MaxInFlight: 1, RetryBudget: 2},
 		}, jobs.TenantPolicy{}),
 	})
-	if resp, data := tenantPost(t, ts.URL+"/jobs", "acme", fastSpecJSON); resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("first submit: %d %s, want 202", resp.StatusCode, data)
+	if resp, data := tenantPost(t, ts.URL+"/jobs", "acme", fastSpecJSON); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first submit: %d %s, want 201", resp.StatusCode, data)
 	}
 	resp, data := tenantPost(t, ts.URL+"/jobs", "acme", fastSpecJSON)
 	if resp.StatusCode != http.StatusTooManyRequests {
@@ -842,9 +854,11 @@ func TestHTTPQuotaRejection(t *testing.T) {
 	if ref.RetryBudget == nil || *ref.RetryBudget != 1 {
 		t.Fatalf("refusal budget = %v, want 1", ref.RetryBudget)
 	}
-	// acme's cap is acme's problem: the default tenant still submits.
-	if resp, data := postJSON(t, ts.URL+"/jobs", fastSpecJSON); resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("default-tenant submit: %d %s, want 202", resp.StatusCode, data)
+	// acme's cap is acme's problem: the default tenant still submits (its
+	// spec matches acme's queued job byte for byte, so it lands as a dedup
+	// alias — still a fresh job ID, still a 201).
+	if resp, data := postJSON(t, ts.URL+"/jobs", fastSpecJSON); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("default-tenant submit: %d %s, want 201", resp.StatusCode, data)
 	}
 }
 
@@ -875,8 +889,8 @@ func TestHTTPBatchMixedQuota(t *testing.T) {
 	if err := json.Unmarshal(data, &items); err != nil || len(items) != 3 {
 		t.Fatalf("batch body %s (err %v), want 3 items", data, err)
 	}
-	if items[0].Status != http.StatusAccepted || items[0].ID == "" {
-		t.Fatalf("item 0 = %+v, want accepted", items[0])
+	if items[0].Status != http.StatusCreated || items[0].ID == "" {
+		t.Fatalf("item 0 = %+v, want created", items[0])
 	}
 	for i, it := range items[1:] {
 		if it.Status != http.StatusTooManyRequests || it.Reason != "quota_inflight" ||
@@ -899,8 +913,8 @@ func TestHTTPBatchMixedQuota(t *testing.T) {
 	if items[0].Status != http.StatusBadRequest || items[0].ID != "" {
 		t.Fatalf("conflicting item = %+v, want 400", items[0])
 	}
-	if items[1].Status != http.StatusAccepted || items[1].ID == "" {
-		t.Fatalf("clean sibling = %+v, want accepted", items[1])
+	if items[1].Status != http.StatusCreated || items[1].ID == "" {
+		t.Fatalf("clean sibling = %+v, want created", items[1])
 	}
 	// A malformed X-Tenant header refuses the whole batch up front.
 	if resp, data := tenantPost(t, ts.URL+"/jobs/batch", "no spaces", "["+fastSpecJSON+"]"); resp.StatusCode != http.StatusBadRequest {
@@ -923,14 +937,19 @@ func TestHTTPRefusalPrecedence(t *testing.T) {
 			"capped": {Weight: 4, MaxInFlight: 1},
 		}, jobs.TenantPolicy{Weight: 4}),
 	})
+	// Every expect submits distinct content: byte-identical specs would
+	// dedupe into aliases that bypass the queue, and the ladder under test
+	// only applies to real executions.
+	seed := 0
 	expect := func(tenant string, status int, reason string) refusalBody {
 		t.Helper()
-		resp, data := tenantPost(t, ts.URL+"/jobs", tenant, fastSpecJSON)
+		seed++
+		resp, data := tenantPost(t, ts.URL+"/jobs", tenant, seedSpec(seed))
 		if resp.StatusCode != status {
 			t.Fatalf("%s submit: %d %s, want %d", tenant, resp.StatusCode, data, status)
 		}
 		var ref refusalBody
-		if status != http.StatusAccepted {
+		if status != http.StatusCreated {
 			if err := json.Unmarshal(data, &ref); err != nil || ref.Reason != reason {
 				t.Fatalf("%s refusal %s (err %v), want reason %q", tenant, data, err, reason)
 			}
@@ -940,9 +959,9 @@ func TestHTTPRefusalPrecedence(t *testing.T) {
 		}
 		return ref
 	}
-	expect("capped", http.StatusAccepted, "")
-	expect("high", http.StatusAccepted, "")
-	expect("high", http.StatusAccepted, "")
+	expect("capped", http.StatusCreated, "")
+	expect("high", http.StatusCreated, "")
+	expect("high", http.StatusCreated, "")
 	// Depth 3 = the high-water mark: the lightest tenant sheds first.
 	expect("low", http.StatusServiceUnavailable, "shed_overload")
 	// Disk-full outranks shedding. A heavy tenant's submit reaches the
@@ -966,10 +985,183 @@ func TestHTTPRefusalPrecedence(t *testing.T) {
 	// over its own cap, and must see its 429, not a capacity 503.
 	expect("capped", http.StatusTooManyRequests, "quota_inflight")
 	// The heaviest tenants ride the band until the backlog is hard-full...
-	expect("high", http.StatusAccepted, "")
+	expect("high", http.StatusCreated, "")
 	// ...and a full backlog is queue-full for everyone — except a tenant
 	// over quota, whose 429 still names the quota.
 	expect("high", http.StatusTooManyRequests, "queue_full")
 	expect("low", http.StatusTooManyRequests, "queue_full")
 	expect("capped", http.StatusTooManyRequests, "quota_inflight")
+}
+
+// keyedPost submits body to /jobs with an Idempotency-Key header.
+func keyedPost(t *testing.T, url, key, body string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("POST", url+"/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestHTTPIdempotencyKey pins exactly-once submission over HTTP: the first
+// POST under a key creates (201), an exact retry replays the original job
+// (200, same ID), reusing the key for different content is a 409, and an
+// oversized key is a 400 before anything lands.
+func TestHTTPIdempotencyKey(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), jobs.Config{Workers: 1})
+
+	resp, data := keyedPost(t, ts.URL, "deploy-42", fastSpecJSON)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first keyed submit: %d %s, want 201", resp.StatusCode, data)
+	}
+	var first struct {
+		ID     string `json:"id"`
+		Digest string `json:"digest"`
+	}
+	if err := json.Unmarshal(data, &first); err != nil || first.ID == "" {
+		t.Fatalf("submit response %s: %v", data, err)
+	}
+	if !strings.HasPrefix(first.Digest, "sha256:") {
+		t.Fatalf("submit response digest %q, want sha256:…", first.Digest)
+	}
+
+	// The exact retry replays: 200, same job, no new state on disk.
+	resp, data = keyedPost(t, ts.URL, "deploy-42", fastSpecJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retried keyed submit: %d %s, want 200", resp.StatusCode, data)
+	}
+	var again struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &again); err != nil || again.ID != first.ID {
+		t.Fatalf("retry returned %s, want original job %s", data, first.ID)
+	}
+
+	// Same key, different content: the request is ambiguous, so 409.
+	resp, data = keyedPost(t, ts.URL, "deploy-42", seedSpec(7))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("conflicting keyed submit: %d %s, want 409", resp.StatusCode, data)
+	}
+	var ref refusalBody
+	if err := json.Unmarshal(data, &ref); err != nil || ref.Reason != "idempotency_key_conflict" {
+		t.Fatalf("conflict refusal %s (err %v), want reason idempotency_key_conflict", data, err)
+	}
+
+	if resp, data := keyedPost(t, ts.URL, strings.Repeat("x", maxIdemKeyBytes+1), seedSpec(8)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized key: %d %s, want 400", resp.StatusCode, data)
+	}
+}
+
+// TestHTTPDedupCacheHit pins the content-addressed result cache: a second
+// submit of byte-identical content lands as a terminal dedup alias (201 —
+// it is a new job) whose result and placement reads serve the original
+// bytes verbatim, without re-entering the queue.
+func TestHTTPDedupCacheHit(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir(), jobs.Config{Workers: 1})
+	srv.mgr.Start()
+	defer srv.mgr.Drain(t.Context())
+
+	_, data := postJSON(t, ts.URL+"/jobs", fastSpecJSON)
+	var first struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &first); err != nil || first.ID == "" {
+		t.Fatalf("submit response %s: %v", data, err)
+	}
+	pollState(t, ts.URL, first.ID, "succeeded")
+	_, wantPlacement := get(t, ts.URL+"/jobs/"+first.ID+"/placement")
+	_, wantResult := get(t, ts.URL+"/jobs/"+first.ID+"/result")
+
+	resp, data := postJSON(t, ts.URL+"/jobs", fastSpecJSON)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("duplicate submit: %d %s, want 201", resp.StatusCode, data)
+	}
+	var alias struct {
+		ID     string `json:"id"`
+		State  string `json:"state"`
+		Source string `json:"source"`
+	}
+	if err := json.Unmarshal(data, &alias); err != nil {
+		t.Fatal(err)
+	}
+	if alias.ID == first.ID || alias.State != "dedup" || alias.Source != first.ID {
+		t.Fatalf("duplicate submit = %+v, want a fresh dedup alias of %s", alias, first.ID)
+	}
+
+	// The alias is born terminal: its reads fan out the cached bytes.
+	resp, got := get(t, ts.URL+"/jobs/"+alias.ID+"/placement")
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, wantPlacement) {
+		t.Fatalf("alias placement: %d (%d bytes), want the source's %d bytes",
+			resp.StatusCode, len(got), len(wantPlacement))
+	}
+	resp, got = get(t, ts.URL+"/jobs/"+alias.ID+"/result")
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, wantResult) {
+		t.Fatalf("alias result: %d %s, want the source's %s", resp.StatusCode, got, wantResult)
+	}
+
+	_, metrics := get(t, ts.URL+"/metrics")
+	if !bytes.Contains(metrics, []byte("jobs_dedup_hits 1")) {
+		t.Fatalf("metrics missing jobs_dedup_hits 1:\n%s", metrics)
+	}
+}
+
+// TestHTTPBatchIdempotency pins per-item keys in /jobs/batch: the first
+// batch creates every item (201 each, 200 overall), the retried batch
+// replays every item (200 each, same IDs).
+func TestHTTPBatchIdempotency(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), jobs.Config{Workers: 1})
+	withKey := func(spec, key string) string {
+		return strings.TrimSuffix(spec, "}") + `,"idempotency_key":"` + key + `"}`
+	}
+	body := "[" + withKey(seedSpec(1), "a") + "," + withKey(seedSpec(2), "b") + "]"
+
+	type item struct {
+		ID     string `json:"id"`
+		Status int    `json:"status"`
+	}
+	resp, data := postJSON(t, ts.URL+"/jobs/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d %s, want 200", resp.StatusCode, data)
+	}
+	var created []item
+	if err := json.Unmarshal(data, &created); err != nil || len(created) != 2 {
+		t.Fatalf("batch body %s (err %v)", data, err)
+	}
+	for i, it := range created {
+		if it.Status != http.StatusCreated || it.ID == "" {
+			t.Fatalf("item %d = %+v, want 201 with an ID", i, it)
+		}
+	}
+
+	resp, data = postJSON(t, ts.URL+"/jobs/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retried batch: %d %s, want 200", resp.StatusCode, data)
+	}
+	var replayed []item
+	if err := json.Unmarshal(data, &replayed); err != nil || len(replayed) != 2 {
+		t.Fatalf("retried batch body %s (err %v)", data, err)
+	}
+	for i, it := range replayed {
+		if it.Status != http.StatusOK || it.ID != created[i].ID {
+			t.Fatalf("retried item %d = %+v, want 200 replay of %s", i, it, created[i].ID)
+		}
+	}
+
+	// An oversized per-item key refuses that item in place.
+	resp, data = postJSON(t, ts.URL+"/jobs/batch",
+		"["+withKey(seedSpec(3), strings.Repeat("x", maxIdemKeyBytes+1))+"]")
+	if resp.StatusCode != http.StatusMultiStatus {
+		t.Fatalf("oversized-key batch: %d %s, want 207", resp.StatusCode, data)
+	}
 }

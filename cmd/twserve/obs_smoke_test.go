@@ -23,9 +23,10 @@ func TestObsFleetSmoke(t *testing.T) {
 	n1 := startChild(t, store, "-node-id", "n1")
 	n2 := startChild(t, store, "-node-id", "n2")
 
-	// One job submitted at each node; either node may claim either job.
+	// One job submitted at each node (distinct seeds — identical specs
+	// would dedupe into one execution); either node may claim either job.
 	for i, c := range []*child{n1, n2} {
-		if resp, data := postJSON(t, c.url+"/jobs", fastSpecJSON); resp.StatusCode != http.StatusAccepted {
+		if resp, data := postJSON(t, c.url+"/jobs", seedSpec(i+1)); resp.StatusCode != http.StatusCreated {
 			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, data)
 		}
 	}

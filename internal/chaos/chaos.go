@@ -188,6 +188,7 @@ type Report struct {
 	Succeeded   int // jobs that ended succeeded (byte-identical, by construction)
 	Failed      int // jobs that ended failed with an explicit reason
 	Canceled    int // jobs that ended canceled
+	Deduped     int // jobs that ended as dedup aliases of an executor
 	Quarantined int // files/dirs quarantined across all schedules
 	Restarts    int
 	Trips       int64
@@ -206,8 +207,8 @@ func (r *Report) OK() bool {
 // Summary renders a one-paragraph result.
 func (r *Report) Summary() string {
 	return fmt.Sprintf(
-		"%d schedules: %d succeeded / %d failed / %d canceled jobs, %d quarantined, %d restarts, %d fault trips, %d invariant violations, %d contract violations",
-		r.Schedules, r.Succeeded, r.Failed, r.Canceled, r.Quarantined,
+		"%d schedules: %d succeeded / %d failed / %d canceled / %d deduped jobs, %d quarantined, %d restarts, %d fault trips, %d invariant violations, %d contract violations",
+		r.Schedules, r.Succeeded, r.Failed, r.Canceled, r.Deduped, r.Quarantined,
 		r.Restarts, r.Trips, r.InvariantViolations, len(r.Violations))
 }
 
@@ -225,6 +226,8 @@ func (r *Report) absorb(out Outcome, logf func(string, ...any), verbose bool) {
 			r.Failed++
 		case jobs.StateCanceled:
 			r.Canceled++
+		case jobs.StateDedup:
+			r.Deduped++
 		}
 	}
 	if out.Violation != nil {

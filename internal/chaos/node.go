@@ -75,10 +75,11 @@ func RunNode(opts Options, exe string) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chaos: reference run: %w", err)
 	}
+	refs := map[string][]byte{opts.Spec.ContentDigest(): ref}
 
 	rep := &Report{Schedules: opts.Schedules}
 	for i := opts.FirstSchedule; i < opts.FirstSchedule+opts.Schedules; i++ {
-		out := runNodeSchedule(&opts, i, filepath.Join(dir, fmt.Sprintf("n%03d", i)), ref, exe)
+		out := runNodeSchedule(&opts, i, filepath.Join(dir, fmt.Sprintf("n%03d", i)), refs, exe)
 		rep.absorb(out, opts.Logf, opts.Verbose)
 	}
 	rep.InvariantViolations = invariant.Count() - invBase
@@ -93,7 +94,7 @@ func RunNode(opts Options, exe string) (*Report, error) {
 
 // runNodeSchedule runs one schedule: publish jobs, churn a fleet of armed
 // children with SIGKILLs, heal with a faultless fleet, verify cold.
-func runNodeSchedule(opts *Options, idx int, dir string, ref []byte, exe string) Outcome {
+func runNodeSchedule(opts *Options, idx int, dir string, refs map[string][]byte, exe string) Outcome {
 	src := scheduleSource(opts.Seed, idx)
 	out := Outcome{Schedule: idx, Rules: NodeScheduleRules(opts.Seed, idx, 0)}
 
@@ -212,7 +213,7 @@ func runNodeSchedule(opts *Options, idx int, dir string, ref []byte, exe string)
 		return out
 	}
 
-	out.Violation = verifyNodeStore(opts, dir, ids, ref, &out)
+	out.Violation = verifyNodeStore(opts, dir, ids, refs, &out)
 	return out
 }
 
@@ -231,8 +232,11 @@ func reapNode(slot int, p *nodeProc) error {
 	}
 }
 
-// verifyNodeStore checks the multi-node contract on the cold store.
-func verifyNodeStore(opts *Options, dir string, ids map[string]bool, ref []byte, out *Outcome) error {
+// verifyNodeStore checks the multi-node contract on the cold store. refs
+// maps each expected content digest to the placement bytes of a clean
+// single-node run of that spec; every succeeded job must match its digest's
+// reference byte for byte.
+func verifyNodeStore(opts *Options, dir string, ids map[string]bool, refs map[string][]byte, out *Outcome) error {
 	st, err := jobs.Open(dir, opts.Logf)
 	if err != nil {
 		return fmt.Errorf("verify open: %w", err)
@@ -288,6 +292,10 @@ func verifyNodeStore(opts *Options, dir string, ids map[string]bool, ref []byte,
 			if err != nil {
 				return fmt.Errorf("%s: succeeded but placement unreadable: %w", j.ID, err)
 			}
+			ref, ok := refs[j.Spec.ContentDigest()]
+			if !ok {
+				return fmt.Errorf("%s: succeeded with digest %s, which no reference run produced", j.ID, j.Spec.ContentDigest())
+			}
 			if !bytes.Equal(got, ref) {
 				return fmt.Errorf("%s: placement differs from clean single-node reference (%d vs %d bytes)",
 					j.ID, len(got), len(ref))
@@ -305,6 +313,22 @@ func verifyNodeStore(opts *Options, dir string, ids map[string]bool, ref []byte,
 			}
 		case jobs.StateCanceled:
 			return fmt.Errorf("%s: canceled, but node schedules never issue cancels", j.ID)
+		case jobs.StateDedup:
+			// A dedup alias must link to a real executor of the same content:
+			// one hop, never chained, never dangling. Its bytes are its
+			// source's bytes, so byte-identity is covered by the source's own
+			// succeeded check above.
+			if _, ok := j.DedupSource(); !ok {
+				return fmt.Errorf("%s: dedup record without a source link", j.ID)
+			}
+			src, err := st.ResolveResult(j)
+			if err != nil {
+				return fmt.Errorf("%s: dedup alias does not resolve: %w", j.ID, err)
+			}
+			if src.Spec.ContentDigest() != j.Spec.ContentDigest() {
+				return fmt.Errorf("%s: alias digest %s served by source %s with digest %s",
+					j.ID, j.Spec.ContentDigest(), src.ID, src.Spec.ContentDigest())
+			}
 		}
 	}
 	if seen != len(ids) && st.Quarantined() == 0 && out.Quarantined == 0 {

@@ -35,12 +35,74 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/invariant"
 	"repro/internal/jobs"
+	"repro/internal/par"
 )
 
 // stormQueueDepth bounds the shared backlog during a storm: small enough
 // that seeded bursts reach the overload band and queue-full refusals, large
 // enough that a 2–3 node fleet keeps accepting most of the time.
 const stormQueueDepth = 8
+
+// stormRetryAttempts is the polite-retry budget per storm submission: a
+// refusal is retried with hint-derived backoff this many times before the
+// submission is dropped.
+const stormRetryAttempts = 3
+
+// stormRetryCap compresses the wall-clock Retry-After hints (≥ 1s by
+// contract) into the few-hundred-millisecond life of a chaos schedule, the
+// same way nodeLeaseTTL compresses production lease TTLs: what is under
+// test is the shape — a hint-derived base growing exponentially under a
+// cap, with deterministic jitter — not the wall-clock wait itself.
+const stormRetryCap = 40 * time.Millisecond
+
+// classifyRefusal validates one typed submit refusal against the hint
+// contract and returns its reject-counter key plus the Retry-After hint it
+// carried. Quota (429-family) and capacity (503-family) refusals must carry
+// a hint of at least one second and name the submitting tenant where
+// applicable; anything else — including an untyped error — is a contract
+// violation.
+func classifyRefusal(err error, tenant string) (kind string, hint time.Duration, vio error) {
+	var oq *jobs.ErrOverQuota
+	var qf *jobs.ErrQueueFull
+	var sh *jobs.ErrShed
+	switch {
+	case errors.As(err, &oq):
+		if (oq.Reason != "rate" && oq.Reason != "inflight") || oq.RetryAfter < time.Second || oq.Tenant != tenant {
+			return "", 0, fmt.Errorf("malformed quota refusal %+v", oq)
+		}
+		return "quota_" + oq.Reason, oq.RetryAfter, nil
+	case errors.As(err, &qf):
+		if qf.RetryAfter < time.Second {
+			return "", 0, fmt.Errorf("queue-full refusal without retry hint: %+v", qf)
+		}
+		return "queue_full", qf.RetryAfter, nil
+	case errors.As(err, &sh):
+		if (sh.Reason != "saturated" && sh.Reason != "overload") || sh.RetryAfter < time.Second {
+			return "", 0, fmt.Errorf("malformed shed refusal %+v", sh)
+		}
+		return "shed_" + sh.Reason, sh.RetryAfter, nil
+	case errors.Is(err, jobs.ErrDiskFull):
+		// 507-family: carries no structured hint field at this layer (the
+		// HTTP surface stamps its fixed Retry-After); retry on the same
+		// cadence as a capacity shed.
+		return "disk_full", time.Second, nil
+	}
+	return "", 0, fmt.Errorf("tenant %s: unexpected submit refusal: %w", tenant, err)
+}
+
+// hintBackoff builds the capped deterministic-jitter schedule a storm
+// submitter waits on after a refusal: the base is the refusal's own
+// Retry-After hint, chaos-compressed under stormRetryCap.
+func hintBackoff(hint time.Duration, seed uint64) par.Backoff {
+	base := hint / 50
+	if base < time.Millisecond {
+		base = time.Millisecond
+	}
+	if base > stormRetryCap/2 {
+		base = stormRetryCap / 2
+	}
+	return par.Backoff{Base: base, Max: stormRetryCap, Jitter: 0.5, Seed: seed}
+}
 
 // RunStorm executes a multi-tenant storm run: for each schedule, a seeded
 // tenant config (weights, in-flight caps, sometimes a tight rate limit), a
@@ -83,10 +145,11 @@ func RunStorm(opts Options, exe string) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chaos: reference run: %w", err)
 	}
+	refs := map[string][]byte{opts.Spec.ContentDigest(): ref}
 
 	rep := &Report{Schedules: opts.Schedules}
 	for i := opts.FirstSchedule; i < opts.FirstSchedule+opts.Schedules; i++ {
-		out := runStormSchedule(&opts, i, filepath.Join(dir, fmt.Sprintf("s%03d", i)), ref, exe)
+		out := runStormSchedule(&opts, i, filepath.Join(dir, fmt.Sprintf("s%03d", i)), refs, exe)
 		rep.absorb(out, opts.Logf, opts.Verbose)
 	}
 	rep.InvariantViolations = invariant.Count() - invBase
@@ -108,7 +171,7 @@ type stormSubmission struct {
 }
 
 // runStormSchedule runs one storm schedule end to end.
-func runStormSchedule(opts *Options, idx int, dir string, ref []byte, exe string) Outcome {
+func runStormSchedule(opts *Options, idx int, dir string, refs map[string][]byte, exe string) Outcome {
 	src := scheduleSource(opts.Seed, idx)
 	out := Outcome{Schedule: idx, Rules: NodeScheduleRules(opts.Seed, idx, 0)}
 
@@ -164,53 +227,47 @@ func runStormSchedule(opts *Options, idx int, dir string, ref []byte, exe string
 	// all-terminal, and a worker child that sees one exits immediately.
 	var accepted []stormSubmission
 	rejects := map[string]int{}
-	submitOne := func(tenant string, expired bool) error {
+	// submitOne pushes one submission through admission, honoring the
+	// Retry-After hint on every typed refusal: instead of dropping the
+	// submission on first refusal (fixed-cadence resubmission), it waits
+	// out a capped deterministic-jitter backoff seeded from the hint and
+	// retries, up to stormRetryAttempts. A submission still refused after
+	// the budget is dropped; a malformed refusal is a violation.
+	submitOne := func(k int, tenant string, expired bool) error {
 		spec := opts.Spec
 		spec.Tenant = tenant
 		if expired {
 			spec.NotAfter = time.Now().Add(-time.Second).UnixMilli()
 		}
-		// Fold the fleet's progress into this process before admission: the
-		// parent is the sole submitter, so after this its in-flight counts
-		// can only overestimate (a conservative quota check).
-		for _, j := range st.List() {
-			j.Reload()
-		}
-		j, err := sub.Submit(spec)
-		if err == nil {
-			if max := tcfg.Policy(tenant).MaxInFlight; max > 0 {
-				if got := st.TenantInFlight(tenant); got > max {
-					return fmt.Errorf("tenant %s: %d in flight just after accept, quota %d exceeded", tenant, got, max)
+		for attempt := 1; ; attempt++ {
+			// Fold the fleet's progress into this process before admission:
+			// the parent is the sole submitter, so after this its in-flight
+			// counts can only overestimate (a conservative quota check).
+			for _, j := range st.List() {
+				j.Reload()
+			}
+			j, err := sub.Submit(spec)
+			if err == nil {
+				if max := tcfg.Policy(tenant).MaxInFlight; max > 0 {
+					if got := st.TenantInFlight(tenant); got > max {
+						return fmt.Errorf("tenant %s: %d in flight just after accept, quota %d exceeded", tenant, got, max)
+					}
 				}
+				accepted = append(accepted, stormSubmission{id: j.ID, tenant: tenant, expired: expired})
+				return nil
 			}
-			accepted = append(accepted, stormSubmission{id: j.ID, tenant: tenant, expired: expired})
-			return nil
+			kind, hint, vio := classifyRefusal(err, tenant)
+			if vio != nil {
+				return vio
+			}
+			rejects[kind]++
+			if attempt >= stormRetryAttempts {
+				return nil
+			}
+			time.Sleep(hintBackoff(hint, opts.Seed^uint64(idx)<<32).Delay(k, attempt))
 		}
-		var oq *jobs.ErrOverQuota
-		var qf *jobs.ErrQueueFull
-		var sh *jobs.ErrShed
-		switch {
-		case errors.As(err, &oq):
-			if (oq.Reason != "rate" && oq.Reason != "inflight") || oq.RetryAfter < time.Second || oq.Tenant != tenant {
-				return fmt.Errorf("malformed quota refusal %+v", oq)
-			}
-			rejects["quota_"+oq.Reason]++
-		case errors.As(err, &qf):
-			if qf.RetryAfter < time.Second {
-				return fmt.Errorf("queue-full refusal without retry hint: %+v", qf)
-			}
-			rejects["queue_full"]++
-		case errors.As(err, &sh):
-			if (sh.Reason != "saturated" && sh.Reason != "overload") || sh.RetryAfter < time.Second {
-				return fmt.Errorf("malformed shed refusal %+v", sh)
-			}
-			rejects["shed_"+sh.Reason]++
-		default:
-			return fmt.Errorf("tenant %s: unexpected submit refusal: %w", tenant, err)
-		}
-		return nil
 	}
-	if err := submitOne(names[0], false); err != nil {
+	if err := submitOne(0, names[0], false); err != nil {
 		out.Violation = err
 		return out
 	}
@@ -273,7 +330,7 @@ func runStormSchedule(opts *Options, idx int, dir string, ref []byte, exe string
 			kills++
 			out.Restarts++
 		}
-		if err := submitOne(names[src.Intn(len(names))], src.Bool(0.15)); err != nil {
+		if err := submitOne(k, names[src.Intn(len(names))], src.Bool(0.15)); err != nil {
 			out.Violation = err
 			stopAll()
 			return out
@@ -326,7 +383,7 @@ func runStormSchedule(opts *Options, idx int, dir string, ref []byte, exe string
 	for _, s := range accepted {
 		ids[s.id] = true
 	}
-	if out.Violation = verifyNodeStore(opts, dir, ids, ref, &out); out.Violation != nil {
+	if out.Violation = verifyNodeStore(opts, dir, ids, refs, &out); out.Violation != nil {
 		return out
 	}
 	out.Violation = verifyStormStore(opts, dir, tcfg, accepted)

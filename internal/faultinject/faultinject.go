@@ -107,6 +107,18 @@ const (
 	PlaceCheckpointSave Point = "place.checkpoint.save"
 	// PlaceCheckpointLoad fails place.LoadCheckpoint before it reads.
 	PlaceCheckpointLoad Point = "place.checkpoint.load"
+
+	// JobsDedupClaim fires just before a digest generation claim's O_EXCL
+	// create: Err fails the claim (the crash-between-claim-and-publish
+	// analog, leaving a pending entry peers must supersede after the grace),
+	// Delay widens the read-decide-create race window.
+	JobsDedupClaim Point = "jobs.dedup.claim"
+	// ScrubWalk fires as the scrubber enters a job directory; Err skips the
+	// directory with a reported defect, Delay slows the sweep.
+	ScrubWalk Point = "scrub.walk"
+	// ScrubVerify fires before each artifact verification inside the
+	// scrubber, exercising its degraded-read paths.
+	ScrubVerify Point = "scrub.verify"
 )
 
 // Points returns every compiled-in injection point, sorted.
@@ -118,6 +130,7 @@ func Points() []Point {
 		JobsLeaseClaim, JobsLeaseHeartbeat, JobsLeaseSkew, JobsLeaseTorn,
 		ParAttempt, ParTask,
 		PlaceCheckpointSave, PlaceCheckpointLoad,
+		JobsDedupClaim, ScrubWalk, ScrubVerify,
 	}
 	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
 	return pts

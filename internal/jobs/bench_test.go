@@ -62,6 +62,22 @@ func BenchmarkDecodeLeaseRecord(b *testing.B) {
 	}
 }
 
+// BenchmarkSpecDigest pins the content-digest fast path every submission
+// takes before touching disk: canonical encoding into a reused scratch
+// buffer plus one SHA-256, allocation-free (the bench-diff allocs/op gate
+// enforces the 0) — dedupe may not tax the submit path with garbage.
+func BenchmarkSpecDigest(b *testing.B) {
+	spec := fastSpec()
+	scratch := make([]byte, 0, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum [32]byte
+		sum, scratch = SumCanonicalSpec(scratch, &spec)
+		_ = sum
+	}
+}
+
 // BenchmarkAdmitFastPath pins the per-submit admission check on its accept
 // path: after a tenant's first submission warms its bucket, Admit must stay
 // allocation-free (the bench-diff allocs/op gate enforces the 0) — quota

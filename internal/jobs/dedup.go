@@ -1,0 +1,530 @@
+package jobs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/fsio"
+)
+
+// The dedupe index lives under <root>/index/ and makes submission
+// retry-safe (idempotency keys) and duplicate-free (content digests):
+//
+//	<root>/index/
+//	    idem/k<sha256 hex of tenant NUL key>.twk   idempotency key → job
+//	    digest/<64 hex>/g000001.twd                digest generation claims
+//
+// Every entry is one CRC-framed line ("twidx VERSION CRC32C LEN JSON\n").
+// Entries are created with fsio.CreateExclusive — the same O_EXCL
+// first-writer-wins primitive the lease layer's claim files use — so racing
+// submits resolve without locks: the winner's entry is the link everyone
+// else follows. O_EXCL writes are not atomic (no temp+rename), which is why
+// the framing exists: a crash mid-create leaves a torn entry that readers
+// detect by checksum, quarantine, and re-claim.
+//
+// A digest's generations form a chain: generation N is claimed pending
+// (Job empty), then published with the executing job's ID. Followers alias
+// to the highest generation whose job is live (queued, running, or
+// succeeded). A generation whose job failed, was canceled, or vanished is
+// dead; the next submitter claims generation N+1 and executes afresh. A
+// pending claim older than digestPendingGrace is treated as abandoned (the
+// claimant crashed between claim and publish) and superseded the same way.
+const (
+	indexDirName  = "index"
+	idemDirName   = "idem"
+	digestDirName = "digest"
+	indexMagic    = "twidx"
+	IndexVersion  = 1
+	// maxIndexLine bounds one entry's JSON payload for the decoder.
+	maxIndexLine = 1 << 16
+	// digestPendingGrace is how long a pending (unpublished) digest claim
+	// stays authoritative before followers may supersede it. It must
+	// comfortably cover the claim→create→publish window (a few fsyncs).
+	digestPendingGrace = 10 * time.Second
+)
+
+// IdemFileRe matches idempotency index file names; DigestGenRe matches
+// digest generation file names. Exported for the scrubber.
+var (
+	IdemFileRe  = regexp.MustCompile(`^k([0-9a-f]{64})\.twk$`)
+	DigestGenRe = regexp.MustCompile(`^g(\d{6,})\.twd$`)
+	DigestDirRe = regexp.MustCompile(`^[0-9a-f]{64}$`)
+)
+
+// IndexEntry is one dedupe index record.
+type IndexEntry struct {
+	// Kind is "idem" (idempotency key → job) or "digest" (generation claim).
+	Kind string `json:"kind"`
+	// Tenant and Key are set on idem entries: the raw client key, scoped to
+	// the canonical tenant (the file name is a hash of both, so the raw
+	// values are kept for verification).
+	Tenant string `json:"tenant,omitempty"`
+	Key    string `json:"key,omitempty"`
+	// Digest is the content digest the entry resolves ("sha256:<64 hex>").
+	Digest string `json:"digest"`
+	// Job is the linked job ID; empty on a digest claim still pending
+	// publication.
+	Job string `json:"job,omitempty"`
+	// Gen is the digest generation (1-based); zero on idem entries.
+	Gen int `json:"gen,omitempty"`
+	// Time is when the entry was created (UTC); pending-claim staleness is
+	// judged against it.
+	Time time.Time `json:"time"`
+	// Node is the creating node's ID ("" in single-node mode).
+	Node string `json:"node,omitempty"`
+}
+
+// EncodeIndexEntry renders e as its one CRC-framed line.
+func EncodeIndexEntry(e IndexEntry) ([]byte, error) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: encode index entry: %w", err)
+	}
+	if len(payload) > maxIndexLine {
+		return nil, fmt.Errorf("jobs: index entry too large (%d bytes)", len(payload))
+	}
+	sum := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli))
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s %d %08x %d %s\n", indexMagic, IndexVersion, sum, len(payload), payload)
+	return buf.Bytes(), nil
+}
+
+// DecodeIndexEntry parses and verifies one index entry file's contents. It
+// never panics on malformed input; every defect is a descriptive error.
+func DecodeIndexEntry(data []byte) (IndexEntry, error) {
+	var e IndexEntry
+	line := bytes.TrimSuffix(data, []byte("\n"))
+	if bytes.ContainsRune(line, '\n') {
+		return e, fmt.Errorf("jobs: index entry: more than one line")
+	}
+	fields := bytes.SplitN(line, []byte(" "), 5)
+	if len(fields) != 5 {
+		return e, fmt.Errorf("jobs: index entry: malformed %.40q", line)
+	}
+	if string(fields[0]) != indexMagic {
+		return e, fmt.Errorf("jobs: index entry: bad magic %.20q", fields[0])
+	}
+	version, err := strconv.Atoi(string(fields[1]))
+	if err != nil || version != IndexVersion {
+		return e, fmt.Errorf("jobs: index entry: unsupported version %.20q", fields[1])
+	}
+	sum64, err := strconv.ParseUint(string(fields[2]), 16, 32)
+	if err != nil || len(fields[2]) != 8 {
+		return e, fmt.Errorf("jobs: index entry: bad checksum field %.20q", fields[2])
+	}
+	size, err := strconv.Atoi(string(fields[3]))
+	if err != nil || size < 0 || size > maxIndexLine {
+		return e, fmt.Errorf("jobs: index entry: bad length field %.20q", fields[3])
+	}
+	payload := fields[4]
+	if len(payload) != size {
+		return e, fmt.Errorf("jobs: index entry: payload is %d bytes, header says %d", len(payload), size)
+	}
+	if got := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)); got != uint32(sum64) {
+		return e, fmt.Errorf("jobs: index entry: checksum mismatch: header %08x, payload %08x", sum64, got)
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&e); err != nil {
+		return e, fmt.Errorf("jobs: index entry: payload: %v", err)
+	}
+	switch e.Kind {
+	case "idem":
+		if e.Job == "" {
+			return e, fmt.Errorf("jobs: index entry: idem entry without a job")
+		}
+		if e.Gen != 0 {
+			return e, fmt.Errorf("jobs: index entry: idem entry with generation %d", e.Gen)
+		}
+	case "digest":
+		if e.Gen <= 0 {
+			return e, fmt.Errorf("jobs: index entry: digest entry with generation %d", e.Gen)
+		}
+		if e.Key != "" || e.Tenant != "" {
+			return e, fmt.Errorf("jobs: index entry: digest entry carries an idempotency key")
+		}
+	default:
+		return e, fmt.Errorf("jobs: index entry: unknown kind %.20q", e.Kind)
+	}
+	if !ValidDigest(e.Digest) {
+		return e, fmt.Errorf("jobs: index entry: bad digest %.80q", e.Digest)
+	}
+	if e.Job != "" && !jobDirRe.MatchString(e.Job) {
+		return e, fmt.Errorf("jobs: index entry: bad job ID %.40q", e.Job)
+	}
+	return e, nil
+}
+
+// ReadIndexEntryFile reads and decodes one index entry file.
+func ReadIndexEntryFile(path string) (IndexEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return IndexEntry{}, err
+	}
+	return DecodeIndexEntry(data)
+}
+
+// IdemDir and DigestIndexDir return a store root's index directories
+// (shared with the scrubber and GC, which walk stores offline).
+func IdemDir(root string) string        { return filepath.Join(root, indexDirName, idemDirName) }
+func DigestIndexDir(root string) string { return filepath.Join(root, indexDirName, digestDirName) }
+
+// IdemFileName returns the index file name for a tenant-scoped idempotency
+// key: keys are client-chosen strings, so the name is a hash and the raw
+// key lives inside the entry for verification.
+func IdemFileName(tenant, key string) string {
+	h := sha256.New()
+	h.Write([]byte(canonTenant(tenant)))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return "k" + hex.EncodeToString(h.Sum(nil)) + ".twk"
+}
+
+// ErrIdemConflict is returned by SubmitIdem when an idempotency key is
+// reused with a different spec: the retry contract covers exact retries
+// only, so a content mismatch is a client bug surfaced as a 409.
+type ErrIdemConflict struct {
+	Key string
+	Job string // the job the key already names
+}
+
+func (e *ErrIdemConflict) Error() string {
+	return fmt.Sprintf("jobs: idempotency key %.80q already used by %s with a different spec", e.Key, e.Job)
+}
+
+// LookupIdem resolves an idempotency key to its recorded entry. A torn or
+// corrupt entry file is quarantined and reported as absent, so a crashed
+// writer's debris never wedges the key.
+func (s *Store) LookupIdem(tenant, key string) (IndexEntry, bool, error) {
+	path := filepath.Join(IdemDir(s.root), IdemFileName(tenant, key))
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return IndexEntry{}, false, nil
+	}
+	if err != nil {
+		return IndexEntry{}, false, fmt.Errorf("jobs: idempotency index: %w", err)
+	}
+	e, derr := DecodeIndexEntry(data)
+	if derr != nil {
+		s.logf("jobs: quarantining corrupt idempotency entry %s: %v", path, derr)
+		s.quarantine(path)
+		return IndexEntry{}, false, nil
+	}
+	if e.Kind != "idem" || e.Key != key || canonTenant(e.Tenant) != canonTenant(tenant) {
+		// A hash collision or a tampered entry: never serve someone else's
+		// job for this key.
+		return IndexEntry{}, false, fmt.Errorf("jobs: idempotency index %s: entry does not match key", path)
+	}
+	return e, true, nil
+}
+
+// PublishIdem durably records key → job, first writer wins. It returns the
+// authoritative entry: the caller's own on a win, the earlier winner's on a
+// lost race (both submissions then share the digest layer's single
+// execution, so following the winner is always safe).
+func (s *Store) PublishIdem(tenant, key, digest, jobID string) (IndexEntry, error) {
+	dir := IdemDir(s.root)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return IndexEntry{}, fmt.Errorf("jobs: idempotency index: %w", err)
+	}
+	mine := IndexEntry{
+		Kind:   "idem",
+		Tenant: canonTenant(tenant),
+		Key:    key,
+		Digest: digest,
+		Job:    jobID,
+		Time:   time.Now().UTC(),
+		Node:   s.NodeID(),
+	}
+	data, err := EncodeIndexEntry(mine)
+	if err != nil {
+		return IndexEntry{}, err
+	}
+	path := filepath.Join(dir, IdemFileName(tenant, key))
+	for tries := 0; tries < 3; tries++ {
+		err := fsio.CreateExclusive(path, data, 0o644)
+		if err == nil {
+			return mine, nil
+		}
+		if !errors.Is(err, fsio.ErrExists) {
+			s.noteWrite(err)
+			return IndexEntry{}, fmt.Errorf("jobs: idempotency index: %w", err)
+		}
+		e, ok, lerr := s.LookupIdem(tenant, key)
+		if lerr != nil {
+			return IndexEntry{}, lerr
+		}
+		if ok {
+			return e, nil
+		}
+		// The existing entry was torn and has just been quarantined; the
+		// slot is free again, so retry the exclusive create.
+	}
+	return IndexEntry{}, fmt.Errorf("jobs: idempotency index %s: claim did not settle", path)
+}
+
+// DigestClaim is a won (pending) digest generation: the holder must either
+// Publish the executing job's ID or Abandon the claim.
+type DigestClaim struct {
+	store *Store
+	path  string
+	entry IndexEntry
+}
+
+// Gen returns the claimed generation.
+func (c *DigestClaim) Gen() int { return c.entry.Gen }
+
+// Publish fills the claim with the executing job's ID. Only the claim
+// holder writes here (O_EXCL already decided the race), so an atomic
+// overwrite is safe.
+func (c *DigestClaim) Publish(jobID string) error {
+	e := c.entry
+	e.Job = jobID
+	data, err := EncodeIndexEntry(e)
+	if err != nil {
+		return err
+	}
+	werr := fsio.WriteFileAtomic(c.path, data, 0o644)
+	c.store.noteWrite(werr)
+	if werr != nil {
+		return fmt.Errorf("jobs: digest index: %w", werr)
+	}
+	return nil
+}
+
+// Abandon releases a claim whose job creation failed, so followers are not
+// stuck waiting out the pending grace.
+func (c *DigestClaim) Abandon() {
+	if err := os.Remove(c.path); err != nil && !os.IsNotExist(err) {
+		c.store.logf("jobs: digest index: abandon %s: %v", c.path, err)
+	}
+}
+
+// currentDigestEntry returns the highest-generation entry for the digest
+// (gen 0 when none exist). Corrupt entries at the top of the chain are
+// quarantined — freeing their generation number — and the scan retries.
+func (s *Store) currentDigestEntry(dir string) (IndexEntry, int, error) {
+	for {
+		entries, err := os.ReadDir(dir)
+		if os.IsNotExist(err) {
+			return IndexEntry{}, 0, nil
+		}
+		if err != nil {
+			return IndexEntry{}, 0, fmt.Errorf("jobs: digest index: %w", err)
+		}
+		maxGen, name := 0, ""
+		for _, de := range entries {
+			m := DigestGenRe.FindStringSubmatch(de.Name())
+			if m == nil {
+				continue
+			}
+			if g, _ := strconv.Atoi(m[1]); g > maxGen {
+				maxGen, name = g, de.Name()
+			}
+		}
+		if maxGen == 0 {
+			return IndexEntry{}, 0, nil
+		}
+		path := filepath.Join(dir, name)
+		e, derr := ReadIndexEntryFile(path)
+		if derr == nil {
+			return e, maxGen, nil
+		}
+		if os.IsNotExist(derr) {
+			continue // lost a race with a quarantine or GC; rescan
+		}
+		s.logf("jobs: quarantining corrupt digest entry %s: %v", path, derr)
+		s.quarantine(path)
+	}
+}
+
+// sourceLive reports whether the job a digest entry points to is worth
+// aliasing: queued or running (subscribe) or succeeded (cache hit). A
+// failed, canceled, missing, rotted, or itself-aliased job is dead — the
+// digest needs a fresh execution under a new generation.
+func (s *Store) sourceLive(jobID string) (*Job, bool) {
+	j, ok := s.Get(jobID)
+	if !ok {
+		s.Rescan()
+		j, ok = s.Get(jobID)
+	}
+	if !ok {
+		return nil, false
+	}
+	j.Reload()
+	switch st := j.Last().State; {
+	case st == StateSucceeded:
+		// A cache hit serves this job's bytes verbatim, so they must still
+		// match the CRCs journaled at success; rot means re-executing.
+		if err := VerifyCachedResult(j); err != nil {
+			s.logf("jobs: digest source %s failed verification: %v", jobID, err)
+			return nil, false
+		}
+		return j, true
+	case st == StateDedup:
+		return nil, false // never chain aliases
+	case !st.Terminal():
+		return j, true
+	}
+	return nil, false
+}
+
+// ClaimDigest resolves a content digest against the index: either this
+// caller wins a fresh generation (claim != nil — it must create the
+// executing job and Publish, or Abandon) or an authoritative entry already
+// exists (entry returned; Job may still be empty on a pending claim the
+// caller should poll). The fault point jobs.dedup.claim fails the claim
+// write, exercising crash-between-claim-and-publish recovery.
+func (s *Store) ClaimDigest(digest string) (*DigestClaim, IndexEntry, error) {
+	hx, ok := digestHex(digest)
+	if !ok {
+		return nil, IndexEntry{}, fmt.Errorf("jobs: bad digest %.80q", digest)
+	}
+	dir := filepath.Join(DigestIndexDir(s.root), hx)
+	for tries := 0; tries < 100; tries++ {
+		e, gen, err := s.currentDigestEntry(dir)
+		if err != nil {
+			return nil, IndexEntry{}, err
+		}
+		if gen > 0 {
+			if e.Job == "" {
+				if time.Since(e.Time) < digestPendingGrace {
+					return nil, e, nil // pending; caller polls
+				}
+				// Abandoned claim: the claimant died between claim and
+				// publish. Supersede it.
+			} else if _, live := s.sourceLive(e.Job); live {
+				return nil, e, nil
+			}
+		}
+		pending := IndexEntry{
+			Kind:   "digest",
+			Digest: digest,
+			Gen:    gen + 1,
+			Time:   time.Now().UTC(),
+			Node:   s.NodeID(),
+		}
+		data, eerr := EncodeIndexEntry(pending)
+		if eerr != nil {
+			return nil, IndexEntry{}, eerr
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, IndexEntry{}, fmt.Errorf("jobs: digest index: %w", err)
+		}
+		if err := faultinject.Err(faultinject.JobsDedupClaim); err != nil {
+			return nil, IndexEntry{}, fmt.Errorf("jobs: digest index: %w", err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("g%06d.twd", pending.Gen))
+		cerr := fsio.CreateExclusive(path, data, 0o644)
+		if cerr == nil {
+			return &DigestClaim{store: s, path: path, entry: pending}, IndexEntry{}, nil
+		}
+		if !errors.Is(cerr, fsio.ErrExists) {
+			s.noteWrite(cerr)
+			return nil, IndexEntry{}, fmt.Errorf("jobs: digest index: %w", cerr)
+		}
+		// Lost the race for this generation; re-read and follow the winner.
+	}
+	return nil, IndexEntry{}, fmt.Errorf("jobs: digest index %s: claim did not settle", dir)
+}
+
+// DigestEntries returns every generation entry recorded for a digest, in
+// generation order, skipping (not quarantining) undecodable files. The
+// chaos verifier and tests use it; the scrubber walks the files itself.
+func (s *Store) DigestEntries(digest string) []IndexEntry {
+	hx, ok := digestHex(digest)
+	if !ok {
+		return nil
+	}
+	dir := filepath.Join(DigestIndexDir(s.root), hx)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []IndexEntry
+	for _, de := range entries {
+		if DigestGenRe.MatchString(de.Name()) {
+			if e, err := ReadIndexEntryFile(filepath.Join(dir, de.Name())); err == nil {
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Gen < out[b].Gen })
+	return out
+}
+
+// DedupSource returns the source job ID when j is a dedup alias.
+func (j *Job) DedupSource() (string, bool) {
+	last := j.Last()
+	if last.State != StateDedup || last.Source == "" {
+		return "", false
+	}
+	return last.Source, true
+}
+
+// ResolveResult returns the job whose result artifacts serve j: j itself
+// for an executing job, the linked source for a dedup alias (one hop only —
+// aliases never chain; a chained link is reported as corruption).
+func (s *Store) ResolveResult(j *Job) (*Job, error) {
+	src, ok := j.DedupSource()
+	if !ok {
+		return j, nil
+	}
+	sj, found := s.Get(src)
+	if !found {
+		s.Rescan()
+		sj, found = s.Get(src)
+	}
+	if !found {
+		return nil, fmt.Errorf("jobs: %s: dedup source %s not found", j.ID, src)
+	}
+	if _, chained := sj.DedupSource(); chained {
+		return nil, fmt.Errorf("jobs: %s: dedup source %s is itself an alias", j.ID, src)
+	}
+	return sj, nil
+}
+
+// VerifyCachedResult checks a succeeded source job's result artifacts
+// against the CRCs its succeeded record journaled, so the dedupe cache
+// never fans out silently rotted bytes. Records written before checksums
+// existed (both CRCs zero) fall back to a parse check of result.json.
+func VerifyCachedResult(src *Job) error {
+	last := src.Last()
+	if last.State != StateSucceeded {
+		return fmt.Errorf("jobs: %s: not succeeded (%s)", src.ID, last.State)
+	}
+	if last.PlacementCRC == 0 && last.ResultCRC == 0 {
+		if _, err := src.ReadResult(); err != nil {
+			return fmt.Errorf("jobs: %s: cached result unreadable: %w", src.ID, err)
+		}
+		return nil
+	}
+	table := crc32.MakeTable(crc32.Castagnoli)
+	pb, err := os.ReadFile(src.PlacementPath())
+	if err != nil {
+		return fmt.Errorf("jobs: %s: cached placement: %w", src.ID, err)
+	}
+	if got := crc32.Checksum(pb, table); got != last.PlacementCRC {
+		return fmt.Errorf("jobs: %s: cached placement CRC %08x, journal says %08x", src.ID, got, last.PlacementCRC)
+	}
+	rb, err := os.ReadFile(src.ResultPath())
+	if err != nil {
+		return fmt.Errorf("jobs: %s: cached result: %w", src.ID, err)
+	}
+	if got := crc32.Checksum(rb, table); got != last.ResultCRC {
+		return fmt.Errorf("jobs: %s: cached result CRC %08x, journal says %08x", src.ID, got, last.ResultCRC)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"strings"
+)
+
+// Content digests make submission retry-safe and duplicate-free: two specs
+// that would compute the same placement hash to the same SHA-256 digest, so
+// the manager can collapse concurrent identical submissions into one
+// execution with result fan-out (DESIGN.md §16).
+//
+// The canonical encoding covers exactly the fields that determine the run's
+// output bytes, in a fixed order, each rendered deterministically. Fields
+// that only describe scheduling or ownership — Name, Tenant, Deadline,
+// NotAfter, Retries — are excluded: a deadline changes when a job may fail,
+// never what a successful run produces, and excluding the tenant lets
+// tenants share cache hits while their quota accounting stays separate
+// (admission runs before the dedupe fast path). PresetSeed is canonicalized
+// through the same defaulting Circuit applies (0 → 17 with a preset, ignored
+// without one), so spelling the default out loud does not defeat the cache.
+//
+// Format (all fields always present, strings length-prefixed so no value
+// needs escaping):
+//
+//	twcanon 1\n
+//	preset <len>:<bytes>\n
+//	preset_seed <uint>\n
+//	netlist <len>:<bytes>\n
+//	seed <uint>\n
+//	ac <int>\n
+//	r <float>\n
+//	... (rho, eta, m, iterations, core_aspect, max_steps)
+//	skip_stage2 <0|1>\n
+//	replicas <int>\n
+//	skip_drc <0|1>\n
+//
+// Floats use strconv's shortest round-trip form ('g', -1), which is a
+// deterministic function of the bit pattern. Any change to this encoding is
+// a new digest universe and must bump the version line.
+const canonVersion = "twcanon 1\n"
+
+// DigestPrefix leads every content digest string ("sha256:<64 hex>").
+const DigestPrefix = "sha256:"
+
+// AppendCanonicalSpec appends s's canonical content encoding to dst and
+// returns the extended slice. It allocates only when dst lacks capacity, so
+// a caller reusing a buffer digests specs allocation-free (the hot path
+// BenchmarkSpecDigest pins).
+func AppendCanonicalSpec(dst []byte, s *Spec) []byte {
+	dst = append(dst, canonVersion...)
+	dst = appendCanonString(dst, "preset", s.Preset)
+	seed := s.PresetSeed
+	if s.Preset == "" {
+		seed = 0 // irrelevant without a preset; Circuit never reads it
+	} else if seed == 0 {
+		seed = 17 // Circuit's documented default
+	}
+	dst = appendCanonUint(dst, "preset_seed", seed)
+	dst = appendCanonString(dst, "netlist", s.Netlist)
+	dst = appendCanonUint(dst, "seed", s.Seed)
+	dst = appendCanonInt(dst, "ac", s.Ac)
+	dst = appendCanonFloat(dst, "r", s.R)
+	dst = appendCanonFloat(dst, "rho", s.Rho)
+	dst = appendCanonFloat(dst, "eta", s.Eta)
+	dst = appendCanonInt(dst, "m", s.M)
+	dst = appendCanonInt(dst, "iterations", s.Iterations)
+	dst = appendCanonFloat(dst, "core_aspect", s.CoreAspect)
+	dst = appendCanonInt(dst, "max_steps", s.MaxSteps)
+	dst = appendCanonBool(dst, "skip_stage2", s.SkipStage2)
+	dst = appendCanonInt(dst, "replicas", s.Replicas)
+	dst = appendCanonBool(dst, "skip_drc", s.SkipDRC)
+	return dst
+}
+
+func appendCanonString(dst []byte, name, v string) []byte {
+	dst = append(dst, name...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(len(v)), 10)
+	dst = append(dst, ':')
+	dst = append(dst, v...)
+	return append(dst, '\n')
+}
+
+func appendCanonUint(dst []byte, name string, v uint64) []byte {
+	dst = append(dst, name...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, v, 10)
+	return append(dst, '\n')
+}
+
+func appendCanonInt(dst []byte, name string, v int) []byte {
+	dst = append(dst, name...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(v), 10)
+	return append(dst, '\n')
+}
+
+func appendCanonFloat(dst []byte, name string, v float64) []byte {
+	dst = append(dst, name...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
+	return append(dst, '\n')
+}
+
+func appendCanonBool(dst []byte, name string, v bool) []byte {
+	b := byte('0')
+	if v {
+		b = '1'
+	}
+	dst = append(dst, name...)
+	dst = append(dst, ' ', b, '\n')
+	return dst
+}
+
+// SumCanonicalSpec hashes s's canonical encoding using scratch as the
+// encoding buffer, returning the digest and the (possibly grown) buffer for
+// reuse. With a large enough scratch the call performs zero heap
+// allocations.
+func SumCanonicalSpec(scratch []byte, s *Spec) ([sha256.Size]byte, []byte) {
+	scratch = AppendCanonicalSpec(scratch[:0], s)
+	return sha256.Sum256(scratch), scratch
+}
+
+// ContentDigest returns the spec's content digest as "sha256:<64 hex>".
+func (s *Spec) ContentDigest() string {
+	sum, _ := SumCanonicalSpec(make([]byte, 0, 256+len(s.Netlist)), s)
+	return DigestPrefix + hex.EncodeToString(sum[:])
+}
+
+// ValidDigest reports whether d is a well-formed content digest string.
+func ValidDigest(d string) bool {
+	hx, ok := strings.CutPrefix(d, DigestPrefix)
+	if !ok || len(hx) != sha256.Size*2 {
+		return false
+	}
+	for i := 0; i < len(hx); i++ {
+		c := hx[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// digestHex strips the "sha256:" prefix, returning the bare hex used as the
+// digest's directory name in the dedupe index.
+func digestHex(d string) (string, bool) {
+	if !ValidDigest(d) {
+		return "", false
+	}
+	return strings.TrimPrefix(d, DigestPrefix), true
+}

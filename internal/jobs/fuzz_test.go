@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"bytes"
+	"encoding/hex"
 	"strings"
 	"testing"
 	"time"
@@ -121,6 +122,153 @@ func FuzzDecodeLease(f *testing.F) {
 		again.Expires, rec.Expires = time.Time{}, time.Time{}
 		if again != rec {
 			t.Fatalf("round trip changed record: %+v != %+v", again, rec)
+		}
+	})
+}
+
+// FuzzCanonicalSpec throws arbitrary field values at the canonical spec
+// encoder: it must never panic, must be a pure function of the content
+// fields (two encodings of one spec are byte-identical; scheduling fields
+// perturb nothing; the seed always perturbs), must apply the preset-seed
+// defaulting rule, and must always yield a well-formed digest. These are the
+// invariants the whole dedupe layer — index, cache, scrubber — keys off.
+func FuzzCanonicalSpec(f *testing.F) {
+	f.Add("i1", "", uint64(0), uint64(1), 8, 0, 0, 8, 0, 0.0, 0.0, 0.0, 0.0, true, true)
+	f.Add("", "cell a 1 1\nnet n a\n", uint64(5), uint64(42), 40, 2, 7, 400, 3, 0.85, 1.1, 0.5, 1.25, false, false)
+	f.Add("i3", "x\x00y\nz", uint64(17), ^uint64(0), -1, -2, -3, -4, -5, -1e308, 1e-308, 2.5, 0.1, true, false)
+	f.Fuzz(func(t *testing.T, preset, netlist string, pseed, seed uint64,
+		ac, m, iter, maxSteps, replicas int, r, rho, eta, aspect float64, s2, drc bool) {
+		spec := Spec{
+			Preset: preset, PresetSeed: pseed, Netlist: netlist, Seed: seed,
+			Ac: ac, R: r, Rho: rho, Eta: eta, M: m, Iterations: iter,
+			CoreAspect: aspect, MaxSteps: maxSteps,
+			SkipStage2: s2, Replicas: replicas, SkipDRC: drc,
+		}
+		enc := AppendCanonicalSpec(nil, &spec)
+		if !bytes.HasPrefix(enc, []byte(canonVersion)) {
+			t.Fatalf("encoding lacks the version line: %.40q", enc)
+		}
+		if !bytes.Equal(enc, AppendCanonicalSpec(nil, &spec)) {
+			t.Fatal("two encodings of one spec differ")
+		}
+		d := spec.ContentDigest()
+		if !ValidDigest(d) {
+			t.Fatalf("ContentDigest() = %q, not a valid digest", d)
+		}
+		sum, _ := SumCanonicalSpec(nil, &spec)
+		if d != DigestPrefix+hex.EncodeToString(sum[:]) {
+			t.Fatal("SumCanonicalSpec disagrees with ContentDigest")
+		}
+
+		// Scheduling and ownership fields must be invisible.
+		sched := spec
+		sched.Name, sched.Tenant = "n", "acme"
+		sched.Deadline, sched.NotAfter, sched.Retries = Duration(time.Hour), 123456, 3
+		sched.Digest = d
+		if !bytes.Equal(enc, AppendCanonicalSpec(nil, &sched)) {
+			t.Fatal("scheduling fields leaked into the canonical encoding")
+		}
+		// The anneal seed must always be visible.
+		perturbed := spec
+		perturbed.Seed++
+		if bytes.Equal(enc, AppendCanonicalSpec(nil, &perturbed)) {
+			t.Fatal("perturbing the seed left the encoding unchanged")
+		}
+		// Preset-seed defaulting: with a preset, 0 and 17 are one digest;
+		// without one, the seed is inert.
+		alt := spec
+		switch {
+		case preset != "" && pseed == 0:
+			alt.PresetSeed = 17
+		case preset != "" && pseed == 17:
+			alt.PresetSeed = 0
+		case preset == "":
+			alt.PresetSeed = pseed + 1
+		default:
+			return
+		}
+		if !bytes.Equal(enc, AppendCanonicalSpec(nil, &alt)) {
+			t.Fatalf("preset-seed canonicalization broken: preset=%q seed %d vs %d", preset, pseed, alt.PresetSeed)
+		}
+	})
+}
+
+// FuzzDecodeDedupIndex throws arbitrary bytes at the dedupe-index decoder:
+// it must never panic, every accepted entry must satisfy the kind invariants
+// LookupIdem/ClaimDigest rely on (idem entries name a job and no generation,
+// digest entries the reverse, digests always well-formed), and an accepted
+// entry must survive an encode/decode round trip unchanged — the scrubber
+// rebuilds entries from exactly this path.
+func FuzzDecodeDedupIndex(f *testing.F) {
+	digest := (&Spec{Preset: "i1", Seed: 1}).ContentDigest()
+	idem, err := EncodeIndexEntry(IndexEntry{
+		Kind: "idem", Tenant: "acme", Key: "retry-1", Digest: digest, Job: "j000001",
+		Time: time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC), Node: "n1",
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	pending, err := EncodeIndexEntry(IndexEntry{
+		Kind: "digest", Digest: digest, Gen: 1,
+		Time: time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	published, err := EncodeIndexEntry(IndexEntry{
+		Kind: "digest", Digest: digest, Gen: 2, Job: "j000007",
+		Time: time.Date(2026, 8, 8, 0, 1, 0, 0, time.UTC), Node: "n2",
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(idem)
+	f.Add(pending)
+	f.Add(published)
+	f.Add(idem[:len(idem)/2]) // torn O_EXCL write
+	f.Add([]byte(""))
+	f.Add([]byte("\n"))
+	f.Add([]byte("twidx 1 00000000 2 {}\n"))        // CRC mismatch
+	f.Add([]byte("twidx 1 deadbeef 99999999 {}\n")) // absurd length
+	f.Add([]byte("twidx 2 00000000 2 {}\n"))        // future version
+	f.Add([]byte("twlease 1 00000000 2 {}\n"))      // lease magic
+	f.Add([]byte(`twidx 1 99f61486 15 {"kind":"idem"}` + "\n"))
+	f.Add(bytes.Repeat([]byte("twidx "), 50))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := DecodeIndexEntry(data)
+		if err != nil {
+			return
+		}
+		switch e.Kind {
+		case "idem":
+			if e.Job == "" || e.Gen != 0 {
+				t.Fatalf("decoder accepted invalid idem entry %+v", e)
+			}
+		case "digest":
+			if e.Gen <= 0 || e.Key != "" || e.Tenant != "" {
+				t.Fatalf("decoder accepted invalid digest entry %+v", e)
+			}
+		default:
+			t.Fatalf("decoder accepted unknown kind %q", e.Kind)
+		}
+		if !ValidDigest(e.Digest) {
+			t.Fatalf("decoder accepted bad digest %q", e.Digest)
+		}
+		enc, err := EncodeIndexEntry(e)
+		if err != nil {
+			t.Fatalf("accepted entry fails to re-encode: %v", err)
+		}
+		again, err := DecodeIndexEntry(enc)
+		if err != nil {
+			t.Fatalf("re-encoded entry fails to decode: %v", err)
+		}
+		if !again.Time.Equal(e.Time) {
+			t.Fatalf("round trip changed timestamp: %v != %v", again.Time, e.Time)
+		}
+		again.Time, e.Time = time.Time{}, time.Time{}
+		if again != e {
+			t.Fatalf("round trip changed entry: %+v != %+v", again, e)
 		}
 	})
 }

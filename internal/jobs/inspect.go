@@ -23,6 +23,25 @@ func JournalPath(dir string) string { return filepath.Join(dir, journalFile) }
 // SpanFilePath returns the span file path inside a job directory.
 func SpanFilePath(dir string) string { return filepath.Join(dir, spansFile) }
 
+// SpecFilePath returns the spec file path inside a job directory.
+func SpecFilePath(dir string) string { return filepath.Join(dir, specFile) }
+
+// CheckpointFilePath returns the checkpoint file path inside a job directory.
+func CheckpointFilePath(dir string) string { return filepath.Join(dir, checkpointFile) }
+
+// ResultFilePath returns the result file path inside a job directory.
+func ResultFilePath(dir string) string { return filepath.Join(dir, resultFile) }
+
+// PlacementFilePath returns the placement file path inside a job directory.
+func PlacementFilePath(dir string) string { return filepath.Join(dir, placementFile) }
+
+// ClaimsDirPath returns the claim-chain directory inside a job directory.
+func ClaimsDirPath(dir string) string { return filepath.Join(dir, claimsDir) }
+
+// ClaimFileRe matches claim file names inside a claims directory
+// ("t" + at least eight digits, the zero-padded fencing token).
+var ClaimFileRe = claimFileRe
+
 // ListJobDirs returns the published job directories under a store root,
 // sorted by name (which is creation order — the sequence number is the
 // name). The returned paths are joined with root.

@@ -150,12 +150,18 @@ func TestSubmitValidation(t *testing.T) {
 func TestBackpressure(t *testing.T) {
 	// No Start(): nothing drains the queue, so the bound is exact.
 	_, m := newTestManager(t, t.TempDir(), Config{Workers: 2, QueueDepth: 3})
+	// Distinct seeds: identical specs would dedupe into one execution
+	// instead of filling the queue.
 	for i := 0; i < 3; i++ {
-		if _, err := m.Submit(fastSpec()); err != nil {
+		spec := fastSpec()
+		spec.Seed = uint64(i + 1)
+		if _, err := m.Submit(spec); err != nil {
 			t.Fatal(err)
 		}
 	}
-	_, err := m.Submit(fastSpec())
+	over := fastSpec()
+	over.Seed = 99
+	_, err := m.Submit(over)
 	var full *ErrQueueFull
 	if !errors.As(err, &full) {
 		t.Fatalf("submit over capacity: %v, want *ErrQueueFull", err)

@@ -13,8 +13,10 @@ import (
 // State is a job lifecycle state. Transitions:
 //
 //	queued ──▶ running ──▶ succeeded
-//	  ▲           │  │
-//	  │ (interrupt│  └────▶ failed
+//	  ▲  │        │  │
+//	  │  │(dedupe)│  └────▶ failed
+//	  │  └──▶ dedup
+//	  │ (interrupt│
 //	  └───────────┘
 //	queued/running ──▶ canceled
 //
@@ -22,6 +24,13 @@ import (
 // either explicitly journaled by a draining worker, or implicitly: a
 // journal whose last record says running means the process died mid-run,
 // and recovery treats the job as queued, resuming from its checkpoint.
+//
+// dedup is the terminal state of an alias: a submission whose content
+// digest matched an existing job, registered without ever entering the
+// queue. Its record's Source names the executing job whose result the alias
+// fans out (DESIGN.md §16). An alias never runs, so dedup follows only
+// queued — a dedup record after running would mean an executing job was
+// retroactively aliased, which is corruption.
 type State string
 
 const (
@@ -30,17 +39,18 @@ const (
 	StateSucceeded State = "succeeded"
 	StateFailed    State = "failed"
 	StateCanceled  State = "canceled"
+	StateDedup     State = "dedup"
 )
 
 // Terminal reports whether no further transitions can follow s.
 func (s State) Terminal() bool {
-	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled || s == StateDedup
 }
 
 // knownState rejects anything a decoder should not trust.
 func knownState(s State) bool {
 	switch s {
-	case StateQueued, StateRunning, StateSucceeded, StateFailed, StateCanceled:
+	case StateQueued, StateRunning, StateSucceeded, StateFailed, StateCanceled, StateDedup:
 		return true
 	}
 	return false
@@ -61,6 +71,9 @@ func knownState(s State) bool {
 //   - to succeeded → only from running: a success is journaled by the same
 //     process, in the same attempt, that journaled the run — a success out
 //     of nowhere means corruption
+//   - to dedup → only from queued: an alias is journaled dedup immediately
+//     after its submission record, before any node could claim it; a dedup
+//     record on a job that ever ran means corruption
 //   - everything else (queued/running/canceled/failed from any non-terminal
 //     state) → allowed
 func ValidTransition(from, to State) bool {
@@ -72,6 +85,8 @@ func ValidTransition(from, to State) bool {
 		return true
 	case StateSucceeded:
 		return from == StateRunning
+	case StateDedup:
+		return from == StateQueued
 	}
 	return false
 }
@@ -127,6 +142,16 @@ type Record struct {
 	// non-decreasing along a journal: a later record with a smaller token is
 	// the signature of a stale zombie's write landing after a takeover.
 	Token uint64 `json:"token,omitempty"`
+	// Source, on a dedup record, names the executing job whose result this
+	// alias fans out (machine-readable; Detail carries the human form).
+	Source string `json:"source,omitempty"`
+	// PlacementCRC/ResultCRC, on a succeeded record, are CRC-32/Castagnoli
+	// checksums of the job's placement.tw and result.json bytes as written.
+	// Neither artifact carries internal framing, so these are what lets the
+	// dedupe cache verify a source before fanning it out and lets twfsck
+	// detect bit rot in result artifacts at rest (DESIGN.md §16).
+	PlacementCRC uint32 `json:"placement_crc,omitempty"`
+	ResultCRC    uint32 `json:"result_crc,omitempty"`
 }
 
 // journalMagic leads every journal line; the version is bumped on any
@@ -249,6 +274,12 @@ func decodeLine(text []byte) (Record, error) {
 	}
 	if rec.Attempt < 0 {
 		return rec, fmt.Errorf("attempt %d out of range", rec.Attempt)
+	}
+	if rec.Source != "" && !jobDirRe.MatchString(rec.Source) {
+		return rec, fmt.Errorf("bad source job %.40q", rec.Source)
+	}
+	if rec.State == StateDedup && rec.Source == "" {
+		return rec, fmt.Errorf("dedup record without a source job")
 	}
 	return rec, nil
 }

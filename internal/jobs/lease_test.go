@@ -246,7 +246,10 @@ func TestFleetTwoNodes(t *testing.T) {
 	const njobs = 3
 	jobsSubmitted := make([]*Job, njobs)
 	for i := range jobsSubmitted {
-		j, err := m1.Submit(fastSpec())
+		// Distinct seeds: identical specs would dedupe into one execution.
+		spec := fastSpec()
+		spec.Seed = uint64(i + 1)
+		j, err := m1.Submit(spec)
 		if err != nil {
 			t.Fatal(err)
 		}

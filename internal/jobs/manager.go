@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"strconv"
 	"sync"
@@ -143,6 +144,21 @@ type Config struct {
 	// files older than the retention (the fencing high-water mark — the
 	// highest claim file — is always preserved). Zero disables GC.
 	LeaseRetention time.Duration
+
+	// Retention, when positive, bounds store growth: Start launches a
+	// periodic Store.GCJobs sweep deleting terminal job directories whose
+	// last journal record is older than the window. The ID high-water
+	// directory and dedup sources with surviving aliases are always
+	// preserved (DESIGN.md §16). Zero disables the sweep.
+	Retention time.Duration
+	// ScrubEvery, when positive together with ScrubFunc, runs a low-priority
+	// background integrity sweep over the store root at this cadence.
+	ScrubEvery time.Duration
+	// ScrubFunc performs one integrity sweep (read-only) over a store root,
+	// returning the number of defects found. cmd/twserve wires in
+	// scrub.Scan; the indirection exists because internal/scrub imports
+	// this package.
+	ScrubFunc func(root string) (defects int, err error)
 }
 
 func (c *Config) fill() {
@@ -219,6 +235,12 @@ type Manager struct {
 	mCkBytes     *telemetry.Gauge
 	mStates      map[State]*telemetry.Gauge
 
+	// jobs.dedup.* / jobs.idem.* / jobs.scrub.* instruments.
+	mDedupHits    *telemetry.Counter
+	mIdemReplays  *telemetry.Counter
+	mScrubSweeps  *telemetry.Counter
+	mScrubDefects *telemetry.Gauge
+
 	// jobs.lease.* instruments (fleet mode).
 	mLeaseClaims   *telemetry.Counter
 	mLeaseRenewals *telemetry.Counter
@@ -266,9 +288,13 @@ func NewManager(store *Store, cfg Config) *Manager {
 	m.mQuarantined = reg.Gauge("jobs.quarantined")
 	m.mCkBytes = reg.Gauge("jobs.checkpoint_bytes")
 	m.mStates = map[State]*telemetry.Gauge{}
-	for _, st := range []State{StateQueued, StateRunning, StateSucceeded, StateFailed, StateCanceled} {
+	for _, st := range []State{StateQueued, StateRunning, StateSucceeded, StateFailed, StateCanceled, StateDedup} {
 		m.mStates[st] = reg.Gauge("jobs.state." + string(st))
 	}
+	m.mDedupHits = reg.Counter("jobs.dedup.hits")
+	m.mIdemReplays = reg.Counter("jobs.idem.replays")
+	m.mScrubSweeps = reg.Counter("jobs.scrub.sweeps")
+	m.mScrubDefects = reg.Gauge("jobs.scrub.defects")
 	m.mLeaseClaims = reg.Counter("jobs.lease.claims")
 	m.mLeaseRenewals = reg.Counter("jobs.lease.renewals")
 	m.mLeaseExpiries = reg.Counter("jobs.lease.expiries")
@@ -311,6 +337,20 @@ func (m *Manager) tenantInstrumentsFor(tenant string) tenantInstruments {
 // dead peer's once their lease expires), so Start only launches the scanner
 // and workers and returns 0.
 func (m *Manager) Start() int {
+	if m.cfg.Retention > 0 {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.gcJobsLoop()
+		}()
+	}
+	if m.cfg.ScrubEvery > 0 && m.cfg.ScrubFunc != nil {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.scrubLoop()
+		}()
+	}
 	if m.cfg.LeaseRetention > 0 {
 		if n, err := m.store.GCLeases(m.cfg.LeaseRetention); err != nil {
 			m.cfg.Logf("jobs: lease gc: %v", err)
@@ -364,6 +404,61 @@ func (m *Manager) Start() int {
 		}()
 	}
 	return len(resumable)
+}
+
+// gcJobsLoop is the retention sweep: delete terminal job directories older
+// than the window (Store.GCJobs documents the protections). It runs one pass
+// immediately so a restart with a shrunken -retention takes effect without
+// waiting out a tick, then at a cadence comfortably finer than the window.
+func (m *Manager) gcJobsLoop() {
+	period := m.cfg.Retention / 2
+	if period < 10*time.Second {
+		period = 10 * time.Second
+	}
+	if period > 10*time.Minute {
+		period = 10 * time.Minute
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		if n, err := m.store.GCJobs(m.cfg.Retention); err != nil {
+			m.cfg.Logf("jobs: retention gc: %v", err)
+		} else if n > 0 {
+			m.cfg.Logf("jobs: retention gc removed %d expired job(s)", n)
+			m.updateMetrics()
+		}
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// scrubLoop runs the configured integrity sweep (cmd/twserve wires in
+// scrub.Scan) as a low-priority background task. The first sweep waits out a
+// full tick: Open already quarantined startup damage, so scrubbing again
+// immediately would only delay the serving path.
+func (m *Manager) scrubLoop() {
+	t := time.NewTicker(m.cfg.ScrubEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-t.C:
+		}
+		defects, err := m.cfg.ScrubFunc(m.store.Root())
+		m.mScrubSweeps.Inc()
+		if err != nil {
+			m.cfg.Logf("jobs: scrub: %v", err)
+			continue
+		}
+		m.mScrubDefects.Set(float64(defects))
+		if defects > 0 {
+			m.cfg.Logf("jobs: scrub found %d defect(s)", defects)
+		}
+	}
 }
 
 // scan is the fleet maintenance loop: heartbeat the node, pick up jobs
@@ -641,37 +736,187 @@ func (m *Manager) ShedHint() bool {
 // from a relative Deadline, so the deadline starts at submission and
 // survives the hop to whichever fleet node claims the job.
 func (m *Manager) Submit(spec Spec) (*Job, error) {
+	j, _, err := m.SubmitIdem(spec, "")
+	return j, err
+}
+
+// SubmitIdem is Submit with an optional idempotency key. created is false
+// only on an exact replay: the key was seen before with the same content
+// digest, and the original job is returned without consuming quota or
+// capacity (the HTTP layer's 200-instead-of-201). Reusing a key with a
+// different spec fails with *ErrIdemConflict.
+//
+// Every accepted submission is also resolved against the content-digest
+// index (DESIGN.md §16): when an identical spec is already executing or has
+// a verified cached result, the new submission is registered as a dedup
+// alias — journaled, visible, serving the shared result — without entering
+// the queue. Dedupe resolution runs after admission, so quota accounting
+// stays truthful per tenant, and before the capacity refusals, which exist
+// to protect the queue an alias never touches.
+func (m *Manager) SubmitIdem(spec Spec, key string) (*Job, bool, error) {
 	if err := spec.Validate(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if spec.NotAfter == 0 && spec.Deadline > 0 {
 		spec.NotAfter = time.Now().Add(time.Duration(spec.Deadline)).UnixMilli()
 	}
+	// The digest is stamped server-side; whatever the client sent is
+	// untrusted and overwritten.
+	spec.Digest = spec.ContentDigest()
+
+	// Idempotency replay, before any refusal: a retry of an already-accepted
+	// submission must succeed even while the node is draining or the
+	// tenant's quota is exhausted — the work was admitted the first time.
+	if key != "" {
+		e, ok, err := m.store.LookupIdem(spec.Tenant, key)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			if e.Digest != spec.Digest {
+				return nil, false, &ErrIdemConflict{Key: key, Job: e.Job}
+			}
+			if j, found := m.lookupJob(e.Job); found {
+				m.mIdemReplays.Inc()
+				return j, false, nil
+			}
+			// The key names a job that no longer exists (retention GC without
+			// the index sweep catching up, or manual surgery): fall through
+			// and submit afresh; PublishIdem below will lose to the existing
+			// entry, which is fine — the digest layer still collapses the
+			// execution.
+			m.cfg.Logf("jobs: idempotency key names missing job %s; resubmitting", e.Job)
+		}
+	}
+
 	m.qmu.Lock()
 	if m.stopping {
 		m.qmu.Unlock()
-		return nil, ErrDraining
+		return nil, false, ErrDraining
 	}
 	m.qmu.Unlock()
 	// Disk-full latch: retest with a probe write (self-healing once space
 	// returns) and refuse work while the store is unwritable.
 	if !m.store.ProbeDisk() {
 		m.mRejected.Inc()
-		return nil, ErrDiskFull
+		return nil, false, ErrDiskFull
 	}
 	// Tenant admission: quota refusals outrank capacity refusals so a
 	// client over its own allowance always sees its 429, not a transient
-	// capacity 503 that hides the quota problem.
+	// capacity 503 that hides the quota problem. It also outranks the dedup
+	// fast path: a cache hit is still one admission against the tenant's own
+	// rate quota (the digest deliberately excludes the tenant, so tenants
+	// share results but never each other's allowance).
 	if dec := m.adm.Admit(spec.Tenant, m.store.TenantInFlight(spec.Tenant)); !dec.OK {
 		m.mRejected.Inc()
 		m.tenantInstrumentsFor(spec.Tenant).rejected.Inc()
-		return nil, &ErrOverQuota{
+		return nil, false, &ErrOverQuota{
 			Tenant:      canonTenant(spec.Tenant),
 			Reason:      dec.Reason,
 			RetryAfter:  dec.RetryAfter,
 			RetryBudget: dec.BudgetLeft,
 		}
 	}
+
+	job, err := m.submitResolved(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	if key != "" {
+		m.publishIdemKey(&spec, key, job)
+	}
+	return job, true, nil
+}
+
+// submitResolved resolves an admitted submission against the digest index
+// and either registers it as a dedup alias (cache hit / in-flight
+// subscribe) or wins a digest generation and executes it for real. The
+// claim-then-publish dance mirrors the lease layer: an O_EXCL pending entry
+// decides racing submitters, the winner creates the job and fills the entry
+// in, losers poll the entry until the job ID appears.
+func (m *Manager) submitResolved(spec Spec) (*Job, error) {
+	// An already-lapsed absolute deadline bypasses the index entirely: the
+	// deadline contract (DESIGN.md §15) promises a journaled fail-fast, and
+	// neither an alias nor a cache hit can deliver one. It must not claim a
+	// digest generation either — a dead-on-arrival job is no dedupe source.
+	if na := spec.NotAfterTime(); !na.IsZero() && !time.Now().Before(na) {
+		return m.submitExecuting(spec)
+	}
+	// ~5s of polling against a pending claim before giving up on the index.
+	const pendingPoll = 25 * time.Millisecond
+	for tries := 0; tries < 200; tries++ {
+		claim, entry, err := m.store.ClaimDigest(spec.Digest)
+		if err != nil {
+			// The index is damaged or unwritable; the store itself may still
+			// be fine, so fall back to an un-indexed execution below.
+			m.cfg.Logf("jobs: dedup: %v; submitting without index", err)
+			break
+		}
+		if claim == nil {
+			if entry.Job == "" {
+				// A racer holds the pending claim; its job ID appears within
+				// the publish window. Poll rather than claim a duplicate.
+				time.Sleep(pendingPoll)
+				continue
+			}
+			src, live := m.store.sourceLive(entry.Job)
+			if !live {
+				continue // source died since the claim scan; take over
+			}
+			return m.submitAlias(spec, src)
+		}
+		job, err := m.submitExecuting(spec)
+		if err != nil {
+			claim.Abandon()
+			return nil, err
+		}
+		if err := claim.Publish(job.ID); err != nil {
+			// The job runs regardless; the worst case is the pending entry
+			// aging out and a later submit executing the digest again under
+			// the next generation (exactly-once holds per generation).
+			m.cfg.Logf("jobs: %s: dedup publish: %v", job.ID, err)
+		}
+		return job, nil
+	}
+	// Pending-claim poll exhausted (or index unusable): submit an
+	// independent, un-indexed execution. Determinism makes its result
+	// byte-identical to the indexed one, so correctness survives; only the
+	// dedupe economy is lost.
+	m.cfg.Logf("jobs: dedup: index did not settle for %s; submitting without index", spec.Digest)
+	return m.submitExecuting(spec)
+}
+
+// submitAlias registers an admitted submission as a dedup alias of src,
+// journaled queued→dedup and born terminal: it never enters the queue, is
+// never claimable by fleet nodes, and serves src's result by link. A
+// succeeded source's artifacts were already CRC-verified against its
+// journal by the liveness check, so the cache never fans out rotted bytes.
+func (m *Manager) submitAlias(spec Spec, src *Job) (*Job, error) {
+	kind := "subscribed to in-flight"
+	if src.Last().State == StateSucceeded {
+		kind = "cache hit"
+	}
+	alias, err := m.store.CreateAlias(spec, src.ID, fmt.Sprintf("dedup: %s %s", kind, src.ID))
+	if err != nil {
+		if errors.Is(err, fsio.ErrDiskFull) {
+			m.mRejected.Inc()
+			return nil, fmt.Errorf("%w (%v)", ErrDiskFull, err)
+		}
+		return nil, err
+	}
+	m.mDedupHits.Inc()
+	m.mSubmitted.Inc()
+	m.tenantInstrumentsFor(spec.Tenant).submitted.Inc()
+	m.cfg.Logf("jobs: %s %s (digest %s)", alias.ID,
+		fmt.Sprintf("dedup: %s %s", kind, src.ID), spec.Digest)
+	m.updateMetrics()
+	return alias, nil
+}
+
+// submitExecuting applies the capacity refusals and persists + enqueues a
+// real execution. It is the tail of the historical Submit: everything here
+// protects the queue, which is why dedup aliases bypass it.
+func (m *Manager) submitExecuting(spec Spec) (*Job, error) {
 	m.qmu.Lock()
 	if m.stopping {
 		m.qmu.Unlock()
@@ -733,6 +978,30 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	m.tenantInstrumentsFor(spec.Tenant).submitted.Inc()
 	m.updateMetrics()
 	return job, nil
+}
+
+// publishIdemKey durably records key → job after a successful submission,
+// best-effort: the job already exists either way, and a lost first-writer
+// race just means a concurrent retry's job owns the key — both executions
+// were collapsed by the digest layer, so either link is correct.
+func (m *Manager) publishIdemKey(spec *Spec, key string, job *Job) {
+	e, err := m.store.PublishIdem(spec.Tenant, key, spec.Digest, job.ID)
+	switch {
+	case err != nil:
+		m.cfg.Logf("jobs: %s: idempotency key: %v", job.ID, err)
+	case e.Job != job.ID:
+		m.cfg.Logf("jobs: %s: idempotency key %.40q raced; owned by %s", job.ID, key, e.Job)
+	}
+}
+
+// lookupJob finds a job by ID, rescanning once for jobs published by fleet
+// peers this process has not observed yet.
+func (m *Manager) lookupJob(id string) (*Job, bool) {
+	if j, ok := m.store.Get(id); ok {
+		return j, true
+	}
+	m.store.Rescan()
+	return m.store.Get(id)
 }
 
 // shedSubmit decides whether to shed a submission for capacity reasons
@@ -1169,23 +1438,30 @@ func (m *Manager) finish(j *Job, c *netlist.Circuit, res *core.Result, out *outc
 			for _, v := range dr.Violations {
 				info.DRCViolations = append(info.DRCViolations, v.String())
 			}
-			if err := j.WriteResult(info); err != nil {
+			if _, err := j.WriteResult(info); err != nil {
 				return err
 			}
 			return m.fail(j, out, fmt.Sprintf("placement failed DRC: %d error(s), %d warning(s)",
 				dr.Errors(), dr.Warnings()))
 		}
 	}
-	if err := m.writePlacement(j, res); err != nil {
+	pcrc, err := m.writePlacement(j, res)
+	if err != nil {
 		return err
 	}
 	info.Succeeded = true
-	if err := j.WriteResult(info); err != nil {
+	rcrc, err := j.WriteResult(info)
+	if err != nil {
 		return err
 	}
 	out.terminal = StateSucceeded
 	detail := fmt.Sprintf("TEIL %.0f, chip %dx%d", res.TEIL, res.Chip.W(), res.Chip.H())
-	if _, err := j.Append(StateSucceeded, out.attempt, detail); err != nil {
+	// The succeeded record carries the artifact CRCs: placement.tw and
+	// result.json have no internal framing, so this is what lets the dedupe
+	// cache verify a source before fanning it out and lets twfsck detect
+	// rot at rest.
+	if _, err := j.AppendOpts(StateSucceeded, out.attempt, detail,
+		RecordOpts{PlacementCRC: pcrc, ResultCRC: rcrc}); err != nil {
 		return err
 	}
 	m.cfg.Logf("jobs: %s succeeded (%s)", j.ID, detail)
@@ -1195,29 +1471,30 @@ func (m *Manager) finish(j *Job, c *netlist.Circuit, res *core.Result, out *outc
 // writePlacement persists the final placement atomically and durably, then
 // reads the file back and byte-compares it: a torn write on the result
 // artifact must fail the attempt (retryable) rather than ever surfacing as a
-// corrupt placement to a client.
-func (m *Manager) writePlacement(j *Job, res *core.Result) error {
+// corrupt placement to a client. It returns the CRC-32/Castagnoli of the
+// written bytes for the succeeded journal record.
+func (m *Manager) writePlacement(j *Job, res *core.Result) (uint32, error) {
 	if err := j.GuardWrite(); err != nil {
-		return err
+		return 0, err
 	}
 	var buf bytes.Buffer
 	if err := place.WritePlacement(&buf, res.Placement); err != nil {
-		return err
+		return 0, err
 	}
 	werr := fsio.WriteFileAtomic(j.PlacementPath(), buf.Bytes(), 0o644)
 	m.store.noteWrite(werr)
 	if werr != nil {
-		return werr
+		return 0, werr
 	}
 	got, err := os.ReadFile(j.PlacementPath())
 	if err != nil {
-		return fmt.Errorf("jobs: placement %s: read-back: %w", j.ID, err)
+		return 0, fmt.Errorf("jobs: placement %s: read-back: %w", j.ID, err)
 	}
 	if !bytes.Equal(got, buf.Bytes()) {
-		return fmt.Errorf("jobs: placement %s: read-back mismatch: wrote %d bytes, file has %d",
+		return 0, fmt.Errorf("jobs: placement %s: read-back mismatch: wrote %d bytes, file has %d",
 			j.ID, buf.Len(), len(got))
 	}
-	return nil
+	return crc32.Checksum(buf.Bytes(), crc32.MakeTable(crc32.Castagnoli)), nil
 }
 
 // loadCheckpoint returns the job's checkpoint if present and valid for c,

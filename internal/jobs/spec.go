@@ -118,6 +118,13 @@ type Spec struct {
 	// succeeded; truncated smoke runs (small MaxSteps) stop mid-anneal
 	// with residual overlaps and set this.
 	SkipDRC bool `json:"skip_drc,omitempty"`
+
+	// Digest is the spec's content digest ("sha256:<64 hex>" over the
+	// canonical encoding, digest.go). Submit stamps it before the spec is
+	// persisted — whatever a client sends here is overwritten — and the
+	// dedupe index, result cache, and twfsck all key off the stored value.
+	// Empty on specs persisted before digests existed.
+	Digest string `json:"digest,omitempty"`
 }
 
 // Validate rejects malformed specs with a descriptive error, before

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -73,6 +74,14 @@ func (j *Job) PlacementPath() string { return filepath.Join(j.dir, placementFile
 // transitions (e.g. cancel vs. completion) cannot corrupt the journal.
 var ErrTerminal = errors.New("jobs: job already in a terminal state")
 
+// RecordOpts carries a journal record's optional payload fields: the dedup
+// source link and the succeeded-record artifact checksums.
+type RecordOpts struct {
+	Source       string
+	PlacementCRC uint32
+	ResultCRC    uint32
+}
+
 // Append journals a state transition durably and returns the record.
 //
 // Fault-injection points bracket the disk write: jobs.journal.before fails
@@ -82,6 +91,11 @@ var ErrTerminal = errors.New("jobs: job already in a terminal state")
 // ahead of memory; the next whole-journal rewrite or store reopen heals
 // the divergence).
 func (j *Job) Append(state State, attempt int, detail string) (Record, error) {
+	return j.AppendOpts(state, attempt, detail, RecordOpts{})
+}
+
+// AppendOpts is Append with the record's optional fields spelled out.
+func (j *Job) AppendOpts(state State, attempt int, detail string, opts RecordOpts) (Record, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	node := j.store.NodeID()
@@ -121,11 +135,14 @@ func (j *Job) Append(state State, attempt int, detail string) (Record, error) {
 		invariant.Failf("jobs.transition", "job %s: %q → %q", j.ID, prev, state)
 	}
 	rec := Record{
-		Seq:     len(j.records) + 1,
-		Time:    time.Now().UTC(),
-		State:   state,
-		Attempt: attempt,
-		Detail:  detail,
+		Seq:          len(j.records) + 1,
+		Time:         time.Now().UTC(),
+		State:        state,
+		Attempt:      attempt,
+		Detail:       detail,
+		Source:       opts.Source,
+		PlacementCRC: opts.PlacementCRC,
+		ResultCRC:    opts.ResultCRC,
 	}
 	if node != "" {
 		rec.Node = node
@@ -513,6 +530,32 @@ func (s *Store) Root() string { return s.root }
 // Peers race for IDs, so a taken ID (rename onto an existing directory)
 // just bumps the sequence and retries.
 func (s *Store) Create(spec Spec) (*Job, error) {
+	return s.create(spec, nil)
+}
+
+// CreateAlias persists a new dedup alias for spec: a job that is born
+// terminal, its journal reading [queued, dedup→source]. Both records are
+// written inside the hidden temp directory, so by the time the directory is
+// visible to any scanner the alias is already terminal — no fleet node can
+// ever claim it, and it never counts toward queue depth or tenant in-flight
+// totals. The alias holds no result bytes of its own; reads follow Source.
+func (s *Store) CreateAlias(spec Spec, source string, detail string) (*Job, error) {
+	return s.create(spec, func(j *Job) error {
+		_, err := j.AppendOpts(StateDedup, 0, detail, RecordOpts{Source: source})
+		return err
+	})
+}
+
+// create builds a job in a temp directory — spec, queued record, then the
+// optional seal step — and publishes it with a single rename.
+func (s *Store) create(spec Spec, seal func(*Job) error) (*Job, error) {
+	// Every persisted spec carries its content digest, whatever the entry
+	// path: the manager stamps it at admission, but direct Create callers
+	// (recovery tools, the chaos harness) must not produce digest-less
+	// spec.json files the scrubber would flag as legacy.
+	if spec.Digest == "" {
+		spec.Digest = spec.ContentDigest()
+	}
 	data, err := json.MarshalIndent(&spec, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("jobs: create: %w", err)
@@ -530,6 +573,12 @@ func (s *Store) Create(spec Spec) (*Job, error) {
 	if _, err := job.Append(StateQueued, 0, "submitted"); err != nil {
 		os.RemoveAll(tmp)
 		return nil, err
+	}
+	if seal != nil {
+		if err := seal(job); err != nil {
+			os.RemoveAll(tmp)
+			return nil, err
+		}
 	}
 	for tries := 0; ; tries++ {
 		s.mu.Lock()
@@ -657,32 +706,34 @@ type ResultInfo struct {
 // WriteResult persists info durably to the job's result.json and verifies
 // it by reading the file back: a torn write on the final artifact must
 // surface as a retryable error here, never as a corrupt result served to a
-// client later.
-func (j *Job) WriteResult(info *ResultInfo) error {
+// client later. It returns the CRC-32/Castagnoli of the bytes written, which
+// a succeeded record journals so the dedupe cache and twfsck can detect rot
+// at rest (result.json has no internal framing of its own).
+func (j *Job) WriteResult(info *ResultInfo) (uint32, error) {
 	// Fencing: a stale lease must never publish a result over the
 	// reclaimer's. No-op when the job carries no lease (single-node mode).
 	if err := j.GuardWrite(); err != nil {
-		return err
+		return 0, err
 	}
 	data, err := json.MarshalIndent(info, "", "  ")
 	if err != nil {
-		return fmt.Errorf("jobs: result %s: %w", j.ID, err)
+		return 0, fmt.Errorf("jobs: result %s: %w", j.ID, err)
 	}
 	data = append(data, '\n')
 	werr := fsio.WriteFileAtomic(j.ResultPath(), data, 0o644)
 	j.store.noteWrite(werr)
 	if werr != nil {
-		return werr
+		return 0, werr
 	}
 	got, rerr := os.ReadFile(j.ResultPath())
 	if rerr != nil {
-		return fmt.Errorf("jobs: result %s: read-back: %w", j.ID, rerr)
+		return 0, fmt.Errorf("jobs: result %s: read-back: %w", j.ID, rerr)
 	}
 	if !bytes.Equal(got, data) {
-		return fmt.Errorf("jobs: result %s: read-back mismatch: wrote %d bytes, file has %d",
+		return 0, fmt.Errorf("jobs: result %s: read-back mismatch: wrote %d bytes, file has %d",
 			j.ID, len(data), len(got))
 	}
-	return nil
+	return crc32.Checksum(data, crc32.MakeTable(crc32.Castagnoli)), nil
 }
 
 // ReadResult loads the job's result.json, if present.

@@ -408,9 +408,14 @@ func TestSubmitOverloadShed(t *testing.T) {
 			"high": {Weight: 4},
 		}, TenantPolicy{}),
 	})
+	// Distinct seeds: identical specs would dedupe into one execution
+	// instead of filling the queue.
+	seed := uint64(0)
 	sub := func(tenant string) error {
+		seed++
 		spec := fastSpec()
 		spec.Tenant = tenant
+		spec.Seed = seed
 		_, err := m.Submit(spec)
 		return err
 	}
